@@ -1,0 +1,128 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each binary regenerates one table or figure from the paper's evaluation
+// (Sec. V) on scaled-down generated graphs (see DESIGN.md). Common flags:
+//   --scale=<f>    size multiplier for the FB ladder graphs (default 0.04)
+//   --nodes=<n>    simulated slave nodes (default 20, like the paper)
+//   --seed=<s>     RNG seed (default 1)
+//   --verbose      INFO logging of every MR round
+// Times reported as "sim" are simulated cluster seconds from the cost
+// model; "wall" is real time on this host.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "common/serde.h"
+#include "common/table.h"
+#include "ffmr/solver.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/mr_bfs.h"
+
+namespace mrflow::bench {
+
+struct BenchEnv {
+  double scale = 0.04;
+  int nodes = 20;
+  uint64_t seed = 1;
+  mr::CostModel cost;
+
+  // Builds a cluster modeled on the paper's testbed: N slaves, 15 map + 15
+  // reduce slots each, 1 GbE, HDFS-style replication 2. The cost-model
+  // bandwidths can be overridden (--disk_mbps / --net_mbps) to explore the
+  // shuffle-dominated regime the paper's full-size graphs run in --
+  // at 1/1000 graph scale, per-round job overhead and graph I/O otherwise
+  // mute the shuffle-volume differences between variants (EXPERIMENTS.md).
+  mr::Cluster make_cluster(int slave_nodes = 0) const {
+    mr::ClusterConfig c;
+    c.num_slave_nodes = slave_nodes > 0 ? slave_nodes : nodes;
+    c.map_slots_per_node = 15;
+    c.reduce_slots_per_node = 15;
+    c.dfs_replication = 2;
+    c.dfs_block_size = 2ull << 20;
+    c.cost = cost;
+    return mr::Cluster(c);
+  }
+};
+
+inline BenchEnv parse_env(const common::Flags& flags) {
+  BenchEnv env;
+  env.scale = flags.get_double("scale", env.scale);
+  env.nodes = static_cast<int>(flags.get_int("nodes", env.nodes));
+  env.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+  // Scaled testbed: our graphs are ~scale/40 the paper's data volume
+  // (scale=0.04 ~ 1/1000), so the default bandwidths shrink by the same
+  // factor. This keeps the data-size:bandwidth ratio -- and therefore the
+  // *regime* each round runs in (shuffle-dominated at the top of the
+  // ladder) -- faithful to the paper's 1 GbE / SATA testbed.
+  // Effective per-node shuffle throughput is calibrated from the paper's
+  // own Table I (round 7: 639 GB shuffled in 5:06 h on 20 slaves ~= 2 MB/s
+  // per node -- sort/spill/merge passes put Hadoop's shuffle far below
+  // wire speed), which is what makes runtime track shuffled bytes.
+  double bw = std::max(1e-5, std::min(1.0, env.scale / 40.0));
+  env.cost.disk_mbps = flags.get_double("disk_mbps", 100.0 * bw);
+  env.cost.network_mbps = flags.get_double("net_mbps", 2.0 * bw);
+  // CPU scales with data volume too; a JVM record pipeline is also roughly
+  // an order of magnitude slower than these C++ loops. FF4's effect (object
+  // churn) lives entirely in this term.
+  env.cost.cpu_scale = flags.get_double("cpu_scale", 10.0 / std::max(bw, 1e-4));
+  env.cost.job_overhead_s = flags.get_double("overhead", env.cost.job_overhead_s);
+  if (flags.get_bool("verbose", false)) {
+    common::set_log_level(common::LogLevel::kInfo);
+  }
+  // Consumed here so check_unused() passes even in benches that read it
+  // later through paper_options().
+  (void)flags.get_bool("strict", false);
+  return env;
+}
+
+// Builds the FBi' analog graph for a ladder entry.
+inline graph::Graph build_fb_graph(const graph::FacebookLadderEntry& entry,
+                                   uint64_t seed) {
+  return graph::facebook_like(entry.vertices, entry.avg_degree, seed);
+}
+
+// Attaches w super terminals the way the paper does (Sec. V-A1): random
+// vertices with "a sufficiently large number of edges". The paper requires
+// >= 3000 of max 5000; we scale that to >= 60% of the graph's top degree
+// band, approximated as 1.5x the average degree.
+inline graph::FlowProblem attach_terminals(graph::Graph g, int w,
+                                           int avg_degree, uint64_t seed) {
+  size_t min_degree = static_cast<size_t>(avg_degree) * 3 / 2;
+  while (true) {
+    try {
+      return graph::attach_super_terminals(g, w, min_degree, seed);
+    } catch (const std::invalid_argument&) {
+      if (min_degree == 0) throw;
+      min_degree /= 2;  // small scaled graphs may lack high-degree vertices
+    }
+  }
+}
+
+// Options used by the paper-reproduction benches: the paper's own
+// termination rule (Fig. 2 line 10) so round counts match the paper's
+// accounting. The library default (strict + restart probing) adds a
+// confirmation phase of extra rounds; tests validate that both rules give
+// the exact max-flow on small-world graphs, and bench_graphs_table prints
+// a Dinic oracle check alongside.
+inline ffmr::FfmrOptions paper_options(ffmr::Variant variant,
+                                       const common::Flags& flags) {
+  ffmr::FfmrOptions options;
+  options.variant = variant;
+  if (flags.get_bool("strict", false)) {
+    options.termination = ffmr::TerminationRule::kStrictBoth;
+  } else {
+    options.termination = ffmr::TerminationRule::kPaperEither;
+    options.restart_on_stall = false;
+  }
+  return options;
+}
+
+inline std::string fmt_int(int64_t v) { return common::TextTable::fmt_int(v); }
+inline std::string fmt_bytes(uint64_t v) { return serde::human_bytes(v); }
+inline std::string fmt_time(double s) { return serde::human_duration(s); }
+
+}  // namespace mrflow::bench

@@ -1,0 +1,71 @@
+// Reproduces Fig. 8: "Runtime Scalability with Graph Size".
+//
+// The paper runs FF5 with w=128 on FB1..FB6 (0.1B to 31B edges) with 5, 10
+// and 20 slave nodes, plus BFS with 20 nodes. Headline result: despite
+// Ford-Fulkerson's quadratic worst case, FFMR runtime grows near-linearly
+// with the number of edges on small-world graphs, more machines shift the
+// curve down, and FF5 stays within a small constant factor of BFS.
+#include "bench_common.h"
+
+using namespace mrflow;
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  bench::BenchEnv env = bench::parse_env(flags);
+  int w = static_cast<int>(flags.get_int("w", 32));
+  auto clusters = flags.get_int_list("clusters", {5, 10, 20});
+  int max_graph = static_cast<int>(flags.get_int("graphs", 6));
+  flags.check_unused();
+
+  std::printf(
+      "Fig. 8 reproduction: FF5 runtime vs graph size for %zu cluster\n"
+      "sizes + BFS baseline; scale=%.3f, w=%d\n\n",
+      clusters.size(), env.scale, w);
+
+  std::vector<std::string> headers = {"Graph", "Edges", "|f*|"};
+  for (int64_t c : clusters) {
+    headers.push_back("FF5(" + std::to_string(c) + "m)");
+    headers.push_back("R");
+  }
+  headers.push_back("BFS(" + std::to_string(clusters.back()) + "m)");
+  headers.push_back("R");
+  common::TextTable table(headers);
+
+  auto ladder = graph::facebook_ladder(env.scale);
+  ladder.resize(std::min<size_t>(ladder.size(), max_graph));
+  for (const auto& entry : ladder) {
+    graph::Graph g = bench::build_fb_graph(entry, env.seed);
+    size_t edges = g.num_directed_edges();
+    auto problem =
+        bench::attach_terminals(std::move(g), w, entry.avg_degree, env.seed);
+
+    std::vector<std::string> row = {
+        entry.name, bench::fmt_int(static_cast<int64_t>(edges))};
+    std::string flow_cell = "?";
+    std::vector<std::string> cells;
+    for (int64_t c : clusters) {
+      mr::Cluster cluster = env.make_cluster(static_cast<int>(c));
+      auto result = ffmr::solve_max_flow(
+          cluster, problem, bench::paper_options(ffmr::Variant::FF5, flags));
+      flow_cell = bench::fmt_int(result.max_flow);
+      cells.push_back(bench::fmt_time(result.totals.sim_seconds));
+      cells.push_back(bench::fmt_int(result.rounds));
+    }
+    {
+      mr::Cluster cluster = env.make_cluster(static_cast<int>(clusters.back()));
+      auto bfs = graph::mr_bfs(cluster, problem.graph, problem.source);
+      cells.push_back(bench::fmt_time(bfs.totals.sim_seconds));
+      cells.push_back(bench::fmt_int(bfs.rounds));
+    }
+    row.push_back(flow_cell);
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape (paper Fig. 8): near-linear runtime growth in edges\n"
+      "(log-log straight line); more machines -> lower curve; rounds stay\n"
+      "in the 6-10 band across all sizes; FF5 within a constant factor of\n"
+      "BFS.\n");
+  return 0;
+}

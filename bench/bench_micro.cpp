@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the hot paths underneath the
+// paper experiments: serialization, accumulator, generators, sequential
+// solvers. These are the knobs the cost model's CPU term measures.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ffmr/accumulator.h"
+#include "ffmr/types.h"
+#include "flow/max_flow.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace mrflow;
+
+ffmr::VertexValue make_vertex(int degree, int paths) {
+  ffmr::VertexValue v;
+  v.is_master = true;
+  for (int i = 0; i < degree; ++i) {
+    ffmr::EdgeState e;
+    e.eid = static_cast<uint64_t>(i) * 7 + 1;
+    e.neighbor = static_cast<uint64_t>(i) + 100;
+    e.cap_ab = 1;
+    e.cap_ba = 1;
+    v.edges.push_back(e);
+  }
+  for (int p = 0; p < paths; ++p) {
+    ffmr::ExcessPath path;
+    path.id = p + 1;
+    for (int i = 0; i < 8; ++i) {
+      path.edges.push_back(ffmr::PathEdge{
+          static_cast<uint64_t>(p * 8 + i), 1, static_cast<uint64_t>(i),
+          static_cast<uint64_t>(i + 1), 0, 1});
+    }
+    v.source_paths.push_back(std::move(path));
+  }
+  return v;
+}
+
+void BM_VertexEncode(benchmark::State& state) {
+  ffmr::VertexValue v =
+      make_vertex(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.encoded());
+  }
+}
+BENCHMARK(BM_VertexEncode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VertexDecodeFresh(benchmark::State& state) {
+  serde::Bytes b = make_vertex(static_cast<int>(state.range(0)), 4).encoded();
+  for (auto _ : state) {
+    serde::ByteReader r(b);
+    benchmark::DoNotOptimize(ffmr::VertexValue::decode(r));
+  }
+}
+BENCHMARK(BM_VertexDecodeFresh)->Arg(8)->Arg(64)->Arg(512);
+
+// The FF4 comparison: reuse avoids per-record vector churn.
+void BM_VertexDecodeReuse(benchmark::State& state) {
+  serde::Bytes b = make_vertex(static_cast<int>(state.range(0)), 4).encoded();
+  ffmr::VertexValue scratch;
+  for (auto _ : state) {
+    serde::ByteReader r(b);
+    ffmr::VertexValue::decode_into(r, scratch);
+    benchmark::DoNotOptimize(scratch.edges.size());
+  }
+}
+BENCHMARK(BM_VertexDecodeReuse)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AccumulatorAccept(benchmark::State& state) {
+  // Distinct 8-edge paths: every accept succeeds.
+  std::vector<ffmr::ExcessPath> paths;
+  for (int p = 0; p < 1024; ++p) {
+    ffmr::ExcessPath path;
+    for (int i = 0; i < 8; ++i) {
+      path.edges.push_back(ffmr::PathEdge{
+          static_cast<uint64_t>(p * 8 + i), 1, 0, 1, 0, 1});
+    }
+    paths.push_back(std::move(path));
+  }
+  size_t i = 0;
+  ffmr::Accumulator acc;
+  for (auto _ : state) {
+    if (i == paths.size()) {
+      acc.clear();
+      i = 0;
+    }
+    benchmark::DoNotOptimize(
+        acc.accept(paths[i++], ffmr::AcceptMode::kMaxBottleneck));
+  }
+}
+BENCHMARK(BM_AccumulatorAccept);
+
+void BM_GeneratorBarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::barabasi_albert(state.range(0), 8, 42).num_edge_pairs());
+  }
+}
+BENCHMARK(BM_GeneratorBarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GeneratorRmat(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::rmat(static_cast<int>(state.range(0)), 8, 42).num_edge_pairs());
+  }
+}
+BENCHMARK(BM_GeneratorRmat)->Arg(12)->Arg(15);
+
+void BM_SequentialDinic(benchmark::State& state) {
+  auto problem = graph::attach_super_terminals(
+      graph::facebook_like(state.range(0), 12, 7), 16, 10, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::max_flow_dinic(problem.graph, problem.source, problem.sink)
+            .value);
+  }
+}
+BENCHMARK(BM_SequentialDinic)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SequentialPushRelabel(benchmark::State& state) {
+  auto problem = graph::attach_super_terminals(
+      graph::facebook_like(state.range(0), 12, 7), 16, 10, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::max_flow_push_relabel(problem.graph, problem.source,
+                                    problem.sink)
+            .value);
+  }
+}
+BENCHMARK(BM_SequentialPushRelabel)->Arg(1 << 12);
+
+void BM_Xoshiro(benchmark::State& state) {
+  rng::Xoshiro256 r(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.next_below(1000));
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// The paper's closing conjecture, measured: "We believe the ideas presented
+// in this paper also translate to Pregel." This bench runs the same
+// max-flow problems through the MapReduce FF5 implementation and the Pregel
+// port and compares rounds/supersteps and bytes moved.
+//
+// What to expect: both need a diameter-tracking number of global barriers.
+// Fragment traffic is comparable on both sides (FF5's send-dedup already
+// minimized it); the structural win of BSP is that resident vertex state
+// removes MR's per-round whole-graph read/write (and the schimmy merge
+// input) entirely.
+#include "bench_common.h"
+#include "pregel/bfs.h"
+#include "pregel/maxflow.h"
+
+using namespace mrflow;
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  bench::BenchEnv env = bench::parse_env(flags);
+  int w = static_cast<int>(flags.get_int("w", 16));
+  int max_graph = static_cast<int>(flags.get_int("graphs", 4));
+  flags.check_unused();
+
+  std::printf(
+      "MapReduce FF5 vs Pregel port, w=%d, scale=%.3f\n"
+      "(MR bytes = shuffle; Pregel bytes = messages; both exclude resident "
+      "state)\n\n",
+      w, env.scale);
+  common::TextTable table({"Graph", "|f*| MR", "|f*| Pregel", "MR rounds",
+                           "Supersteps", "MR shuffle", "MR graph I/O",
+                           "Pregel msg bytes"});
+
+  auto ladder = graph::facebook_ladder(env.scale);
+  ladder.resize(std::min<size_t>(ladder.size(), max_graph));
+  for (const auto& entry : ladder) {
+    graph::Graph g = bench::build_fb_graph(entry, env.seed);
+    auto problem =
+        bench::attach_terminals(std::move(g), w, entry.avg_degree, env.seed);
+
+    mr::Cluster cluster = env.make_cluster();
+    auto mr_result = ffmr::solve_max_flow(
+        cluster, problem, bench::paper_options(ffmr::Variant::FF5, flags));
+
+    pregel::PregelMaxFlowOptions options;
+    options.num_workers = env.nodes;
+    auto pr = pregel::pregel_max_flow(problem.graph, problem.source,
+                                      problem.sink, options);
+
+    uint64_t graph_io = mr_result.totals.map_input_bytes +
+                        mr_result.totals.output_bytes +
+                        mr_result.totals.schimmy_bytes;
+    table.add_row({entry.name, bench::fmt_int(mr_result.max_flow),
+                   bench::fmt_int(pr.max_flow),
+                   bench::fmt_int(mr_result.rounds),
+                   bench::fmt_int(pr.supersteps),
+                   bench::fmt_bytes(mr_result.totals.shuffle_bytes),
+                   bench::fmt_bytes(graph_io),
+                   bench::fmt_bytes(pr.stats.total_message_bytes)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: identical max-flow values; supersteps in the same\n"
+      "diameter-tracking band as MR rounds (Pregel runs the strict\n"
+      "termination probe, roughly doubling them). Fragment traffic is\n"
+      "comparable -- FF5 already minimized it -- but the MR column\n"
+      "'graph I/O' (re-reading and re-writing every vertex record every\n"
+      "round, plus the schimmy merge input) disappears entirely on Pregel:\n"
+      "resident state is the BSP model's structural win.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// The small-world hypothesis test (paper Secs. I, III): FFMR's round count
+// tracks the graph diameter, so it is practical exactly on low-diameter
+// graphs. We run FF5 on four graph families of comparable size -- three
+// small-world (Watts-Strogatz, Barabasi-Albert, R-MAT) and one
+// high-diameter control (2-D grid) -- and report diameter estimate, MR-BFS
+// rounds and FF5 rounds side by side.
+#include "bench_common.h"
+
+using namespace mrflow;
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  bench::BenchEnv env = bench::parse_env(flags);
+  auto n = static_cast<graph::VertexId>(flags.get_int("vertices", 4096));
+  flags.check_unused();
+
+  std::printf(
+      "Small-world dependence: FF5 rounds vs diameter, %llu-vertex graphs\n\n",
+      static_cast<unsigned long long>(n));
+
+  struct Family {
+    std::string name;
+    graph::Graph g;
+  };
+  graph::VertexId side = 1;
+  while (side * side < n) ++side;
+  std::vector<Family> families;
+  families.push_back({"watts-strogatz", graph::watts_strogatz(n, 8, 0.2, env.seed)});
+  families.push_back({"barabasi-albert", graph::barabasi_albert(n, 4, env.seed)});
+  int scale_bits = 0;
+  while ((graph::VertexId{1} << scale_bits) < n) ++scale_bits;
+  families.push_back({"rmat", graph::rmat(scale_bits, 4, env.seed)});
+  families.push_back({"grid (control)", graph::grid(side, side)});
+
+  common::TextTable table({"Family", "Edges", "Diameter~", "BFS rounds",
+                           "FF5 rounds", "|f*|", "Sim Time"});
+  for (auto& family : families) {
+    uint32_t diameter = graph::estimate_diameter(family.g, 4, env.seed);
+    // Terminals: the two highest-degree vertices (heavy-tailed generators
+    // such as R-MAT leave low ids isolated; corner-to-corner for the grid).
+    graph::VertexId s = 0, t = family.g.num_vertices() - 1;
+    if (family.g.degree(s) == 0 || family.g.degree(t) == 0 ||
+        family.name == "rmat") {
+      size_t best1 = 0, best2 = 0;
+      for (graph::VertexId v = 0; v < family.g.num_vertices(); ++v) {
+        size_t d = family.g.degree(v);
+        if (d > best1) {
+          best2 = best1;
+          t = s;
+          best1 = d;
+          s = v;
+        } else if (d > best2) {
+          best2 = d;
+          t = v;
+        }
+      }
+    }
+
+    mr::Cluster bfs_cluster = env.make_cluster();
+    graph::MrBfsOptions bfs_options;
+    bfs_options.max_rounds = 512;  // the grid control needs O(sqrt(V))
+    auto bfs = graph::mr_bfs(bfs_cluster, family.g, s, bfs_options);
+
+    mr::Cluster cluster = env.make_cluster();
+    ffmr::FfmrOptions options;
+    options.variant = ffmr::Variant::FF5;
+    auto result = ffmr::solve_max_flow(cluster, family.g, s, t, options);
+
+    table.add_row({family.name,
+                   bench::fmt_int(static_cast<int64_t>(
+                       family.g.num_directed_edges())),
+                   bench::fmt_int(diameter), bench::fmt_int(bfs.rounds),
+                   bench::fmt_int(result.rounds),
+                   bench::fmt_int(result.max_flow),
+                   bench::fmt_time(result.totals.sim_seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: the three small-world families finish in rounds close to\n"
+      "their (small) diameter; the grid control needs rounds on the order\n"
+      "of its O(sqrt(V)) diameter -- the regime the paper's 75-year\n"
+      "back-of-envelope warns about.\n");
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "common/counters.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,70 @@
+// Named event counters, mirroring Hadoop's job counters.
+//
+// The paper's algorithms use counters as the *control channel* of the
+// multi-round driver: REDUCE increments 'source move' / 'sink move', and the
+// main program reads them after the job completes to decide termination
+// (paper Fig. 2 lines 7-10). Counters are also how we export per-round
+// statistics (map output records, shuffle bytes, ...) for Table I / Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mrflow::common {
+
+class CounterSet {
+ public:
+  CounterSet() = default;
+  CounterSet(const CounterSet& other) : values_(other.snapshot()) {}
+  CounterSet& operator=(const CounterSet& other) {
+    if (this != &other) {
+      auto snap = other.snapshot();
+      std::lock_guard<std::mutex> lk(mu_);
+      values_ = std::move(snap);
+    }
+    return *this;
+  }
+
+  void increment(const std::string& name, int64_t delta = 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    values_[name] += delta;
+  }
+
+  // Sets an absolute value (used for gauges like max queue size).
+  void set_max(const std::string& name, int64_t value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& v = values_[name];
+    if (value > v) v = value;
+  }
+
+  int64_t value(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  // Merge another counter set into this one (summing values).
+  void merge(const CounterSet& other) {
+    auto snap = other.snapshot();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [k, v] : snap) values_[k] += v;
+  }
+
+  std::map<std::string, int64_t> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return values_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    values_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace mrflow::common

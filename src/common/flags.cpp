@@ -1,0 +1,101 @@
+#include "common/flags.h"
+
+#include <stdexcept>
+
+namespace mrflow::common {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' not supported");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "true";  // bare --flag is boolean
+    }
+  }
+}
+
+std::optional<std::string> Flags::lookup(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  used_[name] = true;
+  return it->second;
+}
+
+bool Flags::has(const std::string& name) const {
+  return lookup(name).has_value();
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  auto v = lookup(name);
+  return v ? *v : def;
+}
+
+int64_t Flags::get_int(const std::string& name, int64_t def) const {
+  auto v = lookup(name);
+  if (!v) return def;
+  size_t pos = 0;
+  int64_t out = std::stoll(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("flag --" + name + " is not an integer: " + *v);
+  }
+  return out;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto v = lookup(name);
+  if (!v) return def;
+  size_t pos = 0;
+  double out = std::stod(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("flag --" + name + " is not a number: " + *v);
+  }
+  return out;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto v = lookup(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " is not a bool: " + *v);
+}
+
+std::vector<int64_t> Flags::get_int_list(const std::string& name,
+                                         std::vector<int64_t> def) const {
+  auto v = lookup(name);
+  if (!v) return def;
+  std::vector<int64_t> out;
+  size_t start = 0;
+  while (start <= v->size()) {
+    size_t comma = v->find(',', start);
+    std::string tok = v->substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("flag --" + name + " has no values");
+  }
+  return out;
+}
+
+void Flags::check_unused() const {
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!used_.count(k)) {
+      throw std::invalid_argument("unknown flag --" + k);
+    }
+  }
+}
+
+}  // namespace mrflow::common

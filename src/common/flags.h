@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Syntax: --name=value; bare --flag sets a bool to true.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mrflow::common {
+
+class Flags {
+ public:
+  // Parses argv. Throws std::invalid_argument on malformed input.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  int64_t get_int(const std::string& name, int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Comma-separated integer list, e.g. --w=1,2,4,8.
+  std::vector<int64_t> get_int_list(const std::string& name,
+                                    std::vector<int64_t> def) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Call after all get_* lookups: throws if any parsed flag was never
+  // consumed (catches typos). Bench mains call this before running.
+  void check_unused() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mrflow::common

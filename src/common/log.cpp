@@ -1,0 +1,40 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mrflow::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mu;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  using namespace std::chrono;
+  auto now = duration_cast<milliseconds>(
+                 steady_clock::now().time_since_epoch())
+                 .count();
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::fprintf(stderr, "[%s %8lld.%03lld] %s\n", level_name(level),
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), msg.c_str());
+}
+
+}  // namespace mrflow::common

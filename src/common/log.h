@@ -1,0 +1,46 @@
+// Leveled logging to stderr with a global verbosity switch.
+//
+// The MR driver logs one line per round at INFO; DEBUG traces task
+// scheduling. Benches default to WARN so tables stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mrflow::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Internal: emit a formatted line if level is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mrflow::common
+
+#define MRFLOW_LOG(level) \
+  if (::mrflow::common::log_level() <= ::mrflow::common::LogLevel::level) \
+  ::mrflow::common::detail::LogMessage(::mrflow::common::LogLevel::level)
+
+#define LOG_DEBUG MRFLOW_LOG(kDebug)
+#define LOG_INFO MRFLOW_LOG(kInfo)
+#define LOG_WARN MRFLOW_LOG(kWarn)
+#define LOG_ERROR MRFLOW_LOG(kError)

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mrflow::rng {
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Xoshiro256::operator()() {
+  uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::next_below(uint64_t n) {
+  if (n == 0) throw std::invalid_argument("next_below(0)");
+  // Lemire's unbiased bounded generation.
+  while (true) {
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo >= n || lo >= (~0ULL - n + 1) % n) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+int64_t Xoshiro256::next_range(int64_t lo, int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("next_range: lo > hi");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::next_bool(double p) { return next_double() < p; }
+
+Xoshiro256 Xoshiro256::fork() { return Xoshiro256((*this)()); }
+
+std::vector<uint64_t> Xoshiro256::sample_without_replacement(uint64_t n,
+                                                             uint64_t k) {
+  if (k > n) throw std::invalid_argument("sample: k > n");
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index vector.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + next_below(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling with a hash set.
+    std::unordered_set<uint64_t> seen;
+    while (out.size() < k) {
+      uint64_t v = next_below(n);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrflow::rng

@@ -1,0 +1,63 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in the repository (graph generators, super
+// source/sink selection, workload sweeps) takes an explicit seed so that
+// experiments are reproducible run-to-run and across machines. We use
+// splitmix64 for seeding and xoshiro256** for the stream, both of which are
+// well-studied and have no global state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mrflow::rng {
+
+// splitmix64: used to derive well-mixed seeds from small user seeds.
+uint64_t splitmix64(uint64_t& state);
+
+// xoshiro256** generator; satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t next_below(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  // Fork an independent stream (for per-thread / per-task determinism).
+  Xoshiro256 fork();
+
+  // Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct values from [0, n) without replacement (k <= n).
+  std::vector<uint64_t> sample_without_replacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mrflow::rng

@@ -1,0 +1,42 @@
+#include "common/serde.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mrflow::serde {
+
+std::string human_bytes(uint64_t n) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(n);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  auto total = static_cast<uint64_t>(std::llround(seconds));
+  uint64_t h = total / 3600;
+  uint64_t m = (total % 3600) / 60;
+  uint64_t s = total % 60;
+  char buf[32];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu", (unsigned long long)h,
+                  (unsigned long long)m, (unsigned long long)s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu", (unsigned long long)m,
+                  (unsigned long long)s);
+  }
+  return buf;
+}
+
+}  // namespace mrflow::serde

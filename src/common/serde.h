@@ -1,0 +1,190 @@
+// Byte-level serialization used at every storage and shuffle boundary.
+//
+// The MapReduce engine (src/mapreduce) stores records as raw byte strings in
+// the simulated DFS, exactly like Hadoop SequenceFiles store Writables.
+// Every typed record (vertex values, excess paths, edge lists, ...) encodes
+// itself through ByteWriter / ByteReader so that the byte counts the engine
+// reports (shuffle bytes, DFS I/O bytes) are the real serialized sizes --
+// the paper's Fig. 7 and Table I analyses are about those counts.
+//
+// Encoding conventions:
+//   - unsigned integers: LEB128 varint (small ids stay small on the wire)
+//   - signed integers:   zigzag + varint
+//   - strings / blobs:   varint length prefix + bytes
+//   - containers:        varint count + elements
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrflow::serde {
+
+using Bytes = std::string;
+
+// Thrown when a decoder runs off the end of its buffer or sees malformed
+// input. Decoding failures indicate corrupted records and are programming
+// or storage errors, never expected control flow.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes* out) : external_(out) {}
+
+  void put_u8(uint8_t v) { buf().push_back(static_cast<char>(v)); }
+
+  void put_varint(uint64_t v) {
+    while (v >= 0x80) {
+      put_u8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    put_u8(static_cast<uint8_t>(v));
+  }
+
+  void put_signed(int64_t v) {
+    // zigzag: small magnitudes (positive or negative) encode small.
+    put_varint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  void put_u64_fixed(uint64_t v) {
+    char tmp[8];
+    std::memcpy(tmp, &v, 8);
+    buf().append(tmp, 8);
+  }
+
+  void put_double(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_u64_fixed(bits);
+  }
+
+  void put_bytes(std::string_view s) {
+    put_varint(s.size());
+    buf().append(s.data(), s.size());
+  }
+
+  void put_raw(std::string_view s) { buf().append(s.data(), s.size()); }
+
+  const Bytes& bytes() const { return external_ ? *external_ : owned_; }
+  Bytes take() { return external_ ? std::move(*external_) : std::move(owned_); }
+  size_t size() const { return bytes().size(); }
+  void clear() { buf().clear(); }
+
+ private:
+  Bytes& buf() { return external_ ? *external_ : owned_; }
+  Bytes owned_;
+  Bytes* external_ = nullptr;
+};
+
+// Reads primitive values from a byte buffer; bounds-checked.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t get_u8() {
+    require(1);
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t get_varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      uint8_t b = get_u8();
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      if (shift >= 64) throw DecodeError("varint too long");
+    }
+  }
+
+  int64_t get_signed() {
+    uint64_t z = get_varint();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  uint64_t get_u64_fixed() {
+    require(8);
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  double get_double() {
+    uint64_t bits = get_u64_fixed();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string_view get_bytes() {
+    uint64_t n = get_varint();
+    require(n);
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  void require(size_t n) const {
+    if (data_.size() - pos_ < n) throw DecodeError("buffer underrun");
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Convenience: encode a single value that provides encode(ByteWriter&).
+template <typename T>
+Bytes encode_one(const T& v) {
+  ByteWriter w;
+  v.encode(w);
+  return w.take();
+}
+
+// Convenience: decode a single value that provides static decode(ByteReader&).
+template <typename T>
+T decode_one(std::string_view data) {
+  ByteReader r(data);
+  T v = T::decode(r);
+  if (!r.at_end()) throw DecodeError("trailing bytes after decode");
+  return v;
+}
+
+// Built-in codecs for primitives, used by the typed MapReduce adapters.
+struct U64Codec {
+  static void encode(uint64_t v, ByteWriter& w) { w.put_varint(v); }
+  static uint64_t decode(ByteReader& r) { return r.get_varint(); }
+};
+
+struct I64Codec {
+  static void encode(int64_t v, ByteWriter& w) { w.put_signed(v); }
+  static int64_t decode(ByteReader& r) { return r.get_signed(); }
+};
+
+struct StringCodec {
+  static void encode(const std::string& v, ByteWriter& w) { w.put_bytes(v); }
+  static std::string decode(ByteReader& r) { return std::string(r.get_bytes()); }
+};
+
+// Human-readable byte quantity, e.g. "1.5 MB" (used in bench tables).
+std::string human_bytes(uint64_t n);
+
+// Human-readable duration from seconds, e.g. "1:36:37" like the paper's
+// Table I Runtime column.
+std::string human_duration(double seconds);
+
+}  // namespace mrflow::serde

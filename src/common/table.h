@@ -1,0 +1,32 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the same rows/series as the paper's tables and
+// figures; this helper keeps the output aligned and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrflow::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; entries beyond the header count are dropped, missing ones
+  // render empty.
+  void add_row(std::vector<std::string> row);
+
+  std::string render() const;
+
+  // Formatting helpers for cells.
+  static std::string fmt_int(int64_t v);          // 12,345,678
+  static std::string fmt_double(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrflow::common

@@ -1,0 +1,47 @@
+// Fixed-size thread pool used by the MapReduce engine to execute map and
+// reduce tasks with real parallelism (the *simulated* cluster determines
+// scheduling and timing; the pool only provides CPU concurrency).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrflow::common {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  // Enqueue a task; returns a future for its completion. Exceptions thrown
+  // by the task propagate through the future.
+  std::future<void> submit(std::function<void()> fn);
+
+  // Run fn(i) for i in [0, n) across the pool and wait for all. The first
+  // exception (if any) is rethrown on the caller thread after all tasks
+  // complete or are drained.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mrflow::common

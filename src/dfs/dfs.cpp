@@ -1,0 +1,324 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mrflow::dfs {
+
+namespace {
+
+class MemoryBackend final : public StorageBackend {
+ public:
+  void put(uint64_t block_id, Bytes payload) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    blocks_[block_id] = std::move(payload);
+  }
+  Bytes get(uint64_t block_id) const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return blocks_.at(block_id);
+  }
+  void erase(uint64_t block_id) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    blocks_.erase(block_id);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Bytes> blocks_;
+};
+
+class DiskBackend final : public StorageBackend {
+ public:
+  explicit DiskBackend(std::string dir) : dir_(std::move(dir)) {
+    std::filesystem::create_directories(dir_);
+  }
+  void put(uint64_t block_id, Bytes payload) override {
+    std::ofstream out(path(block_id), std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("disk backend: cannot write block");
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  Bytes get(uint64_t block_id) const override {
+    std::ifstream in(path(block_id), std::ios::binary | std::ios::ate);
+    if (!in) throw std::out_of_range("disk backend: missing block");
+    auto n = in.tellg();
+    Bytes out(static_cast<size_t>(n), '\0');
+    in.seekg(0);
+    in.read(out.data(), n);
+    return out;
+  }
+  void erase(uint64_t block_id) override {
+    std::error_code ec;
+    std::filesystem::remove(path(block_id), ec);
+  }
+
+ private:
+  std::string path(uint64_t id) const {
+    return dir_ + "/block_" + std::to_string(id);
+  }
+  std::string dir_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> make_memory_backend() {
+  return std::make_unique<MemoryBackend>();
+}
+
+std::unique_ptr<StorageBackend> make_disk_backend(std::string dir) {
+  return std::make_unique<DiskBackend>(std::move(dir));
+}
+
+uint64_t IoStats::total_read() const {
+  return std::accumulate(read_bytes.begin(), read_bytes.end(), uint64_t{0});
+}
+uint64_t IoStats::total_write() const {
+  return std::accumulate(write_bytes.begin(), write_bytes.end(), uint64_t{0});
+}
+
+// ---------------------------------------------------------------- FileWriter
+
+FileWriter::FileWriter(FileSystem* fs, std::string name)
+    : fs_(fs), name_(std::move(name)) {}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : fs_(other.fs_),
+      name_(std::move(other.name_)),
+      current_(std::move(other.current_)),
+      blocks_(std::move(other.blocks_)),
+      bytes_written_(other.bytes_written_),
+      closed_(other.closed_) {
+  other.closed_ = true;  // moved-from writer must not commit
+}
+
+FileWriter::~FileWriter() { close(); }
+
+void FileWriter::append(std::string_view data) {
+  if (closed_) throw std::logic_error("append on closed writer");
+  current_.append(data.data(), data.size());
+  bytes_written_ += data.size();
+  if (current_.size() >= fs_->config_.block_size) flush_block();
+}
+
+void FileWriter::flush_block() {
+  if (current_.empty()) return;
+  BlockInfo info;
+  {
+    std::lock_guard<std::mutex> lk(fs_->mu_);
+    info.id = fs_->next_block_id_++;
+  }
+  info.size = current_.size();
+  info.replicas = fs_->place_replicas(info.id);
+  fs_->account_write(info.replicas, info.size);
+  fs_->backend_->put(info.id, std::move(current_));
+  current_.clear();
+  blocks_.push_back(std::move(info));
+}
+
+void FileWriter::close() {
+  if (closed_) return;
+  flush_block();
+  fs_->commit_file(name_, std::move(blocks_), bytes_written_);
+  closed_ = true;
+}
+
+// ---------------------------------------------------------------- FileReader
+
+FileReader::FileReader(const FileSystem* fs, FileInfo info, int reader_node)
+    : fs_(fs), info_(std::move(info)), reader_node_(reader_node),
+      size_(info_.size) {}
+
+void FileReader::ensure_block() {
+  while (pos_ >= current_.size() && block_idx_ < info_.blocks.size()) {
+    current_ = fs_->fetch_block(info_.blocks[block_idx_], reader_node_);
+    ++block_idx_;
+    pos_ = 0;
+  }
+}
+
+std::string_view FileReader::read(size_t n) {
+  ensure_block();
+  if (pos_ >= current_.size()) return {};
+  size_t take = std::min(n, current_.size() - pos_);
+  std::string_view out(current_.data() + pos_, take);
+  pos_ += take;
+  return out;
+}
+
+bool FileReader::at_end() const {
+  return pos_ >= current_.size() && block_idx_ >= info_.blocks.size();
+}
+
+// ---------------------------------------------------------------- FileSystem
+
+FileSystem::FileSystem(DfsConfig config, std::unique_ptr<StorageBackend> backend)
+    : config_(config),
+      backend_(backend ? std::move(backend) : make_memory_backend()) {
+  if (config_.num_nodes < 1) throw std::invalid_argument("num_nodes < 1");
+  config_.replication =
+      std::clamp(config_.replication, 1, config_.num_nodes);
+  if (config_.block_size == 0) throw std::invalid_argument("block_size == 0");
+  io_.read_bytes.assign(config_.num_nodes, 0);
+  io_.write_bytes.assign(config_.num_nodes, 0);
+}
+
+FileSystem::~FileSystem() = default;
+
+FileWriter FileSystem::create(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    for (const auto& b : it->second.blocks) backend_->erase(b.id);
+    files_.erase(it);
+  }
+  return FileWriter(this, name);
+}
+
+FileReader FileSystem::open(const std::string& name, int reader_node) const {
+  return FileReader(this, stat(name), reader_node);
+}
+
+Bytes FileSystem::read_all(const std::string& name, int reader_node) const {
+  FileReader r = open(name, reader_node);
+  Bytes out;
+  out.reserve(r.size());
+  while (!r.at_end()) {
+    auto chunk = r.read(1 << 20);
+    out.append(chunk.data(), chunk.size());
+  }
+  return out;
+}
+
+void FileSystem::write_all(const std::string& name, std::string_view data) {
+  FileWriter w = create(name);
+  w.append(data);
+  w.close();
+}
+
+Bytes FileSystem::read_block(const std::string& name, size_t block_index,
+                             int reader_node) const {
+  FileInfo info = stat(name);
+  if (block_index >= info.blocks.size()) {
+    throw std::out_of_range("read_block: block index out of range");
+  }
+  return fetch_block(info.blocks[block_index], reader_node);
+}
+
+bool FileSystem::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.count(name) > 0;
+}
+
+void FileSystem::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  for (const auto& b : it->second.blocks) backend_->erase(b.id);
+  files_.erase(it);
+}
+
+void FileSystem::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    throw std::invalid_argument("rename: no such file: " + from);
+  }
+  FileInfo info = std::move(it->second);
+  files_.erase(it);
+  info.name = to;
+  auto old = files_.find(to);
+  if (old != files_.end()) {
+    for (const auto& b : old->second.blocks) backend_->erase(b.id);
+    files_.erase(old);
+  }
+  files_[to] = std::move(info);
+}
+
+FileInfo FileSystem::stat(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::invalid_argument("dfs: no such file: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> FileSystem::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t FileSystem::file_size(const std::string& name) const {
+  return stat(name).size;
+}
+
+IoStats FileSystem::io_stats() const {
+  std::lock_guard<std::mutex> lk(io_mu_);
+  return io_;
+}
+
+void FileSystem::reset_io_stats() {
+  std::lock_guard<std::mutex> lk(io_mu_);
+  io_.read_bytes.assign(config_.num_nodes, 0);
+  io_.write_bytes.assign(config_.num_nodes, 0);
+}
+
+uint64_t FileSystem::total_stored_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, info] : files_) {
+    (void)name;
+    total += info.size;
+  }
+  return total;
+}
+
+std::vector<int> FileSystem::place_replicas(uint64_t block_id) const {
+  // Deterministic round-robin seeded by the block id: spreads replicas
+  // across nodes without coordination, like HDFS's default placement.
+  std::vector<int> replicas;
+  replicas.reserve(config_.replication);
+  int start = static_cast<int>(block_id % config_.num_nodes);
+  for (int i = 0; i < config_.replication; ++i) {
+    replicas.push_back((start + i) % config_.num_nodes);
+  }
+  return replicas;
+}
+
+void FileSystem::commit_file(const std::string& name,
+                             std::vector<BlockInfo> blocks, uint64_t size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  FileInfo info;
+  info.name = name;
+  info.size = size;
+  info.blocks = std::move(blocks);
+  auto old = files_.find(name);
+  if (old != files_.end()) {
+    for (const auto& b : old->second.blocks) backend_->erase(b.id);
+  }
+  files_[name] = std::move(info);
+}
+
+Bytes FileSystem::fetch_block(const BlockInfo& block, int reader_node) const {
+  if (reader_node >= 0) {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    io_.read_bytes[reader_node % config_.num_nodes] += block.size;
+  }
+  return backend_->get(block.id);
+}
+
+void FileSystem::account_write(const std::vector<int>& replicas, uint64_t n) {
+  std::lock_guard<std::mutex> lk(io_mu_);
+  for (int node : replicas) io_.write_bytes[node] += n;
+}
+
+}  // namespace mrflow::dfs

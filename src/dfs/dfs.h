@@ -1,0 +1,194 @@
+// Simulated distributed file system (the paper's DFS_MR / HDFS stand-in).
+//
+// Files are sequences of blocks; each block is replicated on `replication`
+// distinct simulated nodes. The MapReduce engine uses block locations for
+// locality-aware map-task placement, and the per-node I/O accounting feeds
+// the cluster cost model (time = bytes / disk bandwidth, see
+// mapreduce/cluster.h). Blocks can live in memory (default, fast) or on the
+// local disk under a spill directory (exercises a real I/O path).
+//
+// Concurrency: the filesystem is thread-safe for concurrent reads of
+// distinct or shared files and concurrent writes to *distinct* files. A
+// single file must have at most one writer (matching HDFS semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace mrflow::dfs {
+
+using serde::Bytes;
+
+// Storage for block payloads. Implementations must be thread-safe.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+  // Stores payload under the given unique block id.
+  virtual void put(uint64_t block_id, Bytes payload) = 0;
+  // Retrieves a block payload; throws std::out_of_range if missing.
+  virtual Bytes get(uint64_t block_id) const = 0;
+  virtual void erase(uint64_t block_id) = 0;
+};
+
+// Keeps all blocks in a hash map in memory.
+std::unique_ptr<StorageBackend> make_memory_backend();
+
+// Writes each block to `<dir>/block_<id>` on the local filesystem. The
+// directory must exist and be writable; files are cleaned on erase.
+std::unique_ptr<StorageBackend> make_disk_backend(std::string dir);
+
+struct DfsConfig {
+  int num_nodes = 4;          // simulated datanodes
+  int replication = 2;        // copies per block (clamped to num_nodes)
+  uint64_t block_size = 4ull << 20;  // soft block size in bytes
+};
+
+// Per-node I/O totals, consumed by the cluster cost model.
+struct IoStats {
+  std::vector<uint64_t> read_bytes;   // indexed by node
+  std::vector<uint64_t> write_bytes;  // indexed by node
+  uint64_t total_read() const;
+  uint64_t total_write() const;
+};
+
+struct BlockInfo {
+  uint64_t id = 0;
+  uint64_t size = 0;
+  std::vector<int> replicas;  // node ids holding a copy
+};
+
+struct FileInfo {
+  std::string name;
+  uint64_t size = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+class FileSystem;
+
+// Streaming writer; cuts a new block whenever the current one exceeds the
+// configured block size. append() never splits the given buffer across
+// blocks (records stay whole, like SequenceFile sync points). The file
+// becomes visible to readers only after close() (or destruction).
+class FileWriter {
+ public:
+  ~FileWriter();
+  FileWriter(FileWriter&&) noexcept;
+  FileWriter& operator=(FileWriter&&) = delete;
+  FileWriter(const FileWriter&) = delete;
+
+  void append(std::string_view data);
+  // Seals the file. Idempotent.
+  void close();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  friend class FileSystem;
+  FileWriter(FileSystem* fs, std::string name);
+  void flush_block();
+
+  FileSystem* fs_;
+  std::string name_;
+  Bytes current_;
+  std::vector<BlockInfo> blocks_;
+  uint64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+// Sequential reader over a whole file (all blocks concatenated). Reads are
+// attributed to `reader_node` for I/O accounting; pass -1 for "off-cluster"
+// reads (e.g. the driver reading side files), which are not attributed.
+class FileReader {
+ public:
+  // Reads up to n bytes; returns the bytes read (empty at EOF). May return
+  // fewer than n at block boundaries. The returned view is valid until the
+  // next read() call (it points into the current block's buffer).
+  std::string_view read(size_t n);
+  bool at_end() const;
+  uint64_t size() const { return size_; }
+
+ private:
+  friend class FileSystem;
+  FileReader(const FileSystem* fs, FileInfo info, int reader_node);
+  void ensure_block();
+
+  const FileSystem* fs_;
+  FileInfo info_;
+  int reader_node_;
+  size_t block_idx_ = 0;
+  Bytes current_;
+  size_t pos_ = 0;
+  uint64_t size_ = 0;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(DfsConfig config,
+                      std::unique_ptr<StorageBackend> backend = nullptr);
+  ~FileSystem();
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  const DfsConfig& config() const { return config_; }
+
+  // Creates (or overwrites) a file and returns its writer.
+  FileWriter create(const std::string& name);
+
+  // Opens an existing file for reading; throws std::invalid_argument if the
+  // file does not exist.
+  FileReader open(const std::string& name, int reader_node = -1) const;
+
+  // Reads the whole file into a single buffer (convenience for side files).
+  Bytes read_all(const std::string& name, int reader_node = -1) const;
+
+  // Writes data as a single file in one call.
+  void write_all(const std::string& name, std::string_view data);
+
+  // Reads one block of a file (map tasks process single blocks). Reads are
+  // attributed to reader_node unless it is -1.
+  Bytes read_block(const std::string& name, size_t block_index,
+                   int reader_node = -1) const;
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+  void rename(const std::string& from, const std::string& to);
+  FileInfo stat(const std::string& name) const;
+  // Names of files whose name starts with prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+  uint64_t file_size(const std::string& name) const;
+
+  IoStats io_stats() const;
+  void reset_io_stats();
+
+  // Total bytes stored across all live files (the paper's "Size" /
+  // "Max Size" columns track this).
+  uint64_t total_stored_bytes() const;
+
+ private:
+  friend class FileWriter;
+  friend class FileReader;
+
+  std::vector<int> place_replicas(uint64_t block_id) const;
+  void commit_file(const std::string& name, std::vector<BlockInfo> blocks,
+                   uint64_t size);
+  Bytes fetch_block(const BlockInfo& block, int reader_node) const;
+  void account_write(const std::vector<int>& replicas, uint64_t n);
+
+  DfsConfig config_;
+  std::unique_ptr<StorageBackend> backend_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileInfo> files_;
+  uint64_t next_block_id_ = 1;
+
+  mutable std::mutex io_mu_;
+  mutable IoStats io_;  // reads are accounted from const read paths
+};
+
+}  // namespace mrflow::dfs

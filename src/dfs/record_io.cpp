@@ -1,0 +1,54 @@
+#include "dfs/record_io.h"
+
+namespace mrflow::dfs {
+
+void append_record(serde::Bytes& out, std::string_view key,
+                   std::string_view value) {
+  serde::ByteWriter w(&out);
+  w.put_bytes(key);
+  w.put_bytes(value);
+}
+
+void RecordWriter::write(std::string_view key, std::string_view value) {
+  scratch_.clear();
+  append_record(scratch_, key, value);
+  writer_.append(scratch_);
+  ++records_;
+}
+
+void RecordReader::refill() {
+  // Compact consumed prefix, then append the next chunk from the file.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  auto chunk = reader_.read(1 << 20);
+  buffer_.append(chunk.data(), chunk.size());
+}
+
+std::optional<RecordRef> RecordReader::next() {
+  while (true) {
+    // Try to decode one record from the buffered bytes.
+    serde::ByteReader r(std::string_view(buffer_).substr(pos_));
+    if (!r.at_end()) {
+      try {
+        std::string_view key = r.get_bytes();
+        std::string_view value = r.get_bytes();
+        pos_ += r.pos();
+        ++records_;
+        return RecordRef{key, value};
+      } catch (const serde::DecodeError&) {
+        // Partial record at buffer end; fall through to refill.
+      }
+    }
+    if (reader_.at_end()) {
+      if (pos_ < buffer_.size()) {
+        throw serde::DecodeError("truncated record at end of file");
+      }
+      return std::nullopt;
+    }
+    refill();
+  }
+}
+
+}  // namespace mrflow::dfs

@@ -1,0 +1,80 @@
+// Record-oriented I/O on top of DFS byte files (the SequenceFile analog).
+//
+// A record file is a stream of (key, value) byte-string pairs, each framed
+// as: varint key length, key bytes, varint value length, value bytes.
+// The writer emits one whole record per FileWriter::append call, so records
+// never straddle DFS block boundaries and any block can be decoded on its
+// own (this is what lets the MapReduce engine split map input by block).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/serde.h"
+#include "dfs/dfs.h"
+
+namespace mrflow::dfs {
+
+struct RecordRef {
+  std::string_view key;
+  std::string_view value;
+};
+
+class RecordWriter {
+ public:
+  RecordWriter(FileSystem* fs, const std::string& name)
+      : writer_(fs->create(name)) {}
+
+  void write(std::string_view key, std::string_view value);
+  void close() { writer_.close(); }
+  uint64_t bytes_written() const { return writer_.bytes_written(); }
+  uint64_t records_written() const { return records_; }
+
+ private:
+  FileWriter writer_;
+  serde::Bytes scratch_;
+  uint64_t records_ = 0;
+};
+
+// Streams records out of a record file. The string_views returned by next()
+// are valid until the following next() call.
+class RecordReader {
+ public:
+  RecordReader(const FileSystem* fs, const std::string& name,
+               int reader_node = -1)
+      : reader_(fs->open(name, reader_node)) {}
+
+  // Returns the next record, or nullopt at end of file.
+  std::optional<RecordRef> next();
+
+  uint64_t records_read() const { return records_; }
+
+ private:
+  void refill();
+
+  FileReader reader_;
+  serde::Bytes buffer_;
+  size_t pos_ = 0;
+  uint64_t records_ = 0;
+};
+
+// Decodes all records in a raw byte buffer (used for shuffle partitions and
+// single blocks). Calls fn(key, value) per record.
+template <typename Fn>
+void for_each_record(std::string_view data, Fn&& fn) {
+  serde::ByteReader r(data);
+  while (!r.at_end()) {
+    std::string_view key = r.get_bytes();
+    std::string_view value = r.get_bytes();
+    fn(key, value);
+  }
+}
+
+// Appends one framed record to a byte buffer (the inverse of
+// for_each_record's framing).
+void append_record(serde::Bytes& out, std::string_view key,
+                   std::string_view value);
+
+}  // namespace mrflow::dfs

@@ -1,0 +1,100 @@
+#include "ffmr/accumulator.h"
+
+#include <algorithm>
+
+namespace mrflow::ffmr {
+
+Capacity Accumulator::evaluate_and_collect(
+    const ExcessPath& path, AcceptMode mode,
+    std::unordered_map<EdgeId, Capacity>* net_out) const {
+  if (path.edges.empty()) {
+    // The empty path (the seed stored at the source/sink vertex) uses no
+    // edges: always storable, never an augmenting path.
+    return mode == AcceptMode::kReserveOne ? 1 : 0;
+  }
+
+  // Net traversal multiplicity per edge pair, plus the flow/capacity data
+  // needed to compute directional residuals.
+  struct EdgeUse {
+    Capacity net = 0;         // +n: crossed a->b n more times than b->a
+    Capacity flow = 0;        // pair flow from the path entry
+    Capacity cap_fwd_pos = -1;  // capacity a->b if seen, else -1
+    Capacity cap_fwd_neg = -1;  // capacity b->a if seen, else -1
+  };
+  std::unordered_map<EdgeId, EdgeUse> uses;
+  uses.reserve(path.edges.size());
+  for (const PathEdge& e : path.edges) {
+    EdgeUse& u = uses[e.eid];
+    u.net += e.dir;
+    u.flow = e.flow;
+    if (e.dir > 0) {
+      u.cap_fwd_pos = e.cap_fwd;
+    } else {
+      u.cap_fwd_neg = e.cap_fwd;
+    }
+  }
+
+  // The largest amount the path supports given current pending flow.
+  Capacity amount = graph::kInfiniteCap;
+  for (const auto& [eid, u] : uses) {
+    if (u.net == 0) continue;  // opposing uses cancel: no constraint
+    Capacity pending_flow = u.flow + pending(eid);
+    Capacity residual;
+    if (u.net > 0) {
+      if (u.cap_fwd_pos < 0) return 0;  // inconsistent path data
+      residual = u.cap_fwd_pos - pending_flow;
+    } else {
+      if (u.cap_fwd_neg < 0) return 0;
+      residual = u.cap_fwd_neg + pending_flow;
+    }
+    Capacity multiplicity = u.net > 0 ? u.net : -u.net;
+    amount = std::min(amount, residual / multiplicity);
+    if (amount <= 0) return 0;
+  }
+
+  if (mode == AcceptMode::kReserveOne) amount = 1;
+  if (net_out) {
+    for (const auto& [eid, u] : uses) {
+      if (u.net != 0) (*net_out)[eid] = u.net * amount;
+    }
+  }
+  return amount;
+}
+
+Capacity Accumulator::accept(const ExcessPath& path, AcceptMode mode) {
+  std::unordered_map<EdgeId, Capacity> net;
+  Capacity amount = evaluate_and_collect(path, mode, &net);
+  if (amount <= 0) return 0;
+  for (const auto& [eid, delta] : net) pending_[eid] += delta;
+  ++accepted_count_;
+  accepted_amount_ += amount;
+  return amount;
+}
+
+Capacity Accumulator::evaluate(const ExcessPath& path, AcceptMode mode) const {
+  return evaluate_and_collect(path, mode, nullptr);
+}
+
+Capacity Accumulator::pending(EdgeId eid) const {
+  auto it = pending_.find(eid);
+  return it == pending_.end() ? 0 : it->second;
+}
+
+AugmentedEdges Accumulator::to_augmented_edges() const {
+  AugmentedEdges out;
+  out.deltas.reserve(pending_.size());
+  for (const auto& [eid, delta] : pending_) {
+    if (delta != 0) out.deltas.emplace_back(eid, delta);
+  }
+  std::sort(out.deltas.begin(), out.deltas.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Accumulator::clear() {
+  pending_.clear();
+  accepted_count_ = 0;
+  accepted_amount_ = 0;
+}
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,65 @@
+// The accumulator data structure (paper Sec. III-C).
+//
+// Greedily accepts non-conflicting excess/augmenting paths first-come-
+// first-served: a path is accepted iff, together with the pending flow of
+// everything accepted so far, no edge capacity would be violated. Used in
+// three places, exactly as in the paper:
+//   - merging excess paths into a vertex (REDUCE, conflict-free storage),
+//   - filtering augmenting-path candidates at the sink reducer (FF1),
+//   - the stateful aug_proc accumulator (FF2+).
+//
+// Two acceptance modes:
+//   kReserveOne     -- the path reserves one flow unit (storage of excess
+//                      paths: "usable" means it can still carry something),
+//   kMaxBottleneck  -- the path is accepted with the largest amount its
+//                      residual (minus pending) supports (augmentation).
+//
+// Conflicts are evaluated on *net* per-edge usage, so a concatenated
+// se|te candidate that crosses the same edge pair in both directions is
+// handled correctly (the opposing uses cancel).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "ffmr/types.h"
+
+namespace mrflow::ffmr {
+
+enum class AcceptMode {
+  kReserveOne,
+  kMaxBottleneck,
+};
+
+class Accumulator {
+ public:
+  // Returns the accepted amount (0 = rejected). On acceptance the path's
+  // net per-edge usage times the amount is recorded as pending flow.
+  Capacity accept(const ExcessPath& path, AcceptMode mode);
+
+  // Like accept() but never records anything.
+  Capacity evaluate(const ExcessPath& path, AcceptMode mode) const;
+
+  // Pending flow recorded against an edge pair so far (pair orientation).
+  Capacity pending(EdgeId eid) const;
+
+  // All pending deltas, sorted by eid -- this becomes the round's
+  // AugmentedEdges broadcast when the accumulator is the augmenting one.
+  AugmentedEdges to_augmented_edges() const;
+
+  size_t accepted_count() const { return accepted_count_; }
+  Capacity accepted_amount() const { return accepted_amount_; }
+
+  void clear();
+
+ private:
+  Capacity evaluate_and_collect(
+      const ExcessPath& path, AcceptMode mode,
+      std::unordered_map<EdgeId, Capacity>* net_out) const;
+
+  std::unordered_map<EdgeId, Capacity> pending_;
+  size_t accepted_count_ = 0;
+  Capacity accepted_amount_ = 0;
+};
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,161 @@
+#include "ffmr/augmenter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrflow::ffmr {
+
+serde::Bytes encode_candidate_request(const ExcessPath& path) {
+  ByteWriter w;
+  w.put_u8(kAugRequestCandidate);
+  path.encode(w);
+  return w.take();
+}
+
+serde::Bytes encode_bulk_request(int64_t round, int64_t accepted_paths,
+                                 Capacity accepted_amount,
+                                 const AugmentedEdges& deltas) {
+  ByteWriter w;
+  w.put_u8(kAugRequestBulk);
+  w.put_varint(static_cast<uint64_t>(round));
+  w.put_varint(static_cast<uint64_t>(accepted_paths));
+  w.put_varint(static_cast<uint64_t>(accepted_amount));
+  w.put_bytes(deltas.encode());
+  return w.take();
+}
+
+AugmenterService::AugmenterService(bool asynchronous)
+    : asynchronous_(asynchronous) {
+  if (asynchronous_) {
+    consumer_ = std::thread([this] { consumer_loop(); });
+  }
+}
+
+AugmenterService::~AugmenterService() {
+  if (asynchronous_) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    consumer_.join();
+  }
+}
+
+serde::Bytes AugmenterService::handle(std::string_view request) {
+  ByteReader r(request);
+  uint8_t tag = r.get_u8();
+  switch (tag) {
+    case kAugRequestCandidate: {
+      ExcessPath path = ExcessPath::decode(r);
+      std::unique_lock<std::mutex> lk(mu_);
+      ++outcome_.candidates;
+      if (asynchronous_) {
+        queue_.push_back(std::move(path));
+        outcome_.max_queue = std::max(
+            outcome_.max_queue, static_cast<int64_t>(queue_.size()));
+        cv_work_.notify_one();
+      } else {
+        process(path);
+      }
+      return {};
+    }
+    case kAugRequestBulk: {
+      int64_t round = static_cast<int64_t>(r.get_varint());
+      int64_t paths = static_cast<int64_t>(r.get_varint());
+      Capacity amount = static_cast<Capacity>(r.get_varint());
+      AugmentedEdges deltas = AugmentedEdges::decode(r.get_bytes());
+      std::lock_guard<std::mutex> lk(mu_);
+      // Drop duplicate deliveries from re-executed reducer attempts.
+      if (!bulk_rounds_seen_.insert(round).second) return {};
+      outcome_.accepted_paths += paths;
+      outcome_.accepted_amount += amount;
+      // Bulk deltas bypass the accumulator: FF1's sink reducer already
+      // resolved conflicts. Stored directly on the outcome.
+      AugmentedEdges merged;
+      merged.deltas.reserve(outcome_.deltas.deltas.size() +
+                            deltas.deltas.size());
+      std::merge(outcome_.deltas.deltas.begin(), outcome_.deltas.deltas.end(),
+                 deltas.deltas.begin(), deltas.deltas.end(),
+                 std::back_inserter(merged.deltas),
+                 [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Coalesce duplicate eids.
+      AugmentedEdges coalesced;
+      for (const auto& [eid, delta] : merged.deltas) {
+        if (!coalesced.deltas.empty() && coalesced.deltas.back().first == eid) {
+          coalesced.deltas.back().second += delta;
+        } else {
+          coalesced.deltas.emplace_back(eid, delta);
+        }
+      }
+      outcome_.deltas = std::move(coalesced);
+      return {};
+    }
+    default:
+      throw std::invalid_argument("augmenter: unknown request tag");
+  }
+}
+
+void AugmenterService::process(const ExcessPath& path) {
+  // Called with mu_ held.
+  Capacity amount = accumulator_.accept(path, AcceptMode::kMaxBottleneck);
+  if (amount > 0) {
+    ++outcome_.accepted_paths;
+    outcome_.accepted_amount += amount;
+  }
+}
+
+void AugmenterService::consumer_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    ExcessPath path = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    process(path);
+    busy_ = false;
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+}
+
+void AugmenterService::drain() {
+  if (!asynchronous_) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+}
+
+void AugmenterService::on_phase_end() { drain(); }
+
+AugmenterService::RoundOutcome AugmenterService::finish_round() {
+  drain();
+  std::lock_guard<std::mutex> lk(mu_);
+  RoundOutcome out = std::move(outcome_);
+  // Candidate-path deltas accumulated in the accumulator; bulk deltas were
+  // merged into outcome_.deltas directly. Combine both.
+  AugmentedEdges acc = accumulator_.to_augmented_edges();
+  if (out.deltas.empty()) {
+    out.deltas = std::move(acc);
+  } else if (!acc.empty()) {
+    AugmentedEdges merged;
+    std::merge(out.deltas.deltas.begin(), out.deltas.deltas.end(),
+               acc.deltas.begin(), acc.deltas.end(),
+               std::back_inserter(merged.deltas),
+               [](const auto& a, const auto& b) { return a.first < b.first; });
+    AugmentedEdges coalesced;
+    for (const auto& [eid, delta] : merged.deltas) {
+      if (!coalesced.deltas.empty() && coalesced.deltas.back().first == eid) {
+        coalesced.deltas.back().second += delta;
+      } else {
+        coalesced.deltas.emplace_back(eid, delta);
+      }
+    }
+    out.deltas = std::move(coalesced);
+  }
+  accumulator_.clear();
+  outcome_ = RoundOutcome{};
+  bulk_rounds_seen_.clear();
+  return out;
+}
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,88 @@
+// aug_proc: the stateful augmenting-path acceptor (paper Sec. IV-A, FF2+).
+//
+// FF1 funnels every candidate augmenting path through the reducer of sink
+// t, which becomes both the biggest record and a sequential bottleneck.
+// FF2 replaces it with an external process on the master node: reducers
+// send candidates over a persistent connection as soon as they find them;
+// aug_proc queues them and a consumer thread decides acceptance with the
+// accumulator. We reproduce the structure exactly: handle() enqueues and
+// returns immediately; one consumer thread drains the queue; the maximum
+// queue length is recorded (the paper's Table I "MaxQ" column shows it
+// stays small, i.e. aug_proc is never the bottleneck).
+//
+// The same service doubles as FF1's delta store: the sink reducer does its
+// own accepting and ships the resulting bulk outcome here so the driver
+// can write the AugmentedEdges broadcast file either way.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "ffmr/accumulator.h"
+#include "ffmr/types.h"
+#include "mapreduce/service.h"
+
+namespace mrflow::ffmr {
+
+// Request payloads (first byte is the tag).
+inline constexpr uint8_t kAugRequestCandidate = 1;  // + ExcessPath
+inline constexpr uint8_t kAugRequestBulk = 2;       // + count, amount, deltas
+
+serde::Bytes encode_candidate_request(const ExcessPath& path);
+// `round` deduplicates re-deliveries: a retried sink-reducer attempt (task
+// fault tolerance is at-least-once) resends an identical bulk outcome, and
+// only the first copy per round is merged.
+serde::Bytes encode_bulk_request(int64_t round, int64_t accepted_paths,
+                                 Capacity accepted_amount,
+                                 const AugmentedEdges& deltas);
+
+class AugmenterService final : public mr::Service {
+ public:
+  struct RoundOutcome {
+    int64_t candidates = 0;       // candidate paths received
+    int64_t accepted_paths = 0;   // Table I "A-Paths"
+    Capacity accepted_amount = 0; // flow value gained this round
+    int64_t max_queue = 0;        // Table I "MaxQ"
+    AugmentedEdges deltas;        // the next round's broadcast
+  };
+
+  // asynchronous=true reproduces the paper's queue + consumer thread;
+  // false processes candidates inline (deterministic, used in tests).
+  explicit AugmenterService(bool asynchronous = true);
+  ~AugmenterService() override;
+
+  AugmenterService(const AugmenterService&) = delete;
+  AugmenterService& operator=(const AugmenterService&) = delete;
+
+  // mr::Service:
+  serde::Bytes handle(std::string_view request) override;
+  void on_phase_end() override;  // drain the queue (reducers all finished)
+
+  // Drains, snapshots and resets the per-round state. Called by the driver
+  // between rounds.
+  RoundOutcome finish_round();
+
+ private:
+  void consumer_loop();
+  void drain();
+  void process(const ExcessPath& path);
+
+  const bool asynchronous_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<ExcessPath> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+
+  Accumulator accumulator_;
+  RoundOutcome outcome_;
+  std::set<int64_t> bulk_rounds_seen_;
+  std::thread consumer_;
+};
+
+}  // namespace mrflow::ffmr

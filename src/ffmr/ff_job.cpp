@@ -1,0 +1,565 @@
+#include "ffmr/ff_job.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "dfs/record_io.h"
+#include "ffmr/accumulator.h"
+#include "ffmr/augmenter.h"
+
+namespace mrflow::ffmr {
+
+namespace {
+
+// Parsed per-round parameters, decoded once per task in setup().
+struct FfParams {
+  int round = 0;
+  VertexId source = 0;
+  VertexId sink = 0;
+  int k = 4;
+  bool aug_proc = false;
+  bool schimmy = false;
+  bool reuse = false;
+  bool dedup = false;
+  bool restart = false;
+  bool max_bottleneck = true;
+  bool bidirectional = true;
+  int max_candidates = 256;
+  std::string aug_file;
+
+  static FfParams from(const mr::TaskContext& ctx) {
+    FfParams p;
+    p.round = static_cast<int>(ctx.param_int(param::kRound, 0));
+    p.source = static_cast<VertexId>(ctx.param_int(param::kSource, 0));
+    p.sink = static_cast<VertexId>(ctx.param_int(param::kSink, 0));
+    p.k = static_cast<int>(ctx.param_int(param::kK, 4));
+    p.aug_proc = ctx.param_int(param::kAugProc, 0) != 0;
+    p.schimmy = ctx.param_int(param::kSchimmy, 0) != 0;
+    p.reuse = ctx.param_int(param::kReuse, 0) != 0;
+    p.dedup = ctx.param_int(param::kDedup, 0) != 0;
+    p.restart = ctx.param_int(param::kRestart, 0) != 0;
+    p.max_bottleneck = ctx.param_int(param::kMaxBottleneck, 1) != 0;
+    p.bidirectional = ctx.param_int(param::kBidirectional, 1) != 0;
+    p.max_candidates = static_cast<int>(ctx.param_int(param::kMaxCandidates, 256));
+    p.aug_file = ctx.param_or(param::kAugFile, "");
+    return p;
+  }
+
+  size_t effective_k(const VertexValue& master) const {
+    // FF5: "set k to be the number of incoming edges of the vertex".
+    if (dedup) return std::max<size_t>(master.edges.size(), 1);
+    return static_cast<size_t>(k);
+  }
+};
+
+// Live path-id lookup. Hub vertices can hold thousands of excess paths
+// under FF5's k = degree, so the per-edge send-state checks use a hash set
+// built once per vertex instead of scanning the path list.
+class PathIdSet {
+ public:
+  explicit PathIdSet(const std::vector<ExcessPath>& paths) {
+    ids_.reserve(paths.size());
+    for (const auto& p : paths) ids_.insert(p.id);
+  }
+  bool contains(uint32_t id) const { return id != 0 && ids_.count(id) > 0; }
+
+ private:
+  std::unordered_set<uint32_t> ids_;
+};
+
+// Seeds the terminal vertices with their empty excess paths. Without
+// bi-directional search (paper Sec. III-B2 ablation) the sink never grows
+// excess paths; arriving source paths still complete at t.
+void seed_terminals(VertexValue& v, VertexId u, VertexId source,
+                    VertexId sink, bool bidirectional) {
+  if (u == source) {
+    ExcessPath empty;
+    empty.id = v.allocate_path_id();
+    v.source_paths.push_back(std::move(empty));
+  }
+  if (u == sink && bidirectional) {
+    ExcessPath empty;
+    empty.id = v.allocate_path_id();
+    v.sink_paths.push_back(std::move(empty));
+  }
+}
+
+// Applies the previous round's flow deltas to the master and its stored
+// paths, drops saturated paths, and maintains the FF5 send state. On a
+// restart round all paths are dropped and the terminals re-seeded.
+// Deterministic: MAP and (in schimmy mode) REDUCE both run this on the same
+// stored bytes and reach identical states.
+void refresh_master(VertexValue& v, VertexId u, const FfParams& p,
+                    const AugmentedEdges& aug) {
+  // Update All Edge Flows (paper MAP_FF1 lines 1-4).
+  if (!aug.empty()) {
+    for (EdgeState& e : v.edges) e.flow += aug.delta_for(e.eid);
+  }
+
+  if (p.restart) {
+    v.source_paths.clear();
+    v.sink_paths.clear();
+    for (EdgeState& e : v.edges) {
+      e.sent_source_path = 0;
+      e.sent_sink_path = 0;
+    }
+    seed_terminals(v, u, p.source, p.sink, p.bidirectional);
+    return;
+  }
+
+  auto refresh_paths = [&aug](std::vector<ExcessPath>& paths) {
+    if (!aug.empty()) {
+      for (ExcessPath& path : paths) {
+        for (PathEdge& e : path.edges) e.flow += aug.delta_for(e.eid);
+      }
+    }
+    // Remove saturated excess paths.
+    std::erase_if(paths, [](const ExcessPath& path) { return path.saturated(); });
+  };
+  refresh_paths(v.source_paths);
+  refresh_paths(v.sink_paths);
+
+  if (p.dedup) {
+    // Clear send state whose excess path vanished; the extension planner
+    // below will pick a surviving path and re-send (paper Sec. IV-D).
+    PathIdSet source_ids(v.source_paths);
+    PathIdSet sink_ids(v.sink_paths);
+    for (EdgeState& e : v.edges) {
+      if (!source_ids.contains(e.sent_source_path)) e.sent_source_path = 0;
+      if (!sink_ids.contains(e.sent_sink_path)) e.sent_sink_path = 0;
+    }
+  }
+}
+
+using EmitFragmentFn =
+    std::function<void(VertexId neighbor, const VertexValue& fragment)>;
+
+// Extending Excess Paths (paper MAP_FF1 lines 9-16). Picks one excess path
+// per eligible edge (cycle-free w.r.t. the target) and emits the extended
+// fragment. With dedup (FF5), an edge whose previously sent path is still
+// alive is skipped, and the send state is updated in place -- REDUCE
+// replays this with emit == nullptr to keep the stored master's send state
+// in sync under schimmy.
+void plan_extensions(VertexValue& v, VertexId u, const FfParams& p,
+                     const EmitFragmentFn* emit) {
+  VertexValue fragment;
+
+  if (!v.source_paths.empty()) {
+    for (EdgeState& e : v.edges) {
+      if (e.residual_out() <= 0) continue;
+      if (e.neighbor == p.source) continue;
+      // Dedup (FF5): refresh_master already cleared ids of saturated paths,
+      // so a nonzero id means the extension is still outstanding.
+      if (p.dedup && e.sent_source_path != 0) continue;
+      // "Pick one" (paper Fig. 3 line 11): rotate the starting index by
+      // round and edge so successive rounds offer *different* stored paths
+      // -- re-sending one fixed choice can starve the last augmenting
+      // routes when stored paths conflict at the receiver.
+      const ExcessPath* pick = nullptr;
+      size_t count = v.source_paths.size();
+      size_t start = (static_cast<size_t>(p.round) + e.eid) % count;
+      for (size_t i = 0; i < count; ++i) {
+        const ExcessPath& sp = v.source_paths[(start + i) % count];
+        if (!sp.touches(e.neighbor)) {
+          pick = &sp;
+          break;
+        }
+      }
+      if (pick == nullptr) {
+        if (p.dedup) e.sent_source_path = 0;
+        continue;
+      }
+      if (p.dedup) e.sent_source_path = pick->id;
+      if (emit != nullptr) {
+        fragment.clear();
+        ExcessPath extended = *pick;
+        extended.id = 0;  // receiving vertex assigns its own id
+        extended.edges.push_back(PathEdge{
+            e.eid, e.dir_out(), u, e.neighbor, e.flow,
+            e.is_pair_a ? e.cap_ab : e.cap_ba});
+        fragment.source_paths.push_back(std::move(extended));
+        (*emit)(e.neighbor, fragment);
+      }
+    }
+  }
+
+  if (!v.sink_paths.empty()) {
+    for (EdgeState& e : v.edges) {
+      if (e.residual_in() <= 0) continue;  // needs capacity neighbor -> u
+      if (e.neighbor == p.sink) continue;
+      if (p.dedup && e.sent_sink_path != 0) continue;
+      const ExcessPath* pick = nullptr;
+      size_t count = v.sink_paths.size();
+      size_t start = (static_cast<size_t>(p.round) + e.eid) % count;
+      for (size_t i = 0; i < count; ++i) {
+        const ExcessPath& tp = v.sink_paths[(start + i) % count];
+        if (!tp.touches(e.neighbor)) {
+          pick = &tp;
+          break;
+        }
+      }
+      if (pick == nullptr) {
+        if (p.dedup) e.sent_sink_path = 0;
+        continue;
+      }
+      if (p.dedup) e.sent_sink_path = pick->id;
+      if (emit != nullptr) {
+        fragment.clear();
+        ExcessPath extended;
+        extended.edges.reserve(pick->edges.size() + 1);
+        extended.edges.push_back(PathEdge{
+            e.eid, static_cast<int8_t>(-e.dir_out()), e.neighbor, u, e.flow,
+            e.is_pair_a ? e.cap_ba : e.cap_ab});
+        extended.edges.insert(extended.edges.end(), pick->edges.begin(),
+                              pick->edges.end());
+        fragment.sink_paths.push_back(std::move(extended));
+        (*emit)(e.neighbor, fragment);
+      }
+    }
+  }
+}
+
+using SubmitCandidateFn = std::function<void(const ExcessPath& candidate)>;
+
+// Generate Augmenting Paths (paper MAP_FF1 lines 5-8): pair stored source
+// and sink excess paths, locally filter conflicts with an accumulator, and
+// submit survivors. Each source path is paired at most once per round.
+size_t generate_candidates(const VertexValue& v, const FfParams& p,
+                           const SubmitCandidateFn& submit) {
+  if (v.source_paths.empty() || v.sink_paths.empty()) return 0;
+  Accumulator local;
+  size_t submitted = 0;
+  int attempts = 0;
+  AcceptMode mode = p.max_bottleneck ? AcceptMode::kMaxBottleneck
+                                     : AcceptMode::kReserveOne;
+  for (const ExcessPath& se : v.source_paths) {
+    for (const ExcessPath& te : v.sink_paths) {
+      if (++attempts > p.max_candidates) return submitted;
+      ExcessPath candidate = concat_paths(se, te);
+      if (candidate.edges.empty()) continue;  // s == t cannot happen
+      if (local.accept(candidate, mode) > 0) {
+        submit(candidate);
+        ++submitted;
+        break;  // next source path
+      }
+    }
+  }
+  return submitted;
+}
+
+// ------------------------------------------------------------- round 0
+
+// Loader record value: EdgeState from the 'a' endpoint's perspective.
+class LoadMapper final : public mr::Mapper {
+ public:
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    ByteReader vr(value);
+    EdgeState from_a = EdgeState::decode(vr);
+    VertexId a = decode_vertex_key(key);
+
+    // Notify both endpoints of the bi-directional edge (paper round #0:
+    // "each vertex sends a message to each of its neighbors").
+    ctx.emit(key, value);
+    EdgeState from_b = from_a;
+    from_b.neighbor = a;
+    from_b.is_pair_a = false;
+    ByteWriter w;
+    from_b.encode(w);
+    ctx.emit(encode_vertex_key(from_a.neighbor), w.bytes());
+  }
+};
+
+class LoadReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    VertexId u = decode_vertex_key(key);
+    VertexValue master;
+    master.is_master = true;
+    master.edges.reserve(values.size());
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      master.edges.push_back(EdgeState::decode(r));
+    }
+    std::sort(master.edges.begin(), master.edges.end(),
+              [](const EdgeState& x, const EdgeState& y) {
+                return x.eid < y.eid;
+              });
+    VertexId source = static_cast<VertexId>(ctx.param_int(param::kSource, 0));
+    VertexId sink = static_cast<VertexId>(ctx.param_int(param::kSink, 0));
+    bool bidirectional = ctx.param_int(param::kBidirectional, 1) != 0;
+    seed_terminals(master, u, source, sink, bidirectional);
+    if (u == source) ctx.counters().increment(counter::kSourceMove);
+    if (u == sink) ctx.counters().increment(counter::kSinkMove);
+    ctx.emit(key, master.encoded());
+  }
+};
+
+// ------------------------------------------------------------- FF rounds
+
+class FfMapper final : public mr::Mapper {
+ public:
+  void setup(mr::MapContext& ctx) override {
+    params_ = FfParams::from(ctx);
+    if (!params_.aug_file.empty() && ctx.side_file_exists(params_.aug_file)) {
+      aug_ = AugmentedEdges::decode(ctx.read_side_file(params_.aug_file));
+    }
+  }
+
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    // FF4: reuse the decoded master's buffers across records instead of
+    // instantiating fresh objects per record.
+    ByteReader vr(value);
+    VertexValue fresh;
+    VertexValue& master = params_.reuse ? scratch_ : fresh;
+    VertexValue::decode_into(vr, master);
+    VertexId u = decode_vertex_key(key);
+
+    refresh_master(master, u, params_, aug_);
+
+    if (!params_.aug_proc) {
+      // FF1/FF2-off: candidates are intermediate records shuffled to t.
+      serde::Bytes sink_key = encode_vertex_key(params_.sink);
+      VertexValue frag;
+      size_t n = generate_candidates(
+          master, params_, [&](const ExcessPath& candidate) {
+            frag.clear();
+            frag.source_paths.push_back(candidate);
+            ctx.emit(sink_key, frag.encoded());
+          });
+      if (n > 0) {
+        ctx.counters().increment(counter::kCandidates,
+                                 static_cast<int64_t>(n));
+      }
+    }
+
+    EmitFragmentFn emit = [&ctx](VertexId neighbor,
+                                 const VertexValue& fragment) {
+      ctx.emit(encode_vertex_key(neighbor), fragment.encoded());
+    };
+    plan_extensions(master, u, params_, &emit);
+
+    if (!params_.schimmy) ctx.emit(key, master.encoded());
+  }
+
+ private:
+  FfParams params_;
+  AugmentedEdges aug_;
+  VertexValue scratch_;
+};
+
+class FfReducer final : public mr::Reducer {
+ public:
+  void setup(mr::ReduceContext& ctx) override {
+    params_ = FfParams::from(ctx);
+    if (params_.schimmy && !params_.aug_file.empty() &&
+        ctx.side_file_exists(params_.aug_file)) {
+      aug_ = AugmentedEdges::decode(ctx.read_side_file(params_.aug_file));
+    }
+  }
+
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    VertexId u = decode_vertex_key(key);
+
+    VertexValue fresh;
+    VertexValue& master = params_.reuse ? scratch_master_ : fresh;
+    master.clear();
+    bool have_master = false;
+
+    // Fragments' excess paths, collected per kind.
+    std::vector<ExcessPath> incoming_source;
+    std::vector<ExcessPath> incoming_sink;
+
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      VertexValue v = VertexValue::decode(r);
+      if (v.is_master) {
+        master = std::move(v);
+        have_master = true;
+      } else {
+        for (auto& path : v.source_paths) {
+          incoming_source.push_back(std::move(path));
+        }
+        for (auto& path : v.sink_paths) {
+          incoming_sink.push_back(std::move(path));
+        }
+      }
+    }
+    if (!have_master) {
+      // A fragment addressed to a vertex that has no master record (e.g.
+      // an isolated id); count and drop.
+      ctx.counters().increment(counter::kFragmentsDropped);
+      return;
+    }
+
+    if (params_.schimmy) {
+      // The stored master is stale: replay MAP's deterministic updates
+      // (flow deltas, saturation, FF5 send state) without emitting.
+      refresh_master(master, u, params_, aug_);
+      plan_extensions(master, u, params_, nullptr);
+    }
+
+    const bool sm_empty = master.source_paths.empty();
+    const bool tm_empty = master.sink_paths.empty();
+    const size_t k_eff = params_.effective_k(master);
+
+    // --- sink vertex: arriving source paths are augmenting candidates.
+    if (u == params_.sink) {
+      Accumulator ap;
+      AcceptMode mode = params_.max_bottleneck ? AcceptMode::kMaxBottleneck
+                                               : AcceptMode::kReserveOne;
+      if (params_.aug_proc) {
+        // FF2+: local pre-filter, then ship each survivor to aug_proc.
+        for (const ExcessPath& cand : incoming_source) {
+          if (ap.accept(cand, mode) > 0) {
+            ctx.call_service(kAugmenterService,
+                             encode_candidate_request(cand));
+          }
+        }
+      } else {
+        // FF1: the sink reducer is the sequential, stateful augmenter.
+        for (const ExcessPath& cand : incoming_source) {
+          ap.accept(cand, mode);
+        }
+        if (ap.accepted_count() > 0) {
+          ctx.call_service(
+              kAugmenterService,
+              encode_bulk_request(params_.round,
+                                  static_cast<int64_t>(ap.accepted_count()),
+                                  ap.accepted_amount(),
+                                  ap.to_augmented_edges()));
+        }
+      }
+      incoming_source.clear();
+    }
+
+    // --- merge fragments under the k limit (paper REDUCE_FF1 lines 5-9).
+    merge_paths(master, master.source_paths, incoming_source, k_eff);
+    merge_paths(master, master.sink_paths, incoming_sink, k_eff);
+
+    if (sm_empty && !master.source_paths.empty()) {
+      ctx.counters().increment(counter::kSourceMove);
+    }
+    if (tm_empty && !master.sink_paths.empty()) {
+      ctx.counters().increment(counter::kSinkMove);
+    }
+
+    // --- FF2+: candidates are generated here, from the merged state, and
+    // sent straight to aug_proc instead of through next round's shuffle.
+    if (params_.aug_proc && u != params_.sink) {
+      size_t n = generate_candidates(
+          master, params_, [&](const ExcessPath& candidate) {
+            ctx.call_service(kAugmenterService,
+                             encode_candidate_request(candidate));
+          });
+      if (n > 0) {
+        ctx.counters().increment(counter::kCandidates,
+                                 static_cast<int64_t>(n));
+      }
+    }
+
+    ctx.emit(key, master.encoded());
+  }
+
+ private:
+  // Accepts incoming paths into `stored` (capacity k_eff) using a local
+  // accumulator so the stored set stays conflict-free. Existing stored
+  // paths are re-validated first (they have priority).
+  static void merge_paths(VertexValue& master, std::vector<ExcessPath>& stored,
+                          std::vector<ExcessPath>& incoming, size_t k_eff) {
+    Accumulator acc;
+    std::vector<ExcessPath> kept;
+    kept.reserve(std::min(stored.size() + incoming.size(), k_eff));
+    for (ExcessPath& path : stored) {
+      if (kept.size() >= k_eff) break;
+      if (acc.accept(path, AcceptMode::kReserveOne) > 0) {
+        kept.push_back(std::move(path));
+      }
+    }
+    for (ExcessPath& path : incoming) {
+      if (kept.size() >= k_eff) break;
+      if (acc.accept(path, AcceptMode::kReserveOne) > 0) {
+        path.id = master.allocate_path_id();
+        kept.push_back(std::move(path));
+      }
+    }
+    stored = std::move(kept);
+    incoming.clear();
+  }
+
+  FfParams params_;
+  AugmentedEdges aug_;
+  VertexValue scratch_master_;
+};
+
+}  // namespace
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::FF1: return "FF1";
+    case Variant::FF2: return "FF2";
+    case Variant::FF3: return "FF3";
+    case Variant::FF4: return "FF4";
+    case Variant::FF5: return "FF5";
+  }
+  return "FF?";
+}
+
+void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
+                        const std::string& path) {
+  dfs::RecordWriter out(&cluster.fs(), path);
+  ByteWriter w;
+  for (uint64_t i = 0; i < g.num_edge_pairs(); ++i) {
+    const graph::EdgePair& e = g.edge(i);
+    EdgeState state;
+    state.eid = i;
+    state.neighbor = e.b;
+    state.is_pair_a = true;
+    state.flow = 0;
+    state.cap_ab = e.cap_ab;
+    state.cap_ba = e.cap_ba;
+    w.clear();
+    state.encode(w);
+    out.write(encode_vertex_key(e.a), w.bytes());
+  }
+  out.close();
+}
+
+mr::MapperFactory make_load_mapper() {
+  return [] { return std::make_unique<LoadMapper>(); };
+}
+mr::ReducerFactory make_load_reducer() {
+  return [] { return std::make_unique<LoadReducer>(); };
+}
+mr::MapperFactory make_ff_mapper() {
+  return [] { return std::make_unique<FfMapper>(); };
+}
+mr::ReducerFactory make_ff_reducer() {
+  return [] { return std::make_unique<FfReducer>(); };
+}
+
+std::map<std::string, std::string> make_ff_params(
+    const FfmrOptions& options, int round, VertexId source, VertexId sink,
+    const std::string& aug_file, bool restart) {
+  std::map<std::string, std::string> p;
+  p[param::kRound] = std::to_string(round);
+  p[param::kSource] = std::to_string(source);
+  p[param::kSink] = std::to_string(sink);
+  p[param::kK] = std::to_string(options.k);
+  p[param::kAugProc] = options.aug_proc_enabled() ? "1" : "0";
+  p[param::kSchimmy] = options.schimmy_enabled() ? "1" : "0";
+  p[param::kReuse] = options.reuse_enabled() ? "1" : "0";
+  p[param::kDedup] = options.dedup_enabled() ? "1" : "0";
+  p[param::kRestart] = restart ? "1" : "0";
+  p[param::kMaxBottleneck] = options.accept_max_bottleneck ? "1" : "0";
+  p[param::kMaxCandidates] = std::to_string(options.max_candidates_per_vertex);
+  p[param::kBidirectional] = options.bidirectional ? "1" : "0";
+  p[param::kAugFile] = aug_file;
+  return p;
+}
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,77 @@
+// The FFMR MapReduce jobs: round #0 (graph build) and the FF round
+// (paper Figs. 3 and 4), shared by all five variants via parameter flags.
+//
+// Round #0 ("make the graph bi-directional and initialize the flow and
+// capacity of each edge"): the loader writes one record per edge pair keyed
+// by its 'a' endpoint; the round-0 mapper notifies both endpoints (this is
+// the paper's Table I round 0 with its huge Map Out count), and the reducer
+// assembles each vertex's master record, seeding the source vertex with the
+// empty source excess path and the sink with the empty sink excess path.
+//
+// FF rounds (>= 1):
+//   MAP    update all edge flows from the previous round's AugmentedEdges
+//          broadcast, drop saturated excess paths, generate augmenting-path
+//          candidates (FF1 only: emitted to sink t), extend excess paths to
+//          neighbors, emit the master (unless schimmy).
+//   REDUCE merge fragments into the master under the k limit using
+//          accumulators; count 'source move' / 'sink move'; at the sink
+//          accept candidates (FF1: local accumulator, bulk-shipped to the
+//          delta store) or submit candidates to aug_proc (FF2+).
+#pragma once
+
+#include <string>
+
+#include "ffmr/options.h"
+#include "ffmr/types.h"
+#include "mapreduce/job.h"
+
+namespace mrflow::ffmr {
+
+// Job parameter keys (Hadoop JobConf style).
+namespace param {
+inline constexpr const char* kRound = "ff.round";
+inline constexpr const char* kSource = "ff.source";
+inline constexpr const char* kSink = "ff.sink";
+inline constexpr const char* kK = "ff.k";
+inline constexpr const char* kAugProc = "ff.aug_proc";
+inline constexpr const char* kSchimmy = "ff.schimmy";
+inline constexpr const char* kReuse = "ff.reuse";
+inline constexpr const char* kDedup = "ff.dedup";
+inline constexpr const char* kAugFile = "ff.aug_file";
+inline constexpr const char* kRestart = "ff.restart";
+inline constexpr const char* kMaxCandidates = "ff.max_candidates";
+inline constexpr const char* kMaxBottleneck = "ff.max_bottleneck";
+inline constexpr const char* kBidirectional = "ff.bidirectional";
+}  // namespace param
+
+// Counter names (paper Fig. 2 lines 8-9).
+namespace counter {
+inline constexpr const char* kSourceMove = "source move";
+inline constexpr const char* kSinkMove = "sink move";
+inline constexpr const char* kCandidates = "candidates generated";
+inline constexpr const char* kFragmentsDropped = "fragments dropped";
+}  // namespace counter
+
+// Name of the aug_proc service in the job's ServiceRegistry.
+inline constexpr const char* kAugmenterService = "aug_proc";
+
+// Writes the raw graph as edge records under `path`: one record per edge
+// pair, keyed by the pair's 'a' endpoint, value = EdgeState from a's
+// perspective. eid == pair index in `g`.
+void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
+                        const std::string& path);
+
+// Round #0 mapper/reducer.
+mr::MapperFactory make_load_mapper();
+mr::ReducerFactory make_load_reducer();
+
+// FF round mapper/reducer (variant behavior selected by job params).
+mr::MapperFactory make_ff_mapper();
+mr::ReducerFactory make_ff_reducer();
+
+// Fills the param map for an FF round from options + round state.
+std::map<std::string, std::string> make_ff_params(
+    const FfmrOptions& options, int round, VertexId source, VertexId sink,
+    const std::string& aug_file, bool restart);
+
+}  // namespace mrflow::ffmr

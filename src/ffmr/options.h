@@ -1,0 +1,90 @@
+// FFMR variant configuration (the paper's FF1..FF5 optimization ladder).
+//
+// Each variant enables one more MR optimization on top of the previous:
+//   FF1  baseline: speculative incremental augmenting paths, bi-directional
+//        search, multiple excess paths; candidates shuffled to sink t.
+//   FF2  + stateful aug_proc service (candidates bypass the shuffle).
+//   FF3  + schimmy pattern (master records never shuffled).
+//   FF4  + object-instantiation elimination (buffer reuse in tasks).
+//   FF5  + redundant-message prevention (k = degree, per-edge send state).
+//
+// The individual toggles can be overridden for ablation studies beyond the
+// paper's ladder.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace mrflow::ffmr {
+
+enum class Variant { FF1 = 1, FF2 = 2, FF3 = 3, FF4 = 4, FF5 = 5 };
+
+const char* variant_name(Variant v);
+
+enum class TerminationRule {
+  // Paper Fig. 2 line 10: stop when source OR sink movement is zero.
+  kPaperEither,
+  // Conservative default: stop only when source AND sink movement are both
+  // zero and no augmenting path was accepted this round (see DESIGN.md).
+  kStrictBoth,
+};
+
+struct FfmrOptions {
+  Variant variant = Variant::FF5;
+
+  // Max stored excess paths per vertex (paper's k); FF5 overrides with the
+  // vertex degree ("set k to be the number of incoming edges").
+  int k = 4;
+
+  // Bi-directional search (paper Sec. III-B2). When disabled the sink does
+  // not grow excess paths; augmenting paths are found only when source
+  // excess paths reach t, roughly doubling the round count. Termination
+  // then effectively depends on the source-move counter alone, so the
+  // strict rule is used regardless of `termination`.
+  bool bidirectional = true;
+
+  int num_reduce_tasks = 0;  // 0 = cluster's total reduce slots
+  int max_rounds = 200;
+
+  TerminationRule termination = TerminationRule::kStrictBoth;
+  // On a stall (termination condition met) optionally clear all excess
+  // paths and re-explore; terminate when a whole phase accepts nothing.
+  // Guards against rare conflict-induced premature convergence (DESIGN.md).
+  bool restart_on_stall = true;
+  int max_restarts = 8;
+
+  // Candidate augmenting paths are accepted with their full residual
+  // bottleneck (true) or one unit at a time (false; slower on non-unit
+  // capacities, matches the paper's unit-capacity behavior either way).
+  bool accept_max_bottleneck = true;
+
+  // Per-vertex cap on (se, te) candidate pairings scanned per round.
+  int max_candidates_per_vertex = 256;
+
+  // aug_proc queue + consumer thread (paper behavior). false = inline
+  // processing, deterministic; used by tests.
+  bool async_augmenter = true;
+
+  std::string base = "ffmr";  // DFS path prefix
+
+  // Ablation overrides; unset = derived from `variant`.
+  std::optional<bool> use_aug_proc;   // default: variant >= FF2
+  std::optional<bool> use_schimmy;    // default: variant >= FF3
+  std::optional<bool> reuse_buffers;  // default: variant >= FF4
+  std::optional<bool> dedup_sends;    // default: variant >= FF5
+
+  bool aug_proc_enabled() const {
+    return use_aug_proc.value_or(variant >= Variant::FF2);
+  }
+  bool schimmy_enabled() const {
+    return use_schimmy.value_or(variant >= Variant::FF3);
+  }
+  bool reuse_enabled() const {
+    return reuse_buffers.value_or(variant >= Variant::FF4);
+  }
+  bool dedup_enabled() const {
+    return dedup_sends.value_or(variant >= Variant::FF5);
+  }
+};
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,195 @@
+#include "ffmr/solver.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "dfs/record_io.h"
+#include "ffmr/augmenter.h"
+
+namespace mrflow::ffmr {
+
+namespace {
+
+std::string aug_file_name(const std::string& base, int round) {
+  return base + "/aug-" + std::to_string(round);
+}
+
+// Reads the final round's partition files and reconstructs the per-pair
+// flow assignment from the master records' edge states.
+graph::FlowAssignment extract_assignment(mr::Cluster& cluster,
+                                         const std::vector<std::string>& files,
+                                         size_t num_pairs, Capacity value) {
+  graph::FlowAssignment out;
+  out.value = value;
+  out.pair_flow.assign(num_pairs, 0);
+  for (const auto& file : files) {
+    dfs::RecordReader reader(&cluster.fs(), file);
+    while (auto rec = reader.next()) {
+      ByteReader r(rec->value);
+      VertexValue v = VertexValue::decode(r);
+      if (!v.is_master) continue;
+      for (const EdgeState& e : v.edges) {
+        // Each pair is stored at both endpoints with the same flow; take
+        // the 'a' side copy.
+        if (e.is_pair_a && e.eid < num_pairs) out.pair_flow[e.eid] = e.flow;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FfmrResult solve_max_flow(mr::Cluster& cluster,
+                          const graph::FlowProblem& problem,
+                          const FfmrOptions& options) {
+  return solve_max_flow(cluster, problem.graph, problem.source, problem.sink,
+                        options);
+}
+
+FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
+                          VertexId source, VertexId sink,
+                          const FfmrOptions& options) {
+  if (source >= g.num_vertices() || sink >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (source == sink) throw std::invalid_argument("source equals sink");
+  if (!g.finalized()) throw std::invalid_argument("graph not finalized");
+
+  FfmrResult result;
+
+  // Trivial cases: a terminal with no incident edges has max-flow 0.
+  if (g.degree(source) == 0 || g.degree(sink) == 0) {
+    result.converged = true;
+    result.assignment.pair_flow.assign(g.num_edge_pairs(), 0);
+    return result;
+  }
+
+  const std::string& base = options.base;
+  const std::string edges_file = base + "/edges";
+  write_edge_records(cluster, g, edges_file);
+
+  auto augmenter = std::make_shared<AugmenterService>(options.async_augmenter);
+  mr::ServiceRegistry services;
+  services.add(kAugmenterService, augmenter);
+
+  const int reducers = options.num_reduce_tasks > 0
+                           ? options.num_reduce_tasks
+                           : cluster.total_reduce_slots();
+
+  mr::JobChain chain(cluster, base);
+
+  // ---------------------------------------------------------- round #0
+  {
+    mr::JobSpec spec;
+    spec.name = base + "#0-build";
+    spec.inputs = {edges_file};
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = make_load_mapper();
+    spec.reducer = make_load_reducer();
+    spec.params[param::kSource] = std::to_string(source);
+    spec.params[param::kSink] = std::to_string(sink);
+    spec.params[param::kBidirectional] = options.bidirectional ? "1" : "0";
+    spec.services = &services;
+    const mr::JobStats& stats = chain.run_round(std::move(spec));
+
+    RoundInfo info;
+    info.round = 0;
+    info.stats = stats;
+    result.max_graph_bytes = stats.output_bytes;
+    result.rounds_info.push_back(std::move(info));
+  }
+  // Empty broadcast for round 1.
+  cluster.fs().write_all(aug_file_name(base, 0), AugmentedEdges{}.encode());
+
+  // ---------------------------------------------------------- FF rounds
+  bool restart_next = false;
+  int64_t accepted_since_restart = 0;
+
+  while (chain.next_round() <= options.max_rounds) {
+    const int round = chain.next_round();
+    const bool restart = restart_next;
+    restart_next = false;
+
+    mr::JobSpec spec;
+    spec.name = base + "#" + std::to_string(round);
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = make_ff_mapper();
+    spec.reducer = make_ff_reducer();
+    spec.params = make_ff_params(options, round, source, sink,
+                                 aug_file_name(base, round - 1), restart);
+    if (options.schimmy_enabled()) {
+      spec.schimmy_prefix = chain.prefix_for(round - 1);
+    }
+    spec.services = &services;
+    const mr::JobStats& stats = chain.run_round(std::move(spec));
+
+    AugmenterService::RoundOutcome outcome = augmenter->finish_round();
+    cluster.fs().write_all(aug_file_name(base, round),
+                           outcome.deltas.encode());
+    if (round >= 2) cluster.fs().remove(aug_file_name(base, round - 2));
+
+    result.max_flow += outcome.accepted_amount;
+    accepted_since_restart += outcome.accepted_paths;
+    result.max_graph_bytes = std::max(result.max_graph_bytes,
+                                      stats.output_bytes);
+
+    RoundInfo info;
+    info.round = round;
+    info.candidates = outcome.candidates;
+    info.accepted_paths = outcome.accepted_paths;
+    info.accepted_amount = outcome.accepted_amount;
+    info.max_queue = outcome.max_queue;
+    info.source_moves = stats.counters.value(counter::kSourceMove);
+    info.sink_moves = stats.counters.value(counter::kSinkMove);
+    info.restart = restart;
+    info.stats = stats;
+    result.rounds_info.push_back(std::move(info));
+
+    LOG_INFO << base << " round " << round << ": accepted="
+             << outcome.accepted_paths << " (+" << outcome.accepted_amount
+             << " flow, total " << result.max_flow << ") som="
+             << stats.counters.value(counter::kSourceMove) << " sim="
+             << stats.counters.value(counter::kSinkMove)
+             << (restart ? " [restart]" : "");
+
+    // Termination (paper Fig. 2 line 10, optionally strict; DESIGN.md).
+    const int64_t som = stats.counters.value(counter::kSourceMove);
+    const int64_t sim = stats.counters.value(counter::kSinkMove);
+    bool stalled;
+    if (options.termination == TerminationRule::kPaperEither &&
+        options.bidirectional) {
+      stalled = (som == 0 || sim == 0);
+    } else {
+      // Strict rule; with uni-directional search sim is always zero, so
+      // the paper's OR rule would fire immediately -- force strict.
+      stalled = (som == 0 && sim == 0 && outcome.accepted_paths == 0);
+    }
+    if (!stalled) continue;
+
+    // A phase that accepted nothing explored the residual graph afresh and
+    // found no augmenting path: converged. A phase that did accept flow may
+    // have stalled on stored-path conflicts; clear the excess-path state
+    // and probe again (DESIGN.md, termination).
+    if (options.restart_on_stall && accepted_since_restart > 0 &&
+        result.restarts < options.max_restarts) {
+      restart_next = true;
+      ++result.restarts;
+      accepted_since_restart = 0;
+      continue;
+    }
+    result.converged = true;
+    break;
+  }
+
+  result.rounds = chain.completed_rounds() - 1;
+  result.totals = chain.totals();
+  result.assignment =
+      extract_assignment(cluster, chain.outputs_of(chain.completed_rounds() - 1),
+                         g.num_edge_pairs(), result.max_flow);
+  return result;
+}
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,63 @@
+// Public API: distributed max-flow on a simulated MapReduce cluster.
+//
+// This is the paper's main program (Fig. 2) around the FF jobs: run round
+// #0 to build the bi-directional flow network, then FF rounds until the
+// movement counters signal termination, broadcasting each round's accepted
+// flow changes through the AugmentedEdges side file.
+//
+// Typical use:
+//
+//   mr::Cluster cluster(mr::ClusterConfig{.num_slave_nodes = 20});
+//   graph::FlowProblem problem = graph::attach_super_terminals(
+//       graph::facebook_like(/*n=*/200'000, /*avg_degree=*/40, /*seed=*/1),
+//       /*w=*/64, /*min_degree=*/50, /*seed=*/2);
+//   ffmr::FfmrResult result = ffmr::solve_max_flow(
+//       cluster, problem, ffmr::FfmrOptions{.variant = ffmr::Variant::FF5});
+//   // result.max_flow, result.rounds, result.rounds_info[i].stats ...
+#pragma once
+
+#include <vector>
+
+#include "ffmr/ff_job.h"
+#include "ffmr/options.h"
+#include "graph/graph.h"
+#include "mapreduce/driver.h"
+
+namespace mrflow::ffmr {
+
+// Per-round report: MR statistics plus the augmenter outcome -- together
+// these are the columns of the paper's Table I.
+struct RoundInfo {
+  int round = 0;                 // 0 = graph build
+  int64_t candidates = 0;        // candidate paths offered
+  int64_t accepted_paths = 0;    // "A-Paths"
+  Capacity accepted_amount = 0;  // flow gained
+  int64_t max_queue = 0;         // "MaxQ" (aug_proc)
+  int64_t source_moves = 0;
+  int64_t sink_moves = 0;
+  bool restart = false;          // this round cleared and re-explored
+  mr::JobStats stats;            // "Map Out", "Shuffle", "Runtime", ...
+};
+
+struct FfmrResult {
+  Capacity max_flow = 0;
+  bool converged = false;  // termination condition reached within max_rounds
+  int rounds = 0;          // FF rounds, excluding round #0 (paper counts so)
+  int restarts = 0;
+  uint64_t max_graph_bytes = 0;  // paper's "Max Size": largest round output
+  std::vector<RoundInfo> rounds_info;  // index 0 is round #0
+  mr::JobStats totals;
+  graph::FlowAssignment assignment;  // final per-pair flows (validated in tests)
+};
+
+// Runs FFMR max-flow for `problem` on `cluster`. The graph must be
+// finalized. Throws std::invalid_argument on bad terminals.
+FfmrResult solve_max_flow(mr::Cluster& cluster,
+                          const graph::FlowProblem& problem,
+                          const FfmrOptions& options = {});
+
+FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
+                          VertexId source, VertexId sink,
+                          const FfmrOptions& options = {});
+
+}  // namespace mrflow::ffmr

@@ -1,0 +1,200 @@
+#include "ffmr/types.h"
+
+#include <algorithm>
+
+namespace mrflow::ffmr {
+
+// ------------------------------------------------------------- PathEdge
+
+void PathEdge::encode(ByteWriter& w) const {
+  w.put_varint(eid);
+  w.put_u8(dir > 0 ? 1 : 0);
+  w.put_varint(from);
+  w.put_varint(to);
+  w.put_signed(flow);
+  w.put_varint(static_cast<uint64_t>(cap_fwd));
+}
+
+PathEdge PathEdge::decode(ByteReader& r) {
+  PathEdge e;
+  e.eid = r.get_varint();
+  e.dir = r.get_u8() ? 1 : -1;
+  e.from = r.get_varint();
+  e.to = r.get_varint();
+  e.flow = r.get_signed();
+  e.cap_fwd = static_cast<Capacity>(r.get_varint());
+  return e;
+}
+
+// ------------------------------------------------------------ ExcessPath
+
+Capacity ExcessPath::bottleneck() const {
+  Capacity best = graph::kInfiniteCap;
+  for (const PathEdge& e : edges) best = std::min(best, e.residual());
+  return best;
+}
+
+bool ExcessPath::touches(VertexId v) const {
+  for (const PathEdge& e : edges) {
+    if (e.from == v || e.to == v) return true;
+  }
+  return false;
+}
+
+void ExcessPath::encode(ByteWriter& w) const {
+  w.put_varint(id);
+  w.put_varint(edges.size());
+  for (const PathEdge& e : edges) e.encode(w);
+}
+
+ExcessPath ExcessPath::decode(ByteReader& r) {
+  ExcessPath p;
+  p.id = static_cast<uint32_t>(r.get_varint());
+  uint64_t n = r.get_varint();
+  p.edges.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) p.edges.push_back(PathEdge::decode(r));
+  return p;
+}
+
+ExcessPath concat_paths(const ExcessPath& source_path,
+                        const ExcessPath& sink_path) {
+  ExcessPath out;
+  out.edges.reserve(source_path.edges.size() + sink_path.edges.size());
+  out.edges.insert(out.edges.end(), source_path.edges.begin(),
+                   source_path.edges.end());
+  out.edges.insert(out.edges.end(), sink_path.edges.begin(),
+                   sink_path.edges.end());
+  return out;
+}
+
+// ------------------------------------------------------------- EdgeState
+
+void EdgeState::encode(ByteWriter& w) const {
+  w.put_varint(eid);
+  w.put_varint(neighbor);
+  w.put_u8(is_pair_a ? 1 : 0);
+  w.put_signed(flow);
+  w.put_varint(static_cast<uint64_t>(cap_ab));
+  w.put_varint(static_cast<uint64_t>(cap_ba));
+  w.put_varint(sent_source_path);
+  w.put_varint(sent_sink_path);
+}
+
+EdgeState EdgeState::decode(ByteReader& r) {
+  EdgeState e;
+  e.eid = r.get_varint();
+  e.neighbor = r.get_varint();
+  e.is_pair_a = r.get_u8() != 0;
+  e.flow = r.get_signed();
+  e.cap_ab = static_cast<Capacity>(r.get_varint());
+  e.cap_ba = static_cast<Capacity>(r.get_varint());
+  e.sent_source_path = static_cast<uint32_t>(r.get_varint());
+  e.sent_sink_path = static_cast<uint32_t>(r.get_varint());
+  return e;
+}
+
+// ------------------------------------------------------------ VertexValue
+
+void VertexValue::clear() {
+  is_master = false;
+  source_paths.clear();
+  sink_paths.clear();
+  edges.clear();
+  next_path_id = 1;
+}
+
+void VertexValue::encode(ByteWriter& w) const {
+  w.put_u8(is_master ? 1 : 0);
+  w.put_varint(source_paths.size());
+  for (const auto& p : source_paths) p.encode(w);
+  w.put_varint(sink_paths.size());
+  for (const auto& p : sink_paths) p.encode(w);
+  w.put_varint(edges.size());
+  for (const auto& e : edges) e.encode(w);
+  w.put_varint(next_path_id);
+}
+
+VertexValue VertexValue::decode(ByteReader& r) {
+  VertexValue v;
+  decode_into(r, v);
+  return v;
+}
+
+void VertexValue::decode_into(ByteReader& r, VertexValue& out) {
+  out.is_master = r.get_u8() != 0;
+  uint64_t ns = r.get_varint();
+  out.source_paths.clear();
+  out.source_paths.reserve(ns);
+  for (uint64_t i = 0; i < ns; ++i) {
+    out.source_paths.push_back(ExcessPath::decode(r));
+  }
+  uint64_t nt = r.get_varint();
+  out.sink_paths.clear();
+  out.sink_paths.reserve(nt);
+  for (uint64_t i = 0; i < nt; ++i) {
+    out.sink_paths.push_back(ExcessPath::decode(r));
+  }
+  uint64_t ne = r.get_varint();
+  out.edges.clear();
+  out.edges.reserve(ne);
+  for (uint64_t i = 0; i < ne; ++i) out.edges.push_back(EdgeState::decode(r));
+  out.next_path_id = static_cast<uint32_t>(r.get_varint());
+}
+
+serde::Bytes encode_vertex_key(VertexId v) {
+  ByteWriter w;
+  w.put_varint(v);
+  return w.take();
+}
+
+VertexId decode_vertex_key(std::string_view key) {
+  ByteReader r(key);
+  return r.get_varint();
+}
+
+// --------------------------------------------------------- AugmentedEdges
+
+Capacity AugmentedEdges::delta_for(EdgeId eid) const {
+  const Capacity* v = find(eid);
+  return v == nullptr ? 0 : *v;
+}
+
+const Capacity* AugmentedEdges::find(EdgeId eid) const {
+  auto it = std::lower_bound(
+      deltas.begin(), deltas.end(), eid,
+      [](const auto& entry, EdgeId key) { return entry.first < key; });
+  if (it == deltas.end() || it->first != eid) return nullptr;
+  return &it->second;
+}
+
+serde::Bytes AugmentedEdges::encode() const {
+  ByteWriter w;
+  w.put_varint(deltas.size());
+  for (const auto& [eid, delta] : deltas) {
+    w.put_varint(eid);
+    w.put_signed(delta);
+  }
+  return w.take();
+}
+
+AugmentedEdges AugmentedEdges::decode(std::string_view data) {
+  ByteReader r(data);
+  AugmentedEdges out;
+  uint64_t n = r.get_varint();
+  out.deltas.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EdgeId eid = r.get_varint();
+    Capacity delta = r.get_signed();
+    out.deltas.emplace_back(eid, delta);
+  }
+  if (!std::is_sorted(out.deltas.begin(), out.deltas.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      })) {
+    std::sort(out.deltas.begin(), out.deltas.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return out;
+}
+
+}  // namespace mrflow::ffmr

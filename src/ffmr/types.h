@@ -1,0 +1,151 @@
+// FFMR data model: the paper's vertex record <Su, Tu, Eu> (Sec. III-C).
+//
+// Records are keyed by vertex id; the value holds
+//   Su -- source excess paths (paths from source s to this vertex),
+//   Tu -- sink excess paths (paths from this vertex to sink t),
+//   Eu -- adjacency: one EdgeState per incident edge pair.
+//
+// Flow bookkeeping uses the pair orientation throughout: every edge pair
+// (a, b) has a single signed flow value f (positive = net a->b), exactly
+// the skew-symmetric representation of Sec. II-A. A path edge stores the
+// pair id, its traversal direction relative to the pair, the flow at last
+// update, and the traversal-direction capacity, so the residual along the
+// traversal is always `cap_fwd - dir * flow`.
+//
+// Master records (is_master) carry Eu and the FF5 send-state; fragments
+// (pushed between vertices during the map phase) carry only paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "graph/graph.h"
+
+namespace mrflow::ffmr {
+
+using graph::Capacity;
+using graph::VertexId;
+using serde::ByteReader;
+using serde::ByteWriter;
+
+using EdgeId = uint64_t;
+
+// One step of an excess path.
+struct PathEdge {
+  EdgeId eid = 0;
+  int8_t dir = 1;        // +1: traversed a->b of the pair; -1: b->a
+  VertexId from = 0;
+  VertexId to = 0;
+  Capacity flow = 0;     // pair-oriented flow at last update
+  Capacity cap_fwd = 0;  // capacity in the traversal direction
+
+  Capacity residual() const {
+    return cap_fwd - static_cast<Capacity>(dir) * flow;
+  }
+
+  void encode(ByteWriter& w) const;
+  static PathEdge decode(ByteReader& r);
+  bool operator==(const PathEdge&) const = default;
+};
+
+// A source excess path (s -> v, edges in travel order) or sink excess path
+// (v -> t, edges in travel order). The empty path is valid and seeds the
+// source and sink vertices in round #0.
+struct ExcessPath {
+  uint32_t id = 0;  // vertex-local identity, used by FF5 send tracking
+  std::vector<PathEdge> edges;
+
+  bool empty() const { return edges.empty(); }
+  size_t length() const { return edges.size(); }
+
+  // Smallest residual along the path (kInfiniteCap when empty).
+  Capacity bottleneck() const;
+  bool saturated() const { return bottleneck() <= 0; }
+
+  // True if v appears as an endpoint of any edge on the path.
+  bool touches(VertexId v) const;
+
+  void encode(ByteWriter& w) const;
+  static ExcessPath decode(ByteReader& r);
+};
+
+// Concatenates a source excess path of u with a sink excess path of u into
+// an augmenting path candidate (paper's se|te).
+ExcessPath concat_paths(const ExcessPath& source_path,
+                        const ExcessPath& sink_path);
+
+// Adjacency entry of a master vertex.
+struct EdgeState {
+  EdgeId eid = 0;
+  VertexId neighbor = 0;
+  bool is_pair_a = true;  // this vertex is the pair's 'a' endpoint
+  Capacity flow = 0;      // pair-oriented (positive = a->b)
+  Capacity cap_ab = 0;
+  Capacity cap_ba = 0;
+  // FF5 send state: the id of the excess path last extended over this edge
+  // and still believed alive (0 = none). Cleared when that path saturates.
+  uint32_t sent_source_path = 0;
+  uint32_t sent_sink_path = 0;
+
+  // Residual capacity for flow leaving this vertex toward `neighbor`.
+  Capacity residual_out() const {
+    return is_pair_a ? cap_ab - flow : cap_ba + flow;
+  }
+  // Residual capacity for flow arriving from `neighbor` into this vertex.
+  Capacity residual_in() const {
+    return is_pair_a ? cap_ba + flow : cap_ab - flow;
+  }
+  // Traversal direction (pair-oriented) when leaving this vertex.
+  int8_t dir_out() const { return is_pair_a ? 1 : -1; }
+
+  void encode(ByteWriter& w) const;
+  static EdgeState decode(ByteReader& r);
+};
+
+// The record value: master vertex or fragment.
+struct VertexValue {
+  bool is_master = false;
+  std::vector<ExcessPath> source_paths;  // Su
+  std::vector<ExcessPath> sink_paths;    // Tu
+  std::vector<EdgeState> edges;          // Eu (master only)
+  uint32_t next_path_id = 1;             // master only; 0 is "no path"
+
+  // Assigns a fresh vertex-local path id.
+  uint32_t allocate_path_id() { return next_path_id++; }
+
+  void clear();
+  void encode(ByteWriter& w) const;
+  static VertexValue decode(ByteReader& r);
+  // Decodes into an existing object, reusing its vector storage (FF4's
+  // object-instantiation elimination).
+  static void decode_into(ByteReader& r, VertexValue& out);
+
+  serde::Bytes encoded() const {
+    ByteWriter w;
+    encode(w);
+    return w.take();
+  }
+};
+
+// Vertex-id key codec (varint; shared by all FFMR jobs).
+serde::Bytes encode_vertex_key(VertexId v);
+VertexId decode_vertex_key(std::string_view key);
+
+// The per-round flow-change broadcast (paper's AugmentedEdges side file):
+// eid -> signed delta in pair orientation.
+struct AugmentedEdges {
+  std::vector<std::pair<EdgeId, Capacity>> deltas;  // sorted by eid
+
+  Capacity delta_for(EdgeId eid) const;
+  // Pointer to the entry's value, or nullptr when absent (distinguishes
+  // "no change" from an explicit zero; the Pregel port broadcasts absolute
+  // flows through this structure).
+  const Capacity* find(EdgeId eid) const;
+  bool empty() const { return deltas.empty(); }
+
+  serde::Bytes encode() const;
+  static AugmentedEdges decode(std::string_view data);
+};
+
+}  // namespace mrflow::ffmr

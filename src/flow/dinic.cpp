@@ -1,0 +1,83 @@
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "flow/max_flow.h"
+
+namespace mrflow::flow {
+
+namespace {
+
+class Dinic {
+ public:
+  Dinic(const Graph& g, VertexId s, VertexId t)
+      : net_(g), s_(s), t_(t), level_(net_.num_vertices()),
+        iter_(net_.num_vertices()) {}
+
+  graph::FlowAssignment run() {
+    Capacity total = 0;
+    while (build_levels()) {
+      for (VertexId v = 0; v < net_.num_vertices(); ++v) iter_[v] = 0;
+      while (Capacity pushed = blocking_dfs(s_, graph::kInfiniteCap)) {
+        total += pushed;
+      }
+    }
+    return net_.extract_assignment(total);
+  }
+
+ private:
+  // BFS level graph over positive-residual arcs; false when t unreachable.
+  bool build_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<VertexId> queue{s_};
+    level_[s_] = 0;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (uint32_t arc : net_.out_arcs(u)) {
+        VertexId v = net_.head(arc);
+        if (net_.residual(arc) > 0 && level_[v] < 0) {
+          level_[v] = level_[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    return level_[t_] >= 0;
+  }
+
+  // DFS that only descends strictly increasing levels; iter_ caches the
+  // per-vertex scan position so each arc is considered once per phase.
+  Capacity blocking_dfs(VertexId u, Capacity limit) {
+    if (u == t_) return limit;
+    auto arcs = net_.out_arcs(u);
+    for (size_t& i = iter_[u]; i < arcs.size(); ++i) {
+      uint32_t arc = arcs[i];
+      VertexId v = net_.head(arc);
+      if (net_.residual(arc) <= 0 || level_[v] != level_[u] + 1) continue;
+      Capacity pushed =
+          blocking_dfs(v, std::min(limit, net_.residual(arc)));
+      if (pushed > 0) {
+        net_.push(arc, pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  ResidualNetwork net_;
+  VertexId s_, t_;
+  std::vector<int32_t> level_;
+  std::vector<size_t> iter_;
+};
+
+}  // namespace
+
+graph::FlowAssignment max_flow_dinic(const Graph& g, VertexId s, VertexId t) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+  return Dinic(g, s, t).run();
+}
+
+}  // namespace mrflow::flow

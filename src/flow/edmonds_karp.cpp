@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "flow/max_flow.h"
+
+namespace mrflow::flow {
+
+namespace {
+constexpr uint32_t kNoArc = ~0u;
+
+void check_terminals(const Graph& g, VertexId s, VertexId t) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+}
+}  // namespace
+
+graph::FlowAssignment max_flow_edmonds_karp(const Graph& g, VertexId s,
+                                            VertexId t) {
+  check_terminals(g, s, t);
+  ResidualNetwork net(g);
+  std::vector<uint32_t> parent_arc(net.num_vertices());
+  Capacity total = 0;
+
+  while (true) {
+    // BFS for a shortest augmenting path in the residual network.
+    std::fill(parent_arc.begin(), parent_arc.end(), kNoArc);
+    std::deque<VertexId> queue{s};
+    parent_arc[s] = kNoArc - 1;  // distinct "visited" marker for the source
+    bool found = false;
+    while (!queue.empty() && !found) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (uint32_t arc : net.out_arcs(u)) {
+        if (net.residual(arc) <= 0) continue;
+        VertexId v = net.head(arc);
+        if (parent_arc[v] != kNoArc) continue;
+        parent_arc[v] = arc;
+        if (v == t) {
+          found = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+    if (!found) break;
+
+    // Bottleneck along the parent chain, then push.
+    Capacity bottleneck = graph::kInfiniteCap;
+    for (VertexId v = t; v != s;) {
+      uint32_t arc = parent_arc[v];
+      bottleneck = std::min(bottleneck, net.residual(arc));
+      v = net.head(ResidualNetwork::reverse(arc));
+    }
+    for (VertexId v = t; v != s;) {
+      uint32_t arc = parent_arc[v];
+      net.push(arc, bottleneck);
+      v = net.head(ResidualNetwork::reverse(arc));
+    }
+    total += bottleneck;
+  }
+  return net.extract_assignment(total);
+}
+
+}  // namespace mrflow::flow

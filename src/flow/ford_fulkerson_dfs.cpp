@@ -1,0 +1,48 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "flow/max_flow.h"
+
+namespace mrflow::flow {
+
+namespace {
+
+// One DFS augmentation; returns the amount pushed (0 if t unreachable).
+Capacity dfs_augment(ResidualNetwork& net, std::vector<char>& visited,
+                     VertexId u, VertexId t, Capacity limit) {
+  if (u == t) return limit;
+  visited[u] = 1;
+  for (uint32_t arc : net.out_arcs(u)) {
+    VertexId v = net.head(arc);
+    if (visited[v] || net.residual(arc) <= 0) continue;
+    Capacity pushed =
+        dfs_augment(net, visited, v, t, std::min(limit, net.residual(arc)));
+    if (pushed > 0) {
+      net.push(arc, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+graph::FlowAssignment max_flow_dfs(const Graph& g, VertexId s, VertexId t) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+  ResidualNetwork net(g);
+  std::vector<char> visited(net.num_vertices(), 0);
+  Capacity total = 0;
+  while (true) {
+    std::fill(visited.begin(), visited.end(), 0);
+    Capacity pushed = dfs_augment(net, visited, s, t, graph::kInfiniteCap);
+    if (pushed == 0) break;
+    total += pushed;
+  }
+  return net.extract_assignment(total);
+}
+
+}  // namespace mrflow::flow

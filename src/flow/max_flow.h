@@ -1,0 +1,32 @@
+// Sequential max-flow solvers (memory-resident baselines and oracles).
+//
+// The paper situates FFMR against the classical algorithm families
+// (Sec. II-A): Ford-Fulkerson with shortest augmenting paths
+// (Edmonds-Karp, O(VE^2)), blocking flows (Dinic, O(V^2 E)), and
+// Push-Relabel (which the paper argues is ill-suited to MR). All four are
+// implemented here over the shared ResidualNetwork and produce a
+// FlowAssignment that validate.h can check and tests can cross-compare.
+#pragma once
+
+#include "flow/residual.h"
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+// BFS shortest augmenting paths. O(V E^2); robust general baseline.
+graph::FlowAssignment max_flow_edmonds_karp(const Graph& g, VertexId s,
+                                            VertexId t);
+
+// Blocking flows over level graphs. O(V^2 E), O(E sqrt(V)) on unit
+// networks -- the strongest sequential baseline here.
+graph::FlowAssignment max_flow_dinic(const Graph& g, VertexId s, VertexId t);
+
+// FIFO Push-Relabel with the gap heuristic and periodic global relabeling.
+graph::FlowAssignment max_flow_push_relabel(const Graph& g, VertexId s,
+                                            VertexId t);
+
+// Plain DFS Ford-Fulkerson; exponential worst case, used only as a tiny
+// cross-check oracle in tests.
+graph::FlowAssignment max_flow_dfs(const Graph& g, VertexId s, VertexId t);
+
+}  // namespace mrflow::flow

@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "flow/max_flow.h"
+
+namespace mrflow::flow {
+
+namespace {
+
+// FIFO Push-Relabel with the gap heuristic and periodic global relabeling
+// (the heuristics of Cherkassky & Goldberg that the paper cites when noting
+// Push-Relabel "relies heavily on heuristics").
+class PushRelabel {
+ public:
+  PushRelabel(const Graph& g, VertexId s, VertexId t)
+      : net_(g),
+        s_(s),
+        t_(t),
+        n_(net_.num_vertices()),
+        height_(n_, 0),
+        // Super-source problems saturate many infinite-capacity arcs, so
+        // excess needs headroom beyond Capacity's range.
+        excess_(n_, 0),
+        current_(n_, 0),
+        height_count_(2 * n_ + 1, 0),
+        active_(n_, false) {}
+
+  graph::FlowAssignment run() {
+    global_relabel();
+    // Saturate all source-out arcs.
+    for (uint32_t arc : net_.out_arcs(s_)) {
+      Capacity c = net_.residual(arc);
+      if (c <= 0) continue;
+      net_.push(arc, c);
+      excess_[net_.head(arc)] += c;
+      excess_[s_] -= c;
+      enqueue(net_.head(arc));
+    }
+    size_t work = 0;
+    const size_t relabel_interval = 8 * (n_ + net_.num_arcs() / 2 + 1);
+    while (!queue_.empty()) {
+      VertexId u = queue_.front();
+      queue_.pop_front();
+      active_[u] = false;
+      work += discharge(u);
+      if (work >= relabel_interval) {
+        work = 0;
+        global_relabel();
+      }
+    }
+    return net_.extract_assignment(static_cast<Capacity>(excess_[t_]));
+  }
+
+ private:
+  void enqueue(VertexId v) {
+    if (v != s_ && v != t_ && !active_[v] && excess_[v] > 0 &&
+        height_[v] < 2 * static_cast<int64_t>(n_)) {
+      active_[v] = true;
+      queue_.push_back(v);
+    }
+  }
+
+  // Discharges u until its excess is gone or it is relabeled above every
+  // admissible arc; returns work units for the relabel trigger.
+  size_t discharge(VertexId u) {
+    size_t work = 0;
+    auto arcs = net_.out_arcs(u);
+    while (excess_[u] > 0) {
+      if (current_[u] == arcs.size()) {
+        work += relabel(u);
+        current_[u] = 0;
+        if (height_[u] >= 2 * static_cast<int64_t>(n_)) break;
+        continue;
+      }
+      uint32_t arc = arcs[current_[u]];
+      VertexId v = net_.head(arc);
+      if (net_.residual(arc) > 0 && height_[u] == height_[v] + 1) {
+        Capacity amount = static_cast<Capacity>(
+            std::min<__int128>(excess_[u], net_.residual(arc)));
+        net_.push(arc, amount);
+        excess_[u] -= amount;
+        excess_[v] += amount;
+        enqueue(v);
+      } else {
+        ++current_[u];
+        ++work;
+      }
+    }
+    return work;
+  }
+
+  size_t relabel(VertexId u) {
+    int64_t old_height = height_[u];
+    // Gap heuristic: if u was the only vertex at its height, every vertex
+    // above the gap can never push to t again; lift them past n.
+    if (--height_count_[old_height] == 0 &&
+        old_height < static_cast<int64_t>(n_)) {
+      for (VertexId v = 0; v < n_; ++v) {
+        if (height_[v] > old_height && height_[v] < static_cast<int64_t>(n_)) {
+          height_count_[height_[v]]--;
+          height_[v] = static_cast<int64_t>(n_) + 1;
+          height_count_[height_[v]]++;
+        }
+      }
+    }
+    int64_t best = 2 * static_cast<int64_t>(n_);
+    for (uint32_t arc : net_.out_arcs(u)) {
+      if (net_.residual(arc) > 0) {
+        best = std::min(best, height_[net_.head(arc)] + 1);
+      }
+    }
+    height_[u] = best;
+    ++height_count_[best];
+    return net_.out_arcs(u).size();
+  }
+
+  // Exact heights: distance-to-t for vertices that can still reach t, and
+  // n + distance-to-s for the rest (so stranded excess drains back to the
+  // source -- the standard second-phase behavior, needed e.g. when parts
+  // of the graph cannot reach t at all).
+  void global_relabel() {
+    const int64_t unset = 2 * static_cast<int64_t>(n_);
+    std::fill(height_.begin(), height_.end(), unset);
+    std::fill(height_count_.begin(), height_count_.end(), 0);
+    auto backwards_bfs = [this, unset](VertexId root, int64_t base) {
+      std::deque<VertexId> queue{root};
+      height_[root] = base;
+      while (!queue.empty()) {
+        VertexId v = queue.front();
+        queue.pop_front();
+        for (uint32_t arc : net_.out_arcs(v)) {
+          // Arc v->w in residual means w can push to v along reverse(arc)
+          // when reverse(arc) has residual capacity.
+          VertexId w = net_.head(arc);
+          if (net_.residual(ResidualNetwork::reverse(arc)) > 0 &&
+              height_[w] == unset) {
+            height_[w] = height_[v] + 1;
+            queue.push_back(w);
+          }
+        }
+      }
+    };
+    backwards_bfs(t_, 0);
+    if (height_[s_] == unset || height_[s_] >= static_cast<int64_t>(n_)) {
+      height_[s_] = unset;
+      backwards_bfs(s_, static_cast<int64_t>(n_));
+    }
+    height_[s_] = static_cast<int64_t>(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      ++height_count_[std::min<int64_t>(height_[v], 2 * n_)];
+      current_[v] = 0;
+    }
+    // Re-arm the active queue for vertices that still carry excess.
+    queue_.clear();
+    std::fill(active_.begin(), active_.end(), false);
+    for (VertexId v = 0; v < n_; ++v) enqueue(v);
+  }
+
+  ResidualNetwork net_;
+  VertexId s_, t_;
+  VertexId n_;
+  std::vector<int64_t> height_;
+  std::vector<__int128> excess_;
+  std::vector<size_t> current_;
+  std::vector<int64_t> height_count_;
+  std::vector<bool> active_;
+  std::deque<VertexId> queue_;
+};
+
+}  // namespace
+
+graph::FlowAssignment max_flow_push_relabel(const Graph& g, VertexId s,
+                                            VertexId t) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+  return PushRelabel(g, s, t).run();
+}
+
+}  // namespace mrflow::flow

@@ -1,0 +1,47 @@
+#include "flow/residual.h"
+
+#include <stdexcept>
+
+namespace mrflow::flow {
+
+ResidualNetwork::ResidualNetwork(const Graph& g) : n_(g.num_vertices()) {
+  const auto& edges = g.edges();
+  if (edges.size() * 2 > ~uint32_t{0}) {
+    throw std::invalid_argument("graph too large for 32-bit arc ids");
+  }
+  head_.resize(edges.size() * 2);
+  cap_.resize(edges.size() * 2);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    head_[2 * i] = edges[i].b;
+    head_[2 * i + 1] = edges[i].a;
+    cap_[2 * i] = edges[i].cap_ab;
+    cap_[2 * i + 1] = edges[i].cap_ba;
+  }
+  orig_ = cap_;
+
+  offsets_.assign(n_ + 1, 0);
+  for (const auto& e : edges) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  adj_.resize(edges.size() * 2);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj_[cursor[edges[i].a]++] = static_cast<uint32_t>(2 * i);
+    adj_[cursor[edges[i].b]++] = static_cast<uint32_t>(2 * i + 1);
+  }
+}
+
+graph::FlowAssignment ResidualNetwork::extract_assignment(
+    Capacity value) const {
+  graph::FlowAssignment out;
+  out.value = value;
+  out.pair_flow.resize(cap_.size() / 2);
+  for (size_t i = 0; i < out.pair_flow.size(); ++i) {
+    out.pair_flow[i] = orig_[2 * i] - cap_[2 * i];
+  }
+  return out;
+}
+
+}  // namespace mrflow::flow

@@ -1,0 +1,59 @@
+// In-memory residual network shared by the sequential max-flow solvers.
+//
+// Classical algorithms (paper Sec. II-A) need the whole graph in memory --
+// exactly the limitation FFMR removes -- but they are indispensable here as
+// correctness oracles and single-machine baselines. The representation is
+// the standard paired-arc scheme: edge pair i becomes arcs 2i (a->b) and
+// 2i+1 (b->a), each the other's reverse, so pushing along one automatically
+// creates residual capacity on the other (skew symmetry for free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+using graph::Capacity;
+using graph::Graph;
+using graph::VertexId;
+
+class ResidualNetwork {
+ public:
+  explicit ResidualNetwork(const Graph& g);
+
+  VertexId num_vertices() const { return n_; }
+  size_t num_arcs() const { return cap_.size(); }
+
+  // Arc accessors. Arc ids: 2*pair (a->b) and 2*pair+1 (b->a).
+  VertexId head(uint32_t arc) const { return head_[arc]; }
+  Capacity residual(uint32_t arc) const { return cap_[arc]; }
+  static uint32_t reverse(uint32_t arc) { return arc ^ 1; }
+
+  // Pushes `amount` along arc: decreases its residual, increases the
+  // reverse arc's residual.
+  void push(uint32_t arc, Capacity amount) {
+    cap_[arc] -= amount;
+    cap_[arc ^ 1] += amount;
+  }
+
+  // Arc ids leaving v.
+  std::span<const uint32_t> out_arcs(VertexId v) const {
+    return std::span<const uint32_t>(adj_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Net flow currently pushed, per original edge pair (positive = a->b).
+  graph::FlowAssignment extract_assignment(Capacity value) const;
+
+ private:
+  VertexId n_;
+  std::vector<VertexId> head_;     // arc -> head vertex
+  std::vector<Capacity> cap_;      // arc -> residual capacity
+  std::vector<Capacity> orig_;     // arc -> original capacity
+  std::vector<uint64_t> offsets_;  // vertex -> adj_ range
+  std::vector<uint32_t> adj_;      // arc ids grouped by tail vertex
+};
+
+}  // namespace mrflow::flow

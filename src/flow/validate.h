@@ -1,0 +1,49 @@
+// Flow validation and max-flow certification.
+//
+// Every solver in this repository -- the sequential baselines and all five
+// FFMR variants -- returns a FlowAssignment, so one validator certifies
+// them all: capacity constraints, skew symmetry (structural, by the signed
+// representation), flow conservation, claimed value, and (for maximality)
+// the max-flow/min-cut certificate: the sink must be unreachable in the
+// final residual network and the saturated cut's capacity must equal the
+// flow value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string what) {
+    ok = false;
+    if (violations.size() < 32) violations.push_back(std::move(what));
+  }
+  std::string summary() const;
+};
+
+// Checks feasibility: per-direction capacity constraints, conservation at
+// every non-terminal vertex, and that the net outflow of s equals
+// assignment.value (and the net inflow of t equals it too).
+ValidationReport validate_flow(const Graph& g, VertexId s, VertexId t,
+                               const graph::FlowAssignment& assignment);
+
+// Checks maximality via the min-cut certificate. Implies validate_flow.
+ValidationReport validate_max_flow(const Graph& g, VertexId s, VertexId t,
+                                   const graph::FlowAssignment& assignment);
+
+// The source side of the minimum cut induced by a maximum flow: vertices
+// reachable from s in the residual network. Applications (community
+// detection, sybil defense) read the cut straight off this partition.
+std::vector<bool> min_cut_partition(const Graph& g, VertexId s,
+                                    const graph::FlowAssignment& assignment);
+
+}  // namespace mrflow::flow

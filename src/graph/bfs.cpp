@@ -1,0 +1,82 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace mrflow::graph {
+
+std::vector<uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (const Arc& arc : g.neighbors(u)) {
+      const EdgePair& e = g.edge(arc.pair_index);
+      Capacity cap = arc.forward ? e.cap_ab : e.cap_ba;
+      if (cap <= 0) continue;
+      if (dist[arc.to] == kUnreachable) {
+        dist[arc.to] = dist[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::deque<VertexId> queue;
+  seen[0] = 1;
+  queue.push_back(0);
+  size_t count = 1;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (const Arc& arc : g.neighbors(u)) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = 1;
+        ++count;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return count == g.num_vertices();
+}
+
+uint32_t double_sweep_lower_bound(const Graph& g, VertexId start) {
+  auto d1 = bfs_distances(g, start);
+  VertexId far = start;
+  uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (d1[v] != kUnreachable && d1[v] > best) {
+      best = d1[v];
+      far = v;
+    }
+  }
+  auto d2 = bfs_distances(g, far);
+  uint32_t ecc = 0;
+  for (uint32_t d : d2) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+uint32_t estimate_diameter(const Graph& g, int samples, uint64_t seed) {
+  if (g.num_vertices() == 0) return 0;
+  rng::Xoshiro256 rng(seed);
+  uint32_t best = 0;
+  for (int i = 0; i < samples; ++i) {
+    VertexId start = rng.next_below(g.num_vertices());
+    best = std::max(best, double_sweep_lower_bound(g, start));
+  }
+  return best;
+}
+
+}  // namespace mrflow::graph

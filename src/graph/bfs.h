@@ -1,0 +1,35 @@
+// Sequential BFS utilities: distances, connectivity, diameter estimation.
+//
+// The paper estimates the diameter D of FB6 as "between 7 to 14 using a
+// MR-based BFS from s" and argues FFMR round counts track D. We provide the
+// sequential reference here; mr_bfs.h is the MapReduce counterpart used as
+// the lower-bound baseline in Figs. 6 and 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::graph {
+
+inline constexpr uint32_t kUnreachable = ~0u;
+
+// BFS hop distances from `source` over edges with positive capacity in the
+// traversal direction. dist[v] == kUnreachable for unreached vertices.
+std::vector<uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+// True if every vertex is reachable from vertex 0 (capacities ignored,
+// both directions usable) -- structural connectivity.
+bool is_connected(const Graph& g);
+
+// Eccentricity lower bound by double sweep: BFS from `start`, then BFS
+// from the farthest vertex found; returns the second sweep's max distance.
+uint32_t double_sweep_lower_bound(const Graph& g, VertexId start);
+
+// Diameter estimate: max of `samples` double sweeps from random starts.
+// A lower bound on the true diameter; tight in practice on small-world
+// graphs.
+uint32_t estimate_diameter(const Graph& g, int samples, uint64_t seed);
+
+}  // namespace mrflow::graph

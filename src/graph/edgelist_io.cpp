@@ -1,0 +1,55 @@
+#include "graph/edgelist_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrflow::graph {
+
+Graph read_edgelist(std::istream& in) {
+  Graph g;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    VertexId u, v;
+    if (!(ls >> u)) continue;  // blank / comment-only line
+    if (!(ls >> v)) {
+      throw std::invalid_argument("edgelist line " + std::to_string(lineno) +
+                                  ": missing second vertex");
+    }
+    Capacity cab = 1, cba = -1;
+    if (ls >> cab) {
+      if (!(ls >> cba)) cba = cab;
+    } else {
+      cba = 1;
+    }
+    g.add_edge(u, v, cab, cba);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph read_edgelist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open edge list: " + path);
+  return read_edgelist(in);
+}
+
+void write_edgelist(const Graph& g, std::ostream& out) {
+  out << "# vertices " << g.num_vertices() << "\n";
+  for (const auto& e : g.edges()) {
+    out << e.a << ' ' << e.b << ' ' << e.cap_ab << ' ' << e.cap_ba << "\n";
+  }
+}
+
+void write_edgelist_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot create edge list: " + path);
+  write_edgelist(g, out);
+}
+
+}  // namespace mrflow::graph

@@ -1,0 +1,22 @@
+// Plain-text edge-list I/O (the "raw crawled graph" format).
+//
+// One edge pair per line: "u v [cap_ab [cap_ba]]"; '#' starts a comment.
+// Missing capacities default to 1/symmetric, matching the paper's unit-
+// capacity preprocessing. Used by examples to load user graphs and by the
+// FFMR round-#0 job's input loader.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mrflow::graph {
+
+Graph read_edgelist(std::istream& in);
+Graph read_edgelist_file(const std::string& path);
+
+void write_edgelist(const Graph& g, std::ostream& out);
+void write_edgelist_file(const Graph& g, const std::string& path);
+
+}  // namespace mrflow::graph

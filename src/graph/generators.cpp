@@ -1,0 +1,258 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace mrflow::graph {
+
+namespace {
+
+// Packs an undirected vertex pair into one key for dedup sets.
+uint64_t pair_key(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (a << 32) | b;
+}
+
+void check_packable(VertexId n) {
+  if (n >= (1ull << 32)) {
+    throw std::invalid_argument("generators support < 2^32 vertices");
+  }
+}
+
+}  // namespace
+
+Graph watts_strogatz(VertexId n, int k, double beta, uint64_t seed,
+                     Capacity cap) {
+  if (n < 3) throw std::invalid_argument("watts_strogatz: n < 3");
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("watts_strogatz: k must be even and >= 2");
+  }
+  if (static_cast<VertexId>(k) >= n) {
+    throw std::invalid_argument("watts_strogatz: k >= n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta not in [0,1]");
+  }
+  check_packable(n);
+
+  rng::Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> present;
+  present.reserve(n * static_cast<size_t>(k));
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (int j = 1; j <= k / 2; ++j) {
+      VertexId v = (u + static_cast<VertexId>(j)) % n;
+      if (rng.next_bool(beta)) {
+        // Rewire the far endpoint to a uniform random vertex; retry on
+        // self loops and duplicates (bounded: give up after 32 draws and
+        // keep the lattice edge if it is still free).
+        bool rewired = false;
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          VertexId w = rng.next_below(n);
+          if (w == u) continue;
+          if (present.insert(pair_key(u, w)).second) {
+            g.add_undirected(u, w, cap);
+            rewired = true;
+            break;
+          }
+        }
+        if (rewired) continue;
+      }
+      if (present.insert(pair_key(u, v)).second) g.add_undirected(u, v, cap);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph barabasi_albert(VertexId n, int m, uint64_t seed, Capacity cap) {
+  if (m < 1) throw std::invalid_argument("barabasi_albert: m < 1");
+  if (n <= static_cast<VertexId>(m)) {
+    throw std::invalid_argument("barabasi_albert: n <= m");
+  }
+  check_packable(n);
+
+  rng::Xoshiro256 rng(seed);
+  Graph g(n);
+  // Degree-proportional sampling via the standard repeated-endpoint list.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * n * static_cast<size_t>(m));
+
+  // Seed clique over the first m+1 vertices keeps early attachment fair.
+  for (VertexId u = 0; u <= static_cast<VertexId>(m); ++u) {
+    for (VertexId v = u + 1; v <= static_cast<VertexId>(m); ++v) {
+      g.add_undirected(u, v, cap);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<VertexId> chosen;
+  for (VertexId u = static_cast<VertexId>(m) + 1; u < n; ++u) {
+    chosen.clear();
+    while (chosen.size() < static_cast<size_t>(m)) {
+      VertexId v = endpoints[rng.next_below(endpoints.size())];
+      if (v != u) chosen.insert(v);
+    }
+    for (VertexId v : chosen) {
+      g.add_undirected(u, v, cap);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph rmat(int scale, int edge_factor, uint64_t seed, double a, double b,
+           double c, Capacity cap) {
+  if (scale < 1 || scale > 31) throw std::invalid_argument("rmat: bad scale");
+  if (edge_factor < 1) throw std::invalid_argument("rmat: bad edge_factor");
+  double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be nonnegative");
+  }
+  VertexId n = VertexId{1} << scale;
+  uint64_t target = n * static_cast<uint64_t>(edge_factor);
+  check_packable(n);
+
+  rng::Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> present;
+  present.reserve(target);
+  Graph g(n);
+  uint64_t attempts_left = target * 16;  // bounded redraw budget
+  while (g.num_edge_pairs() < target && attempts_left-- > 0) {
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng.next_double();
+      int quadrant = r < a ? 0 : (r < a + b ? 1 : (r < a + b + c ? 2 : 3));
+      u = (u << 1) | static_cast<VertexId>(quadrant >> 1);
+      v = (v << 1) | static_cast<VertexId>(quadrant & 1);
+    }
+    if (u == v) continue;
+    if (present.insert(pair_key(u, v)).second) g.add_undirected(u, v, cap);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph erdos_renyi(VertexId n, uint64_t m, uint64_t seed, Capacity cap) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: n < 2");
+  uint64_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("erdos_renyi: m too large");
+  check_packable(n);
+
+  rng::Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> present;
+  present.reserve(m);
+  Graph g(n);
+  while (g.num_edge_pairs() < m) {
+    VertexId u = rng.next_below(n);
+    VertexId v = rng.next_below(n);
+    if (u == v) continue;
+    if (present.insert(pair_key(u, v)).second) g.add_undirected(u, v, cap);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph grid(VertexId rows, VertexId cols, Capacity cap) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: empty");
+  check_packable(rows * cols);
+  Graph g(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_undirected(id(r, c), id(r, c + 1), cap);
+      if (r + 1 < rows) g.add_undirected(id(r, c), id(r + 1, c), cap);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph facebook_like(VertexId n, int avg_degree, uint64_t seed, Capacity cap) {
+  if (avg_degree < 2) throw std::invalid_argument("facebook_like: degree < 2");
+  int m = std::max(1, avg_degree / 2);
+  Graph g = barabasi_albert(n, m, seed, cap);
+  // Local-clustering pass: close a sample of length-2 paths into triangles,
+  // which raises the clustering coefficient toward social-network levels
+  // without disturbing the degree tail much.
+  rng::Xoshiro256 rng(seed ^ 0x5bd1e995u);
+  std::unordered_set<uint64_t> present;
+  present.reserve(g.num_edge_pairs() * 12 / 10);
+  for (const auto& e : g.edges()) {
+    present.insert((std::min(e.a, e.b) << 32) | std::max(e.a, e.b));
+  }
+  uint64_t closures = g.num_edge_pairs() / 10;
+  std::vector<EdgePair> extra;
+  for (uint64_t i = 0; i < closures; ++i) {
+    VertexId u = rng.next_below(n);
+    auto nbrs = g.neighbors(u);
+    if (nbrs.size() < 2) continue;
+    VertexId x = nbrs[rng.next_below(nbrs.size())].to;
+    VertexId y = nbrs[rng.next_below(nbrs.size())].to;
+    if (x == y) continue;
+    uint64_t key = (std::min(x, y) << 32) | std::max(x, y);
+    if (present.insert(key).second) extra.push_back(EdgePair{x, y, cap, cap});
+  }
+  for (const auto& e : extra) g.add_edge(e.a, e.b, e.cap_ab, e.cap_ba);
+  g.finalize();
+  return g;
+}
+
+std::vector<FacebookLadderEntry> facebook_ladder(double scale) {
+  if (scale <= 0) throw std::invalid_argument("facebook_ladder: scale <= 0");
+  // Mirrors the paper's FB1..FB6 growth in vertices and average degree
+  // (FB1: 21M x ~10, FB6: 411M x ~152) at roughly 1/1000 size by default.
+  std::vector<FacebookLadderEntry> ladder = {
+      {"FB1'", 21000, 10},  {"FB2'", 73000, 28},  {"FB3'", 97000, 42},
+      {"FB4'", 151000, 58}, {"FB5'", 225000, 90}, {"FB6'", 411000, 152},
+  };
+  for (auto& e : ladder) {
+    e.vertices = std::max<VertexId>(64, static_cast<VertexId>(
+                                            std::llround(e.vertices * scale)));
+  }
+  return ladder;
+}
+
+FlowProblem attach_super_terminals(Graph graph, int w, size_t min_degree,
+                                   uint64_t seed) {
+  if (w < 1) throw std::invalid_argument("attach_super_terminals: w < 1");
+  graph.finalize();
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.degree(v) >= min_degree) candidates.push_back(v);
+  }
+  if (candidates.size() < 2 * static_cast<size_t>(w)) {
+    throw std::invalid_argument(
+        "attach_super_terminals: not enough vertices of degree >= " +
+        std::to_string(min_degree) + " (" + std::to_string(candidates.size()) +
+        " candidates, need " + std::to_string(2 * w) + ")");
+  }
+  rng::Xoshiro256 rng(seed);
+  rng.shuffle(candidates);
+
+  FlowProblem problem;
+  problem.graph = std::move(graph);
+  VertexId s = problem.graph.num_vertices();
+  VertexId t = s + 1;
+  problem.graph.ensure_vertex(t);
+  // Edge capacity from the terminals "is set to infinity" (paper V-A1);
+  // only the terminal-side direction carries capacity.
+  for (int i = 0; i < w; ++i) {
+    problem.graph.add_edge(s, candidates[i], kInfiniteCap, 0);
+  }
+  for (int i = 0; i < w; ++i) {
+    problem.graph.add_edge(candidates[w + i], t, kInfiniteCap, 0);
+  }
+  problem.graph.finalize();
+  problem.source = s;
+  problem.sink = t;
+  return problem;
+}
+
+}  // namespace mrflow::graph

@@ -1,0 +1,71 @@
+// Synthetic small-world graph generators.
+//
+// The paper's evaluation graphs are crawled Facebook subgraphs (FB1..FB6,
+// 112M to 31B directed edges). We cannot redistribute or re-crawl them, so
+// every experiment runs on generated graphs with the properties the
+// algorithm exploits: low diameter, robustness of the diameter under edge
+// removal, and heavy-tailed degrees (see DESIGN.md substitution table).
+//
+// All generators produce bidirectional unit-capacity edge pairs (matching
+// the paper's round-#0 preprocessing: "make the graph bi-directional and
+// initialize unit edge capacities"); pass a different `cap` to scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::graph {
+
+// Watts-Strogatz small-world graph: ring lattice with k neighbors per
+// vertex (k even), each edge rewired with probability beta.
+Graph watts_strogatz(VertexId n, int k, double beta, uint64_t seed,
+                     Capacity cap = 1);
+
+// Barabasi-Albert preferential attachment: each new vertex attaches to m
+// distinct existing vertices with probability proportional to degree.
+// Produces power-law degrees and very low diameter -- our closest analog
+// to a social-network crawl.
+Graph barabasi_albert(VertexId n, int m, uint64_t seed, Capacity cap = 1);
+
+// R-MAT / Kronecker-style generator (Graph500 flavor): 2^scale vertices,
+// edge_factor * 2^scale undirected edge pairs, quadrant probabilities
+// (a, b, c; d = 1-a-b-c). Duplicate edges and self loops are discarded and
+// re-drawn (up to a bounded number of attempts).
+Graph rmat(int scale, int edge_factor, uint64_t seed, double a = 0.57,
+           double b = 0.19, double c = 0.19, Capacity cap = 1);
+
+// Erdos-Renyi G(n, m): m uniform random distinct edge pairs. Not a
+// small-world graph at low density; used as a control in tests.
+Graph erdos_renyi(VertexId n, uint64_t m, uint64_t seed, Capacity cap = 1);
+
+// rows x cols grid (4-neighborhood). High diameter; the pathological
+// control showing what FFMR costs without the small-world property.
+Graph grid(VertexId rows, VertexId cols, Capacity cap = 1);
+
+// The Facebook-subgraph analog used for the FBi' experiment graphs:
+// Barabasi-Albert core with an extra Watts-Strogatz-style local clustering
+// pass, giving low diameter, power-law tail and local clustering.
+Graph facebook_like(VertexId n, int avg_degree, uint64_t seed,
+                    Capacity cap = 1);
+
+// Scaled-down stand-ins for the paper's FB1..FB6 graph ladder. `scale`
+// multiplies the default sizes (scale=1 gives ~16k..1M vertices).
+struct FacebookLadderEntry {
+  std::string name;     // "FB1'" .. "FB6'"
+  VertexId vertices;
+  int avg_degree;
+};
+std::vector<FacebookLadderEntry> facebook_ladder(double scale = 1.0);
+
+// Attaches a super source and super sink (paper Sec. V-A1): picks w random
+// vertices of degree >= min_degree and connects them to a new super source
+// s with infinite capacity; picks another disjoint w vertices the same way
+// for the super sink t. Throws if the graph has fewer than 2w candidates.
+// Returns the augmented problem; s and t are the two highest vertex ids.
+FlowProblem attach_super_terminals(Graph graph, int w, size_t min_degree,
+                                   uint64_t seed);
+
+}  // namespace mrflow::graph

@@ -1,0 +1,77 @@
+#include "graph/graph.h"
+
+#include <stdexcept>
+
+namespace mrflow::graph {
+
+size_t Graph::num_directed_edges() const {
+  size_t count = 0;
+  for (const auto& e : edges_) {
+    if (e.cap_ab > 0) ++count;
+    if (e.cap_ba > 0) ++count;
+  }
+  return count;
+}
+
+void Graph::ensure_vertex(VertexId id) {
+  if (id >= n_) {
+    n_ = id + 1;
+    finalized_ = false;
+  }
+}
+
+uint64_t Graph::add_edge(VertexId a, VertexId b, Capacity cap_ab,
+                         Capacity cap_ba) {
+  if (a == b) throw std::invalid_argument("self loops are not supported");
+  if (cap_ab < 0 || cap_ba < 0) {
+    throw std::invalid_argument("negative capacity");
+  }
+  ensure_vertex(a);
+  ensure_vertex(b);
+  edges_.push_back(EdgePair{a, b, cap_ab, cap_ba});
+  finalized_ = false;
+  return edges_.size() - 1;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  offsets_.assign(n_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.assign(edges_.empty() ? 0 : offsets_[n_], Arc{});
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint64_t i = 0; i < edges_.size(); ++i) {
+    const auto& e = edges_[i];
+    arcs_[cursor[e.a]++] = Arc{e.b, i, true};
+    arcs_[cursor[e.b]++] = Arc{e.a, i, false};
+  }
+  finalized_ = true;
+}
+
+size_t Graph::degree(VertexId v) const {
+  if (!finalized_) throw std::logic_error("graph not finalized");
+  if (v >= n_) throw std::out_of_range("vertex out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::span<const Arc> Graph::neighbors(VertexId v) const {
+  if (!finalized_) throw std::logic_error("graph not finalized");
+  if (v >= n_) throw std::out_of_range("vertex out of range");
+  return std::span<const Arc>(arcs_.data() + offsets_[v],
+                              offsets_[v + 1] - offsets_[v]);
+}
+
+Capacity Graph::out_capacity(VertexId v) const {
+  Capacity total = 0;
+  for (const Arc& arc : neighbors(v)) {
+    const EdgePair& e = edges_[arc.pair_index];
+    total += arc.forward ? e.cap_ab : e.cap_ba;
+    if (total >= kInfiniteCap) return kInfiniteCap;
+  }
+  return total;
+}
+
+}  // namespace mrflow::graph

@@ -1,0 +1,106 @@
+// Flow-network graph model.
+//
+// The paper's round #0 turns the crawled social graph into a bi-directional
+// flow network: every friendship (u, v) becomes a pair of opposite directed
+// edges sharing one edge identity. We model exactly that: a Graph is a set
+// of *edge pairs* (a, b) with independent capacities for the a->b and b->a
+// directions (either may be zero). Flow on a pair is a single signed
+// quantity f with skew symmetry: f > 0 means net flow a->b.
+//
+// Vertices are dense ids [0, n). Capacities are int64 (the paper's
+// experiments use unit capacities; integers keep max-flow == min-cut
+// checkable exactly). kInfiniteCap marks super-source/sink attachment
+// edges (paper Sec. V-A1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mrflow::graph {
+
+using VertexId = uint64_t;
+using Capacity = int64_t;
+
+// Large enough to never bind, small enough to never overflow when summed.
+inline constexpr Capacity kInfiniteCap =
+    std::numeric_limits<Capacity>::max() / 4;
+
+struct EdgePair {
+  VertexId a = 0;
+  VertexId b = 0;
+  Capacity cap_ab = 0;
+  Capacity cap_ba = 0;
+};
+
+// One adjacency entry in the CSR view: vertex `from`'s connection through
+// edge pair `pair_index` to `to`. `forward` is true when `from` is the
+// pair's `a` endpoint (so positive pair flow leaves `from`).
+struct Arc {
+  VertexId to = 0;
+  uint64_t pair_index = 0;
+  bool forward = true;
+};
+
+class Graph {
+ public:
+  explicit Graph(VertexId num_vertices = 0) : n_(num_vertices) {}
+
+  VertexId num_vertices() const { return n_; }
+  size_t num_edge_pairs() const { return edges_.size(); }
+  // Directed edge count as the paper reports it (each pair direction with
+  // positive capacity counts once).
+  size_t num_directed_edges() const;
+
+  // Grows the vertex space to include id.
+  void ensure_vertex(VertexId id);
+
+  // Adds an edge pair; invalidates the CSR until finalize() is called
+  // again. Self loops are rejected.
+  uint64_t add_edge(VertexId a, VertexId b, Capacity cap_ab, Capacity cap_ba);
+
+  // Convenience for the common bidirectional unit-ish case.
+  uint64_t add_undirected(VertexId a, VertexId b, Capacity cap = 1) {
+    return add_edge(a, b, cap, cap);
+  }
+
+  const std::vector<EdgePair>& edges() const { return edges_; }
+  const EdgePair& edge(uint64_t pair_index) const { return edges_[pair_index]; }
+
+  // Builds the CSR adjacency; idempotent. Must be called before degree()
+  // or neighbors().
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t degree(VertexId v) const;
+  std::span<const Arc> neighbors(VertexId v) const;
+
+  // Sum of all capacities leaving v (used to bound per-terminal flow).
+  Capacity out_capacity(VertexId v) const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<EdgePair> edges_;
+  bool finalized_ = false;
+  std::vector<uint64_t> offsets_;
+  std::vector<Arc> arcs_;
+};
+
+// A max-flow problem instance: a graph plus its terminals.
+struct FlowProblem {
+  Graph graph;
+  VertexId source = 0;
+  VertexId sink = 0;
+};
+
+// Per-pair signed net flow plus the achieved value; produced by every
+// solver (sequential baselines and FFMR alike) so validation and
+// cross-checking are uniform.
+struct FlowAssignment {
+  Capacity value = 0;
+  std::vector<Capacity> pair_flow;  // indexed by pair_index; sign: a->b
+};
+
+}  // namespace mrflow::graph

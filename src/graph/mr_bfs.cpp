@@ -1,0 +1,175 @@
+#include "graph/mr_bfs.h"
+
+#include <algorithm>
+
+#include "dfs/record_io.h"
+#include "mapreduce/typed.h"
+
+namespace mrflow::graph {
+
+namespace {
+
+// Distance is stored as dist+1 so 0 can mean "unreachable".
+constexpr uint64_t kNoDist = 0;
+
+struct BfsValue {
+  bool is_master = false;  // master vertex record vs pushed fragment
+  bool frontier = false;   // master only: settled this round, must push next
+  uint64_t dist_plus1 = kNoDist;
+  std::vector<VertexId> neighbors;  // master only
+
+  void encode(serde::ByteWriter& w) const {
+    w.put_u8(static_cast<uint8_t>((is_master ? 1 : 0) | (frontier ? 2 : 0)));
+    w.put_varint(dist_plus1);
+    w.put_varint(neighbors.size());
+    for (VertexId v : neighbors) w.put_varint(v);
+  }
+  static BfsValue decode(serde::ByteReader& r) {
+    BfsValue v;
+    uint8_t flags = r.get_u8();
+    v.is_master = flags & 1;
+    v.frontier = flags & 2;
+    v.dist_plus1 = r.get_varint();
+    uint64_t n = r.get_varint();
+    v.neighbors.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.neighbors.push_back(r.get_varint());
+    return v;
+  }
+};
+
+serde::Bytes encode_vid(VertexId v) {
+  serde::ByteWriter w;
+  w.put_varint(v);
+  return w.take();
+}
+
+VertexId decode_vid(std::string_view key) {
+  serde::ByteReader r(key);
+  return r.get_varint();
+}
+
+class BfsMapper final : public mr::Mapper {
+ public:
+  explicit BfsMapper(bool schimmy) : schimmy_(schimmy) {}
+
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    serde::ByteReader vr(value);
+    BfsValue v = BfsValue::decode(vr);
+    if (v.frontier) {
+      BfsValue frag;
+      frag.dist_plus1 = v.dist_plus1 + 1;
+      serde::Bytes encoded = serde::encode_one(frag);
+      for (VertexId nbr : v.neighbors) ctx.emit(encode_vid(nbr), encoded);
+      v.frontier = false;
+    }
+    // With schimmy, the reducer merge-joins the master from the previous
+    // round's partition file instead of receiving it through the shuffle.
+    // The master's frontier flag was consumed above, and the reducer
+    // re-derives "no longer frontier" from the unchanged distance.
+    if (!schimmy_) ctx.emit(key, serde::encode_one(v));
+  }
+
+ private:
+  bool schimmy_;
+};
+
+class BfsReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    BfsValue master;
+    bool have_master = false;
+    uint64_t best = kNoDist;
+    for (std::string_view raw : values) {
+      serde::ByteReader r(raw);
+      BfsValue v = BfsValue::decode(r);
+      if (v.is_master) {
+        master = std::move(v);
+        have_master = true;
+      } else if (best == kNoDist || v.dist_plus1 < best) {
+        best = v.dist_plus1;
+      }
+    }
+    if (!have_master) return;  // defensive: every vertex has a master
+    master.frontier = false;   // schimmy path never cleared it in MAP
+    if (best != kNoDist &&
+        (master.dist_plus1 == kNoDist || best < master.dist_plus1)) {
+      master.dist_plus1 = best;
+      master.frontier = true;
+      ctx.counters().increment("updated");
+    }
+    ctx.emit(key, serde::encode_one(master));
+  }
+};
+
+}  // namespace
+
+void write_bfs_input(mr::Cluster& cluster, const Graph& g, VertexId source,
+                     const std::string& path) {
+  dfs::RecordWriter out(&cluster.fs(), path);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    BfsValue value;
+    value.is_master = true;
+    if (v == source) {
+      value.dist_plus1 = 1;  // dist 0
+      value.frontier = true;
+    }
+    value.neighbors.reserve(g.degree(v));
+    for (const Arc& arc : g.neighbors(v)) {
+      const EdgePair& e = g.edge(arc.pair_index);
+      Capacity cap = arc.forward ? e.cap_ab : e.cap_ba;
+      if (cap > 0) value.neighbors.push_back(arc.to);
+    }
+    out.write(encode_vid(v), serde::encode_one(value));
+  }
+  out.close();
+}
+
+MrBfsResult mr_bfs(mr::Cluster& cluster, const Graph& g, VertexId source,
+                   const MrBfsOptions& options) {
+  const std::string input = options.base + "/input";
+  write_bfs_input(cluster, g, source, input);
+
+  mr::JobChain chain(cluster, options.base);
+  MrBfsResult result;
+
+  // Round 0 distributes the raw input into partition files (the paper's
+  // round #0 is also a plain reshaping job); it always reports updates
+  // because the source settles.
+  bool schimmy = options.use_schimmy;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    mr::JobSpec spec;
+    spec.mapper = [schimmy, round] {
+      // Round 0 reads the loader file which has masters only; schimmy
+      // requires a previous partitioned round, so it starts at round 1.
+      return std::make_unique<BfsMapper>(schimmy && round > 0);
+    };
+    spec.reducer = [] { return std::make_unique<BfsReducer>(); };
+    if (round == 0) spec.inputs = {input};
+    if (schimmy && round > 0) spec.schimmy_prefix = chain.prefix_for(round - 1);
+    const mr::JobStats& stats = chain.run_round(std::move(spec));
+    result.round_stats.push_back(stats);
+    if (round > 0 && stats.counters.value("updated") == 0) break;
+  }
+  result.rounds = chain.completed_rounds();
+  result.totals = chain.totals();
+
+  // Read back final distances for reached count and eccentricity.
+  for (const auto& file : chain.outputs_of(chain.completed_rounds() - 1)) {
+    dfs::RecordReader reader(&cluster.fs(), file);
+    while (auto rec = reader.next()) {
+      serde::ByteReader r(rec->value);
+      BfsValue v = BfsValue::decode(r);
+      if (v.dist_plus1 != kNoDist) {
+        ++result.reached;
+        result.max_distance = std::max(
+            result.max_distance, static_cast<uint32_t>(v.dist_plus1 - 1));
+      }
+    }
+  }
+  (void)decode_vid;  // key decoding helper kept for symmetry/tests
+  return result;
+}
+
+}  // namespace mrflow::graph

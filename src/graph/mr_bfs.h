@@ -1,0 +1,45 @@
+// MapReduce BFS (the paper's comparison baseline).
+//
+// Each MR round advances the frontier one level: frontier vertices push
+// dist+1 to their neighbors, the reducer keeps the minimum. Termination is
+// via an "updated" counter, exactly like FFMR's source/sink-move counters.
+// The paper reports BFS rounds/time "as a comparison for a lower bound on
+// rounds and times" (Fig. 6) and as the scalability reference (Fig. 8); it
+// is also how they estimate the diameter D of FB6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mapreduce/driver.h"
+
+namespace mrflow::graph {
+
+struct MrBfsOptions {
+  // Use the schimmy pattern for master records (keeps the comparison fair
+  // against FF3+ variants when desired).
+  bool use_schimmy = false;
+  int max_rounds = 64;
+  // DFS path prefix for this computation's files.
+  std::string base = "bfs";
+};
+
+struct MrBfsResult {
+  int rounds = 0;             // MR rounds run (excluding the input load)
+  uint64_t reached = 0;       // vertices with a finite distance
+  uint32_t max_distance = 0;  // eccentricity of the source
+  std::vector<mr::JobStats> round_stats;
+  mr::JobStats totals;
+};
+
+// Writes one record per vertex (vid -> distance + adjacency) to the DFS
+// under `path`. Only positive-capacity directions become BFS arcs.
+void write_bfs_input(mr::Cluster& cluster, const Graph& g, VertexId source,
+                     const std::string& path);
+
+// Runs multi-round MR BFS from `source`.
+MrBfsResult mr_bfs(mr::Cluster& cluster, const Graph& g, VertexId source,
+                   const MrBfsOptions& options = {});
+
+}  // namespace mrflow::graph

@@ -1,0 +1,52 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mrflow::mr {
+
+namespace {
+dfs::DfsConfig dfs_config_from(const ClusterConfig& c) {
+  dfs::DfsConfig d;
+  d.num_nodes = c.num_slave_nodes;
+  d.replication = c.dfs_replication;
+  d.block_size = c.dfs_block_size;
+  return d;
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config,
+                 std::unique_ptr<dfs::StorageBackend> backend)
+    : config_(config),
+      fs_(dfs_config_from(config), std::move(backend)),
+      pool_(config.executor_threads <= 0
+                ? 0
+                : static_cast<size_t>(config.executor_threads)) {
+  if (config_.num_slave_nodes < 1) {
+    throw std::invalid_argument("cluster needs at least one slave node");
+  }
+  if (config_.map_slots_per_node < 1 || config_.reduce_slots_per_node < 1) {
+    throw std::invalid_argument("cluster needs at least one slot per node");
+  }
+}
+
+double Cluster::lpt_makespan(std::vector<double> task_seconds, int slots) {
+  if (task_seconds.empty()) return 0.0;
+  if (slots < 1) slots = 1;
+  std::sort(task_seconds.begin(), task_seconds.end(), std::greater<>());
+  // Min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  for (int i = 0; i < slots; ++i) heap.push(0.0);
+  double makespan = 0.0;
+  for (double t : task_seconds) {
+    double start = heap.top();
+    heap.pop();
+    double finish = start + t;
+    heap.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+}  // namespace mrflow::mr

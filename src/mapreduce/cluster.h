@@ -1,0 +1,100 @@
+// Simulated MapReduce cluster.
+//
+// The paper ran Hadoop 0.21 on 21 machines (1 master + 20 slaves, 1 GbE,
+// 15 map + 15 reduce slots per node). We reproduce the *system model* in a
+// single process: a cluster is N simulated slave nodes, each with a fixed
+// number of map and reduce slots; tasks execute with real parallelism on a
+// thread pool, while a cost model converts exact byte counts (DFS I/O, map
+// output spill, shuffle traffic) plus measured task CPU into *simulated
+// seconds*. All paper-facing results (Figs. 5-8, Table I) report simulated
+// seconds, so cluster size has the same first-order effect it has on real
+// Hadoop: more nodes => more slots and more aggregate disk/net bandwidth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dfs/dfs.h"
+
+namespace mrflow::mr {
+
+// Converts work (bytes, cpu) into simulated seconds. Defaults approximate
+// the paper's testbed: 1 GbE (~117 MB/s), SATA disks (~100 MB/s effective),
+// and tens of seconds of per-job scheduling overhead ("running Hadoop on 5
+// machines requires at least 10 minutes to complete one round" for a 1B
+// edge graph; overheads dominate small rounds, cf. Table I round #1).
+struct CostModel {
+  double job_overhead_s = 25.0;      // job setup/teardown per MR round
+  double task_overhead_s = 0.5;      // per-task scheduling + JVM reuse cost
+  double disk_mbps = 100.0;          // per-node effective disk bandwidth
+  double network_mbps = 117.0;       // per-node NIC bandwidth (1 GbE)
+  double cpu_scale = 8.0;            // simulated-CPU slowdown vs this host
+                                     // (Hadoop's per-record overhead is far
+                                     // higher than tight C++ loops)
+
+  double disk_seconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (disk_mbps * 1e6);
+  }
+  double net_seconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (network_mbps * 1e6);
+  }
+};
+
+// Deterministic task-failure injection: each task attempt fails with the
+// given probability (decided by a stable hash of job/phase/task/attempt, so
+// runs are reproducible). Models the machine/task failures MapReduce's
+// retry machinery exists for.
+struct FaultConfig {
+  double task_failure_probability = 0.0;
+  uint64_t seed = 0;
+};
+
+struct ClusterConfig {
+  int num_slave_nodes = 4;
+  int map_slots_per_node = 2;
+  int reduce_slots_per_node = 2;
+  int dfs_replication = 2;
+  uint64_t dfs_block_size = 4ull << 20;
+  CostModel cost;
+  // Real threads used to execute tasks; 0 = hardware concurrency. This
+  // affects wall time only, never simulated time or results.
+  int executor_threads = 0;
+  // Task attempts before the job fails (Hadoop's mapred.map.max.attempts).
+  int max_task_attempts = 4;
+  FaultConfig fault;
+};
+
+// A running cluster: simulated DFS + task executor + configuration.
+// One Cluster instance is shared by all rounds of a multi-round job.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config,
+                   std::unique_ptr<dfs::StorageBackend> backend = nullptr);
+
+  const ClusterConfig& config() const { return config_; }
+  dfs::FileSystem& fs() { return fs_; }
+  const dfs::FileSystem& fs() const { return fs_; }
+  common::ThreadPool& pool() { return pool_; }
+
+  int num_nodes() const { return config_.num_slave_nodes; }
+  int total_map_slots() const {
+    return config_.num_slave_nodes * config_.map_slots_per_node;
+  }
+  int total_reduce_slots() const {
+    return config_.num_slave_nodes * config_.reduce_slots_per_node;
+  }
+
+  // Longest-processing-time schedule of task durations onto `slots`
+  // parallel slots; returns the makespan. Used by the cost model to turn
+  // per-task simulated times into a phase time.
+  static double lpt_makespan(std::vector<double> task_seconds, int slots);
+
+ private:
+  ClusterConfig config_;
+  dfs::FileSystem fs_;
+  common::ThreadPool pool_;
+};
+
+}  // namespace mrflow::mr

@@ -1,0 +1,54 @@
+#include "mapreduce/driver.h"
+
+#include <stdexcept>
+
+namespace mrflow::mr {
+
+JobChain::JobChain(Cluster& cluster, std::string base)
+    : cluster_(cluster), base_(std::move(base)) {
+  if (base_.empty()) throw std::invalid_argument("JobChain base is empty");
+}
+
+std::string JobChain::prefix_for(int round) const {
+  return base_ + "/round-" + std::to_string(round);
+}
+
+std::vector<std::string> JobChain::outputs_of(int round) const {
+  if (round < 0 || round >= completed_rounds()) return {};
+  std::vector<std::string> files;
+  int parts = reducers_per_round_[round];
+  files.reserve(parts);
+  for (int r = 0; r < parts; ++r) {
+    files.push_back(partition_file(prefix_for(round), r));
+  }
+  return files;
+}
+
+const JobStats& JobChain::run_round(JobSpec spec) {
+  int round = next_round();
+  if (spec.name.empty() || spec.name == "job") {
+    spec.name = base_ + "#" + std::to_string(round);
+  }
+  if (spec.inputs.empty() && round > 0) {
+    spec.inputs = outputs_of(round - 1);
+  }
+  spec.output_prefix = prefix_for(round);
+
+  JobStats stats = run_job(cluster_, spec);
+  rounds_.push_back(std::move(stats));
+  reducers_per_round_.push_back(rounds_.back().num_reduce_tasks);
+
+  if (gc_ && round >= 2) {
+    for (const auto& f : outputs_of(round - 2)) cluster_.fs().remove(f);
+  }
+  return rounds_.back();
+}
+
+JobStats JobChain::totals() const {
+  JobStats total;
+  total.job_name = base_ + "(total)";
+  for (const auto& r : rounds_) total.accumulate(r);
+  return total;
+}
+
+}  // namespace mrflow::mr

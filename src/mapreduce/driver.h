@@ -1,0 +1,56 @@
+// Multi-round MapReduce chaining (the paper's "multi-round MR").
+//
+// Complex MR applications chain jobs: the output of round i is the input of
+// round i+1 (paper Sec. II). JobChain owns the round naming convention,
+// tracks per-round statistics (the unit of complexity the paper argues for
+// is the *number of rounds*), and garbage-collects intermediate outputs --
+// keeping the immediately previous round alive because the schimmy pattern
+// (FF3) re-reads it in the next round's reducers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.h"
+
+namespace mrflow::mr {
+
+class JobChain {
+ public:
+  // `base` is the DFS path prefix for all round outputs, e.g. "maxflow".
+  JobChain(Cluster& cluster, std::string base);
+
+  // DFS output prefix for a given round ("<base>/round-<i>").
+  std::string prefix_for(int round) const;
+
+  // The partition files produced by `round` (empty if not run yet).
+  std::vector<std::string> outputs_of(int round) const;
+
+  // Runs `spec` as the next round. The caller fills mapper/reducer/params;
+  // the chain fills name, inputs (= previous round's outputs unless the
+  // spec already names inputs), and output_prefix. Returns this round's
+  // stats (also recorded in rounds()).
+  const JobStats& run_round(JobSpec spec);
+
+  int next_round() const { return static_cast<int>(rounds_.size()); }
+  int completed_rounds() const { return static_cast<int>(rounds_.size()); }
+  const std::vector<JobStats>& rounds() const { return rounds_; }
+
+  // Sum of all per-round stats.
+  JobStats totals() const;
+
+  // If true (default), outputs of round i-2 are deleted when round i
+  // completes (round i-1 stays for schimmy).
+  void set_gc(bool gc) { gc_ = gc; }
+
+  Cluster& cluster() { return cluster_; }
+
+ private:
+  Cluster& cluster_;
+  std::string base_;
+  std::vector<JobStats> rounds_;
+  std::vector<int> reducers_per_round_;
+  bool gc_ = true;
+};
+
+}  // namespace mrflow::mr

@@ -1,0 +1,589 @@
+#include "mapreduce/job.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "dfs/record_io.h"
+
+namespace mrflow::mr {
+
+namespace {
+
+double thread_cpu_seconds() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct KvView {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Thrown by the deterministic fault injector to model a task/machine crash.
+struct InjectedTaskFailure : std::runtime_error {
+  InjectedTaskFailure() : std::runtime_error("injected task failure") {}
+};
+
+}  // namespace
+
+uint64_t stable_hash(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// MapContext/ReduceContext befriend these runner structs so the engine can
+// wire emit callbacks without exposing them publicly.
+struct MapTaskRunner {
+  static void set_emit(MapContext& ctx,
+                       std::function<void(std::string_view, std::string_view)> fn) {
+    ctx.emit_fn_ = std::move(fn);
+  }
+};
+struct ReduceTaskRunner {
+  static void set_emit(ReduceContext& ctx,
+                       std::function<void(std::string_view, std::string_view)> fn) {
+    ctx.emit_fn_ = std::move(fn);
+  }
+};
+
+// ------------------------------------------------------------- TaskContext
+
+TaskContext::TaskContext(Cluster* cluster,
+                         const std::map<std::string, std::string>* params,
+                         ServiceRegistry* services, int node, int task_id)
+    : cluster_(cluster),
+      params_(params),
+      services_(services),
+      node_(node),
+      task_id_(task_id) {}
+
+const std::string& TaskContext::param(const std::string& name) const {
+  auto it = params_->find(name);
+  if (it == params_->end()) {
+    throw std::invalid_argument("missing job param: " + name);
+  }
+  return it->second;
+}
+
+std::string TaskContext::param_or(const std::string& name,
+                                  const std::string& def) const {
+  auto it = params_->find(name);
+  return it == params_->end() ? def : it->second;
+}
+
+int64_t TaskContext::param_int(const std::string& name, int64_t def) const {
+  auto it = params_->find(name);
+  return it == params_->end() ? def : std::stoll(it->second);
+}
+
+Bytes TaskContext::read_side_file(const std::string& name) const {
+  return cluster_->fs().read_all(name, node_);
+}
+
+bool TaskContext::side_file_exists(const std::string& name) const {
+  return cluster_->fs().exists(name);
+}
+
+Bytes TaskContext::call_service(const std::string& name,
+                                std::string_view request) {
+  if (services_ == nullptr) {
+    throw std::logic_error("job has no service registry");
+  }
+  return services_->call(name, request);
+}
+
+// ------------------------------------------------------------- factories
+
+MapperFactory identity_mapper() {
+  class IdentityMapper final : public Mapper {
+   public:
+    void map(std::string_view key, std::string_view value,
+             MapContext& ctx) override {
+      ctx.emit(key, value);
+    }
+  };
+  return [] { return std::make_unique<IdentityMapper>(); };
+}
+
+ReducerFactory identity_reducer() {
+  class IdentityReducer final : public Reducer {
+   public:
+    void reduce(std::string_view key, const Values& values,
+                ReduceContext& ctx) override {
+      for (std::string_view v : values) ctx.emit(key, v);
+    }
+  };
+  return [] { return std::make_unique<IdentityReducer>(); };
+}
+
+Partitioner default_partitioner() {
+  return [](std::string_view key, int parts) {
+    return static_cast<uint32_t>(stable_hash(key) % static_cast<uint64_t>(parts));
+  };
+}
+
+std::string partition_file(const std::string& output_prefix, int r) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".part-%05d", r);
+  return output_prefix + buf;
+}
+
+void JobStats::accumulate(const JobStats& other) {
+  num_map_tasks += other.num_map_tasks;
+  num_reduce_tasks += other.num_reduce_tasks;
+  map_input_records += other.map_input_records;
+  map_output_records += other.map_output_records;
+  reduce_input_groups += other.reduce_input_groups;
+  reduce_output_records += other.reduce_output_records;
+  map_input_bytes += other.map_input_bytes;
+  map_output_bytes += other.map_output_bytes;
+  shuffle_bytes += other.shuffle_bytes;
+  shuffle_bytes_remote += other.shuffle_bytes_remote;
+  schimmy_bytes += other.schimmy_bytes;
+  output_bytes += other.output_bytes;
+  rpc_calls += other.rpc_calls;
+  rpc_request_bytes += other.rpc_request_bytes;
+  rpc_response_bytes += other.rpc_response_bytes;
+  task_retries += other.task_retries;
+  map_sim_s += other.map_sim_s;
+  shuffle_sim_s += other.shuffle_sim_s;
+  reduce_sim_s += other.reduce_sim_s;
+  sim_seconds += other.sim_seconds;
+  wall_seconds += other.wall_seconds;
+  counters.merge(other.counters);
+}
+
+// ------------------------------------------------------------- engine
+
+namespace {
+
+struct MapTaskSpec {
+  std::string file;
+  size_t block_index = 0;
+  uint64_t block_bytes = 0;
+  int node = 0;
+};
+
+struct MapTaskResult {
+  std::vector<Bytes> partitions;  // framed records per reduce partition
+  int64_t input_records = 0;
+  int64_t output_records = 0;
+  double cpu_seconds = 0;
+  common::CounterSet counters;
+};
+
+struct ReduceTaskResult {
+  int64_t input_groups = 0;
+  int64_t output_records = 0;
+  uint64_t shuffle_in_bytes = 0;
+  uint64_t schimmy_in_bytes = 0;
+  uint64_t output_bytes = 0;
+  double cpu_seconds = 0;
+  common::CounterSet counters;
+};
+
+// Assigns each map task to a node: prefer the block replica with the fewest
+// tasks so far (locality-aware greedy, like Hadoop's scheduler).
+std::vector<MapTaskSpec> plan_map_tasks(Cluster& cluster,
+                                        const std::vector<std::string>& inputs) {
+  std::vector<MapTaskSpec> tasks;
+  std::vector<int> load(cluster.num_nodes(), 0);
+  for (const auto& file : inputs) {
+    dfs::FileInfo info = cluster.fs().stat(file);
+    for (size_t b = 0; b < info.blocks.size(); ++b) {
+      MapTaskSpec t;
+      t.file = file;
+      t.block_index = b;
+      t.block_bytes = info.blocks[b].size;
+      int best = info.blocks[b].replicas.empty() ? 0
+                                                 : info.blocks[b].replicas[0];
+      for (int n : info.blocks[b].replicas) {
+        if (load[n] < load[best]) best = n;
+      }
+      t.node = best;
+      ++load[best];
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+// Runs the optional combiner over one map task's raw emitted records,
+// producing combined per-partition buffers.
+void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
+                  std::vector<std::vector<std::pair<Bytes, Bytes>>>& raw,
+                  std::vector<Bytes>& partitions) {
+  auto combiner = spec.combiner();
+  for (size_t p = 0; p < raw.size(); ++p) {
+    auto& records = raw[p];
+    std::stable_sort(records.begin(), records.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ReduceContext ctx(&cluster, &spec.params, spec.services, node, task_id);
+    ReduceTaskRunner::set_emit(ctx, [&partitions, p](std::string_view k,
+                                                     std::string_view v) {
+      dfs::append_record(partitions[p], k, v);
+    });
+    combiner->setup(ctx);
+    size_t i = 0;
+    std::vector<std::string_view> vals;
+    while (i < records.size()) {
+      size_t j = i;
+      vals.clear();
+      while (j < records.size() && records[j].first == records[i].first) {
+        vals.push_back(records[j].second);
+        ++j;
+      }
+      combiner->reduce(records[i].first, Values(vals), ctx);
+      i = j;
+    }
+    combiner->cleanup(ctx);
+  }
+}
+
+// Fails a task attempt with the configured probability, decided purely by
+// stable hashing so runs are reproducible regardless of thread timing.
+void maybe_inject_failure(const ClusterConfig& config, const std::string& job,
+                          const char* phase, size_t task, int attempt) {
+  double p = config.fault.task_failure_probability;
+  if (p <= 0) return;
+  serde::ByteWriter w;
+  w.put_bytes(job);
+  w.put_bytes(phase);
+  w.put_varint(task);
+  w.put_varint(static_cast<uint64_t>(attempt));
+  w.put_varint(config.fault.seed);
+  // FNV-1a's high bits avalanche poorly on short inputs; finalize with a
+  // splitmix64 round before converting to a uniform draw.
+  uint64_t h = stable_hash(w.bytes());
+  h = rng::splitmix64(h);
+  if (static_cast<double>(h >> 11) * 0x1.0p-53 < p) {
+    throw InjectedTaskFailure();
+  }
+}
+
+// Runs one task body with Hadoop-style retry-on-failure. The body must be
+// restartable (each attempt rebuilds its outputs from scratch). Returns the
+// number of failed attempts that were retried.
+template <typename Body>
+int run_with_retries(const ClusterConfig& config, const std::string& job,
+                     const char* phase, size_t task, const Body& body) {
+  int attempt = 0;
+  while (true) {
+    try {
+      maybe_inject_failure(config, job, phase, task, attempt);
+      body();
+      return attempt;
+    } catch (...) {
+      if (attempt + 1 >= std::max(1, config.max_task_attempts)) throw;
+      ++attempt;
+    }
+  }
+}
+
+}  // namespace
+
+JobStats run_job(Cluster& cluster, const JobSpec& spec) {
+  auto wall_start = std::chrono::steady_clock::now();
+  if (!spec.mapper) throw std::invalid_argument("job has no mapper");
+  if (!spec.reducer) throw std::invalid_argument("job has no reducer");
+  if (spec.output_prefix.empty()) {
+    throw std::invalid_argument("job has no output prefix");
+  }
+
+  const int num_reducers = spec.num_reduce_tasks > 0
+                               ? spec.num_reduce_tasks
+                               : cluster.total_reduce_slots();
+  Partitioner partition =
+      spec.partitioner ? spec.partitioner : default_partitioner();
+
+  const uint64_t rpc_calls0 = spec.services ? spec.services->rpc_calls() : 0;
+  const uint64_t rpc_req0 =
+      spec.services ? spec.services->rpc_request_bytes() : 0;
+  const uint64_t rpc_resp0 =
+      spec.services ? spec.services->rpc_response_bytes() : 0;
+
+  // ---------------------------------------------------------- map phase
+  std::vector<MapTaskSpec> map_tasks = plan_map_tasks(cluster, spec.inputs);
+  std::vector<MapTaskResult> map_results(map_tasks.size());
+  std::atomic<int64_t> task_retries{0};
+
+  cluster.pool().parallel_for(map_tasks.size(), [&](size_t ti) {
+    task_retries += run_with_retries(
+        cluster.config(), spec.name, "map", ti, [&] {
+    const MapTaskSpec& task = map_tasks[ti];
+    MapTaskResult& result = map_results[ti];
+    result = MapTaskResult{};  // restartable: reset any failed attempt
+    result.partitions.assign(num_reducers, Bytes());
+
+    Bytes block = cluster.fs().read_block(task.file, task.block_index, task.node);
+
+    MapContext ctx(&cluster, &spec.params, spec.services, task.node,
+                   static_cast<int>(ti));
+
+    // With a combiner, buffer raw records per partition and combine at the
+    // end of the task; otherwise frame records straight into partitions.
+    std::vector<std::vector<std::pair<Bytes, Bytes>>> raw;
+    if (spec.combiner) raw.assign(num_reducers, {});
+
+    MapTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
+      uint32_t p = partition(k, num_reducers);
+      if (p >= static_cast<uint32_t>(num_reducers)) {
+        throw std::logic_error("partitioner returned out-of-range partition");
+      }
+      if (spec.combiner) {
+        raw[p].emplace_back(Bytes(k), Bytes(v));
+      } else {
+        dfs::append_record(result.partitions[p], k, v);
+      }
+      ++result.output_records;
+    });
+
+    double cpu0 = thread_cpu_seconds();
+    auto mapper = spec.mapper();
+    mapper->setup(ctx);
+    dfs::for_each_record(block, [&](std::string_view k, std::string_view v) {
+      mapper->map(k, v, ctx);
+      ++result.input_records;
+    });
+    mapper->cleanup(ctx);
+    if (spec.combiner) {
+      run_combiner(spec, cluster, task.node, static_cast<int>(ti), raw,
+                   result.partitions);
+    }
+    result.cpu_seconds = thread_cpu_seconds() - cpu0;
+    result.counters = ctx.counters();
+    });
+  });
+
+  if (spec.services) spec.services->end_phase();
+
+  // ------------------------------------------------------ shuffle planning
+  // Reduce task r runs on node r % N (Hadoop assigns reduce tasks without
+  // locality since their input comes from everywhere).
+  auto reduce_node = [&](int r) { return r % cluster.num_nodes(); };
+
+  uint64_t shuffle_total = 0, shuffle_remote = 0;
+  std::vector<uint64_t> node_out_remote(cluster.num_nodes(), 0);
+  std::vector<uint64_t> node_in_remote(cluster.num_nodes(), 0);
+  for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+    for (int r = 0; r < num_reducers; ++r) {
+      uint64_t n = map_results[ti].partitions[r].size();
+      if (n == 0) continue;
+      shuffle_total += n;
+      if (map_tasks[ti].node != reduce_node(r)) {
+        shuffle_remote += n;
+        node_out_remote[map_tasks[ti].node] += n;
+        node_in_remote[reduce_node(r)] += n;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------- reduce phase
+  std::vector<ReduceTaskResult> reduce_results(num_reducers);
+
+  cluster.pool().parallel_for(static_cast<size_t>(num_reducers), [&](size_t r) {
+    task_retries += run_with_retries(
+        cluster.config(), spec.name, "reduce", r, [&] {
+    ReduceTaskResult& result = reduce_results[r];
+    result = ReduceTaskResult{};  // restartable: reset any failed attempt
+    const int node = reduce_node(static_cast<int>(r));
+
+    // Gather + decode this partition from every map task, then sort by key
+    // (stable: ties keep map-task order, which makes output deterministic).
+    std::vector<KvView> entries;
+    for (const auto& mres : map_results) {
+      const Bytes& part = mres.partitions[r];
+      result.shuffle_in_bytes += part.size();
+      dfs::for_each_record(part, [&](std::string_view k, std::string_view v) {
+        entries.push_back(KvView{k, v});
+      });
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const KvView& a, const KvView& b) { return a.key < b.key; });
+
+    ReduceContext ctx(&cluster, &spec.params, spec.services, node,
+                      static_cast<int>(r));
+    dfs::RecordWriter out(&cluster.fs(),
+                          partition_file(spec.output_prefix, static_cast<int>(r)));
+    ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
+      out.write(k, v);
+      ++result.output_records;
+    });
+
+    // Schimmy stream: previous round's partition r, read locally (never
+    // shuffled). Must be sorted by key -- our reducers emit in key order.
+    std::optional<dfs::RecordReader> schimmy;
+    if (!spec.schimmy_prefix.empty()) {
+      std::string file = partition_file(spec.schimmy_prefix, static_cast<int>(r));
+      if (cluster.fs().exists(file)) {
+        result.schimmy_in_bytes = cluster.fs().file_size(file);
+        schimmy.emplace(&cluster.fs(), file, node);
+      }
+    }
+    Bytes schimmy_key, schimmy_value;
+    bool have_schimmy = false;
+    auto schimmy_advance = [&] {
+      have_schimmy = false;
+      if (!schimmy) return;
+      if (auto rec = schimmy->next()) {
+        Bytes new_key(rec->key);
+        if (!schimmy_key.empty() && new_key < schimmy_key) {
+          throw std::logic_error(
+              "schimmy input partition is not sorted by key; the producing "
+              "job must emit records in key order");
+        }
+        schimmy_key = std::move(new_key);
+        schimmy_value.assign(rec->value);
+        have_schimmy = true;
+      }
+    };
+    schimmy_advance();
+
+    double cpu0 = thread_cpu_seconds();
+    auto reducer = spec.reducer();
+    reducer->setup(ctx);
+
+    size_t i = 0;
+    std::vector<std::string_view> vals;
+    std::vector<Bytes> owned_schimmy_vals;
+    while (i < entries.size() || have_schimmy) {
+      // Pick the smallest next key across the two sorted streams.
+      std::string_view key;
+      if (i < entries.size() && have_schimmy) {
+        key = std::min(std::string_view(entries[i].key),
+                       std::string_view(schimmy_key));
+      } else if (i < entries.size()) {
+        key = entries[i].key;
+      } else {
+        key = schimmy_key;
+      }
+      // Keep the key bytes alive across schimmy_advance().
+      Bytes key_owned(key);
+      key = key_owned;
+
+      vals.clear();
+      owned_schimmy_vals.clear();
+      // Master (schimmy) values come first, matching the contract that a
+      // reducer sees the master vertex before its fragments.
+      while (have_schimmy && std::string_view(schimmy_key) == key) {
+        owned_schimmy_vals.push_back(schimmy_value);
+        schimmy_advance();
+      }
+      for (const auto& ov : owned_schimmy_vals) vals.push_back(ov);
+      while (i < entries.size() && entries[i].key == key) {
+        vals.push_back(entries[i].value);
+        ++i;
+      }
+      reducer->reduce(key, Values(vals), ctx);
+      ++result.input_groups;
+    }
+    reducer->cleanup(ctx);
+    result.cpu_seconds = thread_cpu_seconds() - cpu0;
+    out.close();
+    result.output_bytes = out.bytes_written();
+    result.counters = ctx.counters();
+    });
+  });
+
+  if (spec.services) spec.services->end_phase();
+
+  // ----------------------------------------------------------- statistics
+  JobStats stats;
+  stats.job_name = spec.name;
+  stats.num_map_tasks = static_cast<int>(map_tasks.size());
+  stats.num_reduce_tasks = num_reducers;
+
+  const CostModel& cost = cluster.config().cost;
+
+  std::vector<std::vector<double>> map_times_by_node(cluster.num_nodes());
+  for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+    const auto& t = map_tasks[ti];
+    const auto& res = map_results[ti];
+    stats.map_input_records += res.input_records;
+    stats.map_output_records += res.output_records;
+    stats.map_input_bytes += t.block_bytes;
+    uint64_t out_bytes = 0;
+    for (const auto& p : res.partitions) out_bytes += p.size();
+    stats.map_output_bytes += out_bytes;
+    stats.counters.merge(res.counters);
+    double sim = cost.task_overhead_s + cost.disk_seconds(t.block_bytes) +
+                 res.cpu_seconds * cost.cpu_scale +
+                 cost.disk_seconds(out_bytes);
+    map_times_by_node[t.node].push_back(sim);
+  }
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    stats.map_sim_s =
+        std::max(stats.map_sim_s,
+                 Cluster::lpt_makespan(std::move(map_times_by_node[n]),
+                                       cluster.config().map_slots_per_node));
+  }
+
+  stats.shuffle_bytes = shuffle_total;
+  stats.shuffle_bytes_remote = shuffle_remote;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    stats.shuffle_sim_s = std::max(
+        {stats.shuffle_sim_s, cost.net_seconds(node_out_remote[n]),
+         cost.net_seconds(node_in_remote[n])});
+  }
+
+  std::vector<std::vector<double>> reduce_times_by_node(cluster.num_nodes());
+  for (int r = 0; r < num_reducers; ++r) {
+    const auto& res = reduce_results[r];
+    stats.reduce_input_groups += res.input_groups;
+    stats.reduce_output_records += res.output_records;
+    stats.schimmy_bytes += res.schimmy_in_bytes;
+    stats.output_bytes += res.output_bytes;
+    stats.counters.merge(res.counters);
+    double sim = cost.task_overhead_s + cost.disk_seconds(res.shuffle_in_bytes) +
+                 cost.disk_seconds(res.schimmy_in_bytes) +
+                 res.cpu_seconds * cost.cpu_scale +
+                 cost.disk_seconds(res.output_bytes *
+                                   cluster.config().dfs_replication);
+    reduce_times_by_node[reduce_node(r)].push_back(sim);
+  }
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    stats.reduce_sim_s =
+        std::max(stats.reduce_sim_s,
+                 Cluster::lpt_makespan(std::move(reduce_times_by_node[n]),
+                                       cluster.config().reduce_slots_per_node));
+  }
+
+  stats.sim_seconds = cost.job_overhead_s + stats.map_sim_s +
+                      stats.shuffle_sim_s + stats.reduce_sim_s;
+  stats.task_retries = task_retries.load();
+
+  if (spec.services) {
+    stats.rpc_calls = spec.services->rpc_calls() - rpc_calls0;
+    stats.rpc_request_bytes = spec.services->rpc_request_bytes() - rpc_req0;
+    stats.rpc_response_bytes = spec.services->rpc_response_bytes() - rpc_resp0;
+  }
+
+  if (spec.delete_inputs_after) {
+    for (const auto& f : spec.inputs) cluster.fs().remove(f);
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  LOG_INFO << "job '" << spec.name << "': " << stats.num_map_tasks << " maps, "
+           << num_reducers << " reduces, map_out=" << stats.map_output_records
+           << " shuffle=" << stats.shuffle_bytes
+           << "B sim=" << stats.sim_seconds << "s wall=" << stats.wall_seconds
+           << "s";
+  return stats;
+}
+
+}  // namespace mrflow::mr

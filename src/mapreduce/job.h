@@ -1,0 +1,210 @@
+// MapReduce job model and execution engine.
+//
+// This mirrors Hadoop's user-facing model: a job names its input record
+// files in the DFS, a Mapper and Reducer class, the number of reduce tasks,
+// string parameters (Hadoop's JobConf), side files (distributed cache) and
+// counters. run_job() executes the full map -> shuffle/sort -> reduce cycle
+// on a simulated Cluster and returns exact statistics (record and byte
+// counts) plus simulated and wall time.
+//
+// Engine-level features used by the paper's optimizations:
+//   - side files (FF1's AugmentedEdges broadcast, read in Mapper::setup),
+//   - named stateful services (FF2's aug_proc),
+//   - the schimmy merge-join (FF3): when JobSpec::schimmy_prefix is set,
+//     each reduce task r streams the previous round's output partition r
+//     and merge-joins it with the shuffled fragments by key, so master
+//     records never cross the shuffle,
+//   - per-job partitioner override (must stay fixed across rounds for
+//     schimmy to line up).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/serde.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/service.h"
+
+namespace mrflow::mr {
+
+using serde::Bytes;
+
+// Deterministic 64-bit FNV-1a over the key bytes; identical across
+// platforms and runs, so partition assignment is reproducible.
+uint64_t stable_hash(std::string_view s);
+
+// Shared context for map and reduce tasks.
+class TaskContext {
+ public:
+  TaskContext(Cluster* cluster, const std::map<std::string, std::string>* params,
+              ServiceRegistry* services, int node, int task_id);
+  virtual ~TaskContext() = default;
+
+  common::CounterSet& counters() { return counters_; }
+
+  // Job parameter lookup (Hadoop JobConf equivalent).
+  const std::string& param(const std::string& name) const;
+  std::string param_or(const std::string& name, const std::string& def) const;
+  int64_t param_int(const std::string& name, int64_t def) const;
+
+  // Reads a side file (distributed cache) from the DFS, attributing the
+  // I/O to this task's node.
+  Bytes read_side_file(const std::string& name) const;
+  bool side_file_exists(const std::string& name) const;
+
+  // Calls a stateful service registered with the job (FF2's aug_proc RPC).
+  Bytes call_service(const std::string& name, std::string_view request);
+
+  int node() const { return node_; }
+  int task_id() const { return task_id_; }
+
+ private:
+  Cluster* cluster_;
+  const std::map<std::string, std::string>* params_;
+  ServiceRegistry* services_;
+  int node_;
+  int task_id_;
+  common::CounterSet counters_;
+};
+
+class MapContext : public TaskContext {
+ public:
+  using TaskContext::TaskContext;
+
+  // Emits an intermediate record.
+  void emit(std::string_view key, std::string_view value) {
+    emit_fn_(key, value);
+  }
+
+ private:
+  friend struct MapTaskRunner;
+  std::function<void(std::string_view, std::string_view)> emit_fn_;
+};
+
+class ReduceContext : public TaskContext {
+ public:
+  using TaskContext::TaskContext;
+
+  // Emits a final output record (appended to this task's partition file).
+  void emit(std::string_view key, std::string_view value) {
+    emit_fn_(key, value);
+  }
+
+ private:
+  friend struct ReduceTaskRunner;
+  std::function<void(std::string_view, std::string_view)> emit_fn_;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void setup(MapContext&) {}
+  virtual void map(std::string_view key, std::string_view value,
+                   MapContext& ctx) = 0;
+  virtual void cleanup(MapContext&) {}
+};
+
+// Iteration over the grouped values of one reduce key.
+class Values {
+ public:
+  explicit Values(std::span<const std::string_view> values) : values_(values) {}
+  size_t size() const { return values_.size(); }
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+  std::string_view operator[](size_t i) const { return values_[i]; }
+
+ private:
+  std::span<const std::string_view> values_;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void setup(ReduceContext&) {}
+  virtual void reduce(std::string_view key, const Values& values,
+                      ReduceContext& ctx) = 0;
+  virtual void cleanup(ReduceContext&) {}
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+using Partitioner = std::function<uint32_t(std::string_view key, int parts)>;
+
+// Emits every input record unchanged.
+MapperFactory identity_mapper();
+// Emits (key, value) for every grouped value.
+ReducerFactory identity_reducer();
+// stable_hash(key) % parts.
+Partitioner default_partitioner();
+
+struct JobSpec {
+  std::string name = "job";
+  std::vector<std::string> inputs;  // DFS record files
+  std::string output_prefix;        // outputs: <prefix>.part-<r>
+  int num_reduce_tasks = 0;         // 0 = cluster's total reduce slots
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  ReducerFactory combiner;          // optional map-side combiner
+  Partitioner partitioner;          // optional; default_partitioner if unset
+  std::map<std::string, std::string> params;
+  // If set, reducers merge-join <schimmy_prefix>.part-<r> by key with the
+  // shuffled records (schimmy design pattern). Partition count and
+  // partitioner must match the job that produced those files.
+  std::string schimmy_prefix;
+  ServiceRegistry* services = nullptr;
+  // Remove input files once the job succeeds (multi-round GC).
+  bool delete_inputs_after = false;
+};
+
+// Exact per-job statistics; Hadoop counter equivalents noted.
+struct JobStats {
+  std::string job_name;
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+
+  int64_t map_input_records = 0;
+  int64_t map_output_records = 0;   // Table I "Map Out"
+  int64_t reduce_input_groups = 0;
+  int64_t reduce_output_records = 0;
+
+  uint64_t map_input_bytes = 0;
+  uint64_t map_output_bytes = 0;
+  uint64_t shuffle_bytes = 0;         // REDUCE_SHUFFLE_BYTES (all fetched)
+  uint64_t shuffle_bytes_remote = 0;  // cross-node portion only
+  uint64_t schimmy_bytes = 0;         // master records merge-joined locally
+  uint64_t output_bytes = 0;          // reduce output (pre-replication)
+
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_request_bytes = 0;
+  uint64_t rpc_response_bytes = 0;
+
+  // Task attempts that failed and were re-executed (injected or real).
+  int64_t task_retries = 0;
+
+  double map_sim_s = 0;
+  double shuffle_sim_s = 0;
+  double reduce_sim_s = 0;
+  double sim_seconds = 0;   // job_overhead + map + shuffle + reduce
+  double wall_seconds = 0;  // real time on this host
+
+  common::CounterSet counters;
+
+  // Accumulates another job's stats (multi-round totals).
+  void accumulate(const JobStats& other);
+};
+
+// Runs a job to completion. Throws on configuration errors or if any task
+// throws (first task exception propagates).
+JobStats run_job(Cluster& cluster, const JobSpec& spec);
+
+// Output partition file name for reduce task r.
+std::string partition_file(const std::string& output_prefix, int r);
+
+}  // namespace mrflow::mr

@@ -1,0 +1,69 @@
+#include "mapreduce/service.h"
+
+#include <stdexcept>
+
+namespace mrflow::mr {
+
+void ServiceRegistry::add(const std::string& name,
+                          std::shared_ptr<Service> service) {
+  std::lock_guard<std::mutex> lk(mu_);
+  services_[name] = std::move(service);
+}
+
+bool ServiceRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return services_.count(name) > 0;
+}
+
+serde::Bytes ServiceRegistry::call(const std::string& name,
+                                   std::string_view request) {
+  std::shared_ptr<Service> svc;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = services_.find(name);
+    if (it == services_.end()) {
+      throw std::invalid_argument("no such service: " + name);
+    }
+    svc = it->second;
+    request_bytes_ += request.size();
+    ++calls_;
+  }
+  serde::Bytes response = svc->handle(request);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    response_bytes_ += response.size();
+  }
+  return response;
+}
+
+void ServiceRegistry::end_phase() {
+  std::map<std::string, std::shared_ptr<Service>> copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    copy = services_;
+  }
+  for (auto& [name, svc] : copy) {
+    (void)name;
+    svc->on_phase_end();
+  }
+}
+
+uint64_t ServiceRegistry::rpc_request_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return request_bytes_;
+}
+uint64_t ServiceRegistry::rpc_response_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return response_bytes_;
+}
+uint64_t ServiceRegistry::rpc_calls() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return calls_;
+}
+void ServiceRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  request_bytes_ = response_bytes_ = 0;
+  calls_ = 0;
+}
+
+}  // namespace mrflow::mr

@@ -1,0 +1,63 @@
+// Stateful extension channel for MapReduce (the paper's FF2 idea).
+//
+// MAP and REDUCE are stateless in the MR model, but the paper shows that a
+// *stateful external process* contacted from inside REDUCE (their aug_proc,
+// reached over Java RMI from every reducer) removes the sink-reducer
+// bottleneck. We model this as named Service objects registered with a job:
+// task contexts can call them synchronously, and the engine accounts the
+// request/response bytes as master<->slave RPC traffic so the cost model
+// sees the communication (it is small compared to the shuffle, which is the
+// paper's observation that makes aug_proc worthwhile).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/serde.h"
+
+namespace mrflow::mr {
+
+// A stateful service reachable from map/reduce tasks. Implementations must
+// be thread-safe: tasks call concurrently from the executor pool.
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // Handles one request, returns the response payload. Called concurrently.
+  virtual serde::Bytes handle(std::string_view request) = 0;
+
+  // Called by the engine when a job phase that used this service finishes
+  // (all map or all reduce tasks done). Lets queue-based services drain.
+  virtual void on_phase_end() {}
+};
+
+// Named services attached to a job plus RPC byte accounting.
+class ServiceRegistry {
+ public:
+  void add(const std::string& name, std::shared_ptr<Service> service);
+  bool has(const std::string& name) const;
+
+  // Invokes a service and accounts request/response bytes.
+  serde::Bytes call(const std::string& name, std::string_view request);
+
+  // Notifies all services that the current phase ended.
+  void end_phase();
+
+  uint64_t rpc_request_bytes() const;
+  uint64_t rpc_response_bytes() const;
+  uint64_t rpc_calls() const;
+  void reset_stats();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Service>> services_;
+  uint64_t request_bytes_ = 0;
+  uint64_t response_bytes_ = 0;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace mrflow::mr

@@ -1,0 +1,47 @@
+#include "mapreduce/typed.h"
+
+namespace mrflow::mr {
+
+namespace {
+
+class LambdaMapper final : public Mapper {
+ public:
+  explicit LambdaMapper(
+      std::function<void(std::string_view, std::string_view, MapContext&)> fn)
+      : fn_(std::move(fn)) {}
+  void map(std::string_view key, std::string_view value,
+           MapContext& ctx) override {
+    fn_(key, value, ctx);
+  }
+
+ private:
+  std::function<void(std::string_view, std::string_view, MapContext&)> fn_;
+};
+
+class LambdaReducer final : public Reducer {
+ public:
+  explicit LambdaReducer(
+      std::function<void(std::string_view, const Values&, ReduceContext&)> fn)
+      : fn_(std::move(fn)) {}
+  void reduce(std::string_view key, const Values& values,
+              ReduceContext& ctx) override {
+    fn_(key, values, ctx);
+  }
+
+ private:
+  std::function<void(std::string_view, const Values&, ReduceContext&)> fn_;
+};
+
+}  // namespace
+
+MapperFactory lambda_mapper(
+    std::function<void(std::string_view, std::string_view, MapContext&)> fn) {
+  return [fn = std::move(fn)] { return std::make_unique<LambdaMapper>(fn); };
+}
+
+ReducerFactory lambda_reducer(
+    std::function<void(std::string_view, const Values&, ReduceContext&)> fn) {
+  return [fn = std::move(fn)] { return std::make_unique<LambdaReducer>(fn); };
+}
+
+}  // namespace mrflow::mr

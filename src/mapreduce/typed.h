@@ -1,0 +1,120 @@
+// Typed and lambda conveniences over the byte-level Mapper/Reducer API.
+//
+// The engine moves raw bytes (so byte accounting is exact); these adapters
+// give jobs a typed view. TypedMapper/TypedReducer decode keys/values with
+// serde codecs; lambda_mapper/lambda_reducer wrap plain callables (used
+// heavily in tests and examples).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/serde.h"
+#include "mapreduce/job.h"
+
+namespace mrflow::mr {
+
+// Wraps a callable as a Mapper. The callable may be stateful; one copy is
+// made per map task, so per-task state is isolated like a Hadoop Mapper.
+MapperFactory lambda_mapper(
+    std::function<void(std::string_view key, std::string_view value,
+                       MapContext& ctx)>
+        fn);
+
+// Wraps a callable as a Reducer (one copy per reduce task).
+ReducerFactory lambda_reducer(
+    std::function<void(std::string_view key, const Values& values,
+                       ReduceContext& ctx)>
+        fn);
+
+// Typed mapper base: decodes (K1, V1) with the given codecs and calls
+// typed_map. Subclasses emit through emit_typed.
+template <typename K1Codec, typename V1Codec, typename K2Codec,
+          typename V2Codec>
+class TypedMapper : public Mapper {
+ public:
+  using K1 = decltype(K1Codec::decode(std::declval<serde::ByteReader&>()));
+  using V1 = decltype(V1Codec::decode(std::declval<serde::ByteReader&>()));
+  using K2 = std::decay_t<
+      decltype(K2Codec::decode(std::declval<serde::ByteReader&>()))>;
+  using V2 = std::decay_t<
+      decltype(V2Codec::decode(std::declval<serde::ByteReader&>()))>;
+
+  void map(std::string_view key, std::string_view value,
+           MapContext& ctx) override {
+    serde::ByteReader kr(key), vr(value);
+    typed_map(K1Codec::decode(kr), V1Codec::decode(vr), ctx);
+  }
+
+ protected:
+  virtual void typed_map(K1 key, V1 value, MapContext& ctx) = 0;
+
+  void emit_typed(MapContext& ctx, const K2& key, const V2& value) {
+    key_buf_.clear();
+    value_buf_.clear();
+    serde::ByteWriter kw(&key_buf_), vw(&value_buf_);
+    K2Codec::encode(key, kw);
+    V2Codec::encode(value, vw);
+    ctx.emit(key_buf_, value_buf_);
+  }
+
+ private:
+  serde::Bytes key_buf_, value_buf_;
+};
+
+// Typed reducer base: decodes the key and each grouped value.
+template <typename K2Codec, typename V2Codec, typename K3Codec,
+          typename V3Codec>
+class TypedReducer : public Reducer {
+ public:
+  using K2 = std::decay_t<
+      decltype(K2Codec::decode(std::declval<serde::ByteReader&>()))>;
+  using V2 = std::decay_t<
+      decltype(V2Codec::decode(std::declval<serde::ByteReader&>()))>;
+  using K3 = std::decay_t<
+      decltype(K3Codec::decode(std::declval<serde::ByteReader&>()))>;
+  using V3 = std::decay_t<
+      decltype(V3Codec::decode(std::declval<serde::ByteReader&>()))>;
+
+  void reduce(std::string_view key, const Values& values,
+              ReduceContext& ctx) override {
+    serde::ByteReader kr(key);
+    K2 k = K2Codec::decode(kr);
+    decoded_.clear();
+    decoded_.reserve(values.size());
+    for (std::string_view v : values) {
+      serde::ByteReader vr(v);
+      decoded_.push_back(V2Codec::decode(vr));
+    }
+    typed_reduce(k, decoded_, ctx);
+  }
+
+ protected:
+  virtual void typed_reduce(const K2& key, const std::vector<V2>& values,
+                            ReduceContext& ctx) = 0;
+
+  void emit_typed(ReduceContext& ctx, const K3& key, const V3& value) {
+    key_buf_.clear();
+    value_buf_.clear();
+    serde::ByteWriter kw(&key_buf_), vw(&value_buf_);
+    K3Codec::encode(key, kw);
+    V3Codec::encode(value, vw);
+    ctx.emit(key_buf_, value_buf_);
+  }
+
+ private:
+  std::vector<V2> decoded_;
+  serde::Bytes key_buf_, value_buf_;
+};
+
+// Encodes a typed key with a codec into a fresh byte string (handy when
+// writing job inputs or probing outputs in tests).
+template <typename Codec, typename T>
+serde::Bytes encode_key(const T& v) {
+  serde::ByteWriter w;
+  Codec::encode(v, w);
+  return w.take();
+}
+
+}  // namespace mrflow::mr

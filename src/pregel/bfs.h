@@ -1,0 +1,70 @@
+// Pregel BFS: the canonical vertex program, used as the baseline for the
+// Pregel port of FFMR (mirrors graph/mr_bfs.h on the MapReduce side).
+#pragma once
+
+#include "graph/bfs.h"
+#include "pregel/pregel.h"
+
+namespace mrflow::pregel {
+
+struct BfsState {
+  uint32_t dist = graph::kUnreachable;
+  std::vector<VertexId> neighbors;
+};
+
+struct PregelBfsResult {
+  int supersteps = 0;
+  uint64_t reached = 0;
+  uint32_t max_distance = 0;
+  RunStats stats;
+};
+
+// Runs BFS from `source` over positive-capacity directions of g.
+inline PregelBfsResult pregel_bfs(const graph::Graph& g, VertexId source,
+                                  int num_workers = 4) {
+  Engine<BfsState> engine(g.num_vertices(), num_workers);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    BfsState& s = engine.state(v);
+    for (const graph::Arc& arc : g.neighbors(v)) {
+      const auto& e = g.edge(arc.pair_index);
+      if ((arc.forward ? e.cap_ab : e.cap_ba) > 0) {
+        s.neighbors.push_back(arc.to);
+      }
+    }
+  }
+  engine.state(source).dist = 0;
+
+  auto compute = [source](BfsState& s, const std::vector<Bytes>& inbox,
+                          VertexContext<BfsState>& ctx) {
+    uint32_t best = s.dist;
+    for (const Bytes& m : inbox) {
+      serde::ByteReader r(m);
+      best = std::min(best, static_cast<uint32_t>(r.get_varint()));
+    }
+    bool settled_now =
+        (ctx.superstep() == 0 && ctx.vertex_id() == source) ||
+        (best < s.dist);
+    s.dist = best;
+    if (settled_now) {
+      serde::ByteWriter w;
+      w.put_varint(s.dist + 1);
+      Bytes msg = w.take();
+      for (VertexId nbr : s.neighbors) ctx.send(nbr, msg);
+    }
+    ctx.vote_to_halt();
+  };
+
+  PregelBfsResult result;
+  result.stats = engine.run(compute);
+  result.supersteps = result.stats.supersteps;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint32_t d = engine.state(v).dist;
+    if (d != graph::kUnreachable) {
+      ++result.reached;
+      result.max_distance = std::max(result.max_distance, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace mrflow::pregel

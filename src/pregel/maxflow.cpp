@@ -1,0 +1,350 @@
+#include "pregel/maxflow.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "ffmr/accumulator.h"
+
+namespace mrflow::pregel {
+
+namespace {
+
+using ffmr::Accumulator;
+using ffmr::AcceptMode;
+using ffmr::AugmentedEdges;
+using ffmr::EdgeState;
+using ffmr::ExcessPath;
+using ffmr::PathEdge;
+using ffmr::VertexValue;
+using graph::Capacity;
+
+// Message: one excess-path fragment.
+constexpr uint8_t kSourceFragment = 0;
+constexpr uint8_t kSinkFragment = 1;
+
+Bytes encode_fragment(uint8_t kind, const ExcessPath& path) {
+  serde::ByteWriter w;
+  w.put_u8(kind);
+  path.encode(w);
+  return w.take();
+}
+
+// Global value broadcast by the master: restart flag + *cumulative
+// absolute* flows per touched edge. Absolute values (rather than per-
+// superstep deltas) make application idempotent, which matters because a
+// halted vertex skips supersteps and would miss intermediate deltas.
+Bytes encode_global(bool restart, const AugmentedEdges& flows) {
+  serde::ByteWriter w;
+  w.put_u8(restart ? 1 : 0);
+  w.put_bytes(flows.encode());
+  return w.take();
+}
+
+struct GlobalView {
+  bool restart = false;
+  AugmentedEdges flows;  // absolute pair flows, cumulative since start
+};
+
+GlobalView decode_global(const Bytes& data) {
+  GlobalView view;
+  if (data.empty()) return view;
+  serde::ByteReader r(data);
+  view.restart = r.get_u8() != 0;
+  view.flows = AugmentedEdges::decode(r.get_bytes());
+  return view;
+}
+
+void seed_terminal_paths(VertexValue& v, graph::VertexId id,
+                         graph::VertexId s, graph::VertexId t,
+                         bool bidirectional) {
+  if (id == s) {
+    ExcessPath empty;
+    empty.id = v.allocate_path_id();
+    v.source_paths.push_back(std::move(empty));
+  }
+  if (id == t && bidirectional) {
+    ExcessPath empty;
+    empty.id = v.allocate_path_id();
+    v.sink_paths.push_back(std::move(empty));
+  }
+}
+
+}  // namespace
+
+PregelMaxFlowResult pregel_max_flow(const graph::Graph& g, graph::VertexId s,
+                                    graph::VertexId t,
+                                    const PregelMaxFlowOptions& options) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+
+  PregelMaxFlowResult result;
+  result.assignment.pair_flow.assign(g.num_edge_pairs(), 0);
+  if (g.degree(s) == 0 || g.degree(t) == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  Engine<VertexValue> engine(g.num_vertices(), options.num_workers);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    VertexValue& state = engine.state(v);
+    state.is_master = true;
+    for (const graph::Arc& arc : g.neighbors(v)) {
+      const graph::EdgePair& e = g.edge(arc.pair_index);
+      EdgeState edge;
+      edge.eid = arc.pair_index;
+      edge.neighbor = arc.to;
+      edge.is_pair_a = arc.forward;
+      edge.cap_ab = e.cap_ab;
+      edge.cap_ba = e.cap_ba;
+      state.edges.push_back(edge);
+    }
+    std::sort(state.edges.begin(), state.edges.end(),
+              [](const EdgeState& a, const EdgeState& b) {
+                return a.eid < b.eid;
+              });
+    seed_terminal_paths(state, v, s, t, options.bidirectional);
+  }
+
+  const bool bidirectional = options.bidirectional;
+  const int max_candidates = options.max_candidates_per_vertex;
+
+  auto compute = [&, s, t](VertexValue& v, const std::vector<Bytes>& inbox,
+                           VertexContext<VertexValue>& ctx) {
+    GlobalView global = decode_global(ctx.global());
+
+    // --- apply the master's cumulative flows (paper MAP lines 1-4).
+    if (!global.flows.empty()) {
+      for (EdgeState& e : v.edges) {
+        if (const Capacity* f = global.flows.find(e.eid)) e.flow = *f;
+      }
+    }
+    if (global.restart) {
+      v.source_paths.clear();
+      v.sink_paths.clear();
+      for (EdgeState& e : v.edges) {
+        e.sent_source_path = 0;
+        e.sent_sink_path = 0;
+      }
+      seed_terminal_paths(v, ctx.vertex_id(), s, t, bidirectional);
+    } else if (!global.flows.empty()) {
+      for (auto* paths : {&v.source_paths, &v.sink_paths}) {
+        for (ExcessPath& path : *paths) {
+          for (PathEdge& e : path.edges) {
+            if (const Capacity* f = global.flows.find(e.eid)) e.flow = *f;
+          }
+        }
+        std::erase_if(*paths,
+                      [](const ExcessPath& p) { return p.saturated(); });
+      }
+      std::unordered_set<uint32_t> src_ids, snk_ids;
+      for (const auto& p : v.source_paths) src_ids.insert(p.id);
+      for (const auto& p : v.sink_paths) snk_ids.insert(p.id);
+      for (EdgeState& e : v.edges) {
+        if (e.sent_source_path && !src_ids.count(e.sent_source_path)) {
+          e.sent_source_path = 0;
+        }
+        if (e.sent_sink_path && !snk_ids.count(e.sent_sink_path)) {
+          e.sent_sink_path = 0;
+        }
+      }
+    }
+
+    // --- merge incoming fragments under k = degree (FF5 semantics).
+    const size_t k_eff = std::max<size_t>(v.edges.size(), 1);
+    const bool sm_empty = v.source_paths.empty();
+    const bool tm_empty = v.sink_paths.empty();
+    Accumulator local;
+    {
+      Accumulator as, at;
+      for (const ExcessPath& p : v.source_paths) {
+        as.accept(p, AcceptMode::kReserveOne);
+      }
+      for (const ExcessPath& p : v.sink_paths) {
+        at.accept(p, AcceptMode::kReserveOne);
+      }
+      for (const Bytes& raw : inbox) {
+        serde::ByteReader r(raw);
+        uint8_t kind = r.get_u8();
+        ExcessPath path = ExcessPath::decode(r);
+        // The fragment was sent before the latest acceptances were
+        // broadcast; bring its embedded flows up to date (absolute values
+        // make this safe) and drop it if that saturated it. MR does not
+        // need this because map-emit and reduce-merge share one round's
+        // snapshot; across a BSP barrier the snapshot moved.
+        if (!global.flows.empty()) {
+          for (PathEdge& e : path.edges) {
+            if (const Capacity* f = global.flows.find(e.eid)) e.flow = *f;
+          }
+        }
+        if (path.saturated()) continue;
+        if (kind == kSourceFragment) {
+          if (ctx.vertex_id() == t) {
+            // Arriving source paths at t are augmenting candidates.
+            if (local.accept(path, AcceptMode::kMaxBottleneck) > 0) {
+              ctx.send_to_master(serde::encode_one(path));
+            }
+            continue;
+          }
+          if (v.source_paths.size() < k_eff &&
+              as.accept(path, AcceptMode::kReserveOne) > 0) {
+            path.id = v.allocate_path_id();
+            v.source_paths.push_back(std::move(path));
+          }
+        } else {
+          if (v.sink_paths.size() < k_eff &&
+              at.accept(path, AcceptMode::kReserveOne) > 0) {
+            path.id = v.allocate_path_id();
+            v.sink_paths.push_back(std::move(path));
+          }
+        }
+      }
+    }
+    if (sm_empty && !v.source_paths.empty()) ctx.aggregate("source move", 1);
+    if (tm_empty && !v.sink_paths.empty()) ctx.aggregate("sink move", 1);
+
+    // --- candidates from stored (se, te) pairs (FF2: straight to master).
+    if (ctx.vertex_id() != t && !v.source_paths.empty() &&
+        !v.sink_paths.empty()) {
+      int attempts = 0;
+      for (const ExcessPath& se : v.source_paths) {
+        for (const ExcessPath& te : v.sink_paths) {
+          if (++attempts > max_candidates) break;
+          ExcessPath cand = ffmr::concat_paths(se, te);
+          if (cand.edges.empty()) continue;
+          if (local.accept(cand, AcceptMode::kMaxBottleneck) > 0) {
+            ctx.send_to_master(serde::encode_one(cand));
+            break;
+          }
+        }
+        if (attempts > max_candidates) break;
+      }
+    }
+
+    // --- extensions with persistent dedup (FF5 is the natural BSP mode).
+    if (!v.source_paths.empty()) {
+      for (EdgeState& e : v.edges) {
+        if (e.residual_out() <= 0 || e.neighbor == s) continue;
+        if (e.sent_source_path != 0) continue;
+        const ExcessPath* pick = nullptr;
+        size_t n = v.source_paths.size();
+        size_t start = (static_cast<size_t>(ctx.superstep()) + e.eid) % n;
+        for (size_t i = 0; i < n; ++i) {
+          const ExcessPath& sp = v.source_paths[(start + i) % n];
+          if (!sp.touches(e.neighbor)) {
+            pick = &sp;
+            break;
+          }
+        }
+        if (!pick) continue;
+        e.sent_source_path = pick->id;
+        ExcessPath extended = *pick;
+        extended.id = 0;
+        extended.edges.push_back(PathEdge{e.eid, e.dir_out(),
+                                          ctx.vertex_id(), e.neighbor, e.flow,
+                                          e.is_pair_a ? e.cap_ab : e.cap_ba});
+        ctx.send(e.neighbor, encode_fragment(kSourceFragment, extended));
+      }
+    }
+    if (!v.sink_paths.empty()) {
+      for (EdgeState& e : v.edges) {
+        if (e.residual_in() <= 0 || e.neighbor == t) continue;
+        if (e.sent_sink_path != 0) continue;
+        const ExcessPath* pick = nullptr;
+        size_t n = v.sink_paths.size();
+        size_t start = (static_cast<size_t>(ctx.superstep()) + e.eid) % n;
+        for (size_t i = 0; i < n; ++i) {
+          const ExcessPath& tp = v.sink_paths[(start + i) % n];
+          if (!tp.touches(e.neighbor)) {
+            pick = &tp;
+            break;
+          }
+        }
+        if (!pick) continue;
+        e.sent_sink_path = pick->id;
+        ExcessPath extended;
+        extended.edges.reserve(pick->edges.size() + 1);
+        extended.edges.push_back(
+            PathEdge{e.eid, static_cast<int8_t>(-e.dir_out()), e.neighbor,
+                     ctx.vertex_id(), e.flow,
+                     e.is_pair_a ? e.cap_ba : e.cap_ab});
+        extended.edges.insert(extended.edges.end(), pick->edges.begin(),
+                              pick->edges.end());
+        ctx.send(e.neighbor, encode_fragment(kSinkFragment, extended));
+      }
+    }
+
+    // Stay active while holding paths: flow deltas arrive via the global
+    // value, not messages, so a halted path-holder would miss saturation.
+    if (v.source_paths.empty() && v.sink_paths.empty()) ctx.vote_to_halt();
+  };
+
+  // Master hook: the aug_proc accumulator + termination + restarts.
+  int restarts = 0;
+  int64_t accepted_since_restart = 0;
+  bool converged = false;
+  Capacity total_flow = 0;
+  int64_t total_accepted = 0;
+
+  std::map<ffmr::EdgeId, Capacity> cumulative_flow;
+  auto master = [&](int superstep, const common::CounterSet& aggregators,
+                    const std::vector<Bytes>& payloads) {
+    Accumulator acc;
+    int64_t accepted = 0;
+    for (const Bytes& raw : payloads) {
+      ExcessPath cand = serde::decode_one<ExcessPath>(raw);
+      Capacity amount = acc.accept(cand, AcceptMode::kMaxBottleneck);
+      if (amount > 0) {
+        ++accepted;
+        total_flow += amount;
+      }
+    }
+    total_accepted += accepted;
+    accepted_since_restart += accepted;
+
+    MasterVerdict verdict;
+    int64_t som = aggregators.value("source move");
+    int64_t sim = aggregators.value("sink move");
+    bool stalled =
+        superstep > 0 && som == 0 && sim == 0 && accepted == 0;
+    bool restart = false;
+    if (stalled) {
+      if (accepted_since_restart > 0 && restarts < options.max_restarts) {
+        restart = true;
+        ++restarts;
+        accepted_since_restart = 0;
+      } else {
+        converged = true;
+        verdict.stop = true;
+      }
+    }
+    for (const auto& [eid, delta] : acc.to_augmented_edges().deltas) {
+      cumulative_flow[eid] += delta;
+    }
+    AugmentedEdges broadcast;
+    broadcast.deltas.assign(cumulative_flow.begin(), cumulative_flow.end());
+    verdict.global = encode_global(restart, broadcast);
+    return verdict;
+  };
+
+  result.stats = engine.run(compute, master, options.max_supersteps);
+  result.supersteps = result.stats.supersteps;
+  result.restarts = restarts;
+  result.converged = converged;
+  result.max_flow = total_flow;
+  result.accepted_paths = total_accepted;
+
+  // The master's cumulative map *is* the final flow (it includes the last
+  // superstep's acceptances, which vertices never saw).
+  for (const auto& [eid, flow] : cumulative_flow) {
+    if (eid < result.assignment.pair_flow.size()) {
+      result.assignment.pair_flow[eid] = flow;
+    }
+  }
+  result.assignment.value = result.max_flow;
+  return result;
+}
+
+}  // namespace mrflow::pregel

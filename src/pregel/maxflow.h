@@ -1,0 +1,51 @@
+// The FFMR ideas translated to Pregel (the paper's closing conjecture).
+//
+// The vertex program keeps the paper's state -- <Su, Tu, Eu> with FF5's
+// k = degree and per-edge send-dedup -- but the BSP model changes what the
+// optimizations mean:
+//   - FF3 (schimmy) is free: vertex state is resident, never re-shuffled;
+//   - FF5's dedup is the natural behavior: state persists, so extensions
+//     are sent once and re-sent only after saturation;
+//   - FF2's aug_proc becomes the master hook: vertices ship candidate
+//     augmenting paths to the master between supersteps, which accepts a
+//     conflict-free subset with the same Accumulator and broadcasts the
+//     resulting AugmentedEdges as the global value;
+//   - the source/sink movement counters become aggregators.
+//
+// bench_pregel compares supersteps and moved bytes against the MR rounds
+// and shuffle bytes of the MapReduce implementation.
+#pragma once
+
+#include "ffmr/types.h"
+#include "graph/graph.h"
+#include "pregel/pregel.h"
+
+namespace mrflow::pregel {
+
+struct PregelMaxFlowOptions {
+  int num_workers = 4;
+  int max_supersteps = 400;
+  bool bidirectional = true;
+  int max_candidates_per_vertex = 256;
+  // Stall handling mirrors ffmr::FfmrOptions: clear and re-explore, stop
+  // when a whole phase accepts nothing.
+  int max_restarts = 8;
+};
+
+struct PregelMaxFlowResult {
+  graph::Capacity max_flow = 0;
+  bool converged = false;
+  int supersteps = 0;
+  int restarts = 0;
+  int64_t accepted_paths = 0;
+  RunStats stats;
+  graph::FlowAssignment assignment;
+};
+
+// Computes max-flow from s to t on the Pregel engine. Exact (validated
+// against the sequential oracles in tests).
+PregelMaxFlowResult pregel_max_flow(const graph::Graph& g, graph::VertexId s,
+                                    graph::VertexId t,
+                                    const PregelMaxFlowOptions& options = {});
+
+}  // namespace mrflow::pregel

@@ -1,0 +1,229 @@
+// A compact Pregel-style bulk-synchronous vertex-centric engine.
+//
+// The paper closes with: "Recently, Google proposed a new specialized
+// framework for processing large-scale graphs based on a bulk synchronous
+// parallel model, called Pregel. We believe the ideas presented in this
+// paper also translate to Pregel." This module implements that translation
+// target so the claim can be tested (src/pregel/maxflow.h ports the FFMR
+// ideas; bench_pregel compares supersteps/messages against MR rounds).
+//
+// Model (Malewicz et al., PODC'09/SIGMOD'10):
+//   - vertices hold state and are partitioned across workers,
+//   - compute(vertex) runs once per superstep for each active vertex,
+//     receiving the messages sent to it in the previous superstep,
+//   - vertices vote to halt; a message reactivates its target,
+//   - the run ends when every vertex is halted and no messages are in
+//     flight (or the master hook stops it).
+//
+// Extensions matching common Pregel implementations (Giraph):
+//   - int64 sum aggregators, reduced each superstep,
+//   - a master hook running between supersteps (MasterCompute): it sees
+//     vertex->master payloads (the aug_proc analog), can publish a global
+//     byte string readable by every vertex next superstep, and can stop
+//     the computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/serde.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+
+namespace mrflow::pregel {
+
+using graph::VertexId;
+using serde::Bytes;
+
+struct SuperstepStats {
+  int superstep = 0;
+  uint64_t active_vertices = 0;
+  uint64_t messages = 0;
+  uint64_t message_bytes = 0;
+  uint64_t master_payloads = 0;
+  std::map<std::string, int64_t> aggregators;
+};
+
+struct RunStats {
+  int supersteps = 0;
+  uint64_t total_messages = 0;
+  uint64_t total_message_bytes = 0;
+  std::vector<SuperstepStats> per_superstep;
+};
+
+// Per-superstep decision of the master hook.
+struct MasterVerdict {
+  bool stop = false;       // end the computation after this superstep
+  Bytes global;            // published to all vertices next superstep
+};
+
+template <typename V>
+class Engine;
+
+// The API a vertex program sees during compute().
+template <typename V>
+class VertexContext {
+ public:
+  int superstep() const { return superstep_; }
+  VertexId vertex_id() const { return id_; }
+
+  // The global byte string published by the master hook last superstep.
+  const Bytes& global() const { return *global_; }
+
+  // Sends a message; the target runs next superstep.
+  void send(VertexId to, Bytes message) {
+    bytes_out_ += message.size();
+    ++messages_out_;
+    outbox_->emplace_back(to, std::move(message));
+  }
+
+  // Ships a payload to the master hook, evaluated between supersteps
+  // (the FF2 aug_proc analog).
+  void send_to_master(Bytes payload) {
+    master_outbox_->push_back(std::move(payload));
+  }
+
+  // Sum-aggregator contribution, visible in stats and to the master hook.
+  void aggregate(const std::string& name, int64_t delta) {
+    aggregators_->increment(name, delta);
+  }
+
+  // The vertex becomes inactive until a message arrives.
+  void vote_to_halt() { halt_ = true; }
+
+ private:
+  friend class Engine<V>;
+  int superstep_ = 0;
+  VertexId id_ = 0;
+  const Bytes* global_ = nullptr;
+  std::vector<std::pair<VertexId, Bytes>>* outbox_ = nullptr;
+  std::vector<Bytes>* master_outbox_ = nullptr;
+  common::CounterSet* aggregators_ = nullptr;
+  bool halt_ = false;
+  uint64_t messages_out_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+// A vertex program over vertex state V.
+template <typename V>
+using ComputeFn = std::function<void(V& state, const std::vector<Bytes>& inbox,
+                                     VertexContext<V>& ctx)>;
+
+// Master hook: sees this superstep's aggregators and vertex->master
+// payloads; returns stop/global-broadcast.
+using MasterHook = std::function<MasterVerdict(
+    int superstep, const common::CounterSet& aggregators,
+    const std::vector<Bytes>& payloads)>;
+
+template <typename V>
+class Engine {
+ public:
+  // One vertex state per id in [0, num_vertices); workers = partitions.
+  Engine(size_t num_vertices, int num_workers = 4)
+      : states_(num_vertices),
+        active_(num_vertices, true),
+        inboxes_(num_vertices),
+        num_workers_(num_workers < 1 ? 1 : num_workers),
+        pool_(0) {}
+
+  V& state(VertexId v) { return states_.at(v); }
+  const V& state(VertexId v) const { return states_.at(v); }
+  size_t num_vertices() const { return states_.size(); }
+
+  // Runs until quiescence, master stop, or max_supersteps.
+  RunStats run(const ComputeFn<V>& compute, const MasterHook& master = {},
+               int max_supersteps = 1000) {
+    RunStats stats;
+    Bytes global;
+    for (int step = 0; step < max_supersteps; ++step) {
+      SuperstepStats ss;
+      ss.superstep = step;
+
+      // Partition vertices across workers; each worker gets private
+      // outboxes so the superstep is deterministic and lock-free.
+      struct WorkerOut {
+        std::vector<std::pair<VertexId, Bytes>> messages;
+        std::vector<Bytes> master_payloads;
+        common::CounterSet aggregators;
+        uint64_t active = 0;
+      };
+      std::vector<WorkerOut> outs(num_workers_);
+
+      pool_.parallel_for(static_cast<size_t>(num_workers_), [&](size_t w) {
+        WorkerOut& out = outs[w];
+        for (VertexId v = w; v < states_.size();
+             v += static_cast<VertexId>(num_workers_)) {
+          if (!active_[v] && inboxes_[v].empty()) continue;
+          active_[v] = true;
+          ++out.active;
+          VertexContext<V> ctx;
+          ctx.superstep_ = step;
+          ctx.id_ = v;
+          ctx.global_ = &global;
+          ctx.outbox_ = &out.messages;
+          ctx.master_outbox_ = &out.master_payloads;
+          ctx.aggregators_ = &out.aggregators;
+          compute(states_[v], inboxes_[v], ctx);
+          inboxes_[v].clear();
+          if (ctx.halt_) active_[v] = false;
+          ss.messages += ctx.messages_out_;
+          ss.message_bytes += ctx.bytes_out_;
+        }
+      });
+
+      common::CounterSet aggregators;
+      std::vector<Bytes> master_payloads;
+      uint64_t delivered = 0;
+      for (auto& out : outs) {
+        ss.active_vertices += out.active;
+        aggregators.merge(out.aggregators);
+        for (auto& [to, msg] : out.messages) {
+          inboxes_.at(to).push_back(std::move(msg));
+          ++delivered;
+        }
+        for (auto& payload : out.master_payloads) {
+          master_payloads.push_back(std::move(payload));
+        }
+      }
+      ss.master_payloads = master_payloads.size();
+      ss.aggregators = aggregators.snapshot();
+      stats.total_messages += ss.messages;
+      stats.total_message_bytes += ss.message_bytes;
+      stats.per_superstep.push_back(ss);
+      stats.supersteps = step + 1;
+
+      bool stop = false;
+      if (master) {
+        MasterVerdict verdict = master(step, aggregators, master_payloads);
+        global = std::move(verdict.global);
+        stop = verdict.stop;
+      } else {
+        global.clear();
+      }
+      if (stop) break;
+
+      // Quiescence: nobody active, nothing delivered.
+      if (delivered == 0 && ss.active_vertices == 0) break;
+      bool any = delivered > 0;
+      if (!any) {
+        for (size_t v = 0; v < states_.size() && !any; ++v) any = active_[v];
+        if (!any) break;
+      }
+    }
+    return stats;
+  }
+
+ private:
+  std::vector<V> states_;
+  std::vector<char> active_;
+  std::vector<std::vector<Bytes>> inboxes_;
+  int num_workers_;
+  common::ThreadPool pool_;
+};
+
+}  // namespace mrflow::pregel

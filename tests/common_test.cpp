@@ -1,0 +1,283 @@
+// Unit tests for rng, thread pool, counters, table rendering and flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/counters.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace mrflow {
+namespace {
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  rng::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  rng::Xoshiro256 r(7);
+  for (uint64_t n : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  rng::Xoshiro256 r(7);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  rng::Xoshiro256 r(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  rng::Xoshiro256 r(3);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_hit |= v == -2;
+    hi_hit |= v == 2;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  rng::Xoshiro256 r(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  rng::Xoshiro256 r(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  rng::Xoshiro256 r(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  rng::Xoshiro256 r(17);
+  for (auto [n, k] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {10, 10}, {100, 3}, {100, 90}, {5, 0}}) {
+    auto s = r.sample_without_replacement(n, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<uint64_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), k);
+    for (uint64_t v : s) EXPECT_LT(v, n);
+  }
+  EXPECT_THROW(r.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependent) {
+  rng::Xoshiro256 a(21);
+  rng::Xoshiro256 b = a.fork();
+  EXPECT_NE(a(), b());
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsAllTasks) {
+  common::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  common::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFuture) {
+  common::ThreadPool pool(1);
+  auto f = pool.submit([] {});
+  f.get();
+  auto g = pool.submit([] { throw std::logic_error("x"); });
+  EXPECT_THROW(g.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ZeroMeansHardware) {
+  common::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, EmptyParallelFor) {
+  common::ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL(); });
+}
+
+// --------------------------------------------------------------- counters
+
+TEST(Counters, IncrementAndRead) {
+  common::CounterSet c;
+  EXPECT_EQ(c.value("missing"), 0);
+  c.increment("a");
+  c.increment("a", 4);
+  EXPECT_EQ(c.value("a"), 5);
+}
+
+TEST(Counters, SetMaxKeepsLargest) {
+  common::CounterSet c;
+  c.set_max("q", 10);
+  c.set_max("q", 3);
+  EXPECT_EQ(c.value("q"), 10);
+  c.set_max("q", 12);
+  EXPECT_EQ(c.value("q"), 12);
+}
+
+TEST(Counters, Merge) {
+  common::CounterSet a, b;
+  a.increment("x", 2);
+  b.increment("x", 3);
+  b.increment("y", 1);
+  a.merge(b);
+  EXPECT_EQ(a.value("x"), 5);
+  EXPECT_EQ(a.value("y"), 1);
+}
+
+TEST(Counters, ConcurrentIncrements) {
+  common::CounterSet c;
+  common::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](size_t) { c.increment("n"); });
+  EXPECT_EQ(c.value("n"), 1000);
+}
+
+TEST(Counters, CopySnapshot) {
+  common::CounterSet a;
+  a.increment("k", 7);
+  common::CounterSet b = a;
+  a.increment("k");
+  EXPECT_EQ(b.value("k"), 7);
+  EXPECT_EQ(a.value("k"), 8);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAligned) {
+  common::TextTable t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| Name   | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, MissingAndExtraCells) {
+  common::TextTable t({"A", "B"});
+  t.add_row({"x"});
+  t.add_row({"1", "2", "3"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| x | "), std::string::npos);
+  EXPECT_EQ(out.find("3"), std::string::npos);
+}
+
+TEST(Table, FmtInt) {
+  EXPECT_EQ(common::TextTable::fmt_int(0), "0");
+  EXPECT_EQ(common::TextTable::fmt_int(999), "999");
+  EXPECT_EQ(common::TextTable::fmt_int(1000), "1,000");
+  EXPECT_EQ(common::TextTable::fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(common::TextTable::fmt_int(-1234567), "-1,234,567");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(common::TextTable::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(common::TextTable::fmt_double(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------------ flags
+
+std::vector<char*> make_argv(std::vector<std::string>& strs) {
+  std::vector<char*> out;
+  out.push_back(const_cast<char*>("prog"));
+  for (auto& s : strs) out.push_back(s.data());
+  return out;
+}
+
+TEST(Flags, ParsesForms) {
+  std::vector<std::string> args = {"--a=1", "--b=2", "--c", "pos"};
+  auto argv = make_argv(args);
+  common::Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("a", 0), 1);
+  EXPECT_EQ(f.get_int("b", 0), 2);
+  EXPECT_TRUE(f.get_bool("c", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, Defaults) {
+  std::vector<std::string> args;
+  auto argv = make_argv(args);
+  common::Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_EQ(f.get_string("s", "x"), "x");
+  EXPECT_EQ(f.get_double("d", 1.5), 1.5);
+  EXPECT_FALSE(f.get_bool("b", false));
+}
+
+TEST(Flags, IntList) {
+  std::vector<std::string> args = {"--w=1,2,4,8"};
+  auto argv = make_argv(args);
+  common::Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int_list("w", {}),
+            (std::vector<int64_t>{1, 2, 4, 8}));
+}
+
+TEST(Flags, BadValuesThrow) {
+  std::vector<std::string> args = {"--n=abc", "--b=maybe"};
+  auto argv = make_argv(args);
+  common::Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, UnusedFlagDetected) {
+  std::vector<std::string> args = {"--typo=1"};
+  auto argv = make_argv(args);
+  common::Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(f.check_unused(), std::invalid_argument);
+  EXPECT_EQ(f.get_int("typo", 0), 1);
+  f.check_unused();  // now consumed
+}
+
+}  // namespace
+}  // namespace mrflow

@@ -1,0 +1,300 @@
+// Unit tests for the simulated distributed file system and record I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/thread_pool.h"
+#include "dfs/dfs.h"
+#include "dfs/record_io.h"
+
+namespace mrflow::dfs {
+namespace {
+
+DfsConfig small_config() {
+  DfsConfig c;
+  c.num_nodes = 4;
+  c.replication = 2;
+  c.block_size = 1024;
+  return c;
+}
+
+TEST(Dfs, WriteReadRoundTrip) {
+  FileSystem fs(small_config());
+  fs.write_all("f", "hello world");
+  EXPECT_EQ(fs.read_all("f"), "hello world");
+  EXPECT_EQ(fs.file_size("f"), 11u);
+}
+
+TEST(Dfs, EmptyFile) {
+  FileSystem fs(small_config());
+  fs.write_all("empty", "");
+  EXPECT_TRUE(fs.exists("empty"));
+  EXPECT_EQ(fs.read_all("empty"), "");
+  EXPECT_EQ(fs.stat("empty").blocks.size(), 0u);
+}
+
+TEST(Dfs, MissingFileThrows) {
+  FileSystem fs(small_config());
+  EXPECT_THROW(fs.open("nope"), std::invalid_argument);
+  EXPECT_THROW(fs.stat("nope"), std::invalid_argument);
+  EXPECT_THROW(fs.rename("nope", "x"), std::invalid_argument);
+}
+
+TEST(Dfs, BlocksCutAtBlockSize) {
+  FileSystem fs(small_config());
+  FileWriter w = fs.create("big");
+  for (int i = 0; i < 10; ++i) w.append(std::string(512, 'a' + i));
+  w.close();
+  FileInfo info = fs.stat("big");
+  EXPECT_EQ(info.size, 5120u);
+  EXPECT_GE(info.blocks.size(), 4u);  // ~1KB blocks
+  uint64_t total = 0;
+  for (const auto& b : info.blocks) total += b.size;
+  EXPECT_EQ(total, info.size);
+}
+
+TEST(Dfs, AppendNeverSplits) {
+  // A single large append lands in one block even above block_size.
+  FileSystem fs(small_config());
+  FileWriter w = fs.create("rec");
+  w.append(std::string(5000, 'z'));
+  w.append("tail");
+  w.close();
+  FileInfo info = fs.stat("rec");
+  EXPECT_EQ(info.blocks[0].size, 5000u);
+}
+
+TEST(Dfs, ReplicationPlacement) {
+  FileSystem fs(small_config());
+  FileWriter w = fs.create("r");
+  for (int i = 0; i < 20; ++i) w.append(std::string(600, 'x'));
+  w.close();
+  for (const auto& b : fs.stat("r").blocks) {
+    EXPECT_EQ(b.replicas.size(), 2u);
+    std::set<int> nodes(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(nodes.size(), 2u) << "replicas on distinct nodes";
+    for (int n : nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 4);
+    }
+  }
+}
+
+TEST(Dfs, ReplicationClampedToNodes) {
+  DfsConfig c;
+  c.num_nodes = 1;
+  c.replication = 3;
+  FileSystem fs(c);
+  fs.write_all("f", "data");
+  EXPECT_EQ(fs.stat("f").blocks[0].replicas.size(), 1u);
+}
+
+TEST(Dfs, OverwriteReplacesContent) {
+  FileSystem fs(small_config());
+  fs.write_all("f", "one");
+  fs.write_all("f", "two!");
+  EXPECT_EQ(fs.read_all("f"), "two!");
+  EXPECT_EQ(fs.file_size("f"), 4u);
+}
+
+TEST(Dfs, RemoveAndExists) {
+  FileSystem fs(small_config());
+  fs.write_all("f", "x");
+  EXPECT_TRUE(fs.exists("f"));
+  fs.remove("f");
+  EXPECT_FALSE(fs.exists("f"));
+  fs.remove("f");  // idempotent
+}
+
+TEST(Dfs, Rename) {
+  FileSystem fs(small_config());
+  fs.write_all("a", "data");
+  fs.rename("a", "b");
+  EXPECT_FALSE(fs.exists("a"));
+  EXPECT_EQ(fs.read_all("b"), "data");
+}
+
+TEST(Dfs, RenameOverExisting) {
+  FileSystem fs(small_config());
+  fs.write_all("a", "new");
+  fs.write_all("b", "old");
+  fs.rename("a", "b");
+  EXPECT_EQ(fs.read_all("b"), "new");
+}
+
+TEST(Dfs, ListByPrefix) {
+  FileSystem fs(small_config());
+  fs.write_all("dir/a", "1");
+  fs.write_all("dir/b", "2");
+  fs.write_all("other", "3");
+  auto files = fs.list("dir/");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "dir/a");
+  EXPECT_EQ(files[1], "dir/b");
+  EXPECT_EQ(fs.list("zzz").size(), 0u);
+}
+
+TEST(Dfs, TotalStoredBytes) {
+  FileSystem fs(small_config());
+  fs.write_all("a", std::string(100, 'x'));
+  fs.write_all("b", std::string(50, 'y'));
+  EXPECT_EQ(fs.total_stored_bytes(), 150u);
+  fs.remove("a");
+  EXPECT_EQ(fs.total_stored_bytes(), 50u);
+}
+
+TEST(Dfs, IoAccounting) {
+  FileSystem fs(small_config());
+  fs.write_all("f", std::string(1000, 'x'));
+  IoStats st = fs.io_stats();
+  EXPECT_EQ(st.total_write(), 2000u);  // replication = 2
+  fs.read_all("f", /*reader_node=*/1);
+  st = fs.io_stats();
+  EXPECT_EQ(st.total_read(), 1000u);
+  EXPECT_EQ(st.read_bytes[1], 1000u);
+  // Off-cluster reads are not attributed.
+  fs.read_all("f", -1);
+  EXPECT_EQ(fs.io_stats().total_read(), 1000u);
+  fs.reset_io_stats();
+  EXPECT_EQ(fs.io_stats().total_read(), 0u);
+}
+
+TEST(Dfs, ReadBlock) {
+  FileSystem fs(small_config());
+  FileWriter w = fs.create("f");
+  w.append(std::string(1024, 'a'));
+  w.append(std::string(1024, 'b'));
+  w.close();
+  ASSERT_GE(fs.stat("f").blocks.size(), 2u);
+  EXPECT_EQ(fs.read_block("f", 0)[0], 'a');
+  EXPECT_EQ(fs.read_block("f", 1)[0], 'b');
+  EXPECT_THROW(fs.read_block("f", 99), std::out_of_range);
+}
+
+TEST(Dfs, ConcurrentDistinctWrites) {
+  FileSystem fs(small_config());
+  common::ThreadPool pool(4);
+  pool.parallel_for(16, [&](size_t i) {
+    fs.write_all("f" + std::to_string(i), std::string(2000, 'a' + i % 26));
+  });
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(fs.read_all("f" + std::to_string(i)).size(), 2000u);
+  }
+}
+
+TEST(Dfs, DiskBackendRoundTrip) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "mrflow_dfs_test").string();
+  {
+    FileSystem fs(small_config(), make_disk_backend(dir));
+    fs.write_all("f", std::string(3000, 'q'));
+    EXPECT_EQ(fs.read_all("f").size(), 3000u);
+    fs.remove("f");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dfs, BadConfigThrows) {
+  DfsConfig c;
+  c.num_nodes = 0;
+  EXPECT_THROW(FileSystem fs(c), std::invalid_argument);
+  c = DfsConfig{};
+  c.block_size = 0;
+  EXPECT_THROW(FileSystem fs(c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- records
+
+TEST(RecordIo, RoundTrip) {
+  FileSystem fs(small_config());
+  {
+    RecordWriter w(&fs, "rec");
+    w.write("k1", "v1");
+    w.write("k2", std::string(2000, 'v'));
+    w.write("", "");
+    w.close();
+    EXPECT_EQ(w.records_written(), 3u);
+  }
+  RecordReader r(&fs, "rec");
+  auto a = r.next();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->key, "k1");
+  EXPECT_EQ(a->value, "v1");
+  auto b = r.next();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->value.size(), 2000u);
+  auto c = r.next();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->key, "");
+  EXPECT_FALSE(r.next());
+  EXPECT_EQ(r.records_read(), 3u);
+}
+
+TEST(RecordIo, ManyRecordsAcrossBlocks) {
+  FileSystem fs(small_config());  // 1KB blocks
+  {
+    RecordWriter w(&fs, "many");
+    for (int i = 0; i < 500; ++i) {
+      w.write("key" + std::to_string(i), std::string(i % 97, 'x'));
+    }
+    w.close();
+  }
+  EXPECT_GT(fs.stat("many").blocks.size(), 3u);
+  RecordReader r(&fs, "many");
+  int count = 0;
+  while (auto rec = r.next()) {
+    EXPECT_EQ(rec->key, "key" + std::to_string(count));
+    EXPECT_EQ(rec->value.size(), static_cast<size_t>(count % 97));
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST(RecordIo, BlocksAreSelfContained) {
+  // Every block of a record file must decode independently -- the MR map
+  // phase depends on it.
+  FileSystem fs(small_config());
+  {
+    RecordWriter w(&fs, "f");
+    for (int i = 0; i < 300; ++i) w.write(std::to_string(i), "payload");
+    w.close();
+  }
+  FileInfo info = fs.stat("f");
+  ASSERT_GT(info.blocks.size(), 1u);
+  size_t total = 0;
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    for_each_record(fs.read_block("f", b),
+                    [&](std::string_view, std::string_view v) {
+                      EXPECT_EQ(v, "payload");
+                      ++total;
+                    });
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(RecordIo, ForEachRecordAndAppendRecord) {
+  serde::Bytes buf;
+  append_record(buf, "a", "1");
+  append_record(buf, "b", "2");
+  std::vector<std::pair<std::string, std::string>> got;
+  for_each_record(buf, [&](std::string_view k, std::string_view v) {
+    got.emplace_back(k, v);
+  });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, "a");
+  EXPECT_EQ(got[1].second, "2");
+}
+
+TEST(RecordIo, TruncatedFileThrows) {
+  FileSystem fs(small_config());
+  serde::Bytes buf;
+  append_record(buf, "key", "value");
+  buf.resize(buf.size() - 2);  // corrupt the tail
+  fs.write_all("bad", buf);
+  RecordReader r(&fs, "bad");
+  EXPECT_THROW(r.next(), serde::DecodeError);
+}
+
+}  // namespace
+}  // namespace mrflow::dfs

@@ -1,0 +1,102 @@
+// End-to-end smoke tests: every FFMR variant must find the exact max-flow
+// (checked against Dinic and the min-cut certificate) on small graphs.
+#include <gtest/gtest.h>
+
+#include "ffmr/solver.h"
+#include "flow/max_flow.h"
+#include "flow/validate.h"
+#include "graph/generators.h"
+
+namespace mrflow {
+namespace {
+
+mr::Cluster make_test_cluster() {
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.map_slots_per_node = 2;
+  config.reduce_slots_per_node = 2;
+  config.dfs_block_size = 64 << 10;
+  return mr::Cluster(config);
+}
+
+ffmr::FfmrOptions options_for(ffmr::Variant v) {
+  ffmr::FfmrOptions o;
+  o.variant = v;
+  o.async_augmenter = false;  // deterministic in tests
+  return o;
+}
+
+void expect_exact(const graph::Graph& g, graph::VertexId s, graph::VertexId t,
+                  ffmr::Variant variant) {
+  auto expected = flow::max_flow_dinic(g, s, t);
+  mr::Cluster cluster = make_test_cluster();
+  auto result = ffmr::solve_max_flow(cluster, g, s, t, options_for(variant));
+  EXPECT_TRUE(result.converged) << ffmr::variant_name(variant);
+  EXPECT_EQ(result.max_flow, expected.value) << ffmr::variant_name(variant);
+  auto report = flow::validate_max_flow(g, s, t, result.assignment);
+  EXPECT_TRUE(report.ok) << ffmr::variant_name(variant) << ": "
+                         << report.summary();
+}
+
+// The classic CLRS flow network (max flow 23).
+graph::Graph clrs_graph() {
+  graph::Graph g(6);
+  g.add_edge(0, 1, 16, 0);
+  g.add_edge(0, 2, 13, 0);
+  g.add_edge(1, 2, 10, 4);
+  g.add_edge(1, 3, 12, 0);
+  g.add_edge(2, 3, 0, 9);
+  g.add_edge(2, 4, 14, 0);
+  g.add_edge(3, 4, 0, 7);
+  g.add_edge(3, 5, 20, 0);
+  g.add_edge(4, 5, 4, 0);
+  g.finalize();
+  return g;
+}
+
+TEST(FfmrSmoke, TinyPath) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 5, 5);
+  g.add_edge(1, 2, 3, 3);
+  g.finalize();
+  for (auto v : {ffmr::Variant::FF1, ffmr::Variant::FF5}) {
+    expect_exact(g, 0, 2, v);
+  }
+}
+
+TEST(FfmrSmoke, ClrsAllVariants) {
+  graph::Graph g = clrs_graph();
+  for (auto v : {ffmr::Variant::FF1, ffmr::Variant::FF2, ffmr::Variant::FF3,
+                 ffmr::Variant::FF4, ffmr::Variant::FF5}) {
+    expect_exact(g, 0, 5, v);
+  }
+}
+
+TEST(FfmrSmoke, SmallWorldUnitCaps) {
+  graph::Graph g = graph::watts_strogatz(200, 6, 0.2, /*seed=*/42);
+  expect_exact(g, 0, 100, ffmr::Variant::FF5);
+  expect_exact(g, 0, 100, ffmr::Variant::FF1);
+}
+
+TEST(FfmrSmoke, SuperTerminals) {
+  auto problem = graph::attach_super_terminals(
+      graph::barabasi_albert(300, 3, /*seed=*/7), /*w=*/4, /*min_degree=*/4,
+      /*seed=*/9);
+  expect_exact(problem.graph, problem.source, problem.sink,
+               ffmr::Variant::FF5);
+}
+
+TEST(FfmrSmoke, DisconnectedIsZero) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  g.finalize();
+  mr::Cluster cluster = make_test_cluster();
+  auto result =
+      ffmr::solve_max_flow(cluster, g, 0, 3, options_for(ffmr::Variant::FF5));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.max_flow, 0);
+}
+
+}  // namespace
+}  // namespace mrflow

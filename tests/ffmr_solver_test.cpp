@@ -1,0 +1,426 @@
+// Property and behavior tests for the FFMR solver: exactness against the
+// sequential oracles across variants / graph families / seeds, plus the
+// per-variant statistics invariants the paper's optimization story rests
+// on (shuffle reductions, round counts, candidate accounting).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ffmr/solver.h"
+#include "flow/max_flow.h"
+#include "flow/validate.h"
+#include "graph/generators.h"
+
+namespace mrflow::ffmr {
+namespace {
+
+mr::Cluster make_cluster(int nodes = 3) {
+  mr::ClusterConfig c;
+  c.num_slave_nodes = nodes;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.dfs_block_size = 32 << 10;
+  return mr::Cluster(c);
+}
+
+FfmrOptions base_options(Variant v) {
+  FfmrOptions o;
+  o.variant = v;
+  o.async_augmenter = false;
+  return o;
+}
+
+FfmrResult run_variant(const graph::Graph& g, graph::VertexId s,
+                       graph::VertexId t, Variant v,
+                       FfmrOptions o_in = base_options(Variant::FF5)) {
+  FfmrOptions o = o_in;
+  o.variant = v;
+  mr::Cluster cluster = make_cluster();
+  return solve_max_flow(cluster, g, s, t, o);
+}
+
+void expect_exact(const graph::Graph& g, graph::VertexId s, graph::VertexId t,
+                  const FfmrResult& result, const char* label) {
+  auto expected = flow::max_flow_dinic(g, s, t);
+  EXPECT_TRUE(result.converged) << label;
+  EXPECT_EQ(result.max_flow, expected.value) << label;
+  auto report = flow::validate_max_flow(g, s, t, result.assignment);
+  EXPECT_TRUE(report.ok) << label << ": " << report.summary();
+}
+
+// ---------------------------------------------------------- exactness sweep
+
+struct SweepCase {
+  int graph_kind;  // 0 ER, 1 WS, 2 BA, 3 grid, 4 facebook+super-terminals
+  uint64_t seed;
+  Variant variant;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  static const char* kKinds[] = {"ER", "WS", "BA", "Grid", "FbSuper"};
+  return std::string(kKinds[info.param.graph_kind]) + "_seed" +
+         std::to_string(info.param.seed) + "_" +
+         variant_name(info.param.variant);
+}
+
+class ExactnessSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ExactnessSweep, MatchesDinic) {
+  const SweepCase& c = GetParam();
+  graph::Graph g;
+  graph::VertexId s = 0, t = 0;
+  switch (c.graph_kind) {
+    case 0: g = graph::erdos_renyi(70, 180, c.seed); break;
+    case 1: g = graph::watts_strogatz(90, 4, 0.25, c.seed); break;
+    case 2: g = graph::barabasi_albert(90, 2, c.seed); break;
+    case 3: g = graph::grid(7, 9); break;
+    case 4: {
+      auto p = graph::attach_super_terminals(
+          graph::facebook_like(250, 6, c.seed), 3, 4, c.seed + 50);
+      g = std::move(p.graph);
+      s = p.source;
+      t = p.sink;
+      break;
+    }
+  }
+  if (c.graph_kind != 4) {
+    rng::Xoshiro256 r(c.seed * 31 + c.graph_kind);
+    s = r.next_below(g.num_vertices());
+    t = r.next_below(g.num_vertices());
+    if (s == t) t = (t + 1) % g.num_vertices();
+  }
+  FfmrResult result = run_variant(g, s, t, c.variant);
+  expect_exact(g, s, t, result, sweep_name({GetParam(), 0}).c_str());
+}
+
+std::vector<SweepCase> make_sweep() {
+  std::vector<SweepCase> cases;
+  for (int kind = 0; kind < 5; ++kind) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      for (Variant v : {Variant::FF1, Variant::FF2, Variant::FF3,
+                        Variant::FF4, Variant::FF5}) {
+        cases.push_back({kind, seed, v});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ExactnessSweep,
+                         ::testing::ValuesIn(make_sweep()), sweep_name);
+
+// --------------------------------------------------------- non-unit caps
+
+class CapacitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CapacitySweep, RandomCapacitiesExact) {
+  uint64_t seed = GetParam();
+  rng::Xoshiro256 r(seed);
+  graph::Graph g(60);
+  for (int e = 0; e < 160; ++e) {
+    graph::VertexId a = r.next_below(60), b = r.next_below(60);
+    if (a == b) continue;
+    g.add_edge(a, b, r.next_range(0, 15), r.next_range(0, 15));
+  }
+  g.finalize();
+  FfmrResult result = run_variant(g, 0, 59, Variant::FF5);
+  expect_exact(g, 0, 59, result, "caps");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacitySweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(FfmrSolver, UnitAmountModeAlsoExact) {
+  graph::Graph g(30);
+  rng::Xoshiro256 r(5);
+  for (int e = 0; e < 80; ++e) {
+    graph::VertexId a = r.next_below(30), b = r.next_below(30);
+    if (a != b) g.add_edge(a, b, r.next_range(1, 4), r.next_range(1, 4));
+  }
+  g.finalize();
+  FfmrOptions o = base_options(Variant::FF5);
+  o.accept_max_bottleneck = false;
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, g, 0, 29, o);
+  expect_exact(g, 0, 29, result, "unit-amount");
+}
+
+// --------------------------------------------------------------- behavior
+
+TEST(FfmrSolver, ArgumentValidation) {
+  graph::Graph g(3);
+  g.add_undirected(0, 1);
+  g.finalize();
+  mr::Cluster cluster = make_cluster();
+  EXPECT_THROW(solve_max_flow(cluster, g, 0, 0, base_options(Variant::FF5)),
+               std::invalid_argument);
+  EXPECT_THROW(solve_max_flow(cluster, g, 0, 9, base_options(Variant::FF5)),
+               std::invalid_argument);
+}
+
+TEST(FfmrSolver, IsolatedTerminalShortCircuits) {
+  graph::Graph g(3);
+  g.add_undirected(0, 1);
+  g.ensure_vertex(2);  // vertex 2 has no edges
+  g.finalize();
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, g, 0, 2, base_options(Variant::FF5));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.max_flow, 0);
+  EXPECT_EQ(result.rounds_info.size(), 0u);  // no MR jobs were needed
+}
+
+TEST(FfmrSolver, RoundsTrackDiameterNotFlowValue) {
+  // The paper's headline observation (Fig. 5): rounds stay near D even as
+  // |f*| grows with w.
+  graph::Graph base = graph::facebook_like(1200, 8, 17);
+  int rounds_small = 0, rounds_big = 0;
+  graph::Capacity flow_small = 0, flow_big = 0;
+  {
+    auto p = graph::attach_super_terminals(base, 2, 8, 5);
+    auto r = run_variant(p.graph, p.source, p.sink, Variant::FF5);
+    rounds_small = r.rounds;
+    flow_small = r.max_flow;
+  }
+  {
+    auto p = graph::attach_super_terminals(base, 24, 8, 5);
+    auto r = run_variant(p.graph, p.source, p.sink, Variant::FF5);
+    rounds_big = r.rounds;
+    flow_big = r.max_flow;
+  }
+  EXPECT_GT(flow_big, 3 * flow_small);
+  // Rounds grow at most mildly while flow grows by multiples.
+  EXPECT_LE(rounds_big, rounds_small + 6);
+}
+
+TEST(FfmrSolver, SchimmyReducesShuffle) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(600, 8, 23), 4,
+                                         6, 11);
+  auto ff2 = run_variant(p.graph, p.source, p.sink, Variant::FF2);
+  auto ff3 = run_variant(p.graph, p.source, p.sink, Variant::FF3);
+  EXPECT_EQ(ff2.max_flow, ff3.max_flow);
+  // Schimmy keeps master records out of the shuffle; compare per-round
+  // average since round counts can differ slightly.
+  double shuffle2 = static_cast<double>(ff2.totals.shuffle_bytes) /
+                    static_cast<double>(ff2.rounds + 1);
+  double shuffle3 = static_cast<double>(ff3.totals.shuffle_bytes) /
+                    static_cast<double>(ff3.rounds + 1);
+  EXPECT_LT(shuffle3, shuffle2);
+  EXPECT_GT(ff3.totals.schimmy_bytes, 0u);
+}
+
+TEST(FfmrSolver, AugProcRemovesCandidateShuffle) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(600, 8, 29), 4,
+                                         6, 13);
+  auto ff1 = run_variant(p.graph, p.source, p.sink, Variant::FF1);
+  auto ff2 = run_variant(p.graph, p.source, p.sink, Variant::FF2);
+  EXPECT_EQ(ff1.max_flow, ff2.max_flow);
+  // FF2 carries candidates over RPC instead of MR records.
+  uint64_t rpc2 = ff2.totals.rpc_request_bytes;
+  EXPECT_GT(rpc2, 0u);
+  EXPECT_EQ(ff1.totals.rpc_calls, ff1.totals.rpc_calls);
+  // FF1's sink-bound candidate fragments inflate its shuffle volume.
+  double shuffle1 = static_cast<double>(ff1.totals.shuffle_bytes) /
+                    static_cast<double>(ff1.rounds + 1);
+  double shuffle2 = static_cast<double>(ff2.totals.shuffle_bytes) /
+                    static_cast<double>(ff2.rounds + 1);
+  EXPECT_LT(shuffle2, shuffle1 * 1.05);  // never meaningfully worse
+}
+
+TEST(FfmrSolver, Ff5CutsLateRoundTraffic) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(800, 8, 31), 4,
+                                         6, 17);
+  auto ff3 = run_variant(p.graph, p.source, p.sink, Variant::FF3);
+  auto ff5 = run_variant(p.graph, p.source, p.sink, Variant::FF5);
+  EXPECT_EQ(ff3.max_flow, ff5.max_flow);
+  // FF5 suppresses re-sent excess paths: total intermediate records shrink.
+  EXPECT_LT(ff5.totals.map_output_records, ff3.totals.map_output_records);
+}
+
+TEST(FfmrSolver, RoundInfoConsistency) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(400, 6, 37), 3,
+                                         5, 19);
+  auto r = run_variant(p.graph, p.source, p.sink, Variant::FF5);
+  ASSERT_GE(r.rounds_info.size(), 2u);
+  EXPECT_EQ(static_cast<int>(r.rounds_info.size()), r.rounds + 1);
+  graph::Capacity total = 0;
+  for (const auto& info : r.rounds_info) {
+    total += info.accepted_amount;
+    EXPECT_GE(info.accepted_paths, 0);
+    EXPECT_GE(info.candidates, info.accepted_paths);
+    EXPECT_GT(info.stats.sim_seconds, 0.0);
+  }
+  EXPECT_EQ(total, r.max_flow);
+  EXPECT_GT(r.max_graph_bytes, 0u);
+  // Round 0 is the build round: no candidates yet.
+  EXPECT_EQ(r.rounds_info[0].accepted_paths, 0);
+}
+
+TEST(FfmrSolver, PaperTerminationOnSmallWorld) {
+  // The paper's OR-rule termination is exact on its intended graph class.
+  auto p = graph::attach_super_terminals(graph::facebook_like(700, 8, 41), 4,
+                                         6, 23);
+  FfmrOptions o = base_options(Variant::FF5);
+  o.termination = TerminationRule::kPaperEither;
+  o.restart_on_stall = false;
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+  expect_exact(p.graph, p.source, p.sink, result, "paper-rule");
+}
+
+TEST(FfmrSolver, AsyncAugmenterMatches) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(500, 8, 43), 4,
+                                         6, 29);
+  FfmrOptions o = base_options(Variant::FF5);
+  o.async_augmenter = true;
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+  expect_exact(p.graph, p.source, p.sink, result, "async");
+}
+
+TEST(FfmrSolver, DeterministicAcrossClusterSizes) {
+  graph::Graph g = graph::watts_strogatz(150, 4, 0.2, 47);
+  auto small = [&] {
+    mr::Cluster cluster = make_cluster(1);
+    FfmrOptions o = base_options(Variant::FF5);
+    o.num_reduce_tasks = 4;
+    return solve_max_flow(cluster, g, 0, 99, o);
+  }();
+  auto big = [&] {
+    mr::Cluster cluster = make_cluster(6);
+    FfmrOptions o = base_options(Variant::FF5);
+    o.num_reduce_tasks = 4;
+    return solve_max_flow(cluster, g, 0, 99, o);
+  }();
+  EXPECT_EQ(small.max_flow, big.max_flow);
+  EXPECT_EQ(small.rounds, big.rounds);
+  EXPECT_EQ(small.assignment.pair_flow, big.assignment.pair_flow);
+}
+
+TEST(FfmrSolver, KOneStillExact) {
+  // A single stored excess path per vertex cripples parallelism but must
+  // not break correctness (restarts / resends recover).
+  graph::Graph g = graph::watts_strogatz(80, 4, 0.3, 53);
+  FfmrOptions o = base_options(Variant::FF2);
+  o.k = 1;
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, g, 2, 40, o);
+  expect_exact(g, 2, 40, result, "k=1");
+}
+
+TEST(FfmrSolver, MaxRoundsBoundsWork) {
+  graph::Graph g = graph::grid(10, 10);
+  FfmrOptions o = base_options(Variant::FF1);
+  o.max_rounds = 2;  // far too few
+  mr::Cluster cluster = make_cluster();
+  auto result = solve_max_flow(cluster, g, 0, 99, o);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.rounds, 2);
+  // The partial flow must still be feasible.
+  auto report = flow::validate_flow(g, 0, 99, result.assignment);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FfmrSolver, BigGraphFf5) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(5000, 10, 59),
+                                         16, 10, 31);
+  FfmrOptions o = base_options(Variant::FF5);
+  o.async_augmenter = true;
+  mr::Cluster cluster = make_cluster(4);
+  auto result = solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+  expect_exact(p.graph, p.source, p.sink, result, "big-ff5");
+  EXPECT_LE(result.rounds, 20);
+}
+
+TEST(FfmrSolver, UnidirectionalSearchExact) {
+  // Paper Sec. III-B2 ablation: source-only search still converges to the
+  // exact max-flow, just in more rounds.
+  auto p = graph::attach_super_terminals(graph::facebook_like(400, 8, 67), 3,
+                                         6, 41);
+  FfmrOptions bidi = base_options(Variant::FF5);
+  FfmrOptions uni = base_options(Variant::FF5);
+  uni.bidirectional = false;
+  uni.max_rounds = 500;
+  mr::Cluster c1 = make_cluster(), c2 = make_cluster();
+  auto r_bidi = solve_max_flow(c1, p.graph, p.source, p.sink, bidi);
+  auto r_uni = solve_max_flow(c2, p.graph, p.source, p.sink, uni);
+  expect_exact(p.graph, p.source, p.sink, r_uni, "unidirectional");
+  EXPECT_EQ(r_uni.max_flow, r_bidi.max_flow);
+  EXPECT_GT(r_uni.rounds, r_bidi.rounds);
+}
+
+TEST(FfmrSolver, SurvivesInjectedTaskFailures) {
+  // MapReduce's fault tolerance is the reason the paper targets it; the
+  // solver must produce the identical answer when task attempts crash and
+  // are re-executed.
+  graph::Graph g = graph::watts_strogatz(120, 4, 0.25, 71);
+  auto expected = flow::max_flow_dinic(g, 0, 60);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.dfs_block_size = 32 << 10;
+  config.fault.task_failure_probability = 0.08;
+  config.max_task_attempts = 8;  // keep P(task exhausts attempts) ~ 0
+  config.fault.seed = 9;
+  mr::Cluster cluster(config);
+  FfmrOptions o = base_options(Variant::FF3);  // no aug_proc re-submission
+  auto result = solve_max_flow(cluster, g, 0, 60, o);
+  int64_t retries = result.totals.task_retries;
+  EXPECT_GT(retries, 0);
+  EXPECT_EQ(result.max_flow, expected.value);
+  auto report = flow::validate_max_flow(g, 0, 60, result.assignment);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FfmrSolver, FaultsWithFf1BulkDeltasIdempotent) {
+  // A retried FF1 sink-reducer re-sends its bulk delta outcome; the
+  // augmenter must merge it exactly once (bulk bypasses the accumulator,
+  // so a duplicate would corrupt the flow, not just re-augment).
+  graph::Graph g = graph::watts_strogatz(120, 4, 0.25, 79);
+  auto expected = flow::max_flow_dinic(g, 2, 90);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.fault.task_failure_probability = 0.08;
+  config.max_task_attempts = 8;
+  config.fault.seed = 33;
+  mr::Cluster cluster(config);
+  auto result = solve_max_flow(cluster, g, 2, 90, base_options(Variant::FF1));
+  EXPECT_GT(result.totals.task_retries, 0);
+  EXPECT_EQ(result.max_flow, expected.value);
+  auto report = flow::validate_max_flow(g, 2, 90, result.assignment);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FfmrSolver, FaultsWithAugProcStillFeasibleAndMaximal) {
+  // Reduce-attempt retries can re-submit candidates to aug_proc (at-least-
+  // once side effects, like the paper's RMI calls); acceptance is still
+  // capacity-checked, so the final flow remains a valid maximum flow.
+  graph::Graph g = graph::watts_strogatz(120, 4, 0.25, 73);
+  auto expected = flow::max_flow_dinic(g, 1, 77);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.fault.task_failure_probability = 0.08;
+  config.max_task_attempts = 8;
+  config.fault.seed = 21;
+  mr::Cluster cluster(config);
+  auto result = solve_max_flow(cluster, g, 1, 77, base_options(Variant::FF5));
+  EXPECT_EQ(result.max_flow, expected.value);
+  auto report = flow::validate_max_flow(g, 1, 77, result.assignment);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FfmrSolver, AblationScheduleCustomToggles) {
+  // FF5 ladder but with schimmy disabled: still exact, more shuffle.
+  auto p = graph::attach_super_terminals(graph::facebook_like(400, 8, 61), 3,
+                                         6, 37);
+  FfmrOptions with = base_options(Variant::FF5);
+  FfmrOptions without = base_options(Variant::FF5);
+  without.use_schimmy = false;
+  mr::Cluster c1 = make_cluster(), c2 = make_cluster();
+  auto r_with = solve_max_flow(c1, p.graph, p.source, p.sink, with);
+  auto r_without = solve_max_flow(c2, p.graph, p.source, p.sink, without);
+  EXPECT_EQ(r_with.max_flow, r_without.max_flow);
+  EXPECT_GT(r_with.totals.schimmy_bytes, 0u);
+  EXPECT_EQ(r_without.totals.schimmy_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mrflow::ffmr

@@ -1,0 +1,390 @@
+// Unit tests for the FFMR data model, accumulator and aug_proc service.
+#include <gtest/gtest.h>
+
+#include "ffmr/accumulator.h"
+#include "ffmr/augmenter.h"
+#include "ffmr/options.h"
+#include "ffmr/types.h"
+
+namespace mrflow::ffmr {
+namespace {
+
+PathEdge make_edge(EdgeId eid, int8_t dir, VertexId from, VertexId to,
+                   Capacity flow, Capacity cap_fwd) {
+  return PathEdge{eid, dir, from, to, flow, cap_fwd};
+}
+
+ExcessPath make_path(std::vector<PathEdge> edges, uint32_t id = 0) {
+  ExcessPath p;
+  p.id = id;
+  p.edges = std::move(edges);
+  return p;
+}
+
+// -------------------------------------------------------------- PathEdge
+
+TEST(PathEdge, ResidualBothDirections) {
+  // Pair flow 3 (a->b), cap_ab=5, cap_ba=2.
+  PathEdge fwd = make_edge(1, +1, 10, 20, 3, 5);
+  EXPECT_EQ(fwd.residual(), 2);  // 5 - 3
+  PathEdge bwd = make_edge(1, -1, 20, 10, 3, 2);
+  EXPECT_EQ(bwd.residual(), 5);  // 2 + 3
+}
+
+TEST(PathEdge, CodecRoundTrip) {
+  PathEdge e = make_edge(12345, -1, 7, 9, -42, 100);
+  ByteWriter w;
+  e.encode(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(PathEdge::decode(r), e);
+  EXPECT_TRUE(r.at_end());
+}
+
+// ------------------------------------------------------------ ExcessPath
+
+TEST(ExcessPath, BottleneckAndSaturation) {
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 3),
+                            make_edge(2, 1, 1, 2, 1, 2),
+                            make_edge(3, 1, 2, 3, 0, 9)});
+  EXPECT_EQ(p.bottleneck(), 1);
+  EXPECT_FALSE(p.saturated());
+  p.edges[1].flow = 2;
+  EXPECT_TRUE(p.saturated());
+}
+
+TEST(ExcessPath, EmptyPathProperties) {
+  ExcessPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.bottleneck(), graph::kInfiniteCap);
+  EXPECT_FALSE(p.saturated());
+  EXPECT_FALSE(p.touches(0));
+}
+
+TEST(ExcessPath, Touches) {
+  ExcessPath p = make_path({make_edge(1, 1, 5, 6, 0, 1)});
+  EXPECT_TRUE(p.touches(5));
+  EXPECT_TRUE(p.touches(6));
+  EXPECT_FALSE(p.touches(7));
+}
+
+TEST(ExcessPath, CodecRoundTrip) {
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 3),
+                            make_edge(9, -1, 1, 2, -1, 7)},
+                           42);
+  ByteWriter w;
+  p.encode(w);
+  ByteReader r(w.bytes());
+  ExcessPath q = ExcessPath::decode(r);
+  EXPECT_EQ(q.id, 42u);
+  ASSERT_EQ(q.edges.size(), 2u);
+  EXPECT_EQ(q.edges[1], p.edges[1]);
+}
+
+TEST(ExcessPath, Concat) {
+  ExcessPath se = make_path({make_edge(1, 1, 0, 1, 0, 1)});
+  ExcessPath te = make_path({make_edge(2, 1, 1, 2, 0, 1)});
+  ExcessPath cand = concat_paths(se, te);
+  ASSERT_EQ(cand.edges.size(), 2u);
+  EXPECT_EQ(cand.edges[0].eid, 1u);
+  EXPECT_EQ(cand.edges[1].eid, 2u);
+}
+
+// ------------------------------------------------------------- EdgeState
+
+TEST(EdgeState, ResidualsFromPairPerspective) {
+  EdgeState e;
+  e.flow = 3;
+  e.cap_ab = 5;
+  e.cap_ba = 2;
+  e.is_pair_a = true;
+  EXPECT_EQ(e.residual_out(), 2);  // a -> b: 5-3
+  EXPECT_EQ(e.residual_in(), 5);   // b -> a: 2+3
+  EXPECT_EQ(e.dir_out(), 1);
+  e.is_pair_a = false;
+  EXPECT_EQ(e.residual_out(), 5);
+  EXPECT_EQ(e.residual_in(), 2);
+  EXPECT_EQ(e.dir_out(), -1);
+}
+
+TEST(EdgeState, CodecRoundTrip) {
+  EdgeState e;
+  e.eid = 777;
+  e.neighbor = 31;
+  e.is_pair_a = false;
+  e.flow = -5;
+  e.cap_ab = 10;
+  e.cap_ba = 20;
+  e.sent_source_path = 3;
+  e.sent_sink_path = 9;
+  ByteWriter w;
+  e.encode(w);
+  ByteReader r(w.bytes());
+  EdgeState d = EdgeState::decode(r);
+  EXPECT_EQ(d.eid, 777u);
+  EXPECT_EQ(d.neighbor, 31u);
+  EXPECT_FALSE(d.is_pair_a);
+  EXPECT_EQ(d.flow, -5);
+  EXPECT_EQ(d.cap_ba, 20);
+  EXPECT_EQ(d.sent_source_path, 3u);
+  EXPECT_EQ(d.sent_sink_path, 9u);
+}
+
+// ------------------------------------------------------------ VertexValue
+
+TEST(VertexValue, CodecRoundTripMaster) {
+  VertexValue v;
+  v.is_master = true;
+  v.next_path_id = 12;
+  v.source_paths.push_back(make_path({make_edge(1, 1, 0, 1, 0, 2)}, 3));
+  v.sink_paths.push_back(make_path({}, 4));
+  EdgeState e;
+  e.eid = 5;
+  e.neighbor = 2;
+  v.edges.push_back(e);
+  serde::Bytes b = v.encoded();
+  ByteReader r(b);
+  VertexValue d = VertexValue::decode(r);
+  EXPECT_TRUE(d.is_master);
+  EXPECT_EQ(d.next_path_id, 12u);
+  ASSERT_EQ(d.source_paths.size(), 1u);
+  EXPECT_EQ(d.source_paths[0].id, 3u);
+  ASSERT_EQ(d.sink_paths.size(), 1u);
+  EXPECT_TRUE(d.sink_paths[0].empty());
+  ASSERT_EQ(d.edges.size(), 1u);
+  EXPECT_EQ(d.edges[0].eid, 5u);
+}
+
+TEST(VertexValue, DecodeIntoReusesStorage) {
+  VertexValue v;
+  v.is_master = true;
+  for (int i = 0; i < 8; ++i) {
+    v.source_paths.push_back(make_path({make_edge(i, 1, 0, 1, 0, 2)}, i + 1));
+  }
+  serde::Bytes b = v.encoded();
+  VertexValue scratch;
+  ByteReader r1(b);
+  VertexValue::decode_into(r1, scratch);
+  EXPECT_EQ(scratch.source_paths.size(), 8u);
+  ByteReader r2(b);
+  VertexValue::decode_into(r2, scratch);  // second decode reuses capacity
+  EXPECT_EQ(scratch.source_paths.size(), 8u);
+  EXPECT_EQ(scratch.source_paths[7].id, 8u);
+}
+
+TEST(VertexValue, AllocatePathIdMonotonic) {
+  VertexValue v;
+  EXPECT_EQ(v.allocate_path_id(), 1u);
+  EXPECT_EQ(v.allocate_path_id(), 2u);
+}
+
+TEST(VertexKey, RoundTrip) {
+  for (VertexId v : {0ull, 1ull, 1000000ull}) {
+    EXPECT_EQ(decode_vertex_key(encode_vertex_key(v)), v);
+  }
+}
+
+// --------------------------------------------------------- AugmentedEdges
+
+TEST(AugmentedEdges, LookupAndCodec) {
+  AugmentedEdges a;
+  a.deltas = {{2, 5}, {7, -3}, {100, 1}};
+  EXPECT_EQ(a.delta_for(2), 5);
+  EXPECT_EQ(a.delta_for(7), -3);
+  EXPECT_EQ(a.delta_for(3), 0);
+  AugmentedEdges b = AugmentedEdges::decode(a.encode());
+  EXPECT_EQ(b.deltas, a.deltas);
+}
+
+TEST(AugmentedEdges, DecodeSortsUnsortedInput) {
+  AugmentedEdges a;
+  a.deltas = {{9, 1}, {2, 2}};  // unsorted on purpose
+  AugmentedEdges b = AugmentedEdges::decode(a.encode());
+  EXPECT_EQ(b.delta_for(9), 1);
+  EXPECT_EQ(b.delta_for(2), 2);
+  EXPECT_LT(b.deltas[0].first, b.deltas[1].first);
+}
+
+TEST(AugmentedEdges, EmptyRoundTrip) {
+  AugmentedEdges a;
+  EXPECT_TRUE(AugmentedEdges::decode(a.encode()).empty());
+}
+
+// ------------------------------------------------------------ Accumulator
+
+TEST(Accumulator, AcceptsWithinCapacity) {
+  Accumulator acc;
+  // Unit capacity edge: first reservation accepted, second rejected.
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 1)});
+  EXPECT_EQ(acc.accept(p, AcceptMode::kReserveOne), 1);
+  EXPECT_EQ(acc.accept(p, AcceptMode::kReserveOne), 0);
+  EXPECT_EQ(acc.accepted_count(), 1u);
+}
+
+TEST(Accumulator, MaxBottleneckAmount) {
+  Accumulator acc;
+  ExcessPath p = make_path(
+      {make_edge(1, 1, 0, 1, 0, 5), make_edge(2, 1, 1, 2, 1, 4)});
+  EXPECT_EQ(acc.accept(p, AcceptMode::kMaxBottleneck), 3);  // min(5, 4-1)
+  // Second acceptance sees the pending flow: eid 2 has 4-1-3 = 0 left.
+  EXPECT_EQ(acc.accept(p, AcceptMode::kMaxBottleneck), 0);
+}
+
+TEST(Accumulator, OpposingUsesCancel) {
+  Accumulator acc;
+  // Path crosses eid 1 forward then backward: no net constraint there.
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 1, 1),   // residual 0!
+                            make_edge(1, -1, 1, 0, 1, 0),  // cancels
+                            make_edge(2, 1, 0, 2, 0, 2)});
+  EXPECT_EQ(acc.accept(p, AcceptMode::kMaxBottleneck), 2);
+  EXPECT_EQ(acc.pending(1), 0);
+  EXPECT_EQ(acc.pending(2), 2);
+}
+
+TEST(Accumulator, ReverseDirectionResidual) {
+  Accumulator acc;
+  // Pair flow 2, traversed against the pair (cap_ba = 1): residual 1+2 = 3.
+  ExcessPath p = make_path({make_edge(4, -1, 1, 0, 2, 1)});
+  EXPECT_EQ(acc.accept(p, AcceptMode::kMaxBottleneck), 3);
+  EXPECT_EQ(acc.pending(4), -3);
+}
+
+TEST(Accumulator, ConflictingPathsRejected) {
+  Accumulator acc;
+  ExcessPath a = make_path(
+      {make_edge(1, 1, 0, 1, 0, 1), make_edge(2, 1, 1, 3, 0, 1)});
+  ExcessPath b = make_path(
+      {make_edge(1, 1, 0, 1, 0, 1), make_edge(3, 1, 1, 4, 0, 1)});
+  ExcessPath c = make_path(
+      {make_edge(5, 1, 0, 2, 0, 1), make_edge(3, 1, 2, 4, 0, 1)});
+  EXPECT_GT(acc.accept(a, AcceptMode::kMaxBottleneck), 0);
+  EXPECT_EQ(acc.accept(b, AcceptMode::kMaxBottleneck), 0);  // shares eid 1
+  EXPECT_GT(acc.accept(c, AcceptMode::kMaxBottleneck), 0);  // disjoint
+}
+
+TEST(Accumulator, EmptyPathStorableNotAugmentable) {
+  Accumulator acc;
+  ExcessPath empty;
+  EXPECT_EQ(acc.accept(empty, AcceptMode::kReserveOne), 1);
+  EXPECT_EQ(acc.accept(empty, AcceptMode::kMaxBottleneck), 0);
+}
+
+TEST(Accumulator, EvaluateDoesNotRecord) {
+  Accumulator acc;
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 1)});
+  EXPECT_EQ(acc.evaluate(p, AcceptMode::kMaxBottleneck), 1);
+  EXPECT_EQ(acc.evaluate(p, AcceptMode::kMaxBottleneck), 1);
+  EXPECT_EQ(acc.accepted_count(), 0u);
+}
+
+TEST(Accumulator, ToAugmentedEdgesSortedNonZero) {
+  Accumulator acc;
+  acc.accept(make_path({make_edge(9, 1, 0, 1, 0, 4)}),
+             AcceptMode::kMaxBottleneck);
+  acc.accept(make_path({make_edge(2, -1, 1, 0, 0, 3)}),
+             AcceptMode::kMaxBottleneck);
+  AugmentedEdges out = acc.to_augmented_edges();
+  ASSERT_EQ(out.deltas.size(), 2u);
+  EXPECT_EQ(out.deltas[0].first, 2u);
+  EXPECT_EQ(out.deltas[0].second, -3);
+  EXPECT_EQ(out.deltas[1].second, 4);
+}
+
+TEST(Accumulator, ClearResets) {
+  Accumulator acc;
+  acc.accept(make_path({make_edge(1, 1, 0, 1, 0, 1)}),
+             AcceptMode::kMaxBottleneck);
+  acc.clear();
+  EXPECT_EQ(acc.accepted_count(), 0u);
+  EXPECT_EQ(acc.pending(1), 0);
+  EXPECT_GT(acc.accept(make_path({make_edge(1, 1, 0, 1, 0, 1)}),
+                       AcceptMode::kMaxBottleneck),
+            0);
+}
+
+// --------------------------------------------------------- AugmenterService
+
+TEST(Augmenter, AcceptsCandidatesSync) {
+  AugmenterService svc(/*asynchronous=*/false);
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 1)});
+  svc.handle(encode_candidate_request(p));
+  svc.handle(encode_candidate_request(p));  // conflicts with the first
+  auto outcome = svc.finish_round();
+  EXPECT_EQ(outcome.candidates, 2);
+  EXPECT_EQ(outcome.accepted_paths, 1);
+  EXPECT_EQ(outcome.accepted_amount, 1);
+  ASSERT_EQ(outcome.deltas.deltas.size(), 1u);
+  EXPECT_EQ(outcome.deltas.delta_for(1), 1);
+}
+
+TEST(Augmenter, AsyncDrainsOnFinish) {
+  AugmenterService svc(/*asynchronous=*/true);
+  for (int i = 0; i < 200; ++i) {
+    ExcessPath p = make_path({make_edge(i, 1, 0, 1, 0, 1)});
+    svc.handle(encode_candidate_request(p));
+  }
+  auto outcome = svc.finish_round();
+  EXPECT_EQ(outcome.candidates, 200);
+  EXPECT_EQ(outcome.accepted_paths, 200);
+  EXPECT_EQ(outcome.deltas.deltas.size(), 200u);
+  EXPECT_GE(outcome.max_queue, 1);
+}
+
+TEST(Augmenter, RoundsAreIsolated) {
+  AugmenterService svc(false);
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 1)});
+  svc.handle(encode_candidate_request(p));
+  auto r1 = svc.finish_round();
+  EXPECT_EQ(r1.accepted_paths, 1);
+  auto r2 = svc.finish_round();
+  EXPECT_EQ(r2.accepted_paths, 0);
+  EXPECT_TRUE(r2.deltas.empty());
+}
+
+TEST(Augmenter, BulkOutcome) {
+  AugmenterService svc(false);
+  AugmentedEdges deltas;
+  deltas.deltas = {{3, 1}, {5, -2}};
+  svc.handle(encode_bulk_request(1, 7, 9, deltas));
+  // A duplicate delivery (retried reducer attempt) must be ignored.
+  svc.handle(encode_bulk_request(1, 7, 9, deltas));
+  auto outcome = svc.finish_round();
+  EXPECT_EQ(outcome.accepted_paths, 7);
+  EXPECT_EQ(outcome.accepted_amount, 9);
+  EXPECT_EQ(outcome.deltas.delta_for(5), -2);
+}
+
+TEST(Augmenter, BulkAndCandidatesMerge) {
+  AugmenterService svc(false);
+  AugmentedEdges deltas;
+  deltas.deltas = {{1, 2}};
+  svc.handle(encode_bulk_request(2, 1, 2, deltas));
+  ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 10)});
+  svc.handle(encode_candidate_request(p));
+  auto outcome = svc.finish_round();
+  // eid 1 collects both the bulk delta and the candidate's accepted amount.
+  EXPECT_EQ(outcome.deltas.delta_for(1), 2 + 10);
+}
+
+TEST(Augmenter, UnknownTagThrows) {
+  AugmenterService svc(false);
+  EXPECT_THROW(svc.handle("\x07payload"), std::invalid_argument);
+}
+
+TEST(Options, VariantDerivedToggles) {
+  FfmrOptions o;
+  o.variant = Variant::FF1;
+  EXPECT_FALSE(o.aug_proc_enabled());
+  EXPECT_FALSE(o.schimmy_enabled());
+  o.variant = Variant::FF3;
+  EXPECT_TRUE(o.aug_proc_enabled());
+  EXPECT_TRUE(o.schimmy_enabled());
+  EXPECT_FALSE(o.reuse_enabled());
+  o.variant = Variant::FF5;
+  EXPECT_TRUE(o.dedup_enabled());
+  o.use_schimmy = false;  // ablation override
+  EXPECT_FALSE(o.schimmy_enabled());
+  EXPECT_STREQ(variant_name(Variant::FF4), "FF4");
+}
+
+}  // namespace
+}  // namespace mrflow::ffmr

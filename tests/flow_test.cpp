@@ -1,0 +1,249 @@
+// Tests for the sequential max-flow baselines and the flow validators.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flow/max_flow.h"
+#include "flow/validate.h"
+#include "graph/generators.h"
+
+namespace mrflow::flow {
+namespace {
+
+using graph::FlowAssignment;
+using Solver = FlowAssignment (*)(const Graph&, VertexId, VertexId);
+
+struct NamedSolver {
+  const char* name;
+  Solver fn;
+};
+
+const NamedSolver kSolvers[] = {
+    {"edmonds_karp", max_flow_edmonds_karp},
+    {"dinic", max_flow_dinic},
+    {"push_relabel", max_flow_push_relabel},
+    {"dfs", max_flow_dfs},
+};
+
+graph::Graph clrs_graph() {
+  graph::Graph g(6);
+  g.add_edge(0, 1, 16, 0);
+  g.add_edge(0, 2, 13, 0);
+  g.add_edge(1, 2, 10, 4);
+  g.add_edge(1, 3, 12, 0);
+  g.add_edge(2, 3, 0, 9);
+  g.add_edge(2, 4, 14, 0);
+  g.add_edge(3, 4, 0, 7);
+  g.add_edge(3, 5, 20, 0);
+  g.add_edge(4, 5, 4, 0);
+  g.finalize();
+  return g;
+}
+
+class AllSolvers : public ::testing::TestWithParam<NamedSolver> {};
+
+TEST_P(AllSolvers, ClrsNetworkIs23) {
+  graph::Graph g = clrs_graph();
+  auto flow = GetParam().fn(g, 0, 5);
+  EXPECT_EQ(flow.value, 23);
+  auto report = validate_max_flow(g, 0, 5, flow);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST_P(AllSolvers, SinglePathBottleneck) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 10, 0);
+  g.add_edge(1, 2, 3, 0);
+  g.add_edge(2, 3, 10, 0);
+  g.finalize();
+  EXPECT_EQ(GetParam().fn(g, 0, 3).value, 3);
+}
+
+TEST_P(AllSolvers, ParallelPathsSum) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 2, 0);
+  g.add_edge(1, 3, 2, 0);
+  g.add_edge(0, 2, 5, 0);
+  g.add_edge(2, 3, 4, 0);
+  g.finalize();
+  EXPECT_EQ(GetParam().fn(g, 0, 3).value, 6);
+}
+
+TEST_P(AllSolvers, DisconnectedIsZero) {
+  graph::Graph g(4);
+  g.add_undirected(0, 1, 5);
+  g.add_undirected(2, 3, 5);
+  g.finalize();
+  auto flow = GetParam().fn(g, 0, 3);
+  EXPECT_EQ(flow.value, 0);
+  EXPECT_TRUE(validate_max_flow(g, 0, 3, flow).ok);
+}
+
+TEST_P(AllSolvers, ZeroCapacityDirection) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 0, 7);  // only 1 -> 0 has capacity
+  g.finalize();
+  EXPECT_EQ(GetParam().fn(g, 0, 1).value, 0);
+  EXPECT_EQ(GetParam().fn(g, 1, 0).value, 7);
+}
+
+TEST_P(AllSolvers, RequiresReverseEdgeRerouting) {
+  // The classic example where a greedy path must be partially undone.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1, 0);
+  g.add_edge(0, 2, 1, 0);
+  g.add_edge(1, 2, 1, 0);
+  g.add_edge(1, 3, 1, 0);
+  g.add_edge(2, 3, 1, 0);
+  g.finalize();
+  EXPECT_EQ(GetParam().fn(g, 0, 3).value, 2);
+}
+
+TEST_P(AllSolvers, BadTerminalsThrow) {
+  graph::Graph g(2);
+  g.add_undirected(0, 1);
+  g.finalize();
+  EXPECT_THROW(GetParam().fn(g, 0, 0), std::invalid_argument);
+  EXPECT_THROW(GetParam().fn(g, 0, 5), std::invalid_argument);
+}
+
+TEST_P(AllSolvers, UnitGrid) {
+  graph::Graph g = graph::grid(6, 6);
+  auto flow = GetParam().fn(g, 0, 35);
+  EXPECT_EQ(flow.value, 2);  // corner degree limits the cut
+  EXPECT_TRUE(validate_max_flow(g, 0, 35, flow).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, AllSolvers, ::testing::ValuesIn(kSolvers),
+                         [](const auto& info) { return info.param.name; });
+
+// Cross-solver agreement on random graphs (property sweep). DFS FF is
+// exponential in the worst case so it is excluded from the bigger sweep.
+class RandomAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomAgreement, AllSolversAgree) {
+  uint64_t seed = GetParam();
+  rng::Xoshiro256 r(seed);
+  graph::Graph g(40);
+  for (int e = 0; e < 120; ++e) {
+    VertexId a = r.next_below(40), b = r.next_below(40);
+    if (a == b) continue;
+    g.add_edge(a, b, r.next_range(0, 12), r.next_range(0, 12));
+  }
+  g.finalize();
+  VertexId s = 0, t = 39;
+  auto ek = max_flow_edmonds_karp(g, s, t);
+  auto di = max_flow_dinic(g, s, t);
+  auto pr = max_flow_push_relabel(g, s, t);
+  EXPECT_EQ(ek.value, di.value);
+  EXPECT_EQ(ek.value, pr.value);
+  for (const auto* f : {&ek, &di, &pr}) {
+    auto report = validate_max_flow(g, s, t, *f);
+    EXPECT_TRUE(report.ok) << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAgreement,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(Solvers, SuperTerminalProblem) {
+  auto problem = graph::attach_super_terminals(
+      graph::facebook_like(800, 8, 3), 8, 6, 4);
+  auto di = max_flow_dinic(problem.graph, problem.source, problem.sink);
+  auto pr = max_flow_push_relabel(problem.graph, problem.source, problem.sink);
+  EXPECT_EQ(di.value, pr.value);
+  EXPECT_GT(di.value, 0);
+  EXPECT_TRUE(
+      validate_max_flow(problem.graph, problem.source, problem.sink, di).ok);
+}
+
+TEST(Solvers, LargerSmallWorldAgreement) {
+  graph::Graph g = graph::watts_strogatz(2000, 8, 0.2, 9);
+  auto di = max_flow_dinic(g, 3, 1500);
+  auto pr = max_flow_push_relabel(g, 3, 1500);
+  auto ek = max_flow_edmonds_karp(g, 3, 1500);
+  EXPECT_EQ(di.value, pr.value);
+  EXPECT_EQ(di.value, ek.value);
+  EXPECT_EQ(di.value, 8);  // unit caps: bounded by min terminal degree
+}
+
+// -------------------------------------------------------------- validators
+
+TEST(Validate, DetectsCapacityViolation) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 2, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 3;
+  f.pair_flow = {3};
+  auto report = validate_flow(g, 0, 1, f);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("exceeds cap_ab"), std::string::npos);
+}
+
+TEST(Validate, DetectsReverseCapacityViolation) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 2, 1);
+  g.finalize();
+  FlowAssignment f;
+  f.value = -2;
+  f.pair_flow = {-2};
+  EXPECT_FALSE(validate_flow(g, 0, 1, f).ok);
+}
+
+TEST(Validate, DetectsConservationViolation) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 5, 0);
+  g.add_edge(1, 2, 5, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 2;
+  f.pair_flow = {2, 1};  // vertex 1 leaks one unit
+  auto report = validate_flow(g, 0, 2, f);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("conservation"), std::string::npos);
+}
+
+TEST(Validate, DetectsWrongValue) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 5, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 4;
+  f.pair_flow = {3};
+  EXPECT_FALSE(validate_flow(g, 0, 1, f).ok);
+}
+
+TEST(Validate, DetectsNonMaximal) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 5, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 3;
+  f.pair_flow = {3};
+  EXPECT_TRUE(validate_flow(g, 0, 1, f).ok);
+  auto report = validate_max_flow(g, 0, 1, f);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("not maximum"), std::string::npos);
+}
+
+TEST(Validate, SizeMismatch) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 0;
+  EXPECT_FALSE(validate_flow(g, 0, 1, f).ok);
+}
+
+TEST(Validate, AcceptsZeroFlowOnEmptyNetwork) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 0, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 0;
+  f.pair_flow = {0};
+  EXPECT_TRUE(validate_max_flow(g, 0, 1, f).ok);
+}
+
+}  // namespace
+}  // namespace mrflow::flow

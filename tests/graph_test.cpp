@@ -1,0 +1,382 @@
+// Unit and property tests for the graph library: core type, generators,
+// BFS/diameter, super terminals, edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "graph/edgelist_io.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace mrflow::graph {
+namespace {
+
+// ------------------------------------------------------------------ core
+
+TEST(GraphCore, AddEdgeAndAdjacency) {
+  Graph g(3);
+  uint64_t e0 = g.add_edge(0, 1, 5, 2);
+  uint64_t e1 = g.add_undirected(1, 2, 7);
+  g.finalize();
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edge_pairs(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0].to, 0u);
+  EXPECT_FALSE(n1[0].forward);  // 1 is the 'b' endpoint of pair 0
+  EXPECT_EQ(n1[1].to, 2u);
+  EXPECT_TRUE(n1[1].forward);
+}
+
+TEST(GraphCore, DirectedEdgeCount) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0);   // one direction
+  g.add_edge(1, 2, 3, 3);   // both
+  g.add_edge(0, 2, 0, 0);   // neither
+  EXPECT_EQ(g.num_directed_edges(), 3u);
+}
+
+TEST(GraphCore, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(GraphCore, NegativeCapacityRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -1, 0), std::invalid_argument);
+}
+
+TEST(GraphCore, EnsureVertexGrows) {
+  Graph g;
+  g.add_edge(5, 9, 1, 1);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(GraphCore, UseBeforeFinalizeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1, 1, 1);
+  EXPECT_THROW(g.degree(0), std::logic_error);
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 1u);
+  g.add_edge(0, 1, 2, 2);  // invalidates
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+}
+
+TEST(GraphCore, OutCapacity) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 2);
+  g.add_edge(2, 0, 7, 3);  // 0 is 'b': out capacity is cap_ba = 3
+  g.finalize();
+  EXPECT_EQ(g.out_capacity(0), 8);
+  EXPECT_EQ(g.out_capacity(1), 2);
+}
+
+TEST(GraphCore, OutCapacityClampsAtInfinity) {
+  Graph g(3);
+  g.add_edge(0, 1, kInfiniteCap, 0);
+  g.add_edge(0, 2, kInfiniteCap, 0);
+  g.finalize();
+  EXPECT_EQ(g.out_capacity(0), kInfiniteCap);
+}
+
+// ------------------------------------------------------------- generators
+
+size_t sum_degrees(const Graph& g) {
+  size_t s = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) s += g.degree(v);
+  return s;
+}
+
+void expect_simple(const Graph& g) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.a, e.b);
+    auto key = std::minmax(e.a, e.b);
+    EXPECT_TRUE(seen.emplace(key.first, key.second).second)
+        << "duplicate edge " << e.a << "-" << e.b;
+  }
+}
+
+class WattsStrogatzSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(WattsStrogatzSweep, StructuralProperties) {
+  auto [n, k, beta] = GetParam();
+  Graph g = watts_strogatz(n, k, beta, /*seed=*/99);
+  EXPECT_EQ(g.num_vertices(), static_cast<VertexId>(n));
+  // Rewiring with dedup can drop a few edges; at least 90% must survive.
+  EXPECT_GE(g.num_edge_pairs(), static_cast<size_t>(n) * k / 2 * 9 / 10);
+  EXPECT_LE(g.num_edge_pairs(), static_cast<size_t>(n) * k / 2);
+  expect_simple(g);
+  EXPECT_EQ(sum_degrees(g), 2 * g.num_edge_pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, WattsStrogatzSweep,
+    ::testing::Values(std::tuple{50, 4, 0.0}, std::tuple{50, 4, 0.3},
+                      std::tuple{200, 6, 0.1}, std::tuple{500, 8, 1.0}));
+
+TEST(WattsStrogatz, Beta0IsRingLattice) {
+  Graph g = watts_strogatz(20, 4, 0.0, 1);
+  EXPECT_EQ(g.num_edge_pairs(), 40u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatz, SmallWorldDiameter) {
+  // Rewired ring has much smaller diameter than the pure lattice.
+  Graph lattice = watts_strogatz(400, 4, 0.0, 5);
+  Graph sw = watts_strogatz(400, 4, 0.3, 5);
+  uint32_t d_lattice = estimate_diameter(lattice, 4, 1);
+  uint32_t d_sw = estimate_diameter(sw, 4, 1);
+  EXPECT_GT(d_lattice, 2 * d_sw);
+}
+
+TEST(WattsStrogatz, BadArgs) {
+  EXPECT_THROW(watts_strogatz(2, 2, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 10, 0.1, 1), std::invalid_argument);
+}
+
+class BarabasiAlbertSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BarabasiAlbertSweep, StructuralProperties) {
+  auto [n, m] = GetParam();
+  Graph g = barabasi_albert(n, m, /*seed=*/3);
+  EXPECT_EQ(g.num_vertices(), static_cast<VertexId>(n));
+  size_t expected = static_cast<size_t>(m) * (m + 1) / 2 +
+                    static_cast<size_t>(n - m - 1) * m;
+  EXPECT_EQ(g.num_edge_pairs(), expected);
+  expect_simple(g);
+  EXPECT_TRUE(is_connected(g));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), static_cast<size_t>(std::min(m, 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, BarabasiAlbertSweep,
+                         ::testing::Values(std::tuple{100, 1},
+                                           std::tuple{100, 3},
+                                           std::tuple{500, 5}));
+
+TEST(BarabasiAlbert, PowerLawHubExists) {
+  Graph g = barabasi_albert(2000, 2, 11);
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (4).
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(Rmat, SizeAndSimplicity) {
+  Graph g = rmat(/*scale=*/8, /*edge_factor=*/8, /*seed=*/21);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_EQ(g.num_edge_pairs(), 2048u);
+  expect_simple(g);
+}
+
+TEST(Rmat, SkewProducesHubs) {
+  Graph skew = rmat(9, 8, 4, 0.57, 0.19, 0.19);
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < skew.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, skew.degree(v));
+  }
+  EXPECT_GT(max_deg, 40u);  // mean degree is 16
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Graph g = erdos_renyi(100, 300, 17);
+  EXPECT_EQ(g.num_edge_pairs(), 300u);
+  expect_simple(g);
+  EXPECT_THROW(erdos_renyi(10, 46, 1), std::invalid_argument);
+}
+
+TEST(Grid, StructureAndDiameter) {
+  Graph g = grid(5, 7);
+  EXPECT_EQ(g.num_vertices(), 35u);
+  EXPECT_EQ(g.num_edge_pairs(), 5u * 6 + 4u * 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(double_sweep_lower_bound(g, 0), 10u);  // corner to corner
+}
+
+TEST(FacebookLike, LowDiameterAndHubs) {
+  Graph g = facebook_like(3000, 10, 31);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(estimate_diameter(g, 4, 2), 8u);
+  EXPECT_GE(g.num_edge_pairs(), 3000u * 5);
+}
+
+TEST(FacebookLadder, ScalesMonotonically) {
+  auto ladder = facebook_ladder(1.0);
+  ASSERT_EQ(ladder.size(), 6u);
+  EXPECT_EQ(ladder[0].name, "FB1'");
+  for (size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].vertices, ladder[i - 1].vertices);
+    EXPECT_GE(ladder[i].avg_degree, ladder[i - 1].avg_degree);
+  }
+  auto tiny = facebook_ladder(0.01);
+  EXPECT_LT(tiny[5].vertices, ladder[5].vertices);
+  EXPECT_THROW(facebook_ladder(0), std::invalid_argument);
+}
+
+TEST(Generators, Deterministic) {
+  Graph a = barabasi_albert(200, 3, 77);
+  Graph b = barabasi_albert(200, 3, 77);
+  ASSERT_EQ(a.num_edge_pairs(), b.num_edge_pairs());
+  for (size_t i = 0; i < a.num_edge_pairs(); ++i) {
+    EXPECT_EQ(a.edge(i).a, b.edge(i).a);
+    EXPECT_EQ(a.edge(i).b, b.edge(i).b);
+  }
+  Graph c = barabasi_albert(200, 3, 78);
+  bool identical = a.num_edge_pairs() == c.num_edge_pairs();
+  if (identical) {
+    identical = false;
+    for (size_t i = 0; i < a.num_edge_pairs(); ++i) {
+      if (a.edge(i).a != c.edge(i).a || a.edge(i).b != c.edge(i).b) break;
+      if (i + 1 == a.num_edge_pairs()) identical = true;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+// -------------------------------------------------------------------- bfs
+
+TEST(Bfs, DistancesOnPath) {
+  Graph g(4);
+  g.add_undirected(0, 1);
+  g.add_undirected(1, 2);
+  g.add_undirected(2, 3);
+  g.finalize();
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, RespectsDirection) {
+  Graph g(3);
+  g.add_edge(0, 1, 1, 0);  // only 0 -> 1
+  g.add_edge(2, 1, 1, 0);  // only 2 -> 1
+  g.finalize();
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Bfs, ZeroCapacityEdgeIgnored) {
+  Graph g(2);
+  g.add_edge(0, 1, 0, 0);
+  g.finalize();
+  EXPECT_EQ(bfs_distances(g, 0)[1], kUnreachable);
+}
+
+TEST(Bfs, Connectivity) {
+  Graph g(4);
+  g.add_undirected(0, 1);
+  g.add_undirected(2, 3);
+  g.finalize();
+  EXPECT_FALSE(is_connected(g));
+  g.add_undirected(1, 2);
+  g.finalize();
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Bfs, DiameterEstimateBounds) {
+  Graph g = watts_strogatz(300, 6, 0.2, 1);
+  uint32_t est = estimate_diameter(g, 6, 2);
+  // Double-sweep lower bound: must be at least the eccentricity seen from
+  // any single BFS and at most n.
+  EXPECT_GE(est, 2u);
+  EXPECT_LT(est, 300u);
+}
+
+// --------------------------------------------------------- super terminals
+
+TEST(SuperTerminals, AttachesWPlusW) {
+  Graph g = barabasi_albert(200, 3, 5);
+  size_t pairs_before = g.num_edge_pairs();
+  FlowProblem p = attach_super_terminals(std::move(g), 8, 3, 7);
+  EXPECT_EQ(p.graph.num_vertices(), 202u);
+  EXPECT_EQ(p.source, 200u);
+  EXPECT_EQ(p.sink, 201u);
+  EXPECT_EQ(p.graph.num_edge_pairs(), pairs_before + 16);
+  EXPECT_EQ(p.graph.degree(p.source), 8u);
+  EXPECT_EQ(p.graph.degree(p.sink), 8u);
+  // Terminal attachment capacities are infinite, one-directional.
+  for (const auto& arc : p.graph.neighbors(p.source)) {
+    const auto& e = p.graph.edge(arc.pair_index);
+    EXPECT_EQ(e.cap_ab, kInfiniteCap);
+    EXPECT_EQ(e.cap_ba, 0);
+  }
+}
+
+TEST(SuperTerminals, SourceAndSinkSetsDisjoint) {
+  Graph g = barabasi_albert(100, 3, 5);
+  FlowProblem p = attach_super_terminals(std::move(g), 10, 3, 9);
+  std::set<VertexId> src_side, sink_side;
+  for (const auto& arc : p.graph.neighbors(p.source)) src_side.insert(arc.to);
+  for (const auto& arc : p.graph.neighbors(p.sink)) sink_side.insert(arc.to);
+  for (VertexId v : src_side) EXPECT_EQ(sink_side.count(v), 0u);
+}
+
+TEST(SuperTerminals, MinDegreeRespected) {
+  Graph g = barabasi_albert(100, 2, 5);
+  FlowProblem p = attach_super_terminals(std::move(g), 5, 4, 3);
+  for (const auto& arc : p.graph.neighbors(p.source)) {
+    // Original degree (minus the new terminal edge).
+    EXPECT_GE(p.graph.degree(arc.to) - 1, 4u);
+  }
+}
+
+TEST(SuperTerminals, NotEnoughCandidatesThrows) {
+  Graph g = grid(3, 3);  // max degree 4
+  EXPECT_THROW(attach_super_terminals(std::move(g), 5, 4, 1),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ edgelist io
+
+TEST(EdgelistIo, RoundTrip) {
+  Graph g(4);
+  g.add_edge(0, 1, 5, 2);
+  g.add_edge(1, 3, 7, 7);
+  g.finalize();
+  std::ostringstream os;
+  write_edgelist(g, os);
+  std::istringstream is(os.str());
+  Graph h = read_edgelist(is);
+  ASSERT_EQ(h.num_edge_pairs(), 2u);
+  EXPECT_EQ(h.edge(0).cap_ab, 5);
+  EXPECT_EQ(h.edge(0).cap_ba, 2);
+  EXPECT_EQ(h.edge(1).cap_ab, 7);
+}
+
+TEST(EdgelistIo, DefaultsAndComments) {
+  std::istringstream is(
+      "# a comment\n"
+      "0 1\n"         // default caps 1/1
+      "1 2 5\n"       // symmetric 5/5
+      "\n"
+      "2 3 4 0  # trailing comment\n");
+  Graph g = read_edgelist(is);
+  ASSERT_EQ(g.num_edge_pairs(), 3u);
+  EXPECT_EQ(g.edge(0).cap_ab, 1);
+  EXPECT_EQ(g.edge(0).cap_ba, 1);
+  EXPECT_EQ(g.edge(1).cap_ba, 5);
+  EXPECT_EQ(g.edge(2).cap_ba, 0);
+}
+
+TEST(EdgelistIo, MalformedLineThrows) {
+  std::istringstream is("0\n");
+  EXPECT_THROW(read_edgelist(is), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrflow::graph

@@ -1,0 +1,189 @@
+// End-to-end integration tests: the application scenarios from the paper's
+// introduction (community identification, sybil defense) run through the
+// full stack -- generators -> DFS -> MapReduce FFMR -> min-cut extraction --
+// plus cross-engine agreement (MapReduce vs Pregel vs sequential) and
+// edge-list round trips through the public API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "ffmr/solver.h"
+#include "flow/max_flow.h"
+#include "flow/validate.h"
+#include "graph/edgelist_io.h"
+#include "graph/generators.h"
+#include "pregel/maxflow.h"
+
+namespace mrflow {
+namespace {
+
+mr::Cluster make_cluster() {
+  mr::ClusterConfig c;
+  c.num_slave_nodes = 4;
+  c.dfs_block_size = 64 << 10;
+  return mr::Cluster(c);
+}
+
+// --------------------------------------------------- community detection
+
+TEST(Integration, PlantedCommunityRecoveredByMinCut) {
+  const graph::VertexId members = 300;
+  const int bridges = 5;
+  rng::Xoshiro256 rng(3);
+  graph::Graph a = graph::watts_strogatz(members, 8, 0.2, 3);
+  graph::Graph g(2 * members);
+  for (const auto& e : a.edges()) {
+    g.add_undirected(e.a, e.b);
+    g.add_undirected(members + e.a, members + e.b);
+  }
+  for (int i = 0; i < bridges; ++i) {
+    g.add_undirected(rng.next_below(members),
+                     members + rng.next_below(members));
+  }
+  graph::VertexId s = g.num_vertices(), t = s + 1;
+  g.ensure_vertex(t);
+  for (auto v : rng.sample_without_replacement(members, 3)) {
+    g.add_edge(s, v, graph::kInfiniteCap, 0);
+  }
+  for (auto v : rng.sample_without_replacement(members, 3)) {
+    g.add_edge(members + v, t, graph::kInfiniteCap, 0);
+  }
+  g.finalize();
+
+  mr::Cluster cluster = make_cluster();
+  ffmr::FfmrOptions o;
+  o.async_augmenter = false;
+  auto result = ffmr::solve_max_flow(cluster, g, s, t, o);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.max_flow, bridges);  // the bridges are the min cut
+
+  auto side = flow::min_cut_partition(g, s, result.assignment);
+  size_t in_a = 0, in_b = 0;
+  for (graph::VertexId v = 0; v < members; ++v) in_a += side[v];
+  for (graph::VertexId v = members; v < 2 * members; ++v) in_b += side[v];
+  EXPECT_EQ(in_a, members);  // all of community A recovered
+  EXPECT_EQ(in_b, 0u);       // none of community B leaked
+}
+
+// --------------------------------------------------------- sybil defense
+
+TEST(Integration, SybilRegionCappedByAttackEdges) {
+  const graph::VertexId honest = 250, sybil = 120;
+  const int attack_edges = 3;
+  rng::Xoshiro256 rng(5);
+  graph::Graph g(honest + sybil);
+  graph::Graph h = graph::facebook_like(honest, 8, 5);
+  for (const auto& e : h.edges()) g.add_undirected(e.a, e.b);
+  graph::Graph sy = graph::barabasi_albert(sybil, 4, 6);
+  for (const auto& e : sy.edges()) {
+    g.add_undirected(honest + e.a, honest + e.b);
+  }
+  for (int i = 0; i < attack_edges; ++i) {
+    g.add_undirected(rng.next_below(honest), honest + rng.next_below(sybil));
+  }
+  g.finalize();
+
+  graph::VertexId verifier = 0;
+  while (g.degree(verifier) < 6) ++verifier;
+  graph::VertexId sybil_suspect = honest + 7;
+  graph::VertexId honest_suspect = verifier + 17;
+
+  mr::Cluster c1 = make_cluster();
+  ffmr::FfmrOptions o;
+  o.async_augmenter = false;
+  auto to_sybil =
+      ffmr::solve_max_flow(c1, g, verifier, sybil_suspect, o).max_flow;
+  mr::Cluster c2 = make_cluster();
+  auto to_honest =
+      ffmr::solve_max_flow(c2, g, verifier, honest_suspect, o).max_flow;
+
+  EXPECT_LE(to_sybil, attack_edges);  // bottlenecked at the attack edges
+  EXPECT_GT(to_honest, attack_edges);  // many disjoint honest paths
+}
+
+// -------------------------------------------------- cross-engine agreement
+
+TEST(Integration, AllNineSolversAgree) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(350, 8, 11), 3,
+                                         6, 13);
+  const graph::Graph& g = p.graph;
+  auto oracle = flow::max_flow_dinic(g, p.source, p.sink);
+
+  EXPECT_EQ(flow::max_flow_edmonds_karp(g, p.source, p.sink).value,
+            oracle.value);
+  EXPECT_EQ(flow::max_flow_push_relabel(g, p.source, p.sink).value,
+            oracle.value);
+  EXPECT_EQ(flow::max_flow_dfs(g, p.source, p.sink).value, oracle.value);
+
+  for (auto v : {ffmr::Variant::FF1, ffmr::Variant::FF2, ffmr::Variant::FF3,
+                 ffmr::Variant::FF4, ffmr::Variant::FF5}) {
+    mr::Cluster cluster = make_cluster();
+    ffmr::FfmrOptions o;
+    o.variant = v;
+    o.async_augmenter = false;
+    EXPECT_EQ(ffmr::solve_max_flow(cluster, g, p.source, p.sink, o).max_flow,
+              oracle.value)
+        << ffmr::variant_name(v);
+  }
+  EXPECT_EQ(pregel::pregel_max_flow(g, p.source, p.sink).max_flow,
+            oracle.value);
+}
+
+// --------------------------------------------------- edge-list round trip
+
+TEST(Integration, EdgeListFileThroughFullPipeline) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "mrflow_it_edges.txt")
+          .string();
+  graph::Graph g = graph::watts_strogatz(150, 4, 0.2, 17);
+  graph::write_edgelist_file(g, path);
+  graph::Graph loaded = graph::read_edgelist_file(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.num_edge_pairs(), g.num_edge_pairs());
+
+  mr::Cluster cluster = make_cluster();
+  ffmr::FfmrOptions o;
+  o.async_augmenter = false;
+  auto result = ffmr::solve_max_flow(cluster, loaded, 3, 99, o);
+  EXPECT_EQ(result.max_flow, flow::max_flow_dinic(g, 3, 99).value);
+}
+
+// ------------------------------------------------- repeated use, one cluster
+
+TEST(Integration, SequentialSolvesOnSharedClusterIsolate) {
+  // Two solves with different bases on one cluster must not interfere.
+  graph::Graph g1 = graph::watts_strogatz(100, 4, 0.2, 19);
+  graph::Graph g2 = graph::barabasi_albert(100, 3, 23);
+  mr::Cluster cluster = make_cluster();
+  ffmr::FfmrOptions o1;
+  o1.async_augmenter = false;
+  o1.base = "solve1";
+  ffmr::FfmrOptions o2 = o1;
+  o2.base = "solve2";
+  auto r1 = ffmr::solve_max_flow(cluster, g1, 0, 50, o1);
+  auto r2 = ffmr::solve_max_flow(cluster, g2, 0, 50, o2);
+  EXPECT_EQ(r1.max_flow, flow::max_flow_dinic(g1, 0, 50).value);
+  EXPECT_EQ(r2.max_flow, flow::max_flow_dinic(g2, 0, 50).value);
+}
+
+// --------------------------------------------------------- disk-backed DFS
+
+TEST(Integration, SolveOnDiskBackedDfs) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "mrflow_it_dfs").string();
+  {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 3;
+    mr::Cluster cluster(config, dfs::make_disk_backend(dir));
+    graph::Graph g = graph::watts_strogatz(80, 4, 0.2, 29);
+    ffmr::FfmrOptions o;
+    o.async_augmenter = false;
+    auto result = ffmr::solve_max_flow(cluster, g, 0, 40, o);
+    EXPECT_EQ(result.max_flow, flow::max_flow_dinic(g, 0, 40).value);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mrflow

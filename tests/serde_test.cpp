@@ -1,0 +1,205 @@
+// Unit tests for the byte serialization layer (common/serde.h).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace mrflow::serde {
+namespace {
+
+TEST(Varint, RoundTripSmall) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull}) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.get_varint(), v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  std::vector<uint64_t> cases;
+  for (int shift = 0; shift < 64; shift += 7) {
+    cases.push_back(uint64_t{1} << shift);
+    cases.push_back((uint64_t{1} << shift) - 1);
+  }
+  cases.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : cases) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.get_varint(), v) << v;
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  ByteWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.clear();
+  w.put_varint(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Varint, TooLongThrows) {
+  std::string bad(11, '\xFF');
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(Signed, ZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                    int64_t{-64}, int64_t{1} << 40, -(int64_t{1} << 40),
+                    std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    ByteWriter w;
+    w.put_signed(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.get_signed(), v) << v;
+  }
+}
+
+TEST(Signed, SmallMagnitudesStaySmall) {
+  ByteWriter w;
+  w.put_signed(-1);
+  EXPECT_EQ(w.size(), 1u);
+  w.clear();
+  w.put_signed(-64);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Fixed, U64AndDouble) {
+  ByteWriter w;
+  w.put_u64_fixed(0xDEADBEEFCAFEBABEULL);
+  w.put_double(3.141592653589793);
+  w.put_double(-0.0);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u64_fixed(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_DOUBLE_EQ(r.get_double(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(r.get_double(), -0.0);
+}
+
+TEST(BytesField, RoundTrip) {
+  ByteWriter w;
+  w.put_bytes("hello");
+  w.put_bytes("");
+  w.put_bytes(std::string(1000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bytes(), "hello");
+  EXPECT_EQ(r.get_bytes(), "");
+  EXPECT_EQ(r.get_bytes().size(), 1000u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesField, EmbeddedNulBytes) {
+  std::string s("a\0b\0c", 5);
+  ByteWriter w;
+  w.put_bytes(s);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bytes(), std::string_view(s));
+}
+
+TEST(Reader, UnderrunThrows) {
+  ByteWriter w;
+  w.put_varint(300);
+  ByteReader r(w.bytes());
+  r.get_u8();
+  r.get_u8();
+  EXPECT_THROW(r.get_u8(), DecodeError);
+}
+
+TEST(Reader, TruncatedBytesFieldThrows) {
+  ByteWriter w;
+  w.put_varint(100);  // claims 100 bytes follow
+  w.put_raw("short");
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_bytes(), DecodeError);
+}
+
+TEST(Reader, RemainingAndPos) {
+  ByteWriter w;
+  w.put_raw("abcdef");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 6u);
+  r.get_u8();
+  EXPECT_EQ(r.pos(), 1u);
+  EXPECT_EQ(r.remaining(), 5u);
+}
+
+TEST(Writer, ExternalBuffer) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.put_varint(42);
+  EXPECT_EQ(buf.size(), 1u);
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_varint(), 42u);
+}
+
+struct Point {
+  int64_t x = 0, y = 0;
+  void encode(ByteWriter& w) const {
+    w.put_signed(x);
+    w.put_signed(y);
+  }
+  static Point decode(ByteReader& r) {
+    Point p;
+    p.x = r.get_signed();
+    p.y = r.get_signed();
+    return p;
+  }
+};
+
+TEST(EncodeOne, RoundTripAndTrailingCheck) {
+  Point p{-5, 99};
+  Bytes b = encode_one(p);
+  Point q = decode_one<Point>(b);
+  EXPECT_EQ(q.x, -5);
+  EXPECT_EQ(q.y, 99);
+  b.push_back('\0');
+  EXPECT_THROW(decode_one<Point>(b), DecodeError);
+}
+
+TEST(Human, Bytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(1023), "1023 B");
+  EXPECT_EQ(human_bytes(1024), "1.0 KB");
+  EXPECT_EQ(human_bytes(1536), "1.5 KB");
+  EXPECT_EQ(human_bytes(6ull << 30), "6.0 GB");
+}
+
+TEST(Human, Duration) {
+  EXPECT_EQ(human_duration(0), "0:00");
+  EXPECT_EQ(human_duration(61), "1:01");
+  EXPECT_EQ(human_duration(3600 + 22 * 60 + 5), "1:22:05");
+  EXPECT_EQ(human_duration(-3), "0:00");
+}
+
+// Parameterized sweep: random-ish structured payloads survive round trips.
+class SerdeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdeSweep, MixedPayloadRoundTrip) {
+  int n = GetParam();
+  ByteWriter w;
+  for (int i = 0; i < n; ++i) {
+    w.put_varint(static_cast<uint64_t>(i) * 2654435761u);
+    w.put_signed(static_cast<int64_t>(i % 2 ? -i : i) * 40503);
+    w.put_bytes(std::string(static_cast<size_t>(i % 17), 'a' + i % 26));
+  }
+  ByteReader r(w.bytes());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(r.get_varint(), static_cast<uint64_t>(i) * 2654435761u);
+    EXPECT_EQ(r.get_signed(),
+              static_cast<int64_t>(i % 2 ? -i : i) * 40503);
+    EXPECT_EQ(r.get_bytes().size(), static_cast<size_t>(i % 17));
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerdeSweep,
+                         ::testing::Values(0, 1, 10, 100, 1000));
+
+}  // namespace
+}  // namespace mrflow::serde
