@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_flow_value.cpp" "bench/CMakeFiles/bench_fig5_flow_value.dir/bench_fig5_flow_value.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_flow_value.dir/bench_fig5_flow_value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrflow_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mrflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffmr/CMakeFiles/mrflow_ffmr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

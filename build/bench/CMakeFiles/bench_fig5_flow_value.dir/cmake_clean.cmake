@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_flow_value.dir/bench_fig5_flow_value.cpp.o"
+  "CMakeFiles/bench_fig5_flow_value.dir/bench_fig5_flow_value.cpp.o.d"
+  "bench_fig5_flow_value"
+  "bench_fig5_flow_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_flow_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graphs_table.dir/bench_graphs_table.cpp.o"
+  "CMakeFiles/bench_graphs_table.dir/bench_graphs_table.cpp.o.d"
+  "bench_graphs_table"
+  "bench_graphs_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graphs_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

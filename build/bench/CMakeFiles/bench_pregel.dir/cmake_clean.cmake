@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pregel.dir/bench_pregel.cpp.o"
+  "CMakeFiles/bench_pregel.dir/bench_pregel.cpp.o.d"
+  "bench_pregel"
+  "bench_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

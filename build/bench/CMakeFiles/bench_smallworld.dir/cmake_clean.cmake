@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallworld.dir/bench_smallworld.cpp.o"
+  "CMakeFiles/bench_smallworld.dir/bench_smallworld.cpp.o.d"
+  "bench_smallworld"
+  "bench_smallworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

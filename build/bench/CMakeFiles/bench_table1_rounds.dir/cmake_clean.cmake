@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rounds.dir/bench_table1_rounds.cpp.o"
+  "CMakeFiles/bench_table1_rounds.dir/bench_table1_rounds.cpp.o.d"
+  "bench_table1_rounds"
+  "bench_table1_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

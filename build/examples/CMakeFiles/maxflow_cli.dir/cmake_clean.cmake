@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxflow_cli.dir/maxflow_cli.cpp.o"
+  "CMakeFiles/maxflow_cli.dir/maxflow_cli.cpp.o.d"
+  "maxflow_cli"
+  "maxflow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

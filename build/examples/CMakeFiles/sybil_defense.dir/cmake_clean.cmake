@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_defense.dir/sybil_defense.cpp.o"
+  "CMakeFiles/sybil_defense.dir/sybil_defense.cpp.o.d"
+  "sybil_defense"
+  "sybil_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_mr.dir/wordcount_mr.cpp.o"
+  "CMakeFiles/wordcount_mr.dir/wordcount_mr.cpp.o.d"
+  "wordcount_mr"
+  "wordcount_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_common.dir/counters.cpp.o"
+  "CMakeFiles/mrflow_common.dir/counters.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/flags.cpp.o"
+  "CMakeFiles/mrflow_common.dir/flags.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/log.cpp.o"
+  "CMakeFiles/mrflow_common.dir/log.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/rng.cpp.o"
+  "CMakeFiles/mrflow_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/serde.cpp.o"
+  "CMakeFiles/mrflow_common.dir/serde.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/table.cpp.o"
+  "CMakeFiles/mrflow_common.dir/table.cpp.o.d"
+  "CMakeFiles/mrflow_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mrflow_common.dir/thread_pool.cpp.o.d"
+  "libmrflow_common.a"
+  "libmrflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

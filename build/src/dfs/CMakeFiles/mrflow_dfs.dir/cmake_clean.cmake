@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/mrflow_dfs.dir/dfs.cpp.o.d"
+  "CMakeFiles/mrflow_dfs.dir/record_io.cpp.o"
+  "CMakeFiles/mrflow_dfs.dir/record_io.cpp.o.d"
+  "libmrflow_dfs.a"
+  "libmrflow_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ffmr/accumulator.cpp" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/accumulator.cpp.o" "gcc" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/accumulator.cpp.o.d"
+  "/root/repo/src/ffmr/augmenter.cpp" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/augmenter.cpp.o" "gcc" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/augmenter.cpp.o.d"
+  "/root/repo/src/ffmr/ff_job.cpp" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/ff_job.cpp.o" "gcc" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/ff_job.cpp.o.d"
+  "/root/repo/src/ffmr/solver.cpp" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/solver.cpp.o" "gcc" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/solver.cpp.o.d"
+  "/root/repo/src/ffmr/types.cpp" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/types.cpp.o" "gcc" "src/ffmr/CMakeFiles/mrflow_ffmr.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrflow_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_ffmr.dir/accumulator.cpp.o"
+  "CMakeFiles/mrflow_ffmr.dir/accumulator.cpp.o.d"
+  "CMakeFiles/mrflow_ffmr.dir/augmenter.cpp.o"
+  "CMakeFiles/mrflow_ffmr.dir/augmenter.cpp.o.d"
+  "CMakeFiles/mrflow_ffmr.dir/ff_job.cpp.o"
+  "CMakeFiles/mrflow_ffmr.dir/ff_job.cpp.o.d"
+  "CMakeFiles/mrflow_ffmr.dir/solver.cpp.o"
+  "CMakeFiles/mrflow_ffmr.dir/solver.cpp.o.d"
+  "CMakeFiles/mrflow_ffmr.dir/types.cpp.o"
+  "CMakeFiles/mrflow_ffmr.dir/types.cpp.o.d"
+  "libmrflow_ffmr.a"
+  "libmrflow_ffmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_ffmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

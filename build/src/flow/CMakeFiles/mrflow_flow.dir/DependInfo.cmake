@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/dinic.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/dinic.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/dinic.cpp.o.d"
+  "/root/repo/src/flow/edmonds_karp.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/edmonds_karp.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/edmonds_karp.cpp.o.d"
+  "/root/repo/src/flow/ford_fulkerson_dfs.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/ford_fulkerson_dfs.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/ford_fulkerson_dfs.cpp.o.d"
+  "/root/repo/src/flow/push_relabel.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/push_relabel.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/push_relabel.cpp.o.d"
+  "/root/repo/src/flow/residual.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/residual.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/residual.cpp.o.d"
+  "/root/repo/src/flow/validate.cpp" "src/flow/CMakeFiles/mrflow_flow.dir/validate.cpp.o" "gcc" "src/flow/CMakeFiles/mrflow_flow.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrflow_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_flow.dir/dinic.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/dinic.cpp.o.d"
+  "CMakeFiles/mrflow_flow.dir/edmonds_karp.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/edmonds_karp.cpp.o.d"
+  "CMakeFiles/mrflow_flow.dir/ford_fulkerson_dfs.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/ford_fulkerson_dfs.cpp.o.d"
+  "CMakeFiles/mrflow_flow.dir/push_relabel.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/push_relabel.cpp.o.d"
+  "CMakeFiles/mrflow_flow.dir/residual.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/residual.cpp.o.d"
+  "CMakeFiles/mrflow_flow.dir/validate.cpp.o"
+  "CMakeFiles/mrflow_flow.dir/validate.cpp.o.d"
+  "libmrflow_flow.a"
+  "libmrflow_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

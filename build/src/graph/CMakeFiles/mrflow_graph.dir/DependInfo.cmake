@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/mrflow_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/mrflow_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/edgelist_io.cpp" "src/graph/CMakeFiles/mrflow_graph.dir/edgelist_io.cpp.o" "gcc" "src/graph/CMakeFiles/mrflow_graph.dir/edgelist_io.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/mrflow_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/mrflow_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/mrflow_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/mrflow_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/mr_bfs.cpp" "src/graph/CMakeFiles/mrflow_graph.dir/mr_bfs.cpp.o" "gcc" "src/graph/CMakeFiles/mrflow_graph.dir/mr_bfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrflow_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_graph.dir/bfs.cpp.o"
+  "CMakeFiles/mrflow_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/mrflow_graph.dir/edgelist_io.cpp.o"
+  "CMakeFiles/mrflow_graph.dir/edgelist_io.cpp.o.d"
+  "CMakeFiles/mrflow_graph.dir/generators.cpp.o"
+  "CMakeFiles/mrflow_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mrflow_graph.dir/graph.cpp.o"
+  "CMakeFiles/mrflow_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mrflow_graph.dir/mr_bfs.cpp.o"
+  "CMakeFiles/mrflow_graph.dir/mr_bfs.cpp.o.d"
+  "libmrflow_graph.a"
+  "libmrflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

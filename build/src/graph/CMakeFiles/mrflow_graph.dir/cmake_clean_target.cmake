@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrflow_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/cluster.cpp" "src/mapreduce/CMakeFiles/mrflow_mr.dir/cluster.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mrflow_mr.dir/cluster.cpp.o.d"
+  "/root/repo/src/mapreduce/driver.cpp" "src/mapreduce/CMakeFiles/mrflow_mr.dir/driver.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mrflow_mr.dir/driver.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "src/mapreduce/CMakeFiles/mrflow_mr.dir/job.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mrflow_mr.dir/job.cpp.o.d"
+  "/root/repo/src/mapreduce/service.cpp" "src/mapreduce/CMakeFiles/mrflow_mr.dir/service.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mrflow_mr.dir/service.cpp.o.d"
+  "/root/repo/src/mapreduce/typed.cpp" "src/mapreduce/CMakeFiles/mrflow_mr.dir/typed.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mrflow_mr.dir/typed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_mr.dir/cluster.cpp.o"
+  "CMakeFiles/mrflow_mr.dir/cluster.cpp.o.d"
+  "CMakeFiles/mrflow_mr.dir/driver.cpp.o"
+  "CMakeFiles/mrflow_mr.dir/driver.cpp.o.d"
+  "CMakeFiles/mrflow_mr.dir/job.cpp.o"
+  "CMakeFiles/mrflow_mr.dir/job.cpp.o.d"
+  "CMakeFiles/mrflow_mr.dir/service.cpp.o"
+  "CMakeFiles/mrflow_mr.dir/service.cpp.o.d"
+  "CMakeFiles/mrflow_mr.dir/typed.cpp.o"
+  "CMakeFiles/mrflow_mr.dir/typed.cpp.o.d"
+  "libmrflow_mr.a"
+  "libmrflow_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

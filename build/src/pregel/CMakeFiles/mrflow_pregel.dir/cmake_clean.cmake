@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrflow_pregel.dir/maxflow.cpp.o"
+  "CMakeFiles/mrflow_pregel.dir/maxflow.cpp.o.d"
+  "libmrflow_pregel.a"
+  "libmrflow_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrflow_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffmr_smoke_test.dir/ffmr_smoke_test.cpp.o"
+  "CMakeFiles/ffmr_smoke_test.dir/ffmr_smoke_test.cpp.o.d"
+  "ffmr_smoke_test"
+  "ffmr_smoke_test.pdb"
+  "ffmr_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffmr_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

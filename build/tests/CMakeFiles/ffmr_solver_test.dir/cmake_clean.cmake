@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffmr_solver_test.dir/ffmr_solver_test.cpp.o"
+  "CMakeFiles/ffmr_solver_test.dir/ffmr_solver_test.cpp.o.d"
+  "ffmr_solver_test"
+  "ffmr_solver_test.pdb"
+  "ffmr_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffmr_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffmr_types_test.dir/ffmr_types_test.cpp.o"
+  "CMakeFiles/ffmr_types_test.dir/ffmr_types_test.cpp.o.d"
+  "ffmr_types_test"
+  "ffmr_types_test.pdb"
+  "ffmr_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffmr_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrflow_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrflow_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mrflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffmr/CMakeFiles/mrflow_ffmr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pregel/CMakeFiles/mrflow_pregel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

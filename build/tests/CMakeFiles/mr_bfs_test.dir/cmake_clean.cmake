@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_bfs_test.dir/mr_bfs_test.cpp.o"
+  "CMakeFiles/mr_bfs_test.dir/mr_bfs_test.cpp.o.d"
+  "mr_bfs_test"
+  "mr_bfs_test.pdb"
+  "mr_bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_engine_test.dir/mr_engine_test.cpp.o"
+  "CMakeFiles/mr_engine_test.dir/mr_engine_test.cpp.o.d"
+  "mr_engine_test"
+  "mr_engine_test.pdb"
+  "mr_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

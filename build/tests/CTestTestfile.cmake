@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/serde_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/ffmr_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_bfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ffmr_types_test[1]_include.cmake")
+include("/root/repo/build/tests/ffmr_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/pregel_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
