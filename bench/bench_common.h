@@ -12,6 +12,8 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/log.h"
@@ -124,5 +126,154 @@ inline ffmr::FfmrOptions paper_options(ffmr::Variant variant,
 inline std::string fmt_int(int64_t v) { return common::TextTable::fmt_int(v); }
 inline std::string fmt_bytes(uint64_t v) { return serde::human_bytes(v); }
 inline std::string fmt_time(double s) { return serde::human_duration(s); }
+
+// Minimal streaming JSON emitter so benches can record machine-readable
+// results (BENCH_<name>.json) alongside their printed tables -- wall/sim
+// seconds per variant, byte counters, allocation counts. The perf
+// trajectory of the repo is the series of these files over time.
+//
+// Usage:
+//   JsonWriter j;
+//   j.field("bench", "shuffle_engine").field("records", uint64_t{n});
+//   j.arr("variants");
+//     j.obj_item().field("name", "merge").field("wall_s", 0.12).close();
+//   j.close();               // ends the array
+//   j.write_file("BENCH_shuffle_engine.json");
+class JsonWriter {
+ public:
+  JsonWriter() { open('{'); }
+
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    emit_key(key);
+    emit_string(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, double v) {
+    emit_key(key);
+    emit_double(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, uint64_t v) {
+    emit_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, int64_t v) {
+    emit_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, int v) {
+    return field(key, static_cast<int64_t>(v));
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    emit_key(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  // Begins a nested object / array valued at `key`.
+  JsonWriter& obj(std::string_view key) {
+    emit_key(key);
+    open('{');
+    return *this;
+  }
+  JsonWriter& arr(std::string_view key) {
+    emit_key(key);
+    open('[');
+    return *this;
+  }
+  // Begins an object element inside the current array.
+  JsonWriter& obj_item() {
+    comma();
+    open('{');
+    return *this;
+  }
+  // Appends a number element inside the current array.
+  JsonWriter& num_item(double v) {
+    comma();
+    emit_double(v);
+    return *this;
+  }
+  JsonWriter& num_item(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  // Ends the innermost open object or array.
+  JsonWriter& close() {
+    out_ += stack_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+  }
+
+  // Closes any open scopes (including the root) and returns the document.
+  std::string finish() {
+    while (!stack_.empty()) close();
+    return out_;
+  }
+
+  // Finishes and writes the document; returns false on I/O failure.
+  bool write_file(const std::string& path) {
+    std::string doc = finish();
+    doc += '\n';
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  void open(char kind) {
+    out_ += kind;
+    stack_.push_back(kind == '{' ? '}' : ']');
+    first_.push_back(true);
+  }
+  void comma() {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+  void emit_key(std::string_view key) {
+    comma();
+    emit_string(key);
+    out_ += ':';
+  }
+  void emit_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+  void emit_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+  }
+
+  std::string out_;
+  std::string stack_;        // pending closers, innermost last
+  std::vector<bool> first_;  // per-scope "no element emitted yet"
+};
 
 }  // namespace mrflow::bench

@@ -71,5 +71,26 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 7): every successive variant's series\n"
       "is at or below its predecessor; FF2 < FF1 once candidates appear;\n"
       "FF3 consistently below FF2; FF5 far below FF3 in late rounds.\n");
+
+  bench::JsonWriter json;
+  json.field("bench", "fig7_shuffle")
+      .field("graph", entry.name)
+      .field("scale", env.scale)
+      .field("w", static_cast<int64_t>(w));
+  json.arr("variants");
+  for (const auto& s : series) {
+    uint64_t total = 0;
+    for (uint64_t v : s.shuffle) total += v;
+    json.obj_item()
+        .field("name", s.name)
+        .field("max_flow", static_cast<int64_t>(s.flow))
+        .field("rounds", static_cast<uint64_t>(s.shuffle.size()))
+        .field("total_shuffle_bytes", total);
+    json.arr("shuffle_bytes_per_round");
+    for (uint64_t v : s.shuffle) json.num_item(v);
+    json.close().close();
+  }
+  json.close();
+  json.write_file("BENCH_fig7_shuffle.json");
   return 0;
 }

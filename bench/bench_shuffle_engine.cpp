@@ -1,0 +1,388 @@
+// Shuffle-engine microbenchmark: times the three phases of the merge-based
+// shuffle separately -- map-side run sorting, streaming k-way loser-tree
+// merge, and end-to-end reduce -- against the retained reference
+// gather-and-stable-sort shuffle, on adjacency records of a small-world
+// ladder graph (the engine's real workload shape: vertex-id keys, heavy
+// duplicate-key traffic, skewed value sizes).
+//
+// Also verifies FF4's thesis on the engine itself with a global allocation
+// hook: the merge reduce loop must be allocation-free per key group after
+// warm-up, where the reference path pays per-group owned-key copies.
+//
+// Emits BENCH_shuffle_engine.json (variant wall/sim seconds, allocation
+// counts) so the perf trajectory is recorded run over run.
+//
+// Flags (beyond bench_common's): --graph=<i> ladder entry (default 1),
+// --map_tasks=<m> synthetic runs in the phase micros (default 24),
+// --repeat=<k> timing repetitions (default 5).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.h"
+#include "dfs/record_io.h"
+#include "mapreduce/merge.h"
+#include "mapreduce/typed.h"
+
+// ------------------------------------------------- allocation counter hook
+// Counts every global heap allocation in the process; phases diff the
+// counter around their hot loop. Comparative, not exact (pool threads
+// allocate too), but the merge-vs-reference gap is orders of magnitude.
+static std::atomic<uint64_t> g_allocs{0};
+
+static void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace mrflow;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct KvView {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Builds the workload: one framed record per vertex (key = decimal vertex
+// id -- duplicate-free but shuffle-realistic sizes; plus one record per arc
+// under key "d<deg-bucket>" for heavy duplicate-key groups), split
+// round-robin into `map_tasks` unsorted run buffers.
+std::vector<serde::Bytes> build_runs(const graph::Graph& g, int map_tasks) {
+  std::vector<serde::Bytes> runs(map_tasks);
+  serde::ByteWriter w;
+  int t = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto arcs = g.neighbors(v);
+    w.clear();
+    for (const auto& a : arcs) w.put_varint(static_cast<uint64_t>(a.to));
+    dfs::append_record(runs[t], std::to_string(v), w.bytes());
+    dfs::append_record(runs[t], "d" + std::to_string(arcs.size() % 16),
+                       std::to_string(v));
+    t = (t + 1) % map_tasks;
+  }
+  return runs;
+}
+
+struct PhaseTimes {
+  double map_sort_s = 0;
+  double merge_s = 0;
+  double reference_sort_s = 0;
+  uint64_t merge_allocs = 0;
+  uint64_t reference_allocs = 0;
+  uint64_t records = 0;
+  uint64_t groups = 0;
+  uint64_t checksum_merge = 0;
+  uint64_t checksum_reference = 0;
+};
+
+// Streams one full k-way merge with the engine's group-collection logic
+// (reused key scratch + value vector), counting groups and allocations.
+void run_merge_phase(const std::vector<serde::Bytes>& sorted_runs,
+                     PhaseTimes& pt) {
+  std::vector<mr::FramedCursor> cursors;
+  cursors.reserve(sorted_runs.size());
+  mr::LoserTree tree;
+  tree.reset(sorted_runs.size());
+  for (size_t i = 0; i < sorted_runs.size(); ++i) {
+    cursors.emplace_back(std::string_view(sorted_runs[i]));
+    if (cursors[i].advance()) tree.set_key(i, cursors[i].key);
+  }
+  tree.build();
+
+  serde::Bytes key_scratch;
+  std::vector<std::string_view> vals;
+  key_scratch.reserve(64);
+  vals.reserve(256);
+
+  uint64_t groups = 0, checksum = 0;
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  double t0 = now_s();
+  while (!tree.empty()) {
+    size_t w = tree.winner();
+    key_scratch.assign(cursors[w].key);
+    vals.clear();
+    while (!tree.empty()) {
+      w = tree.winner();
+      if (cursors[w].key != std::string_view(key_scratch)) break;
+      vals.push_back(cursors[w].value);
+      if (cursors[w].advance()) {
+        tree.set_key(w, cursors[w].key);
+      } else {
+        tree.exhaust(w);
+      }
+      tree.replay(w);
+    }
+    ++groups;
+    for (std::string_view v : vals) checksum += v.size();
+  }
+  pt.merge_s += now_s() - t0;
+  pt.merge_allocs += g_allocs.load(std::memory_order_relaxed) - allocs0;
+  pt.groups = groups;
+  pt.checksum_merge = checksum;
+}
+
+// The reference reduce ingest: gather every run into one vector, global
+// stable sort, then group -- with the per-group owned-key copy the old
+// engine paid (mr/job.cpp prior to the merge shuffle).
+void run_reference_phase(const std::vector<serde::Bytes>& runs,
+                         PhaseTimes& pt) {
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  double t0 = now_s();
+  std::vector<KvView> entries;
+  for (const auto& run : runs) {
+    dfs::for_each_record(run, [&](std::string_view k, std::string_view v) {
+      entries.push_back(KvView{k, v});
+    });
+  }
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const KvView& a, const KvView& b) { return a.key < b.key; });
+  uint64_t checksum = 0;
+  std::vector<std::string_view> vals;
+  size_t i = 0;
+  while (i < entries.size()) {
+    serde::Bytes key_owned(entries[i].key);  // the old per-group copy
+    vals.clear();
+    while (i < entries.size() && entries[i].key == std::string_view(key_owned)) {
+      vals.push_back(entries[i].value);
+      ++i;
+    }
+    for (std::string_view v : vals) checksum += v.size();
+  }
+  pt.reference_sort_s += now_s() - t0;
+  pt.reference_allocs += g_allocs.load(std::memory_order_relaxed) - allocs0;
+  pt.checksum_reference = checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  bench::BenchEnv env = bench::parse_env(flags);
+  int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
+  int map_tasks = static_cast<int>(flags.get_int("map_tasks", 24));
+  int repeat = static_cast<int>(flags.get_int("repeat", 5));
+  flags.check_unused();
+
+  auto ladder = graph::facebook_ladder(env.scale);
+  const auto& entry = ladder.at(ladder_index);
+  std::printf("Shuffle engine bench on %s (%lld vertices, avg degree %d)\n\n",
+              entry.name.c_str(),
+              static_cast<long long>(entry.vertices), entry.avg_degree);
+
+  graph::Graph g = bench::build_fb_graph(entry, env.seed);
+
+  // ------------------------------------------------------ phase micros
+  std::vector<serde::Bytes> unsorted = build_runs(g, map_tasks);
+  uint64_t records = 0, bytes = 0;
+  for (const auto& r : unsorted) bytes += r.size();
+  for (const auto& r : unsorted) {
+    dfs::for_each_record(r, [&](std::string_view, std::string_view) {
+      ++records;
+    });
+  }
+
+  PhaseTimes pt;
+  pt.records = records;
+  std::vector<serde::Bytes> sorted_runs;
+  for (int it = 0; it < repeat; ++it) {
+    sorted_runs = unsorted;  // re-copy: sort must start from unsorted input
+    mr::RunSortScratch scratch;
+    double t0 = now_s();
+    for (auto& run : sorted_runs) mr::sort_framed_run(run, scratch);
+    pt.map_sort_s += now_s() - t0;
+    run_merge_phase(sorted_runs, pt);
+    run_reference_phase(sorted_runs, pt);
+  }
+  if (pt.checksum_merge != pt.checksum_reference) {
+    std::printf("ERROR: merge/reference checksums differ (%llu vs %llu)\n",
+                static_cast<unsigned long long>(pt.checksum_merge),
+                static_cast<unsigned long long>(pt.checksum_reference));
+    return 1;
+  }
+
+  common::TextTable phases({"Phase", "wall s (x" + std::to_string(repeat) + ")",
+                            "records/s", "allocs"});
+  auto rate = [&](double s) {
+    return s > 0 ? bench::fmt_int(static_cast<int64_t>(
+                       static_cast<double>(records) * repeat / s))
+                 : "-";
+  };
+  phases.add_row({"map-side run sort", std::to_string(pt.map_sort_s),
+                  rate(pt.map_sort_s), "-"});
+  phases.add_row({"k-way loser-tree merge", std::to_string(pt.merge_s),
+                  rate(pt.merge_s), bench::fmt_int(pt.merge_allocs)});
+  phases.add_row({"reference gather+sort", std::to_string(pt.reference_sort_s),
+                  rate(pt.reference_sort_s),
+                  bench::fmt_int(pt.reference_allocs)});
+  std::printf("%s\n", phases.render().c_str());
+  std::printf(
+      "merge ingest is %0.2fx the reference ingest; merge hot loop did %llu "
+      "allocations for %llu groups (%0.3f per group; reference pays one "
+      "owned key per group plus the gathered vector)\n\n",
+      pt.merge_s > 0 ? pt.reference_sort_s / pt.merge_s : 0.0,
+      static_cast<unsigned long long>(pt.merge_allocs),
+      static_cast<unsigned long long>(pt.groups * repeat),
+      pt.groups ? static_cast<double>(pt.merge_allocs) /
+                      static_cast<double>(pt.groups * repeat)
+                : 0.0);
+
+  // --------------------------------------------------- end-to-end engine
+  // The same adjacency records pushed through run_job() under both shuffle
+  // modes; identical record/byte counters are asserted, wall and simulated
+  // reduce seconds are the comparison.
+  struct EngineRun {
+    const char* name;
+    mr::ShuffleMode mode;
+    double wall_s = 0;
+    double reduce_sim_s = 0;
+    uint64_t allocs = 0;
+    mr::JobStats stats;
+  };
+  std::vector<EngineRun> engine = {
+      {"merge", mr::ShuffleMode::kMerge, 0, 0, 0, {}},
+      {"reference-sort", mr::ShuffleMode::kReferenceSort, 0, 0, 0, {}},
+  };
+
+  for (auto& run : engine) {
+    mr::Cluster cluster = env.make_cluster();
+    {
+      dfs::RecordWriter w(&cluster.fs(), "adjacency");
+      serde::ByteWriter vw;
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        vw.clear();
+        for (const auto& a : g.neighbors(v)) {
+          vw.put_varint(static_cast<uint64_t>(a.to));
+        }
+        w.write(std::to_string(v), vw.bytes());
+      }
+      w.close();
+    }
+    for (int it = 0; it < repeat; ++it) {
+      mr::JobSpec spec;
+      spec.name = std::string("shuffle-") + run.name;
+      spec.inputs = {"adjacency"};
+      spec.output_prefix = "out" + std::to_string(it);
+      spec.shuffle = run.mode;
+      // Mapper re-keys every arc to its target: duplicate-heavy keys and
+      // a full shuffle of the arc volume, like the FF rounds.
+      spec.mapper = mr::lambda_mapper(
+          [](std::string_view, std::string_view value, mr::MapContext& ctx) {
+            serde::ByteReader r(value);
+            char key[24];
+            while (!r.at_end()) {
+              uint64_t to = r.get_varint();
+              int len = std::snprintf(key, sizeof(key), "%llu",
+                                      static_cast<unsigned long long>(to));
+              ctx.emit(std::string_view(key, len), "1");
+            }
+          });
+      spec.reducer = mr::lambda_reducer(
+          [](std::string_view key, const mr::Values& values,
+             mr::ReduceContext& ctx) {
+            ctx.emit(key, std::to_string(values.size()));
+          });
+      uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+      double t0 = now_s();
+      mr::JobStats stats = mr::run_job(cluster, spec);
+      run.wall_s += now_s() - t0;
+      run.allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+      run.reduce_sim_s += stats.reduce_sim_s;
+      run.stats = stats;
+    }
+  }
+
+  const mr::JobStats& ms = engine[0].stats;
+  const mr::JobStats& rs = engine[1].stats;
+  bool counters_ok = ms.map_output_records == rs.map_output_records &&
+                     ms.shuffle_bytes == rs.shuffle_bytes &&
+                     ms.reduce_input_groups == rs.reduce_input_groups &&
+                     ms.reduce_output_records == rs.reduce_output_records &&
+                     ms.output_bytes == rs.output_bytes;
+
+  common::TextTable table({"Shuffle", "wall s (x" + std::to_string(repeat) +
+                               ")",
+                           "reduce sim s", "allocs", "shuffle", "groups"});
+  for (const auto& run : engine) {
+    table.add_row({run.name, std::to_string(run.wall_s),
+                   std::to_string(run.reduce_sim_s),
+                   bench::fmt_int(run.allocs),
+                   bench::fmt_bytes(run.stats.shuffle_bytes),
+                   bench::fmt_int(run.stats.reduce_input_groups)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("counters identical across modes: %s\n\n",
+              counters_ok ? "yes" : "NO -- BUG");
+
+  // -------------------------------------------------------- JSON output
+  bench::JsonWriter json;
+  json.field("bench", "shuffle_engine")
+      .field("graph", entry.name)
+      .field("scale", env.scale)
+      .field("repeat", static_cast<int64_t>(repeat))
+      .field("map_tasks", static_cast<int64_t>(map_tasks))
+      .field("records", records)
+      .field("run_bytes", bytes)
+      .field("groups", pt.groups)
+      .field("counters_identical", counters_ok);
+  json.obj("phases")
+      .field("map_sort_wall_s", pt.map_sort_s)
+      .field("merge_wall_s", pt.merge_s)
+      .field("reference_sort_wall_s", pt.reference_sort_s)
+      .field("merge_allocs", pt.merge_allocs)
+      .field("reference_allocs", pt.reference_allocs)
+      .close();
+  json.arr("engine");
+  for (const auto& run : engine) {
+    json.obj_item()
+        .field("shuffle", run.name)
+        .field("wall_s", run.wall_s)
+        .field("reduce_sim_s", run.reduce_sim_s)
+        .field("sim_s", run.stats.sim_seconds)
+        .field("allocs", run.allocs)
+        .field("shuffle_bytes", run.stats.shuffle_bytes)
+        .field("map_output_records",
+               static_cast<int64_t>(run.stats.map_output_records))
+        .field("reduce_input_groups",
+               static_cast<int64_t>(run.stats.reduce_input_groups))
+        .close();
+  }
+  json.close();
+  json.write_file("BENCH_shuffle_engine.json");
+  return counters_ok ? 0 : 1;
+}

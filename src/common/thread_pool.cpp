@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace mrflow::common {
 
@@ -25,11 +26,11 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> fut = task.get_future();
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back([task] { (*task)(); });
   }
   cv_.notify_one();
   return fut;
@@ -37,25 +38,54 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t active = 0;
+    std::exception_ptr first_error;
+  };
+  State state;  // stack-safe: we wait for every helper before returning
+
+  auto run_chunks = [&state, &fn, n] {
+    size_t i;
+    while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(state.mu);
+        if (!state.first_error) state.first_error = std::current_exception();
+      }
+    }
+  };
+
+  // One queued job per worker (not per index); the caller claims chunks
+  // too, so a single-index call never touches the queue at all.
+  const size_t helpers = n > 1 ? std::min(threads_.size(), n - 1) : 0;
+  if (helpers > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    state.active = helpers;
+    for (size_t w = 0; w < helpers; ++w) {
+      queue_.push_back([&state, &run_chunks] {
+        run_chunks();
+        std::lock_guard<std::mutex> lk(state.mu);
+        if (--state.active == 0) state.done.notify_one();
+      });
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (helpers > 0) cv_.notify_all();
+
+  run_chunks();
+
+  std::unique_lock<std::mutex> lk(state.mu);
+  state.done.wait(lk, [&state] { return state.active == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });

@@ -29,16 +29,20 @@ class ThreadPool {
   // by the task propagate through the future.
   std::future<void> submit(std::function<void()> fn);
 
-  // Run fn(i) for i in [0, n) across the pool and wait for all. The first
-  // exception (if any) is rethrown on the caller thread after all tasks
-  // complete or are drained.
+  // Run fn(i) for i in [0, n) across the pool and wait for all. Work is
+  // dispatched through a shared atomic counter by at most one queued job
+  // per worker (plus the calling thread, which participates instead of
+  // blocking), so the per-call cost is O(workers) queue operations rather
+  // than n future/packaged_task allocations. Every index runs even if
+  // some throw; the first exception thrown wins and is rethrown on the
+  // caller thread after all indices complete, and the pool stays usable.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

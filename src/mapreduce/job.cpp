@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "dfs/record_io.h"
+#include "mapreduce/merge.h"
 
 namespace mrflow::mr {
 
@@ -222,15 +223,18 @@ std::vector<MapTaskSpec> plan_map_tasks(Cluster& cluster,
 }
 
 // Runs the optional combiner over one map task's raw emitted records,
-// producing combined per-partition buffers.
+// producing combined per-partition buffers. The raw records live framed in
+// one append-only arena per partition; grouping is an offset-index sort
+// over that arena (no per-record key/value copies).
 void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
-                  std::vector<std::vector<std::pair<Bytes, Bytes>>>& raw,
+                  const std::vector<Bytes>& raw,
                   std::vector<Bytes>& partitions) {
   auto combiner = spec.combiner();
+  std::vector<RunEntry> index;
+  std::vector<std::string_view> vals;
   for (size_t p = 0; p < raw.size(); ++p) {
-    auto& records = raw[p];
-    std::stable_sort(records.begin(), records.end(),
-                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    build_run_index(raw[p], index);
+    sort_run_index(index);  // stable: equal keys keep emit order
     ReduceContext ctx(&cluster, &spec.params, spec.services, node, task_id);
     ReduceTaskRunner::set_emit(ctx, [&partitions, p](std::string_view k,
                                                      std::string_view v) {
@@ -238,19 +242,251 @@ void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
     });
     combiner->setup(ctx);
     size_t i = 0;
-    std::vector<std::string_view> vals;
-    while (i < records.size()) {
+    while (i < index.size()) {
       size_t j = i;
       vals.clear();
-      while (j < records.size() && records[j].first == records[i].first) {
-        vals.push_back(records[j].second);
+      while (j < index.size() && index[j].key == index[i].key) {
+        vals.push_back(index[j].value);
         ++j;
       }
-      combiner->reduce(records[i].first, Values(vals), ctx);
+      combiner->reduce(index[i].key, Values(vals), ctx);
       i = j;
     }
     combiner->cleanup(ctx);
   }
+}
+
+// Opens the schimmy stream for reduce task r, if configured and present:
+// the previous round's partition r, read locally (never shuffled). Must be
+// sorted by key -- our reducers emit in key order.
+std::optional<dfs::RecordReader> open_schimmy(Cluster& cluster,
+                                              const JobSpec& spec, int r,
+                                              int node,
+                                              ReduceTaskResult& result) {
+  std::optional<dfs::RecordReader> schimmy;
+  if (!spec.schimmy_prefix.empty()) {
+    std::string file = partition_file(spec.schimmy_prefix, r);
+    if (cluster.fs().exists(file)) {
+      result.schimmy_in_bytes = cluster.fs().file_size(file);
+      schimmy.emplace(&cluster.fs(), file, node);
+    }
+  }
+  return schimmy;
+}
+
+[[noreturn]] void throw_schimmy_unsorted() {
+  throw std::logic_error(
+      "schimmy input partition is not sorted by key; the producing "
+      "job must emit records in key order");
+}
+
+// Reference reduce task: gather + decode this partition from every map
+// task, one global stable sort, then a two-stream merge against the
+// schimmy reader. Retained as the differential-test oracle and the bench
+// baseline for the streaming merge below.
+void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
+                          const std::vector<MapTaskResult>& map_results, int r,
+                          int node, ReduceTaskResult& result) {
+  double cpu0 = thread_cpu_seconds();
+
+  // Gather + decode this partition from every map task, then sort by key
+  // (stable: ties keep map-task order, which makes output deterministic).
+  std::vector<KvView> entries;
+  for (const auto& mres : map_results) {
+    const Bytes& part = mres.partitions[r];
+    result.shuffle_in_bytes += part.size();
+    dfs::for_each_record(part, [&](std::string_view k, std::string_view v) {
+      entries.push_back(KvView{k, v});
+    });
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const KvView& a, const KvView& b) { return a.key < b.key; });
+
+  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r);
+  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
+  ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
+    out.write(k, v);
+    ++result.output_records;
+  });
+
+  std::optional<dfs::RecordReader> schimmy =
+      open_schimmy(cluster, spec, r, node, result);
+  Bytes schimmy_key, schimmy_value;
+  bool have_schimmy = false;
+  auto schimmy_advance = [&] {
+    have_schimmy = false;
+    if (!schimmy) return;
+    if (auto rec = schimmy->next()) {
+      Bytes new_key(rec->key);
+      if (!schimmy_key.empty() && new_key < schimmy_key) {
+        throw_schimmy_unsorted();
+      }
+      schimmy_key = std::move(new_key);
+      schimmy_value.assign(rec->value);
+      have_schimmy = true;
+    }
+  };
+  schimmy_advance();
+
+  auto reducer = spec.reducer();
+  reducer->setup(ctx);
+
+  size_t i = 0;
+  std::vector<std::string_view> vals;
+  std::vector<Bytes> owned_schimmy_vals;
+  while (i < entries.size() || have_schimmy) {
+    // Pick the smallest next key across the two sorted streams.
+    std::string_view key;
+    if (i < entries.size() && have_schimmy) {
+      key = std::min(std::string_view(entries[i].key),
+                     std::string_view(schimmy_key));
+    } else if (i < entries.size()) {
+      key = entries[i].key;
+    } else {
+      key = schimmy_key;
+    }
+    // Keep the key bytes alive across schimmy_advance().
+    Bytes key_owned(key);
+    key = key_owned;
+
+    vals.clear();
+    owned_schimmy_vals.clear();
+    // Master (schimmy) values come first, matching the contract that a
+    // reducer sees the master vertex before its fragments.
+    while (have_schimmy && std::string_view(schimmy_key) == key) {
+      owned_schimmy_vals.push_back(schimmy_value);
+      schimmy_advance();
+    }
+    for (const auto& ov : owned_schimmy_vals) vals.push_back(ov);
+    while (i < entries.size() && entries[i].key == key) {
+      vals.push_back(entries[i].value);
+      ++i;
+    }
+    reducer->reduce(key, Values(vals), ctx);
+    ++result.input_groups;
+  }
+  reducer->cleanup(ctx);
+  result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  out.close();
+  result.output_bytes = out.bytes_written();
+  result.counters = ctx.counters();
+}
+
+// Merge reduce task: streaming k-way loser-tree merge over the map tasks'
+// sorted runs, with the schimmy stream as just another sorted input.
+// Stream 0 is schimmy (so master values win every key tie and come first);
+// streams 1..M are map tasks in task order, which reproduces the reference
+// stable-sort tie order exactly -- outputs are byte-identical.
+void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
+                      const std::vector<MapTaskResult>& map_results, int r,
+                      int node, ReduceTaskResult& result) {
+  double cpu0 = thread_cpu_seconds();
+
+  const size_t num_runs = map_results.size();
+  std::vector<FramedCursor> runs;
+  runs.reserve(num_runs);
+  for (const auto& mres : map_results) {
+    const Bytes& part = mres.partitions[r];
+    result.shuffle_in_bytes += part.size();
+    runs.emplace_back(std::string_view(part));
+  }
+
+  std::optional<dfs::RecordReader> schimmy =
+      open_schimmy(cluster, spec, r, node, result);
+  // Views into the reader's current record; die on the next next() call,
+  // which is why group collection below copies them into a reused arena.
+  std::string_view schimmy_key, schimmy_value;
+  Bytes schimmy_prev;
+  bool schimmy_have_prev = false;
+  auto schimmy_advance = [&]() -> bool {
+    if (!schimmy) return false;
+    auto rec = schimmy->next();
+    if (!rec) return false;
+    if (schimmy_have_prev && rec->key < std::string_view(schimmy_prev)) {
+      throw_schimmy_unsorted();
+    }
+    schimmy_prev.assign(rec->key);
+    schimmy_have_prev = true;
+    schimmy_key = rec->key;
+    schimmy_value = rec->value;
+    return true;
+  };
+
+  LoserTree tree;
+  tree.reset(num_runs + 1);
+  if (schimmy_advance()) tree.set_key(0, schimmy_key);
+  for (size_t m = 0; m < num_runs; ++m) {
+    if (runs[m].advance()) tree.set_key(m + 1, runs[m].key);
+  }
+  tree.build();
+
+  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r);
+  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
+  ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
+    out.write(k, v);
+    ++result.output_records;
+  });
+
+  auto reducer = spec.reducer();
+  reducer->setup(ctx);
+
+  // All scratch is task-local and reused across key groups: after warm-up
+  // the group loop allocates nothing (FF4's discipline applied to the
+  // engine's own hot path).
+  Bytes key_scratch;
+  Bytes schimmy_arena;
+  std::vector<std::pair<size_t, size_t>> schimmy_spans;
+  std::vector<std::string_view> vals;
+
+  auto current_key = [&](size_t w) {
+    return w == 0 ? schimmy_key : runs[w - 1].key;
+  };
+
+  while (!tree.empty()) {
+    key_scratch.assign(current_key(tree.winner()));
+    const std::string_view key = key_scratch;
+    vals.clear();
+    schimmy_arena.clear();
+    schimmy_spans.clear();
+    while (!tree.empty()) {
+      size_t w = tree.winner();
+      if (current_key(w) != key) break;
+      if (w == 0) {
+        // Schimmy wins every tie, so all master values for this key are
+        // consumed first. The arena may grow while appending, so record
+        // spans now and patch the placeholder views once it is stable.
+        schimmy_spans.emplace_back(schimmy_arena.size(), schimmy_value.size());
+        schimmy_arena.append(schimmy_value);
+        vals.emplace_back();
+        if (schimmy_advance()) {
+          tree.set_key(0, schimmy_key);
+        } else {
+          tree.exhaust(0);
+        }
+        tree.replay(0);
+      } else {
+        // Run buffers outlive the task, so their views are stable.
+        vals.push_back(runs[w - 1].value);
+        if (runs[w - 1].advance()) {
+          tree.set_key(w, runs[w - 1].key);
+        } else {
+          tree.exhaust(w);
+        }
+        tree.replay(w);
+      }
+    }
+    for (size_t s = 0; s < schimmy_spans.size(); ++s) {
+      vals[s] = std::string_view(schimmy_arena)
+                    .substr(schimmy_spans[s].first, schimmy_spans[s].second);
+    }
+    reducer->reduce(key, Values(vals), ctx);
+    ++result.input_groups;
+  }
+  reducer->cleanup(ctx);
+  result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  out.close();
+  result.output_bytes = out.bytes_written();
+  result.counters = ctx.counters();
 }
 
 // Fails a task attempt with the configured probability, decided purely by
@@ -333,21 +569,18 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     MapContext ctx(&cluster, &spec.params, spec.services, task.node,
                    static_cast<int>(ti));
 
-    // With a combiner, buffer raw records per partition and combine at the
-    // end of the task; otherwise frame records straight into partitions.
-    std::vector<std::vector<std::pair<Bytes, Bytes>>> raw;
-    if (spec.combiner) raw.assign(num_reducers, {});
+    // With a combiner, buffer raw framed records in one append-only arena
+    // per partition and combine at the end of the task; otherwise frame
+    // records straight into partitions.
+    std::vector<Bytes> raw;
+    if (spec.combiner) raw.assign(num_reducers, Bytes());
 
     MapTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
       uint32_t p = partition(k, num_reducers);
       if (p >= static_cast<uint32_t>(num_reducers)) {
         throw std::logic_error("partitioner returned out-of-range partition");
       }
-      if (spec.combiner) {
-        raw[p].emplace_back(Bytes(k), Bytes(v));
-      } else {
-        dfs::append_record(result.partitions[p], k, v);
-      }
+      dfs::append_record(spec.combiner ? raw[p] : result.partitions[p], k, v);
       ++result.output_records;
     });
 
@@ -363,6 +596,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       run_combiner(spec, cluster, task.node, static_cast<int>(ti), raw,
                    result.partitions);
     }
+    // Map-side sort: turn every partition buffer into a sorted run so the
+    // reduce side can stream-merge them (scratch reused across partitions).
+    RunSortScratch sort_scratch;
+    for (Bytes& part : result.partitions) sort_framed_run(part, sort_scratch);
     result.cpu_seconds = thread_cpu_seconds() - cpu0;
     result.counters = ctx.counters();
     });
@@ -400,101 +637,13 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     ReduceTaskResult& result = reduce_results[r];
     result = ReduceTaskResult{};  // restartable: reset any failed attempt
     const int node = reduce_node(static_cast<int>(r));
-
-    // Gather + decode this partition from every map task, then sort by key
-    // (stable: ties keep map-task order, which makes output deterministic).
-    std::vector<KvView> entries;
-    for (const auto& mres : map_results) {
-      const Bytes& part = mres.partitions[r];
-      result.shuffle_in_bytes += part.size();
-      dfs::for_each_record(part, [&](std::string_view k, std::string_view v) {
-        entries.push_back(KvView{k, v});
-      });
+    if (spec.shuffle == ShuffleMode::kReferenceSort) {
+      run_reduce_reference(cluster, spec, map_results, static_cast<int>(r),
+                           node, result);
+    } else {
+      run_reduce_merge(cluster, spec, map_results, static_cast<int>(r), node,
+                       result);
     }
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const KvView& a, const KvView& b) { return a.key < b.key; });
-
-    ReduceContext ctx(&cluster, &spec.params, spec.services, node,
-                      static_cast<int>(r));
-    dfs::RecordWriter out(&cluster.fs(),
-                          partition_file(spec.output_prefix, static_cast<int>(r)));
-    ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
-      out.write(k, v);
-      ++result.output_records;
-    });
-
-    // Schimmy stream: previous round's partition r, read locally (never
-    // shuffled). Must be sorted by key -- our reducers emit in key order.
-    std::optional<dfs::RecordReader> schimmy;
-    if (!spec.schimmy_prefix.empty()) {
-      std::string file = partition_file(spec.schimmy_prefix, static_cast<int>(r));
-      if (cluster.fs().exists(file)) {
-        result.schimmy_in_bytes = cluster.fs().file_size(file);
-        schimmy.emplace(&cluster.fs(), file, node);
-      }
-    }
-    Bytes schimmy_key, schimmy_value;
-    bool have_schimmy = false;
-    auto schimmy_advance = [&] {
-      have_schimmy = false;
-      if (!schimmy) return;
-      if (auto rec = schimmy->next()) {
-        Bytes new_key(rec->key);
-        if (!schimmy_key.empty() && new_key < schimmy_key) {
-          throw std::logic_error(
-              "schimmy input partition is not sorted by key; the producing "
-              "job must emit records in key order");
-        }
-        schimmy_key = std::move(new_key);
-        schimmy_value.assign(rec->value);
-        have_schimmy = true;
-      }
-    };
-    schimmy_advance();
-
-    double cpu0 = thread_cpu_seconds();
-    auto reducer = spec.reducer();
-    reducer->setup(ctx);
-
-    size_t i = 0;
-    std::vector<std::string_view> vals;
-    std::vector<Bytes> owned_schimmy_vals;
-    while (i < entries.size() || have_schimmy) {
-      // Pick the smallest next key across the two sorted streams.
-      std::string_view key;
-      if (i < entries.size() && have_schimmy) {
-        key = std::min(std::string_view(entries[i].key),
-                       std::string_view(schimmy_key));
-      } else if (i < entries.size()) {
-        key = entries[i].key;
-      } else {
-        key = schimmy_key;
-      }
-      // Keep the key bytes alive across schimmy_advance().
-      Bytes key_owned(key);
-      key = key_owned;
-
-      vals.clear();
-      owned_schimmy_vals.clear();
-      // Master (schimmy) values come first, matching the contract that a
-      // reducer sees the master vertex before its fragments.
-      while (have_schimmy && std::string_view(schimmy_key) == key) {
-        owned_schimmy_vals.push_back(schimmy_value);
-        schimmy_advance();
-      }
-      for (const auto& ov : owned_schimmy_vals) vals.push_back(ov);
-      while (i < entries.size() && entries[i].key == key) {
-        vals.push_back(entries[i].value);
-        ++i;
-      }
-      reducer->reduce(key, Values(vals), ctx);
-      ++result.input_groups;
-    }
-    reducer->cleanup(ctx);
-    result.cpu_seconds = thread_cpu_seconds() - cpu0;
-    out.close();
-    result.output_bytes = out.bytes_written();
-    result.counters = ctx.counters();
     });
   });
 

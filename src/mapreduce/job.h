@@ -144,6 +144,17 @@ ReducerFactory identity_reducer();
 // stable_hash(key) % parts.
 Partitioner default_partitioner();
 
+// Reduce-side shuffle implementation. Both produce byte-identical output
+// partitions and identical JobStats record/byte counters; only CPU and
+// wall time differ (shuffle *bytes* are a property of the records, not of
+// the shuffle algorithm).
+//   kMerge:         streaming k-way loser-tree merge over the map tasks'
+//                   sorted runs (and the schimmy stream); the default.
+//   kReferenceSort: gather every run, then one global stable sort -- the
+//                   original implementation, retained as the oracle for
+//                   differential tests and as the bench baseline.
+enum class ShuffleMode { kMerge, kReferenceSort };
+
 struct JobSpec {
   std::string name = "job";
   std::vector<std::string> inputs;  // DFS record files
@@ -158,6 +169,8 @@ struct JobSpec {
   // shuffled records (schimmy design pattern). Partition count and
   // partitioner must match the job that produced those files.
   std::string schimmy_prefix;
+  // Reduce-side shuffle implementation (see ShuffleMode above).
+  ShuffleMode shuffle = ShuffleMode::kMerge;
   ServiceRegistry* services = nullptr;
   // Remove input files once the job succeeds (multi-round GC).
   bool delete_inputs_after = false;

@@ -1,0 +1,88 @@
+#include "mapreduce/merge.h"
+
+#include <algorithm>
+
+namespace mrflow::mr {
+
+void build_run_index(std::string_view framed, std::vector<RunEntry>& out) {
+  out.clear();
+  serde::ByteReader r(framed);
+  while (!r.at_end()) {
+    RunEntry e;
+    e.offset = r.pos();
+    e.key = r.get_bytes();
+    e.value = r.get_bytes();
+    e.length = r.pos() - e.offset;
+    out.push_back(e);
+  }
+}
+
+void sort_run_index(std::vector<RunEntry>& index) {
+  // Offsets are strictly increasing, so breaking key ties on offset is
+  // exactly a stable sort -- without stable_sort's temporary buffer.
+  std::sort(index.begin(), index.end(), [](const RunEntry& a, const RunEntry& b) {
+    int c = a.key.compare(b.key);
+    return c != 0 ? c < 0 : a.offset < b.offset;
+  });
+}
+
+void sort_framed_run(serde::Bytes& buf, RunSortScratch& scratch) {
+  if (buf.empty()) return;
+  build_run_index(buf, scratch.index);
+  if (scratch.index.size() < 2) return;
+  if (std::is_sorted(scratch.index.begin(), scratch.index.end(),
+                     [](const RunEntry& a, const RunEntry& b) {
+                       return a.key.compare(b.key) < 0;
+                     })) {
+    return;  // already a sorted run; skip the rebuild pass
+  }
+  sort_run_index(scratch.index);
+  scratch.rebuild.clear();
+  scratch.rebuild.reserve(buf.size());
+  for (const RunEntry& e : scratch.index) {
+    scratch.rebuild.append(buf, e.offset, e.length);
+  }
+  buf.swap(scratch.rebuild);
+}
+
+void LoserTree::reset(size_t k) {
+  k_ = k;
+  winner_ = 0;
+  keys_.assign(k, {});
+  alive_.assign(k, 0);
+  losers_.assign(k, kNone);
+}
+
+bool LoserTree::wins(size_t a, size_t b) const {
+  // The build sentinel beats everything: a real candidate arriving at a
+  // kNone node must be stored there (as the "loser") while the sentinel
+  // keeps rising, so that after seeding every leaf each internal node
+  // holds a real stream. kNone never reappears after build().
+  if (a == kNone) return true;
+  if (b == kNone) return false;
+  if (alive_[a] != alive_[b]) return alive_[a];
+  if (!alive_[a]) return a < b;
+  int c = keys_[a].compare(keys_[b]);
+  return c != 0 ? c < 0 : a < b;
+}
+
+void LoserTree::replay(size_t i) {
+  // Walk leaf i's path to the root; at each internal node the stored
+  // loser competes against the rising candidate, keeping the loser and
+  // promoting the winner.
+  size_t candidate = i;
+  for (size_t node = (i + k_) / 2; node > 0; node /= 2) {
+    if (wins(losers_[node], candidate)) std::swap(candidate, losers_[node]);
+  }
+  winner_ = candidate;
+}
+
+void LoserTree::build() {
+  if (k_ == 0) return;
+  // Seeding every internal node with kNone (beats all, see wins()) makes
+  // repeated replays a correct tournament build.
+  std::fill(losers_.begin(), losers_.end(), kNone);
+  for (size_t i = 0; i < k_; ++i) replay(i);
+}
+
+}  // namespace mrflow::mr

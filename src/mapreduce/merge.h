@@ -1,0 +1,124 @@
+// Merge-based shuffle primitives (Hadoop's sort/spill/merge analog).
+//
+// Map side: each per-partition output buffer of framed records is turned
+// into a *sorted run* by sort_framed_run() -- an index sort over record
+// offsets (keys and values are never copied individually; one bulk pass
+// reorders the bytes). Equal keys keep their emit order, so a run is a
+// stable-sorted image of the task's output.
+//
+// Reduce side: LoserTree merges the M sorted runs (one per map task) plus
+// the schimmy stream in a single streaming pass. Ties break on stream
+// index, with the schimmy stream at index 0 and map tasks following in
+// task order -- exactly the order the reference gather-and-stable-sort
+// shuffle produces, so both paths emit byte-identical outputs.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace mrflow::mr {
+
+// One record inside a framed run buffer: key/value views plus the byte
+// range of the whole framed record (varint lengths included).
+struct RunEntry {
+  std::string_view key;
+  std::string_view value;
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+// Scratch reused across sort_framed_run() calls so sorting a task's
+// partitions allocates nothing once the buffers are warm.
+struct RunSortScratch {
+  std::vector<RunEntry> index;
+  serde::Bytes rebuild;
+};
+
+// Decodes the (key, offset, length) index of a framed buffer into `out`
+// (cleared first). Views point into `framed`.
+void build_run_index(std::string_view framed, std::vector<RunEntry>& out);
+
+// Sorts a run index by key; equal keys keep buffer (emit) order.
+void sort_run_index(std::vector<RunEntry>& index);
+
+// Reorders the framed records of `buf` into stable key order in one bulk
+// rebuild pass. After this, `buf` is a sorted run.
+void sort_framed_run(serde::Bytes& buf, RunSortScratch& scratch);
+
+// Cursor over the framed records of a sorted run buffer. Views stay valid
+// for the buffer's lifetime (they point into it, not into the cursor).
+struct FramedCursor {
+  std::string_view data;
+  size_t pos = 0;
+  std::string_view key;
+  std::string_view value;
+
+  explicit FramedCursor(std::string_view d = {}) : data(d) {}
+
+  // Decodes the next record into key/value; false at end of run.
+  bool advance() {
+    if (pos >= data.size()) return false;
+    serde::ByteReader r(data.substr(pos));
+    key = r.get_bytes();
+    value = r.get_bytes();
+    pos += r.pos();
+    return true;
+  }
+};
+
+// Tournament loser tree over k sorted streams keyed by byte strings.
+//
+// The caller owns the streams; the tree only tracks each leaf's current
+// key. Protocol: reset(k), then set_key() every non-empty leaf, build(),
+// then loop { winner() -> consume that stream's record -> set_key() or
+// exhaust() the leaf -> replay(leaf) } until empty().
+//
+// Comparison contract: smaller key wins; equal keys go to the smaller
+// stream index. Each winner replay costs ceil(log2 k) comparisons versus
+// the O(R log R) of sorting the gathered records.
+class LoserTree {
+ public:
+  // Prepares a tree with k leaves, all initially exhausted.
+  void reset(size_t k);
+
+  // Sets leaf `i`'s current key (call before build(), or after consuming
+  // the winner's record; follow post-build changes with replay(i)).
+  void set_key(size_t i, std::string_view key) {
+    keys_[i] = key;
+    alive_[i] = 1;
+  }
+
+  // Marks leaf `i` out of records.
+  void exhaust(size_t i) {
+    keys_[i] = {};
+    alive_[i] = 0;
+  }
+
+  // Runs the initial tournament; call once after the leaves are seeded.
+  void build();
+
+  // Re-runs the tournament along leaf `i`'s path after its key changed.
+  void replay(size_t i);
+
+  // Index of the stream holding the smallest current key.
+  size_t winner() const { return winner_; }
+
+  // True when every leaf is exhausted (or k == 0).
+  bool empty() const { return k_ == 0 || !alive_[winner_]; }
+
+ private:
+  // Does stream a beat stream b? The kNone build sentinel beats all.
+  bool wins(size_t a, size_t b) const;
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t k_ = 0;
+  size_t winner_ = 0;
+  std::vector<std::string_view> keys_;
+  std::vector<unsigned char> alive_;
+  std::vector<size_t> losers_;  // internal nodes 1..k-1; [0] unused
+};
+
+}  // namespace mrflow::mr

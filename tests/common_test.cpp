@@ -146,6 +146,64 @@ TEST(ThreadPool, EmptyParallelFor) {
   pool.parallel_for(0, [](size_t) { FAIL(); });
 }
 
+// Regression tests for the chunked atomic-counter dispatch: exceptions
+// from any chunk propagate (first error wins), every index still runs,
+// and the pool stays usable afterwards.
+
+TEST(ThreadPool, AllIndicesRunDespiteExceptions) {
+  common::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](size_t i) {
+                                   ++ran;
+                                   if (i % 7 == 0) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, FirstErrorWinsAndPoolStaysUsable) {
+  common::ThreadPool pool(4);
+  // Every index throws its own error type; exactly one must surface.
+  std::atomic<int> caught{0};
+  try {
+    pool.parallel_for(100, [](size_t i) {
+      if (i % 2 == 0) throw std::runtime_error("even");
+      throw std::logic_error("odd");
+    });
+  } catch (const std::exception&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught.load(), 1);
+  // The pool must accept and complete further work after a failed call.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+  auto f = pool.submit([&] { ++count; });
+  f.get();
+  EXPECT_EQ(count.load(), 51);
+}
+
+TEST(ThreadPool, SingleIndexRunsOnCallerWithoutQueueing) {
+  common::ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ManyTasksFewWorkers) {
+  common::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 // --------------------------------------------------------------- counters
 
 TEST(Counters, IncrementAndRead) {

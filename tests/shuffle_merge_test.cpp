@@ -1,0 +1,407 @@
+// Differential tests for the merge-based shuffle: every randomized job runs
+// through both ShuffleMode::kMerge (sorted map-side runs + streaming
+// loser-tree merge) and ShuffleMode::kReferenceSort (gather + global stable
+// sort, the original implementation) and must produce byte-identical
+// partition files and identical JobStats record/byte counters -- those
+// counters are the paper's metric (Fig. 7, Table I) and must not drift.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dfs/record_io.h"
+#include "mapreduce/driver.h"
+#include "mapreduce/merge.h"
+#include "mapreduce/typed.h"
+
+namespace mrflow::mr {
+namespace {
+
+// ------------------------------------------------------------- loser tree
+
+std::vector<std::pair<std::string, size_t>> merge_with_tree(
+    const std::vector<std::vector<std::string>>& streams) {
+  std::vector<size_t> pos(streams.size(), 0);
+  LoserTree tree;
+  tree.reset(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (!streams[i].empty()) tree.set_key(i, streams[i][0]);
+  }
+  tree.build();
+  std::vector<std::pair<std::string, size_t>> out;
+  while (!tree.empty()) {
+    size_t w = tree.winner();
+    out.emplace_back(streams[w][pos[w]], w);
+    if (++pos[w] < streams[w].size()) {
+      tree.set_key(w, streams[w][pos[w]]);
+    } else {
+      tree.exhaust(w);
+    }
+    tree.replay(w);
+  }
+  return out;
+}
+
+TEST(LoserTree, MergesSortedStreams) {
+  auto merged = merge_with_tree({{"a", "c", "e"}, {"b", "d"}, {"f"}});
+  std::vector<std::string> keys;
+  for (auto& [k, s] : merged) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c", "d", "e", "f"}));
+}
+
+TEST(LoserTree, TiesGoToLowestStreamIndex) {
+  auto merged = merge_with_tree({{"k", "k"}, {"k"}, {"k", "k", "k"}});
+  ASSERT_EQ(merged.size(), 6u);
+  // All keys equal: records must come out in stream-index order, and
+  // within one stream in stream order.
+  std::vector<size_t> sources;
+  for (auto& [k, s] : merged) sources.push_back(s);
+  EXPECT_EQ(sources, (std::vector<size_t>{0, 0, 1, 2, 2, 2}));
+}
+
+TEST(LoserTree, HandlesEmptyAndSingleStreams) {
+  EXPECT_TRUE(merge_with_tree({}).empty());
+  EXPECT_TRUE(merge_with_tree({{}, {}, {}}).empty());
+  auto one = merge_with_tree({{"x"}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, "x");
+  auto skewed = merge_with_tree({{}, {"a", "b"}, {}, {"a"}, {}});
+  ASSERT_EQ(skewed.size(), 3u);
+  EXPECT_EQ(skewed[0].second, 1u);  // tie on "a": stream 1 before stream 3
+  EXPECT_EQ(skewed[1].second, 3u);
+  EXPECT_EQ(skewed[2].first, "b");
+}
+
+TEST(LoserTree, RandomizedAgainstStableSort) {
+  rng::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 1 + rng.next_below(9);
+    std::vector<std::vector<std::string>> streams(k);
+    std::vector<std::pair<std::string, size_t>> expected;
+    for (size_t i = 0; i < k; ++i) {
+      size_t len = rng.next_below(8);  // often tiny, sometimes empty
+      for (size_t j = 0; j < len; ++j) {
+        streams[i].push_back("key" + std::to_string(rng.next_below(5)));
+      }
+      std::sort(streams[i].begin(), streams[i].end());
+      for (const auto& s : streams[i]) expected.emplace_back(s, i);
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first != b.first ? a.first < b.first
+                                                 : a.second < b.second;
+                     });
+    EXPECT_EQ(merge_with_tree(streams), expected) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------ sorted runs
+
+serde::Bytes frame_records(
+    const std::vector<std::pair<std::string, std::string>>& recs) {
+  serde::Bytes buf;
+  for (const auto& [k, v] : recs) dfs::append_record(buf, k, v);
+  return buf;
+}
+
+TEST(SortedRun, IndexSortIsStable) {
+  serde::Bytes buf = frame_records(
+      {{"b", "1"}, {"a", "2"}, {"b", "3"}, {"", "4"}, {"a", "5"}});
+  RunSortScratch scratch;
+  sort_framed_run(buf, scratch);
+  std::vector<std::pair<std::string, std::string>> got;
+  dfs::for_each_record(buf, [&](std::string_view k, std::string_view v) {
+    got.emplace_back(std::string(k), std::string(v));
+  });
+  std::vector<std::pair<std::string, std::string>> want = {
+      {"", "4"}, {"a", "2"}, {"a", "5"}, {"b", "1"}, {"b", "3"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(SortedRun, AlreadySortedAndEdgeCases) {
+  RunSortScratch scratch;
+  serde::Bytes empty;
+  sort_framed_run(empty, scratch);
+  EXPECT_TRUE(empty.empty());
+
+  serde::Bytes single = frame_records({{"only", "record"}});
+  serde::Bytes single_before = single;
+  sort_framed_run(single, scratch);
+  EXPECT_EQ(single, single_before);
+
+  serde::Bytes sorted = frame_records({{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  serde::Bytes sorted_before = sorted;
+  sort_framed_run(sorted, scratch);
+  EXPECT_EQ(sorted, sorted_before);
+}
+
+// ----------------------------------------------------- differential tests
+
+Cluster make_cluster(int nodes = 3, uint64_t block = 4 << 10) {
+  ClusterConfig c;
+  c.num_slave_nodes = nodes;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.dfs_block_size = block;
+  return Cluster(c);
+}
+
+void write_records(
+    Cluster& cluster, const std::string& file,
+    const std::vector<std::pair<std::string, std::string>>& recs) {
+  dfs::RecordWriter w(&cluster.fs(), file);
+  for (const auto& [k, v] : recs) w.write(k, v);
+  w.close();
+}
+
+// The deterministic counters that must be bit-identical across shuffle
+// modes (timing fields are real measurements and legitimately differ).
+void expect_stats_identical(const JobStats& a, const JobStats& b) {
+  EXPECT_EQ(a.num_map_tasks, b.num_map_tasks);
+  EXPECT_EQ(a.num_reduce_tasks, b.num_reduce_tasks);
+  EXPECT_EQ(a.map_input_records, b.map_input_records);
+  EXPECT_EQ(a.map_output_records, b.map_output_records);
+  EXPECT_EQ(a.reduce_input_groups, b.reduce_input_groups);
+  EXPECT_EQ(a.reduce_output_records, b.reduce_output_records);
+  EXPECT_EQ(a.map_input_bytes, b.map_input_bytes);
+  EXPECT_EQ(a.map_output_bytes, b.map_output_bytes);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.shuffle_bytes_remote, b.shuffle_bytes_remote);
+  EXPECT_EQ(a.schimmy_bytes, b.schimmy_bytes);
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_EQ(a.task_retries, b.task_retries);
+}
+
+// Runs `build_spec` under both shuffle modes on fresh identical clusters
+// and asserts byte-identical partition files plus identical counters.
+// build_spec(cluster) must write its own inputs and return the spec(s) to
+// run in order; the last spec's outputs are compared.
+using SpecBuilder = std::function<std::vector<JobSpec>(Cluster&)>;
+
+void run_differential(const SpecBuilder& build_spec) {
+  auto run_mode = [&](ShuffleMode mode) {
+    Cluster cluster = make_cluster();
+    std::vector<JobSpec> specs = build_spec(cluster);
+    JobStats last;
+    std::string prefix;
+    int parts = 0;
+    for (auto& spec : specs) {
+      spec.shuffle = mode;
+      prefix = spec.output_prefix;
+      last = run_job(cluster, spec);
+      parts = last.num_reduce_tasks;
+    }
+    std::vector<serde::Bytes> files;
+    for (int r = 0; r < parts; ++r) {
+      files.push_back(cluster.fs().read_all(partition_file(prefix, r)));
+    }
+    return std::make_pair(last, files);
+  };
+
+  auto [merge_stats, merge_files] = run_mode(ShuffleMode::kMerge);
+  auto [ref_stats, ref_files] = run_mode(ShuffleMode::kReferenceSort);
+  expect_stats_identical(merge_stats, ref_stats);
+  ASSERT_EQ(merge_files.size(), ref_files.size());
+  for (size_t r = 0; r < merge_files.size(); ++r) {
+    EXPECT_EQ(merge_files[r], ref_files[r]) << "partition " << r;
+  }
+}
+
+// Random record set: duplicate-heavy keys (small key space), random value
+// sizes including empty, occasionally zero records.
+std::vector<std::pair<std::string, std::string>> random_records(
+    rng::Xoshiro256& rng, size_t max_records, size_t key_space) {
+  size_t n = rng.next_below(max_records + 1);
+  std::vector<std::pair<std::string, std::string>> recs;
+  recs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = "k" + std::to_string(rng.next_below(key_space));
+    std::string value(rng.next_below(24), 'a' + static_cast<char>(i % 26));
+    recs.emplace_back(std::move(key), std::move(value));
+  }
+  return recs;
+}
+
+ReducerFactory concat_reducer() {
+  return lambda_reducer(
+      [](std::string_view key, const Values& values, ReduceContext& ctx) {
+        std::string joined;
+        for (std::string_view v : values) {
+          joined.append(v);
+          joined.push_back('|');
+        }
+        ctx.emit(key, joined);
+      });
+}
+
+TEST(ShuffleDifferential, RandomizedPlainJobs) {
+  rng::Xoshiro256 rng(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto recs = random_records(rng, 400, 1 + trial * 5);
+    // Many reducers on few keys => some reduce partitions stay empty;
+    // trial 0 has key_space 1 => single-key, single-group runs.
+    int reducers = 1 + static_cast<int>(rng.next_below(6));
+    run_differential([&](Cluster& cluster) {
+      write_records(cluster, "in", recs);
+      JobSpec spec;
+      spec.name = "diff-plain";
+      spec.inputs = {"in"};
+      spec.output_prefix = "out";
+      spec.num_reduce_tasks = reducers;
+      spec.mapper = identity_mapper();
+      spec.reducer = concat_reducer();
+      return std::vector<JobSpec>{spec};
+    });
+  }
+}
+
+TEST(ShuffleDifferential, RandomizedWithCombiner) {
+  rng::Xoshiro256 rng(202);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto recs = random_records(rng, 500, 8);
+    run_differential([&](Cluster& cluster) {
+      write_records(cluster, "in", recs);
+      JobSpec spec;
+      spec.name = "diff-combine";
+      spec.inputs = {"in"};
+      spec.output_prefix = "out";
+      spec.num_reduce_tasks = 3;
+      spec.mapper = lambda_mapper(
+          [](std::string_view, std::string_view v, MapContext& ctx) {
+            ctx.emit(v.size() % 2 ? "odd" : "even", "1");
+            ctx.emit("total", "1");
+          });
+      auto summing = lambda_reducer(
+          [](std::string_view key, const Values& values, ReduceContext& ctx) {
+            int64_t total = 0;
+            for (std::string_view v : values) {
+              total += std::stoll(std::string(v));
+            }
+            ctx.emit(key, std::to_string(total));
+          });
+      spec.combiner = summing;
+      spec.reducer = summing;
+      return std::vector<JobSpec>{spec};
+    });
+  }
+}
+
+TEST(ShuffleDifferential, RandomizedWithSchimmy) {
+  rng::Xoshiro256 rng(303);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto masters = random_records(rng, 60, 12);
+    auto frags = random_records(rng, 200, 16);  // wider key space: some keys
+                                                // are fragment-only, some
+                                                // master-only
+    run_differential([&](Cluster& cluster) {
+      write_records(cluster, "masters", masters);
+      write_records(cluster, "frags", frags);
+      JobSpec a;
+      a.name = "diff-roundA";
+      a.inputs = {"masters"};
+      a.output_prefix = "roundA";
+      a.num_reduce_tasks = 4;
+      a.mapper = identity_mapper();
+      a.reducer = concat_reducer();
+      JobSpec b;
+      b.name = "diff-roundB";
+      b.inputs = {"frags"};
+      b.output_prefix = "roundB";
+      b.num_reduce_tasks = 4;
+      b.schimmy_prefix = "roundA";
+      b.mapper = identity_mapper();
+      b.reducer = concat_reducer();
+      return std::vector<JobSpec>{a, b};
+    });
+  }
+}
+
+TEST(ShuffleDifferential, EmptyInputAndEmptyPartitions) {
+  run_differential([&](Cluster& cluster) {
+    write_records(cluster, "in", {});
+    JobSpec spec;
+    spec.name = "diff-empty";
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.num_reduce_tasks = 3;
+    spec.mapper = identity_mapper();
+    spec.reducer = identity_reducer();
+    return std::vector<JobSpec>{spec};
+  });
+  // One record, many reducers: all but one partition empty, single-record
+  // runs everywhere.
+  run_differential([&](Cluster& cluster) {
+    write_records(cluster, "in", {{"solo", "v"}});
+    JobSpec spec;
+    spec.name = "diff-solo";
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.num_reduce_tasks = 5;
+    spec.mapper = identity_mapper();
+    spec.reducer = identity_reducer();
+    return std::vector<JobSpec>{spec};
+  });
+}
+
+// Keys engineered so lexicographic order differs from emit order and
+// values carry bytes that look like varint frame headers.
+TEST(ShuffleDifferential, AdversarialKeysAndValues) {
+  std::vector<std::pair<std::string, std::string>> recs;
+  recs.emplace_back("", "empty-key");
+  recs.emplace_back(std::string(1, '\0'), std::string(3, '\0'));
+  recs.emplace_back("\x7f\x80", "\x80\x01");
+  recs.emplace_back("", "empty-key-again");
+  recs.emplace_back("prefix", "a");
+  recs.emplace_back("prefix\x01", "b");
+  recs.emplace_back("prefix", "");
+  run_differential([&](Cluster& cluster) {
+    write_records(cluster, "in", recs);
+    JobSpec spec;
+    spec.name = "diff-adversarial";
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.num_reduce_tasks = 2;
+    spec.mapper = identity_mapper();
+    spec.reducer = concat_reducer();
+    return std::vector<JobSpec>{spec};
+  });
+}
+
+// The merge path must enforce the same schimmy sort contract as the
+// reference (mr_engine_test covers the reference; this pins the merge).
+TEST(ShuffleDifferential, MergeRejectsUnsortedSchimmy) {
+  Cluster cluster = make_cluster();
+  const int parts = 2;
+  Partitioner part = default_partitioner();
+  std::vector<std::pair<std::string, std::string>> keys;
+  for (int i = 0; i < 100 && keys.size() < 2; ++i) {
+    std::string k = "key" + std::to_string(i);
+    if (part(k, parts) == 0) keys.emplace_back(k, "v");
+  }
+  ASSERT_EQ(keys.size(), 2u);
+  std::sort(keys.begin(), keys.end());
+  std::swap(keys[0], keys[1]);  // break the order
+  {
+    dfs::RecordWriter w(&cluster.fs(), partition_file("bad", 0));
+    for (auto& [k, v] : keys) w.write(k, v);
+    w.close();
+    dfs::RecordWriter w1(&cluster.fs(), partition_file("bad", 1));
+    w1.close();
+  }
+  write_records(cluster, "in", {{"0", "x"}});
+  JobSpec spec;
+  spec.inputs = {"in"};
+  spec.output_prefix = "out";
+  spec.num_reduce_tasks = parts;
+  spec.schimmy_prefix = "bad";
+  spec.shuffle = ShuffleMode::kMerge;
+  spec.mapper = lambda_mapper(
+      [](std::string_view, std::string_view, MapContext&) {});
+  spec.reducer = identity_reducer();
+  EXPECT_THROW(run_job(cluster, spec), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mrflow::mr
