@@ -38,7 +38,7 @@ struct BenchEnv {
   // shuffle-dominated regime the paper's full-size graphs run in --
   // at 1/1000 graph scale, per-round job overhead and graph I/O otherwise
   // mute the shuffle-volume differences between variants (EXPERIMENTS.md).
-  mr::Cluster make_cluster(int slave_nodes = 0) const {
+  mr::ClusterConfig make_config(int slave_nodes = 0) const {
     mr::ClusterConfig c;
     c.num_slave_nodes = slave_nodes > 0 ? slave_nodes : nodes;
     c.map_slots_per_node = 15;
@@ -46,7 +46,10 @@ struct BenchEnv {
     c.dfs_replication = 2;
     c.dfs_block_size = 2ull << 20;
     c.cost = cost;
-    return mr::Cluster(c);
+    return c;
+  }
+  mr::Cluster make_cluster(int slave_nodes = 0) const {
+    return mr::Cluster(make_config(slave_nodes));
   }
 };
 

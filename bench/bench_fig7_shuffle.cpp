@@ -39,8 +39,13 @@ int main(int argc, char** argv) {
   size_t max_rounds = 0;
   for (auto& s : series) {
     mr::Cluster cluster = env.make_cluster();
-    auto result = ffmr::solve_max_flow(
-        cluster, problem, bench::paper_options(s.variant, flags));
+    auto options = bench::paper_options(s.variant, flags);
+    // This bench's per-round byte table is committed as a JSON artifact,
+    // so it runs the deterministic augmenter: with the async queue, which
+    // candidate aug_proc accepts depends on reducer arrival order, and the
+    // FF2+ mid-round byte splits wander ~0.1% from run to run.
+    options.async_augmenter = false;
+    auto result = ffmr::solve_max_flow(cluster, problem, options);
     s.flow = result.max_flow;
     for (const auto& info : result.rounds_info) {
       s.shuffle.push_back(info.stats.shuffle_bytes);

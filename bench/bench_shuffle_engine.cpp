@@ -14,10 +14,13 @@
 //
 // Flags (beyond bench_common's): --graph=<i> ladder entry (default 1),
 // --map_tasks=<m> synthetic runs in the phase micros (default 24),
-// --repeat=<k> timing repetitions (default 5).
+// --repeat=<k> timing repetitions (default 5), --engine_copies=<c> input
+// replication factor for the end-to-end engine runs (default 160),
+// --block_kb / --fetch_kb / --reduce_tasks / --threads engine knobs.
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 
 #include "bench_common.h"
@@ -26,23 +29,55 @@
 #include "mapreduce/typed.h"
 
 // ------------------------------------------------- allocation counter hook
-// Counts every global heap allocation in the process; phases diff the
-// counter around their hot loop. Comparative, not exact (pool threads
-// allocate too), but the merge-vs-reference gap is orders of magnitude.
+// Counts every global heap allocation in the process, and (on glibc, via
+// malloc_usable_size) tracks live heap bytes and their high-water mark so
+// the engine variants can report a peak-memory figure. Phases diff the
+// counters around their hot loop. Comparative, not exact (pool threads
+// allocate too), but the merge-vs-reference gap is orders of magnitude and
+// the resident-vs-spill peak gap is the whole point of spilling.
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 static std::atomic<uint64_t> g_allocs{0};
+static std::atomic<uint64_t> g_live_bytes{0};
+static std::atomic<uint64_t> g_peak_bytes{0};
+
+static inline void track_alloc(void* p) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+#if defined(__GLIBC__)
+  uint64_t n = malloc_usable_size(p);
+  uint64_t live = g_live_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+#else
+  (void)p;
+#endif
+}
+static inline void track_free(void* p) {
+#if defined(__GLIBC__)
+  if (p) g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+#else
+  (void)p;
+#endif
+}
 
 static void* counted_alloc(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
+  if (void* p = std::malloc(n ? n : 1)) {
+    track_alloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new(std::size_t n) { return counted_alloc(n); }
 void* operator new[](std::size_t n) { return counted_alloc(n); }
 void* operator new(std::size_t n, std::align_val_t a) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
                                    (n + static_cast<std::size_t>(a) - 1) &
                                        ~(static_cast<std::size_t>(a) - 1))) {
+    track_alloc(p);
     return p;
   }
   throw std::bad_alloc();
@@ -50,16 +85,18 @@ void* operator new(std::size_t n, std::align_val_t a) {
 void* operator new[](std::size_t n, std::align_val_t a) {
   return operator new(n, a);
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { track_free(p); std::free(p); }
+void operator delete[](void* p) noexcept { track_free(p); std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { track_free(p); std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { track_free(p); std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { track_free(p); std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { track_free(p); std::free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  track_free(p);
   std::free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  track_free(p);
   std::free(p);
 }
 
@@ -197,6 +234,11 @@ int main(int argc, char** argv) {
   int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
   int map_tasks = static_cast<int>(flags.get_int("map_tasks", 24));
   int repeat = static_cast<int>(flags.get_int("repeat", 5));
+  int engine_copies = static_cast<int>(flags.get_int("engine_copies", 160));
+  int block_kb = static_cast<int>(flags.get_int("block_kb", 256));
+  int fetch_kb = static_cast<int>(flags.get_int("fetch_kb", 64));
+  int reduce_tasks = static_cast<int>(flags.get_int("reduce_tasks", 8));
+  int threads = static_cast<int>(flags.get_int("threads", 4));
   flags.check_unused();
 
   auto ladder = graph::facebook_ladder(env.scale);
@@ -263,27 +305,63 @@ int main(int argc, char** argv) {
                 : 0.0);
 
   // --------------------------------------------------- end-to-end engine
-  // The same adjacency records pushed through run_job() under both shuffle
-  // modes; identical record/byte counters are asserted, wall and simulated
-  // reduce seconds are the comparison.
+  // The same adjacency records pushed through run_job() under every
+  // scheduling x shuffle x spill combination; identical record/byte
+  // counters are asserted, wall seconds, simulated seconds and per-job
+  // peak heap growth are the comparison. The DFS is disk-backed here so
+  // spilled runs genuinely leave the heap (an in-memory backend would keep
+  // them resident and hide the bound), and the input is replicated
+  // --engine_copies times so the shuffle volume dwarfs the engine's fixed
+  // working set.
+  unsorted.clear();
+  unsorted.shrink_to_fit();
+  sorted_runs.clear();
+  sorted_runs.shrink_to_fit();
+
   struct EngineRun {
+    EngineRun(const char* name, mr::ShuffleMode mode, mr::ExecMode exec,
+              bool spill)
+        : name(name), mode(mode), exec(exec), spill(spill) {}
     const char* name;
     mr::ShuffleMode mode;
+    mr::ExecMode exec;
+    bool spill;
     double wall_s = 0;
+    double best_wall_s = 1e100;  // min over repeats (noise-robust)
+    double sim_s = 0;
     double reduce_sim_s = 0;
     uint64_t allocs = 0;
+    uint64_t peak_bytes = 0;  // max over repeats of per-job heap growth
     mr::JobStats stats;
   };
-  std::vector<EngineRun> engine = {
-      {"merge", mr::ShuffleMode::kMerge, 0, 0, 0, {}},
-      {"reference-sort", mr::ShuffleMode::kReferenceSort, 0, 0, 0, {}},
-  };
+  std::vector<EngineRun> engine;
+  engine.emplace_back("barrier", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kBarrier, false);
+  engine.emplace_back("pipelined", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kPipelined, false);
+  engine.emplace_back("barrier+spill", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kBarrier, true);
+  engine.emplace_back("pipelined+spill", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kPipelined, true);
+  engine.emplace_back("reference-sort", mr::ShuffleMode::kReferenceSort,
+                      mr::ExecMode::kBarrier, false);
 
+  // One cluster (and disk directory) per variant, kept alive for the whole
+  // experiment; repeats are interleaved round-robin across variants so
+  // machine drift (cache state, page cache, background load) lands on every
+  // variant equally rather than biasing whichever block ran first.
+  std::vector<std::unique_ptr<mr::Cluster>> clusters;
   for (auto& run : engine) {
-    mr::Cluster cluster = env.make_cluster();
-    {
-      dfs::RecordWriter w(&cluster.fs(), "adjacency");
-      serde::ByteWriter vw;
+    std::string dfs_dir = std::string("dfs_scratch_") + run.name;
+    mr::ClusterConfig cc = env.make_config();
+    cc.dfs_block_size = static_cast<uint64_t>(block_kb) << 10;
+    cc.executor_threads = threads;
+    cc.reduce_fetch_buffer_bytes = static_cast<uint64_t>(fetch_kb) << 10;
+    clusters.push_back(
+        std::make_unique<mr::Cluster>(cc, dfs::make_disk_backend(dfs_dir)));
+    dfs::RecordWriter w(&clusters.back()->fs(), "adjacency");
+    serde::ByteWriter vw;
+    for (int c = 0; c < engine_copies; ++c) {
       for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
         vw.clear();
         for (const auto& a : g.neighbors(v)) {
@@ -291,14 +369,24 @@ int main(int argc, char** argv) {
         }
         w.write(std::to_string(v), vw.bytes());
       }
-      w.close();
     }
-    for (int it = 0; it < repeat; ++it) {
+    w.close();
+  }
+
+  // it == -1 is an untimed warm-up pass (cold file cache, first-touch
+  // allocations); timed repeats follow.
+  for (int it = -1; it < repeat; ++it) {
+    for (size_t vi = 0; vi < engine.size(); ++vi) {
+      EngineRun& run = engine[vi];
+      mr::Cluster& cluster = *clusters[vi];
       mr::JobSpec spec;
       spec.name = std::string("shuffle-") + run.name;
       spec.inputs = {"adjacency"};
-      spec.output_prefix = "out" + std::to_string(it);
+      spec.output_prefix = "out";
+      spec.num_reduce_tasks = reduce_tasks;
       spec.shuffle = run.mode;
+      spec.exec = run.exec;
+      spec.spill_map_outputs = run.spill;
       // Mapper re-keys every arc to its target: duplicate-heavy keys and
       // a full shuffle of the arc volume, like the FF rounds.
       spec.mapper = mr::lambda_mapper(
@@ -317,37 +405,70 @@ int main(int argc, char** argv) {
              mr::ReduceContext& ctx) {
             ctx.emit(key, std::to_string(values.size()));
           });
+      for (const std::string& old : cluster.fs().list("out")) {
+        cluster.fs().remove(old);
+      }
       uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+      uint64_t live0 = g_live_bytes.load(std::memory_order_relaxed);
+      g_peak_bytes.store(live0, std::memory_order_relaxed);
       double t0 = now_s();
       mr::JobStats stats = mr::run_job(cluster, spec);
-      run.wall_s += now_s() - t0;
+      double dt = now_s() - t0;
+      if (it < 0) continue;  // warm-up pass: discard measurements
+      run.wall_s += dt;
+      if (dt < run.best_wall_s) run.best_wall_s = dt;
       run.allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+      uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+      if (peak > live0 && peak - live0 > run.peak_bytes) {
+        run.peak_bytes = peak - live0;
+      }
+      run.sim_s = stats.sim_seconds;
       run.reduce_sim_s += stats.reduce_sim_s;
       run.stats = stats;
     }
   }
+  clusters.clear();
+  for (const auto& run : engine) {
+    std::error_code ec;
+    std::filesystem::remove_all(std::string("dfs_scratch_") + run.name, ec);
+  }
 
-  const mr::JobStats& ms = engine[0].stats;
-  const mr::JobStats& rs = engine[1].stats;
-  bool counters_ok = ms.map_output_records == rs.map_output_records &&
-                     ms.shuffle_bytes == rs.shuffle_bytes &&
-                     ms.reduce_input_groups == rs.reduce_input_groups &&
-                     ms.reduce_output_records == rs.reduce_output_records &&
-                     ms.output_bytes == rs.output_bytes;
+  bool counters_ok = true;
+  for (const auto& run : engine) {
+    const mr::JobStats& a = engine[0].stats;
+    const mr::JobStats& b = run.stats;
+    counters_ok = counters_ok && a.map_output_records == b.map_output_records &&
+                  a.shuffle_bytes == b.shuffle_bytes &&
+                  a.reduce_input_groups == b.reduce_input_groups &&
+                  a.reduce_output_records == b.reduce_output_records &&
+                  a.output_bytes == b.output_bytes;
+  }
+  const EngineRun& barrier = engine[0];
+  const EngineRun& pipelined = engine[1];
+  const EngineRun& pipelined_spill = engine[3];
+  bool pipelined_faster = pipelined.best_wall_s <= barrier.best_wall_s;
+  bool spill_bounded = pipelined_spill.peak_bytes < barrier.peak_bytes;
 
-  common::TextTable table({"Shuffle", "wall s (x" + std::to_string(repeat) +
-                               ")",
-                           "reduce sim s", "allocs", "shuffle", "groups"});
+  common::TextTable table({"Engine", "wall s (x" + std::to_string(repeat) + ")",
+                           "best s", "sim s", "allocs", "peak heap",
+                           "shuffle"});
   for (const auto& run : engine) {
     table.add_row({run.name, std::to_string(run.wall_s),
-                   std::to_string(run.reduce_sim_s),
-                   bench::fmt_int(run.allocs),
-                   bench::fmt_bytes(run.stats.shuffle_bytes),
-                   bench::fmt_int(run.stats.reduce_input_groups)});
+                   std::to_string(run.best_wall_s), std::to_string(run.sim_s),
+                   bench::fmt_int(run.allocs), bench::fmt_bytes(run.peak_bytes),
+                   bench::fmt_bytes(run.stats.shuffle_bytes)});
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("counters identical across modes: %s\n\n",
+  std::printf("counters identical across engine variants: %s\n",
               counters_ok ? "yes" : "NO -- BUG");
+  std::printf("pipelined wall <= barrier wall: %s\n",
+              pipelined_faster ? "yes" : "NO");
+  std::printf(
+      "spill-mode peak heap below barrier's full-shuffle-resident peak: %s "
+      "(%s vs %s)\n\n",
+      spill_bounded ? "yes" : "NO",
+      bench::fmt_bytes(pipelined_spill.peak_bytes).c_str(),
+      bench::fmt_bytes(barrier.peak_bytes).c_str());
 
   // -------------------------------------------------------- JSON output
   bench::JsonWriter json;
@@ -359,7 +480,11 @@ int main(int argc, char** argv) {
       .field("records", records)
       .field("run_bytes", bytes)
       .field("groups", pt.groups)
-      .field("counters_identical", counters_ok);
+      .field("engine_copies", static_cast<int64_t>(engine_copies))
+      .field("engine_reduce_tasks", static_cast<int64_t>(reduce_tasks))
+      .field("counters_identical", counters_ok)
+      .field("pipelined_wall_leq_barrier", pipelined_faster)
+      .field("spill_peak_below_barrier_resident", spill_bounded);
   json.obj("phases")
       .field("map_sort_wall_s", pt.map_sort_s)
       .field("merge_wall_s", pt.merge_s)
@@ -370,12 +495,21 @@ int main(int argc, char** argv) {
   json.arr("engine");
   for (const auto& run : engine) {
     json.obj_item()
-        .field("shuffle", run.name)
+        .field("variant", run.name)
+        .field("shuffle", run.mode == mr::ShuffleMode::kMerge
+                              ? "merge"
+                              : "reference-sort")
+        .field("exec",
+               run.exec == mr::ExecMode::kPipelined ? "pipelined" : "barrier")
+        .field("spill", run.spill)
         .field("wall_s", run.wall_s)
+        .field("best_wall_s", run.best_wall_s)
         .field("reduce_sim_s", run.reduce_sim_s)
         .field("sim_s", run.stats.sim_seconds)
         .field("allocs", run.allocs)
+        .field("peak_alloc_bytes", run.peak_bytes)
         .field("shuffle_bytes", run.stats.shuffle_bytes)
+        .field("spill_bytes", run.stats.spill_bytes)
         .field("map_output_records",
                static_cast<int64_t>(run.stats.map_output_records))
         .field("reduce_input_groups",

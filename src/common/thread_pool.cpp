@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace mrflow::common {
@@ -83,6 +84,26 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
@@ -95,6 +116,155 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+TaskGraph::~TaskGraph() {
+  std::unique_lock<std::mutex> lk(mu_);
+  all_done_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
+                                 const std::vector<TaskId>& deps) {
+  TaskId id;
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    id = nodes_.size();
+    nodes_.emplace_back();
+    Node& node = nodes_.back();
+    node.fn = std::move(fn);
+    ++outstanding_;
+    for (TaskId dep : deps) {
+      Node& d = nodes_[dep];
+      if (!d.done) {
+        ++node.pending;
+        d.dependents.push_back(id);
+      } else if (d.poisoned && !node.poisoned) {
+        node.poisoned = true;
+        node.error = d.error;
+      }
+    }
+    if (node.pending == 0) {
+      if (node.poisoned) {
+        finish_locked(id, node.error);
+      } else {
+        ready = true;
+      }
+    }
+  }
+  if (ready) pool_->post([this, id] { execute(id); });
+  return id;
+}
+
+void TaskGraph::execute(TaskId id) {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn = std::move(nodes_[id].fn);
+  }
+  std::exception_ptr err;
+  try {
+    fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  std::vector<TaskId> ready;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    finish_locked(id, err);
+    // finish_locked queued newly-ready successors in ready_; drain them
+    // outside the lock so task bodies never run under mu_.
+    ready.swap(ready_);
+  }
+  for (TaskId r : ready) pool_->post([this, r] { execute(r); });
+}
+
+void TaskGraph::finish_locked(TaskId id, std::exception_ptr err) {
+  // Iterative finalization: a failed node poisons its whole downstream
+  // cone, and every poisoned node with no remaining dependencies is
+  // finished here too (it never runs).
+  std::vector<TaskId> work{id};
+  bool first = true;
+  while (!work.empty()) {
+    TaskId cur = work.back();
+    work.pop_back();
+    Node& node = nodes_[cur];
+    if (first) {
+      first = false;
+      if (err) {
+        node.poisoned = true;
+        node.error = err;
+      }
+    }
+    node.done = true;
+    if (node.poisoned && node.error && !first_error_) {
+      first_error_ = node.error;
+    }
+    if (node.promise) {
+      if (node.poisoned) {
+        node.promise->set_exception(node.error);
+      } else {
+        node.promise->set_value();
+      }
+    }
+    node.fn = nullptr;
+    --outstanding_;
+    for (TaskId dep_id : node.dependents) {
+      Node& d = nodes_[dep_id];
+      if (node.poisoned && !d.poisoned) {
+        d.poisoned = true;
+        d.error = node.error;
+      }
+      if (--d.pending == 0) {
+        if (d.poisoned) {
+          work.push_back(dep_id);
+        } else {
+          ready_.push_back(dep_id);
+        }
+      }
+    }
+    node.dependents.clear();
+  }
+  if (outstanding_ == 0) all_done_.notify_all();
+}
+
+std::future<void> TaskGraph::future_of(TaskId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Node& node = nodes_[id];
+  if (!node.promise) {
+    node.promise = std::make_unique<std::promise<void>>();
+    if (node.done) {
+      if (node.poisoned) {
+        node.promise->set_exception(node.error);
+      } else {
+        node.promise->set_value();
+      }
+    }
+  }
+  return node.promise->get_future();
+}
+
+void TaskGraph::wait_all() {
+  // The waiting thread works instead of sleeping: it drains pool tasks
+  // (ours or anyone's -- running unrelated work is harmless) so the caller
+  // adds a worker exactly like parallel_for's calling thread does. Only
+  // when the pool queue is empty (all remaining tasks are mid-flight on
+  // workers) does it block, briefly, re-checking for newly-ready tasks
+  // that finishing tasks may have posted.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (outstanding_ == 0) break;
+    }
+    if (pool_->try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    all_done_.wait_for(lk, std::chrono::microseconds(200),
+                       [this] { return outstanding_ == 0; });
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace mrflow::common

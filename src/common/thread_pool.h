@@ -1,11 +1,14 @@
 // Fixed-size thread pool used by the MapReduce engine to execute map and
 // reduce tasks with real parallelism (the *simulated* cluster determines
-// scheduling and timing; the pool only provides CPU concurrency).
+// scheduling and timing; the pool only provides CPU concurrency), plus a
+// small dependency-driven task graph built on top of it (TaskGraph) that
+// the pipelined job engine uses to overlap phases.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -29,6 +32,17 @@ class ThreadPool {
   // by the task propagate through the future.
   std::future<void> submit(std::function<void()> fn);
 
+  // Enqueue a task without a future (no packaged_task allocation). The
+  // task must not throw; used by TaskGraph, which does its own exception
+  // capture inside the posted wrapper.
+  void post(std::function<void()> fn);
+
+  // Runs one queued task on the calling thread if any is pending; returns
+  // whether a task was run. Lets a thread blocked on downstream completion
+  // (TaskGraph::wait_all) work instead of sleeping, so the caller counts
+  // as a worker just like in parallel_for.
+  bool try_run_one();
+
   // Run fn(i) for i in [0, n) across the pool and wait for all. Work is
   // dispatched through a shared atomic counter by at most one queued job
   // per worker (plus the calling thread, which participates instead of
@@ -46,6 +60,74 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+// A one-shot dependency graph of tasks executed on a ThreadPool.
+//
+// Tasks are added with the ids of the tasks they depend on; a task is
+// dispatched to the pool the moment its last dependency completes, so
+// independent chains overlap freely (the pipelined MapReduce engine uses
+// this to start shuffle work per map task instead of at a phase barrier).
+// Dependencies must already have been added (ids are handed out in add
+// order), which makes cycles impossible by construction.
+//
+// Failure semantics: if a task throws, every task that (transitively)
+// depends on it is *skipped* -- it completes without running, and its
+// future reports the dependency's exception. Independent tasks still run.
+// wait_all() blocks until every task has completed or been skipped and
+// rethrows the first exception thrown by any task.
+//
+// Thread-safety: add()/future_of()/wait_all() may be called from the
+// owning thread while tasks run; tasks themselves may also add() follow-up
+// tasks. The destructor waits for all tasks (discarding any error), so the
+// graph's state safely outlives its tasks.
+class TaskGraph {
+ public:
+  using TaskId = size_t;
+
+  explicit TaskGraph(ThreadPool& pool) : pool_(&pool) {}
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  // Adds a task that runs once every task in `deps` has completed
+  // successfully. Returns its id for use in later deps lists.
+  TaskId add(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+
+  // A future for one task's completion: ready when the task finished,
+  // carrying its exception if it threw (or its failed dependency's
+  // exception if it was skipped).
+  std::future<void> future_of(TaskId id);
+
+  // Blocks until every added task completed or was skipped; rethrows the
+  // first task exception. The graph stays usable (more tasks may be added
+  // and waited on again).
+  void wait_all();
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<TaskId> dependents;
+    size_t pending = 0;       // unfinished dependencies
+    bool done = false;
+    bool poisoned = false;    // threw, or was skipped by a failed dep
+    std::exception_ptr error;
+    std::unique_ptr<std::promise<void>> promise;  // created by future_of
+  };
+
+  void execute(TaskId id);
+  // Marks `id` finished (with `err` if it threw or was skipped), fulfils
+  // its promise, and releases/poisons its dependents. Caller holds mu_.
+  void finish_locked(TaskId id, std::exception_ptr err);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable all_done_;
+  std::vector<Node> nodes_;
+  std::vector<TaskId> ready_;  // became runnable during finish_locked
+  size_t outstanding_ = 0;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace mrflow::common

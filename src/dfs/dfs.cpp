@@ -82,12 +82,13 @@ uint64_t IoStats::total_write() const {
 
 // ---------------------------------------------------------------- FileWriter
 
-FileWriter::FileWriter(FileSystem* fs, std::string name)
-    : fs_(fs), name_(std::move(name)) {}
+FileWriter::FileWriter(FileSystem* fs, std::string name, CreateOptions options)
+    : fs_(fs), name_(std::move(name)), options_(options) {}
 
 FileWriter::FileWriter(FileWriter&& other) noexcept
     : fs_(other.fs_),
       name_(std::move(other.name_)),
+      options_(other.options_),
       current_(std::move(other.current_)),
       blocks_(std::move(other.blocks_)),
       bytes_written_(other.bytes_written_),
@@ -112,7 +113,7 @@ void FileWriter::flush_block() {
     info.id = fs_->next_block_id_++;
   }
   info.size = current_.size();
-  info.replicas = fs_->place_replicas(info.id);
+  info.replicas = fs_->place_replicas(info.id, options_);
   fs_->account_write(info.replicas, info.size);
   fs_->backend_->put(info.id, std::move(current_));
   current_.clear();
@@ -168,14 +169,14 @@ FileSystem::FileSystem(DfsConfig config, std::unique_ptr<StorageBackend> backend
 
 FileSystem::~FileSystem() = default;
 
-FileWriter FileSystem::create(const std::string& name) {
+FileWriter FileSystem::create(const std::string& name, CreateOptions options) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(name);
   if (it != files_.end()) {
     for (const auto& b : it->second.blocks) backend_->erase(b.id);
     files_.erase(it);
   }
-  return FileWriter(this, name);
+  return FileWriter(this, name, options);
 }
 
 FileReader FileSystem::open(const std::string& name, int reader_node) const {
@@ -282,13 +283,21 @@ uint64_t FileSystem::total_stored_bytes() const {
   return total;
 }
 
-std::vector<int> FileSystem::place_replicas(uint64_t block_id) const {
+std::vector<int> FileSystem::place_replicas(
+    uint64_t block_id, const CreateOptions& options) const {
   // Deterministic round-robin seeded by the block id: spreads replicas
   // across nodes without coordination, like HDFS's default placement.
+  // CreateOptions can pin the first replica (HDFS writes the first copy to
+  // the writer's own node) and override the copy count (spill files: 1).
+  int replication = options.replication > 0
+                        ? std::min(options.replication, config_.num_nodes)
+                        : config_.replication;
   std::vector<int> replicas;
-  replicas.reserve(config_.replication);
-  int start = static_cast<int>(block_id % config_.num_nodes);
-  for (int i = 0; i < config_.replication; ++i) {
+  replicas.reserve(replication);
+  int start = options.pin_node >= 0
+                  ? options.pin_node % config_.num_nodes
+                  : static_cast<int>(block_id % config_.num_nodes);
+  for (int i = 0; i < replication; ++i) {
     replicas.push_back((start + i) % config_.num_nodes);
   }
   return replicas;

@@ -57,6 +57,15 @@ struct IoStats {
   uint64_t total_write() const;
 };
 
+// Per-file placement overrides for create(). The defaults reproduce plain
+// HDFS behaviour; the MapReduce engine uses overrides for map-output spill
+// files, which on real Hadoop live on the mapper's *local* disk (one copy,
+// on that node) rather than in replicated DFS storage.
+struct CreateOptions {
+  int replication = 0;  // copies per block; 0 = filesystem default
+  int pin_node = -1;    // if >= 0, place the first replica on this node
+};
+
 struct BlockInfo {
   uint64_t id = 0;
   uint64_t size = 0;
@@ -89,11 +98,12 @@ class FileWriter {
 
  private:
   friend class FileSystem;
-  FileWriter(FileSystem* fs, std::string name);
+  FileWriter(FileSystem* fs, std::string name, CreateOptions options);
   void flush_block();
 
   FileSystem* fs_;
   std::string name_;
+  CreateOptions options_;
   Bytes current_;
   std::vector<BlockInfo> blocks_;
   uint64_t bytes_written_ = 0;
@@ -137,8 +147,9 @@ class FileSystem {
 
   const DfsConfig& config() const { return config_; }
 
-  // Creates (or overwrites) a file and returns its writer.
-  FileWriter create(const std::string& name);
+  // Creates (or overwrites) a file and returns its writer. `options` can
+  // pin placement and override replication (see CreateOptions).
+  FileWriter create(const std::string& name, CreateOptions options = {});
 
   // Opens an existing file for reading; throws std::invalid_argument if the
   // file does not exist.
@@ -174,7 +185,8 @@ class FileSystem {
   friend class FileWriter;
   friend class FileReader;
 
-  std::vector<int> place_replicas(uint64_t block_id) const;
+  std::vector<int> place_replicas(uint64_t block_id,
+                                  const CreateOptions& options) const;
   void commit_file(const std::string& name, std::vector<BlockInfo> blocks,
                    uint64_t size);
   Bytes fetch_block(const BlockInfo& block, int reader_node) const;

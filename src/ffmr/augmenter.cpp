@@ -56,7 +56,12 @@ serde::Bytes AugmenterService::handle(std::string_view request) {
             outcome_.max_queue, static_cast<int64_t>(queue_.size()));
         cv_work_.notify_one();
       } else {
-        process(path);
+        // Reducers run concurrently, so arrival order here is a scheduling
+        // race; buffer and let drain() accept in a content-sorted order.
+        // Nothing observes the inline decision: the response is empty and
+        // outcome_/accumulator_ are only read after a phase barrier.
+        sync_pending_.emplace_back(
+            serde::Bytes(request.substr(1)), std::move(path));
       }
       return {};
     }
@@ -120,9 +125,19 @@ void AugmenterService::consumer_loop() {
 }
 
 void AugmenterService::drain() {
-  if (!asynchronous_) return;
   std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+  if (asynchronous_) {
+    cv_idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+    return;
+  }
+  // Deterministic mode: the candidate multiset is scheduling-independent
+  // (each reducer generates its candidates from its own vertex state), so
+  // sorting by wire encoding before accepting makes the greedy accept
+  // decisions scheduling-independent too.
+  std::sort(sync_pending_.begin(), sync_pending_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, path] : sync_pending_) process(path);
+  sync_pending_.clear();
 }
 
 void AugmenterService::on_phase_end() { drain(); }

@@ -21,6 +21,8 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "ffmr/accumulator.h"
 #include "ffmr/types.h"
@@ -51,7 +53,9 @@ class AugmenterService final : public mr::Service {
   };
 
   // asynchronous=true reproduces the paper's queue + consumer thread;
-  // false processes candidates inline (deterministic, used in tests).
+  // false buffers candidates and accepts them in a content-sorted order at
+  // phase end, so the outcome is independent of which reducer's service
+  // call happens to arrive first (deterministic, used in tests).
   explicit AugmenterService(bool asynchronous = true);
   ~AugmenterService() override;
 
@@ -76,6 +80,9 @@ class AugmenterService final : public mr::Service {
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   std::deque<ExcessPath> queue_;
+  // Synchronous mode only: candidates buffered until drain(), keyed by
+  // their wire encoding for the deterministic processing order.
+  std::vector<std::pair<serde::Bytes, ExcessPath>> sync_pending_;
   bool busy_ = false;
   bool stop_ = false;
 

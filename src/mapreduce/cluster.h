@@ -40,6 +40,20 @@ struct CostModel {
   double net_seconds(uint64_t bytes) const {
     return static_cast<double>(bytes) / (network_mbps * 1e6);
   }
+
+  // Combined map + shuffle phase time. Barrier mode pays the phases back
+  // to back (shuffle starts only after the last map commits). Pipelined
+  // mode models Hadoop slow-start reducers: the shuffle of every map wave
+  // except the last overlaps the map makespan, so only the final wave's
+  // share of the shuffle — 1/num_map_tasks of it — remains exposed after
+  // the maps finish.
+  double map_shuffle_seconds(double map_s, double shuffle_s,
+                             size_t num_map_tasks, bool pipelined) const {
+    if (!pipelined || num_map_tasks == 0) return map_s + shuffle_s;
+    double tail = shuffle_s / static_cast<double>(num_map_tasks);
+    double overlapped = shuffle_s - tail;
+    return (map_s > overlapped ? map_s : overlapped) + tail;
+  }
 };
 
 // Deterministic task-failure injection: each task attempt fails with the
@@ -63,6 +77,11 @@ struct ClusterConfig {
   int executor_threads = 0;
   // Task attempts before the job fails (Hadoop's mapred.map.max.attempts).
   int max_task_attempts = 4;
+  // Per-reduce-task budget for eagerly fetched (pipelined) map-output runs
+  // held in memory before the reduce runs; runs beyond the budget are
+  // streamed from their spill files during the merge instead. Only applies
+  // when the job spills map outputs (JobSpec::spill_map_outputs).
+  uint64_t reduce_fetch_buffer_bytes = 8ull << 20;
   FaultConfig fault;
 };
 

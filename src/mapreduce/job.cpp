@@ -60,16 +60,36 @@ struct ReduceTaskRunner {
   }
 };
 
+// ------------------------------------------------------------- SideFileCache
+
+const Bytes& SideFileCache::get(const std::string& name, int node) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = entries_[{name, node}];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // call_once outside the map lock: a slow DFS read for one (file, node)
+  // must not serialize lookups of other entries. A throwing read leaves
+  // the flag unset, so a later task retries it.
+  std::call_once(entry->once,
+                 [&] { entry->data = cluster_->fs().read_all(name, node); });
+  return entry->data;
+}
+
 // ------------------------------------------------------------- TaskContext
 
 TaskContext::TaskContext(Cluster* cluster,
                          const std::map<std::string, std::string>* params,
-                         ServiceRegistry* services, int node, int task_id)
+                         ServiceRegistry* services, int node, int task_id,
+                         SideFileCache* side_cache)
     : cluster_(cluster),
       params_(params),
       services_(services),
       node_(node),
-      task_id_(task_id) {}
+      task_id_(task_id),
+      side_cache_(side_cache) {}
 
 const std::string& TaskContext::param(const std::string& name) const {
   auto it = params_->find(name);
@@ -90,8 +110,10 @@ int64_t TaskContext::param_int(const std::string& name, int64_t def) const {
   return it == params_->end() ? def : std::stoll(it->second);
 }
 
-Bytes TaskContext::read_side_file(const std::string& name) const {
-  return cluster_->fs().read_all(name, node_);
+const Bytes& TaskContext::read_side_file(const std::string& name) const {
+  if (side_cache_ != nullptr) return side_cache_->get(name, node_);
+  side_scratch_ = cluster_->fs().read_all(name, node_);
+  return side_scratch_;
 }
 
 bool TaskContext::side_file_exists(const std::string& name) const {
@@ -155,6 +177,7 @@ void JobStats::accumulate(const JobStats& other) {
   shuffle_bytes_remote += other.shuffle_bytes_remote;
   schimmy_bytes += other.schimmy_bytes;
   output_bytes += other.output_bytes;
+  spill_bytes += other.spill_bytes;
   rpc_calls += other.rpc_calls;
   rpc_request_bytes += other.rpc_request_bytes;
   rpc_response_bytes += other.rpc_response_bytes;
@@ -179,11 +202,24 @@ struct MapTaskSpec {
 };
 
 struct MapTaskResult {
-  std::vector<Bytes> partitions;  // framed records per reduce partition
+  std::vector<Bytes> partitions;  // framed sorted runs per reduce partition
+                                  // (freed after commit when spilling)
+  std::vector<uint64_t> partition_sizes;  // run sizes; valid in every mode
   int64_t input_records = 0;
   int64_t output_records = 0;
+  uint64_t spilled_bytes = 0;
   double cpu_seconds = 0;
   common::CounterSet counters;
+};
+
+// One map task's sorted run of a reduce partition, as the reduce task sees
+// it: a stable in-memory buffer (map output still resident, or a run the
+// reduce pre-fetched into its budgeted buffer), or a spill file name to
+// stream from the DFS during the merge. size == 0 means the empty run.
+struct ReduceRun {
+  const Bytes* buffer = nullptr;
+  std::string file;
+  uint64_t size = 0;
 };
 
 struct ReduceTaskResult {
@@ -227,7 +263,7 @@ std::vector<MapTaskSpec> plan_map_tasks(Cluster& cluster,
 // one append-only arena per partition; grouping is an offset-index sort
 // over that arena (no per-record key/value copies).
 void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
-                  const std::vector<Bytes>& raw,
+                  SideFileCache* side_cache, const std::vector<Bytes>& raw,
                   std::vector<Bytes>& partitions) {
   auto combiner = spec.combiner();
   std::vector<RunEntry> index;
@@ -235,7 +271,8 @@ void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
   for (size_t p = 0; p < raw.size(); ++p) {
     build_run_index(raw[p], index);
     sort_run_index(index);  // stable: equal keys keep emit order
-    ReduceContext ctx(&cluster, &spec.params, spec.services, node, task_id);
+    ReduceContext ctx(&cluster, &spec.params, spec.services, node, task_id,
+                      side_cache);
     ReduceTaskRunner::set_emit(ctx, [&partitions, p](std::string_view k,
                                                      std::string_view v) {
       dfs::append_record(partitions[p], k, v);
@@ -281,28 +318,37 @@ std::optional<dfs::RecordReader> open_schimmy(Cluster& cluster,
 }
 
 // Reference reduce task: gather + decode this partition from every map
-// task, one global stable sort, then a two-stream merge against the
-// schimmy reader. Retained as the differential-test oracle and the bench
-// baseline for the streaming merge below.
+// task (spilled runs are read whole from their files -- the oracle is
+// deliberately memory-unbounded), one global stable sort, then a
+// two-stream merge against the schimmy reader. Retained as the
+// differential-test oracle and the bench baseline for the streaming merge
+// below.
 void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
-                          const std::vector<MapTaskResult>& map_results, int r,
-                          int node, ReduceTaskResult& result) {
+                          const std::vector<ReduceRun>& runs, int r, int node,
+                          SideFileCache* side_cache, ReduceTaskResult& result) {
   double cpu0 = thread_cpu_seconds();
 
   // Gather + decode this partition from every map task, then sort by key
   // (stable: ties keep map-task order, which makes output deterministic).
+  std::vector<Bytes> owned_runs;  // keeps spilled runs' bytes alive
   std::vector<KvView> entries;
-  for (const auto& mres : map_results) {
-    const Bytes& part = mres.partitions[r];
-    result.shuffle_in_bytes += part.size();
-    dfs::for_each_record(part, [&](std::string_view k, std::string_view v) {
+  for (const ReduceRun& run : runs) {
+    result.shuffle_in_bytes += run.size;
+    std::string_view bytes;
+    if (run.buffer != nullptr) {
+      bytes = *run.buffer;
+    } else if (!run.file.empty()) {
+      owned_runs.push_back(cluster.fs().read_all(run.file, node));
+      bytes = owned_runs.back();
+    }
+    dfs::for_each_record(bytes, [&](std::string_view k, std::string_view v) {
       entries.push_back(KvView{k, v});
     });
   }
   std::stable_sort(entries.begin(), entries.end(),
                    [](const KvView& a, const KvView& b) { return a.key < b.key; });
 
-  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r);
+  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
@@ -311,18 +357,22 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
 
   std::optional<dfs::RecordReader> schimmy =
       open_schimmy(cluster, spec, r, node, result);
-  Bytes schimmy_key, schimmy_value;
+  // Reused across records/groups: the loop below allocates only while the
+  // scratch buffers grow (same discipline as the merge path).
+  Bytes schimmy_key, schimmy_value, key_scratch;
   bool have_schimmy = false;
+  bool schimmy_have_prev = false;
   auto schimmy_advance = [&] {
     have_schimmy = false;
     if (!schimmy) return;
     if (auto rec = schimmy->next()) {
-      Bytes new_key(rec->key);
-      if (!schimmy_key.empty() && new_key < schimmy_key) {
+      // Compare against the previous key before overwriting the scratch.
+      if (schimmy_have_prev && rec->key < std::string_view(schimmy_key)) {
         throw_schimmy_unsorted();
       }
-      schimmy_key = std::move(new_key);
+      schimmy_key.assign(rec->key);
       schimmy_value.assign(rec->value);
+      schimmy_have_prev = true;
       have_schimmy = true;
     }
   };
@@ -346,8 +396,8 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
       key = schimmy_key;
     }
     // Keep the key bytes alive across schimmy_advance().
-    Bytes key_owned(key);
-    key = key_owned;
+    key_scratch.assign(key);
+    key = key_scratch;
 
     vals.clear();
     owned_schimmy_vals.clear();
@@ -372,55 +422,80 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
   result.counters = ctx.counters();
 }
 
+// One sorted input of the k-way merge: a cursor over a stable in-memory
+// run, or a streaming reader over a spill file / the schimmy partition.
+// For streamed inputs the key/value views die on the next advance() --
+// the tree always re-seeds a leaf's key right after advancing it, and the
+// group loop copies streamed *values* into an arena before advancing.
+struct MergeStream {
+  FramedCursor cursor;
+  std::optional<dfs::RecordReader> reader;
+  std::string_view key, value;
+  bool check_sorted = false;  // schimmy is user-produced; verify order
+  Bytes prev_key;
+  bool have_prev = false;
+
+  bool streamed() const { return reader.has_value(); }
+
+  bool advance() {
+    if (reader) {
+      auto rec = reader->next();
+      if (!rec) return false;
+      if (check_sorted) {
+        if (have_prev && rec->key < std::string_view(prev_key)) {
+          throw_schimmy_unsorted();
+        }
+        prev_key.assign(rec->key);
+        have_prev = true;
+      }
+      key = rec->key;
+      value = rec->value;
+      return true;
+    }
+    if (!cursor.advance()) return false;
+    key = cursor.key;
+    value = cursor.value;
+    return true;
+  }
+};
+
 // Merge reduce task: streaming k-way loser-tree merge over the map tasks'
 // sorted runs, with the schimmy stream as just another sorted input.
 // Stream 0 is schimmy (so master values win every key tie and come first);
 // streams 1..M are map tasks in task order, which reproduces the reference
 // stable-sort tie order exactly -- outputs are byte-identical.
 void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
-                      const std::vector<MapTaskResult>& map_results, int r,
-                      int node, ReduceTaskResult& result) {
+                      const std::vector<ReduceRun>& runs, int r, int node,
+                      SideFileCache* side_cache, ReduceTaskResult& result) {
   double cpu0 = thread_cpu_seconds();
 
-  const size_t num_runs = map_results.size();
-  std::vector<FramedCursor> runs;
-  runs.reserve(num_runs);
-  for (const auto& mres : map_results) {
-    const Bytes& part = mres.partitions[r];
-    result.shuffle_in_bytes += part.size();
-    runs.emplace_back(std::string_view(part));
+  // Stream 0 is schimmy; streams 1..M the map runs in task order.
+  std::vector<MergeStream> streams(runs.size() + 1);
+  {
+    std::optional<dfs::RecordReader> schimmy =
+        open_schimmy(cluster, spec, r, node, result);
+    if (schimmy) {
+      streams[0].reader.emplace(std::move(*schimmy));
+      streams[0].check_sorted = true;
+    }
+  }
+  for (size_t m = 0; m < runs.size(); ++m) {
+    result.shuffle_in_bytes += runs[m].size;
+    if (runs[m].buffer != nullptr) {
+      streams[m + 1].cursor = FramedCursor(std::string_view(*runs[m].buffer));
+    } else if (!runs[m].file.empty()) {
+      streams[m + 1].reader.emplace(&cluster.fs(), runs[m].file, node);
+    }
   }
 
-  std::optional<dfs::RecordReader> schimmy =
-      open_schimmy(cluster, spec, r, node, result);
-  // Views into the reader's current record; die on the next next() call,
-  // which is why group collection below copies them into a reused arena.
-  std::string_view schimmy_key, schimmy_value;
-  Bytes schimmy_prev;
-  bool schimmy_have_prev = false;
-  auto schimmy_advance = [&]() -> bool {
-    if (!schimmy) return false;
-    auto rec = schimmy->next();
-    if (!rec) return false;
-    if (schimmy_have_prev && rec->key < std::string_view(schimmy_prev)) {
-      throw_schimmy_unsorted();
-    }
-    schimmy_prev.assign(rec->key);
-    schimmy_have_prev = true;
-    schimmy_key = rec->key;
-    schimmy_value = rec->value;
-    return true;
-  };
-
   LoserTree tree;
-  tree.reset(num_runs + 1);
-  if (schimmy_advance()) tree.set_key(0, schimmy_key);
-  for (size_t m = 0; m < num_runs; ++m) {
-    if (runs[m].advance()) tree.set_key(m + 1, runs[m].key);
+  tree.reset(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (streams[s].advance()) tree.set_key(s, streams[s].key);
   }
   tree.build();
 
-  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r);
+  ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
@@ -434,50 +509,47 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   // the group loop allocates nothing (FF4's discipline applied to the
   // engine's own hot path).
   Bytes key_scratch;
-  Bytes schimmy_arena;
-  std::vector<std::pair<size_t, size_t>> schimmy_spans;
+  Bytes volatile_arena;  // value bytes of streamed inputs for this group
+  struct VolatileSpan {
+    size_t val_idx, offset, length;
+  };
+  std::vector<VolatileSpan> volatile_spans;
   std::vector<std::string_view> vals;
 
-  auto current_key = [&](size_t w) {
-    return w == 0 ? schimmy_key : runs[w - 1].key;
-  };
-
   while (!tree.empty()) {
-    key_scratch.assign(current_key(tree.winner()));
+    key_scratch.assign(streams[tree.winner()].key);
     const std::string_view key = key_scratch;
     vals.clear();
-    schimmy_arena.clear();
-    schimmy_spans.clear();
+    volatile_arena.clear();
+    volatile_spans.clear();
     while (!tree.empty()) {
       size_t w = tree.winner();
-      if (current_key(w) != key) break;
-      if (w == 0) {
-        // Schimmy wins every tie, so all master values for this key are
-        // consumed first. The arena may grow while appending, so record
-        // spans now and patch the placeholder views once it is stable.
-        schimmy_spans.emplace_back(schimmy_arena.size(), schimmy_value.size());
-        schimmy_arena.append(schimmy_value);
+      MergeStream& stream = streams[w];
+      if (stream.key != key) break;
+      if (stream.streamed()) {
+        // Streamed values die on the stream's next advance, so copy them
+        // into the arena. It may grow (and move) while appending, so
+        // record spans now and patch the placeholder views once the
+        // group's arena is stable.
+        volatile_spans.push_back(
+            VolatileSpan{vals.size(), volatile_arena.size(),
+                         stream.value.size()});
+        volatile_arena.append(stream.value);
         vals.emplace_back();
-        if (schimmy_advance()) {
-          tree.set_key(0, schimmy_key);
-        } else {
-          tree.exhaust(0);
-        }
-        tree.replay(0);
       } else {
-        // Run buffers outlive the task, so their views are stable.
-        vals.push_back(runs[w - 1].value);
-        if (runs[w - 1].advance()) {
-          tree.set_key(w, runs[w - 1].key);
-        } else {
-          tree.exhaust(w);
-        }
-        tree.replay(w);
+        // In-memory run buffers outlive the task; views are stable.
+        vals.push_back(stream.value);
       }
+      if (stream.advance()) {
+        tree.set_key(w, stream.key);
+      } else {
+        tree.exhaust(w);
+      }
+      tree.replay(w);
     }
-    for (size_t s = 0; s < schimmy_spans.size(); ++s) {
-      vals[s] = std::string_view(schimmy_arena)
-                    .substr(schimmy_spans[s].first, schimmy_spans[s].second);
+    for (const VolatileSpan& s : volatile_spans) {
+      vals[s.val_idx] =
+          std::string_view(volatile_arena).substr(s.offset, s.length);
     }
     reducer->reduce(key, Values(vals), ctx);
     ++result.input_groups;
@@ -551,14 +623,47 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   const uint64_t rpc_resp0 =
       spec.services ? spec.services->rpc_response_bytes() : 0;
 
-  // ---------------------------------------------------------- map phase
+  const bool pipelined = spec.exec == ExecMode::kPipelined;
+  const bool spill = spec.spill_map_outputs;
+
+  SideFileCache side_cache(&cluster);
+
+  // Spill files are job-scoped: they must outlive every reduce *attempt*
+  // (retry restartability), so they are collected only when the job
+  // leaves, success or failure. This is separate from JobChain's round GC,
+  // which deletes whole previous-round outputs (see driver.h).
+  const std::string spill_prefix = "__spill__/" + spec.output_prefix;
+  struct SpillGc {
+    Cluster* cluster = nullptr;
+    std::string prefix;
+    ~SpillGc() {
+      if (cluster == nullptr) return;
+      for (const auto& f : cluster->fs().list(prefix)) cluster->fs().remove(f);
+    }
+  } spill_gc;
+  if (spill) {
+    spill_gc.cluster = &cluster;
+    spill_gc.prefix = spill_prefix;
+  }
+  auto spill_file = [&spill_prefix](size_t ti, int r) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".m%05zu.p%05d", ti, r);
+    return spill_prefix + buf;
+  };
+
+  // Reduce task r runs on node r % N (Hadoop assigns reduce tasks without
+  // locality since their input comes from everywhere).
+  auto reduce_node = [&](int r) { return r % cluster.num_nodes(); };
+
+  // ------------------------------------------------------------ task bodies
+  // The same restartable bodies run under both schedules; only the order
+  // and overlap of their execution differ.
   std::vector<MapTaskSpec> map_tasks = plan_map_tasks(cluster, spec.inputs);
   std::vector<MapTaskResult> map_results(map_tasks.size());
+  std::vector<ReduceTaskResult> reduce_results(num_reducers);
   std::atomic<int64_t> task_retries{0};
 
-  cluster.pool().parallel_for(map_tasks.size(), [&](size_t ti) {
-    task_retries += run_with_retries(
-        cluster.config(), spec.name, "map", ti, [&] {
+  auto map_body = [&](size_t ti) {
     const MapTaskSpec& task = map_tasks[ti];
     MapTaskResult& result = map_results[ti];
     result = MapTaskResult{};  // restartable: reset any failed attempt
@@ -567,7 +672,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     Bytes block = cluster.fs().read_block(task.file, task.block_index, task.node);
 
     MapContext ctx(&cluster, &spec.params, spec.services, task.node,
-                   static_cast<int>(ti));
+                   static_cast<int>(ti), &side_cache);
 
     // With a combiner, buffer raw framed records in one append-only arena
     // per partition and combine at the end of the task; otherwise frame
@@ -593,8 +698,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     });
     mapper->cleanup(ctx);
     if (spec.combiner) {
-      run_combiner(spec, cluster, task.node, static_cast<int>(ti), raw,
-                   result.partitions);
+      run_combiner(spec, cluster, task.node, static_cast<int>(ti), &side_cache,
+                   raw, result.partitions);
     }
     // Map-side sort: turn every partition buffer into a sorted run so the
     // reduce side can stream-merge them (scratch reused across partitions).
@@ -602,22 +707,142 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     for (Bytes& part : result.partitions) sort_framed_run(part, sort_scratch);
     result.cpu_seconds = thread_cpu_seconds() - cpu0;
     result.counters = ctx.counters();
-    });
-  });
+    // Record run sizes for shuffle planning/stats, then commit: with
+    // spilling on, write each run to an unreplicated file pinned to this
+    // node (Hadoop's mapper-local disk) and free the in-memory copy. The
+    // cost model already charges the map-output disk write in every mode.
+    result.partition_sizes.resize(num_reducers);
+    for (int r = 0; r < num_reducers; ++r) {
+      result.partition_sizes[r] = result.partitions[r].size();
+    }
+    if (spill) {
+      for (int r = 0; r < num_reducers; ++r) {
+        Bytes& part = result.partitions[r];
+        if (part.empty()) continue;
+        dfs::FileWriter w = cluster.fs().create(
+            spill_file(ti, r),
+            dfs::CreateOptions{.replication = 1, .pin_node = task.node});
+        w.append(part);
+        w.close();
+        result.spilled_bytes += part.size();
+        part = Bytes();  // free; shrink capacity too
+      }
+      result.partitions.clear();
+      result.partitions.shrink_to_fit();
+    }
+  };
 
+  // Eagerly fetched spilled runs per reduce task (pipelined+spill): fetch
+  // tasks copy a committed map's run into the reduce's budgeted buffer
+  // while later maps are still running. No fault injection here -- a
+  // fetch is part of the shuffle, not a task attempt, so retry counters
+  // stay identical across schedules.
+  std::vector<std::vector<Bytes>> fetched;
+  std::vector<std::atomic<uint64_t>> fetched_bytes;
+  if (pipelined && spill) {
+    fetched.assign(static_cast<size_t>(num_reducers),
+                   std::vector<Bytes>(map_tasks.size()));
+    fetched_bytes = std::vector<std::atomic<uint64_t>>(
+        static_cast<size_t>(num_reducers));
+  }
+  auto fetch_body = [&](size_t r, size_t ti) {
+    const uint64_t size = map_results[ti].partition_sizes[r];
+    if (size == 0) return;
+    const uint64_t budget = cluster.config().reduce_fetch_buffer_bytes;
+    const uint64_t prev = fetched_bytes[r].fetch_add(size);
+    if (prev + size > budget) {
+      fetched_bytes[r].fetch_sub(size);  // over budget: stream it instead
+      return;
+    }
+    fetched[r][ti] = cluster.fs().read_all(
+        spill_file(ti, static_cast<int>(r)), reduce_node(static_cast<int>(r)));
+  };
+
+  auto reduce_body = [&](size_t r) {
+    ReduceTaskResult& result = reduce_results[r];
+    result = ReduceTaskResult{};  // restartable: reset any failed attempt
+    const int node = reduce_node(static_cast<int>(r));
+    std::vector<ReduceRun> runs(map_tasks.size());
+    for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+      ReduceRun& run = runs[ti];
+      run.size = map_results[ti].partition_sizes[r];
+      if (!spill) {
+        run.buffer = &map_results[ti].partitions[r];
+      } else if (run.size > 0) {
+        if (!fetched.empty() && !fetched[r][ti].empty()) {
+          run.buffer = &fetched[r][ti];
+        } else {
+          run.file = spill_file(ti, static_cast<int>(r));
+        }
+      }
+    }
+    if (spec.shuffle == ShuffleMode::kReferenceSort) {
+      run_reduce_reference(cluster, spec, runs, static_cast<int>(r), node,
+                           &side_cache, result);
+    } else {
+      run_reduce_merge(cluster, spec, runs, static_cast<int>(r), node,
+                       &side_cache, result);
+    }
+  };
+
+  auto run_map_task = [&](size_t ti) {
+    task_retries += run_with_retries(cluster.config(), spec.name, "map", ti,
+                                     [&] { map_body(ti); });
+  };
+  auto run_reduce_task = [&](size_t r) {
+    task_retries += run_with_retries(cluster.config(), spec.name, "reduce", r,
+                                     [&] { reduce_body(r); });
+  };
+
+  // ------------------------------------------------------------ scheduling
+  if (!pipelined) {
+    // Barrier schedule: all maps, then all reduces.
+    cluster.pool().parallel_for(map_tasks.size(), run_map_task);
+    if (spec.services) spec.services->end_phase();
+    cluster.pool().parallel_for(static_cast<size_t>(num_reducers),
+                                run_reduce_task);
+  } else {
+    // Pipelined schedule: shuffle fetches for a map task are released the
+    // moment that map commits and overlap the remaining maps. Reduces
+    // still gate on *all* maps (any map may hold a reduce's smallest key)
+    // through the maps_done node, which also fires the inter-phase
+    // service barrier (FF2 drains aug_proc there).
+    common::TaskGraph graph(cluster.pool());
+    std::vector<common::TaskGraph::TaskId> map_ids(map_tasks.size());
+    for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+      map_ids[ti] = graph.add([&run_map_task, ti] { run_map_task(ti); });
+    }
+    std::vector<std::vector<common::TaskGraph::TaskId>> fetch_ids(
+        static_cast<size_t>(num_reducers));
+    if (spill) {
+      for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
+        for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+          fetch_ids[r].push_back(graph.add(
+              [&fetch_body, r, ti] { fetch_body(r, ti); }, {map_ids[ti]}));
+        }
+      }
+    }
+    common::TaskGraph::TaskId maps_done = graph.add(
+        [&spec] {
+          if (spec.services) spec.services->end_phase();
+        },
+        map_ids);
+    for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
+      std::vector<common::TaskGraph::TaskId> deps = std::move(fetch_ids[r]);
+      deps.push_back(maps_done);
+      graph.add([&run_reduce_task, r] { run_reduce_task(r); }, deps);
+    }
+    graph.wait_all();
+  }
   if (spec.services) spec.services->end_phase();
 
   // ------------------------------------------------------ shuffle planning
-  // Reduce task r runs on node r % N (Hadoop assigns reduce tasks without
-  // locality since their input comes from everywhere).
-  auto reduce_node = [&](int r) { return r % cluster.num_nodes(); };
-
   uint64_t shuffle_total = 0, shuffle_remote = 0;
   std::vector<uint64_t> node_out_remote(cluster.num_nodes(), 0);
   std::vector<uint64_t> node_in_remote(cluster.num_nodes(), 0);
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
     for (int r = 0; r < num_reducers; ++r) {
-      uint64_t n = map_results[ti].partitions[r].size();
+      uint64_t n = map_results[ti].partition_sizes[r];
       if (n == 0) continue;
       shuffle_total += n;
       if (map_tasks[ti].node != reduce_node(r)) {
@@ -627,27 +852,6 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       }
     }
   }
-
-  // ---------------------------------------------------------- reduce phase
-  std::vector<ReduceTaskResult> reduce_results(num_reducers);
-
-  cluster.pool().parallel_for(static_cast<size_t>(num_reducers), [&](size_t r) {
-    task_retries += run_with_retries(
-        cluster.config(), spec.name, "reduce", r, [&] {
-    ReduceTaskResult& result = reduce_results[r];
-    result = ReduceTaskResult{};  // restartable: reset any failed attempt
-    const int node = reduce_node(static_cast<int>(r));
-    if (spec.shuffle == ShuffleMode::kReferenceSort) {
-      run_reduce_reference(cluster, spec, map_results, static_cast<int>(r),
-                           node, result);
-    } else {
-      run_reduce_merge(cluster, spec, map_results, static_cast<int>(r), node,
-                       result);
-    }
-    });
-  });
-
-  if (spec.services) spec.services->end_phase();
 
   // ----------------------------------------------------------- statistics
   JobStats stats;
@@ -665,8 +869,9 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     stats.map_output_records += res.output_records;
     stats.map_input_bytes += t.block_bytes;
     uint64_t out_bytes = 0;
-    for (const auto& p : res.partitions) out_bytes += p.size();
+    for (uint64_t n : res.partition_sizes) out_bytes += n;
     stats.map_output_bytes += out_bytes;
+    stats.spill_bytes += res.spilled_bytes;
     stats.counters.merge(res.counters);
     double sim = cost.task_overhead_s + cost.disk_seconds(t.block_bytes) +
                  res.cpu_seconds * cost.cpu_scale +
@@ -710,8 +915,14 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
                                        cluster.config().reduce_slots_per_node));
   }
 
-  stats.sim_seconds = cost.job_overhead_s + stats.map_sim_s +
-                      stats.shuffle_sim_s + stats.reduce_sim_s;
+  // Pipelined execution overlaps the simulated shuffle with the map
+  // makespan (Hadoop slow-start reducers); the barrier schedule pays the
+  // phases back to back. Component fields stay un-overlapped.
+  stats.sim_seconds =
+      cost.job_overhead_s +
+      cost.map_shuffle_seconds(stats.map_sim_s, stats.shuffle_sim_s,
+                               map_tasks.size(), pipelined) +
+      stats.reduce_sim_s;
   stats.task_retries = task_retries.load();
 
   if (spec.services) {

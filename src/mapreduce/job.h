@@ -22,9 +22,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/counters.h"
@@ -40,11 +42,38 @@ using serde::Bytes;
 // platforms and runs, so partition assignment is reproducible.
 uint64_t stable_hash(std::string_view s);
 
+// Per-job, per-node cache of side files (Hadoop's DistributedCache: the
+// TaskTracker localizes each cache file once per node, then every task on
+// that node reads the local copy). The first task to ask for a file on a
+// node pays the DFS read -- I/O attributed to that node -- and later tasks
+// get a view of the cached bytes. Thread-safe; entries live for the job.
+class SideFileCache {
+ public:
+  explicit SideFileCache(Cluster* cluster) : cluster_(cluster) {}
+
+  SideFileCache(const SideFileCache&) = delete;
+  SideFileCache& operator=(const SideFileCache&) = delete;
+
+  // The returned reference stays valid until the cache is destroyed.
+  const Bytes& get(const std::string& name, int node);
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Bytes data;
+  };
+
+  Cluster* cluster_;
+  std::mutex mu_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Entry>> entries_;
+};
+
 // Shared context for map and reduce tasks.
 class TaskContext {
  public:
   TaskContext(Cluster* cluster, const std::map<std::string, std::string>* params,
-              ServiceRegistry* services, int node, int task_id);
+              ServiceRegistry* services, int node, int task_id,
+              SideFileCache* side_cache = nullptr);
   virtual ~TaskContext() = default;
 
   common::CounterSet& counters() { return counters_; }
@@ -54,9 +83,11 @@ class TaskContext {
   std::string param_or(const std::string& name, const std::string& def) const;
   int64_t param_int(const std::string& name, int64_t def) const;
 
-  // Reads a side file (distributed cache) from the DFS, attributing the
-  // I/O to this task's node.
-  Bytes read_side_file(const std::string& name) const;
+  // Reads a side file (distributed cache), attributing the I/O to this
+  // task's node. Within a job the bytes are cached per node (see
+  // SideFileCache), so repeated readers on a node share one DFS read; the
+  // returned view is valid for the rest of the job.
+  const Bytes& read_side_file(const std::string& name) const;
   bool side_file_exists(const std::string& name) const;
 
   // Calls a stateful service registered with the job (FF2's aug_proc RPC).
@@ -71,6 +102,8 @@ class TaskContext {
   ServiceRegistry* services_;
   int node_;
   int task_id_;
+  SideFileCache* side_cache_;
+  mutable Bytes side_scratch_;  // uncached fallback storage
   common::CounterSet counters_;
 };
 
@@ -155,6 +188,18 @@ Partitioner default_partitioner();
 //                   differential tests and as the bench baseline.
 enum class ShuffleMode { kMerge, kReferenceSort };
 
+// Task scheduling strategy. Both produce byte-identical outputs and
+// identical JobStats counters; they differ in how work overlaps (wall
+// time) and in how the cost model charges the shuffle (simulated time).
+//   kPipelined: dependency-driven task graph -- shuffle work for a map
+//               task starts the moment that task commits (Hadoop
+//               slow-start reducers), and the cost model overlaps the
+//               simulated shuffle with the map makespan. The default.
+//   kBarrier:   the original two-barrier schedule (all maps, then all
+//               reduces); shuffle time is charged after the map phase.
+//               Retained as the scheduling oracle for differential tests.
+enum class ExecMode { kPipelined, kBarrier };
+
 struct JobSpec {
   std::string name = "job";
   std::vector<std::string> inputs;  // DFS record files
@@ -171,6 +216,18 @@ struct JobSpec {
   std::string schimmy_prefix;
   // Reduce-side shuffle implementation (see ShuffleMode above).
   ShuffleMode shuffle = ShuffleMode::kMerge;
+  // Task scheduling strategy (see ExecMode above).
+  ExecMode exec = ExecMode::kPipelined;
+  // Spill map outputs: a committed map task writes its sorted runs to
+  // unreplicated node-local DFS files and frees them from memory, so peak
+  // engine memory is bounded by in-flight tasks rather than total shuffle
+  // bytes, and reduce retries can re-fetch any run (spills persist until
+  // job end). Under kPipelined, reduce tasks eagerly fetch spilled runs
+  // (up to ClusterConfig::reduce_fetch_buffer_bytes each) while later
+  // maps are still running; runs beyond the budget are streamed from
+  // their spill files during the merge. Outputs and JobStats counters
+  // other than spill_bytes are unaffected.
+  bool spill_map_outputs = false;
   ServiceRegistry* services = nullptr;
   // Remove input files once the job succeeds (multi-round GC).
   bool delete_inputs_after = false;
@@ -193,6 +250,7 @@ struct JobStats {
   uint64_t shuffle_bytes_remote = 0;  // cross-node portion only
   uint64_t schimmy_bytes = 0;         // master records merge-joined locally
   uint64_t output_bytes = 0;          // reduce output (pre-replication)
+  uint64_t spill_bytes = 0;           // map-output runs spilled to local DFS
 
   uint64_t rpc_calls = 0;
   uint64_t rpc_request_bytes = 0;
@@ -204,7 +262,8 @@ struct JobStats {
   double map_sim_s = 0;
   double shuffle_sim_s = 0;
   double reduce_sim_s = 0;
-  double sim_seconds = 0;   // job_overhead + map + shuffle + reduce
+  // job_overhead + map(+overlapped shuffle, see CostModel) + reduce.
+  double sim_seconds = 0;
   double wall_seconds = 0;  // real time on this host
 
   common::CounterSet counters;

@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/flags.h"
@@ -202,6 +204,136 @@ TEST(ThreadPool, ManyTasksFewWorkers) {
   std::vector<std::atomic<int>> hits(10000);
   pool.parallel_for(hits.size(), [&](size_t i) { ++hits[i]; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// -------------------------------------------------------------- task graph
+
+TEST(TaskGraph, RunsIndependentTasks) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) graph.add([&] { ++count; });
+  graph.wait_all();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGraph, DependenciesOrderExecution) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::atomic<int> stage{0};
+  // Diamond: a -> {b, c} -> d. Each task asserts its dependencies ran.
+  auto a = graph.add([&] { stage = 1; });
+  auto b = graph.add([&] { EXPECT_GE(stage.load(), 1); }, {a});
+  auto c = graph.add([&] { EXPECT_GE(stage.load(), 1); }, {a});
+  std::atomic<bool> d_ran{false};
+  graph.add([&] { d_ran = true; }, {b, c});
+  graph.wait_all();
+  EXPECT_TRUE(d_ran.load());
+}
+
+TEST(TaskGraph, ChainRunsInSequence) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::vector<int> order;  // written only by the single active chain task
+  common::TaskGraph::TaskId prev = graph.add([&] { order.push_back(0); });
+  for (int i = 1; i < 20; ++i) {
+    prev = graph.add([&order, i] { order.push_back(i); }, {prev});
+  }
+  graph.wait_all();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGraph, ReleasesDependentsAsSoonAsReady) {
+  // A slow task must not delay an independent chain: the fast chain's
+  // completion is observable before the slow task finishes.
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::promise<void> release_slow;
+  std::shared_future<void> gate = release_slow.get_future().share();
+  graph.add([gate] { gate.wait(); });
+  auto fast = graph.add([] {});
+  auto after = graph.add([] {}, {fast});
+  graph.future_of(after).get();  // completes while the slow task is blocked
+  release_slow.set_value();
+  graph.wait_all();
+}
+
+TEST(TaskGraph, FailurePoisonsDependentsButNotIndependents) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::atomic<bool> dependent_ran{false}, independent_ran{false};
+  auto bad = graph.add([] { throw std::runtime_error("boom"); });
+  auto skipped = graph.add([&] { dependent_ran = true; }, {bad});
+  auto transitively_skipped =
+      graph.add([&] { dependent_ran = true; }, {skipped});
+  graph.add([&] { independent_ran = true; });
+  EXPECT_THROW(graph.wait_all(), std::runtime_error);
+  EXPECT_FALSE(dependent_ran.load());
+  EXPECT_TRUE(independent_ran.load());
+  // Skipped tasks report their failed dependency's exception.
+  EXPECT_THROW(graph.future_of(transitively_skipped).get(),
+               std::runtime_error);
+  EXPECT_THROW(graph.future_of(bad).get(), std::runtime_error);
+}
+
+TEST(TaskGraph, FutureOfCompletedTask) {
+  common::ThreadPool pool(2);
+  common::TaskGraph graph(pool);
+  auto id = graph.add([] {});
+  graph.wait_all();
+  graph.future_of(id).get();  // already done: future is immediately ready
+}
+
+TEST(TaskGraph, AddingToFinishedDependencyRunsImmediately) {
+  common::ThreadPool pool(2);
+  common::TaskGraph graph(pool);
+  auto a = graph.add([] {});
+  graph.wait_all();
+  std::atomic<bool> ran{false};
+  graph.add([&] { ran = true; }, {a});
+  graph.wait_all();
+  EXPECT_TRUE(ran.load());
+  // ...and a dependency that already *failed* skips the new task too.
+  auto bad = graph.add([] { throw std::logic_error("late"); });
+  EXPECT_THROW(graph.wait_all(), std::logic_error);
+  std::atomic<bool> skipped_ran{false};
+  auto skipped = graph.add([&] { skipped_ran = true; }, {bad});
+  EXPECT_THROW(graph.future_of(skipped).get(), std::logic_error);
+  EXPECT_FALSE(skipped_ran.load());
+}
+
+TEST(TaskGraph, TasksCanAddFollowUpTasks) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::atomic<int> count{0};
+  graph.add([&] {
+    ++count;
+    graph.add([&] {
+      ++count;
+      graph.add([&] { ++count; });
+    });
+  });
+  graph.wait_all();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TaskGraph, ManyTasksRandomDag) {
+  common::ThreadPool pool(4);
+  common::TaskGraph graph(pool);
+  std::atomic<int> done{0};
+  std::vector<common::TaskGraph::TaskId> ids;
+  for (size_t i = 0; i < 500; ++i) {
+    std::vector<common::TaskGraph::TaskId> deps;
+    if (i >= 3) {
+      deps.push_back(ids[i / 2]);       // layered fan-in
+      deps.push_back(ids[i - 1]);
+      deps.push_back(ids[i * 7919 % i]);
+    }
+    ids.push_back(graph.add([&] { ++done; }, deps));
+  }
+  graph.wait_all();
+  EXPECT_EQ(done.load(), 500);
 }
 
 // --------------------------------------------------------------- counters

@@ -201,6 +201,44 @@ TEST(Engine, SideFiles) {
   EXPECT_EQ(out["0"], "broadcast-data");
 }
 
+TEST(Engine, SideFileLocalizedOncePerNode) {
+  // Hadoop's DistributedCache localizes a cache file once per node, not
+  // once per task. Run the same job with and without side-file reads; the
+  // extra DFS read bytes must be a whole number of copies, at most one per
+  // node -- strictly fewer than one per map task.
+  static constexpr uint64_t kSideSize = 4096;
+  static constexpr int kNodes = 3;
+  auto run = [&](bool read_side) {
+    Cluster cluster = make_cluster(kNodes, 1 << 10);
+    cluster.fs().write_all("side", std::string(kSideSize, 's'));
+    std::vector<std::string> words(300, "wordwordword");
+    write_words(cluster, "in", words);
+    JobSpec spec;
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.num_reduce_tasks = 2;
+    spec.mapper = lambda_mapper(
+        [read_side](std::string_view k, std::string_view, MapContext& ctx) {
+          if (read_side) {
+            EXPECT_EQ(ctx.read_side_file("side").size(), kSideSize);
+          }
+          ctx.emit(k, "");
+        });
+    spec.reducer = identity_reducer();
+    JobStats stats = run_job(cluster, spec);
+    return std::pair(stats.num_map_tasks, cluster.fs().io_stats().total_read());
+  };
+  auto [map_tasks, with_reads] = run(true);
+  auto [map_tasks2, without_reads] = run(false);
+  ASSERT_EQ(map_tasks, map_tasks2);
+  ASSERT_GT(map_tasks, kNodes);  // more tasks than nodes, or the test is vacuous
+  uint64_t delta = with_reads - without_reads;
+  EXPECT_EQ(delta % kSideSize, 0u);
+  uint64_t copies = delta / kSideSize;
+  EXPECT_GE(copies, 1u);
+  EXPECT_LE(copies, static_cast<uint64_t>(kNodes));
+}
+
 // A service that reverses its request.
 class ReverseService final : public Service {
  public:
@@ -505,6 +543,89 @@ TEST(Faults, UserExceptionsAlsoRetriedUntilBudget) {
   JobStats stats = run_job(cluster, spec);
   EXPECT_EQ(stats.task_retries, 1);
   EXPECT_EQ(stats.reduce_output_records, 1);
+}
+
+TEST(Faults, RetriesFireMidPipelineWithSpills) {
+  // Failures injected while the pipelined task graph is in flight: map
+  // retries re-spill over their earlier runs, reduce retries re-fetch
+  // spilled runs. Outputs and exact counters must match a clean run, and
+  // every spill file must be gone at job end.
+  auto run = [](double failure_probability) {
+    ClusterConfig config;
+    config.num_slave_nodes = 3;
+    config.dfs_block_size = 2 << 10;
+    config.fault.task_failure_probability = failure_probability;
+    config.fault.seed = 29;
+    config.max_task_attempts = 12;
+    config.reduce_fetch_buffer_bytes = 512;  // force streamed (over-budget) runs
+    Cluster cluster(config);
+    std::vector<std::string> words;
+    for (int i = 0; i < 400; ++i) words.push_back("w" + std::to_string(i % 23));
+    write_words(cluster, "in", words);
+    JobSpec spec = wordcount_spec("in", "out");
+    spec.num_reduce_tasks = 6;
+    spec.exec = ExecMode::kPipelined;
+    spec.spill_map_outputs = true;
+    JobStats stats = run_job(cluster, spec);
+    EXPECT_TRUE(cluster.fs().list("__spill__/").empty());
+    return std::pair(stats, read_outputs(cluster, "out", 6));
+  };
+  auto [faulty, faulty_out] = run(0.3);
+  auto [clean, clean_out] = run(0.0);
+  EXPECT_GT(faulty.task_retries, 0);
+  EXPECT_EQ(clean.task_retries, 0);
+  EXPECT_EQ(faulty_out, clean_out);
+  EXPECT_EQ(faulty.map_output_records, clean.map_output_records);
+  EXPECT_EQ(faulty.reduce_input_groups, clean.reduce_input_groups);
+  EXPECT_EQ(faulty.reduce_output_records, clean.reduce_output_records);
+  EXPECT_EQ(faulty.map_output_bytes, clean.map_output_bytes);
+  EXPECT_EQ(faulty.shuffle_bytes, clean.shuffle_bytes);
+  EXPECT_EQ(faulty.spill_bytes, clean.spill_bytes);
+  EXPECT_EQ(faulty.spill_bytes, faulty.map_output_bytes);
+}
+
+TEST(Faults, SpillsRemovedWhenJobFails) {
+  // The spill GC must fire on the failure path too: maps complete and
+  // spill their runs, then every reduce attempt dies and the job throws.
+  ClusterConfig config;
+  config.num_slave_nodes = 2;
+  config.max_task_attempts = 2;
+  Cluster cluster(config);
+  write_words(cluster, "in", {"a", "b", "c"});
+  JobSpec spec;
+  spec.inputs = {"in"};
+  spec.output_prefix = "out";
+  spec.spill_map_outputs = true;
+  spec.mapper = identity_mapper();
+  spec.reducer = lambda_reducer(
+      [](std::string_view, const Values&, ReduceContext&) -> void {
+        throw std::runtime_error("reducer exploded");
+      });
+  EXPECT_THROW(run_job(cluster, spec), std::runtime_error);
+  EXPECT_TRUE(cluster.fs().list("__spill__/").empty());
+}
+
+TEST(Faults, SpillLifecycleEndsWithJob) {
+  // Success path: spilled bytes are accounted, outputs match the non-spill
+  // run byte for byte, and no spill file survives the job.
+  auto run = [](bool spill) {
+    Cluster cluster = make_cluster();
+    std::vector<std::string> words;
+    for (int i = 0; i < 200; ++i) words.push_back("k" + std::to_string(i % 17));
+    write_words(cluster, "in", words);
+    JobSpec spec = wordcount_spec("in", "out");
+    spec.num_reduce_tasks = 4;
+    spec.spill_map_outputs = spill;
+    JobStats stats = run_job(cluster, spec);
+    EXPECT_TRUE(cluster.fs().list("__spill__/").empty());
+    return std::pair(stats, read_outputs(cluster, "out", 4));
+  };
+  auto [spilled, spilled_out] = run(true);
+  auto [resident, resident_out] = run(false);
+  EXPECT_EQ(spilled_out, resident_out);
+  EXPECT_EQ(spilled.spill_bytes, spilled.map_output_bytes);
+  EXPECT_EQ(resident.spill_bytes, 0u);
+  EXPECT_EQ(spilled.shuffle_bytes, resident.shuffle_bytes);
 }
 
 // ------------------------------------------------------------ cost model

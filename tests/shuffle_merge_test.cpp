@@ -174,25 +174,81 @@ void expect_stats_identical(const JobStats& a, const JobStats& b) {
   EXPECT_EQ(a.task_retries, b.task_retries);
 }
 
-// Runs `build_spec` under both shuffle modes on fresh identical clusters
-// and asserts byte-identical partition files plus identical counters.
+// One engine configuration of the differential grid: scheduling mode ×
+// shuffle implementation × map-output spilling (with the eager-fetch
+// budget as an extra axis: 0 forces every spilled run to be streamed
+// during the merge, a tiny budget mixes buffered and streamed runs).
+struct EngineConfig {
+  ExecMode exec;
+  ShuffleMode shuffle;
+  bool spill = false;
+  uint64_t fetch_budget = 8ull << 20;
+  const char* label = "";
+};
+
+const std::vector<EngineConfig>& engine_grid() {
+  static const std::vector<EngineConfig> grid = {
+      {ExecMode::kPipelined, ShuffleMode::kMerge, false, 8ull << 20,
+       "pipelined/merge"},
+      {ExecMode::kBarrier, ShuffleMode::kMerge, false, 8ull << 20,
+       "barrier/merge"},
+      {ExecMode::kPipelined, ShuffleMode::kReferenceSort, false, 8ull << 20,
+       "pipelined/reference"},
+      {ExecMode::kBarrier, ShuffleMode::kReferenceSort, false, 8ull << 20,
+       "barrier/reference"},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 8ull << 20,
+       "pipelined/merge/spill"},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 0,
+       "pipelined/merge/spill/stream-all"},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 200,
+       "pipelined/merge/spill/tiny-budget"},
+      {ExecMode::kBarrier, ShuffleMode::kMerge, true, 8ull << 20,
+       "barrier/merge/spill"},
+      {ExecMode::kPipelined, ShuffleMode::kReferenceSort, true, 8ull << 20,
+       "pipelined/reference/spill"},
+  };
+  return grid;
+}
+
+// Runs `build_spec` across the whole engine grid on fresh identical
+// clusters and asserts byte-identical partition files plus identical
+// counters against the first (pipelined/merge) configuration.
 // build_spec(cluster) must write its own inputs and return the spec(s) to
-// run in order; the last spec's outputs are compared.
+// run in order; the last spec's outputs are compared. A non-zero fault
+// probability exercises the same grid with mid-pipeline task retries.
 using SpecBuilder = std::function<std::vector<JobSpec>(Cluster&)>;
 
-void run_differential(const SpecBuilder& build_spec) {
-  auto run_mode = [&](ShuffleMode mode) {
-    Cluster cluster = make_cluster();
+void run_differential(const SpecBuilder& build_spec, FaultConfig fault = {}) {
+  auto run_config = [&](const EngineConfig& cfg) {
+    ClusterConfig c;
+    c.num_slave_nodes = 3;
+    c.map_slots_per_node = 2;
+    c.reduce_slots_per_node = 2;
+    c.dfs_block_size = 4 << 10;
+    c.reduce_fetch_buffer_bytes = cfg.fetch_budget;
+    c.fault = fault;
+    if (fault.task_failure_probability > 0) c.max_task_attempts = 12;
+    Cluster cluster(c);
     std::vector<JobSpec> specs = build_spec(cluster);
     JobStats last;
     std::string prefix;
     int parts = 0;
     for (auto& spec : specs) {
-      spec.shuffle = mode;
+      spec.shuffle = cfg.shuffle;
+      spec.exec = cfg.exec;
+      spec.spill_map_outputs = cfg.spill;
       prefix = spec.output_prefix;
       last = run_job(cluster, spec);
       parts = last.num_reduce_tasks;
     }
+    // Spill lifecycle: every run was spilled (and counted) iff spilling
+    // was on, and all spill files are collected by job end.
+    if (cfg.spill) {
+      EXPECT_EQ(last.spill_bytes, last.map_output_bytes) << cfg.label;
+    } else {
+      EXPECT_EQ(last.spill_bytes, 0u) << cfg.label;
+    }
+    EXPECT_TRUE(cluster.fs().list("__spill__/").empty()) << cfg.label;
     std::vector<serde::Bytes> files;
     for (int r = 0; r < parts; ++r) {
       files.push_back(cluster.fs().read_all(partition_file(prefix, r)));
@@ -200,12 +256,16 @@ void run_differential(const SpecBuilder& build_spec) {
     return std::make_pair(last, files);
   };
 
-  auto [merge_stats, merge_files] = run_mode(ShuffleMode::kMerge);
-  auto [ref_stats, ref_files] = run_mode(ShuffleMode::kReferenceSort);
-  expect_stats_identical(merge_stats, ref_stats);
-  ASSERT_EQ(merge_files.size(), ref_files.size());
-  for (size_t r = 0; r < merge_files.size(); ++r) {
-    EXPECT_EQ(merge_files[r], ref_files[r]) << "partition " << r;
+  const auto& grid = engine_grid();
+  auto [base_stats, base_files] = run_config(grid[0]);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    SCOPED_TRACE(grid[i].label);
+    auto [stats, files] = run_config(grid[i]);
+    expect_stats_identical(base_stats, stats);
+    ASSERT_EQ(base_files.size(), files.size());
+    for (size_t r = 0; r < base_files.size(); ++r) {
+      EXPECT_EQ(base_files[r], files[r]) << "partition " << r;
+    }
   }
 }
 
@@ -367,6 +427,69 @@ TEST(ShuffleDifferential, AdversarialKeysAndValues) {
     spec.reducer = concat_reducer();
     return std::vector<JobSpec>{spec};
   });
+}
+
+// The whole grid must stay byte-identical *under fault injection*: map
+// and reduce attempts fail and retry mid-pipeline in every configuration
+// (a reduce may already be consuming spilled runs of committed maps while
+// another map attempt dies and restarts). The injector hashes only
+// (job, phase, task, attempt, seed), so task_retries is a deterministic
+// counter that must match exactly across schedules.
+TEST(ShuffleDifferential, RandomizedUnderFaultInjection) {
+  rng::Xoshiro256 rng(404);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto recs = random_records(rng, 300, 6);
+    FaultConfig fault;
+    fault.task_failure_probability = 0.25;
+    fault.seed = 1000 + static_cast<uint64_t>(trial);
+    run_differential(
+        [&](Cluster& cluster) {
+          write_records(cluster, "in", recs);
+          JobSpec spec;
+          spec.name = "diff-faults";
+          spec.inputs = {"in"};
+          spec.output_prefix = "out";
+          spec.num_reduce_tasks = 4;
+          spec.mapper = identity_mapper();
+          spec.reducer = concat_reducer();
+          return std::vector<JobSpec>{spec};
+        },
+        fault);
+  }
+}
+
+// Faults on a schimmy chain: reduce retries must re-stream both the
+// previous round's partition and (when spilling) the spill files, which
+// persist until job end exactly for this restartability.
+TEST(ShuffleDifferential, SchimmyUnderFaultInjection) {
+  rng::Xoshiro256 rng(505);
+  auto masters = random_records(rng, 50, 10);
+  auto frags = random_records(rng, 150, 14);
+  FaultConfig fault;
+  fault.task_failure_probability = 0.25;
+  fault.seed = 77;
+  run_differential(
+      [&](Cluster& cluster) {
+        write_records(cluster, "masters", masters);
+        write_records(cluster, "frags", frags);
+        JobSpec a;
+        a.name = "diff-faults-roundA";
+        a.inputs = {"masters"};
+        a.output_prefix = "roundA";
+        a.num_reduce_tasks = 4;
+        a.mapper = identity_mapper();
+        a.reducer = concat_reducer();
+        JobSpec b;
+        b.name = "diff-faults-roundB";
+        b.inputs = {"frags"};
+        b.output_prefix = "roundB";
+        b.num_reduce_tasks = 4;
+        b.schimmy_prefix = "roundA";
+        b.mapper = identity_mapper();
+        b.reducer = concat_reducer();
+        return std::vector<JobSpec>{a, b};
+      },
+      fault);
 }
 
 // The merge path must enforce the same schimmy sort contract as the
