@@ -105,5 +105,6 @@ int main(int argc, char** argv) {
       "|f*|/w instead of tracking the diameter. k=1 needs the most rounds\n"
       "with round count dropping as k grows (III-B3). Removing any FF5\n"
       "optimization raises shuffle bytes and/or records.\n");
+  bench::write_observability(env);
   return 0;
 }

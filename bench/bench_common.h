@@ -6,6 +6,9 @@
 //   --nodes=<n>    simulated slave nodes (default 20, like the paper)
 //   --seed=<s>     RNG seed (default 1)
 //   --verbose      INFO logging of every MR round
+//   --trace_out=<f>    write a Chrome-tracing/Perfetto span JSON on exit
+//                      (also enables span recording for the whole run)
+//   --metrics_out=<f>  write cumulative engine metrics JSON on exit
 // Times reported as "sim" are simulated cluster seconds from the cost
 // model; "wall" is real time on this host.
 #pragma once
@@ -17,8 +20,10 @@
 
 #include "common/flags.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "ffmr/solver.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
@@ -31,6 +36,8 @@ struct BenchEnv {
   int nodes = 20;
   uint64_t seed = 1;
   mr::CostModel cost;
+  std::string trace_out;    // Chrome trace JSON path; empty = tracing off
+  std::string metrics_out;  // engine metrics JSON path; empty = off
 
   // Builds a cluster modeled on the paper's testbed: N slaves, 15 map + 15
   // reduce slots each, 1 GbE, HDFS-style replication 2. The cost-model
@@ -78,10 +85,45 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   if (flags.get_bool("verbose", false)) {
     common::set_log_level(common::LogLevel::kInfo);
   }
+  env.trace_out = flags.get_string("trace_out", "");
+  env.metrics_out = flags.get_string("metrics_out", "");
+  // Spans must start recording before the workload, not at export time.
+  if (!env.trace_out.empty()) common::trace::set_enabled(true);
   // Consumed here so check_unused() passes even in benches that read it
   // later through paper_options().
   (void)flags.get_bool("strict", false);
   return env;
+}
+
+// Writes the observability outputs requested via --trace_out /
+// --metrics_out. Benches call this once, after the workload; a no-op when
+// neither flag was given.
+inline void write_observability(const BenchEnv& env) {
+  if (!env.trace_out.empty()) {
+    if (common::trace::write_chrome_trace(env.trace_out)) {
+      std::printf("wrote %s (%zu spans, %zu dropped)\n", env.trace_out.c_str(),
+                  common::trace::event_count(),
+                  common::trace::dropped_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   env.trace_out.c_str());
+    }
+  }
+  if (!env.metrics_out.empty()) {
+    auto& registry = common::MetricsRegistry::global();
+    registry.harvest();  // fold any shard contents no job end collected
+    std::string doc = registry.cumulative().to_json();
+    doc += '\n';
+    std::FILE* f = std::fopen(env.metrics_out.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", env.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   env.metrics_out.c_str());
+    }
+  }
 }
 
 // Builds the FBi' analog graph for a ladder entry.

@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
       "stay nearly constant (~D/2 + const, 8-10 in the paper); runtime\n"
       "rises slowly (sub-linearly in |f*|).\n",
       diameter);
+  bench::write_observability(env);
   return 0;
 }

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
       "predecessor; FF5 ~5.4x over FF1 on the small graph and ~14.2x on\n"
       "the large one; BFS below all max-flow variants; rounds shrink\n"
       "FF1 -> FF5 and approach BFS's.\n");
+  bench::write_observability(env);
   return 0;
 }

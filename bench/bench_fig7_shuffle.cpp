@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
   }
   json.close();
   json.write_file("BENCH_fig7_shuffle.json");
+  bench::write_observability(env);
   return 0;
 }

@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
       "(log-log straight line); more machines -> lower curve; rounds stay\n"
       "in the 6-10 band across all sizes; FF5 within a constant factor of\n"
       "BFS.\n");
+  bench::write_observability(env);
   return 0;
 }

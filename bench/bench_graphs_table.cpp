@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper): edges grow ~280x down the ladder; Max Size\n"
       "is a small multiple of Size (excess-path storage), larger for\n"
       "denser graphs.\n");
+  bench::write_observability(env);
   return 0;
 }

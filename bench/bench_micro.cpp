@@ -3,7 +3,9 @@
 // solvers. These are the knobs the cost model's CPU term measures.
 #include <benchmark/benchmark.h>
 
+#include "common/counters.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "ffmr/accumulator.h"
 #include "ffmr/types.h"
 #include "flow/max_flow.h"
@@ -129,6 +131,55 @@ void BM_SequentialPushRelabel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SequentialPushRelabel)->Arg(1 << 12);
+
+// Counter fast path: every mapper emit bumps one of these. The sharded
+// write path (counters.h) must stay flat as threads are added -- the
+// ->Threads(8) run is the regression guard; the pre-shard implementation
+// collapsed under its global mutex.
+void BM_CounterIncrement(benchmark::State& state) {
+  static common::CounterSet counters;
+  for (auto _ : state) {
+    counters.increment("records", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrement)->Threads(1)->Threads(8);
+
+// Read path folds all shards under the lock; it runs once per round, not
+// per record, so absolute cost matters less than it staying O(keys).
+void BM_CounterSnapshot(benchmark::State& state) {
+  common::CounterSet counters;
+  for (int i = 0; i < 64; ++i) {
+    counters.increment("key" + std::to_string(i), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counters.value("key7"));
+  }
+}
+BENCHMARK(BM_CounterSnapshot);
+
+// Disabled tracing must be invisible from the record loop's perspective
+// (one relaxed load + branch); see bench_trace_overhead for the wall-time
+// version of this bound.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  common::trace::set_enabled(false);
+  for (auto _ : state) {
+    common::TraceSpan span("bench.noop", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  common::trace::set_enabled(true);
+  for (auto _ : state) {
+    common::TraceSpan span("bench.noop", "bench");
+    benchmark::ClobberMemory();
+  }
+  common::trace::set_enabled(false);
+  common::trace::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 void BM_Xoshiro(benchmark::State& state) {
   rng::Xoshiro256 r(1);

@@ -66,5 +66,6 @@ int main(int argc, char** argv) {
       "'graph I/O' (re-reading and re-writing every vertex record every\n"
       "round, plus the schimmy merge input) disappears entirely on Pregel:\n"
       "resident state is the BSP model's structural win.\n");
+  bench::write_observability(env);
   return 0;
 }

@@ -518,5 +518,6 @@ int main(int argc, char** argv) {
   }
   json.close();
   json.write_file("BENCH_shuffle_engine.json");
+  bench::write_observability(env);
   return counters_ok ? 0 : 1;
 }

@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
       "their (small) diameter; the grid control needs rounds on the order\n"
       "of its O(sqrt(V)) diameter -- the regime the paper's 75-year\n"
       "back-of-envelope warns about.\n");
+  bench::write_observability(env);
   return 0;
 }

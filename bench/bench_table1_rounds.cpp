@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper Table I): round #0 dominates Map Out; A-Paths\n"
       "appear by round ~2 and peak early; MaxQ stays in the low thousands\n"
       "at worst; per-round runtime tracks the Shuffle column.\n");
+  bench::write_observability(env);
   return 0;
 }

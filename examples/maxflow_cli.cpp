@@ -9,9 +9,16 @@
 //
 // Prints the max-flow value, the min cut (source-side size and the cut
 // edges), and engine statistics for the distributed algorithms.
+//
+// Observability (distributed algorithms):
+//   --trace_out=<f>      Chrome-tracing/Perfetto span JSON of the whole run
+//   --metrics_out=<f>    engine histogram/gauge metrics JSON
+//   --round_report=<f>   per-round JSONL report (ffmr only; tail-able)
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "ffmr/solver.h"
 #include "flow/max_flow.h"
 #include "flow/validate.h"
@@ -36,7 +43,12 @@ int main(int argc, char** argv) {
   std::string algo = flags.get_string("algo", "ff5");
   int nodes = static_cast<int>(flags.get_int("nodes", 4));
   bool show_cut = flags.get_bool("cut", false);
+  std::string trace_out = flags.get_string("trace_out", "");
+  std::string metrics_out = flags.get_string("metrics_out", "");
+  std::string round_report = flags.get_string("round_report", "");
   flags.check_unused();
+  // Recording must be on before the solver runs, not at export time.
+  if (!trace_out.empty()) common::trace::set_enabled(true);
 
   std::printf("%llu vertices, %zu edge pairs; %s: %llu -> %llu\n",
               static_cast<unsigned long long>(g.num_vertices()),
@@ -64,6 +76,7 @@ int main(int argc, char** argv) {
     mr::Cluster cluster(config);
     ffmr::FfmrOptions options;
     options.variant = static_cast<ffmr::Variant>(algo[2] - '0');
+    options.round_report = round_report;
     auto r = ffmr::solve_max_flow(cluster, g, source, sink, options);
     std::printf("%s: %d MR rounds, shuffle %s, sim time %s\n",
                 ffmr::variant_name(options.variant), r.rounds,
@@ -73,6 +86,28 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --algo=%s\n", algo.c_str());
     return 2;
+  }
+
+  if (!trace_out.empty()) {
+    if (common::trace::write_chrome_trace(trace_out)) {
+      std::printf("wrote %s (%zu spans, %zu dropped)\n", trace_out.c_str(),
+                  common::trace::event_count(), common::trace::dropped_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    auto& registry = common::MetricsRegistry::global();
+    registry.harvest();
+    std::string doc = registry.cumulative().to_json();
+    doc += '\n';
+    if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+    }
   }
 
   std::printf("max-flow = %lld\n", static_cast<long long>(assignment.value));

@@ -1,3 +1,100 @@
 #include "common/counters.h"
 
-// Header-only today; this TU anchors the library target.
+#include <utility>
+
+#include "common/trace.h"
+
+namespace mrflow::common {
+
+CounterSet::~CounterSet() {
+  for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+}
+
+CounterSet::CounterSet(const CounterSet& other) : base_(other.snapshot()) {}
+
+CounterSet& CounterSet::operator=(const CounterSet& other) {
+  if (this != &other) {
+    auto snap = other.snapshot();
+    clear();
+    std::lock_guard<std::mutex> lk(mu_);
+    base_ = std::move(snap);
+  }
+  return *this;
+}
+
+CounterSet::Shard& CounterSet::shard_for_thread() {
+  size_t slot = thread_index() & (kShards - 1);
+  Shard* shard = shards_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    Shard* fresh = new Shard();
+    if (shards_[slot].compare_exchange_strong(shard, fresh,
+                                              std::memory_order_acq_rel)) {
+      return *fresh;
+    }
+    delete fresh;  // another thread won the slot
+  }
+  return *shard;
+}
+
+void CounterSet::increment(const std::string& name, int64_t delta) {
+  Shard& shard = shard_for_thread();
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.add[name] += delta;
+}
+
+void CounterSet::set_max(const std::string& name, int64_t value) {
+  Shard& shard = shard_for_thread();
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto [it, inserted] = shard.max.emplace(name, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
+void CounterSet::fold_shards() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& slot : shards_) {
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    std::lock_guard<std::mutex> ls(shard->mu);
+    for (const auto& [k, v] : shard->add) base_[k] += v;
+    shard->add.clear();
+    for (const auto& [k, v] : shard->max) {
+      auto [it, inserted] = base_.emplace(k, v);
+      if (!inserted && v > it->second) it->second = v;
+    }
+    shard->max.clear();
+  }
+}
+
+int64_t CounterSet::value(const std::string& name) const {
+  fold_shards();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = base_.find(name);
+  return it == base_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  auto snap = other.snapshot();
+  fold_shards();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [k, v] : snap) base_[k] += v;
+}
+
+std::map<std::string, int64_t> CounterSet::snapshot() const {
+  fold_shards();
+  std::lock_guard<std::mutex> lk(mu_);
+  return base_;
+}
+
+void CounterSet::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  base_.clear();
+  for (const auto& slot : shards_) {
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    std::lock_guard<std::mutex> ls(shard->mu);
+    shard->add.clear();
+    shard->max.clear();
+  }
+}
+
+}  // namespace mrflow::common

@@ -5,10 +5,20 @@
 // main program reads them after the job completes to decide termination
 // (paper Fig. 2 lines 7-10). Counters are also how we export per-round
 // statistics (map output records, shuffle bytes, ...) for Table I / Fig. 7.
+//
+// Concurrency: increment()/set_max() are the reduce hot path, so they write
+// to a per-thread shard (selected by thread_index(), one uncontended mutex
+// each) instead of a set-wide lock; reads fold the shards on demand, so
+// cross-thread readers still see exact totals at quiescent points (the
+// engine copies a task's counters after the task finishes -- the
+// merge-at-task-end that makes the shards invisible to callers).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -17,54 +27,41 @@ namespace mrflow::common {
 class CounterSet {
  public:
   CounterSet() = default;
-  CounterSet(const CounterSet& other) : values_(other.snapshot()) {}
-  CounterSet& operator=(const CounterSet& other) {
-    if (this != &other) {
-      auto snap = other.snapshot();
-      std::lock_guard<std::mutex> lk(mu_);
-      values_ = std::move(snap);
-    }
-    return *this;
-  }
+  ~CounterSet();
+  CounterSet(const CounterSet& other);
+  CounterSet& operator=(const CounterSet& other);
 
-  void increment(const std::string& name, int64_t delta = 1) {
-    std::lock_guard<std::mutex> lk(mu_);
-    values_[name] += delta;
-  }
+  void increment(const std::string& name, int64_t delta = 1);
 
   // Sets an absolute value (used for gauges like max queue size).
-  void set_max(const std::string& name, int64_t value) {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto& v = values_[name];
-    if (value > v) v = value;
-  }
+  void set_max(const std::string& name, int64_t value);
 
-  int64_t value(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
-  }
+  int64_t value(const std::string& name) const;
 
   // Merge another counter set into this one (summing values).
-  void merge(const CounterSet& other) {
-    auto snap = other.snapshot();
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const auto& [k, v] : snap) values_[k] += v;
-  }
+  void merge(const CounterSet& other);
 
-  std::map<std::string, int64_t> snapshot() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return values_;
-  }
+  std::map<std::string, int64_t> snapshot() const;
 
-  void clear() {
-    std::lock_guard<std::mutex> lk(mu_);
-    values_.clear();
-  }
+  void clear();
 
  private:
+  // Shards are lazily allocated per thread-index slot; a shard is written
+  // by threads hashing to its slot (usually one) and folded by readers.
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, int64_t> add;  // pending increments
+    std::map<std::string, int64_t> max;  // pending set_max high-water marks
+  };
+  static constexpr size_t kShards = 16;  // power of two
+
+  Shard& shard_for_thread();
+  // Folds every shard into base_ (caller must NOT hold mu_ or shard locks).
+  void fold_shards() const;
+
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> values_;
+  mutable std::map<std::string, int64_t> base_;
+  mutable std::array<std::atomic<Shard*>, kShards> shards_{};
 };
 
 }  // namespace mrflow::common

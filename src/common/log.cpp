@@ -4,12 +4,16 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
+
+#include "common/trace.h"
 
 namespace mrflow::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mu;
+LogSink g_sink;  // guarded by g_mu
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -25,16 +29,27 @@ const char* level_name(LogLevel l) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
   using namespace std::chrono;
   auto now = duration_cast<milliseconds>(
                  steady_clock::now().time_since_epoch())
                  .count();
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%s %8lld.%03lld t%02u] ",
+                level_name(level), static_cast<long long>(now / 1000),
+                static_cast<long long>(now % 1000), thread_index());
   std::lock_guard<std::mutex> lk(g_mu);
-  std::fprintf(stderr, "[%s %8lld.%03lld] %s\n", level_name(level),
-               static_cast<long long>(now / 1000),
-               static_cast<long long>(now % 1000), msg.c_str());
+  if (g_sink) {
+    g_sink(level, prefix + msg);
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
 }
 
 }  // namespace mrflow::common

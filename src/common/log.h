@@ -2,8 +2,14 @@
 //
 // The MR driver logs one line per round at INFO; DEBUG traces task
 // scheduling. Benches default to WARN so tables stay clean.
+//
+// Every line carries a monotonic timestamp (seconds since process start),
+// the level tag, and the engine thread index (same ids as trace.h spans),
+// e.g. "[I 12.345 t03] round 2 done". A process-wide sink can be installed
+// to capture formatted lines instead of writing stderr (test harnesses).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +19,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Receives each enabled log line, fully formatted (prefix included, no
+// trailing newline). While a sink is set, nothing is written to stderr.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+// Installs `sink` (replacing any previous one); pass nullptr to restore
+// stderr output. Called lines are serialized by the logger's mutex.
+void set_log_sink(LogSink sink);
 
 // Internal: emit a formatted line if level is enabled.
 void log_line(LogLevel level, const std::string& msg);

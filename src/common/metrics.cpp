@@ -1,0 +1,216 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+namespace mrflow::common {
+
+namespace {
+
+size_t bucket_index(uint64_t value) {
+  // Bucket 0 <- 0; bucket i <- [2^(i-1), 2^i).
+  return value == 0 ? 0 : static_cast<size_t>(64 - std::countl_zero(value));
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::record(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[bucket_index(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+uint64_t Histogram::bucket_lower_bound(size_t i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the buckets.
+  double rank = q * static_cast<double>(count_);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= rank) {
+      // Interpolate inside this bucket, clamped to the observed range.
+      double lo = static_cast<double>(bucket_lower_bound(i));
+      double hi = i == 0 ? 0.0 : static_cast<double>(bucket_lower_bound(i)) * 2;
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+// ---------------------------------------------------------- MetricsSnapshot
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].merge(hist);
+  }
+  for (const auto& [name, value] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":" + std::to_string(h.count());
+    out += ",\"sum\":" + std::to_string(h.sum());
+    out += ",\"min\":" + std::to_string(h.min());
+    out += ",\"max\":" + std::to_string(h.max());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"p50\":";
+    append_double(out, h.quantile(0.50));
+    out += ",\"p95\":";
+    append_double(out, h.quantile(0.95));
+    out += ",\"p99\":";
+    append_double(out, h.quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets()[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[' + std::to_string(Histogram::bucket_lower_bound(i)) + ',' +
+             std::to_string(h.buckets()[i]) + ']';
+    }
+    out += "]}";
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+namespace {
+std::atomic<uint64_t> g_next_registry_id{1};
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Registry-id -> shard cache for this thread. Entries for destroyed
+  // registries are dead weight but never dereferenced: ids are never
+  // reused, so a lookup only matches a live registry.
+  thread_local std::vector<std::pair<uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == id_) return *shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace_back(id_, raw);
+  return *raw;
+}
+
+void MetricsRegistry::record(std::string_view name, uint64_t value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.data.histograms.find(name);
+  if (it == shard.data.histograms.end()) {
+    it = shard.data.histograms.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.record(value);
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, int64_t value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.data.gauges.find(name);
+  if (it == shard.data.gauges.end()) {
+    shard.data.gauges.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::harvest() {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> ls(shard->mu);
+    out.merge(shard->data);
+    shard->data.clear();
+  }
+  cumulative_.merge(out);
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::cumulative() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cumulative_;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // leaked: usable at exit
+  return *g;
+}
+
+}  // namespace mrflow::common

@@ -1,0 +1,124 @@
+// Engine metrics: fixed-bucket histograms and max-gauges, sharded per
+// thread and merged at harvest points.
+//
+// Counters (counters.h) are the paper's *control channel* -- exact named
+// totals read by the driver. Metrics answer a different question: the
+// *distribution* of engine-internal quantities (task durations, run sizes,
+// spill bytes, merge widths, scheduler queue waits) that explain where a
+// pipelined job's wall time goes. Tasks record into a per-thread shard
+// (own mutex, uncontended on the hot path); run_job() harvests all shards
+// into the job's JobStats at job end, so per-job snapshots line up with
+// the per-round reports even though threads are pooled across jobs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrflow::common {
+
+// Histogram over uint64 values with fixed power-of-two buckets: bucket 0
+// holds value 0, bucket i >= 1 holds [2^(i-1), 2^i). 64 buckets cover the
+// whole uint64 range, so recording never saturates and merging histograms
+// of the same shape is exact bucket-wise addition.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void record(uint64_t value);
+  void merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static uint64_t bucket_lower_bound(size_t i);
+
+  // Value at quantile q in [0, 1], interpolated inside the bucket that
+  // crosses the target rank; 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+// A merged, immutable view of a registry's contents: histograms plus
+// max-gauges (high-water marks). This is what JobStats carries.
+struct MetricsSnapshot {
+  std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, int64_t, std::less<>> gauges;
+
+  bool empty() const { return histograms.empty() && gauges.empty(); }
+  void merge(const MetricsSnapshot& other);
+  void clear() {
+    histograms.clear();
+    gauges.clear();
+  }
+
+  // JSON object: {"histograms":{name:{count,sum,min,max,mean,p50,p95,p99,
+  // buckets:[[lower_bound,count],...nonzero only]}},"gauges":{name:value}}.
+  std::string to_json() const;
+};
+
+// Named histograms/gauges with per-thread shards. record()/gauge_max() go
+// to the calling thread's shard (one uncontended mutex + map lookup; no
+// cross-thread contention); harvest() merges every shard into a snapshot
+// and resets them, also folding the delta into a process-lifetime
+// cumulative() total. Safe to call concurrently from any thread; harvest
+// while writers are active loses nothing (each event lands in exactly one
+// snapshot) but is normally called at quiescent points (job end).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void record(std::string_view name, uint64_t value);
+  // Keeps the largest value seen under `name` (queue high-water marks).
+  void gauge_max(std::string_view name, int64_t value);
+
+  // Merges and resets all shards; the returned delta is also added to the
+  // cumulative total.
+  MetricsSnapshot harvest();
+
+  // Everything ever harvested (not including unharvested shard contents).
+  MetricsSnapshot cumulative() const;
+
+  // The process-wide registry the MapReduce engine records into. Jobs run
+  // sequentially per process in this codebase, so harvesting at job end
+  // attributes each delta to the job that just finished.
+  static MetricsRegistry& global();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    MetricsSnapshot data;
+  };
+
+  Shard& local_shard();
+
+  const uint64_t id_;  // never reused; keys the thread-local shard cache
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MetricsSnapshot cumulative_;
+};
+
+}  // namespace mrflow::common

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <memory>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace mrflow::common {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -109,7 +112,12 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (!stop_ && queue_.empty()) {
+        // Span only the genuine blocks, so traces show scheduler idle gaps
+        // without one event per dequeued task.
+        TraceSpan idle("idle", "sched");
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -152,8 +160,19 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
       }
     }
   }
-  if (ready) pool_->post([this, id] { execute(id); });
+  if (ready) dispatch(id);
   return id;
+}
+
+// Posts a graph task to the pool, recording how long it sat in the pool
+// queue before a worker picked it up (reduce queue wait, fetch latency).
+void TaskGraph::dispatch(TaskId id) {
+  const uint64_t posted_ns = trace::now_ns();
+  pool_->post([this, id, posted_ns] {
+    MetricsRegistry::global().record(
+        "sched.task_wait_us", (trace::now_ns() - posted_ns) / 1000);
+    execute(id);
+  });
 }
 
 void TaskGraph::execute(TaskId id) {
@@ -176,7 +195,7 @@ void TaskGraph::execute(TaskId id) {
     // outside the lock so task bodies never run under mu_.
     ready.swap(ready_);
   }
-  for (TaskId r : ready) pool_->post([this, r] { execute(r); });
+  for (TaskId r : ready) dispatch(r);
 }
 
 void TaskGraph::finish_locked(TaskId id, std::exception_ptr err) {

@@ -117,6 +117,8 @@ class TaskGraph {
   };
 
   void execute(TaskId id);
+  // Posts execute(id) to the pool, timing its stay in the pool queue.
+  void dispatch(TaskId id);
   // Marks `id` finished (with `err` if it threw or was skipped), fulfils
   // its promise, and releases/poisons its dependents. Caller holds mu_.
   void finish_locked(TaskId id, std::exception_ptr err);

@@ -1,0 +1,240 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mrflow::common {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_index{0};
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  int64_t arg;
+};
+
+// One thread's span log. A fixed-capacity ring: when full, the oldest
+// events are overwritten (the tail of a run matters more than its warm-up)
+// and the overwrites are counted. Guarded by its own mutex -- uncontended
+// on the hot path (only the owning thread appends; export and clear are
+// quiescent-time operations, but the lock makes them safe regardless).
+struct ThreadLog {
+  static constexpr size_t kCapacity = 1 << 16;
+
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<TraceEvent> ring;
+  size_t next = 0;        // slot for the next event
+  size_t dropped = 0;     // events overwritten after the ring filled
+  bool wrapped = false;
+
+  void push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (ring.size() < kCapacity) {
+      ring.push_back(e);
+      next = ring.size() % kCapacity;
+      return;
+    }
+    ring[next] = e;
+    next = (next + 1) % kCapacity;
+    wrapped = true;
+    ++dropped;
+  }
+};
+
+// Registry of every thread's log, in thread_index order. Logs are created
+// on a thread's first recorded span and live for the process (a handful of
+// KB each until events arrive), so export can run after threads exit.
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: usable at exit
+  return *s;
+}
+
+ThreadLog& thread_log() {
+  thread_local ThreadLog* log = [] {
+    auto owned = std::make_unique<ThreadLog>();
+    owned->tid = thread_index();
+    ThreadLog* raw = owned.get();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.logs.push_back(std::move(owned));
+    return raw;
+  }();
+  return *log;
+}
+
+uint64_t process_epoch_ns() {
+  static const uint64_t epoch = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first now_ns() is cheap and
+// timestamps are small.
+const uint64_t g_epoch_init = process_epoch_ns();
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_event_json(std::string& out, uint32_t tid, const TraceEvent& e) {
+  char buf[96];
+  out += "{\"name\":\"";
+  append_json_escaped(out, e.name);
+  out += "\",\"cat\":\"";
+  append_json_escaped(out, e.cat);
+  out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                static_cast<double>(e.start_ns) / 1e3,
+                static_cast<double>(e.dur_ns) / 1e3);
+  out += buf;
+  if (e.arg >= 0) {
+    out += ",\"args\":{\"task\":";
+    out += std::to_string(e.arg);
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+uint32_t thread_index() {
+  thread_local uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+namespace trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  (void)process_epoch_ns();  // pin the epoch before the first span
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) -
+         process_epoch_ns();
+}
+
+void record_span(const char* name, const char* cat, uint64_t start_ns,
+                 uint64_t end_ns, int64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.arg = arg;
+  thread_log().push(e);
+}
+
+void clear() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (auto& log : s.logs) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    log->ring.clear();
+    log->next = 0;
+    log->dropped = 0;
+    log->wrapped = false;
+  }
+}
+
+size_t event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  size_t n = 0;
+  for (auto& log : s.logs) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    n += log->ring.size();
+  }
+  return n;
+}
+
+size_t dropped_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  size_t n = 0;
+  for (auto& log : s.logs) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    n += log->dropped;
+  }
+  return n;
+}
+
+std::string chrome_trace_json() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (auto& log : s.logs) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    if (log->ring.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    // Thread metadata so viewers label rows with the engine's thread ids.
+    char name[40];
+    std::snprintf(name, sizeof(name), "thread-%u", log->tid);
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(log->tid);
+    out += ",\"args\":{\"name\":\"";
+    out += name;
+    out += "\"}}";
+    // Ring order: oldest surviving event first.
+    size_t n = log->ring.size();
+    size_t begin = log->wrapped ? log->next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out += ',';
+      append_event_json(out, log->tid, log->ring[(begin + i) % n]);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::string doc = chrome_trace_json();
+  doc += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace trace
+
+}  // namespace mrflow::common

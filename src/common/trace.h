@@ -1,0 +1,93 @@
+// Low-overhead span tracer for the MapReduce engine.
+//
+// The pipelined scheduler (PR 2) overlaps map, shuffle-fetch and reduce
+// work across the executor pool, so "where does wall time go" is no longer
+// answerable from per-phase counters alone. TraceSpan records the real
+// [start, end) interval of one unit of engine work -- a map task, an eager
+// fetch, a reduce merge, an aug_proc call, a worker's idle wait -- into a
+// per-thread ring buffer, exported as Chrome trace-event JSON that loads
+// directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost contract: tracing is off by default and gated by one atomic flag; a
+// disabled TraceSpan is a relaxed load and a branch (no clock read, no
+// allocation). Enabled spans pay two steady_clock reads plus an uncontended
+// per-thread mutex push; bench_trace_overhead enforces both bounds against
+// the Fig. 7 workload. Span names/categories must be string literals (or
+// otherwise outlive the trace) -- the buffers store the pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mrflow::common {
+
+// Small sequential id of the calling thread (0, 1, 2, ... in first-use
+// order). Stable for the thread's lifetime; used by trace events and log
+// line prefixes so interleaved output is attributable.
+uint32_t thread_index();
+
+namespace trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// Global switch. Spans started while disabled record nothing even if
+// tracing is enabled before they end.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// Monotonic nanoseconds since process start (steady clock).
+uint64_t now_ns();
+
+// Appends one completed span to the calling thread's ring buffer. `name`
+// and `cat` must outlive the trace; `arg` < 0 means "no task id".
+void record_span(const char* name, const char* cat, uint64_t start_ns,
+                 uint64_t end_ns, int64_t arg);
+
+// Drops every recorded event (the enabled flag is unchanged).
+void clear();
+
+// Events currently held across all thread buffers / events overwritten
+// because a ring filled up.
+size_t event_count();
+size_t dropped_count();
+
+// The trace as a Chrome trace-event JSON document ("traceEvents" array of
+// "ph":"X" complete events; ts/dur in microseconds, tid = thread_index()).
+std::string chrome_trace_json();
+
+// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace trace
+
+// RAII span: measures construction-to-destruction on the calling thread.
+// Usage: TraceSpan span("reduce", "task", /*arg=*/task_id);
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat, int64_t arg = -1)
+      : name_(name), cat_(cat), arg_(arg) {
+    start_ = trace::enabled() ? trace::now_ns() : kDisabled;
+  }
+  ~TraceSpan() {
+    if (start_ != kDisabled) {
+      trace::record_span(name_, cat_, start_, trace::now_ns(), arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static constexpr uint64_t kDisabled = ~uint64_t{0};
+  const char* name_;
+  const char* cat_;
+  int64_t arg_;
+  uint64_t start_;
+};
+
+}  // namespace mrflow::common

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/trace.h"
+
 namespace mrflow::dfs {
 
 namespace {
@@ -122,6 +124,7 @@ void FileWriter::flush_block() {
 
 void FileWriter::close() {
   if (closed_) return;
+  common::TraceSpan span("dfs.write", "io");
   flush_block();
   fs_->commit_file(name_, std::move(blocks_), bytes_written_);
   closed_ = true;
@@ -184,6 +187,8 @@ FileReader FileSystem::open(const std::string& name, int reader_node) const {
 }
 
 Bytes FileSystem::read_all(const std::string& name, int reader_node) const {
+  // File-level span only: per-record reads are far too hot to trace.
+  common::TraceSpan span("dfs.read", "io");
   FileReader r = open(name, reader_node);
   Bytes out;
   out.reserve(r.size());
@@ -202,6 +207,7 @@ void FileSystem::write_all(const std::string& name, std::string_view data) {
 
 Bytes FileSystem::read_block(const std::string& name, size_t block_index,
                              int reader_node) const {
+  common::TraceSpan span("dfs.read_block", "io");
   FileInfo info = stat(name);
   if (block_index >= info.blocks.size()) {
     throw std::out_of_range("read_block: block index out of range");

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace mrflow::ffmr {
 
 serde::Bytes encode_candidate_request(const ExcessPath& path) {
@@ -12,12 +15,14 @@ serde::Bytes encode_candidate_request(const ExcessPath& path) {
   return w.take();
 }
 
-serde::Bytes encode_bulk_request(int64_t round, int64_t accepted_paths,
+serde::Bytes encode_bulk_request(int64_t round, int64_t offered_paths,
+                                 int64_t accepted_paths,
                                  Capacity accepted_amount,
                                  const AugmentedEdges& deltas) {
   ByteWriter w;
   w.put_u8(kAugRequestBulk);
   w.put_varint(static_cast<uint64_t>(round));
+  w.put_varint(static_cast<uint64_t>(offered_paths));
   w.put_varint(static_cast<uint64_t>(accepted_paths));
   w.put_varint(static_cast<uint64_t>(accepted_amount));
   w.put_bytes(deltas.encode());
@@ -54,6 +59,8 @@ serde::Bytes AugmenterService::handle(std::string_view request) {
         queue_.push_back(std::move(path));
         outcome_.max_queue = std::max(
             outcome_.max_queue, static_cast<int64_t>(queue_.size()));
+        common::MetricsRegistry::global().gauge_max(
+            "aug.queue_hwm", static_cast<int64_t>(queue_.size()));
         cv_work_.notify_one();
       } else {
         // Reducers run concurrently, so arrival order here is a scheduling
@@ -67,13 +74,16 @@ serde::Bytes AugmenterService::handle(std::string_view request) {
     }
     case kAugRequestBulk: {
       int64_t round = static_cast<int64_t>(r.get_varint());
+      int64_t offered = static_cast<int64_t>(r.get_varint());
       int64_t paths = static_cast<int64_t>(r.get_varint());
       Capacity amount = static_cast<Capacity>(r.get_varint());
       AugmentedEdges deltas = AugmentedEdges::decode(r.get_bytes());
       std::lock_guard<std::mutex> lk(mu_);
       // Drop duplicate deliveries from re-executed reducer attempts.
       if (!bulk_rounds_seen_.insert(round).second) return {};
+      outcome_.candidates += offered;
       outcome_.accepted_paths += paths;
+      outcome_.rejected_paths += offered - paths;
       outcome_.accepted_amount += amount;
       // Bulk deltas bypass the accumulator: FF1's sink reducer already
       // resolved conflicts. Stored directly on the outcome.
@@ -103,10 +113,19 @@ serde::Bytes AugmenterService::handle(std::string_view request) {
 
 void AugmenterService::process(const ExcessPath& path) {
   // Called with mu_ held.
+  common::TraceSpan span("aug.accept", "aug");
+  const uint64_t t0 = common::trace::now_ns();
   Capacity amount = accumulator_.accept(path, AcceptMode::kMaxBottleneck);
+  const uint64_t elapsed = common::trace::now_ns() - t0;
   if (amount > 0) {
     ++outcome_.accepted_paths;
     outcome_.accepted_amount += amount;
+    common::MetricsRegistry::global().record("aug.accept_ns", elapsed);
+  } else {
+    // Rejected: the residual capacity this path needed was reserved by an
+    // earlier-accepted path (the paper's conflict case).
+    ++outcome_.rejected_paths;
+    common::MetricsRegistry::global().record("aug.reject_ns", elapsed);
   }
 }
 

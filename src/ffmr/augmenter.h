@@ -37,8 +37,11 @@ inline constexpr uint8_t kAugRequestBulk = 2;       // + count, amount, deltas
 serde::Bytes encode_candidate_request(const ExcessPath& path);
 // `round` deduplicates re-deliveries: a retried sink-reducer attempt (task
 // fault tolerance is at-least-once) resends an identical bulk outcome, and
-// only the first copy per round is merged.
-serde::Bytes encode_bulk_request(int64_t round, int64_t accepted_paths,
+// only the first copy per round is merged. `offered_paths` is how many
+// candidates the sink reducer considered (accepted + rejected), so FF1
+// rounds report the same accept/reject breakdown as FF2+'s aug_proc.
+serde::Bytes encode_bulk_request(int64_t round, int64_t offered_paths,
+                                 int64_t accepted_paths,
                                  Capacity accepted_amount,
                                  const AugmentedEdges& deltas);
 
@@ -47,6 +50,7 @@ class AugmenterService final : public mr::Service {
   struct RoundOutcome {
     int64_t candidates = 0;       // candidate paths received
     int64_t accepted_paths = 0;   // Table I "A-Paths"
+    int64_t rejected_paths = 0;   // offered but lost to an earlier path
     Capacity accepted_amount = 0; // flow value gained this round
     int64_t max_queue = 0;        // Table I "MaxQ"
     AugmentedEdges deltas;        // the next round's broadcast

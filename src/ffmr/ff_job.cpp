@@ -336,11 +336,16 @@ class FfMapper final : public mr::Mapper {
       }
     }
 
-    EmitFragmentFn emit = [&ctx](VertexId neighbor,
-                                 const VertexValue& fragment) {
+    int64_t extended = 0;
+    EmitFragmentFn emit = [&ctx, &extended](VertexId neighbor,
+                                            const VertexValue& fragment) {
       ctx.emit(encode_vertex_key(neighbor), fragment.encoded());
+      ++extended;
     };
     plan_extensions(master, u, params_, &emit);
+    if (extended > 0) {
+      ctx.counters().increment(counter::kPathsExtended, extended);
+    }
 
     if (!params_.schimmy) ctx.emit(key, master.encoded());
   }
@@ -425,10 +430,13 @@ class FfReducer final : public mr::Reducer {
         for (const ExcessPath& cand : incoming_source) {
           ap.accept(cand, mode);
         }
-        if (ap.accepted_count() > 0) {
+        // Ship the outcome whenever candidates were offered, even if all
+        // were rejected, so the round report sees the reject count.
+        if (!incoming_source.empty()) {
           ctx.call_service(
               kAugmenterService,
               encode_bulk_request(params_.round,
+                                  static_cast<int64_t>(incoming_source.size()),
                                   static_cast<int64_t>(ap.accepted_count()),
                                   ap.accepted_amount(),
                                   ap.to_augmented_edges()));

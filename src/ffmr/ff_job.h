@@ -50,6 +50,8 @@ inline constexpr const char* kSourceMove = "source move";
 inline constexpr const char* kSinkMove = "sink move";
 inline constexpr const char* kCandidates = "candidates generated";
 inline constexpr const char* kFragmentsDropped = "fragments dropped";
+// Excess-path extension fragments MAP emitted to neighbors (per round).
+inline constexpr const char* kPathsExtended = "paths extended";
 }  // namespace counter
 
 // Name of the aug_proc service in the job's ServiceRegistry.

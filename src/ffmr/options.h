@@ -67,6 +67,12 @@ struct FfmrOptions {
 
   std::string base = "ffmr";  // DFS path prefix
 
+  // Host-filesystem path for the per-round JSONL report (one JSON object
+  // per completed round: moves, paths offered/accepted/rejected, delta
+  // flow, shuffle/schimmy bytes, sim vs wall seconds, all counters).
+  // Empty = no report.
+  std::string round_report;
+
   // Ablation overrides; unset = derived from `variant`.
   std::optional<bool> use_aug_proc;   // default: variant >= FF2
   std::optional<bool> use_schimmy;    // default: variant >= FF3

@@ -16,6 +16,23 @@ std::string aug_file_name(const std::string& base, int round) {
   return base + "/aug-" + std::to_string(round);
 }
 
+// Renders the FFMR-specific round-report fields (see RoundReportWriter):
+// a comma-led fragment spliced into the generic per-round JSON line.
+std::string round_report_extra(const RoundInfo& info, Capacity total_flow) {
+  std::string out = ",\"source_moves\":" + std::to_string(info.source_moves);
+  out += ",\"sink_moves\":" + std::to_string(info.sink_moves);
+  out += ",\"paths_extended\":" + std::to_string(info.paths_extended);
+  out += ",\"paths_offered\":" + std::to_string(info.candidates);
+  out += ",\"paths_accepted\":" + std::to_string(info.accepted_paths);
+  out += ",\"paths_rejected\":" + std::to_string(info.rejected_paths);
+  out += ",\"delta_flow\":" + std::to_string(info.accepted_amount);
+  out += ",\"total_flow\":" + std::to_string(total_flow);
+  out += ",\"max_queue\":" + std::to_string(info.max_queue);
+  out += ",\"restart\":";
+  out += info.restart ? "true" : "false";
+  return out;
+}
+
 // Reads the final round's partition files and reconstructs the per-pair
 // flow assignment from the master records' edge states.
 graph::FlowAssignment extract_assignment(mr::Cluster& cluster,
@@ -81,6 +98,14 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
 
   mr::JobChain chain(cluster, base);
 
+  // Per-round JSONL report on the host filesystem (tail-able mid-run).
+  // The solver writes enriched lines itself -- the augmenter outcome is
+  // known only after finish_round() -- so the chain hook stays unset.
+  std::unique_ptr<mr::RoundReportWriter> report;
+  if (!options.round_report.empty()) {
+    report = std::make_unique<mr::RoundReportWriter>(options.round_report);
+  }
+
   // ---------------------------------------------------------- round #0
   {
     mr::JobSpec spec;
@@ -97,8 +122,11 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
 
     RoundInfo info;
     info.round = 0;
+    info.source_moves = stats.counters.value(counter::kSourceMove);
+    info.sink_moves = stats.counters.value(counter::kSinkMove);
     info.stats = stats;
     result.max_graph_bytes = stats.output_bytes;
+    if (report) report->write_round(0, stats, round_report_extra(info, 0));
     result.rounds_info.push_back(std::move(info));
   }
   // Empty broadcast for round 1.
@@ -140,12 +168,18 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     info.round = round;
     info.candidates = outcome.candidates;
     info.accepted_paths = outcome.accepted_paths;
+    info.rejected_paths = outcome.rejected_paths;
     info.accepted_amount = outcome.accepted_amount;
     info.max_queue = outcome.max_queue;
     info.source_moves = stats.counters.value(counter::kSourceMove);
     info.sink_moves = stats.counters.value(counter::kSinkMove);
+    info.paths_extended = stats.counters.value(counter::kPathsExtended);
     info.restart = restart;
     info.stats = stats;
+    if (report) {
+      report->write_round(round, stats,
+                          round_report_extra(info, result.max_flow));
+    }
     result.rounds_info.push_back(std::move(info));
 
     LOG_INFO << base << " round " << round << ": accepted="

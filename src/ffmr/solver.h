@@ -31,10 +31,12 @@ struct RoundInfo {
   int round = 0;                 // 0 = graph build
   int64_t candidates = 0;        // candidate paths offered
   int64_t accepted_paths = 0;    // "A-Paths"
+  int64_t rejected_paths = 0;    // offered but lost to an earlier path
   Capacity accepted_amount = 0;  // flow gained
   int64_t max_queue = 0;         // "MaxQ" (aug_proc)
   int64_t source_moves = 0;
   int64_t sink_moves = 0;
+  int64_t paths_extended = 0;    // excess-path fragments MAP sent
   bool restart = false;          // this round cleared and re-explored
   mr::JobStats stats;            // "Map Out", "Shuffle", "Runtime", ...
 };

@@ -2,7 +2,89 @@
 
 #include <stdexcept>
 
+#include "common/log.h"
+
 namespace mrflow::mr {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- RoundReportWriter
+
+RoundReportWriter::RoundReportWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    LOG_WARN << "round report: cannot open '" << path << "'; reporting off";
+  }
+}
+
+RoundReportWriter::~RoundReportWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RoundReportWriter::write_round(int round, const JobStats& stats,
+                                    const std::string& extra_json) {
+  if (file_ == nullptr) return;
+  std::string line = "{\"round\":" + std::to_string(round);
+  line += ",\"job\":";
+  append_json_string(line, stats.job_name);
+  line += ",\"map_tasks\":" + std::to_string(stats.num_map_tasks);
+  line += ",\"reduce_tasks\":" + std::to_string(stats.num_reduce_tasks);
+  line += ",\"map_output_records\":" + std::to_string(stats.map_output_records);
+  line += ",\"reduce_output_records\":" +
+          std::to_string(stats.reduce_output_records);
+  line += ",\"shuffle_bytes\":" + std::to_string(stats.shuffle_bytes);
+  line += ",\"schimmy_bytes\":" + std::to_string(stats.schimmy_bytes);
+  line += ",\"spill_bytes\":" + std::to_string(stats.spill_bytes);
+  line += ",\"output_bytes\":" + std::to_string(stats.output_bytes);
+  line += ",\"task_retries\":" + std::to_string(stats.task_retries);
+  line += ",\"sim_seconds\":";
+  append_json_double(line, stats.sim_seconds);
+  line += ",\"wall_seconds\":";
+  append_json_double(line, stats.wall_seconds);
+  line += extra_json;
+  // Every named counter, verbatim: the report shows the exact totals the
+  // driver's control channel read (source/sink moves, ...).
+  line += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : stats.counters.snapshot()) {
+    if (!first) line += ',';
+    first = false;
+    append_json_string(line, name);
+    line += ':' + std::to_string(value);
+  }
+  line += "}}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);  // line-buffered on purpose: reports are tail-able
+}
+
+void RoundReportWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
 
 JobChain::JobChain(Cluster& cluster, std::string base)
     : cluster_(cluster), base_(std::move(base)) {
@@ -37,6 +119,7 @@ const JobStats& JobChain::run_round(JobSpec spec) {
   JobStats stats = run_job(cluster_, spec);
   rounds_.push_back(std::move(stats));
   reducers_per_round_.push_back(rounds_.back().num_reduce_tasks);
+  if (report_ != nullptr) report_->write_round(round, rounds_.back());
 
   if (gc_ && round >= 2) {
     for (const auto& f : outputs_of(round - 2)) cluster_.fs().remove(f);

@@ -8,12 +8,42 @@
 // (FF3) re-reads it in the next round's reducers.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "mapreduce/job.h"
 
 namespace mrflow::mr {
+
+// Streams one JSON object per completed round to a host-filesystem file
+// (JSONL: one line per round, appendable, tail-able while a solver runs).
+// Each line carries the round index, job name, the headline JobStats
+// byte/record fields, sim vs wall seconds, and every named counter under
+// "counters" -- so consumers read the exact values the driver's
+// termination logic saw. Callers can inject extra key/value pairs
+// (pre-rendered JSON) per line; the FFMR solver uses that for the
+// augmenter outcome (paths offered/accepted/rejected, delta flow, MaxQ).
+class RoundReportWriter {
+ public:
+  explicit RoundReportWriter(const std::string& path);
+  ~RoundReportWriter();
+
+  RoundReportWriter(const RoundReportWriter&) = delete;
+  RoundReportWriter& operator=(const RoundReportWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Appends one line. `extra_json` is either empty or a comma-led JSON
+  // fragment (",\"k\":v,...") spliced into the object before "counters".
+  void write_round(int round, const JobStats& stats,
+                   const std::string& extra_json = "");
+
+  void flush();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
 
 class JobChain {
  public:
@@ -43,6 +73,13 @@ class JobChain {
   // completes (round i-1 stays for schimmy).
   void set_gc(bool gc) { gc_ = gc; }
 
+  // Attaches a round report (not owned; may be nullptr to detach): every
+  // run_round() appends one generic JSONL line after the job completes.
+  // Drivers that enrich lines themselves (the FFMR solver adds augmenter
+  // fields known only after its round barrier) write through the same
+  // RoundReportWriter directly instead of attaching it here.
+  void set_round_report(RoundReportWriter* report) { report_ = report; }
+
   Cluster& cluster() { return cluster_; }
 
  private:
@@ -51,6 +88,7 @@ class JobChain {
   std::vector<JobStats> rounds_;
   std::vector<int> reducers_per_round_;
   bool gc_ = true;
+  RoundReportWriter* report_ = nullptr;
 };
 
 }  // namespace mrflow::mr

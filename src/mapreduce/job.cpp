@@ -10,7 +10,9 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "dfs/record_io.h"
 #include "mapreduce/merge.h"
 
@@ -182,6 +184,7 @@ void JobStats::accumulate(const JobStats& other) {
   rpc_request_bytes += other.rpc_request_bytes;
   rpc_response_bytes += other.rpc_response_bytes;
   task_retries += other.task_retries;
+  metrics.merge(other.metrics);
   map_sim_s += other.map_sim_s;
   shuffle_sim_s += other.shuffle_sim_s;
   reduce_sim_s += other.reduce_sim_s;
@@ -467,26 +470,31 @@ struct MergeStream {
 void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
                       const std::vector<ReduceRun>& runs, int r, int node,
                       SideFileCache* side_cache, ReduceTaskResult& result) {
+  common::TraceSpan merge_span("merge", "shuffle", r);
   double cpu0 = thread_cpu_seconds();
 
   // Stream 0 is schimmy; streams 1..M the map runs in task order.
   std::vector<MergeStream> streams(runs.size() + 1);
+  size_t merge_width = 0;  // sorted inputs actually carrying records
   {
     std::optional<dfs::RecordReader> schimmy =
         open_schimmy(cluster, spec, r, node, result);
     if (schimmy) {
       streams[0].reader.emplace(std::move(*schimmy));
       streams[0].check_sorted = true;
+      ++merge_width;
     }
   }
   for (size_t m = 0; m < runs.size(); ++m) {
     result.shuffle_in_bytes += runs[m].size;
+    if (runs[m].size > 0) ++merge_width;
     if (runs[m].buffer != nullptr) {
       streams[m + 1].cursor = FramedCursor(std::string_view(*runs[m].buffer));
     } else if (!runs[m].file.empty()) {
       streams[m + 1].reader.emplace(&cluster.fs(), runs[m].file, node);
     }
   }
+  common::MetricsRegistry::global().record("reduce.merge_width", merge_width);
 
   LoserTree tree;
   tree.reset(streams.size());
@@ -604,6 +612,7 @@ int run_with_retries(const ClusterConfig& config, const std::string& job,
 }  // namespace
 
 JobStats run_job(Cluster& cluster, const JobSpec& spec) {
+  common::TraceSpan job_span("job", "job");
   auto wall_start = std::chrono::steady_clock::now();
   if (!spec.mapper) throw std::invalid_argument("job has no mapper");
   if (!spec.reducer) throw std::invalid_argument("job has no reducer");
@@ -664,6 +673,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   std::atomic<int64_t> task_retries{0};
 
   auto map_body = [&](size_t ti) {
+    common::TraceSpan span("map", "task", static_cast<int64_t>(ti));
+    const uint64_t t0 = common::trace::now_ns();
     const MapTaskSpec& task = map_tasks[ti];
     MapTaskResult& result = map_results[ti];
     result = MapTaskResult{};  // restartable: reset any failed attempt
@@ -712,10 +723,15 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     // node (Hadoop's mapper-local disk) and free the in-memory copy. The
     // cost model already charges the map-output disk write in every mode.
     result.partition_sizes.resize(num_reducers);
+    auto& metrics = common::MetricsRegistry::global();
     for (int r = 0; r < num_reducers; ++r) {
       result.partition_sizes[r] = result.partitions[r].size();
+      if (result.partition_sizes[r] > 0) {
+        metrics.record("map.run_bytes", result.partition_sizes[r]);
+      }
     }
     if (spill) {
+      common::TraceSpan spill_span("spill", "io", static_cast<int64_t>(ti));
       for (int r = 0; r < num_reducers; ++r) {
         Bytes& part = result.partitions[r];
         if (part.empty()) continue;
@@ -729,7 +745,9 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       }
       result.partitions.clear();
       result.partitions.shrink_to_fit();
+      metrics.record("map.spill_bytes", result.spilled_bytes);
     }
+    metrics.record("map.task_us", (common::trace::now_ns() - t0) / 1000);
   };
 
   // Eagerly fetched spilled runs per reduce task (pipelined+spill): fetch
@@ -748,6 +766,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   auto fetch_body = [&](size_t r, size_t ti) {
     const uint64_t size = map_results[ti].partition_sizes[r];
     if (size == 0) return;
+    common::TraceSpan span("fetch", "shuffle", static_cast<int64_t>(r));
     const uint64_t budget = cluster.config().reduce_fetch_buffer_bytes;
     const uint64_t prev = fetched_bytes[r].fetch_add(size);
     if (prev + size > budget) {
@@ -759,6 +778,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   };
 
   auto reduce_body = [&](size_t r) {
+    common::TraceSpan span("reduce", "task", static_cast<int64_t>(r));
+    const uint64_t t0 = common::trace::now_ns();
     ReduceTaskResult& result = reduce_results[r];
     result = ReduceTaskResult{};  // restartable: reset any failed attempt
     const int node = reduce_node(static_cast<int>(r));
@@ -783,6 +804,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       run_reduce_merge(cluster, spec, runs, static_cast<int>(r), node,
                        &side_cache, result);
     }
+    common::MetricsRegistry::global().record(
+        "reduce.task_us", (common::trace::now_ns() - t0) / 1000);
   };
 
   auto run_map_task = [&](size_t ti) {
@@ -934,6 +957,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   if (spec.delete_inputs_after) {
     for (const auto& f : spec.inputs) cluster.fs().remove(f);
   }
+
+  // Attribute everything recorded since the previous harvest (jobs run
+  // sequentially per process) to this job.
+  stats.metrics = common::MetricsRegistry::global().harvest();
 
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)

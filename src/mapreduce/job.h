@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/service.h"
@@ -267,6 +268,12 @@ struct JobStats {
   double wall_seconds = 0;  // real time on this host
 
   common::CounterSet counters;
+
+  // Engine metric distributions recorded while this job ran (task
+  // durations, run sizes, merge widths, scheduler waits, ...), harvested
+  // from MetricsRegistry::global() at job end. Jobs run sequentially per
+  // process, so the harvest delta belongs to this job.
+  common::MetricsSnapshot metrics;
 
   // Accumulates another job's stats (multi-round totals).
   void accumulate(const JobStats& other);

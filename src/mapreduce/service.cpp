@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/trace.h"
+
 namespace mrflow::mr {
 
 void ServiceRegistry::add(const std::string& name,
@@ -17,6 +19,7 @@ bool ServiceRegistry::has(const std::string& name) const {
 
 serde::Bytes ServiceRegistry::call(const std::string& name,
                                    std::string_view request) {
+  common::TraceSpan span("rpc", "service");
   std::shared_ptr<Service> svc;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -1,4 +1,5 @@
-// Unit tests for rng, thread pool, counters, table rendering and flags.
+// Unit tests for rng, thread pool, counters, metrics, tracing, logging,
+// table rendering and flags.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -6,13 +7,17 @@
 #include <future>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/flags.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace mrflow {
 namespace {
@@ -379,6 +384,220 @@ TEST(Counters, CopySnapshot) {
   a.increment("k");
   EXPECT_EQ(b.value("k"), 7);
   EXPECT_EQ(a.value("k"), 8);
+}
+
+// Hammer the sharded write path from a pool: totals must be exact, for
+// both the add and the max maps, with reads racing the writers.
+TEST(Counters, ConcurrentShardedExactTotals) {
+  common::CounterSet c;
+  common::ThreadPool pool(8);
+  constexpr size_t kIters = 20'000;
+  pool.parallel_for(kIters, [&](size_t i) {
+    c.increment("total");
+    c.increment(i % 2 == 0 ? "even" : "odd", 2);
+    c.set_max("hwm", static_cast<int64_t>(i));
+    if (i % 1000 == 0) (void)c.value("total");  // reads race the writers
+  });
+  EXPECT_EQ(c.value("total"), static_cast<int64_t>(kIters));
+  EXPECT_EQ(c.value("even"), static_cast<int64_t>(kIters));
+  EXPECT_EQ(c.value("odd"), static_cast<int64_t>(kIters));
+  EXPECT_EQ(c.value("hwm"), static_cast<int64_t>(kIters - 1));
+  auto snap = c.snapshot();
+  EXPECT_EQ(snap["total"], static_cast<int64_t>(kIters));
+}
+
+TEST(Counters, ClearResetsShards) {
+  common::CounterSet c;
+  common::ThreadPool pool(4);
+  pool.parallel_for(100, [&](size_t) { c.increment("n"); });
+  c.clear();
+  EXPECT_EQ(c.value("n"), 0);
+  c.increment("n", 3);
+  EXPECT_EQ(c.value("n"), 3);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Histogram, BucketsAndStats) {
+  common::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 4.0);
+  // value 0 -> bucket 0; 1 -> [1,2); 5 -> [4,8); 1000 -> [512,1024).
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+}
+
+TEST(Histogram, BucketLowerBounds) {
+  EXPECT_EQ(common::Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(common::Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(common::Histogram::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(common::Histogram::bucket_lower_bound(3), 4u);
+  EXPECT_EQ(common::Histogram::bucket_lower_bound(11), 1024u);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  common::Histogram h;
+  for (uint64_t v = 100; v < 200; ++v) h.record(v);
+  EXPECT_GE(h.quantile(0.0), 100.0);
+  EXPECT_LE(h.quantile(1.0), 199.0);
+  double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 199.0);
+}
+
+TEST(Histogram, MergeIsExact) {
+  common::Histogram a, b;
+  a.record(3);
+  a.record(70);
+  b.record(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 82u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 70u);
+}
+
+TEST(Metrics, RegistryHarvestAndCumulative) {
+  common::MetricsRegistry reg;
+  reg.record("lat", 10);
+  reg.record("lat", 20);
+  reg.gauge_max("q", 5);
+  reg.gauge_max("q", 3);
+  auto snap = reg.harvest();
+  EXPECT_EQ(snap.histograms.at("lat").count(), 2u);
+  EXPECT_EQ(snap.histograms.at("lat").sum(), 30u);
+  EXPECT_EQ(snap.gauges.at("q"), 5);
+  // Harvest resets the shards; cumulative keeps the running total.
+  auto empty = reg.harvest();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(reg.cumulative().histograms.at("lat").count(), 2u);
+}
+
+// Every thread records into its own shard; harvest must see every event
+// exactly once regardless of which pool threads did the recording.
+TEST(Metrics, ConcurrentRecordExactCounts) {
+  common::MetricsRegistry reg;
+  common::ThreadPool pool(8);
+  constexpr size_t kIters = 20'000;
+  pool.parallel_for(kIters, [&](size_t i) {
+    reg.record("v", i);
+    reg.gauge_max("peak", static_cast<int64_t>(i));
+  });
+  auto snap = reg.harvest();
+  const auto& h = snap.histograms.at("v");
+  EXPECT_EQ(h.count(), kIters);
+  EXPECT_EQ(h.sum(), kIters * (kIters - 1) / 2);
+  EXPECT_EQ(h.max(), kIters - 1);
+  EXPECT_EQ(snap.gauges.at("peak"), static_cast<int64_t>(kIters - 1));
+}
+
+TEST(Metrics, SnapshotMergeAndJson) {
+  common::MetricsSnapshot a, b;
+  a.histograms["h"].record(4);
+  a.gauges["g"] = 7;
+  b.histograms["h"].record(8);
+  b.gauges["g"] = 3;  // merge keeps the max
+  a.merge(b);
+  EXPECT_EQ(a.histograms["h"].count(), 2u);
+  EXPECT_EQ(a.gauges["g"], 7);
+  std::string json = a.to_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, DisabledRecordsNothing) {
+  common::trace::clear();
+  common::trace::set_enabled(false);
+  { common::TraceSpan span("t.noop", "test"); }
+  EXPECT_EQ(common::trace::event_count(), 0u);
+}
+
+TEST(Trace, RecordsAndExportsSpans) {
+  common::trace::clear();
+  common::trace::set_enabled(true);
+  { common::TraceSpan span("t.unit", "test", /*arg=*/42); }
+  common::ThreadPool pool(4);
+  pool.parallel_for(64, [&](size_t) {
+    common::TraceSpan span("t.parallel", "test");
+  });
+  common::trace::set_enabled(false);
+  // >= rather than ==: pool workers record their own "idle" spans.
+  EXPECT_GE(common::trace::event_count(), 65u);
+  std::string json = common::trace::chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"t.unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"task\":42"), std::string::npos);
+  size_t parallel_spans = 0;
+  for (size_t pos = 0; (pos = json.find("\"t.parallel\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++parallel_spans;
+  }
+  EXPECT_EQ(parallel_spans, 64u);
+  common::trace::clear();
+  EXPECT_EQ(common::trace::event_count(), 0u);
+}
+
+TEST(Trace, SpanStartedWhileDisabledNeverRecords) {
+  common::trace::clear();
+  common::trace::set_enabled(false);
+  {
+    common::TraceSpan span("t.straddle", "test");
+    common::trace::set_enabled(true);  // flipped on mid-span
+  }
+  common::trace::set_enabled(false);
+  EXPECT_EQ(common::trace::event_count(), 0u);
+  common::trace::clear();
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, SinkCapturesPrefixedLines) {
+  std::vector<std::pair<common::LogLevel, std::string>> captured;
+  common::set_log_sink([&](common::LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  auto saved = common::log_level();
+  common::set_log_level(common::LogLevel::kInfo);
+  LOG_INFO << "hello " << 42;
+  LOG_WARN << "uh oh";
+  common::set_log_level(saved);
+  common::set_log_sink(nullptr);  // restore stderr
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, common::LogLevel::kInfo);
+  // "[I <ms>.<us> tNN] hello 42" -- level tag, timestamp, thread id.
+  EXPECT_EQ(captured[0].second[0], '[');
+  EXPECT_EQ(captured[0].second[1], 'I');
+  EXPECT_NE(captured[0].second.find(" t"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("] hello 42"), std::string::npos);
+  EXPECT_EQ(captured[1].second[1], 'W');
+  EXPECT_NE(captured[1].second.find("] uh oh"), std::string::npos);
+}
+
+TEST(Log, ThreadIndexIsStablePerThread) {
+  uint32_t a = common::thread_index();
+  uint32_t b = common::thread_index();
+  EXPECT_EQ(a, b);
+  uint32_t other = 0;
+  std::thread t([&] { other = common::thread_index(); });
+  t.join();
+  EXPECT_NE(other, a);
 }
 
 // ------------------------------------------------------------------ table

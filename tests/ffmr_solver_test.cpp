@@ -4,6 +4,12 @@
 // on (shuffle reductions, round counts, candidate accounting).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "ffmr/solver.h"
 #include "flow/max_flow.h"
@@ -253,6 +259,82 @@ TEST(FfmrSolver, RoundInfoConsistency) {
   EXPECT_GT(r.max_graph_bytes, 0u);
   // Round 0 is the build round: no candidates yet.
   EXPECT_EQ(r.rounds_info[0].accepted_paths, 0);
+}
+
+// Pulls the integer after "key": from one JSONL line; fails the test when
+// the key is missing so a renamed field can't silently pass.
+int64_t json_int(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing " << key << " in " << line;
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(FfmrSolver, RoundReportMatchesRoundInfo) {
+  auto p = graph::attach_super_terminals(graph::facebook_like(400, 6, 37), 3,
+                                         5, 19);
+  std::string path = ::testing::TempDir() + "/ffmr_round_report.jsonl";
+  FfmrOptions o = base_options(Variant::FF5);
+  o.round_report = path;
+  mr::Cluster cluster = make_cluster();
+  auto r = solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::remove(path.c_str());
+
+  // One JSON object per completed round, in order, starting with round 0.
+  ASSERT_EQ(lines.size(), r.rounds_info.size());
+  graph::Capacity total_flow = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const RoundInfo& info = r.rounds_info[i];
+    EXPECT_EQ(json_int(line, "round"), info.round) << line;
+    // The enriched fields must byte-match both the RoundInfo the solver
+    // returned and the counters recorded in that round's JobStats.
+    EXPECT_EQ(json_int(line, "source_moves"), info.source_moves);
+    EXPECT_EQ(json_int(line, "source_moves"),
+              info.stats.counters.value(counter::kSourceMove));
+    EXPECT_EQ(json_int(line, "sink_moves"), info.sink_moves);
+    EXPECT_EQ(json_int(line, "sink_moves"),
+              info.stats.counters.value(counter::kSinkMove));
+    EXPECT_EQ(json_int(line, "paths_extended"), info.paths_extended);
+    EXPECT_EQ(json_int(line, "paths_offered"), info.candidates);
+    EXPECT_EQ(json_int(line, "paths_accepted"), info.accepted_paths);
+    EXPECT_EQ(json_int(line, "paths_rejected"), info.rejected_paths);
+    EXPECT_EQ(json_int(line, "paths_offered"),
+              info.accepted_paths + info.rejected_paths);
+    EXPECT_EQ(json_int(line, "delta_flow"), info.accepted_amount);
+    EXPECT_EQ(json_int(line, "max_queue"), info.max_queue);
+    total_flow += info.accepted_amount;
+    EXPECT_EQ(json_int(line, "total_flow"), total_flow);
+    // Generic engine fields come straight from the JobStats.
+    EXPECT_EQ(json_int(line, "shuffle_bytes"),
+              static_cast<int64_t>(info.stats.shuffle_bytes));
+    EXPECT_EQ(json_int(line, "schimmy_bytes"),
+              static_cast<int64_t>(info.stats.schimmy_bytes));
+    EXPECT_EQ(json_int(line, "map_output_records"),
+              static_cast<int64_t>(info.stats.map_output_records));
+    // Every counter is re-emitted verbatim under "counters". A counter
+    // never incremented that round has no key (CounterSet holds only
+    // touched names), so absent means zero.
+    size_t counters_at = line.find("\"counters\":{");
+    ASSERT_NE(counters_at, std::string::npos) << line;
+    std::string counters = line.substr(counters_at);
+    if (info.source_moves != 0) {
+      EXPECT_EQ(json_int(counters, counter::kSourceMove), info.source_moves);
+    } else {
+      EXPECT_EQ(counters.find(std::string("\"") + counter::kSourceMove),
+                std::string::npos)
+          << counters;
+    }
+  }
+  EXPECT_EQ(total_flow, r.max_flow);
 }
 
 TEST(FfmrSolver, PaperTerminationOnSmallWorld) {

@@ -311,6 +311,7 @@ TEST(Augmenter, AcceptsCandidatesSync) {
   auto outcome = svc.finish_round();
   EXPECT_EQ(outcome.candidates, 2);
   EXPECT_EQ(outcome.accepted_paths, 1);
+  EXPECT_EQ(outcome.rejected_paths, 1);
   EXPECT_EQ(outcome.accepted_amount, 1);
   ASSERT_EQ(outcome.deltas.deltas.size(), 1u);
   EXPECT_EQ(outcome.deltas.delta_for(1), 1);
@@ -344,11 +345,13 @@ TEST(Augmenter, BulkOutcome) {
   AugmenterService svc(false);
   AugmentedEdges deltas;
   deltas.deltas = {{3, 1}, {5, -2}};
-  svc.handle(encode_bulk_request(1, 7, 9, deltas));
+  svc.handle(encode_bulk_request(1, 10, 7, 9, deltas));
   // A duplicate delivery (retried reducer attempt) must be ignored.
-  svc.handle(encode_bulk_request(1, 7, 9, deltas));
+  svc.handle(encode_bulk_request(1, 10, 7, 9, deltas));
   auto outcome = svc.finish_round();
+  EXPECT_EQ(outcome.candidates, 10);
   EXPECT_EQ(outcome.accepted_paths, 7);
+  EXPECT_EQ(outcome.rejected_paths, 3);
   EXPECT_EQ(outcome.accepted_amount, 9);
   EXPECT_EQ(outcome.deltas.delta_for(5), -2);
 }
@@ -357,7 +360,7 @@ TEST(Augmenter, BulkAndCandidatesMerge) {
   AugmenterService svc(false);
   AugmentedEdges deltas;
   deltas.deltas = {{1, 2}};
-  svc.handle(encode_bulk_request(2, 1, 2, deltas));
+  svc.handle(encode_bulk_request(2, 1, 1, 2, deltas));
   ExcessPath p = make_path({make_edge(1, 1, 0, 1, 0, 10)});
   svc.handle(encode_candidate_request(p));
   auto outcome = svc.finish_round();
