@@ -12,8 +12,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
   int ladder_index = static_cast<int>(flags.get_int("graph", 2)) - 1;
   flags.check_unused();
@@ -105,6 +106,5 @@ int main(int argc, char** argv) {
       "|f*|/w instead of tracking the diameter. k=1 needs the most rounds\n"
       "with round count dropping as k grows (III-B3). Removing any FF5\n"
       "optimization raises shuffle bytes and/or records.\n");
-  bench::write_observability(env);
   return 0;
 }

@@ -9,11 +9,14 @@
 //   --trace_out=<f>    write a Chrome-tracing/Perfetto span JSON on exit
 //                      (also enables span recording for the whole run)
 //   --metrics_out=<f>  write cumulative engine metrics JSON on exit
+//   --codec=<c>        wire format for shuffle/spill/DFS streams:
+//                      none (default), lz, or auto (cost-model decides)
 // Times reported as "sim" are simulated cluster seconds from the cost
 // model; "wall" is real time on this host.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +41,15 @@ struct BenchEnv {
   mr::CostModel cost;
   std::string trace_out;    // Chrome trace JSON path; empty = tracing off
   std::string metrics_out;  // engine metrics JSON path; empty = off
+  ffmr::WireChoice wire = ffmr::WireChoice::kOff;  // --codec=none|lz|auto
+
+  // Resolves --codec against this env's cost model into the concrete
+  // format, for benches that build raw JobSpecs instead of FfmrOptions.
+  codec::WireFormat wire_format() const {
+    ffmr::FfmrOptions o;
+    o.wire = wire;
+    return ffmr::resolve_wire_format(o, cost);
+  }
 
   // Builds a cluster modeled on the paper's testbed: N slaves, 15 map + 15
   // reduce slots each, 1 GbE, HDFS-style replication 2. The cost-model
@@ -81,6 +93,14 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   // an order of magnitude slower than these C++ loops. FF4's effect (object
   // churn) lives entirely in this term.
   env.cost.cpu_scale = flags.get_double("cpu_scale", 10.0 / std::max(bw, 1e-4));
+  // The wire codec runs inside the same scaled testbed: its throughput
+  // shrinks with the bandwidths, so the CPU-vs-I/O tradeoff the cost model
+  // weighs (and WireChoice::kAuto decides on) is the one the paper's
+  // full-size testbed would see, not a free codec against slowed disks.
+  env.cost.codec_compress_mbps =
+      flags.get_double("codec_compress_mbps", env.cost.codec_compress_mbps * bw);
+  env.cost.codec_decompress_mbps = flags.get_double(
+      "codec_decompress_mbps", env.cost.codec_decompress_mbps * bw);
   env.cost.job_overhead_s = flags.get_double("overhead", env.cost.job_overhead_s);
   if (flags.get_bool("verbose", false)) {
     common::set_log_level(common::LogLevel::kInfo);
@@ -89,6 +109,18 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   env.metrics_out = flags.get_string("metrics_out", "");
   // Spans must start recording before the workload, not at export time.
   if (!env.trace_out.empty()) common::trace::set_enabled(true);
+  std::string codec = flags.get_string("codec", "none");
+  if (codec == "none") {
+    env.wire = ffmr::WireChoice::kOff;
+  } else if (codec == "lz") {
+    env.wire = ffmr::WireChoice::kOn;
+  } else if (codec == "auto") {
+    env.wire = ffmr::WireChoice::kAuto;
+  } else {
+    std::fprintf(stderr, "--codec must be none, lz or auto (got '%s')\n",
+                 codec.c_str());
+    std::exit(2);
+  }
   // Consumed here so check_unused() passes even in benches that read it
   // later through paper_options().
   (void)flags.get_bool("strict", false);
@@ -125,6 +157,26 @@ inline void write_observability(const BenchEnv& env) {
     }
   }
 }
+
+// One-stop bench runtime: parses the shared flags (construction) and
+// writes the --trace_out/--metrics_out exports when it leaves scope, so a
+// bench cannot return without flushing its observability outputs.
+//
+//   int main(int argc, char** argv) {
+//     bench::BenchRuntime rt(argc, argv);   // rt.flags, rt.env
+//     ...
+//   }
+struct BenchRuntime {
+  common::Flags flags;
+  BenchEnv env;
+
+  BenchRuntime(int argc, char** argv)
+      : flags(argc, argv), env(parse_env(flags)) {}
+  ~BenchRuntime() { write_observability(env); }
+
+  BenchRuntime(const BenchRuntime&) = delete;
+  BenchRuntime& operator=(const BenchRuntime&) = delete;
+};
 
 // Builds the FBi' analog graph for a ladder entry.
 inline graph::Graph build_fb_graph(const graph::FacebookLadderEntry& entry,
@@ -165,6 +217,14 @@ inline ffmr::FfmrOptions paper_options(ffmr::Variant variant,
     options.termination = ffmr::TerminationRule::kPaperEither;
     options.restart_on_stall = false;
   }
+  return options;
+}
+
+// BenchRuntime-aware variant: also applies the runtime's --codec choice.
+inline ffmr::FfmrOptions paper_options(ffmr::Variant variant,
+                                       const BenchRuntime& rt) {
+  ffmr::FfmrOptions options = paper_options(variant, rt.flags);
+  options.wire = rt.env.wire;
   return options;
 }
 

@@ -11,8 +11,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   auto ws = flags.get_int_list("w", {1, 2, 4, 8, 16, 32, 64, 128});
   int ladder_index = static_cast<int>(flags.get_int("graph", 6)) - 1;
   flags.check_unused();
@@ -52,6 +53,5 @@ int main(int argc, char** argv) {
       "stay nearly constant (~D/2 + const, 8-10 in the paper); runtime\n"
       "rises slowly (sub-linearly in |f*|).\n",
       diameter);
-  bench::write_observability(env);
   return 0;
 }

@@ -10,8 +10,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
   flags.check_unused();
 
@@ -68,6 +69,5 @@ int main(int argc, char** argv) {
       "predecessor; FF5 ~5.4x over FF1 on the small graph and ~14.2x on\n"
       "the large one; BFS below all max-flow variants; rounds shrink\n"
       "FF1 -> FF5 and approach BFS's.\n");
-  bench::write_observability(env);
   return 0;
 }

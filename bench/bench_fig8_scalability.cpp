@@ -10,8 +10,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 32));
   auto clusters = flags.get_int_list("clusters", {5, 10, 20});
   int max_graph = static_cast<int>(flags.get_int("graphs", 6));
@@ -67,6 +68,5 @@ int main(int argc, char** argv) {
       "(log-log straight line); more machines -> lower curve; rounds stay\n"
       "in the 6-10 band across all sizes; FF5 within a constant factor of\n"
       "BFS.\n");
-  bench::write_observability(env);
   return 0;
 }

@@ -14,8 +14,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
 
   flags.check_unused();
@@ -49,6 +50,5 @@ int main(int argc, char** argv) {
       "Expected shape (paper): edges grow ~280x down the ladder; Max Size\n"
       "is a small multiple of Size (excess-path storage), larger for\n"
       "denser graphs.\n");
-  bench::write_observability(env);
   return 0;
 }

@@ -15,8 +15,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
   int max_graph = static_cast<int>(flags.get_int("graphs", 4));
   flags.check_unused();
@@ -66,6 +67,5 @@ int main(int argc, char** argv) {
       "'graph I/O' (re-reading and re-writing every vertex record every\n"
       "round, plus the schimmy merge input) disappears entirely on Pregel:\n"
       "resident state is the BSP model's structural win.\n");
-  bench::write_observability(env);
   return 0;
 }

@@ -229,8 +229,9 @@ void run_reference_phase(const std::vector<serde::Bytes>& runs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
   int map_tasks = static_cast<int>(flags.get_int("map_tasks", 24));
   int repeat = static_cast<int>(flags.get_int("repeat", 5));
@@ -320,12 +321,13 @@ int main(int argc, char** argv) {
 
   struct EngineRun {
     EngineRun(const char* name, mr::ShuffleMode mode, mr::ExecMode exec,
-              bool spill)
-        : name(name), mode(mode), exec(exec), spill(spill) {}
+              bool spill, codec::WireFormat wire = {})
+        : name(name), mode(mode), exec(exec), spill(spill), wire(wire) {}
     const char* name;
     mr::ShuffleMode mode;
     mr::ExecMode exec;
     bool spill;
+    codec::WireFormat wire;  // enabled => codec-ablation row
     double wall_s = 0;
     double best_wall_s = 1e100;  // min over repeats (noise-robust)
     double sim_s = 0;
@@ -345,6 +347,15 @@ int main(int argc, char** argv) {
                       mr::ExecMode::kPipelined, true);
   engine.emplace_back("reference-sort", mr::ShuffleMode::kReferenceSort,
                       mr::ExecMode::kBarrier, false);
+  // Codec-ablation rows: same plans as rows 1 and 3, plus the compact wire
+  // format (LZ + prefix/delta key compaction) on every persisted stream.
+  codec::WireFormat wire_lz;
+  wire_lz.codec = codec::CodecId::kLz;
+  wire_lz.compact_keys = true;
+  engine.emplace_back("pipelined+wire", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kPipelined, false, wire_lz);
+  engine.emplace_back("pipelined+spill+wire", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kPipelined, true, wire_lz);
 
   // One cluster (and disk directory) per variant, kept alive for the whole
   // experiment; repeats are interleaved round-robin across variants so
@@ -387,6 +398,7 @@ int main(int argc, char** argv) {
       spec.shuffle = run.mode;
       spec.exec = run.exec;
       spec.spill_map_outputs = run.spill;
+      spec.wire = run.wire;
       // Mapper re-keys every arc to its target: duplicate-heavy keys and
       // a full shuffle of the arc volume, like the FF rounds.
       spec.mapper = mr::lambda_mapper(
@@ -446,17 +458,21 @@ int main(int argc, char** argv) {
   const EngineRun& barrier = engine[0];
   const EngineRun& pipelined = engine[1];
   const EngineRun& pipelined_spill = engine[3];
+  const EngineRun& pipelined_wire = engine[5];
   bool pipelined_faster = pipelined.best_wall_s <= barrier.best_wall_s;
   bool spill_bounded = pipelined_spill.peak_bytes < barrier.peak_bytes;
+  bool wire_shrinks = pipelined_wire.stats.shuffle_bytes_wire <
+                      pipelined_wire.stats.shuffle_bytes;
 
   common::TextTable table({"Engine", "wall s (x" + std::to_string(repeat) + ")",
                            "best s", "sim s", "allocs", "peak heap",
-                           "shuffle"});
+                           "shuffle", "wire"});
   for (const auto& run : engine) {
     table.add_row({run.name, std::to_string(run.wall_s),
                    std::to_string(run.best_wall_s), std::to_string(run.sim_s),
                    bench::fmt_int(run.allocs), bench::fmt_bytes(run.peak_bytes),
-                   bench::fmt_bytes(run.stats.shuffle_bytes)});
+                   bench::fmt_bytes(run.stats.shuffle_bytes),
+                   bench::fmt_bytes(run.stats.shuffle_bytes_wire)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("counters identical across engine variants: %s\n",
@@ -465,10 +481,16 @@ int main(int argc, char** argv) {
               pipelined_faster ? "yes" : "NO");
   std::printf(
       "spill-mode peak heap below barrier's full-shuffle-resident peak: %s "
-      "(%s vs %s)\n\n",
+      "(%s vs %s)\n",
       spill_bounded ? "yes" : "NO",
       bench::fmt_bytes(pipelined_spill.peak_bytes).c_str(),
       bench::fmt_bytes(barrier.peak_bytes).c_str());
+  std::printf("compact wire format shrinks shuffle wire bytes: %s (%s -> %s)"
+              "\n\n",
+              wire_shrinks ? "yes" : "NO",
+              bench::fmt_bytes(pipelined_wire.stats.shuffle_bytes).c_str(),
+              bench::fmt_bytes(pipelined_wire.stats.shuffle_bytes_wire)
+                  .c_str());
 
   // -------------------------------------------------------- JSON output
   bench::JsonWriter json;
@@ -484,7 +506,8 @@ int main(int argc, char** argv) {
       .field("engine_reduce_tasks", static_cast<int64_t>(reduce_tasks))
       .field("counters_identical", counters_ok)
       .field("pipelined_wall_leq_barrier", pipelined_faster)
-      .field("spill_peak_below_barrier_resident", spill_bounded);
+      .field("spill_peak_below_barrier_resident", spill_bounded)
+      .field("wire_shrinks_shuffle", wire_shrinks);
   json.obj("phases")
       .field("map_sort_wall_s", pt.map_sort_s)
       .field("merge_wall_s", pt.merge_s)
@@ -502,6 +525,7 @@ int main(int argc, char** argv) {
         .field("exec",
                run.exec == mr::ExecMode::kPipelined ? "pipelined" : "barrier")
         .field("spill", run.spill)
+        .field("codec", run.wire.enabled() ? "lz" : "none")
         .field("wall_s", run.wall_s)
         .field("best_wall_s", run.best_wall_s)
         .field("reduce_sim_s", run.reduce_sim_s)
@@ -509,7 +533,10 @@ int main(int argc, char** argv) {
         .field("allocs", run.allocs)
         .field("peak_alloc_bytes", run.peak_bytes)
         .field("shuffle_bytes", run.stats.shuffle_bytes)
+        .field("shuffle_bytes_wire", run.stats.shuffle_bytes_wire)
         .field("spill_bytes", run.stats.spill_bytes)
+        .field("spill_bytes_wire", run.stats.spill_bytes_wire)
+        .field("output_bytes_wire", run.stats.output_bytes_wire)
         .field("map_output_records",
                static_cast<int64_t>(run.stats.map_output_records))
         .field("reduce_input_groups",
@@ -518,6 +545,5 @@ int main(int argc, char** argv) {
   }
   json.close();
   json.write_file("BENCH_shuffle_engine.json");
-  bench::write_observability(env);
   return counters_ok ? 0 : 1;
 }

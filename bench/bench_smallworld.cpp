@@ -9,8 +9,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   auto n = static_cast<graph::VertexId>(flags.get_int("vertices", 4096));
   flags.check_unused();
 
@@ -80,6 +81,5 @@ int main(int argc, char** argv) {
       "their (small) diameter; the grid control needs rounds on the order\n"
       "of its O(sqrt(V)) diameter -- the regime the paper's 75-year\n"
       "back-of-envelope warns about.\n");
-  bench::write_observability(env);
   return 0;
 }

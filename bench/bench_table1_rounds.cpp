@@ -12,8 +12,9 @@
 using namespace mrflow;
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  bench::BenchEnv env = bench::parse_env(flags);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 64));
   int ladder_index = static_cast<int>(flags.get_int("graph", 6)) - 1;
   flags.check_unused();
@@ -50,6 +51,5 @@ int main(int argc, char** argv) {
       "Expected shape (paper Table I): round #0 dominates Map Out; A-Paths\n"
       "appear by round ~2 and peak early; MaxQ stays in the low thousands\n"
       "at worst; per-round runtime tracks the Shuffle column.\n");
-  bench::write_observability(env);
   return 0;
 }

@@ -55,9 +55,10 @@ double disabled_span_ns(size_t iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
   bool smoke = flags.get_bool("smoke", false);
-  bench::BenchEnv env = bench::parse_env(flags);
   int reps = static_cast<int>(flags.get_int("reps", smoke ? 1 : 5));
   int w = static_cast<int>(flags.get_int("w", 16));
   int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
@@ -140,7 +141,6 @@ int main(int argc, char** argv) {
       .field("spans_recorded", static_cast<uint64_t>(spans_recorded))
       .field("max_flow", static_cast<int64_t>(flow_off));
   json.write_file("BENCH_trace_overhead.json");
-  bench::write_observability(env);
 
   bool ok = off_ok && flows_match && (smoke || wall_ok);
   return ok ? 0 : 1;

@@ -1,0 +1,616 @@
+#include "common/codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace mrflow::codec {
+
+namespace {
+
+using serde::DecodeError;
+
+// Frames larger than this are rejected as corrupt before any allocation --
+// no legitimate writer produces them (block_bytes tops out in the KB range).
+constexpr uint64_t kMaxFrameRaw = 1ull << 30;
+// A kNone fallback payload equals the raw size; anything past raw + slack
+// in the header is a corrupt length, not a big frame.
+constexpr uint64_t kMaxFrameWire = kMaxFrameRaw + (kMaxFrameRaw >> 8) + 64;
+// Payloads below this are stored verbatim; the LZ token overhead cannot
+// win and the attempt is not worth the cycles.
+constexpr size_t kMinCompressSize = 64;
+constexpr size_t kPullHint = 256u << 10;
+
+// --- LZ77 matcher parameters (LZ4-style token format) ---
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxLzOffset = 65535;
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChain = 4;
+
+inline uint64_t now_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t rotl64(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+inline uint64_t read_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t read_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Appends an LZ4-style extension length run (255-bytes then a terminator).
+inline void put_len_ext(Bytes& out, size_t rem) {
+  while (rem >= 255) {
+    out.push_back(static_cast<char>(0xFF));
+    rem -= 255;
+  }
+  out.push_back(static_cast<char>(rem));
+}
+
+}  // namespace
+
+const char* codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::kNone: return "none";
+    case CodecId::kLz: return "lz";
+  }
+  return "?";
+}
+
+std::optional<CodecId> parse_codec(std::string_view name) {
+  if (name == "none") return CodecId::kNone;
+  if (name == "lz") return CodecId::kLz;
+  return std::nullopt;
+}
+
+uint64_t xxhash64(std::string_view data, uint64_t seed) {
+  constexpr uint64_t P1 = 11400714785074694791ull;
+  constexpr uint64_t P2 = 14029467366897019727ull;
+  constexpr uint64_t P3 = 1609587929392839161ull;
+  constexpr uint64_t P4 = 9650029242287828579ull;
+  constexpr uint64_t P5 = 2870177450012600261ull;
+
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint64_t h;
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + P1 + P2;
+    uint64_t v2 = seed + P2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - P1;
+    auto round = [](uint64_t acc, uint64_t x) {
+      return rotl64(acc + x * P2, 31) * P1;
+    };
+    do {
+      v1 = round(v1, read_u64(p));
+      v2 = round(v2, read_u64(p + 8));
+      v3 = round(v3, read_u64(p + 16));
+      v4 = round(v4, read_u64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    auto merge = [&](uint64_t acc, uint64_t v) {
+      acc ^= round(0, v);
+      return acc * P1 + P4;
+    };
+    h = merge(h, v1);
+    h = merge(h, v2);
+    h = merge(h, v3);
+    h = merge(h, v4);
+  } else {
+    h = seed + P5;
+  }
+  h += data.size();
+  while (p + 8 <= end) {
+    h ^= rotl64(read_u64(p) * P2, 31) * P1;
+    h = rotl64(h, 27) * P1 + P4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(read_u32(p)) * P1;
+    h = rotl64(h, 23) * P2 + P3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<uint8_t>(*p)) * P5;
+    h = rotl64(h, 11) * P1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= P2;
+  h ^= h >> 29;
+  h *= P3;
+  h ^= h >> 32;
+  return h;
+}
+
+// Length of the common prefix of a and b, at most cap, compared a machine
+// word at a time on little-endian targets.
+inline size_t match_length(const char* a, const char* b, size_t cap) {
+  size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= cap) {
+      uint64_t x;
+      uint64_t y;
+      std::memcpy(&x, a + len, 8);
+      std::memcpy(&y, b + len, 8);
+      uint64_t diff = x ^ y;
+      if (diff != 0) {
+        return len + (static_cast<size_t>(__builtin_ctzll(diff)) >> 3);
+      }
+      len += 8;
+    }
+  }
+  while (len < cap && a[len] == b[len]) ++len;
+  return len;
+}
+
+void lz_compress(std::string_view raw, Bytes& out) {
+  const size_t n = raw.size();
+  const char* p = raw.data();
+
+  auto emit = [&](size_t anchor, size_t i, size_t offset, size_t match_len) {
+    size_t lit = i - anchor;
+    uint8_t tok_lit = static_cast<uint8_t>(std::min<size_t>(lit, 15));
+    uint8_t tok_match = 0;
+    if (match_len > 0) {
+      tok_match = static_cast<uint8_t>(std::min<size_t>(match_len - kMinMatch, 15));
+    }
+    out.push_back(static_cast<char>((tok_lit << 4) | tok_match));
+    if (tok_lit == 15) put_len_ext(out, lit - 15);
+    out.append(p + anchor, lit);
+    if (match_len > 0) {
+      out.push_back(static_cast<char>(offset & 0xFF));
+      out.push_back(static_cast<char>(offset >> 8));
+      if (tok_match == 15) put_len_ext(out, match_len - kMinMatch - 15);
+    }
+  };
+
+  // Hash-chain matcher: head[h] holds the most recent position whose 4-byte
+  // prefix hashed to h; prev[] chains back through earlier positions. The
+  // head table is invalidated by generation stamp, not by clearing: the
+  // engine compresses hundreds of thousands of sub-KB runs per job, and a
+  // 128 KB assign() per call would cost more than the matching itself.
+  thread_local std::vector<int32_t> head;
+  thread_local std::vector<uint32_t> head_gen;
+  thread_local std::vector<int32_t> prev;
+  thread_local uint32_t generation = 0;
+  if (head.size() != kHashSize) {
+    head.assign(kHashSize, -1);
+    head_gen.assign(kHashSize, 0);
+    generation = 0;
+  }
+  if (++generation == 0) {  // wrapped: every stale stamp collides with 0
+    std::fill(head_gen.begin(), head_gen.end(), 0u);
+    generation = 1;
+  }
+  if (prev.size() < n) prev.resize(n);
+  auto hash4 = [&](size_t i) {
+    return (read_u32(p + i) * 2654435761u) >> (32 - kHashBits);
+  };
+  auto lookup = [&](uint32_t h) {
+    return head_gen[h] == generation ? head[h] : -1;
+  };
+  auto insert = [&](size_t i) {
+    uint32_t h = hash4(i);
+    prev[i] = lookup(h);
+    head[h] = static_cast<int32_t>(i);
+    head_gen[h] = generation;
+  };
+
+  size_t i = 0;
+  size_t anchor = 0;
+  size_t misses = 0;  // consecutive failed probes; accelerates through junk
+  while (i + kMinMatch <= n) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    const size_t cap = n - i;
+    int32_t cand = lookup(hash4(i));
+    for (int chain = 0; cand >= 0 && chain < kMaxChain; ++chain) {
+      size_t c = static_cast<size_t>(cand);
+      if (i - c > kMaxLzOffset) break;  // chain is recency-ordered
+      // Cheap reject: a longer match must agree at best_len before a full
+      // compare is worth it (p[c + best_len] is in bounds: c < i and
+      // best_len < cap).
+      if (p[c + best_len] == p[i + best_len]) {
+        size_t len = match_length(p + c, p + i, cap);
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == cap) break;
+        }
+      }
+      cand = prev[c];
+    }
+    insert(i);
+    if (best_len >= kMinMatch) {
+      misses = 0;
+      emit(anchor, i, best_off, best_len);
+      size_t end = i + best_len;
+      // Seeding only a couple of interior positions (LZ4-fast style) keeps
+      // the matcher O(literals): inserting every matched byte costs more
+      // than it recovers on record streams, whose repeats realign at
+      // record boundaries anyway.
+      if (i + 2 + kMinMatch <= n && end >= 2) {
+        insert(i + 1);
+        if (end - 2 > i + 1 && end - 2 + kMinMatch <= n) insert(end - 2);
+      }
+      i = end;
+      anchor = end;
+    } else {
+      // LZ4-style skip: after 64 straight misses start stepping 2, 3, ...
+      // positions at a time so incompressible stretches cost ~O(n/step).
+      i += 1 + (misses++ >> 6);
+    }
+  }
+  emit(anchor, n, 0, 0);
+}
+
+void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out) {
+  const size_t start = out.size();
+  out.resize(start + raw_len);  // exact-size cursor writes, no per-byte growth
+  char* dst = out.data() + start;
+  size_t op = 0;
+  size_t ip = 0;
+  const size_t n = wire.size();
+  auto need = [&](size_t k) {
+    if (n - ip < k) throw DecodeError("lz: truncated input");
+  };
+  auto get_ext = [&](size_t base) {
+    size_t len = base;
+    while (true) {
+      need(1);
+      uint8_t b = static_cast<uint8_t>(wire[ip++]);
+      len += b;
+      if (b != 255) return len;
+    }
+  };
+  while (true) {
+    need(1);
+    uint8_t token = static_cast<uint8_t>(wire[ip++]);
+    size_t lit = token >> 4;
+    if (lit == 15) lit = get_ext(lit);
+    need(lit);
+    if (op + lit > raw_len) {
+      throw DecodeError("lz: output overflow");
+    }
+    std::memcpy(dst + op, wire.data() + ip, lit);
+    op += lit;
+    ip += lit;
+    if (op == raw_len) {
+      if (ip != n) throw DecodeError("lz: trailing input");
+      if ((token & 0x0F) != 0) throw DecodeError("lz: bad final token");
+      return;
+    }
+    need(2);
+    size_t offset = static_cast<uint8_t>(wire[ip]) |
+                    (static_cast<size_t>(static_cast<uint8_t>(wire[ip + 1])) << 8);
+    ip += 2;
+    if (offset == 0 || offset > op) {
+      throw DecodeError("lz: bad match offset");
+    }
+    size_t match_len = token & 0x0F;
+    if (match_len == 15) match_len = get_ext(match_len);
+    match_len += kMinMatch;
+    if (op + match_len > raw_len) {
+      throw DecodeError("lz: output overflow");
+    }
+    const char* src = dst + op - offset;
+    if (offset >= match_len) {
+      std::memcpy(dst + op, src, match_len);  // disjoint
+      op += match_len;
+    } else {
+      for (size_t k = 0; k < match_len; ++k) dst[op + k] = src[k];  // overlap
+      op += match_len;
+    }
+  }
+}
+
+void append_frame(Bytes& out, std::string_view raw, CodecId codec) {
+  uint64_t checksum = xxhash64(raw);
+  thread_local Bytes lz;
+  std::string_view payload = raw;
+  CodecId used = CodecId::kNone;
+  if (codec == CodecId::kLz && raw.size() >= kMinCompressSize) {
+    common::TraceSpan span("compress", "codec",
+                           static_cast<int64_t>(raw.size()));
+    uint64_t t0 = now_us();
+    lz.clear();
+    lz_compress(raw, lz);
+    auto& metrics = common::MetricsRegistry::global();
+    metrics.record("codec.compress_us", now_us() - t0);
+    if (lz.size() < raw.size()) {
+      used = CodecId::kLz;
+      payload = lz;
+    }
+    metrics.record("codec.block_raw_bytes", raw.size());
+    metrics.record("codec.block_wire_bytes", payload.size());
+    metrics.record("codec.block_ratio_pct",
+                   raw.empty() ? 100 : payload.size() * 100 / raw.size());
+  }
+  serde::ByteWriter w(&out);
+  w.put_u8(static_cast<uint8_t>(used));
+  w.put_varint(raw.size());
+  w.put_varint(payload.size());
+  w.put_u64_fixed(checksum);
+  w.put_raw(payload);
+}
+
+BlockReader::BlockReader(std::string_view data) {
+  source_done_ = true;
+  direct_ = data;
+  direct_mode_ = true;
+}
+
+bool BlockReader::pull() {
+  if (source_done_) return false;
+  if (pos_ > 0) {
+    staging_.erase(0, pos_);
+    pos_ = 0;
+  }
+  std::string_view chunk = source_(kPullHint);
+  if (chunk.empty()) {
+    source_done_ = true;
+    return false;
+  }
+  staging_.append(chunk.data(), chunk.size());
+  return true;
+}
+
+std::string_view BlockReader::next_block() {
+  while (true) {
+    std::string_view avail =
+        direct_mode_ ? direct_.substr(pos_)
+                     : std::string_view(staging_).substr(pos_);
+    if (avail.empty() && source_done_) return {};
+
+    bool parsed = false;
+    uint8_t codec = 0;
+    uint64_t raw_len = 0;
+    uint64_t wire_len = 0;
+    uint64_t checksum = 0;
+    size_t header_len = 0;
+    if (!avail.empty()) {
+      serde::ByteReader r(avail);
+      try {
+        codec = r.get_u8();
+        raw_len = r.get_varint();
+        wire_len = r.get_varint();
+        checksum = r.get_u64_fixed();
+        header_len = r.pos();
+        parsed = true;
+      } catch (const DecodeError&) {
+        parsed = false;  // header may just be short; pull more below
+      }
+    }
+    if (parsed) {
+      if (codec > static_cast<uint8_t>(CodecId::kLz)) {
+        throw DecodeError("frame: bad codec id");
+      }
+      if (raw_len > kMaxFrameRaw || wire_len > kMaxFrameWire) {
+        throw DecodeError("frame: length out of range");
+      }
+      if (avail.size() - header_len >= wire_len) {
+        std::string_view payload = avail.substr(header_len, wire_len);
+        std::string_view result;
+        if (codec == static_cast<uint8_t>(CodecId::kNone)) {
+          result = payload;
+        } else {
+          common::TraceSpan span("decompress", "codec",
+                                 static_cast<int64_t>(raw_len));
+          uint64_t t0 = now_us();
+          block_.clear();
+          lz_decompress(payload, raw_len, block_);
+          common::MetricsRegistry::global().record("codec.decompress_us",
+                                                   now_us() - t0);
+          result = block_;
+        }
+        if (result.size() != raw_len) {
+          throw DecodeError("frame: payload length mismatch");
+        }
+        if (xxhash64(result) != checksum) {
+          throw DecodeError("frame: checksum mismatch");
+        }
+        pos_ += header_len + wire_len;
+        raw_bytes_ += raw_len;
+        wire_bytes_ += header_len + wire_len;
+        return result;
+      }
+    }
+    if (!pull()) {
+      bool pending =
+          direct_mode_ ? pos_ < direct_.size() : pos_ < staging_.size();
+      if (!pending) return {};  // clean end of stream
+      throw DecodeError("frame: truncated at end of stream");
+    }
+  }
+}
+
+void BlockWriter::append(std::string_view atom) {
+  raw_bytes_ += atom.size();
+  buffer_.append(atom.data(), atom.size());
+  if (buffer_.size() >= fmt_.block_bytes) flush();
+}
+
+void BlockWriter::flush() {
+  if (buffer_.empty()) return;
+  frame_.clear();
+  append_frame(frame_, buffer_, fmt_.codec);
+  sink_(frame_);
+  wire_bytes_ += frame_.size();
+  buffer_.clear();
+}
+
+bool canonical_varint(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 10) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    uint8_t b = static_cast<uint8_t>(s[i]);
+    bool last = i + 1 == s.size();
+    if (last == ((b & 0x80) != 0)) return false;  // continuation bit mismatch
+    if (i == 9 && (b & 0x7E) != 0) return false;  // overflows 64 bits
+    v |= static_cast<uint64_t>(b & 0x7F) << (7 * i);
+  }
+  // Canonical means shortest: a trailing zero byte is an overlong encoding.
+  if (s.size() > 1 && static_cast<uint8_t>(s.back()) == 0) return false;
+  *out = v;
+  return true;
+}
+
+namespace {
+size_t varint_len(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+size_t framed_record_size(size_t key_len, size_t value_len) {
+  return varint_len(key_len) + key_len + varint_len(value_len) + value_len;
+}
+
+void RecordStreamWriter::write(std::string_view key, std::string_view value) {
+  raw_bytes_ += framed_record_size(key.size(), value.size());
+  ++records_;
+  serde::ByteWriter w(&block_);
+  bool restart = block_.empty() || since_restart_ >= fmt_.restart_interval;
+  bool compacted = false;
+  if (!restart && fmt_.compact_keys) {
+    uint64_t pv;
+    uint64_t cv;
+    if (canonical_varint(prev_key_, &pv) && canonical_varint(key, &cv)) {
+      w.put_u8(kOpDeltaKey);
+      w.put_signed(static_cast<int64_t>(cv - pv));
+      compacted = true;
+    } else {
+      size_t limit = std::min(prev_key_.size(), key.size());
+      size_t shared = 0;
+      while (shared < limit && prev_key_[shared] == key[shared]) ++shared;
+      if (shared > 0) {
+        w.put_u8(kOpPrefixKey);
+        w.put_varint(shared);
+        w.put_bytes(key.substr(shared));
+        compacted = true;
+      }
+    }
+  }
+  if (compacted) {
+    ++since_restart_;
+  } else {
+    w.put_u8(kOpFullKey);
+    w.put_bytes(key);
+    since_restart_ = 1;  // any full key is a valid restart point
+  }
+  w.put_bytes(value);
+  prev_key_.assign(key);
+  if (block_.size() >= fmt_.block_bytes) emit_block();
+}
+
+void RecordStreamWriter::flush() { emit_block(); }
+
+void RecordStreamWriter::emit_block() {
+  if (block_.empty()) return;
+  frame_.clear();
+  append_frame(frame_, block_, fmt_.codec);
+  sink_(frame_);
+  wire_bytes_ += frame_.size();
+  block_.clear();
+  prev_key_.clear();
+  since_restart_ = 0;
+}
+
+bool RecordStreamReader::next() {
+  if (pos_ >= block_.size()) {
+    block_ = blocks_.next_block();
+    pos_ = 0;
+    key_ = {};  // views into the previous block are gone
+    if (block_.empty()) return false;
+  }
+  serde::ByteReader r(block_.substr(pos_));
+  uint8_t op = r.get_u8();
+  switch (op) {
+    case kOpFullKey:
+      key_ = r.get_bytes();
+      break;
+    case kOpPrefixKey: {
+      uint64_t shared = r.get_varint();
+      std::string_view suffix = r.get_bytes();
+      if (shared > key_.size()) {
+        throw serde::DecodeError("record: shared prefix exceeds previous key");
+      }
+      if (key_.data() == key_buf_.data()) {
+        key_buf_.resize(shared);  // previous key already lives in the scratch
+      } else {
+        key_buf_.assign(key_.data(), shared);
+      }
+      key_buf_.append(suffix.data(), suffix.size());
+      key_ = key_buf_;
+      break;
+    }
+    case kOpDeltaKey: {
+      int64_t delta = r.get_signed();
+      uint64_t pv;
+      if (!canonical_varint(key_, &pv)) {
+        throw serde::DecodeError("record: delta after non-varint key");
+      }
+      key_buf_.clear();
+      serde::ByteWriter kw(&key_buf_);
+      kw.put_varint(pv + static_cast<uint64_t>(delta));
+      key_ = key_buf_;
+      break;
+    }
+    default:
+      throw serde::DecodeError("record: bad opcode");
+  }
+  value_ = r.get_bytes();
+  pos_ += r.pos();
+  ++records_;
+  raw_bytes_ += framed_record_size(key_.size(), value_.size());
+  return true;
+}
+
+void decode_stream_to_framed(std::string_view wire, Bytes& out) {
+  RecordStreamReader reader(wire);
+  serde::ByteWriter w(&out);
+  while (reader.next()) {
+    w.put_bytes(reader.key());
+    w.put_bytes(reader.value());
+  }
+}
+
+uint64_t encode_framed_to_stream(std::string_view framed, const WireFormat& fmt,
+                                 Bytes& out) {
+  const size_t start = out.size();
+  RecordStreamWriter writer(
+      [&out](std::string_view frame) { out.append(frame.data(), frame.size()); },
+      fmt);
+  serde::ByteReader r(framed);
+  while (!r.at_end()) {
+    std::string_view key = r.get_bytes();
+    std::string_view value = r.get_bytes();
+    writer.write(key, value);
+  }
+  writer.close();
+  return out.size() - start;
+}
+
+}  // namespace mrflow::codec

@@ -1,0 +1,219 @@
+// Compact wire format shared by the shuffle, spill and DFS layers.
+//
+// Every byte stream the engine persists or shuffles can be rewritten as a
+// sequence of self-describing *block frames* (the SequenceFile block /
+// SSTable analog). A frame carries its own codec id, raw and wire lengths
+// and an xxHash64 checksum of the raw payload, so any stream can be decoded
+// (and corruption detected) without out-of-band metadata:
+//
+//   frame := u8 codec_id | varint raw_len | varint wire_len
+//            | u64le xxhash64(raw) | wire_len payload bytes
+//
+// Two codecs exist: kNone (payload stored verbatim, still checksummed) and
+// kLz, an in-repo LZ4-style LZ77 byte codec (greedy hash-chain matcher,
+// 64 KB offsets, nibble-token sequences). The frame writer falls back to
+// kNone whenever compression does not shrink the payload, so wire size is
+// never worse than raw size plus the fixed frame header.
+//
+// On top of raw frames, RecordStreamWriter/Reader carry (key, value) record
+// streams with SSTable-style key compaction inside each frame: a record
+// either repeats its full key, shares a prefix with the previous record's
+// key (shared_len + suffix), or -- when both keys are canonical varints,
+// the common case for vertex-id keys -- stores a zigzag delta of the ids.
+// Restart points every `restart_interval` records (and at every frame
+// start) bound how far a decoder must back up, keep frames independently
+// decodable, and let the loser-tree merge stream runs without ever
+// materializing more than one key per stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/serde.h"
+
+namespace mrflow::codec {
+
+using serde::Bytes;
+
+enum class CodecId : uint8_t { kNone = 0, kLz = 1 };
+
+const char* codec_name(CodecId id);
+// Parses "none" / "lz"; nullopt for anything else.
+std::optional<CodecId> parse_codec(std::string_view name);
+
+// xxHash64 (Collet's XXH64), used as the frame checksum.
+uint64_t xxhash64(std::string_view data, uint64_t seed = 0);
+
+// LZ4-style LZ77 compression of one block. Appends the compressed form to
+// `out`. The output is only decodable together with the raw length (the
+// frame header carries it).
+void lz_compress(std::string_view raw, Bytes& out);
+
+// Inverse of lz_compress: appends exactly `raw_len` bytes to `out`. Throws
+// serde::DecodeError on any malformed input (bad offsets, wrong length,
+// trailing bytes).
+void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out);
+
+// Per-stream wire-format selection, carried by JobSpec and FfmrOptions.
+struct WireFormat {
+  CodecId codec = CodecId::kNone;
+  bool compact_keys = false;        // prefix/delta key compaction
+  uint32_t restart_interval = 16;   // full key every K records
+  uint32_t block_bytes = 64u << 10; // frame payload target size
+  bool enabled() const { return codec != CodecId::kNone || compact_keys; }
+};
+
+// Appends one frame holding `raw` to `out`, compressing with `codec` but
+// falling back to kNone when compression does not help.
+void append_frame(Bytes& out, std::string_view raw, CodecId codec);
+
+// Streams frames out of a wire byte sequence. next_block() returns the next
+// raw payload (a view valid until the following next_block() call), or an
+// empty view at end of stream; it throws serde::DecodeError on a checksum
+// mismatch, truncated frame or malformed header.
+class BlockReader {
+ public:
+  // Pull source: returns the next chunk of wire bytes (any framing), empty
+  // at end of stream. The view only needs to stay valid until the next
+  // source call.
+  using Source = std::function<std::string_view(size_t hint)>;
+
+  explicit BlockReader(Source source) : source_(std::move(source)) {}
+  explicit BlockReader(std::string_view data);
+
+  std::string_view next_block();
+
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t wire_bytes() const { return wire_bytes_; }
+
+ private:
+  bool pull();  // appends one source chunk to staging_; false at EOF
+
+  Source source_;
+  Bytes staging_;   // wire bytes pulled but not yet decoded
+  std::string_view direct_;    // whole-stream view (no staging copy)
+  bool direct_mode_ = false;
+  size_t pos_ = 0;  // consumed prefix of staging_ / direct_
+  bool source_done_ = false;
+  Bytes block_;     // decompressed payload (kLz frames)
+  uint64_t raw_bytes_ = 0;
+  uint64_t wire_bytes_ = 0;
+};
+
+// Buffers appended atoms into frames of ~fmt.block_bytes and hands each
+// finished frame to the sink. An atom is never split across frames, so any
+// frame boundary is also an atom boundary.
+class BlockWriter {
+ public:
+  using Sink = std::function<void(std::string_view frame)>;
+
+  BlockWriter(Sink sink, WireFormat fmt)
+      : sink_(std::move(sink)), fmt_(fmt) {}
+
+  void append(std::string_view atom);
+  void flush();  // frames out buffered atoms, if any
+  void close() { flush(); }
+
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t wire_bytes() const { return wire_bytes_; }
+
+ private:
+  Sink sink_;
+  WireFormat fmt_;
+  Bytes buffer_;
+  Bytes frame_;
+  uint64_t raw_bytes_ = 0;
+  uint64_t wire_bytes_ = 0;
+};
+
+// True when `s` is the canonical (shortest) varint encoding of some value;
+// stores the value in *out. Used to decide delta-key eligibility: a delta
+// round-trip must reproduce the exact key bytes.
+bool canonical_varint(std::string_view s, uint64_t* out);
+
+// Length of the framed-record form of one (key, value) pair -- what the raw
+// stream would have cost. Raw-vs-wire byte accounting is built on this.
+size_t framed_record_size(size_t key_len, size_t value_len);
+
+// Writes a (key, value) record stream as compacted block frames.
+class RecordStreamWriter {
+ public:
+  using Sink = std::function<void(std::string_view frame)>;
+
+  RecordStreamWriter(Sink sink, WireFormat fmt)
+      : sink_(std::move(sink)), fmt_(fmt) {}
+
+  void write(std::string_view key, std::string_view value);
+  void flush();  // frames out buffered records, if any
+  void close() { flush(); }
+
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t wire_bytes() const { return wire_bytes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  void emit_block();
+
+  Sink sink_;
+  WireFormat fmt_;
+  Bytes block_;      // compacted records of the current frame
+  Bytes frame_;      // frame scratch
+  Bytes prev_key_;
+  uint32_t since_restart_ = 0;
+  uint64_t raw_bytes_ = 0;
+  uint64_t wire_bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+// Streams records back out of a compacted wire stream. key()/value() views
+// are valid until the next next() call (the reader reconstructs compacted
+// keys into its own scratch).
+class RecordStreamReader {
+ public:
+  explicit RecordStreamReader(BlockReader::Source source)
+      : blocks_(std::move(source)) {}
+  explicit RecordStreamReader(std::string_view data) : blocks_(data) {}
+
+  // Advances to the next record; false at end of stream. Throws
+  // serde::DecodeError on corruption.
+  bool next();
+
+  std::string_view key() const { return key_; }
+  std::string_view value() const { return value_; }
+
+  uint64_t records() const { return records_; }
+  // Framed-record bytes decoded so far (the raw-equivalent size).
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t wire_bytes() const { return blocks_.wire_bytes(); }
+
+ private:
+  BlockReader blocks_;
+  std::string_view block_;
+  size_t pos_ = 0;
+  std::string_view key_;
+  Bytes key_buf_;
+  std::string_view value_;
+  uint64_t records_ = 0;
+  uint64_t raw_bytes_ = 0;
+};
+
+// Record opcodes inside a compacted block (first byte of every record).
+inline constexpr uint8_t kOpFullKey = 0;    // varint len | key bytes
+inline constexpr uint8_t kOpPrefixKey = 1;  // varint shared | varint len | suffix
+inline constexpr uint8_t kOpDeltaKey = 2;   // zigzag(vertex id delta)
+
+// Decodes a whole wire record stream back into plain framed-record form
+// (the for_each_record framing). Used where a consumer needs an owned,
+// random-access raw image of a run.
+void decode_stream_to_framed(std::string_view wire, Bytes& out);
+
+// Encodes a plain framed-record buffer into wire form (frames appended to
+// `out`); returns the wire size appended. The inverse of
+// decode_stream_to_framed for any valid record buffer.
+uint64_t encode_framed_to_stream(std::string_view framed, const WireFormat& fmt,
+                                 Bytes& out);
+
+}  // namespace mrflow::codec

@@ -100,6 +100,9 @@ class ByteReader {
     int shift = 0;
     while (true) {
       uint8_t b = get_u8();
+      // The 10th byte holds only bit 63: any higher payload bit would be
+      // silently shifted out, so reject it as corruption instead.
+      if (shift == 63 && (b & 0x7E) != 0) throw DecodeError("varint overflow");
       v |= static_cast<uint64_t>(b & 0x7F) << shift;
       if (!(b & 0x80)) return v;
       shift += 7;

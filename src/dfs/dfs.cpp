@@ -94,6 +94,7 @@ FileWriter::FileWriter(FileWriter&& other) noexcept
       current_(std::move(other.current_)),
       blocks_(std::move(other.blocks_)),
       bytes_written_(other.bytes_written_),
+      raw_declared_(other.raw_declared_),
       closed_(other.closed_) {
   other.closed_ = true;  // moved-from writer must not commit
 }
@@ -126,7 +127,9 @@ void FileWriter::close() {
   if (closed_) return;
   common::TraceSpan span("dfs.write", "io");
   flush_block();
-  fs_->commit_file(name_, std::move(blocks_), bytes_written_);
+  uint64_t raw = options_.wire_framed ? raw_declared_ : bytes_written_;
+  fs_->commit_file(name_, std::move(blocks_), bytes_written_,
+                   options_.wire_framed, raw);
   closed_ = true;
 }
 
@@ -205,6 +208,43 @@ void FileSystem::write_all(const std::string& name, std::string_view data) {
   w.close();
 }
 
+Bytes FileSystem::read_all_decoded(const std::string& name,
+                                   int reader_node) const {
+  if (!stat(name).wire_framed) return read_all(name, reader_node);
+  common::TraceSpan span("dfs.read", "io");
+  FileReader r = open(name, reader_node);
+  codec::BlockReader blocks(
+      [&r](size_t hint) -> std::string_view { return r.read(hint); });
+  Bytes out;
+  while (true) {
+    std::string_view block = blocks.next_block();
+    if (block.empty()) break;
+    out.append(block.data(), block.size());
+  }
+  return out;
+}
+
+uint64_t FileSystem::write_all_framed(const std::string& name,
+                                      std::string_view data,
+                                      const codec::WireFormat& fmt,
+                                      CreateOptions options) {
+  options.wire_framed = true;
+  FileWriter w = create(name, options);
+  codec::BlockWriter blocks(
+      [&w](std::string_view frame) { w.append(frame); }, fmt);
+  // Feed block-sized atoms so the file becomes a sequence of independent
+  // frames (bounded decode buffers) instead of one stream-length frame.
+  size_t step = fmt.block_bytes > 0 ? fmt.block_bytes : data.size();
+  for (size_t off = 0; off < data.size(); off += step) {
+    blocks.append(data.substr(off, step));
+  }
+  blocks.close();
+  w.set_raw_bytes(data.size());
+  uint64_t wire = w.bytes_written();
+  w.close();
+  return wire;
+}
+
 Bytes FileSystem::read_block(const std::string& name, size_t block_index,
                              int reader_node) const {
   common::TraceSpan span("dfs.read_block", "io");
@@ -268,6 +308,10 @@ uint64_t FileSystem::file_size(const std::string& name) const {
   return stat(name).size;
 }
 
+uint64_t FileSystem::raw_file_size(const std::string& name) const {
+  return stat(name).raw_size;
+}
+
 IoStats FileSystem::io_stats() const {
   std::lock_guard<std::mutex> lk(io_mu_);
   return io_;
@@ -310,11 +354,14 @@ std::vector<int> FileSystem::place_replicas(
 }
 
 void FileSystem::commit_file(const std::string& name,
-                             std::vector<BlockInfo> blocks, uint64_t size) {
+                             std::vector<BlockInfo> blocks, uint64_t size,
+                             bool wire_framed, uint64_t raw_size) {
   std::lock_guard<std::mutex> lk(mu_);
   FileInfo info;
   info.name = name;
   info.size = size;
+  info.wire_framed = wire_framed;
+  info.raw_size = raw_size;
   info.blocks = std::move(blocks);
   auto old = files_.find(name);
   if (old != files_.end()) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/serde.h"
 
 namespace mrflow::dfs {
@@ -64,6 +65,10 @@ struct IoStats {
 struct CreateOptions {
   int replication = 0;  // copies per block; 0 = filesystem default
   int pin_node = -1;    // if >= 0, place the first replica on this node
+  // The file holds codec::BlockReader frames rather than raw bytes.
+  // Readers use this flag (via FileInfo) to decode transparently; the
+  // writer must declare the decoded size with FileWriter::set_raw_bytes.
+  bool wire_framed = false;
 };
 
 struct BlockInfo {
@@ -74,8 +79,12 @@ struct BlockInfo {
 
 struct FileInfo {
   std::string name;
-  uint64_t size = 0;
+  uint64_t size = 0;  // stored (wire) bytes; what I/O accounting charges
   std::vector<BlockInfo> blocks;
+  // Wire-format metadata (see CreateOptions::wire_framed). For plain files
+  // raw_size == size; for framed files it is the decoded payload size.
+  bool wire_framed = false;
+  uint64_t raw_size = 0;
 };
 
 class FileSystem;
@@ -96,6 +105,11 @@ class FileWriter {
   void close();
   uint64_t bytes_written() const { return bytes_written_; }
 
+  // Declares the decoded payload size of a wire-framed file (recorded as
+  // FileInfo::raw_size at commit). Only meaningful with
+  // CreateOptions::wire_framed; plain files record raw_size == size.
+  void set_raw_bytes(uint64_t n) { raw_declared_ = n; }
+
  private:
   friend class FileSystem;
   FileWriter(FileSystem* fs, std::string name, CreateOptions options);
@@ -107,6 +121,7 @@ class FileWriter {
   Bytes current_;
   std::vector<BlockInfo> blocks_;
   uint64_t bytes_written_ = 0;
+  uint64_t raw_declared_ = 0;
   bool closed_ = false;
 };
 
@@ -121,6 +136,8 @@ class FileReader {
   std::string_view read(size_t n);
   bool at_end() const;
   uint64_t size() const { return size_; }
+  bool wire_framed() const { return info_.wire_framed; }
+  uint64_t raw_size() const { return info_.raw_size; }
 
  private:
   friend class FileSystem;
@@ -156,10 +173,24 @@ class FileSystem {
   FileReader open(const std::string& name, int reader_node = -1) const;
 
   // Reads the whole file into a single buffer (convenience for side files).
+  // Returns the *stored* bytes verbatim -- frames included for wire-framed
+  // files (callers that want payload bytes use read_all_decoded).
   Bytes read_all(const std::string& name, int reader_node = -1) const;
+
+  // Reads a whole file, decoding wire frames when the file is framed.
+  // Plain files behave exactly like read_all. Throws serde::DecodeError on
+  // corrupt frames.
+  Bytes read_all_decoded(const std::string& name, int reader_node = -1) const;
 
   // Writes data as a single file in one call.
   void write_all(const std::string& name, std::string_view data);
+
+  // Writes data as a wire-framed file: the payload is cut into block
+  // frames (compressed per `fmt`) and the file is marked wire_framed so
+  // read_all_decoded can restore it. Returns the stored (wire) size.
+  uint64_t write_all_framed(const std::string& name, std::string_view data,
+                            const codec::WireFormat& fmt,
+                            CreateOptions options = {});
 
   // Reads one block of a file (map tasks process single blocks). Reads are
   // attributed to reader_node unless it is -1.
@@ -173,6 +204,8 @@ class FileSystem {
   // Names of files whose name starts with prefix, sorted.
   std::vector<std::string> list(const std::string& prefix) const;
   uint64_t file_size(const std::string& name) const;
+  // Decoded payload size (== file_size for plain files).
+  uint64_t raw_file_size(const std::string& name) const;
 
   IoStats io_stats() const;
   void reset_io_stats();
@@ -188,7 +221,7 @@ class FileSystem {
   std::vector<int> place_replicas(uint64_t block_id,
                                   const CreateOptions& options) const;
   void commit_file(const std::string& name, std::vector<BlockInfo> blocks,
-                   uint64_t size);
+                   uint64_t size, bool wire_framed, uint64_t raw_size);
   Bytes fetch_block(const BlockInfo& block, int reader_node) const;
   void account_write(const std::vector<int>& replicas, uint64_t n);
 

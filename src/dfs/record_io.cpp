@@ -1,6 +1,14 @@
 #include "dfs/record_io.h"
 
+#include <algorithm>
+
 namespace mrflow::dfs {
+
+namespace {
+// Refill target: enough for several records of any realistic size while
+// keeping one stable allocation for the life of the reader.
+constexpr size_t kReadChunk = 1 << 20;
+}  // namespace
 
 void append_record(serde::Bytes& out, std::string_view key,
                    std::string_view value) {
@@ -10,23 +18,53 @@ void append_record(serde::Bytes& out, std::string_view key,
 }
 
 void RecordWriter::write(std::string_view key, std::string_view value) {
-  scratch_.clear();
-  append_record(scratch_, key, value);
-  writer_.append(scratch_);
+  if (stream_) {
+    stream_->write(key, value);
+  } else {
+    scratch_.clear();
+    append_record(scratch_, key, value);
+    writer_.append(scratch_);
+  }
   ++records_;
 }
 
+void RecordWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (stream_) {
+    stream_->close();  // flush the trailing frame
+    writer_.set_raw_bytes(stream_->raw_bytes());
+  }
+  writer_.close();
+}
+
 void RecordReader::refill() {
-  // Compact consumed prefix, then append the next chunk from the file.
+  // Compact the consumed prefix in place (capacity is retained), then top
+  // the buffer up to a high-water mark. The reservation below happens once:
+  // later refills -- including every DFS block boundary -- reuse the same
+  // allocation. The mark is capped by what the file can still supply, so a
+  // reader over a small spill run holds a run-sized buffer, not kReadChunk
+  // (spill merges keep dozens of these open at once).
   if (pos_ > 0) {
     buffer_.erase(0, pos_);
     pos_ = 0;
   }
-  auto chunk = reader_.read(1 << 20);
-  buffer_.append(chunk.data(), chunk.size());
+  size_t remaining = static_cast<size_t>(reader_->size() - consumed_);
+  size_t target = buffer_.size() + std::min(kReadChunk, remaining);
+  if (buffer_.capacity() < target) buffer_.reserve(target);
+  while (buffer_.size() < target && !reader_->at_end()) {
+    auto chunk = reader_->read(target - buffer_.size());
+    consumed_ += chunk.size();
+    buffer_.append(chunk.data(), chunk.size());
+  }
 }
 
 std::optional<RecordRef> RecordReader::next() {
+  if (stream_) {
+    if (!stream_->next()) return std::nullopt;
+    ++records_;
+    return RecordRef{stream_->key(), stream_->value()};
+  }
   while (true) {
     // Try to decode one record from the buffered bytes.
     serde::ByteReader r(std::string_view(buffer_).substr(pos_));
@@ -41,7 +79,7 @@ std::optional<RecordRef> RecordReader::next() {
         // Partial record at buffer end; fall through to refill.
       }
     }
-    if (reader_.at_end()) {
+    if (reader_->at_end()) {
       if (pos_ < buffer_.size()) {
         throw serde::DecodeError("truncated record at end of file");
       }

@@ -1,17 +1,27 @@
 // Record-oriented I/O on top of DFS byte files (the SequenceFile analog).
 //
-// A record file is a stream of (key, value) byte-string pairs, each framed
-// as: varint key length, key bytes, varint value length, value bytes.
-// The writer emits one whole record per FileWriter::append call, so records
-// never straddle DFS block boundaries and any block can be decoded on its
-// own (this is what lets the MapReduce engine split map input by block).
+// A record file is a stream of (key, value) byte-string pairs. In the plain
+// format each record is framed as: varint key length, key bytes, varint
+// value length, value bytes. The writer emits one whole record per
+// FileWriter::append call, so records never straddle DFS block boundaries
+// and any block can be decoded on its own (this is what lets the MapReduce
+// engine split map input by block).
+//
+// When constructed with an enabled codec::WireFormat, the writer instead
+// emits compacted block frames (see common/codec.h): prefix/delta key
+// compaction inside checksummed, optionally LZ-compressed frames, one
+// whole frame per FileWriter::append call -- so framed files keep the same
+// block-decodability property. The file is marked wire_framed in DFS
+// metadata and RecordReader decodes it transparently.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "common/codec.h"
 #include "common/serde.h"
 #include "dfs/dfs.h"
 
@@ -24,39 +34,80 @@ struct RecordRef {
 
 class RecordWriter {
  public:
-  RecordWriter(FileSystem* fs, const std::string& name)
-      : writer_(fs->create(name)) {}
+  RecordWriter(FileSystem* fs, const std::string& name,
+               const codec::WireFormat& fmt = {}, CreateOptions options = {})
+      : writer_(fs->create(name, with_framing(options, fmt))) {
+    if (fmt.enabled()) {
+      dfs::FileWriter* w = &writer_;
+      stream_ = std::make_unique<codec::RecordStreamWriter>(
+          [w](std::string_view frame) { w->append(frame); }, fmt);
+    }
+  }
+
+  // The stream sink points at writer_, so the object must stay put.
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  ~RecordWriter() { close(); }  // flushes the trailing wire frame
 
   void write(std::string_view key, std::string_view value);
-  void close() { writer_.close(); }
+  void close();
+  // Stored (wire) bytes -- equals raw_bytes_written for plain files.
   uint64_t bytes_written() const { return writer_.bytes_written(); }
+  // Framed-record bytes (the raw-equivalent size).
+  uint64_t raw_bytes_written() const {
+    return stream_ ? stream_->raw_bytes() : writer_.bytes_written();
+  }
   uint64_t records_written() const { return records_; }
 
  private:
+  static CreateOptions with_framing(CreateOptions options,
+                                    const codec::WireFormat& fmt) {
+    options.wire_framed = fmt.enabled();
+    return options;
+  }
+
   FileWriter writer_;
+  std::unique_ptr<codec::RecordStreamWriter> stream_;  // wire mode only
   serde::Bytes scratch_;
   uint64_t records_ = 0;
+  bool closed_ = false;
 };
 
-// Streams records out of a record file. The string_views returned by next()
-// are valid until the following next() call.
+// Streams records out of a record file, plain or wire-framed (the DFS
+// metadata decides). The string_views returned by next() are valid until
+// the following next() call.
 class RecordReader {
  public:
   RecordReader(const FileSystem* fs, const std::string& name,
                int reader_node = -1)
-      : reader_(fs->open(name, reader_node)) {}
+      : reader_(std::make_unique<FileReader>(fs->open(name, reader_node))) {
+    if (reader_->wire_framed()) {
+      // Heap pointers keep the source lambda valid across moves of this
+      // RecordReader (e.g. through std::optional returns).
+      FileReader* r = reader_.get();
+      stream_ = std::make_unique<codec::RecordStreamReader>(
+          [r](size_t hint) { return r->read(hint); });
+    }
+  }
 
   // Returns the next record, or nullopt at end of file.
   std::optional<RecordRef> next();
 
   uint64_t records_read() const { return records_; }
 
+  // Decode-buffer capacity (regression hook: refilling across DFS block
+  // boundaries must not reallocate once the buffer is warm).
+  size_t buffer_capacity() const { return buffer_.capacity(); }
+
  private:
   void refill();
 
-  FileReader reader_;
+  std::unique_ptr<FileReader> reader_;
+  std::unique_ptr<codec::RecordStreamReader> stream_;  // wire mode only
   serde::Bytes buffer_;
   size_t pos_ = 0;
+  uint64_t consumed_ = 0;  // bytes pulled from reader_ so far
   uint64_t records_ = 0;
 };
 

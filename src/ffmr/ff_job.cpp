@@ -518,8 +518,9 @@ const char* variant_name(Variant v) {
 }
 
 void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
-                        const std::string& path) {
-  dfs::RecordWriter out(&cluster.fs(), path);
+                        const std::string& path,
+                        const codec::WireFormat& fmt) {
+  dfs::RecordWriter out(&cluster.fs(), path, fmt);
   ByteWriter w;
   for (uint64_t i = 0; i < g.num_edge_pairs(); ++i) {
     const graph::EdgePair& e = g.edge(i);

@@ -59,9 +59,11 @@ inline constexpr const char* kAugmenterService = "aug_proc";
 
 // Writes the raw graph as edge records under `path`: one record per edge
 // pair, keyed by the pair's 'a' endpoint, value = EdgeState from a's
-// perspective. eid == pair index in `g`.
+// perspective. eid == pair index in `g`. An enabled `fmt` stores the file
+// wire-framed (the round-0 mappers decode it transparently).
 void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
-                        const std::string& path);
+                        const std::string& path,
+                        const codec::WireFormat& fmt = {});
 
 // Round #0 mapper/reducer.
 mr::MapperFactory make_load_mapper();

@@ -15,11 +15,20 @@
 #include <optional>
 #include <string>
 
+#include "common/codec.h"
+
 namespace mrflow::ffmr {
 
 enum class Variant { FF1 = 1, FF2 = 2, FF3 = 3, FF4 = 4, FF5 = 5 };
 
 const char* variant_name(Variant v);
+
+// Wire-format policy for the solver's persistent and shuffled streams
+// (edge input, shuffle runs, spills, round partition files, and the
+// AugmentedEdges broadcast). kAuto enables the codec iff the cluster's
+// CostModel predicts a net simulated-time win (CostModel::codec_pays()).
+// Record contents, grouping, and the final flow are identical either way.
+enum class WireChoice { kOff, kOn, kAuto };
 
 enum class TerminationRule {
   // Paper Fig. 2 line 10: stop when source OR sink movement is zero.
@@ -72,6 +81,13 @@ struct FfmrOptions {
   // flow, shuffle/schimmy bytes, sim vs wall seconds, all counters).
   // Empty = no report.
   std::string round_report;
+
+  // Compact wire format (see WireChoice above). Off by default so results
+  // and byte counters stay bit-stable with earlier revisions; benches turn
+  // it on (or kAuto) for the codec ablation.
+  WireChoice wire = WireChoice::kOff;
+  codec::CodecId wire_codec = codec::CodecId::kLz;
+  bool wire_compact_keys = true;
 
   // Ablation overrides; unset = derived from `variant`.
   std::optional<bool> use_aug_proc;   // default: variant >= FF2

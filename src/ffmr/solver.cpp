@@ -59,6 +59,17 @@ graph::FlowAssignment extract_assignment(mr::Cluster& cluster,
 
 }  // namespace
 
+codec::WireFormat resolve_wire_format(const FfmrOptions& options,
+                                      const mr::CostModel& cost) {
+  codec::WireFormat fmt;
+  bool on = options.wire == WireChoice::kOn ||
+            (options.wire == WireChoice::kAuto && cost.codec_pays());
+  if (!on) return fmt;
+  fmt.codec = options.wire_codec;
+  fmt.compact_keys = options.wire_compact_keys;
+  return fmt;
+}
+
 FfmrResult solve_max_flow(mr::Cluster& cluster,
                           const graph::FlowProblem& problem,
                           const FfmrOptions& options) {
@@ -85,8 +96,22 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
   }
 
   const std::string& base = options.base;
+  const codec::WireFormat wire =
+      resolve_wire_format(options, cluster.config().cost);
   const std::string edges_file = base + "/edges";
-  write_edge_records(cluster, g, edges_file);
+  write_edge_records(cluster, g, edges_file, wire);
+
+  // Broadcast writer for the per-round AugmentedEdges side file: framed
+  // (compressed) when the wire is on; mappers read it decoded either way
+  // through the side-file cache.
+  auto write_aug = [&](int round, const serde::Bytes& encoded) {
+    const std::string name = aug_file_name(base, round);
+    if (wire.enabled()) {
+      cluster.fs().write_all_framed(name, encoded, wire);
+    } else {
+      cluster.fs().write_all(name, encoded);
+    }
+  };
 
   auto augmenter = std::make_shared<AugmenterService>(options.async_augmenter);
   mr::ServiceRegistry services;
@@ -117,6 +142,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     spec.params[param::kSource] = std::to_string(source);
     spec.params[param::kSink] = std::to_string(sink);
     spec.params[param::kBidirectional] = options.bidirectional ? "1" : "0";
+    spec.wire = wire;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 
@@ -130,7 +156,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     result.rounds_info.push_back(std::move(info));
   }
   // Empty broadcast for round 1.
-  cluster.fs().write_all(aug_file_name(base, 0), AugmentedEdges{}.encode());
+  write_aug(0, AugmentedEdges{}.encode());
 
   // ---------------------------------------------------------- FF rounds
   bool restart_next = false;
@@ -151,12 +177,12 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     if (options.schimmy_enabled()) {
       spec.schimmy_prefix = chain.prefix_for(round - 1);
     }
+    spec.wire = wire;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 
     AugmenterService::RoundOutcome outcome = augmenter->finish_round();
-    cluster.fs().write_all(aug_file_name(base, round),
-                           outcome.deltas.encode());
+    write_aug(round, outcome.deltas.encode());
     if (round >= 2) cluster.fs().remove(aug_file_name(base, round - 2));
 
     result.max_flow += outcome.accepted_amount;

@@ -52,6 +52,12 @@ struct FfmrResult {
   graph::FlowAssignment assignment;  // final per-pair flows (validated in tests)
 };
 
+// Resolves the options' wire policy against the cluster cost model into
+// the concrete format the solver's jobs use (disabled for WireChoice::kOff
+// and for kAuto when the model says compression doesn't pay).
+codec::WireFormat resolve_wire_format(const FfmrOptions& options,
+                                      const mr::CostModel& cost);
+
 // Runs FFMR max-flow for `problem` on `cluster`. The graph must be
 // finalized. Throws std::invalid_argument on bad terminals.
 FfmrResult solve_max_flow(mr::Cluster& cluster,

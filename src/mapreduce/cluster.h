@@ -34,11 +34,38 @@ struct CostModel {
                                      // (Hadoop's per-record overhead is far
                                      // higher than tight C++ loops)
 
+  // Wire-codec model (common/codec.h): throughput of the LZ block codec on
+  // engine record streams, in raw (uncompressed) bytes per second per task,
+  // and the planning assumption for how much smaller the wire bytes come
+  // out. Hadoop-era intermediate compression (LZO/Snappy-class) compresses
+  // slower than it decompresses by roughly this margin.
+  double codec_compress_mbps = 400.0;
+  double codec_decompress_mbps = 1200.0;
+  double codec_assumed_ratio = 0.65;  // predicted wire/raw byte ratio
+
   double disk_seconds(uint64_t bytes) const {
     return static_cast<double>(bytes) / (disk_mbps * 1e6);
   }
   double net_seconds(uint64_t bytes) const {
     return static_cast<double>(bytes) / (network_mbps * 1e6);
+  }
+  double codec_compress_seconds(uint64_t raw_bytes) const {
+    return static_cast<double>(raw_bytes) / (codec_compress_mbps * 1e6);
+  }
+  double codec_decompress_seconds(uint64_t raw_bytes) const {
+    return static_cast<double>(raw_bytes) / (codec_decompress_mbps * 1e6);
+  }
+
+  // Planning rule for FfmrOptions::WireChoice::kAuto: compressing a stream
+  // pays when the bytes it removes from the slowest I/O resource buy more
+  // simulated time than the codec CPU it adds (both sides per raw byte;
+  // every shuffled byte is written, possibly networked, and read back).
+  bool codec_pays() const {
+    double io_mbps = disk_mbps < network_mbps ? disk_mbps : network_mbps;
+    double saved = (1.0 - codec_assumed_ratio) / io_mbps;
+    double spent =
+        1.0 / codec_compress_mbps + codec_assumed_ratio / codec_decompress_mbps;
+    return saved > spent;
   }
 
   // Combined map + shuffle phase time. Barrier mode pays the phases back

@@ -57,10 +57,16 @@ void RoundReportWriter::write_round(int round, const JobStats& stats,
   line += ",\"map_output_records\":" + std::to_string(stats.map_output_records);
   line += ",\"reduce_output_records\":" +
           std::to_string(stats.reduce_output_records);
+  // Raw counters describe the records; the _wire twins are the bytes
+  // actually stored/transferred (equal when no wire format is enabled).
   line += ",\"shuffle_bytes\":" + std::to_string(stats.shuffle_bytes);
   line += ",\"schimmy_bytes\":" + std::to_string(stats.schimmy_bytes);
   line += ",\"spill_bytes\":" + std::to_string(stats.spill_bytes);
   line += ",\"output_bytes\":" + std::to_string(stats.output_bytes);
+  line += ",\"shuffle_bytes_wire\":" + std::to_string(stats.shuffle_bytes_wire);
+  line += ",\"schimmy_bytes_wire\":" + std::to_string(stats.schimmy_bytes_wire);
+  line += ",\"spill_bytes_wire\":" + std::to_string(stats.spill_bytes_wire);
+  line += ",\"output_bytes_wire\":" + std::to_string(stats.output_bytes_wire);
   line += ",\"task_retries\":" + std::to_string(stats.task_retries);
   line += ",\"sim_seconds\":";
   append_json_double(line, stats.sim_seconds);

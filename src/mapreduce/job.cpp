@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -74,9 +75,11 @@ const Bytes& SideFileCache::get(const std::string& name, int node) {
   }
   // call_once outside the map lock: a slow DFS read for one (file, node)
   // must not serialize lookups of other entries. A throwing read leaves
-  // the flag unset, so a later task retries it.
-  std::call_once(entry->once,
-                 [&] { entry->data = cluster_->fs().read_all(name, node); });
+  // the flag unset, so a later task retries it. Wire-framed side files are
+  // decoded once here; every task on the node shares the decoded bytes.
+  std::call_once(entry->once, [&] {
+    entry->data = cluster_->fs().read_all_decoded(name, node);
+  });
   return entry->data;
 }
 
@@ -114,7 +117,7 @@ int64_t TaskContext::param_int(const std::string& name, int64_t def) const {
 
 const Bytes& TaskContext::read_side_file(const std::string& name) const {
   if (side_cache_ != nullptr) return side_cache_->get(name, node_);
-  side_scratch_ = cluster_->fs().read_all(name, node_);
+  side_scratch_ = cluster_->fs().read_all_decoded(name, node_);
   return side_scratch_;
 }
 
@@ -180,6 +183,13 @@ void JobStats::accumulate(const JobStats& other) {
   schimmy_bytes += other.schimmy_bytes;
   output_bytes += other.output_bytes;
   spill_bytes += other.spill_bytes;
+  map_input_bytes_wire += other.map_input_bytes_wire;
+  map_output_bytes_wire += other.map_output_bytes_wire;
+  shuffle_bytes_wire += other.shuffle_bytes_wire;
+  shuffle_bytes_remote_wire += other.shuffle_bytes_remote_wire;
+  schimmy_bytes_wire += other.schimmy_bytes_wire;
+  output_bytes_wire += other.output_bytes_wire;
+  spill_bytes_wire += other.spill_bytes_wire;
   rpc_calls += other.rpc_calls;
   rpc_request_bytes += other.rpc_request_bytes;
   rpc_response_bytes += other.rpc_response_bytes;
@@ -200,17 +210,25 @@ namespace {
 struct MapTaskSpec {
   std::string file;
   size_t block_index = 0;
-  uint64_t block_bytes = 0;
+  uint64_t block_bytes = 0;  // stored size (wire size for framed inputs)
   int node = 0;
+  bool framed = false;  // input file is wire-framed (DFS metadata)
 };
 
 struct MapTaskResult {
-  std::vector<Bytes> partitions;  // framed sorted runs per reduce partition
-                                  // (freed after commit when spilling)
-  std::vector<uint64_t> partition_sizes;  // run sizes; valid in every mode
+  std::vector<Bytes> partitions;  // sorted runs per reduce partition --
+                                  // framed records, or their compacted wire
+                                  // image under JobSpec::wire (freed after
+                                  // commit when spilling)
+  std::vector<uint64_t> partition_sizes;       // raw run sizes; every mode
+  std::vector<uint64_t> partition_wire_sizes;  // stored sizes (== raw when
+                                               // the wire format is off)
   int64_t input_records = 0;
   int64_t output_records = 0;
-  uint64_t spilled_bytes = 0;
+  uint64_t input_raw_bytes = 0;  // decoded input bytes (== block_bytes for
+                                 // plain input files)
+  uint64_t spilled_bytes = 0;       // raw
+  uint64_t spilled_wire_bytes = 0;  // stored
   double cpu_seconds = 0;
   common::CounterSet counters;
 };
@@ -222,7 +240,8 @@ struct MapTaskResult {
 struct ReduceRun {
   const Bytes* buffer = nullptr;
   std::string file;
-  uint64_t size = 0;
+  uint64_t size = 0;       // raw (framed-record) bytes
+  uint64_t wire_size = 0;  // stored bytes (== size when the wire is off)
 };
 
 struct ReduceTaskResult {
@@ -231,6 +250,9 @@ struct ReduceTaskResult {
   uint64_t shuffle_in_bytes = 0;
   uint64_t schimmy_in_bytes = 0;
   uint64_t output_bytes = 0;
+  uint64_t shuffle_in_wire = 0;
+  uint64_t schimmy_in_wire = 0;
+  uint64_t output_wire = 0;
   double cpu_seconds = 0;
   common::CounterSet counters;
 };
@@ -248,6 +270,7 @@ std::vector<MapTaskSpec> plan_map_tasks(Cluster& cluster,
       t.file = file;
       t.block_index = b;
       t.block_bytes = info.blocks[b].size;
+      t.framed = info.wire_framed;
       int best = info.blocks[b].replicas.empty() ? 0
                                                  : info.blocks[b].replicas[0];
       for (int n : info.blocks[b].replicas) {
@@ -307,7 +330,10 @@ std::optional<dfs::RecordReader> open_schimmy(Cluster& cluster,
   if (!spec.schimmy_prefix.empty()) {
     std::string file = partition_file(spec.schimmy_prefix, r);
     if (cluster.fs().exists(file)) {
-      result.schimmy_in_bytes = cluster.fs().file_size(file);
+      // Raw vs stored: the previous round may have written partition r
+      // wire-framed; RecordReader decodes it transparently either way.
+      result.schimmy_in_bytes = cluster.fs().raw_file_size(file);
+      result.schimmy_in_wire = cluster.fs().file_size(file);
       schimmy.emplace(&cluster.fs(), file, node);
     }
   }
@@ -333,15 +359,27 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
 
   // Gather + decode this partition from every map task, then sort by key
   // (stable: ties keep map-task order, which makes output deterministic).
-  std::vector<Bytes> owned_runs;  // keeps spilled runs' bytes alive
+  // A deque keeps every gathered run's bytes at a stable address while
+  // later runs are appended (entries hold views into earlier elements).
+  const bool wire = spec.wire.enabled();
+  std::deque<Bytes> owned_runs;
   std::vector<KvView> entries;
   for (const ReduceRun& run : runs) {
     result.shuffle_in_bytes += run.size;
+    result.shuffle_in_wire += run.wire_size;
     std::string_view bytes;
     if (run.buffer != nullptr) {
       bytes = *run.buffer;
     } else if (!run.file.empty()) {
       owned_runs.push_back(cluster.fs().read_all(run.file, node));
+      bytes = owned_runs.back();
+    }
+    if (wire && !bytes.empty()) {
+      // Runs travel compacted; expand back to framed records so the oracle
+      // below stays byte-for-byte the pre-wire implementation.
+      Bytes decoded;
+      codec::decode_stream_to_framed(bytes, decoded);
+      owned_runs.push_back(std::move(decoded));
       bytes = owned_runs.back();
     }
     dfs::for_each_record(bytes, [&](std::string_view k, std::string_view v) {
@@ -352,7 +390,8 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
                    [](const KvView& a, const KvView& b) { return a.key < b.key; });
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
-  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
+  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
+                        spec.wire);
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
     ++result.output_records;
@@ -421,7 +460,8 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
   reducer->cleanup(ctx);
   result.cpu_seconds = thread_cpu_seconds() - cpu0;
   out.close();
-  result.output_bytes = out.bytes_written();
+  result.output_bytes = out.raw_bytes_written();
+  result.output_wire = out.bytes_written();
   result.counters = ctx.counters();
 }
 
@@ -432,13 +472,16 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
 // group loop copies streamed *values* into an arena before advancing.
 struct MergeStream {
   FramedCursor cursor;
+  WireRunCursor wire_cursor;  // in-memory run in compacted wire form
   std::optional<dfs::RecordReader> reader;
   std::string_view key, value;
   bool check_sorted = false;  // schimmy is user-produced; verify order
   Bytes prev_key;
   bool have_prev = false;
 
-  bool streamed() const { return reader.has_value(); }
+  // Wire cursors decode into a reused block buffer, so their views are as
+  // short-lived as a reader's: treat both as streamed.
+  bool streamed() const { return reader.has_value() || wire_cursor.active(); }
 
   bool advance() {
     if (reader) {
@@ -453,6 +496,12 @@ struct MergeStream {
       }
       key = rec->key;
       value = rec->value;
+      return true;
+    }
+    if (wire_cursor.active()) {
+      if (!wire_cursor.advance()) return false;
+      key = wire_cursor.key;
+      value = wire_cursor.value;
       return true;
     }
     if (!cursor.advance()) return false;
@@ -485,11 +534,18 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
       ++merge_width;
     }
   }
+  const bool wire = spec.wire.enabled();
   for (size_t m = 0; m < runs.size(); ++m) {
     result.shuffle_in_bytes += runs[m].size;
+    result.shuffle_in_wire += runs[m].wire_size;
     if (runs[m].size > 0) ++merge_width;
     if (runs[m].buffer != nullptr) {
-      streams[m + 1].cursor = FramedCursor(std::string_view(*runs[m].buffer));
+      if (wire) {
+        streams[m + 1].wire_cursor =
+            WireRunCursor(std::string_view(*runs[m].buffer));
+      } else {
+        streams[m + 1].cursor = FramedCursor(std::string_view(*runs[m].buffer));
+      }
     } else if (!runs[m].file.empty()) {
       streams[m + 1].reader.emplace(&cluster.fs(), runs[m].file, node);
     }
@@ -504,7 +560,8 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   tree.build();
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
-  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r));
+  dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
+                        spec.wire);
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
     ++result.output_records;
@@ -565,7 +622,8 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   reducer->cleanup(ctx);
   result.cpu_seconds = thread_cpu_seconds() - cpu0;
   out.close();
-  result.output_bytes = out.bytes_written();
+  result.output_bytes = out.raw_bytes_written();
+  result.output_wire = out.bytes_written();
   result.counters = ctx.counters();
 }
 
@@ -703,10 +761,22 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     double cpu0 = thread_cpu_seconds();
     auto mapper = spec.mapper();
     mapper->setup(ctx);
-    dfs::for_each_record(block, [&](std::string_view k, std::string_view v) {
-      mapper->map(k, v, ctx);
-      ++result.input_records;
-    });
+    if (task.framed) {
+      // Wire-framed input: frames never straddle DFS blocks (the writer
+      // appends whole frames), so each block is a self-contained stream.
+      codec::RecordStreamReader records{std::string_view(block)};
+      while (records.next()) {
+        mapper->map(records.key(), records.value(), ctx);
+        ++result.input_records;
+      }
+      result.input_raw_bytes = records.raw_bytes();
+    } else {
+      dfs::for_each_record(block, [&](std::string_view k, std::string_view v) {
+        mapper->map(k, v, ctx);
+        ++result.input_records;
+      });
+      result.input_raw_bytes = block.size();
+    }
     mapper->cleanup(ctx);
     if (spec.combiner) {
       run_combiner(spec, cluster, task.node, static_cast<int>(ti), &side_cache,
@@ -723,12 +793,20 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     // node (Hadoop's mapper-local disk) and free the in-memory copy. The
     // cost model already charges the map-output disk write in every mode.
     result.partition_sizes.resize(num_reducers);
+    result.partition_wire_sizes.resize(num_reducers);
+    const bool wire = spec.wire.enabled();
     auto& metrics = common::MetricsRegistry::global();
+    Bytes wire_scratch;
     for (int r = 0; r < num_reducers; ++r) {
       result.partition_sizes[r] = result.partitions[r].size();
       if (result.partition_sizes[r] > 0) {
         metrics.record("map.run_bytes", result.partition_sizes[r]);
       }
+      // With the wire format on, runs leave the map task compacted: every
+      // downstream consumer (fetch buffer, spill file, merge) sees wire
+      // bytes; partition_sizes keeps the raw size for planning and stats.
+      if (wire) compact_sorted_run(result.partitions[r], spec.wire, wire_scratch);
+      result.partition_wire_sizes[r] = result.partitions[r].size();
     }
     if (spill) {
       common::TraceSpan spill_span("spill", "io", static_cast<int64_t>(ti));
@@ -737,10 +815,13 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
         if (part.empty()) continue;
         dfs::FileWriter w = cluster.fs().create(
             spill_file(ti, r),
-            dfs::CreateOptions{.replication = 1, .pin_node = task.node});
+            dfs::CreateOptions{.replication = 1, .pin_node = task.node,
+                               .wire_framed = wire});
         w.append(part);
+        if (wire) w.set_raw_bytes(result.partition_sizes[r]);
         w.close();
-        result.spilled_bytes += part.size();
+        result.spilled_bytes += result.partition_sizes[r];
+        result.spilled_wire_bytes += part.size();
         part = Bytes();  // free; shrink capacity too
       }
       result.partitions.clear();
@@ -764,7 +845,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
         static_cast<size_t>(num_reducers));
   }
   auto fetch_body = [&](size_t r, size_t ti) {
-    const uint64_t size = map_results[ti].partition_sizes[r];
+    // Budgeting and the fetched copy both deal in *stored* bytes: runs stay
+    // compacted in the fetch buffer, so an enabled wire format stretches
+    // the same budget over proportionally more runs.
+    const uint64_t size = map_results[ti].partition_wire_sizes[r];
     if (size == 0) return;
     common::TraceSpan span("fetch", "shuffle", static_cast<int64_t>(r));
     const uint64_t budget = cluster.config().reduce_fetch_buffer_bytes;
@@ -787,6 +871,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       ReduceRun& run = runs[ti];
       run.size = map_results[ti].partition_sizes[r];
+      run.wire_size = map_results[ti].partition_wire_sizes[r];
       if (!spill) {
         run.buffer = &map_results[ti].partitions[r];
       } else if (run.size > 0) {
@@ -860,18 +945,25 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   if (spec.services) spec.services->end_phase();
 
   // ------------------------------------------------------ shuffle planning
+  // Raw totals are record properties (identical across wire modes); the
+  // per-node remote arrays feed net_seconds and therefore charge the wire
+  // bytes that actually cross the network.
   uint64_t shuffle_total = 0, shuffle_remote = 0;
+  uint64_t shuffle_total_wire = 0, shuffle_remote_wire = 0;
   std::vector<uint64_t> node_out_remote(cluster.num_nodes(), 0);
   std::vector<uint64_t> node_in_remote(cluster.num_nodes(), 0);
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
     for (int r = 0; r < num_reducers; ++r) {
       uint64_t n = map_results[ti].partition_sizes[r];
+      uint64_t w = map_results[ti].partition_wire_sizes[r];
       if (n == 0) continue;
       shuffle_total += n;
+      shuffle_total_wire += w;
       if (map_tasks[ti].node != reduce_node(r)) {
         shuffle_remote += n;
-        node_out_remote[map_tasks[ti].node] += n;
-        node_in_remote[reduce_node(r)] += n;
+        shuffle_remote_wire += w;
+        node_out_remote[map_tasks[ti].node] += w;
+        node_in_remote[reduce_node(r)] += w;
       }
     }
   }
@@ -883,6 +975,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   stats.num_reduce_tasks = num_reducers;
 
   const CostModel& cost = cluster.config().cost;
+  const bool wire_on = spec.wire.enabled();
 
   std::vector<std::vector<double>> map_times_by_node(cluster.num_nodes());
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
@@ -890,15 +983,24 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     const auto& res = map_results[ti];
     stats.map_input_records += res.input_records;
     stats.map_output_records += res.output_records;
-    stats.map_input_bytes += t.block_bytes;
-    uint64_t out_bytes = 0;
-    for (uint64_t n : res.partition_sizes) out_bytes += n;
-    stats.map_output_bytes += out_bytes;
+    stats.map_input_bytes += res.input_raw_bytes;
+    stats.map_input_bytes_wire += t.block_bytes;
+    uint64_t out_raw = 0, out_wire = 0;
+    for (uint64_t n : res.partition_sizes) out_raw += n;
+    for (uint64_t n : res.partition_wire_sizes) out_wire += n;
+    stats.map_output_bytes += out_raw;
+    stats.map_output_bytes_wire += out_wire;
     stats.spill_bytes += res.spilled_bytes;
+    stats.spill_bytes_wire += res.spilled_wire_bytes;
     stats.counters.merge(res.counters);
+    // Disk pays for stored bytes; the codec pays CPU per raw byte it
+    // (de)compresses: framed inputs on read, and -- with the wire on --
+    // every output run on write.
     double sim = cost.task_overhead_s + cost.disk_seconds(t.block_bytes) +
                  res.cpu_seconds * cost.cpu_scale +
-                 cost.disk_seconds(out_bytes);
+                 cost.disk_seconds(out_wire);
+    if (t.framed) sim += cost.codec_decompress_seconds(res.input_raw_bytes);
+    if (wire_on) sim += cost.codec_compress_seconds(out_raw);
     map_times_by_node[t.node].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {
@@ -910,6 +1012,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
 
   stats.shuffle_bytes = shuffle_total;
   stats.shuffle_bytes_remote = shuffle_remote;
+  stats.shuffle_bytes_wire = shuffle_total_wire;
+  stats.shuffle_bytes_remote_wire = shuffle_remote_wire;
   for (int n = 0; n < cluster.num_nodes(); ++n) {
     stats.shuffle_sim_s = std::max(
         {stats.shuffle_sim_s, cost.net_seconds(node_out_remote[n]),
@@ -923,12 +1027,19 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     stats.reduce_output_records += res.output_records;
     stats.schimmy_bytes += res.schimmy_in_bytes;
     stats.output_bytes += res.output_bytes;
+    stats.schimmy_bytes_wire += res.schimmy_in_wire;
+    stats.output_bytes_wire += res.output_wire;
     stats.counters.merge(res.counters);
-    double sim = cost.task_overhead_s + cost.disk_seconds(res.shuffle_in_bytes) +
-                 cost.disk_seconds(res.schimmy_in_bytes) +
+    double sim = cost.task_overhead_s + cost.disk_seconds(res.shuffle_in_wire) +
+                 cost.disk_seconds(res.schimmy_in_wire) +
                  res.cpu_seconds * cost.cpu_scale +
-                 cost.disk_seconds(res.output_bytes *
+                 cost.disk_seconds(res.output_wire *
                                    cluster.config().dfs_replication);
+    if (wire_on) {
+      sim += cost.codec_decompress_seconds(res.shuffle_in_bytes +
+                                           res.schimmy_in_bytes) +
+             cost.codec_compress_seconds(res.output_bytes);
+    }
     reduce_times_by_node[reduce_node(r)].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {

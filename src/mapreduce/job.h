@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/counters.h"
 #include "common/metrics.h"
 #include "common/serde.h"
@@ -229,6 +230,13 @@ struct JobSpec {
   // their spill files during the merge. Outputs and JobStats counters
   // other than spill_bytes are unaffected.
   bool spill_map_outputs = false;
+  // Wire format for every engine-owned stream: map-output runs (in memory
+  // and spilled), eagerly fetched shuffle buffers, and reduce output
+  // partition files (hence the next round's schimmy stream). Off by
+  // default. Enabling it never changes records, grouping, or the raw byte
+  // counters in JobStats -- only the *_wire twins, DFS storage, and the
+  // simulated cost (which then charges wire bytes plus codec CPU).
+  codec::WireFormat wire;
   ServiceRegistry* services = nullptr;
   // Remove input files once the job succeeds (multi-round GC).
   bool delete_inputs_after = false;
@@ -245,6 +253,8 @@ struct JobStats {
   int64_t reduce_input_groups = 0;
   int64_t reduce_output_records = 0;
 
+  // Raw (decoded) byte counters: properties of the records themselves,
+  // identical whether or not a wire format is enabled.
   uint64_t map_input_bytes = 0;
   uint64_t map_output_bytes = 0;
   uint64_t shuffle_bytes = 0;         // REDUCE_SHUFFLE_BYTES (all fetched)
@@ -252,6 +262,18 @@ struct JobStats {
   uint64_t schimmy_bytes = 0;         // master records merge-joined locally
   uint64_t output_bytes = 0;          // reduce output (pre-replication)
   uint64_t spill_bytes = 0;           // map-output runs spilled to local DFS
+
+  // Wire twins of the counters above: the bytes actually stored on DFS and
+  // moved through the shuffle. Equal to the raw values when JobSpec::wire
+  // is disabled; smaller when the codec/compaction pays. The cost model
+  // charges these for disk and network time.
+  uint64_t map_input_bytes_wire = 0;
+  uint64_t map_output_bytes_wire = 0;
+  uint64_t shuffle_bytes_wire = 0;
+  uint64_t shuffle_bytes_remote_wire = 0;
+  uint64_t schimmy_bytes_wire = 0;
+  uint64_t output_bytes_wire = 0;
+  uint64_t spill_bytes_wire = 0;
 
   uint64_t rpc_calls = 0;
   uint64_t rpc_request_bytes = 0;

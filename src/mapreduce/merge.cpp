@@ -45,6 +45,14 @@ void sort_framed_run(serde::Bytes& buf, RunSortScratch& scratch) {
   buf.swap(scratch.rebuild);
 }
 
+void compact_sorted_run(serde::Bytes& run, const codec::WireFormat& fmt,
+                        serde::Bytes& scratch) {
+  if (!fmt.enabled() || run.empty()) return;
+  scratch.clear();
+  codec::encode_framed_to_stream(run, fmt, scratch);
+  run.swap(scratch);
+}
+
 void LoserTree::reset(size_t k) {
   k_ = k;
   winner_ = 0;

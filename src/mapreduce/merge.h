@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/serde.h"
 
 namespace mrflow::mr {
@@ -67,6 +69,41 @@ struct FramedCursor {
     pos += r.pos();
     return true;
   }
+};
+
+// Re-encodes a sorted run of framed records into compact wire form in
+// place: prefix/delta key compaction inside checksummed (optionally
+// LZ-compressed) block frames, restart points every
+// WireFormat::restart_interval records so streaming readers never need the
+// whole run. No-op when the format is disabled or the run is empty. The
+// scratch buffer is reused across calls (swap-based, no shrink).
+void compact_sorted_run(serde::Bytes& run, const codec::WireFormat& fmt,
+                        serde::Bytes& scratch);
+
+// Cursor over an in-memory *compacted* run (the wire image produced by
+// compact_sorted_run), with FramedCursor's advance()/key/value protocol.
+// Unlike FramedCursor the views are only valid until the next advance()
+// -- the decoder reuses its block buffer -- so merge consumers must treat
+// a wire cursor like a streamed input and copy values they retain.
+class WireRunCursor {
+ public:
+  WireRunCursor() = default;
+  explicit WireRunCursor(std::string_view wire)
+      : reader_(std::make_unique<codec::RecordStreamReader>(wire)) {}
+
+  bool active() const { return reader_ != nullptr; }
+
+  bool advance() {
+    if (!reader_ || !reader_->next()) return false;
+    key = reader_->key();
+    value = reader_->value();
+    return true;
+  }
+
+  std::string_view key, value;
+
+ private:
+  std::unique_ptr<codec::RecordStreamReader> reader_;
 };
 
 // Tournament loser tree over k sorted streams keyed by byte strings.

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <set>
 
+#include "common/codec.h"
 #include "common/thread_pool.h"
 #include "dfs/dfs.h"
 #include "dfs/record_io.h"
@@ -294,6 +295,162 @@ TEST(RecordIo, TruncatedFileThrows) {
   fs.write_all("bad", buf);
   RecordReader r(&fs, "bad");
   EXPECT_THROW(r.next(), serde::DecodeError);
+}
+
+TEST(RecordIo, RefillReusesBufferAcrossBlockBoundaries) {
+  // ~3 MB of records over 1 KB DFS blocks: thousands of block boundaries
+  // and several refills of the 1 MB decode buffer. The buffer must settle
+  // after warm-up instead of reallocating per refill (let alone per block).
+  FileSystem fs(small_config());
+  constexpr int kRecords = 3000;
+  {
+    RecordWriter w(&fs, "wide");
+    for (int i = 0; i < kRecords; ++i) {
+      w.write("key" + std::to_string(i), std::string(1000, 'a' + i % 26));
+    }
+    w.close();
+  }
+  ASSERT_GT(fs.stat("wide").blocks.size(), 1000u);
+  RecordReader r(&fs, "wide");
+  std::set<size_t> capacities;
+  int count = 0;
+  while (auto rec = r.next()) {
+    EXPECT_EQ(rec->key, "key" + std::to_string(count));
+    EXPECT_EQ(rec->value.size(), 1000u);
+    capacities.insert(r.buffer_capacity());
+    ++count;
+  }
+  EXPECT_EQ(count, kRecords);
+  // One warm-up reservation plus at most one growth when a partial record
+  // carries over -- never one allocation per refill.
+  EXPECT_LE(capacities.size(), 2u);
+}
+
+// --------------------------------------------------------------- wire format
+
+// Offset of the first frame's checksum (u8 codec id, varint raw length,
+// varint wire length, then the 8-byte xxhash). Flipping a checksum bit is a
+// deterministic corruption: unlike payload flips it can never alias to a
+// byte-identical decode.
+size_t first_frame_checksum_offset(std::string_view wire) {
+  serde::ByteReader r(wire);
+  r.get_u8();
+  r.get_varint();
+  r.get_varint();
+  return r.pos();
+}
+
+codec::WireFormat small_frames() {
+  codec::WireFormat fmt;
+  fmt.codec = codec::CodecId::kLz;
+  fmt.compact_keys = true;
+  fmt.block_bytes = 4 << 10;
+  return fmt;
+}
+
+TEST(RecordIo, WireFramedRoundTripAcrossBlocks) {
+  FileSystem fs(small_config());  // 1 KB DFS blocks
+  {
+    RecordWriter w(&fs, "wired", small_frames());
+    for (int i = 0; i < 1000; ++i) {
+      w.write("vertex/" + std::to_string(i), std::string(i % 53, 'p'));
+    }
+    w.close();
+    EXPECT_LT(w.bytes_written(), w.raw_bytes_written());
+  }
+  FileInfo info = fs.stat("wired");
+  EXPECT_TRUE(info.wire_framed);
+  EXPECT_GT(info.blocks.size(), 1u);
+  EXPECT_LT(info.size, info.raw_size);
+  EXPECT_EQ(fs.raw_file_size("wired"), info.raw_size);
+
+  // The reader learns the format from DFS metadata alone.
+  RecordReader r(&fs, "wired");
+  int count = 0;
+  while (auto rec = r.next()) {
+    EXPECT_EQ(rec->key, "vertex/" + std::to_string(count));
+    EXPECT_EQ(rec->value.size(), static_cast<size_t>(count % 53));
+    ++count;
+  }
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(r.records_read(), 1000u);
+}
+
+TEST(RecordIo, CorruptWireFrameThrows) {
+  FileSystem fs(small_config());
+  {
+    RecordWriter w(&fs, "wired", small_frames());
+    for (int i = 0; i < 500; ++i) {
+      w.write("key" + std::to_string(i), std::string(40, 'v'));
+    }
+    w.close();
+  }
+  Bytes stored = fs.read_all("wired");
+  uint64_t raw_size = fs.stat("wired").raw_size;
+  stored[first_frame_checksum_offset(stored)] ^= 0x01;
+  CreateOptions opts;
+  opts.wire_framed = true;
+  FileWriter w = fs.create("wired", opts);
+  w.append(stored);
+  w.set_raw_bytes(raw_size);
+  w.close();
+
+  RecordReader r(&fs, "wired");
+  EXPECT_THROW(
+      {
+        while (r.next()) {
+        }
+      },
+      serde::DecodeError);
+}
+
+TEST(Dfs, WriteAllFramedRoundTrip) {
+  FileSystem fs(small_config());
+  std::string payload;
+  for (int i = 0; i < 400; ++i) {
+    payload += "augmented-edge/" + std::to_string(i % 7) + ";";
+  }
+  uint64_t stored = fs.write_all_framed("side", payload, small_frames());
+  EXPECT_EQ(stored, fs.file_size("side"));
+  EXPECT_LT(stored, payload.size());  // repetitive payload compresses
+  EXPECT_EQ(fs.raw_file_size("side"), payload.size());
+  EXPECT_EQ(fs.read_all_decoded("side"), payload);
+  // read_all returns the stored frames verbatim.
+  EXPECT_NE(fs.read_all("side"), payload);
+
+  // Plain files: decoded == stored, raw == wire.
+  fs.write_all("plain", payload);
+  EXPECT_EQ(fs.read_all_decoded("plain"), payload);
+  EXPECT_EQ(fs.raw_file_size("plain"), fs.file_size("plain"));
+}
+
+TEST(Dfs, WriteAllFramedCutsBlockSizedFrames) {
+  // A large side file must become many independent frames, not one
+  // stream-length frame (bounded decode buffers on the read side).
+  FileSystem fs(small_config());
+  std::string payload(64 << 10, 'q');
+  fs.write_all_framed("big", payload, small_frames());  // 4 KB frames
+  Bytes stored = fs.read_all("big");
+  int frames = 0;
+  codec::BlockReader blocks{std::string_view(stored)};
+  while (!blocks.next_block().empty()) ++frames;
+  EXPECT_GE(frames, 16);
+  EXPECT_EQ(fs.read_all_decoded("big"), payload);
+}
+
+TEST(Dfs, CorruptFramedSideFileThrows) {
+  FileSystem fs(small_config());
+  std::string payload(20 << 10, 's');
+  fs.write_all_framed("side", payload, small_frames());
+  Bytes stored = fs.read_all("side");
+  stored[first_frame_checksum_offset(stored)] ^= 0x01;
+  CreateOptions opts;
+  opts.wire_framed = true;
+  FileWriter w = fs.create("side", opts);
+  w.append(stored);
+  w.set_raw_bytes(payload.size());
+  w.close();
+  EXPECT_THROW(fs.read_all_decoded("side"), serde::DecodeError);
 }
 
 }  // namespace

@@ -489,6 +489,72 @@ TEST(FfmrSolver, FaultsWithAugProcStillFeasibleAndMaximal) {
   EXPECT_TRUE(report.ok) << report.summary();
 }
 
+TEST(FfmrSolver, WireFormatIsPureTransport) {
+  // Differential run: the compact wire format changes only how bytes are
+  // stored and shipped, never what they say. Wire on vs off must produce
+  // byte-identical results -- same flow value, same per-pair assignment,
+  // same raw record counters -- on randomized graphs across variants.
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    graph::Graph g = graph::watts_strogatz(100, 4, 0.25, seed);
+    rng::Xoshiro256 r(seed * 131);
+    graph::VertexId s = r.next_below(g.num_vertices());
+    graph::VertexId t = r.next_below(g.num_vertices());
+    if (s == t) t = (t + 1) % g.num_vertices();
+    Variant v = seed % 2 ? Variant::FF5 : Variant::FF3;
+
+    FfmrOptions off = base_options(v);
+    FfmrOptions on = base_options(v);
+    on.wire = WireChoice::kOn;
+    mr::Cluster c_off = make_cluster(), c_on = make_cluster();
+    auto r_off = solve_max_flow(c_off, g, s, t, off);
+    auto r_on = solve_max_flow(c_on, g, s, t, on);
+
+    EXPECT_EQ(r_on.max_flow, r_off.max_flow) << seed;
+    EXPECT_EQ(r_on.rounds, r_off.rounds) << seed;
+    EXPECT_EQ(r_on.assignment.pair_flow, r_off.assignment.pair_flow) << seed;
+    expect_exact(g, s, t, r_on, "wire_on");
+
+    // Raw counters describe the records, so they match bit for bit; the
+    // wire twins are where compression shows up.
+    EXPECT_EQ(r_on.totals.shuffle_bytes, r_off.totals.shuffle_bytes) << seed;
+    EXPECT_EQ(r_on.totals.output_bytes, r_off.totals.output_bytes) << seed;
+    EXPECT_EQ(r_on.totals.map_output_records, r_off.totals.map_output_records)
+        << seed;
+    EXPECT_EQ(r_on.totals.reduce_output_records,
+              r_off.totals.reduce_output_records)
+        << seed;
+    EXPECT_LT(r_on.totals.shuffle_bytes_wire, r_on.totals.shuffle_bytes)
+        << seed;
+    // Wire off: the twins collapse onto the raw counters.
+    EXPECT_EQ(r_off.totals.shuffle_bytes_wire, r_off.totals.shuffle_bytes)
+        << seed;
+    EXPECT_EQ(r_off.totals.output_bytes_wire, r_off.totals.output_bytes)
+        << seed;
+  }
+}
+
+TEST(FfmrSolver, WireAutoFollowsCostModel) {
+  mr::CostModel cheap_io;  // defaults: fast disk/net
+  cheap_io.disk_mbps = 100000.0;
+  cheap_io.network_mbps = 100000.0;
+  mr::CostModel slow_net = cheap_io;
+  slow_net.network_mbps = 50.0;
+
+  FfmrOptions o;
+  o.wire = WireChoice::kAuto;
+  EXPECT_FALSE(resolve_wire_format(o, cheap_io).enabled());
+  EXPECT_TRUE(resolve_wire_format(o, slow_net).enabled());
+
+  o.wire = WireChoice::kOn;
+  codec::WireFormat fmt = resolve_wire_format(o, cheap_io);
+  EXPECT_TRUE(fmt.enabled());
+  EXPECT_EQ(fmt.codec, codec::CodecId::kLz);
+  EXPECT_TRUE(fmt.compact_keys);
+
+  o.wire = WireChoice::kOff;
+  EXPECT_FALSE(resolve_wire_format(o, slow_net).enabled());
+}
+
 TEST(FfmrSolver, AblationScheduleCustomToggles) {
   // FF5 ladder but with schimmy disabled: still exact, more shuffle.
   auto p = graph::attach_super_terminals(graph::facebook_like(400, 8, 61), 3,

@@ -50,6 +50,56 @@ TEST(Varint, TooLongThrows) {
   EXPECT_THROW(r.get_varint(), DecodeError);
 }
 
+TEST(Varint, ExactlyTenContinuationBytesThrows) {
+  // Ten bytes all with the continuation bit set: even if an eleventh byte
+  // never arrives, the tenth cannot continue a 64-bit value.
+  std::string bad(10, '\x80');
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(Varint, TenthByteOverflowThrows) {
+  // Nine continuation bytes put the tenth at shift 63: only its low bit
+  // may carry payload. 0x02 would set bit 64 -- an overflowed encoding
+  // that a wrapping decoder silently truncates to a *different* value.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x02');
+  ByteReader r1(overflow);
+  EXPECT_THROW(r1.get_varint(), DecodeError);
+
+  // 0x01 in the same position is the canonical top bit of UINT64_MAX-class
+  // values and must still decode.
+  std::string max_enc(9, '\xFF');
+  max_enc.push_back('\x01');
+  ByteReader r2(max_enc);
+  EXPECT_EQ(r2.get_varint(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Varint, TruncatedMidValueThrows) {
+  // Continuation bit promises another byte that the buffer doesn't have.
+  for (int len = 1; len <= 3; ++len) {
+    std::string bad(static_cast<size_t>(len), '\x80');
+    ByteReader r(bad);
+    EXPECT_THROW(r.get_varint(), DecodeError) << len;
+  }
+}
+
+TEST(Signed, TruncatedZigZagThrows) {
+  ByteWriter w;
+  w.put_signed(std::numeric_limits<int64_t>::min());  // 10-byte encoding
+  for (size_t cut = 1; cut < w.size(); ++cut) {
+    ByteReader r(std::string_view(w.bytes()).substr(0, cut));
+    EXPECT_THROW(r.get_signed(), DecodeError) << cut;
+  }
+}
+
+TEST(Signed, OverflowedZigZagThrows) {
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x04');  // sets a bit past the 64-bit zigzag space
+  ByteReader r(overflow);
+  EXPECT_THROW(r.get_signed(), DecodeError);
+}
+
 TEST(Signed, ZigZagRoundTrip) {
   for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
                     int64_t{-64}, int64_t{1} << 40, -(int64_t{1} << 40),

@@ -177,14 +177,28 @@ void expect_stats_identical(const JobStats& a, const JobStats& b) {
 // One engine configuration of the differential grid: scheduling mode ×
 // shuffle implementation × map-output spilling (with the eager-fetch
 // budget as an extra axis: 0 forces every spilled run to be streamed
-// during the merge, a tiny budget mixes buffered and streamed runs).
+// during the merge, a tiny budget mixes buffered and streamed runs) ×
+// wire format (compacted/compressed runs, spills and outputs).
 struct EngineConfig {
   ExecMode exec;
   ShuffleMode shuffle;
   bool spill = false;
   uint64_t fetch_budget = 8ull << 20;
   const char* label = "";
+  codec::WireFormat wire;
 };
+
+codec::WireFormat wire_full() {
+  return codec::WireFormat{.codec = codec::CodecId::kLz, .compact_keys = true};
+}
+codec::WireFormat wire_compact_only() {
+  return codec::WireFormat{.codec = codec::CodecId::kNone,
+                           .compact_keys = true};
+}
+codec::WireFormat wire_codec_only() {
+  return codec::WireFormat{.codec = codec::CodecId::kLz,
+                           .compact_keys = false};
+}
 
 const std::vector<EngineConfig>& engine_grid() {
   static const std::vector<EngineConfig> grid = {
@@ -206,6 +220,22 @@ const std::vector<EngineConfig>& engine_grid() {
        "barrier/merge/spill"},
       {ExecMode::kPipelined, ShuffleMode::kReferenceSort, true, 8ull << 20,
        "pipelined/reference/spill"},
+      // Wire-format rows: compared against the same wire-off baseline, so
+      // decoded outputs and raw counters must survive compression and key
+      // compaction through every path (in-memory merge, spill files,
+      // fetch buffers, schimmy, reference oracle).
+      {ExecMode::kPipelined, ShuffleMode::kMerge, false, 8ull << 20,
+       "pipelined/merge/wire", wire_full()},
+      {ExecMode::kPipelined, ShuffleMode::kReferenceSort, false, 8ull << 20,
+       "pipelined/reference/wire", wire_full()},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 8ull << 20,
+       "pipelined/merge/spill/wire", wire_full()},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 0,
+       "pipelined/merge/spill/stream-all/wire", wire_full()},
+      {ExecMode::kPipelined, ShuffleMode::kMerge, true, 200,
+       "pipelined/merge/spill/tiny-budget/wire-compact", wire_compact_only()},
+      {ExecMode::kBarrier, ShuffleMode::kMerge, true, 8ull << 20,
+       "barrier/merge/spill/wire-codec", wire_codec_only()},
   };
   return grid;
 }
@@ -237,6 +267,7 @@ void run_differential(const SpecBuilder& build_spec, FaultConfig fault = {}) {
       spec.shuffle = cfg.shuffle;
       spec.exec = cfg.exec;
       spec.spill_map_outputs = cfg.spill;
+      spec.wire = cfg.wire;
       prefix = spec.output_prefix;
       last = run_job(cluster, spec);
       parts = last.num_reduce_tasks;
@@ -249,9 +280,28 @@ void run_differential(const SpecBuilder& build_spec, FaultConfig fault = {}) {
       EXPECT_EQ(last.spill_bytes, 0u) << cfg.label;
     }
     EXPECT_TRUE(cluster.fs().list("__spill__/").empty()) << cfg.label;
+    // With the wire format off, the _wire twins must mirror the raw
+    // counters exactly.
+    if (!cfg.wire.enabled()) {
+      EXPECT_EQ(last.shuffle_bytes_wire, last.shuffle_bytes) << cfg.label;
+      EXPECT_EQ(last.shuffle_bytes_remote_wire, last.shuffle_bytes_remote)
+          << cfg.label;
+      EXPECT_EQ(last.schimmy_bytes_wire, last.schimmy_bytes) << cfg.label;
+      EXPECT_EQ(last.output_bytes_wire, last.output_bytes) << cfg.label;
+      EXPECT_EQ(last.spill_bytes_wire, last.spill_bytes) << cfg.label;
+      EXPECT_EQ(last.map_output_bytes_wire, last.map_output_bytes)
+          << cfg.label;
+    }
+    // Compare partitions as decoded records: plain files re-frame to their
+    // exact stored bytes, wire-framed files must decode to the same.
     std::vector<serde::Bytes> files;
     for (int r = 0; r < parts; ++r) {
-      files.push_back(cluster.fs().read_all(partition_file(prefix, r)));
+      serde::Bytes decoded;
+      dfs::RecordReader reader(&cluster.fs(), partition_file(prefix, r));
+      while (auto rec = reader.next()) {
+        dfs::append_record(decoded, rec->key, rec->value);
+      }
+      files.push_back(std::move(decoded));
     }
     return std::make_pair(last, files);
   };
@@ -524,6 +574,158 @@ TEST(ShuffleDifferential, MergeRejectsUnsortedSchimmy) {
       [](std::string_view, std::string_view, MapContext&) {});
   spec.reducer = identity_reducer();
   EXPECT_THROW(run_job(cluster, spec), std::logic_error);
+}
+
+// ------------------------------------------------------- wire corruption
+
+// Flips one checksum byte of the frame spanning the wire stream's
+// midpoint. Deterministic DecodeError: a payload bit-flip can alias to
+// identical bytes under LZ (a moved match offset can point at an equal
+// copy), but a checksum flip always mismatches. Frame layout per
+// common/codec.h: u8 codec id | varint raw_len | varint wire_len |
+// u64le checksum | payload.
+void corrupt_midpoint_frame(serde::Bytes& wire) {
+  ASSERT_FALSE(wire.empty());
+  size_t off = 0;
+  while (true) {
+    size_t p = off + 1;
+    uint64_t lens[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      int s = 0;
+      while (static_cast<unsigned char>(wire[p]) & 0x80) {
+        lens[i] |= static_cast<uint64_t>(
+                       static_cast<unsigned char>(wire[p]) & 0x7f)
+                   << s;
+        s += 7;
+        ++p;
+      }
+      lens[i] |= static_cast<uint64_t>(static_cast<unsigned char>(wire[p]))
+                 << s;
+      ++p;
+    }
+    size_t next = p + 8 + lens[1];
+    if (next >= wire.size() || next > wire.size() / 2) {
+      wire[p] ^= 0x01;  // first checksum byte
+      return;
+    }
+    off = next;
+  }
+}
+
+// A flipped byte inside a compacted run surfaces DecodeError mid-cursor:
+// records before the corrupt frame still decode, the bad frame throws.
+TEST(WireCorruption, CursorSurfacesDecodeErrorMidRun) {
+  std::vector<std::pair<std::string, std::string>> recs;
+  for (int i = 0; i < 2000; ++i) {
+    recs.emplace_back("key" + std::to_string(100000 + i),
+                      "value-" + std::to_string(i));
+  }
+  serde::Bytes run = frame_records(recs);
+  RunSortScratch sort_scratch;
+  sort_framed_run(run, sort_scratch);
+  codec::WireFormat fmt{.codec = codec::CodecId::kLz, .compact_keys = true};
+  fmt.block_bytes = 4 << 10;  // several frames
+  serde::Bytes scratch;
+  compact_sorted_run(run, fmt, scratch);
+
+  // Sanity: the intact wire run yields every record.
+  {
+    WireRunCursor cursor{std::string_view(run)};
+    size_t n = 0;
+    while (cursor.advance()) ++n;
+    ASSERT_EQ(n, recs.size());
+  }
+
+  serde::Bytes corrupt = run;
+  corrupt_midpoint_frame(corrupt);
+  WireRunCursor cursor{std::string_view(corrupt)};
+  size_t decoded = 0;
+  try {
+    while (cursor.advance()) ++decoded;
+    FAIL() << "corrupt frame decoded cleanly";
+  } catch (const serde::DecodeError&) {
+    // Frames before the corrupt one must have streamed out fine.
+    EXPECT_GT(decoded, 0u);
+    EXPECT_LT(decoded, recs.size());
+  }
+}
+
+// A corrupt wire-framed schimmy partition must fail the job with
+// DecodeError from inside the streaming loser-tree merge (not hang, not
+// emit garbage).
+TEST(WireCorruption, JobSurfacesDecodeErrorMidMerge) {
+  Cluster cluster = make_cluster();
+  codec::WireFormat fmt{.codec = codec::CodecId::kLz, .compact_keys = true};
+
+  // Produce a legitimate wire-framed previous-round partition.
+  std::vector<std::pair<std::string, std::string>> masters;
+  for (int i = 0; i < 500; ++i) {
+    masters.emplace_back("m" + std::to_string(10000 + i), "master-value");
+  }
+  {
+    JobSpec a;
+    a.name = "corrupt-roundA";
+    a.inputs = {"masters"};
+    a.output_prefix = "roundA";
+    a.num_reduce_tasks = 2;
+    a.mapper = identity_mapper();
+    a.reducer = identity_reducer();
+    a.wire = fmt;
+    write_records(cluster, "masters", masters);
+    run_job(cluster, a);
+  }
+
+  // Flip one byte in the stored frames of partition 0 and rewrite the
+  // file with the same wire-framed metadata.
+  const std::string victim = partition_file("roundA", 0);
+  serde::Bytes stored = cluster.fs().read_all(victim);
+  ASSERT_FALSE(stored.empty());
+  uint64_t raw_size = cluster.fs().raw_file_size(victim);
+  corrupt_midpoint_frame(stored);
+  {
+    dfs::FileWriter w =
+        cluster.fs().create(victim, dfs::CreateOptions{.wire_framed = true});
+    w.append(stored);
+    w.set_raw_bytes(raw_size);
+    w.close();
+  }
+
+  JobSpec b;
+  b.name = "corrupt-roundB";
+  b.inputs = {"masters"};
+  b.output_prefix = "roundB";
+  b.num_reduce_tasks = 2;
+  b.schimmy_prefix = "roundA";
+  b.shuffle = ShuffleMode::kMerge;
+  b.mapper = identity_mapper();
+  b.reducer = identity_reducer();
+  b.wire = fmt;
+  EXPECT_THROW(run_job(cluster, b), serde::DecodeError);
+}
+
+// On compressible sorted runs the wire image must actually shrink: the
+// grid above proves correctness, this pins the point of the feature.
+TEST(WireCompaction, ShrinksShuffleWireBytes) {
+  std::vector<std::pair<std::string, std::string>> recs;
+  for (int i = 0; i < 3000; ++i) {
+    recs.emplace_back("vertex-" + std::to_string(1000000 + i),
+                      "payload-payload-payload-" + std::to_string(i % 7));
+  }
+  Cluster cluster = make_cluster();
+  write_records(cluster, "in", recs);
+  JobSpec spec;
+  spec.name = "wire-ratio";
+  spec.inputs = {"in"};
+  spec.output_prefix = "out";
+  spec.num_reduce_tasks = 3;
+  spec.mapper = identity_mapper();
+  spec.reducer = identity_reducer();
+  spec.wire = codec::WireFormat{.codec = codec::CodecId::kLz,
+                                .compact_keys = true};
+  JobStats stats = run_job(cluster, spec);
+  ASSERT_GT(stats.shuffle_bytes, 0u);
+  EXPECT_LT(stats.shuffle_bytes_wire, stats.shuffle_bytes * 7 / 10);
+  EXPECT_LT(stats.output_bytes_wire, stats.output_bytes * 7 / 10);
 }
 
 }  // namespace
