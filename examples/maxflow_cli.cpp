@@ -14,12 +14,23 @@
 //   --trace_out=<f>      Chrome-tracing/Perfetto span JSON of the whole run
 //   --metrics_out=<f>    engine histogram/gauge metrics JSON
 //   --round_report=<f>   per-round JSONL report (ffmr only; tail-able)
+//
+// Verification and chaos (see DESIGN.md, "Testing & verification"):
+//   --certify            print the full max-flow/min-cut certificate and
+//                        exit non-zero unless it validates
+//   --fault_shape=<s>    inject faults: task, node, corrupt, straggler,
+//                        rpc, or all (ffmr only; `corrupt` implies the
+//                        wire format, whose frame checksums detect it)
+//   --fault_prob=<p>     per-draw fault probability (default 0.05)
+//   --fault_seed=<n>     fault schedule seed; same seed => same failures
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "ffmr/solver.h"
+#include "flow/certify.h"
 #include "flow/max_flow.h"
 #include "flow/validate.h"
 #include "graph/edgelist_io.h"
@@ -33,7 +44,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: maxflow_cli <edges.txt> --source=S --sink=T "
                  "[--algo=ff5|pregel|dinic|edmonds_karp|push_relabel] "
-                 "[--nodes=4] [--cut]\n");
+                 "[--nodes=4] [--cut] [--certify] "
+                 "[--fault_shape=task|node|corrupt|straggler|rpc|all "
+                 "--fault_prob=0.05 --fault_seed=1]\n");
     return 2;
   }
   graph::Graph g = graph::read_edgelist_file(flags.positional()[0]);
@@ -46,6 +59,10 @@ int main(int argc, char** argv) {
   std::string trace_out = flags.get_string("trace_out", "");
   std::string metrics_out = flags.get_string("metrics_out", "");
   std::string round_report = flags.get_string("round_report", "");
+  bool certify = flags.get_bool("certify", false);
+  std::string fault_shape = flags.get_string("fault_shape", "");
+  double fault_prob = flags.get_double("fault_prob", 0.05);
+  auto fault_seed = static_cast<uint64_t>(flags.get_int("fault_seed", 1));
   flags.check_unused();
   // Recording must be on before the solver runs, not at export time.
   if (!trace_out.empty()) common::trace::set_enabled(true);
@@ -55,6 +72,13 @@ int main(int argc, char** argv) {
               g.num_edge_pairs(), algo.c_str(),
               static_cast<unsigned long long>(source),
               static_cast<unsigned long long>(sink));
+
+  const bool is_ffmr = algo.size() == 3 && algo.compare(0, 2, "ff") == 0 &&
+                       algo[2] >= '1' && algo[2] <= '5';
+  if (!fault_shape.empty() && !is_ffmr) {
+    std::fprintf(stderr, "--fault_shape only applies to --algo=ff1..ff5\n");
+    return 2;
+  }
 
   graph::FlowAssignment assignment;
   if (algo == "dinic") {
@@ -69,17 +93,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.stats.total_messages),
                 serde::human_bytes(r.stats.total_message_bytes).c_str());
     assignment = std::move(r.assignment);
-  } else if (algo.size() == 3 && algo.compare(0, 2, "ff") == 0 &&
-             algo[2] >= '1' && algo[2] <= '5') {
+  } else if (is_ffmr) {
     mr::ClusterConfig config;
     config.num_slave_nodes = nodes;
-    mr::Cluster cluster(config);
     ffmr::FfmrOptions options;
     options.variant = static_cast<ffmr::Variant>(algo[2] - '0');
     options.round_report = round_report;
+    if (!fault_shape.empty()) {
+      try {
+        config.fault = mr::FaultConfig::shape(fault_shape, fault_prob,
+                                              fault_seed);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      config.max_task_attempts = 8;  // survive the injected crash rate
+      if (config.fault.corrupt_read_probability > 0) {
+        // Corruption is only detectable on checksummed frames; spilled map
+        // outputs give node crashes real files to destroy.
+        options.wire = ffmr::WireChoice::kOn;
+      }
+      if (config.fault.node_crash_probability > 0) {
+        options.spill_map_outputs = true;
+      }
+      std::printf("faults: shape=%s p=%g seed=%llu\n", fault_shape.c_str(),
+                  fault_prob, static_cast<unsigned long long>(fault_seed));
+    }
+    mr::Cluster cluster(config);
     auto r = ffmr::solve_max_flow(cluster, g, source, sink, options);
-    std::printf("%s: %d MR rounds, shuffle %s, sim time %s\n",
+    std::printf("%s: %d MR rounds, %lld task retries, shuffle %s, "
+                "sim time %s\n",
                 ffmr::variant_name(options.variant), r.rounds,
+                static_cast<long long>(r.totals.task_retries),
                 serde::human_bytes(r.totals.shuffle_bytes).c_str(),
                 serde::human_duration(r.totals.sim_seconds).c_str());
     assignment = std::move(r.assignment);
@@ -111,9 +156,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("max-flow = %lld\n", static_cast<long long>(assignment.value));
-  auto report = flow::validate_max_flow(g, source, sink, assignment);
-  std::printf("certificate: %s\n",
-              report.ok ? "valid maximum flow" : report.summary().c_str());
+  flow::Certificate cert = flow::certify_max_flow(g, source, sink, assignment);
+  if (certify) {
+    // The full evidence: every check's verdict, the witness cut, and any
+    // violation diagnostics.
+    std::printf("%s\n", cert.summary().c_str());
+  } else {
+    std::printf("certificate: %s\n",
+                cert.valid() ? "valid maximum flow"
+                             : cert.summary().c_str());
+  }
 
   if (show_cut) {
     auto reachable = flow::min_cut_partition(g, source, assignment);
@@ -131,5 +183,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return report.ok ? 0 : 1;
+  return cert.valid() ? 0 : 1;
 }

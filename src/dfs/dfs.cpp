@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 
 namespace mrflow::dfs {
@@ -141,7 +142,7 @@ FileReader::FileReader(const FileSystem* fs, FileInfo info, int reader_node)
 
 void FileReader::ensure_block() {
   while (pos_ >= current_.size() && block_idx_ < info_.blocks.size()) {
-    current_ = fs_->fetch_block(info_.blocks[block_idx_], reader_node_);
+    current_ = fs_->fetch_block(info_, block_idx_, reader_node_);
     ++block_idx_;
     pos_ = 0;
   }
@@ -252,7 +253,7 @@ Bytes FileSystem::read_block(const std::string& name, size_t block_index,
   if (block_index >= info.blocks.size()) {
     throw std::out_of_range("read_block: block index out of range");
   }
-  return fetch_block(info.blocks[block_index], reader_node);
+  return fetch_block(info, block_index, reader_node);
 }
 
 bool FileSystem::exists(const std::string& name) const {
@@ -370,12 +371,74 @@ void FileSystem::commit_file(const std::string& name,
   files_[name] = std::move(info);
 }
 
-Bytes FileSystem::fetch_block(const BlockInfo& block, int reader_node) const {
+namespace {
+
+// True when every frame in `payload` decodes with its xxHash64 checksum
+// intact. Only run on the injected read path -- normal reads must not pay
+// a verification decode.
+bool frames_intact(std::string_view payload) {
+  bool consumed = false;
+  codec::BlockReader frames([&](size_t) -> std::string_view {
+    if (consumed) return {};
+    consumed = true;
+    return payload;
+  });
+  try {
+    while (!frames.next_block().empty()) {
+    }
+  } catch (const serde::DecodeError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes FileSystem::fetch_block(const FileInfo& info, size_t block_index,
+                              int reader_node) const {
+  const BlockInfo& block = info.blocks[block_index];
   if (reader_node >= 0) {
     std::lock_guard<std::mutex> lk(io_mu_);
     io_.read_bytes[reader_node % config_.num_nodes] += block.size;
   }
-  return backend_->get(block.id);
+  const int num_replicas = static_cast<int>(block.replicas.size());
+  if (!read_fault_ || !info.wire_framed || num_replicas < 2) {
+    return backend_->get(block.id);
+  }
+
+  // Corrupt-on-read path: try the replicas in preference order (the
+  // reader-local copy first, like an HDFS short-circuit read), verifying
+  // every frame checksum; a damaged copy fails verification and the read
+  // fails over to the next replica. The injector corrupts at most one
+  // replica per block, so failover always finds a healthy copy.
+  std::vector<int> order(num_replicas);
+  for (int i = 0; i < num_replicas; ++i) order[i] = i;
+  for (int i = 0; i < num_replicas; ++i) {
+    if (block.replicas[i] == reader_node) {
+      std::swap(order[0], order[i]);
+      break;
+    }
+  }
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    Bytes payload = backend_->get(block.id);
+    if (read_fault_(info.name, block_index, order[attempt], num_replicas)) {
+      // Simulate bit rot in this replica's copy; the backend stores one
+      // canonical payload, so damage is applied to the returned bytes.
+      if (!payload.empty()) payload[payload.size() / 2] ^= 0x40;
+    }
+    if (frames_intact(payload)) {
+      if (attempt > 0 && reader_node >= 0) {
+        // The wasted read plus the remote re-read both hit the wires.
+        std::lock_guard<std::mutex> lk(io_mu_);
+        io_.read_bytes[reader_node % config_.num_nodes] +=
+            block.size * attempt;
+      }
+      return payload;
+    }
+    common::MetricsRegistry::global().record("dfs.corrupt_block_reads", 1);
+  }
+  throw serde::DecodeError("dfs: every replica of '" + info.name + "' block " +
+                           std::to_string(block_index) + " is corrupt");
 }
 
 void FileSystem::account_write(const std::vector<int>& replicas, uint64_t n) {

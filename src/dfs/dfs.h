@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/codec.h"
@@ -76,6 +78,18 @@ struct BlockInfo {
   uint64_t size = 0;
   std::vector<int> replicas;  // node ids holding a copy
 };
+
+// Deterministic corrupt-on-read oracle (chaos testing): answers whether
+// the copy of block `block_index` of `file` held by replica
+// `replica_ordinal` (its position in BlockInfo::replicas, stable across
+// runs) reads back corrupted. Only consulted for wire-framed files with
+// >= 2 replicas -- the codec's per-frame xxHash64 is what detects the
+// damage, and a healthy replica must exist to fail over to; the oracle
+// must corrupt at most one replica per block (FaultConfig guarantees
+// this). Must be pure and thread-safe.
+using ReadFaultInjector = std::function<bool(
+    std::string_view file, size_t block_index, int replica_ordinal,
+    int num_replicas)>;
 
 struct FileInfo {
   std::string name;
@@ -210,6 +224,14 @@ class FileSystem {
   IoStats io_stats() const;
   void reset_io_stats();
 
+  // Installs (or clears, with nullptr) the corrupt-on-read oracle. Must be
+  // called before concurrent readers start (the Cluster constructor does);
+  // with an oracle installed, every injected-path block read verifies its
+  // frames and fails over between replicas (see ReadFaultInjector above).
+  void set_read_fault_injector(ReadFaultInjector injector) {
+    read_fault_ = std::move(injector);
+  }
+
   // Total bytes stored across all live files (the paper's "Size" /
   // "Max Size" columns track this).
   uint64_t total_stored_bytes() const;
@@ -222,11 +244,13 @@ class FileSystem {
                                   const CreateOptions& options) const;
   void commit_file(const std::string& name, std::vector<BlockInfo> blocks,
                    uint64_t size, bool wire_framed, uint64_t raw_size);
-  Bytes fetch_block(const BlockInfo& block, int reader_node) const;
+  Bytes fetch_block(const FileInfo& info, size_t block_index,
+                    int reader_node) const;
   void account_write(const std::vector<int>& replicas, uint64_t n);
 
   DfsConfig config_;
   std::unique_ptr<StorageBackend> backend_;
+  ReadFaultInjector read_fault_;  // set once, before readers (no lock)
 
   mutable std::mutex mu_;
   std::map<std::string, FileInfo> files_;

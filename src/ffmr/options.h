@@ -74,6 +74,13 @@ struct FfmrOptions {
   // processing, deterministic; used by tests.
   bool async_augmenter = true;
 
+  // Spill map outputs to node-local DFS files (JobSpec::spill_map_outputs)
+  // in every round. Off by default (the paper's graphs fit the engine's
+  // memory); chaos tests turn it on so the node-crash fault shape can lose
+  // spill files and exercise map re-execution recovery. Pure engine
+  // plumbing: results and record counters are identical either way.
+  bool spill_map_outputs = false;
+
   std::string base = "ffmr";  // DFS path prefix
 
   // Host-filesystem path for the per-round JSONL report (one JSON object

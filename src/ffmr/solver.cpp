@@ -143,6 +143,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     spec.params[param::kSink] = std::to_string(sink);
     spec.params[param::kBidirectional] = options.bidirectional ? "1" : "0";
     spec.wire = wire;
+    spec.spill_map_outputs = options.spill_map_outputs;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 
@@ -178,6 +179,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
       spec.schimmy_prefix = chain.prefix_for(round - 1);
     }
     spec.wire = wire;
+    spec.spill_map_outputs = options.spill_map_outputs;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 

@@ -1,0 +1,79 @@
+// Max-flow certification via the max-flow/min-cut theorem.
+//
+// A maximum flow carries its own proof: if the assignment is feasible
+// (capacities respected, conservation at every non-terminal vertex), the
+// claimed value matches the source's net outflow, the sink is unreachable
+// in the residual network, and the capacity of the saturated cut between
+// the residual-reachable side and the rest equals the flow value, then by
+// weak duality the flow is maximum and the cut is minimum -- no reference
+// solver needed. certify_max_flow() runs every one of those checks and
+// returns the full evidence as a Certificate, so solver tests, chaos-sweep
+// runs, and `maxflow_cli --certify` all consume one structure.
+//
+// Each failed check appends a diagnostic with a distinct machine-greppable
+// prefix ("shape:", "capacity:", "conservation:", "value:", "maximality:",
+// "cut:") so negative tests can assert *which* invariant broke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+using graph::Capacity;
+using graph::Graph;
+using graph::VertexId;
+
+struct Certificate {
+  // Per-check verdicts. `shape_ok` gates the rest: when the assignment's
+  // pair_flow vector does not match the graph, no other check runs.
+  bool shape_ok = false;
+  bool capacity_ok = false;      // -cap_ba <= f <= cap_ab on every pair
+  bool conservation_ok = false;  // net outflow 0 at every v not in {s, t}
+  bool value_ok = false;         // net_out(s) == value == -net_out(t)
+  bool sink_unreachable = false;  // t not residual-reachable from s
+  bool cut_matches = false;       // cut capacity == flow value
+
+  Capacity flow_value = 0;    // the assignment's claimed value
+  Capacity cut_capacity = 0;  // capacity of the (S, V\S) cut found
+
+  // The witness cut: source_side[v] is true iff v is reachable from s in
+  // the residual network. Applications (community detection, sybil
+  // defense) read the min cut straight off this partition.
+  std::vector<bool> source_side;
+  uint64_t source_side_vertices = 0;  // popcount of source_side
+  uint64_t cut_edges = 0;  // directed edges crossing S -> V\S with cap > 0
+
+  // Prefixed diagnostics for every failed check (capped, like
+  // ValidationReport, so a badly broken flow cannot OOM the report).
+  std::vector<std::string> violations;
+
+  // Feasibility alone: a legal flow of the claimed value.
+  bool feasible() const {
+    return shape_ok && capacity_ok && conservation_ok && value_ok;
+  }
+  // The full certificate: feasible AND provably maximum.
+  bool valid() const { return feasible() && sink_unreachable && cut_matches; }
+
+  std::string summary() const;
+
+  void fail(std::string what) {
+    if (violations.size() < 32) violations.push_back(std::move(what));
+  }
+};
+
+// Runs the full certificate check. Cheap: O(V + E) and two passes over the
+// edge list, so it is run after every solve in tests and chaos sweeps.
+Certificate certify_max_flow(const Graph& g, VertexId s, VertexId t,
+                             const graph::FlowAssignment& assignment);
+
+// The residual-reachability BFS on its own: source_side[v] == true iff v
+// is reachable from s through arcs with positive residual capacity.
+// Requires assignment.pair_flow.size() == g.num_edge_pairs().
+std::vector<bool> residual_source_side(const Graph& g, VertexId s,
+                                       const graph::FlowAssignment& assignment);
+
+}  // namespace mrflow::flow

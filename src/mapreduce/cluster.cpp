@@ -4,6 +4,10 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/rng.h"
+#include "common/serde.h"
+#include "mapreduce/job.h"  // stable_hash
+
 namespace mrflow::mr {
 
 namespace {
@@ -14,7 +18,132 @@ dfs::DfsConfig dfs_config_from(const ClusterConfig& c) {
   d.block_size = c.dfs_block_size;
   return d;
 }
+
+// One uniform [0, 1) draw per fault decision: FNV-1a over the entity bytes
+// (every field length-prefixed by ByteWriter, so concatenations cannot
+// collide), finalized with a splitmix64 round -- FNV's high bits avalanche
+// poorly on short inputs. Mirrors the scheme the engine has always used
+// for task-failure injection (see job.cpp).
+uint64_t fault_hash(const serde::ByteWriter& w) {
+  uint64_t h = stable_hash(w.bytes());
+  return rng::splitmix64(h);
+}
+
+double to_unit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
 }  // namespace
+
+// ------------------------------------------------------------- FaultConfig
+
+bool FaultConfig::task_attempt_fails(std::string_view job,
+                                     std::string_view phase, uint64_t task,
+                                     int attempt) const {
+  double p = task_failure_probability;
+  if (p <= 0) return false;
+  // Byte layout predates the fault matrix (no shape tag); kept verbatim so
+  // existing seeds replay the same task failures they always have.
+  serde::ByteWriter w;
+  w.put_bytes(job);
+  w.put_bytes(phase);
+  w.put_varint(task);
+  w.put_varint(static_cast<uint64_t>(attempt));
+  w.put_varint(seed);
+  return to_unit(fault_hash(w)) < p;
+}
+
+bool FaultConfig::node_crashes(std::string_view job, int node) const {
+  double p = node_crash_probability;
+  if (p <= 0) return false;
+  serde::ByteWriter w;
+  w.put_bytes(job);
+  w.put_bytes("node-crash");
+  w.put_varint(static_cast<uint64_t>(node));
+  w.put_varint(seed);
+  return to_unit(fault_hash(w)) < p;
+}
+
+double FaultConfig::straggler_factor(std::string_view job,
+                                     std::string_view phase,
+                                     uint64_t task) const {
+  double p = straggler_probability;
+  if (p <= 0) return 1.0;
+  serde::ByteWriter w;
+  w.put_bytes(job);
+  w.put_bytes("straggler");
+  w.put_bytes(phase);
+  w.put_varint(task);
+  w.put_varint(seed);
+  return to_unit(fault_hash(w)) < p ? straggler_slowdown : 1.0;
+}
+
+bool FaultConfig::rpc_times_out(std::string_view job, std::string_view service,
+                                std::string_view request, int task_id,
+                                int node, int task_attempt,
+                                int send_attempt) const {
+  double p = rpc_timeout_probability;
+  if (p <= 0) return false;
+  serde::ByteWriter w;
+  w.put_bytes(job);
+  w.put_bytes("rpc-timeout");
+  w.put_bytes(service);
+  w.put_bytes(request);
+  w.put_varint(static_cast<uint64_t>(task_id));
+  w.put_varint(static_cast<uint64_t>(node));
+  w.put_varint(static_cast<uint64_t>(task_attempt));
+  w.put_varint(static_cast<uint64_t>(send_attempt));
+  w.put_varint(seed);
+  return to_unit(fault_hash(w)) < p;
+}
+
+bool FaultConfig::replica_corrupt(std::string_view file, uint64_t block_index,
+                                  int replica_ordinal,
+                                  int num_replicas) const {
+  double p = corrupt_read_probability;
+  if (p <= 0 || num_replicas < 2) return false;
+  // One draw per *block* decides whether it is hit and which single
+  // replica takes the damage, so a healthy copy always exists.
+  serde::ByteWriter w;
+  w.put_bytes("corrupt-read");
+  w.put_bytes(file);
+  w.put_varint(block_index);
+  w.put_varint(seed);
+  uint64_t h = fault_hash(w);
+  if (to_unit(h) >= p) return false;
+  uint64_t chosen = rng::splitmix64(h) % static_cast<uint64_t>(num_replicas);
+  return static_cast<uint64_t>(replica_ordinal) == chosen;
+}
+
+FaultConfig FaultConfig::shape(std::string_view name, double probability,
+                               uint64_t seed) {
+  FaultConfig f;
+  f.seed = seed;
+  bool all = name == "all";
+  bool known = all;
+  if (all || name == "task") {
+    f.task_failure_probability = probability;
+    known = true;
+  }
+  if (all || name == "node") {
+    f.node_crash_probability = probability;
+    known = true;
+  }
+  if (all || name == "corrupt") {
+    f.corrupt_read_probability = probability;
+    known = true;
+  }
+  if (all || name == "straggler") {
+    f.straggler_probability = probability;
+    known = true;
+  }
+  if (all || name == "rpc") {
+    f.rpc_timeout_probability = probability;
+    known = true;
+  }
+  if (!known) {
+    throw std::invalid_argument("unknown fault shape: " + std::string(name) +
+                                " (task|node|corrupt|straggler|rpc|all)");
+  }
+  return f;
+}
 
 Cluster::Cluster(ClusterConfig config,
                  std::unique_ptr<dfs::StorageBackend> backend)
@@ -28,6 +157,17 @@ Cluster::Cluster(ClusterConfig config,
   }
   if (config_.map_slots_per_node < 1 || config_.reduce_slots_per_node < 1) {
     throw std::invalid_argument("cluster needs at least one slot per node");
+  }
+  if (config_.fault.corrupt_read_probability > 0) {
+    // Hand the DFS its corrupt-on-read oracle; the filesystem verifies
+    // frame checksums and fails over between replicas (see dfs.cpp). The
+    // lambda copies the fault config so the oracle stays valid and pure.
+    fs_.set_read_fault_injector(
+        [fault = config_.fault](std::string_view file, size_t block_index,
+                                int replica_ordinal, int num_replicas) {
+          return fault.replica_corrupt(file, block_index, replica_ordinal,
+                                       num_replicas);
+        });
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -83,13 +84,81 @@ struct CostModel {
   }
 };
 
-// Deterministic task-failure injection: each task attempt fails with the
-// given probability (decided by a stable hash of job/phase/task/attempt, so
-// runs are reproducible). Models the machine/task failures MapReduce's
-// retry machinery exists for.
+// Deterministic fault injection. Every decision is a pure function of
+// `seed` plus the entities involved (job name, task id, file name, ...),
+// decided by a stable hash rather than a stateful RNG, so a given
+// (config, workload) replays the exact same failures run after run
+// regardless of thread timing -- chaos tests assert results bit-identical
+// to the fault-free run. Each draw includes the job name, so two jobs in
+// one driver round (and two rounds of one chain) fail independently.
+//
+// Shapes (all off by default; see DESIGN.md "Testing & verification"):
+//   task_failure_probability  each task *attempt* fails independently
+//                             (Hadoop task crash, retried up to
+//                             ClusterConfig::max_task_attempts).
+//   node_crash_probability    per (job, node): the node goes down once
+//                             mid-job. Task attempts running on it fail,
+//                             and -- for jobs that spill map outputs -- its
+//                             node-local spill files are lost at the
+//                             map->reduce boundary; reduces that need them
+//                             re-execute the affected map function from its
+//                             replicated DFS input.
+//   corrupt_read_probability  per (file, block): one replica's payload is
+//                             corrupted on read. Injected only for
+//                             wire-framed files with >= 2 replicas: the
+//                             codec's xxHash64 frame checksums catch the
+//                             damage and the read fails over to a healthy
+//                             replica. At most one replica per block is
+//                             ever corrupted, so failover always succeeds.
+//   straggler_probability     per (job, phase, task): the task runs
+//                             `straggler_slowdown` times slower in the
+//                             cost model (simulated seconds only; wall
+//                             time and results are untouched).
+//   rpc_timeout_probability   per service request send: the request is
+//                             lost *before delivery* (the service never
+//                             sees it, so a resend cannot double-apply
+//                             side effects) and retried after exponential
+//                             backoff charged as simulated seconds; after
+//                             rpc_max_retries lost sends the task attempt
+//                             fails and is retried, re-drawing with the
+//                             new attempt number.
 struct FaultConfig {
   double task_failure_probability = 0.0;
+  double node_crash_probability = 0.0;
+  double corrupt_read_probability = 0.0;
+  double straggler_probability = 0.0;
+  double straggler_slowdown = 6.0;  // cost multiplier for straggler tasks
+  double rpc_timeout_probability = 0.0;
+  int rpc_max_retries = 4;     // lost sends before the task attempt fails
+  double rpc_backoff_s = 0.2;  // base backoff; doubles per lost send
   uint64_t seed = 0;
+
+  bool any() const {
+    return task_failure_probability > 0 || node_crash_probability > 0 ||
+           corrupt_read_probability > 0 || straggler_probability > 0 ||
+           rpc_timeout_probability > 0;
+  }
+
+  // The per-shape draws. All are pure and thread-safe.
+  bool task_attempt_fails(std::string_view job, std::string_view phase,
+                          uint64_t task, int attempt) const;
+  bool node_crashes(std::string_view job, int node) const;
+  // 1.0 for normal tasks, straggler_slowdown for unlucky ones.
+  double straggler_factor(std::string_view job, std::string_view phase,
+                          uint64_t task) const;
+  bool rpc_times_out(std::string_view job, std::string_view service,
+                     std::string_view request, int task_id, int node,
+                     int task_attempt, int send_attempt) const;
+  // True iff this replica of (file, block) reads back corrupted. At most
+  // one ordinal per block answers true, and never when num_replicas < 2.
+  bool replica_corrupt(std::string_view file, uint64_t block_index,
+                       int replica_ordinal, int num_replicas) const;
+
+  // Named single-shape presets used by `maxflow_cli --fault_shape` and the
+  // chaos tests: "task", "node", "corrupt", "straggler", "rpc", or "all"
+  // (every shape at once). Throws std::invalid_argument on unknown names.
+  static FaultConfig shape(std::string_view name, double probability,
+                           uint64_t seed);
 };
 
 struct ClusterConfig {

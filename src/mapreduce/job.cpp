@@ -12,7 +12,6 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
-#include "common/rng.h"
 #include "common/trace.h"
 #include "dfs/record_io.h"
 #include "mapreduce/merge.h"
@@ -130,6 +129,28 @@ Bytes TaskContext::call_service(const std::string& name,
   if (services_ == nullptr) {
     throw std::logic_error("job has no service registry");
   }
+  const FaultConfig& fault = cluster_->config().fault;
+  if (fault.rpc_timeout_probability > 0) {
+    // A timed-out send is lost *before* delivery -- the service never sees
+    // the request -- so resending cannot double-apply side effects, and a
+    // run with timeouts delivers exactly the same request sequence as one
+    // without. Backoff is charged as simulated seconds, never slept.
+    int sends = 0;
+    while (fault.rpc_times_out(fault_job_, name, request, task_id_, node_,
+                               task_attempt_, sends)) {
+      sim_penalty_s_ +=
+          fault.rpc_backoff_s * static_cast<double>(1u << std::min(sends, 6));
+      common::MetricsRegistry::global().record("rpc.timeouts", 1);
+      ++sends;
+      if (sends > std::max(0, fault.rpc_max_retries)) {
+        // Exhausted: fail the task attempt. run_with_retries re-runs the
+        // whole body under a new attempt number, which re-draws every
+        // timeout, so a retried attempt can succeed.
+        throw std::runtime_error("rpc to '" + name + "' timed out after " +
+                                 std::to_string(sends) + " sends");
+      }
+    }
+  }
   return services_->call(name, request);
 }
 
@@ -230,6 +251,7 @@ struct MapTaskResult {
   uint64_t spilled_bytes = 0;       // raw
   uint64_t spilled_wire_bytes = 0;  // stored
   double cpu_seconds = 0;
+  double rpc_penalty_s = 0;  // simulated lost-RPC backoff (fault injection)
   common::CounterSet counters;
 };
 
@@ -254,6 +276,7 @@ struct ReduceTaskResult {
   uint64_t schimmy_in_wire = 0;
   uint64_t output_wire = 0;
   double cpu_seconds = 0;
+  double rpc_penalty_s = 0;  // simulated lost-RPC backoff (fault injection)
   common::CounterSet counters;
 };
 
@@ -289,7 +312,8 @@ std::vector<MapTaskSpec> plan_map_tasks(Cluster& cluster,
 // one append-only arena per partition; grouping is an offset-index sort
 // over that arena (no per-record key/value copies).
 void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
-                  SideFileCache* side_cache, const std::vector<Bytes>& raw,
+                  int attempt, SideFileCache* side_cache,
+                  const std::vector<Bytes>& raw,
                   std::vector<Bytes>& partitions) {
   auto combiner = spec.combiner();
   std::vector<RunEntry> index;
@@ -299,6 +323,7 @@ void run_combiner(const JobSpec& spec, Cluster& cluster, int node, int task_id,
     sort_run_index(index);  // stable: equal keys keep emit order
     ReduceContext ctx(&cluster, &spec.params, spec.services, node, task_id,
                       side_cache);
+    ctx.set_fault_scope(spec.name, attempt);
     ReduceTaskRunner::set_emit(ctx, [&partitions, p](std::string_view k,
                                                      std::string_view v) {
       dfs::append_record(partitions[p], k, v);
@@ -354,7 +379,8 @@ std::optional<dfs::RecordReader> open_schimmy(Cluster& cluster,
 // below.
 void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
                           const std::vector<ReduceRun>& runs, int r, int node,
-                          SideFileCache* side_cache, ReduceTaskResult& result) {
+                          int attempt, SideFileCache* side_cache,
+                          ReduceTaskResult& result) {
   double cpu0 = thread_cpu_seconds();
 
   // Gather + decode this partition from every map task, then sort by key
@@ -390,6 +416,7 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
                    [](const KvView& a, const KvView& b) { return a.key < b.key; });
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
+  ctx.set_fault_scope(spec.name, attempt);
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
                         spec.wire);
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
@@ -459,6 +486,7 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
   }
   reducer->cleanup(ctx);
   result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  result.rpc_penalty_s = ctx.sim_penalty_seconds();
   out.close();
   result.output_bytes = out.raw_bytes_written();
   result.output_wire = out.bytes_written();
@@ -518,7 +546,8 @@ struct MergeStream {
 // stable-sort tie order exactly -- outputs are byte-identical.
 void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
                       const std::vector<ReduceRun>& runs, int r, int node,
-                      SideFileCache* side_cache, ReduceTaskResult& result) {
+                      int attempt, SideFileCache* side_cache,
+                      ReduceTaskResult& result) {
   common::TraceSpan merge_span("merge", "shuffle", r);
   double cpu0 = thread_cpu_seconds();
 
@@ -560,6 +589,7 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   tree.build();
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
+  ctx.set_fault_scope(spec.name, attempt);
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
                         spec.wire);
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
@@ -621,6 +651,7 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   }
   reducer->cleanup(ctx);
   result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  result.rpc_penalty_s = ctx.sim_penalty_seconds();
   out.close();
   result.output_bytes = out.raw_bytes_written();
   result.output_wire = out.bytes_written();
@@ -628,29 +659,23 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
 }
 
 // Fails a task attempt with the configured probability, decided purely by
-// stable hashing so runs are reproducible regardless of thread timing.
+// stable hashing (FaultConfig::task_attempt_fails) so runs are
+// reproducible regardless of thread timing. The draw hashes the *job name*
+// alongside phase/task/attempt/seed: two jobs run by one driver round --
+// and two rounds of one chain, which JobChain names "<base>#<round>" --
+// make independent failure decisions even for identical task ids (tested
+// by Faults.DrawsIndependentAcrossJobs in mr_engine_test).
 void maybe_inject_failure(const ClusterConfig& config, const std::string& job,
                           const char* phase, size_t task, int attempt) {
-  double p = config.fault.task_failure_probability;
-  if (p <= 0) return;
-  serde::ByteWriter w;
-  w.put_bytes(job);
-  w.put_bytes(phase);
-  w.put_varint(task);
-  w.put_varint(static_cast<uint64_t>(attempt));
-  w.put_varint(config.fault.seed);
-  // FNV-1a's high bits avalanche poorly on short inputs; finalize with a
-  // splitmix64 round before converting to a uniform draw.
-  uint64_t h = stable_hash(w.bytes());
-  h = rng::splitmix64(h);
-  if (static_cast<double>(h >> 11) * 0x1.0p-53 < p) {
+  if (config.fault.task_attempt_fails(job, phase, task, attempt)) {
     throw InjectedTaskFailure();
   }
 }
 
 // Runs one task body with Hadoop-style retry-on-failure. The body must be
-// restartable (each attempt rebuilds its outputs from scratch). Returns the
-// number of failed attempts that were retried.
+// restartable (each attempt rebuilds its outputs from scratch); it
+// receives the attempt number so node-crash and RPC-timeout draws can
+// distinguish attempts. Returns the number of failed attempts retried.
 template <typename Body>
 int run_with_retries(const ClusterConfig& config, const std::string& job,
                      const char* phase, size_t task, const Body& body) {
@@ -658,7 +683,7 @@ int run_with_retries(const ClusterConfig& config, const std::string& job,
   while (true) {
     try {
       maybe_inject_failure(config, job, phase, task, attempt);
-      body();
+      body(attempt);
       return attempt;
     } catch (...) {
       if (attempt + 1 >= std::max(1, config.max_task_attempts)) throw;
@@ -730,11 +755,28 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   std::vector<ReduceTaskResult> reduce_results(num_reducers);
   std::atomic<int64_t> task_retries{0};
 
-  auto map_body = [&](size_t ti) {
+  // Node-crash shape: decide up front (deterministically, per job) which
+  // nodes go down mid-job. A crashed node fails every task attempt 0 it
+  // hosts, and -- for spilling jobs -- loses its node-local spill files at
+  // the map->reduce boundary (see on_maps_done below).
+  const FaultConfig& fault = cluster.config().fault;
+  std::vector<char> node_crashed(cluster.num_nodes(), 0);
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    if (fault.node_crashes(spec.name, n)) {
+      node_crashed[n] = 1;
+      LOG_WARN << "job '" << spec.name << "': injected crash of node " << n;
+    }
+  }
+
+  // One map *attempt*, writing into `result`. Shared by normal execution
+  // (result = map_results[ti]) and node-crash recovery, which re-executes
+  // a map whose spill files were lost into a throwaway result -- the
+  // shared map_results[ti] must stay untouched then, because concurrent
+  // reduces read its partition sizes.
+  auto map_attempt = [&](size_t ti, int attempt, MapTaskResult& result) {
     common::TraceSpan span("map", "task", static_cast<int64_t>(ti));
     const uint64_t t0 = common::trace::now_ns();
     const MapTaskSpec& task = map_tasks[ti];
-    MapTaskResult& result = map_results[ti];
     result = MapTaskResult{};  // restartable: reset any failed attempt
     result.partitions.assign(num_reducers, Bytes());
 
@@ -742,6 +784,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
 
     MapContext ctx(&cluster, &spec.params, spec.services, task.node,
                    static_cast<int>(ti), &side_cache);
+    ctx.set_fault_scope(spec.name, attempt);
 
     // With a combiner, buffer raw framed records in one append-only arena
     // per partition and combine at the end of the task; otherwise frame
@@ -779,14 +822,15 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     }
     mapper->cleanup(ctx);
     if (spec.combiner) {
-      run_combiner(spec, cluster, task.node, static_cast<int>(ti), &side_cache,
-                   raw, result.partitions);
+      run_combiner(spec, cluster, task.node, static_cast<int>(ti), attempt,
+                   &side_cache, raw, result.partitions);
     }
     // Map-side sort: turn every partition buffer into a sorted run so the
     // reduce side can stream-merge them (scratch reused across partitions).
     RunSortScratch sort_scratch;
     for (Bytes& part : result.partitions) sort_framed_run(part, sort_scratch);
     result.cpu_seconds = thread_cpu_seconds() - cpu0;
+    result.rpc_penalty_s = ctx.sim_penalty_seconds();
     result.counters = ctx.counters();
     // Record run sizes for shuffle planning/stats, then commit: with
     // spilling on, write each run to an unreplicated file pinned to this
@@ -831,6 +875,34 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     metrics.record("map.task_us", (common::trace::now_ns() - t0) / 1000);
   };
 
+  auto map_body = [&](size_t ti, int attempt) {
+    // A crashed node takes the attempts running on it down with it; the
+    // retry models re-execution after the node restarts.
+    if (attempt == 0 && node_crashed[map_tasks[ti].node]) {
+      throw InjectedTaskFailure();
+    }
+    map_attempt(ti, attempt, map_results[ti]);
+  };
+
+  // Node-crash spill recovery: a reduce that finds a needed spill file
+  // missing (its node crashed and took the local disk) re-executes that
+  // map function from its replicated DFS input -- exactly once per map
+  // task, however many reduces need it -- rewriting the spill files
+  // byte-identically (the mapper and sort are deterministic). The scratch
+  // result and its counters are discarded: the original attempt's were
+  // already committed to map_results[ti], which other reduces read
+  // concurrently and which therefore must not be touched here.
+  auto recover_once = std::make_unique<std::once_flag[]>(map_tasks.size());
+  auto recover_map_spills = [&](size_t ti) {
+    std::call_once(recover_once[ti], [&] {
+      LOG_WARN << "job '" << spec.name << "': spill files of map " << ti
+               << " lost to a node crash; re-executing the map";
+      MapTaskResult scratch;
+      map_attempt(ti, /*attempt=*/1, scratch);
+      task_retries += 1;
+    });
+  };
+
   // Eagerly fetched spilled runs per reduce task (pipelined+spill): fetch
   // tasks copy a committed map's run into the reduce's budgeted buffer
   // while later maps are still running. No fault injection here -- a
@@ -857,16 +929,26 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       fetched_bytes[r].fetch_sub(size);  // over budget: stream it instead
       return;
     }
-    fetched[r][ti] = cluster.fs().read_all(
-        spill_file(ti, static_cast<int>(r)), reduce_node(static_cast<int>(r)));
+    try {
+      fetched[r][ti] = cluster.fs().read_all(spill_file(ti, static_cast<int>(r)),
+                                             reduce_node(static_cast<int>(r)));
+    } catch (const std::exception&) {
+      // The spill vanished mid-fetch (its node crashed and on_maps_done
+      // collected it). Undo the budget and let the reduce recover/stream
+      // it instead; either path yields identical bytes.
+      fetched_bytes[r].fetch_sub(size);
+    }
   };
 
-  auto reduce_body = [&](size_t r) {
+  auto reduce_body = [&](size_t r, int attempt) {
     common::TraceSpan span("reduce", "task", static_cast<int64_t>(r));
     const uint64_t t0 = common::trace::now_ns();
+    const int node = reduce_node(static_cast<int>(r));
+    if (attempt == 0 && node_crashed[node]) {
+      throw InjectedTaskFailure();  // see map_body
+    }
     ReduceTaskResult& result = reduce_results[r];
     result = ReduceTaskResult{};  // restartable: reset any failed attempt
-    const int node = reduce_node(static_cast<int>(r));
     std::vector<ReduceRun> runs(map_tasks.size());
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       ReduceRun& run = runs[ti];
@@ -879,14 +961,15 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
           run.buffer = &fetched[r][ti];
         } else {
           run.file = spill_file(ti, static_cast<int>(r));
+          if (!cluster.fs().exists(run.file)) recover_map_spills(ti);
         }
       }
     }
     if (spec.shuffle == ShuffleMode::kReferenceSort) {
       run_reduce_reference(cluster, spec, runs, static_cast<int>(r), node,
-                           &side_cache, result);
+                           attempt, &side_cache, result);
     } else {
-      run_reduce_merge(cluster, spec, runs, static_cast<int>(r), node,
+      run_reduce_merge(cluster, spec, runs, static_cast<int>(r), node, attempt,
                        &side_cache, result);
     }
     common::MetricsRegistry::global().record(
@@ -895,18 +978,34 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
 
   auto run_map_task = [&](size_t ti) {
     task_retries += run_with_retries(cluster.config(), spec.name, "map", ti,
-                                     [&] { map_body(ti); });
+                                     [&](int attempt) { map_body(ti, attempt); });
   };
   auto run_reduce_task = [&](size_t r) {
-    task_retries += run_with_retries(cluster.config(), spec.name, "reduce", r,
-                                     [&] { reduce_body(r); });
+    task_retries +=
+        run_with_retries(cluster.config(), spec.name, "reduce", r,
+                         [&](int attempt) { reduce_body(r, attempt); });
+  };
+
+  // Fires once at the map->reduce boundary in both schedules: the
+  // inter-phase service barrier, then the node-crash disk loss -- a
+  // crashed node's local disk goes with it, so every spill file it hosted
+  // disappears here; reduces that need one trigger recover_map_spills.
+  auto on_maps_done = [&] {
+    if (spec.services) spec.services->end_phase();
+    if (!spill) return;
+    for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+      if (!node_crashed[map_tasks[ti].node]) continue;
+      for (int r = 0; r < num_reducers; ++r) {
+        cluster.fs().remove(spill_file(ti, r));
+      }
+    }
   };
 
   // ------------------------------------------------------------ scheduling
   if (!pipelined) {
     // Barrier schedule: all maps, then all reduces.
     cluster.pool().parallel_for(map_tasks.size(), run_map_task);
-    if (spec.services) spec.services->end_phase();
+    on_maps_done();
     cluster.pool().parallel_for(static_cast<size_t>(num_reducers),
                                 run_reduce_task);
   } else {
@@ -930,11 +1029,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
         }
       }
     }
-    common::TaskGraph::TaskId maps_done = graph.add(
-        [&spec] {
-          if (spec.services) spec.services->end_phase();
-        },
-        map_ids);
+    common::TaskGraph::TaskId maps_done = graph.add(on_maps_done, map_ids);
     for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
       std::vector<common::TaskGraph::TaskId> deps = std::move(fetch_ids[r]);
       deps.push_back(maps_done);
@@ -1001,6 +1096,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
                  cost.disk_seconds(out_wire);
     if (t.framed) sim += cost.codec_decompress_seconds(res.input_raw_bytes);
     if (wire_on) sim += cost.codec_compress_seconds(out_raw);
+    // Fault shapes that cost time without changing bytes: lost-RPC backoff
+    // and straggler slots (the whole task, backoff included, runs slow).
+    sim = (sim + res.rpc_penalty_s) *
+          fault.straggler_factor(spec.name, "map", ti);
     map_times_by_node[t.node].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {
@@ -1040,6 +1139,9 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
                                            res.schimmy_in_bytes) +
              cost.codec_compress_seconds(res.output_bytes);
     }
+    sim = (sim + res.rpc_penalty_s) *
+          fault.straggler_factor(spec.name, "reduce",
+                                 static_cast<uint64_t>(r));
     reduce_times_by_node[reduce_node(r)].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {

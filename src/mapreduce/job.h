@@ -93,10 +93,26 @@ class TaskContext {
   bool side_file_exists(const std::string& name) const;
 
   // Calls a stateful service registered with the job (FF2's aug_proc RPC).
+  // Under FaultConfig::rpc_timeout_probability, a send can be lost before
+  // delivery and is retried with exponential backoff (charged to this
+  // task's simulated time); after rpc_max_retries lost sends the call
+  // throws, failing the task attempt.
   Bytes call_service(const std::string& name, std::string_view request);
 
   int node() const { return node_; }
   int task_id() const { return task_id_; }
+
+  // Fault-injection scope, set by the engine before user code runs: the
+  // owning job's name (a view into JobSpec::name, which outlives every
+  // task) and this body's task attempt. RPC-timeout draws include both, so
+  // a retried task attempt re-draws its timeouts instead of dying to the
+  // same deterministic losses forever.
+  void set_fault_scope(std::string_view job, int attempt) {
+    fault_job_ = job;
+    task_attempt_ = attempt;
+  }
+  // Simulated seconds this task spent on lost-RPC backoff (cost model).
+  double sim_penalty_seconds() const { return sim_penalty_s_; }
 
  private:
   Cluster* cluster_;
@@ -105,6 +121,9 @@ class TaskContext {
   int node_;
   int task_id_;
   SideFileCache* side_cache_;
+  std::string_view fault_job_;
+  int task_attempt_ = 0;
+  double sim_penalty_s_ = 0;
   mutable Bytes side_scratch_;  // uncached fallback storage
   common::CounterSet counters_;
 };

@@ -151,6 +151,8 @@ class Engine {
         std::vector<Bytes> master_payloads;
         common::CounterSet aggregators;
         uint64_t active = 0;
+        uint64_t messages_out = 0;
+        uint64_t bytes_out = 0;
       };
       std::vector<WorkerOut> outs(num_workers_);
 
@@ -171,8 +173,8 @@ class Engine {
           compute(states_[v], inboxes_[v], ctx);
           inboxes_[v].clear();
           if (ctx.halt_) active_[v] = false;
-          ss.messages += ctx.messages_out_;
-          ss.message_bytes += ctx.bytes_out_;
+          out.messages_out += ctx.messages_out_;
+          out.bytes_out += ctx.bytes_out_;
         }
       });
 
@@ -181,6 +183,8 @@ class Engine {
       uint64_t delivered = 0;
       for (auto& out : outs) {
         ss.active_vertices += out.active;
+        ss.messages += out.messages_out;
+        ss.message_bytes += out.bytes_out;
         aggregators.merge(out.aggregators);
         for (auto& [to, msg] : out.messages) {
           inboxes_.at(to).push_back(std::move(msg));

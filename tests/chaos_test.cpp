@@ -1,0 +1,226 @@
+// Seed-sweep chaos stress tests: every cell of (graph seed x fault seed x
+// fault shape x FF variant) must converge to the *same* answer the
+// fault-free run produces -- bit-identical flow value, round count, and
+// per-pair assignment -- and the result must carry a validating max-flow /
+// min-cut certificate (flow/certify.h). This is the paper's core claim
+// about running on MapReduce: the fault-tolerance machinery is invisible
+// to the algorithm.
+//
+// Shapes (see FaultConfig in mapreduce/cluster.h):
+//   task       individual task attempts crash and are retried
+//   node       whole nodes crash mid-job: attempt-0 tasks fail AND their
+//              node-local spill files are lost (spill_map_outputs=true so
+//              the loss is real) forcing map re-execution on fetch
+//   corrupt    DFS block replicas corrupt on read; the codec's checksummed
+//              frames catch it and the reader fails over (wire=kOn so
+//              every persistent stream is framed)
+//   straggler  slow slots via cost-model multipliers (sim time only)
+//   rpc        aug_proc requests time out and are retried with backoff
+//
+// All draws are deterministic functions of (fault seed, stable ids), so a
+// failing cell replays exactly from its test name. The full sweep is
+// labeled `stress` in ctest; CI runs a reduced regex of it under both
+// sanitizers (-L stress -R <subset>).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ffmr/solver.h"
+#include "flow/certify.h"
+#include "graph/generators.h"
+
+namespace mrflow::ffmr {
+namespace {
+
+struct ChaosCase {
+  uint64_t graph_seed;
+  uint64_t fault_seed;
+  const char* shape;  // FaultConfig::shape() name
+  Variant variant;
+};
+
+std::string chaos_name(const ::testing::TestParamInfo<ChaosCase>& info) {
+  const ChaosCase& c = info.param;
+  return "GSeed" + std::to_string(c.graph_seed) + "_FSeed" +
+         std::to_string(c.fault_seed) + "_" + c.shape + "_" +
+         variant_name(c.variant);
+}
+
+// Options must match between the baseline and the chaos run for the
+// bit-identical comparison to be meaningful; only the FaultConfig differs.
+// The node shape needs spilled map outputs (otherwise there is nothing to
+// lose) and the corrupt shape needs the wire format (frame checksums are
+// what detect the corruption).
+FfmrOptions options_for(const ChaosCase& c) {
+  FfmrOptions o;
+  o.variant = c.variant;
+  o.async_augmenter = false;  // deterministic acceptance order
+  if (std::string_view(c.shape) == "node") o.spill_map_outputs = true;
+  if (std::string_view(c.shape) == "corrupt") o.wire = WireChoice::kOn;
+  return o;
+}
+
+mr::ClusterConfig cluster_config_for(const ChaosCase& c, bool with_faults) {
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.map_slots_per_node = 2;
+  config.reduce_slots_per_node = 2;
+  config.dfs_block_size = 32 << 10;
+  config.max_task_attempts = 8;  // keep P(job aborts) ~ 0 at these rates
+  if (!with_faults) return config;
+  static const std::map<std::string, double> kRates = {
+      {"task", 0.05},   {"node", 0.08}, {"corrupt", 0.05},
+      {"straggler", 0.25}, {"rpc", 0.05},
+  };
+  config.fault =
+      mr::FaultConfig::shape(c.shape, kRates.at(c.shape), c.fault_seed);
+  return config;
+}
+
+struct GraphCase {
+  graph::Graph g;
+  graph::VertexId s = 0, t = 0;
+};
+
+GraphCase make_graph(uint64_t seed) {
+  GraphCase gc;
+  gc.g = graph::watts_strogatz(90, 4, 0.25, seed);
+  rng::Xoshiro256 r(seed * 131 + 7);
+  gc.s = r.next_below(gc.g.num_vertices());
+  gc.t = r.next_below(gc.g.num_vertices());
+  if (gc.s == gc.t) gc.t = (gc.t + 1) % gc.g.num_vertices();
+  return gc;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, CertifiedAndBitIdenticalToFaultFree) {
+  const ChaosCase& c = GetParam();
+  GraphCase gc = make_graph(c.graph_seed);
+
+  // Fault-free baseline with the exact same solver options.
+  mr::Cluster base_cluster(cluster_config_for(c, /*with_faults=*/false));
+  FfmrResult base =
+      solve_max_flow(base_cluster, gc.g, gc.s, gc.t, options_for(c));
+  ASSERT_TRUE(base.converged);
+
+  // The chaos run: same graph, same options, faults on.
+  mr::Cluster cluster(cluster_config_for(c, /*with_faults=*/true));
+  FfmrResult result = solve_max_flow(cluster, gc.g, gc.s, gc.t,
+                                     options_for(c));
+  ASSERT_TRUE(result.converged);
+
+  // Bit-identical outcome: value, round count, and every pair's flow.
+  EXPECT_EQ(result.max_flow, base.max_flow);
+  EXPECT_EQ(result.rounds, base.rounds);
+  EXPECT_EQ(result.assignment.pair_flow, base.assignment.pair_flow);
+
+  // And the self-contained proof: the flow equals the capacity of the
+  // residual-reachability cut, with every feasibility check green.
+  flow::Certificate cert =
+      flow::certify_max_flow(gc.g, gc.s, gc.t, result.assignment);
+  EXPECT_TRUE(cert.valid()) << cert.summary();
+  EXPECT_EQ(cert.flow_value, cert.cut_capacity);
+  EXPECT_EQ(cert.flow_value, result.max_flow);
+
+  // Shape-specific sanity (soft: a given seed may draw no fault, but the
+  // machinery must never make things *better*).
+  std::string_view shape = c.shape;
+  if (shape == "straggler") {
+    // Stragglers only inflate simulated time.
+    EXPECT_GE(result.totals.sim_seconds, base.totals.sim_seconds);
+  } else if (shape == "task" || shape == "node") {
+    EXPECT_GE(result.totals.task_retries, base.totals.task_retries);
+  }
+}
+
+std::vector<ChaosCase> make_chaos_sweep() {
+  std::vector<ChaosCase> cases;
+  for (uint64_t graph_seed : {101ull, 202ull, 303ull}) {
+    for (uint64_t fault_seed : {7ull, 8ull}) {
+      for (const char* shape :
+           {"task", "node", "corrupt", "straggler", "rpc"}) {
+        for (Variant v : {Variant::FF1, Variant::FF2, Variant::FF3,
+                          Variant::FF4, Variant::FF5}) {
+          cases.push_back({graph_seed, fault_seed, shape, v});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, ChaosSweep,
+                         ::testing::ValuesIn(make_chaos_sweep()), chaos_name);
+
+// The "all" shape turns every fault class on at once; one combined cell
+// per graph seed keeps the interaction paths (e.g. a node crash during an
+// rpc retry storm) covered without squaring the sweep.
+class ChaosAllShapes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosAllShapes, EverythingAtOnceStillCertified) {
+  uint64_t seed = GetParam();
+  GraphCase gc = make_graph(seed);
+  FfmrOptions o;
+  o.variant = Variant::FF5;
+  o.async_augmenter = false;
+  o.spill_map_outputs = true;   // give node crashes something to destroy
+  o.wire = WireChoice::kOn;     // give corruption something to trip
+
+  mr::ClusterConfig base_config;
+  base_config.num_slave_nodes = 3;
+  base_config.dfs_block_size = 32 << 10;
+  base_config.max_task_attempts = 10;
+  mr::Cluster base_cluster(base_config);
+  FfmrResult base = solve_max_flow(base_cluster, gc.g, gc.s, gc.t, o);
+
+  mr::ClusterConfig config = base_config;
+  config.fault = mr::FaultConfig::shape("all", 0.03, seed + 1000);
+  mr::Cluster cluster(config);
+  FfmrResult result = solve_max_flow(cluster, gc.g, gc.s, gc.t, o);
+
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.max_flow, base.max_flow);
+  EXPECT_EQ(result.rounds, base.rounds);
+  EXPECT_EQ(result.assignment.pair_flow, base.assignment.pair_flow);
+  flow::Certificate cert =
+      flow::certify_max_flow(gc.g, gc.s, gc.t, result.assignment);
+  EXPECT_TRUE(cert.valid()) << cert.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosAllShapes,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+// Same fault seed => same failure schedule => identical results and retry
+// counts across two runs. This is what makes a red chaos cell debuggable:
+// re-running it replays the exact crash sequence.
+TEST(ChaosReplay, SameFaultSeedReplaysExactly) {
+  GraphCase gc = make_graph(101);
+  auto run = [&] {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 3;
+    config.dfs_block_size = 32 << 10;
+    config.max_task_attempts = 8;
+    config.fault = mr::FaultConfig::shape("task", 0.08, 42);
+    mr::Cluster cluster(config);
+    FfmrOptions o;
+    o.variant = Variant::FF5;
+    o.async_augmenter = false;
+    return solve_max_flow(cluster, gc.g, gc.s, gc.t, o);
+  };
+  FfmrResult a = run();
+  FfmrResult b = run();
+  EXPECT_GT(a.totals.task_retries, 0);  // the seed must actually draw faults
+  EXPECT_EQ(a.totals.task_retries, b.totals.task_retries);
+  EXPECT_EQ(a.max_flow, b.max_flow);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.assignment.pair_flow, b.assignment.pair_flow);
+  // (sim_seconds is NOT compared: the pipelined engine's run cadence gives
+  // the cost model a little run-to-run jitter even without faults.)
+}
+
+}  // namespace
+}  // namespace mrflow::ffmr

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <set>
 
 #include "common/codec.h"
@@ -436,6 +437,74 @@ TEST(Dfs, WriteAllFramedCutsBlockSizedFrames) {
   while (!blocks.next_block().empty()) ++frames;
   EXPECT_GE(frames, 16);
   EXPECT_EQ(fs.read_all_decoded("big"), payload);
+}
+
+TEST(Dfs, CorruptReadFailsOverToHealthyReplica) {
+  // A read fault injector damages one replica's copy; the frame checksums
+  // catch it and the reader silently retries the other replica.
+  FileSystem fs(small_config());  // replication 2
+  std::string payload;
+  for (int i = 0; i < 600; ++i) payload += "record/" + std::to_string(i) + ";";
+  fs.write_all_framed("f", payload, small_frames());
+  fs.set_read_fault_injector(
+      [](std::string_view, size_t, int ordinal, int) { return ordinal == 0; });
+  EXPECT_EQ(fs.read_all_decoded("f"), payload);
+}
+
+TEST(Dfs, EveryReplicaCorruptThrowsDecodeError) {
+  FileSystem fs(small_config());
+  std::string payload(12 << 10, 'z');
+  fs.write_all_framed("f", payload, small_frames());
+  fs.set_read_fault_injector(
+      [](std::string_view, size_t, int, int) { return true; });
+  EXPECT_THROW(fs.read_all_decoded("f"), serde::DecodeError);
+}
+
+TEST(Dfs, InjectorSkipsPlainAndUnreplicatedFiles) {
+  // Non-framed files carry no checksums to verify, and a single-replica
+  // file has nothing to fail over to: both take the fast path and the
+  // injector must never be consulted.
+  FileSystem fs(small_config());
+  std::string payload(8 << 10, 'p');
+  fs.write_all("plain", payload);
+  bool consulted = false;
+  fs.set_read_fault_injector([&consulted](std::string_view, size_t, int, int) {
+    consulted = true;
+    return true;
+  });
+  EXPECT_EQ(fs.read_all("plain"), payload);
+  EXPECT_FALSE(consulted);
+
+  DfsConfig single = small_config();
+  single.replication = 1;
+  FileSystem fs1(single);
+  fs1.write_all_framed("f", payload, small_frames());
+  fs1.set_read_fault_injector([&consulted](std::string_view, size_t, int, int) {
+    consulted = true;
+    return true;
+  });
+  EXPECT_EQ(fs1.read_all_decoded("f"), payload);
+  EXPECT_FALSE(consulted);
+}
+
+TEST(Dfs, FailoverChargesExtraReadBytes) {
+  // A failed-over block costs the wasted read plus the remote re-read; the
+  // per-node I/O accounting must show the overhead.
+  DfsConfig c = small_config();
+  FileSystem clean(c), faulty(c);
+  std::string payload(12 << 10, 'r');
+  clean.write_all_framed("f", payload, small_frames());
+  faulty.write_all_framed("f", payload, small_frames());
+  // Corrupt whichever replica is attempted first for each block, so every
+  // block fails over exactly once regardless of replica placement.
+  auto seen = std::make_shared<std::set<size_t>>();
+  faulty.set_read_fault_injector(
+      [seen](std::string_view, size_t block, int, int) {
+        return seen->insert(block).second;
+      });
+  EXPECT_EQ(clean.read_all_decoded("f", /*reader_node=*/0), payload);
+  EXPECT_EQ(faulty.read_all_decoded("f", /*reader_node=*/0), payload);
+  EXPECT_GT(faulty.io_stats().total_read(), clean.io_stats().total_read());
 }
 
 TEST(Dfs, CorruptFramedSideFileThrows) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "flow/certify.h"
 #include "flow/max_flow.h"
 #include "flow/validate.h"
 #include "graph/generators.h"
@@ -243,6 +244,160 @@ TEST(Validate, AcceptsZeroFlowOnEmptyNetwork) {
   f.value = 0;
   f.pair_flow = {0};
   EXPECT_TRUE(validate_max_flow(g, 0, 1, f).ok);
+}
+
+// ------------------------------------------------------------ certificates
+
+// True iff some violation starts with `prefix` -- the prefixes are the
+// machine-greppable contract of certify.h.
+bool has_violation(const Certificate& cert, std::string_view prefix) {
+  for (const auto& v : cert.violations) {
+    if (v.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(Certify, MaxFlowCarriesFullCertificate) {
+  graph::Graph g = clrs_graph();
+  FlowAssignment f = max_flow_dinic(g, 0, 5);
+  Certificate cert = certify_max_flow(g, 0, 5, f);
+  EXPECT_TRUE(cert.feasible());
+  EXPECT_TRUE(cert.valid()) << cert.summary();
+  EXPECT_EQ(cert.flow_value, 23);  // CLRS Fig. 26.6
+  EXPECT_EQ(cert.cut_capacity, 23);
+  EXPECT_GT(cert.cut_edges, 0u);
+  EXPECT_TRUE(cert.source_side[0]);
+  EXPECT_FALSE(cert.source_side[5]);
+  EXPECT_GE(cert.source_side_vertices, 1u);
+  EXPECT_LT(cert.source_side_vertices, g.num_vertices());
+  EXPECT_TRUE(cert.violations.empty());
+  EXPECT_NE(cert.summary().find("certificate ok"), std::string::npos);
+}
+
+TEST(Certify, RandomGraphsCertifyAgainstDinic) {
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    graph::Graph g = graph::watts_strogatz(60, 4, 0.3, seed);
+    FlowAssignment f = max_flow_dinic(g, 0, 30);
+    Certificate cert = certify_max_flow(g, 0, 30, f);
+    EXPECT_TRUE(cert.valid()) << "seed " << seed << ": " << cert.summary();
+    EXPECT_EQ(cert.flow_value, cert.cut_capacity) << seed;
+  }
+}
+
+TEST(Certify, RejectsConservationViolation) {
+  // 0 -(2)-> 1 -(2)-> 2, but vertex 1 leaks one unit.
+  graph::Graph g(3);
+  g.add_edge(0, 1, 2, 0);
+  g.add_edge(1, 2, 2, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 2;
+  f.pair_flow = {2, 1};
+  Certificate cert = certify_max_flow(g, 0, 2, f);
+  EXPECT_FALSE(cert.conservation_ok);
+  EXPECT_FALSE(cert.feasible());
+  EXPECT_FALSE(cert.valid());
+  EXPECT_TRUE(has_violation(cert, "conservation:")) << cert.summary();
+  EXPECT_FALSE(has_violation(cert, "capacity:"));
+  EXPECT_NE(cert.summary().find("conservation=FAIL"), std::string::npos);
+}
+
+TEST(Certify, RejectsOverCapacityEdge) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 3, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 5;
+  f.pair_flow = {5};  // exceeds cap_ab = 3
+  Certificate cert = certify_max_flow(g, 0, 1, f);
+  EXPECT_FALSE(cert.capacity_ok);
+  EXPECT_TRUE(has_violation(cert, "capacity:")) << cert.summary();
+  // Residual reachability is meaningless outside capacity bounds: the
+  // maximality checks must not claim anything.
+  EXPECT_FALSE(cert.sink_unreachable);
+  EXPECT_TRUE(cert.source_side.empty());
+}
+
+TEST(Certify, RejectsReverseOverCapacity) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 3, 1);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 0;
+  f.pair_flow = {-2};  // reverse flow 2 exceeds cap_ba = 1
+  Certificate cert = certify_max_flow(g, 0, 1, f);
+  EXPECT_FALSE(cert.capacity_ok);
+  EXPECT_TRUE(has_violation(cert, "capacity:")) << cert.summary();
+}
+
+TEST(Certify, RejectsWrongValue) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 5, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 4;  // claims 4, carries 3
+  f.pair_flow = {3};
+  Certificate cert = certify_max_flow(g, 0, 1, f);
+  EXPECT_TRUE(cert.capacity_ok);
+  EXPECT_TRUE(cert.conservation_ok);
+  EXPECT_FALSE(cert.value_ok);
+  EXPECT_TRUE(has_violation(cert, "value:")) << cert.summary();
+  EXPECT_FALSE(has_violation(cert, "conservation:"));
+}
+
+TEST(Certify, RejectsNonMaximalWithDistinctDiagnostic) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 5, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 3;  // feasible but 2 units short of maximum
+  f.pair_flow = {3};
+  Certificate cert = certify_max_flow(g, 0, 1, f);
+  EXPECT_TRUE(cert.feasible());
+  EXPECT_FALSE(cert.valid());
+  EXPECT_FALSE(cert.sink_unreachable);
+  EXPECT_TRUE(has_violation(cert, "maximality:")) << cert.summary();
+  // With s and t on the same side there is no separating cut to match.
+  EXPECT_FALSE(cert.cut_matches);
+}
+
+TEST(Certify, ShapeMismatchGatesAllOtherChecks) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 0;  // pair_flow missing entirely
+  Certificate cert = certify_max_flow(g, 0, 1, f);
+  EXPECT_FALSE(cert.shape_ok);
+  EXPECT_TRUE(has_violation(cert, "shape:")) << cert.summary();
+  EXPECT_FALSE(cert.capacity_ok);
+  EXPECT_FALSE(cert.valid());
+
+  FlowAssignment ok;
+  ok.value = 0;
+  ok.pair_flow = {0};
+  Certificate bad_terminals = certify_max_flow(g, 0, 0, ok);  // s == t
+  EXPECT_FALSE(bad_terminals.shape_ok);
+  EXPECT_TRUE(has_violation(bad_terminals, "shape:"));
+}
+
+TEST(Certify, ViolationListIsCapped) {
+  // Hundreds of leaking vertices must not produce hundreds of strings.
+  graph::Graph g(202);
+  for (graph::VertexId v = 1; v <= 200; ++v) g.add_edge(0, v, 1, 0);
+  g.finalize();
+  FlowAssignment f;
+  f.value = 0;
+  f.pair_flow.assign(g.num_edge_pairs(), 1);  // every spoke leaks
+  Certificate cert = certify_max_flow(g, 0, 201, f);
+  EXPECT_FALSE(cert.conservation_ok);
+  EXPECT_LE(cert.violations.size(), 32u);
+}
+
+TEST(Certify, ResidualSourceSideMatchesMinCutPartition) {
+  graph::Graph g = graph::watts_strogatz(50, 4, 0.2, 9);
+  FlowAssignment f = max_flow_dinic(g, 0, 25);
+  EXPECT_EQ(residual_source_side(g, 0, f), min_cut_partition(g, 0, f));
 }
 
 }  // namespace

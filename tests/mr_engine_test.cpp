@@ -628,6 +628,239 @@ TEST(Faults, SpillLifecycleEndsWithJob) {
   EXPECT_EQ(spilled.shuffle_bytes, resident.shuffle_bytes);
 }
 
+// ----------------------------------------------------------- fault matrix
+
+TEST(Faults, DrawsIndependentAcrossJobs) {
+  // The job name is hashed into every fault draw, so two jobs (or two
+  // rounds of one solver) see uncorrelated failure schedules from the same
+  // cluster seed -- a crash in round k must not imply one at the same task
+  // slot in round k+1. Referenced from maybe_inject_failure (job.cpp).
+  FaultConfig fault;
+  fault.task_failure_probability = 0.5;
+  fault.seed = 11;
+  int fails_a = 0, fails_b = 0, differ = 0;
+  const int kTasks = 500, kAttempts = 4;
+  for (int task = 0; task < kTasks; ++task) {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      bool a = fault.task_attempt_fails("round#1", "map", task, attempt);
+      bool b = fault.task_attempt_fails("round#2", "map", task, attempt);
+      fails_a += a;
+      fails_b += b;
+      differ += a != b;
+      // Same coordinates => same draw, every time.
+      EXPECT_EQ(a, fault.task_attempt_fails("round#1", "map", task, attempt));
+    }
+  }
+  const int n = kTasks * kAttempts;
+  // Each stream individually tracks p = 0.5 ...
+  EXPECT_GT(fails_a, n * 2 / 5);
+  EXPECT_LT(fails_a, n * 3 / 5);
+  EXPECT_GT(fails_b, n * 2 / 5);
+  EXPECT_LT(fails_b, n * 3 / 5);
+  // ... and they disagree about as often as independent coins do.
+  EXPECT_GT(differ, n * 2 / 5);
+  EXPECT_LT(differ, n * 3 / 5);
+}
+
+TEST(Faults, ShapeFactoryConfiguresOneClass) {
+  FaultConfig none;
+  EXPECT_FALSE(none.any());
+
+  FaultConfig node = FaultConfig::shape("node", 0.1, 5);
+  EXPECT_TRUE(node.any());
+  EXPECT_DOUBLE_EQ(node.node_crash_probability, 0.1);
+  EXPECT_DOUBLE_EQ(node.task_failure_probability, 0.0);
+  EXPECT_DOUBLE_EQ(node.corrupt_read_probability, 0.0);
+  EXPECT_DOUBLE_EQ(node.rpc_timeout_probability, 0.0);
+  EXPECT_DOUBLE_EQ(node.straggler_probability, 0.0);
+  EXPECT_EQ(node.seed, 5u);
+
+  FaultConfig all = FaultConfig::shape("all", 0.05, 6);
+  EXPECT_DOUBLE_EQ(all.task_failure_probability, 0.05);
+  EXPECT_DOUBLE_EQ(all.node_crash_probability, 0.05);
+  EXPECT_DOUBLE_EQ(all.corrupt_read_probability, 0.05);
+  EXPECT_DOUBLE_EQ(all.straggler_probability, 0.05);
+  EXPECT_DOUBLE_EQ(all.rpc_timeout_probability, 0.05);
+
+  EXPECT_THROW(FaultConfig::shape("bogus", 0.1, 1), std::invalid_argument);
+}
+
+TEST(Faults, NodeCrashLosesSpillsAndRecovers) {
+  // Pick a fault seed whose schedule crashes at least one of the three
+  // nodes for this job name, so the test is deterministic, then verify the
+  // job re-executes the lost work and produces the failure-free answer.
+  FaultConfig fault;
+  fault.node_crash_probability = 0.3;
+  while (true) {
+    bool any = false;
+    for (int n = 0; n < 3; ++n) any |= fault.node_crashes("nodecrash", n);
+    if (any) break;
+    ++fault.seed;
+  }
+
+  std::vector<std::string> words;
+  for (int i = 0; i < 300; ++i) words.push_back("w" + std::to_string(i % 19));
+
+  ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.dfs_block_size = 2 << 10;
+  config.max_task_attempts = 4;
+  config.fault = fault;
+  Cluster cluster(config);
+  write_words(cluster, "in", words);
+  JobSpec spec = wordcount_spec("in", "out");
+  spec.name = "nodecrash";
+  spec.num_reduce_tasks = 4;
+  spec.spill_map_outputs = true;  // give the crash spill files to destroy
+  JobStats stats = run_job(cluster, spec);
+  EXPECT_GT(stats.task_retries, 0);
+  EXPECT_TRUE(cluster.fs().list("__spill__/").empty());
+
+  Cluster clean = make_cluster();
+  write_words(clean, "in", words);
+  JobSpec clean_spec = wordcount_spec("in", "out");
+  clean_spec.num_reduce_tasks = 4;
+  clean_spec.spill_map_outputs = true;
+  run_job(clean, clean_spec);
+  EXPECT_EQ(read_outputs(cluster, "out", 4), read_outputs(clean, "out", 4));
+}
+
+TEST(Faults, StragglersInflateSimTimeOnly) {
+  auto run = [](double prob) {
+    ClusterConfig config;
+    config.num_slave_nodes = 3;
+    config.fault.straggler_probability = prob;
+    config.fault.straggler_slowdown = 6.0;
+    config.fault.seed = 13;
+    Cluster cluster(config);
+    std::vector<std::string> words(200, "x");
+    write_words(cluster, "in", words);
+    JobSpec spec = wordcount_spec("in", "out");
+    spec.num_reduce_tasks = 4;
+    auto stats = run_job(cluster, spec);
+    return std::pair(stats, read_outputs(cluster, "out", 4));
+  };
+  auto [slow, slow_out] = run(1.0);
+  auto [fast, fast_out] = run(0.0);
+  // Identical work, identical records and bytes -- only simulated time
+  // moves, because a straggler is purely a cost-model multiplier.
+  EXPECT_EQ(slow_out, fast_out);
+  EXPECT_EQ(slow.task_retries, 0);
+  EXPECT_EQ(slow.map_output_records, fast.map_output_records);
+  EXPECT_EQ(slow.shuffle_bytes, fast.shuffle_bytes);
+  EXPECT_GT(slow.sim_seconds, fast.sim_seconds);
+  // The slowdown factor bounds the damage: nothing else was touched.
+  EXPECT_LE(slow.sim_seconds, fast.sim_seconds * 6.0);
+}
+
+TEST(Faults, RpcTimeoutsRetriedWithBackoff) {
+  auto run = [](double prob) {
+    ClusterConfig config;
+    config.num_slave_nodes = 2;
+    config.fault.rpc_timeout_probability = prob;
+    config.fault.rpc_max_retries = 16;  // P(16 consecutive timeouts) ~ 0
+    config.fault.seed = 29;
+    Cluster cluster(config);
+    write_words(cluster, "in", {"abc", "defg", "hi", "jklm", "nop"});
+    ServiceRegistry services;
+    services.add("rev", std::make_shared<ReverseService>());
+    JobSpec spec;
+    spec.name = "rpcjob";
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.services = &services;
+    spec.mapper = lambda_mapper(
+        [](std::string_view k, std::string_view v, MapContext& ctx) {
+          ctx.emit(k, ctx.call_service("rev", v));
+        });
+    spec.reducer = identity_reducer();
+    auto stats = run_job(cluster, spec);
+    return std::pair(stats, read_outputs(cluster, "out",
+                                         stats.num_reduce_tasks));
+  };
+  auto [faulty, faulty_out] = run(0.5);
+  auto [clean, clean_out] = run(0.0);
+  // Every request eventually lands exactly once: same responses, same rpc
+  // accounting; the retries only cost simulated backoff time.
+  EXPECT_EQ(faulty_out, clean_out);
+  EXPECT_EQ(faulty_out.at("0"), "cba");
+  EXPECT_EQ(faulty.rpc_calls, clean.rpc_calls);
+  EXPECT_EQ(faulty.rpc_request_bytes, clean.rpc_request_bytes);
+  EXPECT_GT(faulty.sim_seconds, clean.sim_seconds);
+}
+
+TEST(Faults, RpcTimeoutExhaustionFailsJob) {
+  ClusterConfig config;
+  config.num_slave_nodes = 1;
+  config.fault.rpc_timeout_probability = 1.0;  // every send times out
+  config.fault.rpc_max_retries = 2;
+  config.max_task_attempts = 2;
+  Cluster cluster(config);
+  write_words(cluster, "in", {"x"});
+  ServiceRegistry services;
+  services.add("rev", std::make_shared<ReverseService>());
+  JobSpec spec;
+  spec.inputs = {"in"};
+  spec.output_prefix = "out";
+  spec.services = &services;
+  spec.mapper = lambda_mapper(
+      [](std::string_view k, std::string_view v, MapContext& ctx) {
+        ctx.emit(k, ctx.call_service("rev", v));
+      });
+  spec.reducer = identity_reducer();
+  EXPECT_THROW(run_job(cluster, spec), std::runtime_error);
+}
+
+TEST(Faults, CorruptReplicaDrawsAtMostOnePerBlock) {
+  // The corrupt-on-read model damages at most one replica of any block, so
+  // DFS failover is always able to find a healthy copy; p = 1 means "every
+  // block has a corrupt replica", not "every replica is corrupt".
+  FaultConfig fault;
+  fault.corrupt_read_probability = 1.0;
+  fault.seed = 31;
+  for (int file = 0; file < 20; ++file) {
+    std::string name = "f" + std::to_string(file);
+    for (size_t block = 0; block < 10; ++block) {
+      int corrupt = 0;
+      for (int ordinal = 0; ordinal < 3; ++ordinal) {
+        corrupt += fault.replica_corrupt(name, block, ordinal, 3);
+      }
+      EXPECT_EQ(corrupt, 1) << name << " block " << block;
+      // Single-replica blocks are never corrupted (nothing to fail over to).
+      EXPECT_FALSE(fault.replica_corrupt(name, block, 0, 1));
+    }
+  }
+  FaultConfig off;
+  EXPECT_FALSE(off.replica_corrupt("f", 0, 0, 3));
+}
+
+TEST(Faults, CorruptReadsRecoveredInsideJobs) {
+  // End to end: a wire-framed job input with a corrupt replica per block
+  // still computes the failure-free answer (readers fail over silently).
+  auto run = [](double prob) {
+    ClusterConfig config;
+    config.num_slave_nodes = 3;
+    config.dfs_block_size = 2 << 10;
+    config.fault.corrupt_read_probability = prob;
+    config.fault.seed = 37;
+    Cluster cluster(config);
+    std::vector<std::string> words;
+    for (int i = 0; i < 200; ++i) words.push_back("k" + std::to_string(i % 13));
+    write_words(cluster, "in", words);
+    JobSpec spec = wordcount_spec("in", "out");
+    spec.num_reduce_tasks = 4;
+    spec.wire.codec = codec::CodecId::kLz;  // framed streams end to end
+    spec.spill_map_outputs = true;          // framed spills read by reducers
+    auto stats = run_job(cluster, spec);
+    return std::pair(stats, read_outputs(cluster, "out", 4));
+  };
+  auto [faulty, faulty_out] = run(0.8);
+  auto [clean, clean_out] = run(0.0);
+  EXPECT_EQ(faulty_out, clean_out);
+  EXPECT_EQ(faulty.task_retries, 0);  // failover happens below task level
+  EXPECT_EQ(faulty.shuffle_bytes, clean.shuffle_bytes);
+}
+
 // ------------------------------------------------------------ cost model
 
 TEST(CostModel, LptMakespan) {

@@ -1,0 +1,387 @@
+// Golden-schema tests for the repo's machine-readable outputs: the
+// per-round JSONL report (RoundReportWriter + the solver's enriched
+// fields, exemplified by round_report.example.jsonl) and the BENCH_*.json
+// documents emitted through bench::JsonWriter. The committed examples are
+// documentation -- EXPERIMENTS.md tells readers to parse them -- so a field
+// rename or addition must show up here as a red test until the examples
+// are regenerated (see the header comment in round_report.example.jsonl's
+// generator command below).
+//
+// Schema = the set of top-level keys with their JSON value kinds. Values
+// are free to change run to run; keys and kinds are the contract.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ffmr/solver.h"
+#include "graph/generators.h"
+
+#ifndef MRFLOW_SOURCE_DIR
+#error "tests/CMakeLists.txt must define MRFLOW_SOURCE_DIR"
+#endif
+
+namespace mrflow {
+namespace {
+
+// ------------------------------------------------- minimal JSON scanner
+//
+// Just enough JSON to extract {key -> value kind} from an object and the
+// element ranges of an array. Malformed input fails the calling test via
+// ADD_FAILURE rather than crashing.
+
+enum class Kind { kNumber, kString, kBool, kNull, kObject, kArray, kError };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kBool: return "bool";
+    case Kind::kNull: return "null";
+    case Kind::kObject: return "object";
+    case Kind::kArray: return "array";
+    default: return "error";
+  }
+}
+
+using Schema = std::map<std::string, Kind>;
+
+size_t skip_ws(const std::string& s, size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Returns one past the closing quote, or npos on error.
+size_t skip_string(const std::string& s, size_t pos) {
+  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
+  for (++pos; pos < s.size(); ++pos) {
+    if (s[pos] == '\\') {
+      ++pos;
+    } else if (s[pos] == '"') {
+      return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// Returns one past the end of the value starting at pos; sets `kind`.
+size_t skip_value(const std::string& s, size_t pos, Kind& kind) {
+  pos = skip_ws(s, pos);
+  if (pos >= s.size()) {
+    kind = Kind::kError;
+    return std::string::npos;
+  }
+  char c = s[pos];
+  if (c == '"') {
+    kind = Kind::kString;
+    return skip_string(s, pos);
+  }
+  if (c == '{' || c == '[') {
+    kind = c == '{' ? Kind::kObject : Kind::kArray;
+    int depth = 0;
+    for (; pos < s.size(); ++pos) {
+      if (s[pos] == '"') {
+        pos = skip_string(s, pos);
+        if (pos == std::string::npos) {
+          kind = Kind::kError;
+          return std::string::npos;
+        }
+        --pos;  // loop increment compensates
+      } else if (s[pos] == '{' || s[pos] == '[') {
+        ++depth;
+      } else if (s[pos] == '}' || s[pos] == ']') {
+        if (--depth == 0) return pos + 1;
+      }
+    }
+    kind = Kind::kError;
+    return std::string::npos;
+  }
+  if (s.compare(pos, 4, "true") == 0) {
+    kind = Kind::kBool;
+    return pos + 4;
+  }
+  if (s.compare(pos, 5, "false") == 0) {
+    kind = Kind::kBool;
+    return pos + 5;
+  }
+  if (s.compare(pos, 4, "null") == 0) {
+    kind = Kind::kNull;
+    return pos + 4;
+  }
+  kind = Kind::kNumber;
+  while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                            s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                            s[pos] == 'e' || s[pos] == 'E')) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Top-level keys and kinds of the object starting at `pos` in `s`.
+Schema object_schema(const std::string& s, size_t pos = 0) {
+  Schema schema;
+  pos = skip_ws(s, pos);
+  if (pos >= s.size() || s[pos] != '{') {
+    ADD_FAILURE() << "not a JSON object: " << s.substr(0, 80);
+    return schema;
+  }
+  pos = skip_ws(s, pos + 1);
+  if (pos < s.size() && s[pos] == '}') return schema;
+  while (pos < s.size()) {
+    size_t key_end = skip_string(s, pos);
+    if (key_end == std::string::npos) break;
+    std::string key = s.substr(pos + 1, key_end - pos - 2);
+    pos = skip_ws(s, key_end);
+    if (pos >= s.size() || s[pos] != ':') break;
+    Kind kind;
+    pos = skip_value(s, pos + 1, kind);
+    if (pos == std::string::npos || kind == Kind::kError) break;
+    schema[key] = kind;
+    pos = skip_ws(s, pos);
+    if (pos < s.size() && s[pos] == ',') {
+      pos = skip_ws(s, pos + 1);
+      continue;
+    }
+    if (pos < s.size() && s[pos] == '}') return schema;
+    break;
+  }
+  ADD_FAILURE() << "malformed JSON object: " << s.substr(0, 120);
+  return schema;
+}
+
+// The element substrings of the array valued at `key` in `doc`.
+std::vector<std::string> array_elements(const std::string& doc,
+                                        const std::string& key) {
+  std::vector<std::string> out;
+  std::string needle = "\"" + key + "\":";
+  size_t pos = doc.find(needle);
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no \"" << key << "\" array in document";
+    return out;
+  }
+  pos = skip_ws(doc, pos + needle.size());
+  if (pos >= doc.size() || doc[pos] != '[') {
+    ADD_FAILURE() << "\"" << key << "\" is not an array";
+    return out;
+  }
+  pos = skip_ws(doc, pos + 1);
+  while (pos < doc.size() && doc[pos] != ']') {
+    Kind kind;
+    size_t end = skip_value(doc, pos, kind);
+    if (end == std::string::npos) {
+      ADD_FAILURE() << "malformed array element";
+      return out;
+    }
+    out.push_back(doc.substr(pos, end - pos));
+    pos = skip_ws(doc, end);
+    if (pos < doc.size() && doc[pos] == ',') pos = skip_ws(doc, pos + 1);
+  }
+  return out;
+}
+
+std::string diff_schemas(const Schema& a, const Schema& b) {
+  std::string out;
+  for (const auto& [key, kind] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      out += "  only in first: " + key + " (" + kind_name(kind) + ")\n";
+    } else if (it->second != kind) {
+      out += "  kind mismatch: " + key + " (" + kind_name(kind) + " vs " +
+             kind_name(it->second) + ")\n";
+    }
+  }
+  for (const auto& [key, kind] : b) {
+    if (!a.count(key)) {
+      out += "  only in second: " + key + " (" + kind_name(kind) + ")\n";
+    }
+  }
+  return out;
+}
+
+std::string source_path(const std::string& rel) {
+  return std::string(MRFLOW_SOURCE_DIR) + "/" + rel;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+// ------------------------------------------------------ round report
+
+// A live round report from a small deterministic solve. The same recipe
+// (bigger graph) regenerates the committed example:
+//   maxflow_cli <edges> --algo=ff5 --round_report=round_report.example.jsonl
+std::vector<std::string> live_round_report() {
+  graph::Graph g = graph::watts_strogatz(80, 4, 0.25, 3);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.dfs_block_size = 32 << 10;
+  mr::Cluster cluster(config);
+  ffmr::FfmrOptions o;
+  o.variant = ffmr::Variant::FF5;
+  o.async_augmenter = false;
+  // Unique per process: ctest runs each TEST as its own process, possibly
+  // in parallel, and two writers on one path would interleave lines.
+  std::string path = ::testing::TempDir() + "/schema_round_report." +
+                     std::to_string(::getpid()) + ".jsonl";
+  o.round_report = path;
+  ffmr::solve_max_flow(cluster, g, 0, 40, o);
+  auto lines = read_lines(path);
+  std::remove(path.c_str());
+  return lines;
+}
+
+TEST(RoundReportSchema, LiveLinesMatchCommittedExample) {
+  auto live = live_round_report();
+  auto example = read_lines(source_path("round_report.example.jsonl"));
+  ASSERT_GE(live.size(), 2u);
+  ASSERT_GE(example.size(), 2u);
+
+  Schema golden = object_schema(example[0]);
+  ASSERT_FALSE(golden.empty());
+  // Every example line agrees with itself (the writer emits a fixed field
+  // list every round), and every live line matches the example: a renamed
+  // or added field fails here until the example is regenerated.
+  for (const auto& line : example) {
+    EXPECT_EQ(diff_schemas(golden, object_schema(line)), "") << line;
+  }
+  for (const auto& line : live) {
+    EXPECT_EQ(diff_schemas(golden, object_schema(line)), "") << line;
+  }
+}
+
+TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
+  // The spine of the schema, asserted explicitly so the golden comparison
+  // cannot silently rot into comparing two empty sets.
+  auto live = live_round_report();
+  ASSERT_FALSE(live.empty());
+  Schema schema = object_schema(live[0]);
+  const std::pair<const char*, Kind> kRequired[] = {
+      {"round", Kind::kNumber},
+      {"job", Kind::kString},
+      {"map_tasks", Kind::kNumber},
+      {"reduce_tasks", Kind::kNumber},
+      {"map_output_records", Kind::kNumber},
+      {"reduce_output_records", Kind::kNumber},
+      {"shuffle_bytes", Kind::kNumber},
+      {"schimmy_bytes", Kind::kNumber},
+      {"spill_bytes", Kind::kNumber},
+      {"output_bytes", Kind::kNumber},
+      {"shuffle_bytes_wire", Kind::kNumber},
+      {"schimmy_bytes_wire", Kind::kNumber},
+      {"spill_bytes_wire", Kind::kNumber},
+      {"output_bytes_wire", Kind::kNumber},
+      {"task_retries", Kind::kNumber},
+      {"sim_seconds", Kind::kNumber},
+      {"wall_seconds", Kind::kNumber},
+      {"source_moves", Kind::kNumber},
+      {"sink_moves", Kind::kNumber},
+      {"paths_offered", Kind::kNumber},
+      {"paths_accepted", Kind::kNumber},
+      {"paths_rejected", Kind::kNumber},
+      {"delta_flow", Kind::kNumber},
+      {"total_flow", Kind::kNumber},
+      {"max_queue", Kind::kNumber},
+      {"restart", Kind::kBool},
+      {"counters", Kind::kObject},
+  };
+  for (const auto& [key, kind] : kRequired) {
+    auto it = schema.find(key);
+    ASSERT_NE(it, schema.end()) << "missing field: " << key;
+    EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
+  }
+}
+
+// --------------------------------------------------------- bench JSON
+
+TEST(BenchJsonSchema, CommittedShuffleEngineDocWellFormed) {
+  std::string doc = read_file(source_path("BENCH_shuffle_engine.json"));
+  ASSERT_FALSE(doc.empty());
+  Schema top = object_schema(doc);
+  const std::pair<const char*, Kind> kRequired[] = {
+      {"bench", Kind::kString},   {"graph", Kind::kString},
+      {"scale", Kind::kNumber},   {"map_tasks", Kind::kNumber},
+      {"records", Kind::kNumber}, {"phases", Kind::kObject},
+      {"engine", Kind::kArray},
+  };
+  for (const auto& [key, kind] : kRequired) {
+    auto it = top.find(key);
+    ASSERT_NE(it, top.end()) << "missing field: " << key;
+    EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
+  }
+
+  // Every engine variant row carries the same schema, with the fields the
+  // perf-trajectory tooling reads.
+  auto rows = array_elements(doc, "engine");
+  ASSERT_GE(rows.size(), 2u);
+  Schema row0 = object_schema(rows[0]);
+  for (const auto& row : rows) {
+    EXPECT_EQ(diff_schemas(row0, object_schema(row)), "");
+  }
+  for (const char* key : {"variant", "shuffle", "exec", "codec"}) {
+    EXPECT_EQ(row0[key], Kind::kString) << key;
+  }
+  for (const char* key :
+       {"wall_s", "sim_s", "shuffle_bytes", "shuffle_bytes_wire",
+        "spill_bytes", "map_output_records", "allocs"}) {
+    EXPECT_EQ(row0[key], Kind::kNumber) << key;
+  }
+  EXPECT_EQ(row0["spill"], Kind::kBool);
+}
+
+TEST(BenchJsonSchema, JsonWriterOutputScansBack) {
+  // The schema scanner and the emitter agree on escaping and nesting, so
+  // a scanner "malformed" verdict on a committed file means the file is
+  // actually stale or hand-mangled, not a tooling artifact.
+  bench::JsonWriter j;
+  j.field("bench", "schema_test")
+      .field("note", "quotes \" backslash \\ newline \n tab \t")
+      .field("count", uint64_t{42})
+      .field("ratio", 0.125)
+      .field("ok", true);
+  j.obj("nested").field("inner", int64_t{-7}).close();
+  j.arr("rows");
+  j.obj_item().field("name", "a").field("v", uint64_t{1}).close();
+  j.obj_item().field("name", "b").field("v", uint64_t{2}).close();
+  j.close();
+  std::string doc = j.finish();
+
+  Schema top = object_schema(doc);
+  EXPECT_EQ(top["bench"], Kind::kString);
+  EXPECT_EQ(top["note"], Kind::kString);
+  EXPECT_EQ(top["count"], Kind::kNumber);
+  EXPECT_EQ(top["ratio"], Kind::kNumber);
+  EXPECT_EQ(top["ok"], Kind::kBool);
+  EXPECT_EQ(top["nested"], Kind::kObject);
+  EXPECT_EQ(top["rows"], Kind::kArray);
+  auto rows = array_elements(doc, "rows");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(object_schema(rows[1])["name"], Kind::kString);
+}
+
+}  // namespace
+}  // namespace mrflow
