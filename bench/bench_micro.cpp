@@ -3,8 +3,14 @@
 // solvers. These are the knobs the cost model's CPU term measures.
 #include <benchmark/benchmark.h>
 
+#include <span>
+
+#include "common/codec.h"
 #include "common/counters.h"
+#include "common/cpuid.h"
+#include "common/hash.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "ffmr/accumulator.h"
 #include "ffmr/types.h"
@@ -14,6 +20,17 @@
 namespace {
 
 using namespace mrflow;
+
+// Dispatched-kernel benchmarks take a 0/1 arg: 0 forces the scalar twins,
+// 1 runs the cpuid-dispatched kernels. The ratio between the two rows is
+// the SIMD speedup on this machine.
+class ForceScalarArg {
+ public:
+  explicit ForceScalarArg(benchmark::State& state) {
+    common::cpuid::set_force_scalar(state.range(0) == 0);
+  }
+  ~ForceScalarArg() { common::cpuid::set_force_scalar(false); }
+};
 
 ffmr::VertexValue make_vertex(int degree, int paths) {
   ffmr::VertexValue v;
@@ -188,6 +205,143 @@ void BM_Xoshiro(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Xoshiro);
+
+// ------------------------------------------------- dispatched hot kernels
+
+// Payload shaped like the engine's hot codec input: a sorted run of framed
+// shuffle records (shared key prefixes, a small vocabulary of values), so
+// the LZ stream is dominated by short literals and matches whose offsets
+// are one-to-a-few record periods -- the token mix the copy kernels see in
+// real spill/fetch traffic.
+serde::Bytes compressible_payload(size_t target) {
+  rng::Xoshiro256 r(9);
+  serde::Bytes raw;
+  uint64_t id = 1u << 20;
+  while (raw.size() < target) {
+    id += 1 + r.next_below(3);
+    std::string key = "vertex-" + std::to_string(id);
+    std::string value = "cap:" + std::to_string(r.next_below(16)) +
+                        ";flow:" + std::to_string(r.next_below(4));
+    raw.push_back(static_cast<char>(key.size()));
+    raw += key;
+    raw.push_back(static_cast<char>(value.size()));
+    raw += value;
+  }
+  return raw;
+}
+
+// LZ match finding + emit: dominated by the match-extension kernel.
+void BM_LzCompress(benchmark::State& state) {
+  ForceScalarArg level(state);
+  serde::Bytes raw = compressible_payload(64u << 10);
+  serde::Bytes out;
+  for (auto _ : state) {
+    out.clear();
+    codec::lz_compress(raw, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(raw.size()));
+}
+BENCHMARK(BM_LzCompress)->Arg(0)->Arg(1);
+
+// LZ decode: dominated by the literal/match copy kernels (wild copies on
+// the dispatched path).
+void BM_LzDecompress(benchmark::State& state) {
+  ForceScalarArg level(state);
+  serde::Bytes raw = compressible_payload(64u << 10);
+  serde::Bytes wire;
+  codec::lz_compress(raw, wire);
+  serde::Bytes out;
+  for (auto _ : state) {
+    out.clear();
+    codec::lz_decompress(wire, raw.size(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(raw.size()));
+}
+BENCHMARK(BM_LzDecompress)->Arg(0)->Arg(1);
+
+// Batched varint decode (ByteReader::get_varints) vs the same reader under
+// the forced-scalar per-element loop. Single-byte-heavy mix like the
+// engine's vertex-id delta streams (small ids and zigzag deltas dominate;
+// the occasional wide value exercises the straggler handoff).
+void BM_VarintDecodeBatch(benchmark::State& state) {
+  ForceScalarArg level(state);
+  serde::Bytes buf;
+  {
+    serde::ByteWriter w(&buf);
+    rng::Xoshiro256 r(5);
+    for (int i = 0; i < 4096; ++i) {
+      w.put_varint(r.next_below(16) == 0 ? (uint64_t{1} << 30) + i
+                                         : r.next_below(128));
+    }
+  }
+  uint64_t out[8];
+  for (auto _ : state) {
+    serde::ByteReader r(buf);
+    uint64_t sum = 0;
+    for (int i = 0; i < 4096 / 8; ++i) {
+      r.get_varints(std::span<uint64_t>(out, 8));
+      sum += out[0] + out[7];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_VarintDecodeBatch)->Arg(0)->Arg(1);
+
+// Partition hashing of a batch of shuffle keys: the ILP-4 xxHash64 batch
+// vs its per-key scalar loop, plus the retired FNV-1a for reference.
+void BM_PartitionHashBatch(benchmark::State& state) {
+  ForceScalarArg level(state);
+  std::vector<std::string> keys;
+  rng::Xoshiro256 r(13);
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("vertex-" + std::to_string(r.next_below(1u << 20)));
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<uint64_t> out(views.size());
+  for (auto _ : state) {
+    hash::stable_hash_batch(views.data(), views.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(views.size()));
+}
+BENCHMARK(BM_PartitionHashBatch)->Arg(0)->Arg(1);
+
+void BM_PartitionHashFnvLegacy(benchmark::State& state) {
+  std::vector<std::string> keys;
+  rng::Xoshiro256 r(13);
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("vertex-" + std::to_string(r.next_below(1u << 20)));
+  }
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (const auto& k : keys) sum += hash::fnv1a64(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_PartitionHashFnvLegacy);
+
+// parallel_for on tiny inputs: the chunked claim must not collapse to one
+// fetch_add per index, and single-index calls must skip the queues.
+void BM_ParallelForTiny(benchmark::State& state) {
+  static common::ThreadPool pool(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> sink(n > 0 ? n : 1);
+  for (auto _ : state) {
+    pool.parallel_for(n, [&](size_t i) { sink[i] += i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForTiny)->Arg(1)->Arg(4)->Arg(64);
 
 }  // namespace
 

@@ -24,6 +24,7 @@
 #include <new>
 
 #include "bench_common.h"
+#include "common/cpuid.h"
 #include "dfs/record_io.h"
 #include "mapreduce/merge.h"
 #include "mapreduce/typed.h"
@@ -321,13 +322,16 @@ int main(int argc, char** argv) {
 
   struct EngineRun {
     EngineRun(const char* name, mr::ShuffleMode mode, mr::ExecMode exec,
-              bool spill, codec::WireFormat wire = {})
-        : name(name), mode(mode), exec(exec), spill(spill), wire(wire) {}
+              bool spill, codec::WireFormat wire = {},
+              bool force_scalar = false)
+        : name(name), mode(mode), exec(exec), spill(spill), wire(wire),
+          force_scalar(force_scalar) {}
     const char* name;
     mr::ShuffleMode mode;
     mr::ExecMode exec;
     bool spill;
     codec::WireFormat wire;  // enabled => codec-ablation row
+    bool force_scalar;       // run with SIMD dispatch clamped to scalar
     double wall_s = 0;
     double best_wall_s = 1e100;  // min over repeats (noise-robust)
     double sim_s = 0;
@@ -356,6 +360,12 @@ int main(int argc, char** argv) {
                       mr::ExecMode::kPipelined, false, wire_lz);
   engine.emplace_back("pipelined+spill+wire", mr::ShuffleMode::kMerge,
                       mr::ExecMode::kPipelined, true, wire_lz);
+  // Scalar twin of row 5: same plan, SIMD dispatch clamped off. Counters
+  // must stay bit-identical (asserted below with every other variant);
+  // the wall gap is the end-to-end payoff of the dispatched kernels.
+  engine.emplace_back("pipelined+wire+scalar", mr::ShuffleMode::kMerge,
+                      mr::ExecMode::kPipelined, false, wire_lz,
+                      /*force_scalar=*/true);
 
   // One cluster (and disk directory) per variant, kept alive for the whole
   // experiment; repeats are interleaved round-robin across variants so
@@ -423,9 +433,11 @@ int main(int argc, char** argv) {
       uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
       uint64_t live0 = g_live_bytes.load(std::memory_order_relaxed);
       g_peak_bytes.store(live0, std::memory_order_relaxed);
+      common::cpuid::set_force_scalar(run.force_scalar);
       double t0 = now_s();
       mr::JobStats stats = mr::run_job(cluster, spec);
       double dt = now_s() - t0;
+      common::cpuid::set_force_scalar(false);
       if (it < 0) continue;  // warm-up pass: discard measurements
       run.wall_s += dt;
       if (dt < run.best_wall_s) run.best_wall_s = dt;
@@ -526,6 +538,7 @@ int main(int argc, char** argv) {
                run.exec == mr::ExecMode::kPipelined ? "pipelined" : "barrier")
         .field("spill", run.spill)
         .field("codec", run.wire.enabled() ? "lz" : "none")
+        .field("force_scalar", run.force_scalar)
         .field("wall_s", run.wall_s)
         .field("best_wall_s", run.best_wall_s)
         .field("reduce_sim_s", run.reduce_sim_s)

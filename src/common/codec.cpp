@@ -6,6 +6,11 @@
 #include <cstring>
 #include <vector>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+#include "common/cpuid.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -40,14 +45,6 @@ inline uint64_t now_us() {
           .count());
 }
 
-inline uint64_t rotl64(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
-
-inline uint64_t read_u64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
 inline uint32_t read_u32(const char* p) {
   uint32_t v;
   std::memcpy(&v, p, 4);
@@ -79,70 +76,19 @@ std::optional<CodecId> parse_codec(std::string_view name) {
   return std::nullopt;
 }
 
-uint64_t xxhash64(std::string_view data, uint64_t seed) {
-  constexpr uint64_t P1 = 11400714785074694791ull;
-  constexpr uint64_t P2 = 14029467366897019727ull;
-  constexpr uint64_t P3 = 1609587929392839161ull;
-  constexpr uint64_t P4 = 9650029242287828579ull;
-  constexpr uint64_t P5 = 2870177450012600261ull;
+// --- dispatched kernels: LZ match extension ---
+//
+// All three twins compute the length of the common prefix of a and b, at
+// most cap. They differ only in probe width (8/16/32 bytes); the returned
+// length -- the first mismatching byte index -- is identical by
+// construction, which the scalar-vs-dispatch differential tests assert
+// through lz_compress output equality.
 
-  const char* p = data.data();
-  const char* end = p + data.size();
-  uint64_t h;
-  if (data.size() >= 32) {
-    uint64_t v1 = seed + P1 + P2;
-    uint64_t v2 = seed + P2;
-    uint64_t v3 = seed;
-    uint64_t v4 = seed - P1;
-    auto round = [](uint64_t acc, uint64_t x) {
-      return rotl64(acc + x * P2, 31) * P1;
-    };
-    do {
-      v1 = round(v1, read_u64(p));
-      v2 = round(v2, read_u64(p + 8));
-      v3 = round(v3, read_u64(p + 16));
-      v4 = round(v4, read_u64(p + 24));
-      p += 32;
-    } while (p + 32 <= end);
-    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
-    auto merge = [&](uint64_t acc, uint64_t v) {
-      acc ^= round(0, v);
-      return acc * P1 + P4;
-    };
-    h = merge(h, v1);
-    h = merge(h, v2);
-    h = merge(h, v3);
-    h = merge(h, v4);
-  } else {
-    h = seed + P5;
-  }
-  h += data.size();
-  while (p + 8 <= end) {
-    h ^= rotl64(read_u64(p) * P2, 31) * P1;
-    h = rotl64(h, 27) * P1 + P4;
-    p += 8;
-  }
-  if (p + 4 <= end) {
-    h ^= static_cast<uint64_t>(read_u32(p)) * P1;
-    h = rotl64(h, 23) * P2 + P3;
-    p += 4;
-  }
-  while (p < end) {
-    h ^= static_cast<uint64_t>(static_cast<uint8_t>(*p)) * P5;
-    h = rotl64(h, 11) * P1;
-    ++p;
-  }
-  h ^= h >> 33;
-  h *= P2;
-  h ^= h >> 29;
-  h *= P3;
-  h ^= h >> 32;
-  return h;
-}
+namespace {
 
-// Length of the common prefix of a and b, at most cap, compared a machine
-// word at a time on little-endian targets.
-inline size_t match_length(const char* a, const char* b, size_t cap) {
+// Portable twin: a machine word at a time on little-endian targets, bytes
+// elsewhere.
+size_t match_length_scalar(const char* a, const char* b, size_t cap) {
   size_t len = 0;
   if constexpr (std::endian::native == std::endian::little) {
     while (len + 8 <= cap) {
@@ -161,7 +107,67 @@ inline size_t match_length(const char* a, const char* b, size_t cap) {
   return len;
 }
 
+#if defined(__x86_64__) || defined(_M_X64)
+
+// 16 bytes per probe (SSE2 is the x86-64 baseline, no target attribute
+// needed). cmpeq+movemask turns the mismatch position into a bit index.
+size_t match_length_sse2(const char* a, const char* b, size_t cap) {
+  size_t len = 0;
+  while (len + 16 <= cap) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + len));
+    __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + len));
+    uint32_t eq =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(x, y)));
+    if (eq != 0xFFFFu) {
+      return len + static_cast<size_t>(__builtin_ctz(~eq & 0xFFFFu));
+    }
+    len += 16;
+  }
+  return len + match_length_scalar(a + len, b + len, cap - len);
+}
+
+// 32 bytes per probe. Compiled for AVX2 via the target attribute and only
+// ever called behind the cpuid probe.
+__attribute__((target("avx2"))) size_t match_length_avx2(const char* a,
+                                                         const char* b,
+                                                         size_t cap) {
+  size_t len = 0;
+  while (len + 32 <= cap) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + len));
+    __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + len));
+    uint32_t eq =
+        static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(x, y)));
+    if (eq != 0xFFFFFFFFu) {
+      return len + static_cast<size_t>(__builtin_ctz(~eq));
+    }
+    len += 32;
+  }
+  return len + match_length_scalar(a + len, b + len, cap - len);
+}
+
+#endif  // x86-64
+
+using MatchFn = size_t (*)(const char*, const char*, size_t);
+
+// Resolved once per lz_compress call (one relaxed load), not per probe.
+MatchFn resolve_match_fn() {
+  using common::cpuid::SimdLevel;
+#if defined(__x86_64__) || defined(_M_X64)
+  switch (common::cpuid::simd_level()) {
+    case SimdLevel::kAvx2: return match_length_avx2;
+    case SimdLevel::kSse2: return match_length_sse2;
+    case SimdLevel::kScalar: break;
+  }
+#endif
+  return match_length_scalar;
+}
+
+}  // namespace
+
 void lz_compress(std::string_view raw, Bytes& out) {
+  const MatchFn match_length = resolve_match_fn();
   const size_t n = raw.size();
   const char* p = raw.data();
 
@@ -262,9 +268,80 @@ void lz_compress(std::string_view raw, Bytes& out) {
   emit(anchor, n, 0, 0);
 }
 
-void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out) {
+// --- dispatched kernels: LZ match copy ---
+//
+// The wide decompress path over-sizes the output by kWildPad and copies
+// matches in fixed 16/32-byte chunks ("wild copy": the last chunk may spill
+// up to chunk-1 bytes past the match end, into the pad). All wild reads and
+// writes stay inside [dst, dst + raw_len + kWildPad), so the pad keeps the
+// technique sanitizer-clean without writing past the string's size; the
+// final resize back to raw_len makes the result byte-identical to the
+// scalar twin. Literal copies read the *input* buffer, which has no pad, so
+// the wide twin only wild-copies a literal when the input still has a full
+// chunk of slack past it (true for every token except the stream's last
+// few); otherwise, and always in the scalar twin, they are exact memcpys.
+
+namespace {
+
+constexpr size_t kWildPad = 32;  // one AVX2 chunk of slack past raw_len
+
+inline void wild_copy16(char* d, const char* s, size_t len) {
+  for (size_t k = 0; k < len; k += 16) std::memcpy(d + k, s + k, 16);
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+__attribute__((target("avx2"))) void wild_copy32(char* d, const char* s,
+                                                 size_t len) {
+  for (size_t k = 0; k < len; k += 32) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(d + k),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + k)));
+  }
+}
+#endif
+
+// Copies a match of match_len bytes from offset bytes back, chunked. Caller
+// guarantees kWildPad bytes of writable slack past dst + op + match_len.
+inline void wild_match_copy(char* dst, size_t op, size_t offset,
+                            size_t match_len, bool use_avx2) {
+  char* d = dst + op;
+  const char* s = d - offset;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2 && offset >= 32) {
+    wild_copy32(d, s, match_len);
+    return;
+  }
+#else
+  (void)use_avx2;
+#endif
+  if (offset >= 16) {
+    wild_copy16(d, s, match_len);
+    return;
+  }
+  if (offset == 1) {  // RLE run, the dominant overlap case
+    std::memset(d, s[0], match_len);
+    return;
+  }
+  // Short overlap: bootstrap 16 bytes one at a time, then chunk with a
+  // stride rounded up to a multiple of the period so every 16-byte source
+  // window is already written (and at least one chunk behind the write).
+  size_t k = 0;
+  for (; k < match_len && k < 16; ++k) d[k] = s[k];
+  if (k < match_len) {
+    const size_t stride = offset * ((16 + offset - 1) / offset);
+    for (; k < match_len; k += 16) std::memcpy(d + k, d + k - stride, 16);
+  }
+}
+
+// One decode loop serves both twins; kWild selects exact vs chunked match
+// copies. Token parsing, bounds checks and thrown errors are shared, so the
+// twins cannot drift apart anywhere except the copy kernels.
+template <bool kWild>
+void lz_decompress_impl(std::string_view wire, size_t raw_len, Bytes& out,
+                        bool use_avx2) {
   const size_t start = out.size();
-  out.resize(start + raw_len);  // exact-size cursor writes, no per-byte growth
+  // Exact-size cursor writes (plus wild-copy pad), no per-byte growth.
+  out.resize(start + raw_len + (kWild ? kWildPad : 0));
   char* dst = out.data() + start;
   size_t op = 0;
   size_t ip = 0;
@@ -290,12 +367,33 @@ void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out) {
     if (op + lit > raw_len) {
       throw DecodeError("lz: output overflow");
     }
-    std::memcpy(dst + op, wire.data() + ip, lit);
+    if constexpr (kWild) {
+      // Chunked literal copy: reads past the literal are safe while the
+      // input keeps a whole chunk of later tokens behind it; writes land
+      // in the output pad. Beats memcpy's size dispatch for the short
+      // literals that dominate real token streams.
+      if (n - ip >= lit + 32) {
+#if defined(__x86_64__) || defined(_M_X64)
+        if (use_avx2) {
+          wild_copy32(dst + op, wire.data() + ip, lit);
+        } else {
+          wild_copy16(dst + op, wire.data() + ip, lit);
+        }
+#else
+        wild_copy16(dst + op, wire.data() + ip, lit);
+#endif
+      } else {
+        std::memcpy(dst + op, wire.data() + ip, lit);
+      }
+    } else {
+      std::memcpy(dst + op, wire.data() + ip, lit);
+    }
     op += lit;
     ip += lit;
     if (op == raw_len) {
       if (ip != n) throw DecodeError("lz: trailing input");
       if ((token & 0x0F) != 0) throw DecodeError("lz: bad final token");
+      if constexpr (kWild) out.resize(start + raw_len);  // drop the pad
       return;
     }
     need(2);
@@ -311,14 +409,31 @@ void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out) {
     if (op + match_len > raw_len) {
       throw DecodeError("lz: output overflow");
     }
-    const char* src = dst + op - offset;
-    if (offset >= match_len) {
-      std::memcpy(dst + op, src, match_len);  // disjoint
+    if constexpr (kWild) {
+      wild_match_copy(dst, op, offset, match_len, use_avx2);
       op += match_len;
     } else {
-      for (size_t k = 0; k < match_len; ++k) dst[op + k] = src[k];  // overlap
-      op += match_len;
+      const char* src = dst + op - offset;
+      if (offset >= match_len) {
+        std::memcpy(dst + op, src, match_len);  // disjoint
+        op += match_len;
+      } else {
+        for (size_t k = 0; k < match_len; ++k) dst[op + k] = src[k];  // overlap
+        op += match_len;
+      }
     }
+  }
+}
+
+}  // namespace
+
+void lz_decompress(std::string_view wire, size_t raw_len, Bytes& out) {
+  using common::cpuid::SimdLevel;
+  const SimdLevel level = common::cpuid::simd_level();
+  if (level == SimdLevel::kScalar) {
+    lz_decompress_impl<false>(wire, raw_len, out, false);
+  } else {
+    lz_decompress_impl<true>(wire, raw_len, out, level == SimdLevel::kAvx2);
   }
 }
 
@@ -360,7 +475,14 @@ BlockReader::BlockReader(std::string_view data) {
 
 bool BlockReader::pull() {
   if (source_done_) return false;
-  if (pos_ > 0) {
+  // The next source call invalidates the borrowed chunk, so any unparsed
+  // suffix (a frame straddling the chunk edge) must be staged first.
+  if (borrow_mode_) {
+    staging_.assign(borrowed_.data() + pos_, borrowed_.size() - pos_);
+    borrowed_ = {};
+    borrow_mode_ = false;
+    pos_ = 0;
+  } else if (pos_ > 0) {
     staging_.erase(0, pos_);
     pos_ = 0;
   }
@@ -369,15 +491,21 @@ bool BlockReader::pull() {
     source_done_ = true;
     return false;
   }
-  staging_.append(chunk.data(), chunk.size());
+  if (staging_.empty()) {
+    borrowed_ = chunk;  // parse in place; no copy
+    borrow_mode_ = true;
+  } else {
+    staging_.append(chunk.data(), chunk.size());
+  }
   return true;
 }
 
 std::string_view BlockReader::next_block() {
   while (true) {
     std::string_view avail =
-        direct_mode_ ? direct_.substr(pos_)
-                     : std::string_view(staging_).substr(pos_);
+        direct_mode_    ? direct_.substr(pos_)
+        : borrow_mode_  ? borrowed_.substr(pos_)
+                        : std::string_view(staging_).substr(pos_);
     if (avail.empty() && source_done_) return {};
 
     bool parsed = false;
@@ -434,8 +562,9 @@ std::string_view BlockReader::next_block() {
       }
     }
     if (!pull()) {
-      bool pending =
-          direct_mode_ ? pos_ < direct_.size() : pos_ < staging_.size();
+      bool pending = direct_mode_   ? pos_ < direct_.size()
+                     : borrow_mode_ ? pos_ < borrowed_.size()
+                                    : pos_ < staging_.size();
       if (!pending) return {};  // clean end of stream
       throw DecodeError("frame: truncated at end of stream");
     }

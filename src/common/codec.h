@@ -32,20 +32,22 @@
 #include <string>
 #include <string_view>
 
+#include "common/hash.h"
 #include "common/serde.h"
 
 namespace mrflow::codec {
 
 using serde::Bytes;
 
+// The frame checksum is seed-0 xxHash64; the implementation lives in
+// common/hash.h since the partition hasher shares it.
+using hash::xxhash64;
+
 enum class CodecId : uint8_t { kNone = 0, kLz = 1 };
 
 const char* codec_name(CodecId id);
 // Parses "none" / "lz"; nullopt for anything else.
 std::optional<CodecId> parse_codec(std::string_view name);
-
-// xxHash64 (Collet's XXH64), used as the frame checksum.
-uint64_t xxhash64(std::string_view data, uint64_t seed = 0);
 
 // LZ4-style LZ77 compression of one block. Appends the compressed form to
 // `out`. The output is only decodable together with the raw length (the
@@ -90,13 +92,21 @@ class BlockReader {
   uint64_t wire_bytes() const { return wire_bytes_; }
 
  private:
-  bool pull();  // appends one source chunk to staging_; false at EOF
+  bool pull();  // acquires one source chunk; false at EOF
 
+  // Chunks are consumed in one of three modes. direct: the whole stream was
+  // given up front. borrowed: the latest source chunk is parsed in place --
+  // no staging copy -- which is the steady state over DFS readers, whose
+  // chunks are block remainders that frames never straddle. staging: a
+  // frame straddles chunk edges, so its bytes are accumulated in staging_
+  // until complete (the next whole-frame chunk returns to borrowed mode).
   Source source_;
   Bytes staging_;   // wire bytes pulled but not yet decoded
+  std::string_view borrowed_;  // latest source chunk, parsed in place
+  bool borrow_mode_ = false;
   std::string_view direct_;    // whole-stream view (no staging copy)
   bool direct_mode_ = false;
-  size_t pos_ = 0;  // consumed prefix of staging_ / direct_
+  size_t pos_ = 0;  // consumed prefix of staging_ / borrowed_ / direct_
   bool source_done_ = false;
   Bytes block_;     // decompressed payload (kLz frames)
   uint64_t raw_bytes_ = 0;

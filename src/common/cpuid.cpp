@@ -1,0 +1,59 @@
+#include "common/cpuid.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mrflow::common::cpuid {
+
+namespace {
+
+SimdLevel probe_hardware() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // GCC/Clang maintain the CPU model in a runtime support table; this is
+  // the same probe function-multiversioning uses.
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;  // architectural baseline on x86-64
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool env_force_scalar() {
+  const char* v = std::getenv("MRFLOW_FORCE_SCALAR");
+  if (v == nullptr) return false;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+// Both values are computed once, before main-thread kernels first
+// dispatch; force_ may be flipped later by tests.
+std::atomic<bool> force_{env_force_scalar()};
+const SimdLevel hardware_ = probe_hardware();
+
+}  // namespace
+
+SimdLevel hardware_level() { return hardware_; }
+
+SimdLevel simd_level() {
+  return force_.load(std::memory_order_relaxed) ? SimdLevel::kScalar
+                                                : hardware_;
+}
+
+void set_force_scalar(bool force) {
+  force_.store(force, std::memory_order_relaxed);
+}
+
+bool force_scalar() { return force_.load(std::memory_order_relaxed); }
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace mrflow::common::cpuid

@@ -1,0 +1,46 @@
+// Runtime CPU-feature dispatch for the hot-path kernels.
+//
+// Every vectorized kernel in the engine (LZ match extension, wild match
+// copies, batched varint decode, the multi-record partition hasher) is a
+// pair: a portable scalar implementation and a wide (SSE2/AVX2) twin that
+// must produce byte-identical results. Kernels pick the twin at runtime
+// through simd_level(), which probes the CPU once and caches the answer.
+//
+// Forcing the scalar twins -- for differential tests, sanitizer runs and
+// apples-to-apples benchmarks -- works two ways:
+//   - environment: MRFLOW_FORCE_SCALAR=1 (read once, before the first
+//     dispatch), which is what the scalar CI job sets for the whole suite;
+//   - programmatic: set_force_scalar(true/false), which tests and benches
+//     flip around individual kernel calls.
+// The dispatch itself is one relaxed atomic load, so kernels may consult
+// it per call without measurable cost (same budget as trace.h's enabled
+// check).
+#pragma once
+
+namespace mrflow::common::cpuid {
+
+// Ordered capability ladder: every level implies the ones below it.
+enum class SimdLevel {
+  kScalar = 0,  // portable twins only (forced, or non-x86 hardware)
+  kSse2 = 1,    // 16-byte compares/copies (x86-64 baseline)
+  kAvx2 = 2,    // 32-byte compares/copies
+};
+
+// The level kernels should dispatch on right now: the probed hardware
+// level, clamped to kScalar while force-scalar is in effect.
+SimdLevel simd_level();
+
+// The probed hardware level, ignoring any force-scalar override.
+SimdLevel hardware_level();
+
+// Overrides (or restores) dispatch for this process. Takes effect on the
+// next simd_level() call in any thread.
+void set_force_scalar(bool force);
+
+// True when MRFLOW_FORCE_SCALAR was set in the environment or
+// set_force_scalar(true) is in effect.
+bool force_scalar();
+
+const char* level_name(SimdLevel level);
+
+}  // namespace mrflow::common::cpuid

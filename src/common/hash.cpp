@@ -1,0 +1,134 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/cpuid.h"
+
+namespace mrflow::hash {
+
+namespace {
+
+constexpr uint64_t P1 = 11400714785074694791ull;
+constexpr uint64_t P2 = 14029467366897019727ull;
+constexpr uint64_t P3 = 1609587929392839161ull;
+constexpr uint64_t P4 = 9650029242287828579ull;
+constexpr uint64_t P5 = 2870177450012600261ull;
+
+inline uint64_t rotl64(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+inline uint64_t read_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t read_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+uint64_t xxhash64(std::string_view data, uint64_t seed) {
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint64_t h;
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + P1 + P2;
+    uint64_t v2 = seed + P2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - P1;
+    auto round = [](uint64_t acc, uint64_t x) {
+      return rotl64(acc + x * P2, 31) * P1;
+    };
+    do {
+      v1 = round(v1, read_u64(p));
+      v2 = round(v2, read_u64(p + 8));
+      v3 = round(v3, read_u64(p + 16));
+      v4 = round(v4, read_u64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    auto merge = [&](uint64_t acc, uint64_t v) {
+      acc ^= round(0, v);
+      return acc * P1 + P4;
+    };
+    h = merge(h, v1);
+    h = merge(h, v2);
+    h = merge(h, v3);
+    h = merge(h, v4);
+  } else {
+    h = seed + P5;
+  }
+  h += data.size();
+  while (p + 8 <= end) {
+    h ^= rotl64(read_u64(p) * P2, 31) * P1;
+    h = rotl64(h, 27) * P1 + P4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(read_u32(p)) * P1;
+    h = rotl64(h, 23) * P2 + P3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<uint8_t>(*p)) * P5;
+    h = rotl64(h, 11) * P1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= P2;
+  h ^= h >> 29;
+  h *= P3;
+  h ^= h >> 32;
+  return h;
+}
+
+uint64_t fnv1a64(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// Wide twin of the batch hasher: four independent keys per iteration. The
+// hash of one key is a serial multiply chain (each step waits on the
+// previous product), so hashing keys one at a time leaves the multiplier
+// idle most cycles; four inlined chains per iteration give the compiler
+// independent work to interleave into those slots. (A hand-predicated
+// lockstep version was tried and measured *slower* -- the per-chain tail
+// branches mispredict on mixed key lengths -- so the twin stays at the
+// level the optimizer schedules well.) Results are the scalar function
+// applied per key, so the twin is byte-identical by construction.
+void batch_ilp4(const std::string_view* keys, size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t h0 = xxhash64(keys[i], kPartitionSeedV1);
+    uint64_t h1 = xxhash64(keys[i + 1], kPartitionSeedV1);
+    uint64_t h2 = xxhash64(keys[i + 2], kPartitionSeedV1);
+    uint64_t h3 = xxhash64(keys[i + 3], kPartitionSeedV1);
+    out[i] = h0;
+    out[i + 1] = h1;
+    out[i + 2] = h2;
+    out[i + 3] = h3;
+  }
+  for (; i < n; ++i) out[i] = stable_hash(keys[i]);
+}
+
+}  // namespace
+
+void stable_hash_batch(const std::string_view* keys, size_t n, uint64_t* out) {
+  using common::cpuid::SimdLevel;
+  if (common::cpuid::simd_level() != SimdLevel::kScalar) {
+    batch_ilp4(keys, n, out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = stable_hash(keys[i]);
+}
+
+}  // namespace mrflow::hash

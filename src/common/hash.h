@@ -1,0 +1,52 @@
+// The engine's one hashing module.
+//
+// Before this existed the repo carried two independent hash loops: an
+// FNV-1a 64 in mapreduce/job.cpp (partition assignment) and an xxHash64 in
+// common/codec.cpp (frame checksums). Both now live here; everything that
+// hashes bytes -- the default partitioner, the wire-frame checksums, the
+// deterministic fault draws -- goes through this header.
+//
+// Versioning contract: partition assignments must never drift silently,
+// because spill file layouts, committed bench JSON and the differential
+// oracles all reflect them. The partition hash is therefore *versioned by
+// seed*: kPartitionSeedV1 is pinned forever (tests assert golden values of
+// stable_hash under it); any future change to partition hashing must add a
+// kPartitionSeedV2 path, never touch V1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mrflow::hash {
+
+// xxHash64 (Collet's XXH64). Used for frame checksums (seed 0, the frame
+// format's wire contract) and -- seeded -- for partition assignment.
+uint64_t xxhash64(std::string_view data, uint64_t seed = 0);
+
+// FNV-1a 64: the v0 partition hash this module replaced. Kept as the
+// reference point for the kernel-replacement benchmark and for any reader
+// who needs to reproduce pre-v1 partition assignments.
+uint64_t fnv1a64(std::string_view s);
+
+// Version-pinned seed of the v1 partition hash. Never change this value;
+// see the versioning contract above.
+inline constexpr uint64_t kPartitionSeedV1 = 0x9E3779B97F4A7C15ull;
+
+// The partition/fault-draw hash: xxHash64 under the pinned v1 seed.
+inline uint64_t stable_hash(std::string_view s) {
+  return xxhash64(s, kPartitionSeedV1);
+}
+
+// Multi-record form of stable_hash: out[i] = stable_hash(keys[i]) for all
+// i < n. Dispatches (common/cpuid.h) to a wide twin that hashes several
+// records per iteration; the scalar twin is a plain per-key loop and the
+// two are byte-identical (differential-tested over every length 0..512).
+void stable_hash_batch(const std::string_view* keys, size_t n, uint64_t* out);
+
+// Partition assignment of one key: stable_hash(key) % parts.
+inline uint32_t partition_of(std::string_view key, uint32_t parts) {
+  return static_cast<uint32_t>(stable_hash(key) %
+                               static_cast<uint64_t>(parts));
+}
+
+}  // namespace mrflow::hash

@@ -3,7 +3,42 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cpuid.h"
+
 namespace mrflow::serde {
+
+void ByteReader::get_varints(std::span<uint64_t> out) {
+  using common::cpuid::SimdLevel;
+  size_t i = 0;
+  const size_t n = out.size();
+  if (common::cpuid::simd_level() != SimdLevel::kScalar) {
+    // Wide twin: while a full 8-byte window remains, one unaligned load and
+    // a continuation-bit mask classify up to 8 bytes at once. A zero mask
+    // means 8 complete single-byte varints; otherwise the low ctz(mask)/8
+    // bytes are single-byte varints and the next one is multi-byte, which
+    // the shared get_varint() handles (so overflow/underrun errors are the
+    // scalar twin's, thrown from the identical reader position).
+    constexpr uint64_t kContMask = 0x8080808080808080ull;
+    while (i < n && data_.size() - pos_ >= 8) {
+      uint64_t w;
+      std::memcpy(&w, data_.data() + pos_, 8);
+      const uint64_t cont = w & kContMask;
+      size_t singles =
+          cont == 0 ? 8 : static_cast<size_t>(__builtin_ctzll(cont)) >> 3;
+      if (singles > n - i) singles = n - i;
+      for (size_t k = 0; k < singles; ++k) {
+        out[i + k] = (w >> (8 * k)) & 0x7F;
+      }
+      pos_ += singles;
+      i += singles;
+      if (i < n && pos_ < data_.size() &&
+          (static_cast<uint8_t>(data_[pos_]) & 0x80) != 0) {
+        out[i++] = get_varint();  // the multi-byte straggler
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = get_varint();
+}
 
 std::string human_bytes(uint64_t n) {
   static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};

@@ -115,6 +115,15 @@ class ByteReader {
     return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
   }
 
+  // Decodes out.size() consecutive varints -- byte-identical to calling
+  // get_varint() once per element, including which DecodeError is thrown
+  // and the reader position on every path. The dispatched twin
+  // (common/cpuid.h) decodes up to 8 single-byte varints per 8-byte window
+  // load: one load + one continuation-bit scan replaces 8 bounds-checked
+  // byte reads, which is the common shape for the id/cap/flag runs in
+  // ffmr record decoding.
+  void get_varints(std::span<uint64_t> out);
+
   uint64_t get_u64_fixed() {
     require(8);
     uint64_t v;

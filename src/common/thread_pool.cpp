@@ -1,43 +1,181 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cctype>
 #include <chrono>
-#include <memory>
+#include <filesystem>
 
 #include "common/metrics.h"
 #include "common/trace.h"
 
 namespace mrflow::common {
 
+namespace {
+
+// Recycled buffers cached per shard; beyond this, released buffers are
+// freed (a merge can release dozens of run buffers at once).
+constexpr size_t kArenaCap = 32;
+
+// Which pool (and which of its shards) the current thread works for. Tasks
+// running on a worker allocate from that worker's home shard; any other
+// thread falls back to shard 0.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_shard = 0;
+
+// Logical cores per queue shard: one shard per NUMA node when the kernel
+// exposes the topology, otherwise groups of 8 (an L3/memory-domain sized
+// guess), floored at 4 so oversubscribed pools on small machines -- the
+// test/bench case -- do not degenerate into one shard per thread. Pools no
+// wider than a group get one shard, which is the classic single-queue
+// pool.
+size_t cores_per_shard() {
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t nodes = 0;
+  std::error_code ec;
+  for (const auto& e :
+       std::filesystem::directory_iterator("/sys/devices/system/node", ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > 4 && name.compare(0, 4, "node") == 0 &&
+        std::isdigit(static_cast<unsigned char>(name[4]))) {
+      ++nodes;
+    }
+  }
+  if (nodes >= 1) return std::max<size_t>(4, hw / nodes);
+  return 8;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  const size_t group = cores_per_shard();
+  const size_t num_shards = std::max<size_t>(1, (num_threads + group - 1) / group);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    // Contiguous worker ranges per shard, mirroring how neighbouring
+    // logical cores share a memory domain.
+    const size_t home = i * num_shards / num_threads;
+    threads_.emplace_back([this, i, home] { worker_loop(i, home); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);  // order wakeups after stop_
+    s->cv.notify_all();
   }
-  cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> fut = task->get_future();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back([task] { (*task)(); });
-  }
-  cv_.notify_one();
+  post([task] { (*task)(); });
   return fut;
+}
+
+size_t ThreadPool::pick_shard(size_t affinity) {
+  const size_t ns = shards_.size();
+  if (ns == 1) return 0;
+  if (affinity != kNoAffinity) return affinity % ns;
+  return rr_.fetch_add(1, std::memory_order_relaxed) % ns;
+}
+
+void ThreadPool::record_imbalance() {
+  size_t lo = static_cast<size_t>(-1);
+  size_t hi = 0;
+  for (const auto& s : shards_) {
+    size_t d = s->depth.load(std::memory_order_relaxed);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  MetricsRegistry::global().record("pool.shard_imbalance", hi - lo);
+}
+
+void ThreadPool::post(std::function<void()> fn, size_t affinity) {
+  Shard& s = *shards_[pick_shard(affinity)];
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.queue.push_back(std::move(fn));
+    s.depth.store(s.queue.size(), std::memory_order_relaxed);
+  }
+  s.cv.notify_one();
+  if (shards_.size() > 1) record_imbalance();
+}
+
+bool ThreadPool::pop_from(size_t shard_index, std::function<void()>& task) {
+  Shard& s = *shards_[shard_index];
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.queue.empty()) return false;
+  task = std::move(s.queue.front());
+  s.queue.pop_front();
+  s.depth.store(s.queue.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  const size_t ns = shards_.size();
+  const size_t start = ns == 1 ? 0 : rr_.load(std::memory_order_relaxed) % ns;
+  for (size_t d = 0; d < ns; ++d) {
+    if (pop_from((start + d) % ns, task)) {
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(size_t worker_index, size_t home_shard) {
+  (void)worker_index;
+  tls_pool = this;
+  tls_shard = home_shard;
+  const size_t ns = shards_.size();
+  Shard& home = *shards_[home_shard];
+  while (true) {
+    std::function<void()> task;
+    if (pop_from(home_shard, task)) {
+      task();
+      continue;
+    }
+    bool stole = false;
+    for (size_t d = 1; d < ns && !stole; ++d) {
+      stole = pop_from((home_shard + d) % ns, task);
+    }
+    if (stole) {
+      MetricsRegistry::global().record("pool.queue_steal", 1);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(home.mu);
+    if (stop_.load(std::memory_order_relaxed) && home.queue.empty()) {
+      // Every shard was empty in the scan above; drain work posted since
+      // by looping, exit once stop is set and nothing is left here.
+      return;
+    }
+    if (home.queue.empty()) {
+      // Span only the genuine blocks, so traces show scheduler idle gaps
+      // without one event per dequeued task.
+      TraceSpan idle("idle", "sched");
+      auto ready = [this, &home] {
+        return stop_.load(std::memory_order_relaxed) || !home.queue.empty();
+      };
+      if (ns == 1) {
+        home.cv.wait(lk, ready);
+      } else {
+        // Bounded nap: a post to a sibling shard only notifies that
+        // shard, so a stealing worker must wake on its own to re-scan.
+        home.cv.wait_for(lk, std::chrono::microseconds(500), ready);
+      }
+    }
+  }
 }
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
@@ -52,33 +190,44 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   };
   State state;  // stack-safe: we wait for every helper before returning
 
-  auto run_chunks = [&state, &fn, n] {
-    size_t i;
-    while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < n) {
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(state.mu);
-        if (!state.first_error) state.first_error = std::current_exception();
+  // One queued job per worker (not per index); the caller claims work too,
+  // so a single-index call never touches the queues. Ranges rather than
+  // single indices keep the shared counter cool: ~8 claims per participant
+  // instead of one fetch_add (and its cache-line bounce) per index, which
+  // is what made sub-worker-count inputs slower through the pool than
+  // inline. chunk == 1 keeps the old fine-grained balance when n is small.
+  const size_t helpers = n > 1 ? std::min(threads_.size(), n - 1) : 0;
+  const size_t chunk = std::max<size_t>(1, n / (8 * (helpers + 1)));
+
+  auto run_chunks = [&state, &fn, n, chunk] {
+    size_t start;
+    while ((start = state.next.fetch_add(chunk, std::memory_order_relaxed)) <
+           n) {
+      const size_t end = std::min(n, start + chunk);
+      for (size_t i = start; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(state.mu);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
       }
     }
   };
 
-  // One queued job per worker (not per index); the caller claims chunks
-  // too, so a single-index call never touches the queue at all.
-  const size_t helpers = n > 1 ? std::min(threads_.size(), n - 1) : 0;
   if (helpers > 0) {
-    std::lock_guard<std::mutex> lk(mu_);
-    state.active = helpers;
+    {
+      std::lock_guard<std::mutex> lk(state.mu);
+      state.active = helpers;
+    }
     for (size_t w = 0; w < helpers; ++w) {
-      queue_.push_back([&state, &run_chunks] {
+      post([&state, &run_chunks] {
         run_chunks();
         std::lock_guard<std::mutex> lk(state.mu);
         if (--state.active == 0) state.done.notify_one();
       });
     }
   }
-  if (helpers > 0) cv_.notify_all();
 
   run_chunks();
 
@@ -87,43 +236,26 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
-void ThreadPool::post(std::function<void()> fn) {
+std::string ThreadPool::arena_acquire() {
+  const size_t idx = tls_pool == this ? tls_shard : 0;
+  Shard& s = *shards_[idx];
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(std::move(fn));
-  }
-  cv_.notify_one();
-}
-
-bool ThreadPool::try_run_one() {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  task();
-  return true;
-}
-
-void ThreadPool::worker_loop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      if (!stop_ && queue_.empty()) {
-        // Span only the genuine blocks, so traces show scheduler idle gaps
-        // without one event per dequeued task.
-        TraceSpan idle("idle", "sched");
-        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      }
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    std::lock_guard<std::mutex> lk(s.arena_mu);
+    if (!s.arena.empty()) {
+      std::string buf = std::move(s.arena.back());
+      s.arena.pop_back();
+      return buf;
     }
-    task();
   }
+  return {};
+}
+
+void ThreadPool::arena_release(std::string buf) {
+  buf.clear();  // keeps capacity: the whole point of recycling
+  const size_t idx = tls_pool == this ? tls_shard : 0;
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lk(s.arena_mu);
+  if (s.arena.size() < kArenaCap) s.arena.push_back(std::move(buf));
 }
 
 TaskGraph::~TaskGraph() {
@@ -132,7 +264,8 @@ TaskGraph::~TaskGraph() {
 }
 
 TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
-                                 const std::vector<TaskId>& deps) {
+                                 const std::vector<TaskId>& deps,
+                                 size_t affinity) {
   TaskId id;
   bool ready = false;
   {
@@ -141,6 +274,7 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
     nodes_.emplace_back();
     Node& node = nodes_.back();
     node.fn = std::move(fn);
+    node.affinity = affinity;
     ++outstanding_;
     for (TaskId dep : deps) {
       Node& d = nodes_[dep];
@@ -168,11 +302,18 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
 // queue before a worker picked it up (reduce queue wait, fetch latency).
 void TaskGraph::dispatch(TaskId id) {
   const uint64_t posted_ns = trace::now_ns();
-  pool_->post([this, id, posted_ns] {
-    MetricsRegistry::global().record(
-        "sched.task_wait_us", (trace::now_ns() - posted_ns) / 1000);
-    execute(id);
-  });
+  size_t affinity;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    affinity = nodes_[id].affinity;
+  }
+  pool_->post(
+      [this, id, posted_ns] {
+        MetricsRegistry::global().record(
+            "sched.task_wait_us", (trace::now_ns() - posted_ns) / 1000);
+        execute(id);
+      },
+      affinity);
 }
 
 void TaskGraph::execute(TaskId id) {
@@ -267,7 +408,7 @@ void TaskGraph::wait_all() {
   // The waiting thread works instead of sleeping: it drains pool tasks
   // (ours or anyone's -- running unrelated work is harmless) so the caller
   // adds a worker exactly like parallel_for's calling thread does. Only
-  // when the pool queue is empty (all remaining tasks are mid-flight on
+  // when the pool queues are empty (all remaining tasks are mid-flight on
   // workers) does it block, briefly, re-checking for newly-ready tasks
   // that finishing tasks may have posted.
   for (;;) {

@@ -3,15 +3,30 @@
 // scheduling and timing; the pool only provides CPU concurrency), plus a
 // small dependency-driven task graph built on top of it (TaskGraph) that
 // the pipelined job engine uses to overlap phases.
+//
+// The pool is sharded per core group: workers are split into groups of
+// neighbouring cores (one group per NUMA node when /sys exposes the
+// topology, groups of 8 logical cores otherwise), each group owning its
+// own queue, lock, condition variable and buffer arena. Posts land on one
+// shard -- the caller-chosen affinity shard, or round-robin -- and wake
+// exactly one worker of that shard, so unrelated posts touch unrelated
+// locks and a task tends to run (and allocate) near the data its
+// predecessor wrote. An idle worker drains its home shard first, then
+// steals from the other shards before blocking; steals are counted in the
+// `pool.queue_steal` metric and per-post queue skew in
+// `pool.shard_imbalance`.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +34,9 @@ namespace mrflow::common {
 
 class ThreadPool {
  public:
+  // Posts with no placement preference round-robin across shards.
+  static constexpr size_t kNoAffinity = static_cast<size_t>(-1);
+
   // num_threads == 0 means hardware concurrency (at least 1).
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
@@ -27,6 +45,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t size() const { return threads_.size(); }
+  // Number of core-group queue shards (>= 1; see file comment).
+  size_t shards() const { return shards_.size(); }
 
   // Enqueue a task; returns a future for its completion. Exceptions thrown
   // by the task propagate through the future.
@@ -34,32 +54,57 @@ class ThreadPool {
 
   // Enqueue a task without a future (no packaged_task allocation). The
   // task must not throw; used by TaskGraph, which does its own exception
-  // capture inside the posted wrapper.
-  void post(std::function<void()> fn);
+  // capture inside the posted wrapper. `affinity` keys the target shard
+  // (affinity % shards()): tasks posted with the same key queue on the
+  // same shard, e.g. every fetch task of one reducer, so a reducer's
+  // fetches drain in cache-neighbour order unless stolen.
+  void post(std::function<void()> fn, size_t affinity = kNoAffinity);
 
-  // Runs one queued task on the calling thread if any is pending; returns
-  // whether a task was run. Lets a thread blocked on downstream completion
-  // (TaskGraph::wait_all) work instead of sleeping, so the caller counts
-  // as a worker just like in parallel_for.
+  // Runs one queued task (from any shard) on the calling thread if any is
+  // pending; returns whether a task was run. Lets a thread blocked on
+  // downstream completion (TaskGraph::wait_all) work instead of sleeping,
+  // so the caller counts as a worker just like in parallel_for.
   bool try_run_one();
 
   // Run fn(i) for i in [0, n) across the pool and wait for all. Work is
-  // dispatched through a shared atomic counter by at most one queued job
-  // per worker (plus the calling thread, which participates instead of
-  // blocking), so the per-call cost is O(workers) queue operations rather
-  // than n future/packaged_task allocations. Every index runs even if
-  // some throw; the first exception thrown wins and is rethrown on the
-  // caller thread after all indices complete, and the pool stays usable.
+  // claimed in contiguous ranges off a shared atomic counter -- roughly 8
+  // claims per participant, never one fetch_add per index -- by at most
+  // one queued job per worker (plus the calling thread, which participates
+  // instead of blocking). A single-index call never touches the queues.
+  // Every index runs even if some throw; the first exception thrown wins
+  // and is rethrown on the caller thread after all indices complete, and
+  // the pool stays usable.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
- private:
-  void worker_loop();
+  // Per-shard buffer arena: capacity-retaining std::string buffers
+  // recycled through the shard of the calling worker (shard 0 for threads
+  // outside this pool). A task that acquires, fills and releases run
+  // buffers therefore reuses allocations that were last touched on its
+  // own core group. acquire returns an empty buffer (possibly with warm
+  // capacity); release clears and recycles it, dropping buffers beyond a
+  // small per-shard cache.
+  std::string arena_acquire();
+  void arena_release(std::string buf);
 
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::atomic<size_t> depth{0};  // queue.size(), readable without mu
+    std::mutex arena_mu;
+    std::vector<std::string> arena;
+  };
+
+  void worker_loop(size_t worker_index, size_t home_shard);
+  bool pop_from(size_t shard_index, std::function<void()>& task);
+  size_t pick_shard(size_t affinity);
+  void record_imbalance();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<size_t> rr_{0};  // round-robin cursor for unpinned posts
+  std::atomic<bool> stop_{false};
 };
 
 // A one-shot dependency graph of tasks executed on a ThreadPool.
@@ -92,8 +137,10 @@ class TaskGraph {
   TaskGraph& operator=(const TaskGraph&) = delete;
 
   // Adds a task that runs once every task in `deps` has completed
-  // successfully. Returns its id for use in later deps lists.
-  TaskId add(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+  // successfully. Returns its id for use in later deps lists. `affinity`
+  // is forwarded to ThreadPool::post when the task dispatches.
+  TaskId add(std::function<void()> fn, const std::vector<TaskId>& deps = {},
+             size_t affinity = ThreadPool::kNoAffinity);
 
   // A future for one task's completion: ready when the task finished,
   // carrying its exception if it threw (or its failed dependency's
@@ -110,6 +157,7 @@ class TaskGraph {
     std::function<void()> fn;
     std::vector<TaskId> dependents;
     size_t pending = 0;       // unfinished dependencies
+    size_t affinity = ThreadPool::kNoAffinity;
     bool done = false;
     bool poisoned = false;    // threw, or was skipped by a failed dep
     std::exception_ptr error;

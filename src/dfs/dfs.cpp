@@ -18,21 +18,25 @@ namespace {
 class MemoryBackend final : public StorageBackend {
  public:
   void put(uint64_t block_id, Bytes payload) override {
+    auto ref = std::make_shared<const Bytes>(std::move(payload));
     std::lock_guard<std::mutex> lk(mu_);
-    blocks_[block_id] = std::move(payload);
+    blocks_[block_id] = std::move(ref);
   }
-  Bytes get(uint64_t block_id) const override {
+  Bytes get(uint64_t block_id) const override { return *get_ref(block_id); }
+  BlockRef get_ref(uint64_t block_id) const override {
     std::lock_guard<std::mutex> lk(mu_);
     return blocks_.at(block_id);
   }
   void erase(uint64_t block_id) override {
+    // Drops the storage entry only; readers holding the BlockRef keep the
+    // payload alive (the pin contract in dfs.h).
     std::lock_guard<std::mutex> lk(mu_);
     blocks_.erase(block_id);
   }
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Bytes> blocks_;
+  std::unordered_map<uint64_t, BlockRef> blocks_;
 };
 
 class DiskBackend final : public StorageBackend {
@@ -141,8 +145,9 @@ FileReader::FileReader(const FileSystem* fs, FileInfo info, int reader_node)
       size_(info_.size) {}
 
 void FileReader::ensure_block() {
-  while (pos_ >= current_.size() && block_idx_ < info_.blocks.size()) {
-    current_ = fs_->fetch_block(info_, block_idx_, reader_node_);
+  while ((!current_ || pos_ >= current_->size()) &&
+         block_idx_ < info_.blocks.size()) {
+    current_ = fs_->fetch_block_ref(info_, block_idx_, reader_node_);
     ++block_idx_;
     pos_ = 0;
   }
@@ -150,15 +155,16 @@ void FileReader::ensure_block() {
 
 std::string_view FileReader::read(size_t n) {
   ensure_block();
-  if (pos_ >= current_.size()) return {};
-  size_t take = std::min(n, current_.size() - pos_);
-  std::string_view out(current_.data() + pos_, take);
+  if (!current_ || pos_ >= current_->size()) return {};
+  size_t take = std::min(n, current_->size() - pos_);
+  std::string_view out(current_->data() + pos_, take);
   pos_ += take;
   return out;
 }
 
 bool FileReader::at_end() const {
-  return pos_ >= current_.size() && block_idx_ >= info_.blocks.size();
+  return (!current_ || pos_ >= current_->size()) &&
+         block_idx_ >= info_.blocks.size();
 }
 
 // ---------------------------------------------------------------- FileSystem
@@ -201,6 +207,26 @@ Bytes FileSystem::read_all(const std::string& name, int reader_node) const {
     out.append(chunk.data(), chunk.size());
   }
   return out;
+}
+
+FileSystem::PinnedBytes FileSystem::read_all_pinned(const std::string& name,
+                                                    int reader_node) const {
+  common::TraceSpan span("dfs.read", "io");
+  FileInfo info = stat(name);
+  if (info.blocks.empty()) return {};
+  if (info.blocks.size() == 1) {
+    BlockRef ref = fetch_block_ref(info, 0, reader_node);
+    std::string_view view(*ref);
+    return {std::move(ref), view};
+  }
+  auto out = std::make_shared<Bytes>();
+  out->reserve(info.size);
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    BlockRef ref = fetch_block_ref(info, b, reader_node);
+    out->append(*ref);
+  }
+  std::string_view view(*out);
+  return {std::move(out), view};
 }
 
 void FileSystem::write_all(const std::string& name, std::string_view data) {
@@ -396,6 +422,11 @@ bool frames_intact(std::string_view payload) {
 
 Bytes FileSystem::fetch_block(const FileInfo& info, size_t block_index,
                               int reader_node) const {
+  return *fetch_block_ref(info, block_index, reader_node);
+}
+
+BlockRef FileSystem::fetch_block_ref(const FileInfo& info, size_t block_index,
+                                     int reader_node) const {
   const BlockInfo& block = info.blocks[block_index];
   if (reader_node >= 0) {
     std::lock_guard<std::mutex> lk(io_mu_);
@@ -403,7 +434,10 @@ Bytes FileSystem::fetch_block(const FileInfo& info, size_t block_index,
   }
   const int num_replicas = static_cast<int>(block.replicas.size());
   if (!read_fault_ || !info.wire_framed || num_replicas < 2) {
-    return backend_->get(block.id);
+    // The common path borrows the stored buffer outright (zero-copy; see
+    // BlockRef). The injected path below must materialize a copy anyway,
+    // since simulated bit rot mutates the returned bytes.
+    return backend_->get_ref(block.id);
   }
 
   // Corrupt-on-read path: try the replicas in preference order (the
@@ -433,7 +467,7 @@ Bytes FileSystem::fetch_block(const FileInfo& info, size_t block_index,
         io_.read_bytes[reader_node % config_.num_nodes] +=
             block.size * attempt;
       }
-      return payload;
+      return std::make_shared<const Bytes>(std::move(payload));
     }
     common::MetricsRegistry::global().record("dfs.corrupt_block_reads", 1);
   }

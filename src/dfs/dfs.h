@@ -28,6 +28,15 @@ namespace mrflow::dfs {
 
 using serde::Bytes;
 
+// Shared, immutable reference to one stored block payload. This is the
+// zero-copy ownership contract of the read path: a reader that holds a
+// BlockRef may keep views into the bytes for as long as it holds the ref,
+// even across FileSystem::remove / StorageBackend::erase -- erase drops the
+// storage entry, but pinned holders keep the payload alive (exactly like an
+// mmap of an unlinked file). Writers never mutate a stored block, so a
+// pinned payload is stable, not merely alive.
+using BlockRef = std::shared_ptr<const Bytes>;
+
 // Storage for block payloads. Implementations must be thread-safe.
 class StorageBackend {
  public:
@@ -36,6 +45,12 @@ class StorageBackend {
   virtual void put(uint64_t block_id, Bytes payload) = 0;
   // Retrieves a block payload; throws std::out_of_range if missing.
   virtual Bytes get(uint64_t block_id) const = 0;
+  // Retrieves a pinned reference to a block payload. The default wraps
+  // get() in a fresh allocation; in-memory backends override it to hand out
+  // the stored buffer itself (the zero-copy fast path).
+  virtual BlockRef get_ref(uint64_t block_id) const {
+    return std::make_shared<const Bytes>(get(block_id));
+  }
   virtual void erase(uint64_t block_id) = 0;
 };
 
@@ -145,13 +160,20 @@ class FileWriter {
 class FileReader {
  public:
   // Reads up to n bytes; returns the bytes read (empty at EOF). May return
-  // fewer than n at block boundaries. The returned view is valid until the
-  // next read() call (it points into the current block's buffer).
+  // fewer than n at block boundaries. The returned view points into the
+  // pinned current block and stays valid until a read() call that advances
+  // to the next block (conservatively: until the next read() call) -- or
+  // indefinitely, if the caller pins current_block() first.
   std::string_view read(size_t n);
   bool at_end() const;
   uint64_t size() const { return size_; }
   bool wire_framed() const { return info_.wire_framed; }
   uint64_t raw_size() const { return info_.raw_size; }
+
+  // The pinned block the last read() view points into (null before the
+  // first read). Consumers that want to borrow record views across refills
+  // hold a copy of this ref; see BlockRef for the contract.
+  const BlockRef& current_block() const { return current_; }
 
  private:
   friend class FileSystem;
@@ -162,7 +184,7 @@ class FileReader {
   FileInfo info_;
   int reader_node_;
   size_t block_idx_ = 0;
-  Bytes current_;
+  BlockRef current_;  // pinned; views handed out point into it
   size_t pos_ = 0;
   uint64_t size_ = 0;
 };
@@ -190,6 +212,18 @@ class FileSystem {
   // Returns the *stored* bytes verbatim -- frames included for wire-framed
   // files (callers that want payload bytes use read_all_decoded).
   Bytes read_all(const std::string& name, int reader_node = -1) const;
+
+  // Zero-copy form of read_all: `data` views the stored bytes and `owner`
+  // pins them (see BlockRef). Single-block files -- every shuffle spill
+  // partition, by construction -- borrow the stored block without copying;
+  // multi-block files fall back to one materialized concatenation. I/O
+  // accounting is identical to read_all either way.
+  struct PinnedBytes {
+    BlockRef owner;
+    std::string_view data;
+  };
+  PinnedBytes read_all_pinned(const std::string& name,
+                              int reader_node = -1) const;
 
   // Reads a whole file, decoding wire frames when the file is framed.
   // Plain files behave exactly like read_all. Throws serde::DecodeError on
@@ -246,6 +280,8 @@ class FileSystem {
                    uint64_t size, bool wire_framed, uint64_t raw_size);
   Bytes fetch_block(const FileInfo& info, size_t block_index,
                     int reader_node) const;
+  BlockRef fetch_block_ref(const FileInfo& info, size_t block_index,
+                           int reader_node) const;
   void account_write(const std::vector<int>& replicas, uint64_t n);
 
   DfsConfig config_;

@@ -66,8 +66,12 @@ std::optional<RecordRef> RecordReader::next() {
     return RecordRef{stream_->key(), stream_->value()};
   }
   while (true) {
-    // Try to decode one record from the buffered bytes.
-    serde::ByteReader r(std::string_view(buffer_).substr(pos_));
+    // Try to decode one record from the available bytes: the pinned block
+    // window on the zero-copy path, the staging buffer on the fallback.
+    std::string_view avail = buffered_mode_
+                                 ? std::string_view(buffer_).substr(pos_)
+                                 : window_.substr(pos_);
+    serde::ByteReader r(avail);
     if (!r.at_end()) {
       try {
         std::string_view key = r.get_bytes();
@@ -76,16 +80,42 @@ std::optional<RecordRef> RecordReader::next() {
         ++records_;
         return RecordRef{key, value};
       } catch (const serde::DecodeError&) {
-        // Partial record at buffer end; fall through to refill.
+        // Partial record at the end of the window/buffer; handled below.
       }
+    }
+    if (buffered_mode_) {
+      if (reader_->at_end()) {
+        if (pos_ < buffer_.size()) {
+          throw serde::DecodeError("truncated record at end of file");
+        }
+        return std::nullopt;
+      }
+      refill();
+      continue;
     }
     if (reader_->at_end()) {
-      if (pos_ < buffer_.size()) {
+      if (pos_ < window_.size()) {
         throw serde::DecodeError("truncated record at end of file");
       }
+      owner_.reset();
       return std::nullopt;
     }
-    refill();
+    if (avail.empty()) {
+      // Block exhausted exactly at a record edge -- the normal case. Pin
+      // the next block and keep decoding in place.
+      window_ = reader_->read(reader_->size());
+      consumed_ += window_.size();
+      owner_ = reader_->current_block();
+      pos_ = 0;
+      continue;
+    }
+    // A record straddles the block edge: stage the partial tail and decode
+    // the rest of the file through the buffer.
+    buffered_mode_ = true;
+    buffer_.assign(avail.data(), avail.size());
+    pos_ = 0;
+    window_ = {};
+    owner_.reset();
   }
 }
 

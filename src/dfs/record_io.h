@@ -105,6 +105,14 @@ class RecordReader {
 
   std::unique_ptr<FileReader> reader_;
   std::unique_ptr<codec::RecordStreamReader> stream_;  // wire mode only
+  // Plain files decode straight out of the pinned DFS block (records never
+  // straddle blocks, so every block edge is a record edge): window_ views
+  // the block, owner_ pins it, and buffer_ stays empty. If a record ever
+  // does straddle a block edge (a hand-built file), the reader falls back
+  // to the buffered path for the rest of the file.
+  std::string_view window_;  // current block's undecoded suffix origin
+  BlockRef owner_;           // pin for window_
+  bool buffered_mode_ = false;
   serde::Bytes buffer_;
   size_t pos_ = 0;
   uint64_t consumed_ = 0;  // bytes pulled from reader_ so far

@@ -19,10 +19,14 @@ PathEdge PathEdge::decode(ByteReader& r) {
   PathEdge e;
   e.eid = r.get_varint();
   e.dir = r.get_u8() ? 1 : -1;
-  e.from = r.get_varint();
-  e.to = r.get_varint();
-  e.flow = r.get_signed();
-  e.cap_fwd = static_cast<Capacity>(r.get_varint());
+  // The rest of the record is four consecutive varints (flow is zigzag on
+  // the wire); batch-decode them through one window scan.
+  uint64_t v[4];
+  r.get_varints(v);
+  e.from = v[0];
+  e.to = v[1];
+  e.flow = static_cast<int64_t>((v[2] >> 1) ^ (~(v[2] & 1) + 1));
+  e.cap_fwd = static_cast<Capacity>(v[3]);
   return e;
 }
 
@@ -82,14 +86,20 @@ void EdgeState::encode(ByteWriter& w) const {
 
 EdgeState EdgeState::decode(ByteReader& r) {
   EdgeState e;
-  e.eid = r.get_varint();
-  e.neighbor = r.get_varint();
+  uint64_t head[2];
+  r.get_varints(head);
+  e.eid = head[0];
+  e.neighbor = head[1];
   e.is_pair_a = r.get_u8() != 0;
-  e.flow = r.get_signed();
-  e.cap_ab = static_cast<Capacity>(r.get_varint());
-  e.cap_ba = static_cast<Capacity>(r.get_varint());
-  e.sent_source_path = static_cast<uint32_t>(r.get_varint());
-  e.sent_sink_path = static_cast<uint32_t>(r.get_varint());
+  // Five consecutive varints (flow is zigzag on the wire) close the record;
+  // batch-decode them through one window scan.
+  uint64_t v[5];
+  r.get_varints(v);
+  e.flow = static_cast<int64_t>((v[0] >> 1) ^ (~(v[0] & 1) + 1));
+  e.cap_ab = static_cast<Capacity>(v[1]);
+  e.cap_ba = static_cast<Capacity>(v[2]);
+  e.sent_source_path = static_cast<uint32_t>(v[3]);
+  e.sent_sink_path = static_cast<uint32_t>(v[4]);
   return e;
 }
 
@@ -183,9 +193,11 @@ AugmentedEdges AugmentedEdges::decode(std::string_view data) {
   uint64_t n = r.get_varint();
   out.deltas.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    EdgeId eid = r.get_varint();
-    Capacity delta = r.get_signed();
-    out.deltas.emplace_back(eid, delta);
+    uint64_t v[2];
+    r.get_varints(v);
+    Capacity delta =
+        static_cast<int64_t>((v[1] >> 1) ^ (~(v[1] & 1) + 1));
+    out.deltas.emplace_back(v[0], delta);
   }
   if (!std::is_sorted(out.deltas.begin(), out.deltas.end(),
                       [](const auto& a, const auto& b) {

@@ -4,9 +4,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/serde.h"
-#include "mapreduce/job.h"  // stable_hash
 
 namespace mrflow::mr {
 
@@ -22,10 +22,11 @@ dfs::DfsConfig dfs_config_from(const ClusterConfig& c) {
 // One uniform [0, 1) draw per fault decision: FNV-1a over the entity bytes
 // (every field length-prefixed by ByteWriter, so concatenations cannot
 // collide), finalized with a splitmix64 round -- FNV's high bits avalanche
-// poorly on short inputs. Mirrors the scheme the engine has always used
-// for task-failure injection (see job.cpp).
+// poorly on short inputs. Pinned to FNV-1a even though the partition hash
+// moved to xxHash64: a seed must replay the same fault schedule it always
+// has, which is a replay contract separate from partition placement.
 uint64_t fault_hash(const serde::ByteWriter& w) {
-  uint64_t h = stable_hash(w.bytes());
+  uint64_t h = hash::fnv1a64(w.bytes());
   return rng::splitmix64(h);
 }
 

@@ -38,15 +38,6 @@ struct InjectedTaskFailure : std::runtime_error {
 
 }  // namespace
 
-uint64_t stable_hash(std::string_view s) {
-  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 // MapContext/ReduceContext befriend these runner structs so the engine can
 // wire emit callbacks without exposing them publicly.
 struct MapTaskRunner {
@@ -180,7 +171,7 @@ ReducerFactory identity_reducer() {
 
 Partitioner default_partitioner() {
   return [](std::string_view key, int parts) {
-    return static_cast<uint32_t>(stable_hash(key) % static_cast<uint64_t>(parts));
+    return hash::partition_of(key, static_cast<uint32_t>(parts));
   };
 }
 
@@ -256,14 +247,22 @@ struct MapTaskResult {
 };
 
 // One map task's sorted run of a reduce partition, as the reduce task sees
-// it: a stable in-memory buffer (map output still resident, or a run the
-// reduce pre-fetched into its budgeted buffer), or a spill file name to
-// stream from the DFS during the merge. size == 0 means the empty run.
+// it: a stable in-memory buffer (map output still resident), a pinned view
+// of a run the reduce eagerly fetched (zero-copy: the view aliases the DFS
+// block, kept alive by the pin even if the spill file is removed), or a
+// spill file name to stream from the DFS during the merge. size == 0 means
+// the empty run.
 struct ReduceRun {
   const Bytes* buffer = nullptr;
+  const dfs::FileSystem::PinnedBytes* pinned = nullptr;
   std::string file;
   uint64_t size = 0;       // raw (framed-record) bytes
   uint64_t wire_size = 0;  // stored bytes (== size when the wire is off)
+
+  bool in_memory() const { return buffer != nullptr || pinned != nullptr; }
+  std::string_view bytes() const {
+    return buffer != nullptr ? std::string_view(*buffer) : pinned->data;
+  }
 };
 
 struct ReduceTaskResult {
@@ -394,8 +393,8 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
     result.shuffle_in_bytes += run.size;
     result.shuffle_in_wire += run.wire_size;
     std::string_view bytes;
-    if (run.buffer != nullptr) {
-      bytes = *run.buffer;
+    if (run.in_memory()) {
+      bytes = run.bytes();
     } else if (!run.file.empty()) {
       owned_runs.push_back(cluster.fs().read_all(run.file, node));
       bytes = owned_runs.back();
@@ -568,12 +567,11 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
     result.shuffle_in_bytes += runs[m].size;
     result.shuffle_in_wire += runs[m].wire_size;
     if (runs[m].size > 0) ++merge_width;
-    if (runs[m].buffer != nullptr) {
+    if (runs[m].in_memory()) {
       if (wire) {
-        streams[m + 1].wire_cursor =
-            WireRunCursor(std::string_view(*runs[m].buffer));
+        streams[m + 1].wire_cursor = WireRunCursor(runs[m].bytes());
       } else {
-        streams[m + 1].cursor = FramedCursor(std::string_view(*runs[m].buffer));
+        streams[m + 1].cursor = FramedCursor(runs[m].bytes());
       }
     } else if (!runs[m].file.empty()) {
       streams[m + 1].reader.emplace(&cluster.fs(), runs[m].file, node);
@@ -778,7 +776,13 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     const uint64_t t0 = common::trace::now_ns();
     const MapTaskSpec& task = map_tasks[ti];
     result = MapTaskResult{};  // restartable: reset any failed attempt
-    result.partitions.assign(num_reducers, Bytes());
+    result.partitions.resize(static_cast<size_t>(num_reducers));
+    if (spill) {
+      // Spilled partitions are transient run buffers: draw them from the
+      // pool's per-shard arena so a task reuses capacity last touched on
+      // its own core group, and return them after the spill write.
+      for (Bytes& p : result.partitions) p = cluster.pool().arena_acquire();
+    }
 
     Bytes block = cluster.fs().read_block(task.file, task.block_index, task.node);
 
@@ -792,8 +796,14 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     std::vector<Bytes> raw;
     if (spec.combiner) raw.assign(num_reducers, Bytes());
 
+    // Default-partitioner jobs skip the std::function trampoline and call
+    // the dispatched hasher directly -- one indirect call fewer per emitted
+    // record, and the hasher itself is the engine-wide xxHash64 fast path.
+    const bool default_part = !spec.partitioner;
     MapTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
-      uint32_t p = partition(k, num_reducers);
+      uint32_t p = default_part
+                       ? hash::partition_of(k, static_cast<uint32_t>(num_reducers))
+                       : partition(k, num_reducers);
       if (p >= static_cast<uint32_t>(num_reducers)) {
         throw std::logic_error("partitioner returned out-of-range partition");
       }
@@ -856,17 +866,20 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       common::TraceSpan spill_span("spill", "io", static_cast<int64_t>(ti));
       for (int r = 0; r < num_reducers; ++r) {
         Bytes& part = result.partitions[r];
-        if (part.empty()) continue;
-        dfs::FileWriter w = cluster.fs().create(
-            spill_file(ti, r),
-            dfs::CreateOptions{.replication = 1, .pin_node = task.node,
-                               .wire_framed = wire});
-        w.append(part);
-        if (wire) w.set_raw_bytes(result.partition_sizes[r]);
-        w.close();
-        result.spilled_bytes += result.partition_sizes[r];
-        result.spilled_wire_bytes += part.size();
-        part = Bytes();  // free; shrink capacity too
+        if (!part.empty()) {
+          dfs::FileWriter w = cluster.fs().create(
+              spill_file(ti, r),
+              dfs::CreateOptions{.replication = 1, .pin_node = task.node,
+                                 .wire_framed = wire});
+          w.append(part);
+          if (wire) w.set_raw_bytes(result.partition_sizes[r]);
+          w.close();
+          result.spilled_bytes += result.partition_sizes[r];
+          result.spilled_wire_bytes += part.size();
+        }
+        // Recycle the run buffer (and its warm capacity) through the arena.
+        cluster.pool().arena_release(std::move(part));
+        part = Bytes();
       }
       result.partitions.clear();
       result.partitions.shrink_to_fit();
@@ -904,20 +917,24 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   };
 
   // Eagerly fetched spilled runs per reduce task (pipelined+spill): fetch
-  // tasks copy a committed map's run into the reduce's budgeted buffer
-  // while later maps are still running. No fault injection here -- a
-  // fetch is part of the shuffle, not a task attempt, so retry counters
-  // stay identical across schedules.
-  std::vector<std::vector<Bytes>> fetched;
+  // tasks pin a committed map's run for the reduce's budgeted buffer while
+  // later maps are still running. A pinned fetch is zero-copy for the
+  // common single-block spill -- the view aliases the DFS block, which the
+  // pin keeps alive even across spill GC -- so the budget charges bytes
+  // held, not bytes copied. No fault injection here -- a fetch is part of
+  // the shuffle, not a task attempt, so retry counters stay identical
+  // across schedules.
+  std::vector<std::vector<dfs::FileSystem::PinnedBytes>> fetched;
   std::vector<std::atomic<uint64_t>> fetched_bytes;
   if (pipelined && spill) {
-    fetched.assign(static_cast<size_t>(num_reducers),
-                   std::vector<Bytes>(map_tasks.size()));
+    fetched.assign(
+        static_cast<size_t>(num_reducers),
+        std::vector<dfs::FileSystem::PinnedBytes>(map_tasks.size()));
     fetched_bytes = std::vector<std::atomic<uint64_t>>(
         static_cast<size_t>(num_reducers));
   }
   auto fetch_body = [&](size_t r, size_t ti) {
-    // Budgeting and the fetched copy both deal in *stored* bytes: runs stay
+    // Budgeting and the pinned fetch both deal in *stored* bytes: runs stay
     // compacted in the fetch buffer, so an enabled wire format stretches
     // the same budget over proportionally more runs.
     const uint64_t size = map_results[ti].partition_wire_sizes[r];
@@ -930,8 +947,9 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       return;
     }
     try {
-      fetched[r][ti] = cluster.fs().read_all(spill_file(ti, static_cast<int>(r)),
-                                             reduce_node(static_cast<int>(r)));
+      fetched[r][ti] = cluster.fs().read_all_pinned(
+          spill_file(ti, static_cast<int>(r)),
+          reduce_node(static_cast<int>(r)));
     } catch (const std::exception&) {
       // The spill vanished mid-fetch (its node crashed and on_maps_done
       // collected it). Undo the budget and let the reduce recover/stream
@@ -957,8 +975,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       if (!spill) {
         run.buffer = &map_results[ti].partitions[r];
       } else if (run.size > 0) {
-        if (!fetched.empty() && !fetched[r][ti].empty()) {
-          run.buffer = &fetched[r][ti];
+        if (!fetched.empty() && fetched[r][ti].owner != nullptr) {
+          run.pinned = &fetched[r][ti];
         } else {
           run.file = spill_file(ti, static_cast<int>(r));
           if (!cluster.fs().exists(run.file)) recover_map_spills(ti);
@@ -1019,13 +1037,18 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       map_ids[ti] = graph.add([&run_map_task, ti] { run_map_task(ti); });
     }
+    // Fetch tasks and the reduce they feed share affinity key r, so one
+    // reducer's shuffle work queues on one pool shard and drains in
+    // cache-neighbour order (work-stealing still balances if a shard backs
+    // up).
     std::vector<std::vector<common::TaskGraph::TaskId>> fetch_ids(
         static_cast<size_t>(num_reducers));
     if (spill) {
       for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
         for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
-          fetch_ids[r].push_back(graph.add(
-              [&fetch_body, r, ti] { fetch_body(r, ti); }, {map_ids[ti]}));
+          fetch_ids[r].push_back(
+              graph.add([&fetch_body, r, ti] { fetch_body(r, ti); },
+                        {map_ids[ti]}, /*affinity=*/r));
         }
       }
     }
@@ -1033,7 +1056,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
       std::vector<common::TaskGraph::TaskId> deps = std::move(fetch_ids[r]);
       deps.push_back(maps_done);
-      graph.add([&run_reduce_task, r] { run_reduce_task(r); }, deps);
+      graph.add([&run_reduce_task, r] { run_reduce_task(r); }, deps,
+                /*affinity=*/r);
     }
     graph.wait_all();
   }

@@ -31,6 +31,7 @@
 
 #include "common/codec.h"
 #include "common/counters.h"
+#include "common/hash.h"
 #include "common/metrics.h"
 #include "common/serde.h"
 #include "mapreduce/cluster.h"
@@ -40,9 +41,13 @@ namespace mrflow::mr {
 
 using serde::Bytes;
 
-// Deterministic 64-bit FNV-1a over the key bytes; identical across
-// platforms and runs, so partition assignment is reproducible.
-uint64_t stable_hash(std::string_view s);
+// Deterministic 64-bit key hash; identical across platforms and runs, so
+// partition assignment is reproducible. Forwards to the engine-wide
+// versioned partition hash (xxHash64 under hash::kPartitionSeedV1); the
+// differential test in simd_kernels_test pins the forwarding.
+inline uint64_t stable_hash(std::string_view s) {
+  return hash::stable_hash(s);
+}
 
 // Per-job, per-node cache of side files (Hadoop's DistributedCache: the
 // TaskTracker localizes each cache file once per node, then every task on

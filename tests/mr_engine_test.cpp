@@ -453,8 +453,12 @@ TEST(Engine, MissingPiecesThrow) {
 TEST(Engine, StableHashIsStable) {
   EXPECT_EQ(stable_hash("abc"), stable_hash("abc"));
   EXPECT_NE(stable_hash("abc"), stable_hash("abd"));
-  // Known FNV-1a 64 value for empty string.
-  EXPECT_EQ(stable_hash(""), 0xCBF29CE484222325ULL);
+  // Pinned partition-hash values: xxHash64 under the V1 seed. These may
+  // never change for existing data -- a new scheme must add a V2 seed
+  // (see common/hash.h).
+  EXPECT_EQ(stable_hash(""), 0xC4349FC93C010000ULL);
+  EXPECT_EQ(stable_hash("abc"), 0x2ED0F59D6B43AC8BULL);
+  EXPECT_EQ(stable_hash("x"), hash::xxhash64("x", hash::kPartitionSeedV1));
 }
 
 TEST(Engine, ShuffleBytesSplitLocalRemote) {

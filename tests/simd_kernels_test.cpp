@@ -1,0 +1,457 @@
+// Differential tests for the dispatched hot-path kernels (common/cpuid.h):
+// every SIMD kernel must be byte-identical to its scalar twin on all
+// inputs, including every small length and error case -- the dispatch may
+// change speed, never bytes. Also covers the zero-copy ownership
+// contracts: pinned DFS reads must survive file removal, and borrow-mode
+// block decoding must not read a source chunk after the next pull.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/cpuid.h"
+#include "common/hash.h"
+#include "common/serde.h"
+#include "dfs/dfs.h"
+#include "dfs/record_io.h"
+#include "mapreduce/job.h"
+
+namespace mrflow {
+namespace {
+
+using serde::Bytes;
+
+// Runs `body` once with the scalar twins forced and once with the full
+// dispatched kernels, restoring the force flag afterwards.
+template <typename Body>
+void with_both_levels(const Body& body) {
+  common::cpuid::set_force_scalar(true);
+  body(/*scalar=*/true);
+  common::cpuid::set_force_scalar(false);
+  body(/*scalar=*/false);
+}
+
+struct ForceScalarGuard {
+  explicit ForceScalarGuard(bool on) {
+    common::cpuid::set_force_scalar(on);
+  }
+  ~ForceScalarGuard() { common::cpuid::set_force_scalar(false); }
+};
+
+// --------------------------------------------------------------- dispatch
+
+TEST(Cpuid, ForceScalarClampsLevel) {
+  ForceScalarGuard guard(true);
+  EXPECT_EQ(common::cpuid::simd_level(), common::cpuid::SimdLevel::kScalar);
+  common::cpuid::set_force_scalar(false);
+  EXPECT_EQ(common::cpuid::simd_level(), common::cpuid::hardware_level());
+  EXPECT_GE(common::cpuid::hardware_level(),
+            common::cpuid::SimdLevel::kScalar);
+}
+
+TEST(Cpuid, LevelNamesAreStable) {
+  EXPECT_STREQ(common::cpuid::level_name(common::cpuid::SimdLevel::kScalar),
+               "scalar");
+  EXPECT_STREQ(common::cpuid::level_name(common::cpuid::SimdLevel::kSse2),
+               "sse2");
+  EXPECT_STREQ(common::cpuid::level_name(common::cpuid::SimdLevel::kAvx2),
+               "avx2");
+}
+
+// ------------------------------------------------------------------ codec
+
+// Inputs that exercise the match kernels: every length 0..512 of (a) a
+// periodic highly compressible pattern, (b) random bytes, (c) runs (RLE,
+// offset-1 matches), plus larger randomized mixes.
+std::vector<Bytes> codec_corpus() {
+  std::vector<Bytes> corpus;
+  std::mt19937_64 rng(42);
+  for (size_t len = 0; len <= 512; ++len) {
+    Bytes periodic, random, rle;
+    for (size_t i = 0; i < len; ++i) {
+      periodic.push_back(static_cast<char>('a' + (i % 7)));
+      random.push_back(static_cast<char>(rng() & 0xFF));
+      rle.push_back(static_cast<char>(i < len / 2 ? 'x' : 'y'));
+    }
+    corpus.push_back(std::move(periodic));
+    if (len % 17 == 0) corpus.push_back(std::move(random));
+    if (len % 31 == 0) corpus.push_back(std::move(rle));
+  }
+  // Larger mixed payloads: compressible text with random gaps, so matches
+  // of many lengths and offsets occur (including >32-byte AVX2 copies).
+  for (int round = 0; round < 8; ++round) {
+    Bytes mix;
+    while (mix.size() < (16u << 10)) {
+      if (rng() % 3 == 0) {
+        for (int i = 0; i < 64; ++i) mix.push_back(static_cast<char>(rng()));
+      } else {
+        mix += "the quick brown fox jumps over the lazy dog ";
+        mix += std::string(1 + rng() % 90, static_cast<char>('A' + rng() % 26));
+      }
+    }
+    corpus.push_back(std::move(mix));
+  }
+  return corpus;
+}
+
+TEST(SimdCodec, CompressIsByteIdenticalAcrossLevels) {
+  for (const Bytes& raw : codec_corpus()) {
+    Bytes wire_scalar, wire_simd;
+    {
+      ForceScalarGuard guard(true);
+      codec::lz_compress(raw, wire_scalar);
+    }
+    codec::lz_compress(raw, wire_simd);
+    ASSERT_EQ(wire_scalar, wire_simd) << "len=" << raw.size();
+  }
+}
+
+TEST(SimdCodec, DecompressRoundTripsAtEveryLevel) {
+  for (const Bytes& raw : codec_corpus()) {
+    Bytes wire;
+    codec::lz_compress(raw, wire);
+    with_both_levels([&](bool scalar) {
+      Bytes out;
+      codec::lz_decompress(wire, raw.size(), out);
+      ASSERT_EQ(out, raw) << "len=" << raw.size() << " scalar=" << scalar;
+    });
+  }
+}
+
+TEST(SimdCodec, DecompressCrossLevelWire) {
+  // Wire produced under one level must decode under the other.
+  for (const Bytes& raw : codec_corpus()) {
+    Bytes wire;
+    {
+      ForceScalarGuard guard(true);
+      codec::lz_compress(raw, wire);
+    }
+    Bytes out;
+    codec::lz_decompress(wire, raw.size(), out);
+    ASSERT_EQ(out, raw);
+  }
+}
+
+TEST(SimdCodec, DecompressErrorsMatchAcrossLevels) {
+  Bytes raw(1000, 'q');
+  for (size_t i = 0; i < 200; ++i) {
+    raw[i * 5] = static_cast<char>(i);
+  }
+  Bytes wire;
+  codec::lz_compress(raw, wire);
+  // Truncations and wrong raw lengths must throw at every level.
+  for (size_t cut : {size_t{0}, size_t{1}, wire.size() / 2, wire.size() - 1}) {
+    with_both_levels([&](bool scalar) {
+      Bytes out;
+      EXPECT_THROW(
+          codec::lz_decompress(std::string_view(wire).substr(0, cut),
+                               raw.size(), out),
+          serde::DecodeError)
+          << "cut=" << cut << " scalar=" << scalar;
+    });
+  }
+  with_both_levels([&](bool) {
+    Bytes out;
+    EXPECT_THROW(codec::lz_decompress(wire, raw.size() + 1, out),
+                 serde::DecodeError);
+    EXPECT_THROW(codec::lz_decompress(wire, raw.size() - 1, out),
+                 serde::DecodeError);
+  });
+}
+
+TEST(SimdCodec, FrameChecksumPinned) {
+  // Seed-0 xxHash64 is the frame-checksum wire contract.
+  EXPECT_EQ(codec::xxhash64(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(codec::xxhash64("abc"), 0x44BC2CF5AD770999ull);
+}
+
+// ----------------------------------------------------------------- varint
+
+// Encodes `values`, then decodes with get_varints under both levels and
+// with the per-element reference, asserting identical values, final
+// positions and error behavior.
+void check_varint_batch(const std::vector<uint64_t>& values) {
+  Bytes buf;
+  {
+    serde::ByteWriter w(&buf);
+    for (uint64_t v : values) w.put_varint(v);
+  }
+  // Reference: per-element decode.
+  std::vector<uint64_t> ref(values.size());
+  serde::ByteReader rr(buf);
+  for (size_t i = 0; i < values.size(); ++i) ref[i] = rr.get_varint();
+  ASSERT_EQ(ref, values);
+
+  with_both_levels([&](bool scalar) {
+    std::vector<uint64_t> out(values.size());
+    serde::ByteReader r(buf);
+    r.get_varints(std::span<uint64_t>(out));
+    ASSERT_EQ(out, values) << "n=" << values.size() << " scalar=" << scalar;
+    ASSERT_EQ(r.pos(), rr.pos()) << "scalar=" << scalar;
+  });
+}
+
+TEST(SimdVarint, EveryCountSmallValues) {
+  // Single-byte varints: the all-singles fast path, every batch size that
+  // straddles the 8-per-refill window.
+  for (size_t n = 0; n <= 40; ++n) {
+    std::vector<uint64_t> values;
+    for (size_t i = 0; i < n; ++i) values.push_back(i % 128);
+    check_varint_batch(values);
+  }
+}
+
+TEST(SimdVarint, EveryWidthStragglers) {
+  // Mix single-byte and multi-byte varints at every alignment so the
+  // straggler handoff (wide window -> shared get_varint) hits every phase.
+  for (size_t wide_at = 0; wide_at < 16; ++wide_at) {
+    for (uint64_t big :
+         {uint64_t{200}, uint64_t{1} << 20, uint64_t{1} << 45, ~uint64_t{0}}) {
+      std::vector<uint64_t> values;
+      for (size_t i = 0; i < 24; ++i) {
+        values.push_back(i % 8 == wide_at % 8 ? big + i : i);
+      }
+      check_varint_batch(values);
+    }
+  }
+}
+
+TEST(SimdVarint, RandomizedFuzz) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint64_t> values(rng() % 64);
+    for (auto& v : values) {
+      int width_bits = static_cast<int>(rng() % 64);
+      v = rng() & ((width_bits == 63) ? ~uint64_t{0}
+                                      : ((uint64_t{1} << (width_bits + 1)) - 1));
+    }
+    check_varint_batch(values);
+  }
+}
+
+TEST(SimdVarint, TruncatedInputThrowsIdentically) {
+  Bytes buf;
+  {
+    serde::ByteWriter w(&buf);
+    for (int i = 0; i < 10; ++i) w.put_varint(uint64_t{1} << 40);  // 6 bytes
+  }
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view trunc = std::string_view(buf).substr(0, cut);
+    // Reference: how many full varints decode.
+    size_t ref_ok = 0;
+    {
+      serde::ByteReader r(trunc);
+      try {
+        for (int i = 0; i < 10; ++i) {
+          r.get_varint();
+          ++ref_ok;
+        }
+      } catch (const serde::DecodeError&) {
+      }
+    }
+    with_both_levels([&](bool scalar) {
+      std::vector<uint64_t> out(10);
+      serde::ByteReader r(trunc);
+      if (ref_ok == 10) {
+        EXPECT_NO_THROW(r.get_varints(std::span<uint64_t>(out)));
+      } else {
+        EXPECT_THROW(r.get_varints(std::span<uint64_t>(out)),
+                     serde::DecodeError)
+            << "cut=" << cut << " scalar=" << scalar;
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------------------- hash
+
+TEST(SimdHash, BatchMatchesScalarHash) {
+  std::mt19937_64 rng(11);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back(std::string(rng() % 40, 'k') + std::to_string(rng()));
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  // Batch sizes around the ILP-4 unroll and the remainder loop.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{7}, size_t{64}, views.size()}) {
+    with_both_levels([&](bool scalar) {
+      std::vector<uint64_t> out(n);
+      hash::stable_hash_batch(views.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], hash::stable_hash(views[i]))
+            << "i=" << i << " scalar=" << scalar;
+      }
+    });
+  }
+}
+
+TEST(SimdHash, PartitionHashGoldenPins) {
+  // V1 partition hash: xxHash64 under the pinned seed. These values may
+  // never change for existing partitioned data; a new scheme must add a
+  // V2 seed (common/hash.h).
+  EXPECT_EQ(hash::kPartitionSeedV1, 0x9E3779B97F4A7C15ull);
+  EXPECT_EQ(hash::stable_hash(""), 0xC4349FC93C010000ull);
+  EXPECT_EQ(hash::stable_hash("abc"), 0x2ED0F59D6B43AC8Bull);
+  // Legacy FNV-1a stays available (fault-injection replay pins it).
+  EXPECT_EQ(hash::fnv1a64(""), 0xCBF29CE484222325ull);
+}
+
+TEST(SimdHash, EngineHashUnification) {
+  // Differential proof of the hash unification: the engine's partition
+  // hash, the default partitioner and hash::partition_of all agree.
+  for (std::string_view key :
+       {std::string_view{""}, std::string_view{"a"},
+        std::string_view{"vertex-12345"}, std::string_view("\x01\xff\x00\x7f", 4)}) {
+    EXPECT_EQ(mr::stable_hash(key), hash::stable_hash(key));
+    for (int parts : {1, 7, 64}) {
+      EXPECT_EQ(mr::default_partitioner()(key, parts),
+                hash::partition_of(key, static_cast<uint32_t>(parts)));
+    }
+  }
+}
+
+// -------------------------------------------------------------- zero-copy
+
+TEST(ZeroCopy, PinnedReadSurvivesRemoveAndChurn) {
+  dfs::DfsConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.replication = 1;
+  cfg.block_size = 1 << 20;  // single-block file: the zero-copy path
+  dfs::FileSystem fs(cfg);
+  Bytes payload;
+  for (int i = 0; i < 5000; ++i) payload += "record-" + std::to_string(i);
+  fs.write_all("spill", payload);
+
+  dfs::FileSystem::PinnedBytes pinned = fs.read_all_pinned("spill");
+  ASSERT_NE(pinned.owner, nullptr);
+  ASSERT_EQ(pinned.data, payload);
+
+  // Remove the file, then churn the allocator so freed storage would be
+  // reused (and the stale view poisoned) if the pin did not hold it.
+  fs.remove("spill");
+  EXPECT_FALSE(fs.exists("spill"));
+  for (int i = 0; i < 50; ++i) {
+    fs.write_all("churn-" + std::to_string(i), Bytes(4096, static_cast<char>(i)));
+  }
+  EXPECT_EQ(pinned.data, payload);
+}
+
+TEST(ZeroCopy, PinnedMultiBlockReadIsStable) {
+  dfs::DfsConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.replication = 1;
+  cfg.block_size = 256;  // force several blocks: the concatenating path
+  dfs::FileSystem fs(cfg);
+  Bytes payload;
+  dfs::FileWriter w = fs.create("multi");
+  for (int i = 0; i < 64; ++i) {
+    Bytes chunk(100, static_cast<char>('a' + i % 26));
+    w.append(chunk);
+    payload += chunk;
+  }
+  w.close();
+  dfs::FileSystem::PinnedBytes pinned = fs.read_all_pinned("multi");
+  fs.remove("multi");
+  EXPECT_EQ(pinned.data, payload);
+}
+
+TEST(ZeroCopy, RecordReaderViewsAliasePinnedBlocks) {
+  // The reader's zero-copy path must hand out views without ever growing
+  // a refill buffer (buffer_capacity stays 0 for block-aligned files) and
+  // the views must stay valid until the next next() call even if the file
+  // is removed mid-iteration (the pinned block holds the bytes).
+  dfs::DfsConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.replication = 1;
+  cfg.block_size = 1 << 16;
+  dfs::FileSystem fs(cfg);
+  dfs::RecordWriter w(&fs, "runs");
+  for (int i = 0; i < 1000; ++i) {
+    w.write("key" + std::to_string(i), std::string(50, 'v'));
+  }
+  w.close();
+
+  dfs::RecordReader r(&fs, "runs");
+  auto first = r.next();
+  ASSERT_TRUE(first.has_value());
+  fs.remove("runs");  // reader + pins keep the open file's bytes alive
+  EXPECT_EQ(first->key, "key0");
+  int count = 1;
+  while (auto rec = r.next()) {
+    EXPECT_EQ(rec->value.size(), 50u);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000);
+  // The refill buffer was never grown past SSO: no record bytes were
+  // copied into it (the zero-copy path decoded straight from the pins).
+  EXPECT_LE(r.buffer_capacity(), Bytes().capacity());
+}
+
+TEST(ZeroCopy, BlockReaderBorrowModeNeverReadsStaleChunk) {
+  // Borrow-mode contract: a source chunk is only read before the next
+  // pull. Feed frames through a reused scratch buffer and poison it after
+  // each pull; the decoded payloads must still round-trip.
+  std::vector<Bytes> frames;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 20; ++i) {
+    Bytes payload(300 + i * 7, static_cast<char>('a' + i));
+    Bytes frame;
+    codec::append_frame(frame, payload, codec::CodecId::kLz);
+    payloads.push_back(std::move(payload));
+    frames.push_back(std::move(frame));
+  }
+  Bytes scratch;       // the chunk the source lends out
+  Bytes prev_poison;   // previous chunk, poisoned after the next pull
+  size_t next = 0;
+  codec::BlockReader reader([&](size_t) -> std::string_view {
+    prev_poison.swap(scratch);
+    std::fill(prev_poison.begin(), prev_poison.end(), '\xFF');
+    if (next == frames.size()) return {};
+    scratch = frames[next++];
+    return scratch;
+  });
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    Bytes block(reader.next_block());
+    ASSERT_EQ(block, payloads[i]) << "frame " << i;
+  }
+  EXPECT_TRUE(reader.next_block().empty());
+}
+
+TEST(ZeroCopy, BlockReaderStagingModeWithPoisonedChunks) {
+  // Chunks that split frames at arbitrary points force staging mode; the
+  // reader must have copied what it needs before each next pull poisons
+  // the previous chunk.
+  Bytes wire;
+  std::vector<Bytes> payloads;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 30; ++i) {
+    Bytes payload(50 + (rng() % 800), static_cast<char>('A' + i % 26));
+    codec::append_frame(wire, payload, codec::CodecId::kLz);
+    payloads.push_back(std::move(payload));
+  }
+  for (size_t chunk_size : {size_t{1}, size_t{7}, size_t{97}, size_t{1024}}) {
+    Bytes scratch, prev_poison;
+    size_t off = 0;
+    codec::BlockReader reader([&](size_t) -> std::string_view {
+      prev_poison.swap(scratch);
+      std::fill(prev_poison.begin(), prev_poison.end(), '\xFF');
+      if (off == wire.size()) return {};
+      size_t n = std::min(chunk_size, wire.size() - off);
+      scratch.assign(wire, off, n);
+      off += n;
+      return scratch;
+    });
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      Bytes block(reader.next_block());
+      ASSERT_EQ(block, payloads[i]) << "chunk=" << chunk_size << " frame=" << i;
+    }
+    EXPECT_TRUE(reader.next_block().empty());
+  }
+}
+
+}  // namespace
+}  // namespace mrflow
