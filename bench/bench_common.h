@@ -11,6 +11,11 @@
 //   --metrics_out=<f>  write cumulative engine metrics JSON on exit
 //   --codec=<c>        wire format for shuffle/spill/DFS streams:
 //                      none (default), lz, or auto (cost-model decides)
+//   --racks=<r>            two-level topology: r racks (default 1 = flat)
+//   --inter_rack_mbps=<m>  oversubscribed core bandwidth between racks
+//                          (default 0 = same as --net_mbps, i.e. no
+//                          oversubscription)
+//   --speculation          launch speculative backups for straggler tasks
 // Times reported as "sim" are simulated cluster seconds from the cost
 // model; "wall" is real time on this host.
 #pragma once
@@ -37,6 +42,8 @@ namespace mrflow::bench {
 struct BenchEnv {
   double scale = 0.04;
   int nodes = 20;
+  int racks = 1;             // --racks; 1 = flat (topology features inert)
+  bool speculation = false;  // --speculation
   uint64_t seed = 1;
   mr::CostModel cost;
   std::string trace_out;    // Chrome trace JSON path; empty = tracing off
@@ -64,6 +71,8 @@ struct BenchEnv {
     c.reduce_slots_per_node = 15;
     c.dfs_replication = 2;
     c.dfs_block_size = 2ull << 20;
+    c.num_racks = racks;
+    c.speculative_execution = speculation;
     c.cost = cost;
     return c;
   }
@@ -102,6 +111,9 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   env.cost.codec_decompress_mbps = flags.get_double(
       "codec_decompress_mbps", env.cost.codec_decompress_mbps * bw);
   env.cost.job_overhead_s = flags.get_double("overhead", env.cost.job_overhead_s);
+  env.racks = static_cast<int>(flags.get_int("racks", 1));
+  env.cost.inter_rack_mbps = flags.get_double("inter_rack_mbps", 0.0);
+  env.speculation = flags.get_bool("speculation", false);
   if (flags.get_bool("verbose", false)) {
     common::set_log_level(common::LogLevel::kInfo);
   }

@@ -5,9 +5,66 @@
 // Ford-Fulkerson's quadratic worst case, FFMR runtime grows near-linearly
 // with the number of edges on small-world graphs, more machines shift the
 // curve down, and FF5 stays within a small constant factor of BFS.
+//
+// The EdgePair representation tops out around FB3'/FB4' scale; --fb6 adds
+// an FB6'-class row (>= 1e8 directed edges) through the compact CSR path
+// (graph/csr.h): a streaming small-world generator builds the graph in
+// bounded memory, double-sweep BFS estimates its diameter, and the
+// unit-capacity Dinic's *phase count* stands in for FFMR rounds -- each
+// phase is one BFS wave, exactly what one MapReduce round advances, so
+// phases ~ diameter is the same "rounds track D" claim at a scale the
+// simulated cluster cannot hold. A small instance of the same generator is
+// cross-validated: the CSR Dinic, the sequential EdgePair Dinic, and FFMR
+// itself must agree on the flow value.
+#include <chrono>
+
 #include "bench_common.h"
+#include "flow/max_flow.h"
+#include "graph/csr.h"
 
 using namespace mrflow;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Terminal hubs for the CSR path: the generator's quadratic long-link bias
+// makes low vertex ids the hubs, so the first 2w ids are the analog of the
+// paper's "random vertices with a sufficiently large number of edges" --
+// sources take 0..w-1, sinks w..2w-1.
+std::vector<graph::VertexId> hub_range(int begin, int count) {
+  std::vector<graph::VertexId> v;
+  v.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    v.push_back(static_cast<graph::VertexId>(begin + i));
+  }
+  return v;
+}
+
+// Expands a CSR instance to an EdgePair FlowProblem with the same terminal
+// hubs attached through infinite-capacity super edges (the Sec. V-A1
+// construction), for the small-scale cross-check.
+graph::FlowProblem csr_problem(const graph::CsrGraph& csr, int w) {
+  graph::FlowProblem p;
+  p.graph = graph::csr_to_graph(csr);
+  p.source = csr.num_vertices();
+  p.sink = csr.num_vertices() + 1;
+  p.graph.ensure_vertex(p.sink);
+  for (int i = 0; i < w; ++i) {
+    p.graph.add_edge(p.source, static_cast<graph::VertexId>(i),
+                     graph::kInfiniteCap, 0);
+    p.graph.add_edge(static_cast<graph::VertexId>(w + i), p.sink,
+                     graph::kInfiniteCap, 0);
+  }
+  p.graph.finalize();
+  return p;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchRuntime rt(argc, argv);
@@ -16,12 +73,26 @@ int main(int argc, char** argv) {
   int w = static_cast<int>(flags.get_int("w", 32));
   auto clusters = flags.get_int_list("clusters", {5, 10, 20});
   int max_graph = static_cast<int>(flags.get_int("graphs", 6));
+  bool fb6 = flags.get_bool("fb6", false);
+  // FB6'-class defaults: ~1.35M vertices at the paper's FB6 average degree
+  // of ~152 gives ~2.05e8 directed edges. Overridable so CI can smoke the
+  // CSR path in seconds.
+  auto fb6_n = static_cast<graph::VertexId>(
+      flags.get_int("fb6_n", 1'350'000));
+  int fb6_degree = static_cast<int>(flags.get_int("fb6_degree", 152));
+  int fb6_w = static_cast<int>(flags.get_int("fb6_w", 16));
   flags.check_unused();
 
   std::printf(
       "Fig. 8 reproduction: FF5 runtime vs graph size for %zu cluster\n"
       "sizes + BFS baseline; scale=%.3f, w=%d\n\n",
       clusters.size(), env.scale, w);
+
+  bench::JsonWriter json;
+  json.field("bench", "fig8_scalability")
+      .field("scale", env.scale)
+      .field("w", static_cast<int64_t>(w));
+  json.arr("graphs");
 
   std::vector<std::string> headers = {"Graph", "Edges", "|f*|"};
   for (int64_t c : clusters) {
@@ -44,29 +115,141 @@ int main(int argc, char** argv) {
         entry.name, bench::fmt_int(static_cast<int64_t>(edges))};
     std::string flow_cell = "?";
     std::vector<std::string> cells;
+    json.obj_item()
+        .field("name", entry.name)
+        .field("edges", static_cast<uint64_t>(edges));
+    json.arr("ff5");
+    graph::Capacity flow = 0;
+    int rounds = 0;
     for (int64_t c : clusters) {
       mr::Cluster cluster = env.make_cluster(static_cast<int>(c));
       auto result = ffmr::solve_max_flow(
           cluster, problem, bench::paper_options(ffmr::Variant::FF5, flags));
+      flow = result.max_flow;
+      rounds = result.rounds;
       flow_cell = bench::fmt_int(result.max_flow);
       cells.push_back(bench::fmt_time(result.totals.sim_seconds));
       cells.push_back(bench::fmt_int(result.rounds));
+      json.obj_item()
+          .field("nodes", static_cast<int64_t>(c))
+          .field("sim_seconds", result.totals.sim_seconds)
+          .field("rounds", static_cast<int64_t>(result.rounds))
+          .close();
     }
+    json.close();  // ff5
     {
       mr::Cluster cluster = env.make_cluster(static_cast<int>(clusters.back()));
       auto bfs = graph::mr_bfs(cluster, problem.graph, problem.source);
       cells.push_back(bench::fmt_time(bfs.totals.sim_seconds));
       cells.push_back(bench::fmt_int(bfs.rounds));
+      json.field("bfs_sim_seconds", bfs.totals.sim_seconds)
+          .field("bfs_rounds", static_cast<int64_t>(bfs.rounds));
     }
+    json.field("max_flow", static_cast<int64_t>(flow))
+        .field("rounds", static_cast<int64_t>(rounds))
+        .close();
     row.push_back(flow_cell);
     row.insert(row.end(), cells.begin(), cells.end());
     table.add_row(std::move(row));
   }
+  json.close();  // graphs
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Expected shape (paper Fig. 8): near-linear runtime growth in edges\n"
       "(log-log straight line); more machines -> lower curve; rounds stay\n"
       "in the 6-10 band across all sizes; FF5 within a constant factor of\n"
       "BFS.\n");
-  return 0;
+
+  bool ok = true;
+  if (fb6) {
+    std::printf("\nFB6'-class row (CSR path): n=%llu, avg degree %d, w=%d\n",
+                static_cast<unsigned long long>(fb6_n), fb6_degree, fb6_w);
+    graph::SmallWorldSpec spec;
+    spec.n = fb6_n;
+    spec.avg_degree = fb6_degree;
+    spec.seed = env.seed;
+
+    double t0 = now_s();
+    graph::CsrGraph csr = graph::build_small_world_csr(spec);
+    double build_s = now_s() - t0;
+    std::printf("  built: %llu directed edges, %.2f bytes/edge, %.1fs\n",
+                static_cast<unsigned long long>(csr.num_arcs()),
+                csr.num_arcs() ? static_cast<double>(csr.adjacency_bytes()) /
+                                     static_cast<double>(csr.num_arcs())
+                               : 0.0,
+                build_s);
+
+    t0 = now_s();
+    uint32_t diameter = graph::csr_estimate_diameter(csr, 2, env.seed);
+    double diameter_s = now_s() - t0;
+    t0 = now_s();
+    auto sources = hub_range(0, fb6_w);
+    auto sinks = hub_range(fb6_w, fb6_w);
+    auto mf = graph::csr_unit_max_flow(csr, sources, sinks);
+    double flow_s = now_s() - t0;
+    std::printf("  diameter ~%u (%.1fs); max flow %lld in %d Dinic phases "
+                "(%.1fs), phases/D = %.2f\n",
+                diameter, diameter_s, static_cast<long long>(mf.max_flow),
+                mf.phases, flow_s,
+                diameter > 0 ? static_cast<double>(mf.phases) / diameter : 0.0);
+
+    // Small-scale cross-check: same generator, EdgePair-sized instance;
+    // CSR Dinic vs sequential Dinic vs FFMR on identical terminals.
+    graph::SmallWorldSpec small = spec;
+    small.n = 2000;
+    graph::CsrGraph small_csr = graph::build_small_world_csr(small);
+    auto small_mf = graph::csr_unit_max_flow(small_csr, hub_range(0, fb6_w),
+                                             hub_range(fb6_w, fb6_w));
+    auto small_problem = csr_problem(small_csr, fb6_w);
+    auto oracle = flow::max_flow_dinic(small_problem.graph,
+                                       small_problem.source,
+                                       small_problem.sink);
+    mr::Cluster cluster = env.make_cluster(static_cast<int>(clusters.back()));
+    auto ffmr_result = ffmr::solve_max_flow(
+        cluster, small_problem,
+        bench::paper_options(ffmr::Variant::FF5, flags));
+    std::printf("  cross-check (n=%llu): csr=%lld dinic=%lld ffmr=%lld "
+                "(ffmr rounds %d)\n",
+                static_cast<unsigned long long>(small.n),
+                static_cast<long long>(small_mf.max_flow),
+                static_cast<long long>(oracle.value),
+                static_cast<long long>(ffmr_result.max_flow),
+                ffmr_result.rounds);
+    if (small_mf.max_flow != oracle.value ||
+        ffmr_result.max_flow != oracle.value) {
+      std::fprintf(stderr, "FAIL: CSR cross-check flow mismatch\n");
+      ok = false;
+    }
+    if (!mf.converged) {
+      std::fprintf(stderr, "FAIL: CSR Dinic hit the phase cap\n");
+      ok = false;
+    }
+
+    json.obj("fb6")
+        .field("n", static_cast<uint64_t>(fb6_n))
+        .field("avg_degree", static_cast<int64_t>(fb6_degree))
+        .field("w", static_cast<int64_t>(fb6_w))
+        .field("seed", static_cast<uint64_t>(env.seed))
+        .field("directed_edges", csr.num_arcs())
+        .field("adjacency_bytes", static_cast<uint64_t>(csr.adjacency_bytes()))
+        .field("bytes_per_edge",
+               csr.num_arcs() ? static_cast<double>(csr.adjacency_bytes()) /
+                                    static_cast<double>(csr.num_arcs())
+                              : 0.0)
+        .field("max_degree", static_cast<uint64_t>(csr.max_degree()))
+        .field("diameter_estimate", static_cast<uint64_t>(diameter))
+        .field("max_flow", static_cast<int64_t>(mf.max_flow))
+        .field("dinic_phases", static_cast<int64_t>(mf.phases))
+        .field("phases_over_diameter",
+               diameter > 0 ? static_cast<double>(mf.phases) / diameter : 0.0)
+        .field("build_wall_s", build_s)
+        .field("diameter_wall_s", diameter_s)
+        .field("flow_wall_s", flow_s)
+        .field("cross_check_n", static_cast<uint64_t>(small.n))
+        .field("cross_check_flow", static_cast<int64_t>(oracle.value))
+        .field("cross_check_ok", ok)
+        .close();
+  }
+  json.write_file("BENCH_fig8_scalability.json");
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,317 @@
+// Rack topology & speculation ablation on the Fig. 7 workload.
+//
+// The paper's testbed is a single rack of 20 slaves, but production
+// MapReduce clusters are rack-structured with an oversubscribed core
+// switch, and Hadoop's two classic defenses -- rack-aware placement with
+// per-rack aggregation, and speculative execution -- are exactly the knobs
+// our simulated cluster grew. This bench measures both on the FF5 shuffle
+// workload of Fig. 7 and asserts the contract that makes them safe to
+// leave on: the *computation* (flow value, rounds, raw byte counters,
+// per-pair assignment) is bit-identical in every configuration; only the
+// simulated schedule and the wire-byte routing change.
+//
+// Configurations:
+//   flat           1 rack (baseline; topology features inert)
+//   racks_noagg    R racks, oversubscribed core, aggregation off
+//   racks_agg      R racks, same core, per-rack map-output aggregation
+//   straggler      flat + injected stragglers, speculation off
+//   straggler_spec flat + the same stragglers, speculative backups on
+//
+// Acceptance (exit 1 on violation):
+//   - identical flow/rounds/raw counters/assignment + valid certificates
+//     in all five configurations
+//   - aggregation cuts inter-rack shuffle wire bytes by >= 30%
+//   - speculation strictly reduces the simulated makespan under stragglers
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.h"
+#include "flow/certify.h"
+
+using namespace mrflow;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Run {
+  graph::Capacity flow = 0;
+  int rounds = 0;
+  bool cert_valid = false;
+  double sim_s = 0;
+  double wall_s = 0;
+  std::vector<uint64_t> shuffle;             // raw bytes per round
+  std::vector<uint64_t> inter_raw, intra_raw;
+  std::vector<uint64_t> inter_wire, intra_wire;
+  uint64_t inter_wire_total = 0;
+  uint64_t shuffle_wire_total = 0;
+  int64_t spec_launched = 0, spec_won = 0, spec_wasted = 0;
+  graph::FlowAssignment assignment;
+};
+
+uint64_t total_of(const std::vector<uint64_t>& v) {
+  uint64_t t = 0;
+  for (uint64_t x : v) t += x;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
+  int w = static_cast<int>(flags.get_int("w", 16));
+  int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
+  int reduce_tasks = static_cast<int>(flags.get_int("reduce_tasks", 0));
+  double straggler_prob = flags.get_double("straggler_prob", 0.3);
+  int block_kb = static_cast<int>(flags.get_int("block_kb", 4));
+  flags.check_unused();
+  // Topology defaults for the ablation: --racks=1 (the shared default)
+  // would make every configuration the flat baseline, so this bench runs
+  // 2 racks of 10 with a 5x-oversubscribed core unless told otherwise.
+  const int racks = env.racks > 1 ? env.racks : 2;
+  const double inter_mbps = env.cost.inter_rack_mbps > 0
+                                ? env.cost.inter_rack_mbps
+                                : env.cost.network_mbps / 5.0;
+
+  auto ladder = graph::facebook_ladder(env.scale);
+  const auto& entry = ladder.at(ladder_index);
+  // The paper's testbed runs 300 reduce tasks over ~1000-map rounds, so a
+  // map's output to any one reducer is a KB-scale run -- the fragmentation
+  // regime per-rack aggregation exists for. At 1/1000 graph scale the
+  // fig7 reducer sizing (a reducer per ~500 vertices) would leave a
+  // handful of fat runs instead; 96 reducers restores the full-size
+  // per-run granularity while staying under the cluster's 300 slots.
+  if (reduce_tasks <= 0) reduce_tasks = 96;
+  std::printf("Topology ablation: FF5 on %s, %d nodes / %d racks, core %g "
+              "Mbps, w=%d\n\n",
+              entry.name.c_str(), env.nodes, racks, inter_mbps, w);
+
+  graph::Graph g = bench::build_fb_graph(entry, env.seed);
+  auto problem =
+      bench::attach_terminals(std::move(g), w, entry.avg_degree, env.seed);
+
+  auto run_one = [&](int num_racks, bool aggregation, bool straggler,
+                     bool speculation) {
+    mr::ClusterConfig config = env.make_config();
+    config.num_racks = num_racks;
+    config.cost.inter_rack_mbps = num_racks > 1 ? inter_mbps : 0.0;
+    config.speculative_execution = speculation;
+    // Small DFS blocks split each round's input across many map tasks --
+    // the regime the paper's full-size graphs run in, and the one where
+    // per-rack aggregation has streams to merge. The 2 MB bench default
+    // would put a scaled round into one or two maps.
+    config.dfs_block_size = static_cast<uint64_t>(block_kb) << 10;
+    if (straggler) {
+      config.fault =
+          mr::FaultConfig::shape("straggler", straggler_prob, env.seed);
+    }
+    mr::Cluster cluster(config);
+    auto options = bench::paper_options(ffmr::Variant::FF5, flags);
+    // Aggregation re-compacts rack streams, so the ablation runs the wire
+    // codec everywhere; raw counters are codec-independent anyway.
+    options.wire = ffmr::WireChoice::kOn;
+    // Frames no larger than the DFS blocks, so the load round's input
+    // splits across map tasks the way the full-size workload's would.
+    options.wire_block_bytes = static_cast<uint32_t>(block_kb) << 10;
+    options.num_reduce_tasks = reduce_tasks;
+    options.async_augmenter = false;  // committed artifact: deterministic
+    options.rack_aggregation = aggregation;
+    Run run;
+    double t0 = now_s();
+    auto result = ffmr::solve_max_flow(cluster, problem, options);
+    run.wall_s = now_s() - t0;
+    run.sim_s = result.totals.sim_seconds;
+    run.flow = result.max_flow;
+    run.rounds = result.rounds;
+    for (const auto& info : result.rounds_info) {
+      if (std::getenv("TOPO_DEBUG")) {
+        std::fprintf(stderr, "  maps=%d reduces=%d shuffle=%llu\n",
+                     info.stats.num_map_tasks, info.stats.num_reduce_tasks,
+                     (unsigned long long)info.stats.shuffle_bytes);
+      }
+      run.shuffle.push_back(info.stats.shuffle_bytes);
+      run.intra_raw.push_back(info.stats.shuffle_bytes_intra_rack);
+      run.inter_raw.push_back(info.stats.shuffle_bytes_inter_rack);
+      run.intra_wire.push_back(info.stats.shuffle_bytes_intra_rack_wire);
+      run.inter_wire.push_back(info.stats.shuffle_bytes_inter_rack_wire);
+    }
+    run.inter_wire_total = total_of(run.inter_wire);
+    run.shuffle_wire_total = result.totals.shuffle_bytes_wire;
+    run.spec_launched = result.totals.speculative_launched;
+    run.spec_won = result.totals.speculative_won;
+    run.spec_wasted = result.totals.speculative_wasted;
+    run.cert_valid = flow::certify_max_flow(problem.graph, problem.source,
+                                            problem.sink, result.assignment)
+                         .valid();
+    run.assignment = std::move(result.assignment);
+    return run;
+  };
+
+  struct Config {
+    const char* name;
+    int racks;
+    bool agg, straggler, spec;
+    Run run;
+  };
+  std::vector<Config> configs = {
+      {"flat", 1, false, false, false, {}},
+      {"racks_noagg", racks, false, false, false, {}},
+      {"racks_agg", racks, true, false, false, {}},
+      {"straggler", 1, false, true, false, {}},
+      {"straggler_spec", 1, false, true, true, {}},
+  };
+  for (auto& c : configs) {
+    c.run = run_one(c.racks, c.agg, c.straggler, c.spec);
+  }
+  const Run& flat = configs[0].run;
+  const Run& noagg = configs[1].run;
+  const Run& agg = configs[2].run;
+  const Run& strag = configs[3].run;
+  const Run& spec = configs[4].run;
+
+  // --- The invariance contract: topology and speculation never change the
+  // computation, only its simulated cost.
+  bool ok = true;
+  for (const auto& c : configs) {
+    if (c.run.flow != flat.flow || c.run.rounds != flat.rounds ||
+        c.run.shuffle != flat.shuffle ||
+        c.run.assignment.pair_flow != flat.assignment.pair_flow) {
+      std::fprintf(stderr, "%s: computation differs from flat baseline\n",
+                   c.name);
+      ok = false;
+    }
+    if (!c.run.cert_valid) {
+      std::fprintf(stderr, "%s: max-flow certificate invalid\n", c.name);
+      ok = false;
+    }
+  }
+  // Same placement (it is derived from raw sizes), so the raw topology
+  // split must match between the agg-on and agg-off rack runs.
+  if (agg.inter_raw != noagg.inter_raw || agg.intra_raw != noagg.intra_raw) {
+    std::fprintf(stderr, "aggregation changed the raw topology split\n");
+    for (size_t i = 0; i < agg.inter_raw.size(); ++i) {
+      std::fprintf(stderr, "  round %zu: inter %llu vs %llu, intra %llu vs %llu\n",
+                   i, (unsigned long long)noagg.inter_raw[i],
+                   (unsigned long long)agg.inter_raw[i],
+                   (unsigned long long)noagg.intra_raw[i],
+                   (unsigned long long)agg.intra_raw[i]);
+    }
+    ok = false;
+  }
+
+  common::TextTable table({"Config", "Flow", "Rounds", "Shuffle wire",
+                           "Inter-rack wire", "Sim", "Wall"});
+  for (const auto& c : configs) {
+    char wall[16];
+    std::snprintf(wall, sizeof(wall), "%.2fs", c.run.wall_s);
+    table.add_row({c.name, bench::fmt_int(c.run.flow),
+                   bench::fmt_int(c.run.rounds),
+                   bench::fmt_bytes(c.run.shuffle_wire_total),
+                   bench::fmt_bytes(c.run.inter_wire_total),
+                   bench::fmt_time(c.run.sim_s), wall});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (std::getenv("TOPO_DEBUG")) {
+    for (size_t i = 0; i < agg.inter_wire.size(); ++i) {
+      std::fprintf(stderr, "  round %zu inter wire: %llu -> %llu (%.1f%%)\n",
+                   i, (unsigned long long)noagg.inter_wire[i],
+                   (unsigned long long)agg.inter_wire[i],
+                   noagg.inter_wire[i]
+                       ? 100.0 * (1.0 - double(agg.inter_wire[i]) /
+                                            double(noagg.inter_wire[i]))
+                       : 0.0);
+    }
+  }
+  double reduction_pct =
+      noagg.inter_wire_total > 0
+          ? 100.0 * (1.0 - static_cast<double>(agg.inter_wire_total) /
+                               static_cast<double>(noagg.inter_wire_total))
+          : 0.0;
+  double spec_ratio = strag.sim_s > 0 ? spec.sim_s / strag.sim_s : 1.0;
+  std::printf("per-rack aggregation: inter-rack %s -> %s wire bytes "
+              "(%.1f%% reduction)\n",
+              bench::fmt_bytes(noagg.inter_wire_total).c_str(),
+              bench::fmt_bytes(agg.inter_wire_total).c_str(), reduction_pct);
+  std::printf("speculation: sim %s -> %s (%.3fx); %lld backups, %lld won, "
+              "%lld wasted\n",
+              bench::fmt_time(strag.sim_s).c_str(),
+              bench::fmt_time(spec.sim_s).c_str(), spec_ratio,
+              static_cast<long long>(spec.spec_launched),
+              static_cast<long long>(spec.spec_won),
+              static_cast<long long>(spec.spec_wasted));
+
+  if (reduction_pct < 30.0) {
+    std::fprintf(stderr,
+                 "FAIL: aggregation saved %.1f%% inter-rack wire bytes "
+                 "(need >= 30%%)\n",
+                 reduction_pct);
+    ok = false;
+  }
+  if (!(spec.sim_s < strag.sim_s) || spec.spec_launched <= 0 ||
+      spec.spec_won <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: speculation did not reduce the straggler makespan "
+                 "(%.1fs vs %.1fs, %lld launched)\n",
+                 spec.sim_s, strag.sim_s,
+                 static_cast<long long>(spec.spec_launched));
+    ok = false;
+  }
+
+  bench::JsonWriter json;
+  json.field("bench", "topology")
+      .field("graph", entry.name)
+      .field("scale", env.scale)
+      .field("nodes", static_cast<int64_t>(env.nodes))
+      .field("racks", static_cast<int64_t>(racks))
+      .field("inter_rack_mbps", inter_mbps)
+      .field("w", static_cast<int64_t>(w))
+      .field("reduce_tasks", static_cast<int64_t>(reduce_tasks))
+      .field("straggler_prob", straggler_prob)
+      .field("bit_identical", ok);
+  json.arr("configs");
+  for (const auto& c : configs) {
+    json.obj_item()
+        .field("name", c.name)
+        .field("racks", static_cast<int64_t>(c.racks))
+        .field("rack_aggregation", c.agg)
+        .field("straggler", c.straggler)
+        .field("speculation", c.spec)
+        .field("max_flow", static_cast<int64_t>(c.run.flow))
+        .field("rounds", static_cast<int64_t>(c.run.rounds))
+        .field("certificate_valid", c.run.cert_valid)
+        .field("shuffle_bytes", total_of(c.run.shuffle))
+        .field("shuffle_bytes_wire", c.run.shuffle_wire_total)
+        .field("inter_rack_bytes", total_of(c.run.inter_raw))
+        .field("inter_rack_bytes_wire", c.run.inter_wire_total)
+        .field("intra_rack_bytes_wire", total_of(c.run.intra_wire))
+        .field("speculative_launched", c.run.spec_launched)
+        .field("speculative_won", c.run.spec_won)
+        .field("speculative_wasted", c.run.spec_wasted)
+        .field("sim_seconds", c.run.sim_s)
+        .field("wall_s", c.run.wall_s)
+        .close();
+  }
+  json.close();
+  json.obj("rack_aggregation")
+      .field("inter_rack_wire_noagg", noagg.inter_wire_total)
+      .field("inter_rack_wire_agg", agg.inter_wire_total)
+      .field("reduction_pct", reduction_pct)
+      .close();
+  json.obj("speculation")
+      .field("sim_seconds_off", strag.sim_s)
+      .field("sim_seconds_on", spec.sim_s)
+      .field("sim_ratio", spec_ratio)
+      .field("launched", spec.spec_launched)
+      .field("won", spec.spec_won)
+      .field("wasted", spec.spec_wasted)
+      .close();
+  json.write_file("BENCH_topology.json");
+  return ok ? 0 : 1;
+}

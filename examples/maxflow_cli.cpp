@@ -23,6 +23,12 @@
 //                        wire format, whose frame checksums detect it)
 //   --fault_prob=<p>     per-draw fault probability (default 0.05)
 //   --fault_seed=<n>     fault schedule seed; same seed => same failures
+//
+// Topology & speculation (ffmr only; results are bit-identical across all
+// of these -- they change only the simulated schedule and byte routing):
+//   --racks=<r>             group the slave nodes into r racks (default 1)
+//   --inter_rack_mbps=<m>   oversubscribed core bandwidth; 0 = flat network
+//   --speculation           speculative backup tasks for stragglers
 #include <cstdio>
 #include <stdexcept>
 
@@ -63,6 +69,9 @@ int main(int argc, char** argv) {
   std::string fault_shape = flags.get_string("fault_shape", "");
   double fault_prob = flags.get_double("fault_prob", 0.05);
   auto fault_seed = static_cast<uint64_t>(flags.get_int("fault_seed", 1));
+  int racks = static_cast<int>(flags.get_int("racks", 1));
+  double inter_rack_mbps = flags.get_double("inter_rack_mbps", 0.0);
+  bool speculation = flags.get_bool("speculation", false);
   flags.check_unused();
   // Recording must be on before the solver runs, not at export time.
   if (!trace_out.empty()) common::trace::set_enabled(true);
@@ -96,6 +105,9 @@ int main(int argc, char** argv) {
   } else if (is_ffmr) {
     mr::ClusterConfig config;
     config.num_slave_nodes = nodes;
+    config.num_racks = racks;
+    config.cost.inter_rack_mbps = inter_rack_mbps;
+    config.speculative_execution = speculation;
     ffmr::FfmrOptions options;
     options.variant = static_cast<ffmr::Variant>(algo[2] - '0');
     options.round_report = round_report;

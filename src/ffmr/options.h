@@ -81,6 +81,11 @@ struct FfmrOptions {
   // plumbing: results and record counters are identical either way.
   bool spill_map_outputs = false;
 
+  // Per-rack map-output aggregation (JobSpec::rack_aggregation) in every
+  // round. On by default; inert on flat 1-rack clusters. The topology
+  // benches turn it off for the rack ablation.
+  bool rack_aggregation = true;
+
   std::string base = "ffmr";  // DFS path prefix
 
   // Host-filesystem path for the per-round JSONL report (one JSON object
@@ -95,6 +100,11 @@ struct FfmrOptions {
   WireChoice wire = WireChoice::kOff;
   codec::CodecId wire_codec = codec::CodecId::kLz;
   bool wire_compact_keys = true;
+  // Frame payload target (0 = codec default, 64 KB). Scaled-down benches
+  // shrink it toward their DFS block size: at 1/1000 graph scale a 64 KB
+  // frame can swallow a whole input file into one DFS block, collapsing
+  // the map fan-out the full-size workload would have.
+  uint32_t wire_block_bytes = 0;
 
   // Ablation overrides; unset = derived from `variant`.
   std::optional<bool> use_aug_proc;   // default: variant >= FF2

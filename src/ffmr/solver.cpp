@@ -67,6 +67,7 @@ codec::WireFormat resolve_wire_format(const FfmrOptions& options,
   if (!on) return fmt;
   fmt.codec = options.wire_codec;
   fmt.compact_keys = options.wire_compact_keys;
+  if (options.wire_block_bytes > 0) fmt.block_bytes = options.wire_block_bytes;
   return fmt;
 }
 
@@ -144,6 +145,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     spec.params[param::kBidirectional] = options.bidirectional ? "1" : "0";
     spec.wire = wire;
     spec.spill_map_outputs = options.spill_map_outputs;
+    spec.rack_aggregation = options.rack_aggregation;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 
@@ -180,6 +182,7 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     }
     spec.wire = wire;
     spec.spill_map_outputs = options.spill_map_outputs;
+    spec.rack_aggregation = options.rack_aggregation;
     spec.services = &services;
     const mr::JobStats& stats = chain.run_round(std::move(spec));
 

@@ -1,0 +1,363 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+
+namespace mrflow::graph {
+
+namespace {
+
+void put_varint(serde::Bytes& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+}  // namespace
+
+uint32_t CsrGraph::max_degree() const {
+  uint32_t m = 0;
+  for (uint32_t d : degrees_) m = std::max(m, d);
+  return m;
+}
+
+CsrGraph build_csr(VertexId n, const EdgeEnumerator& enumerate,
+                   uint64_t bucket_arc_budget) {
+  if (bucket_arc_budget == 0) {
+    throw std::invalid_argument("build_csr: zero bucket budget");
+  }
+  CsrGraph g;
+  g.n_ = n;
+  g.offsets_.assign(n + 1, 0);
+  g.degrees_.assign(n, 0);
+  if (n == 0) return g;
+
+  // Pass 0: raw (pre-dedup) arc counts per source vertex, to size the
+  // buckets. Each undirected edge contributes one arc at each endpoint.
+  std::vector<uint64_t> raw(n, 0);
+  uint64_t raw_total = 0;
+  enumerate([&](VertexId u, VertexId v) {
+    if (u == v || u >= n || v >= n) return;
+    ++raw[u];
+    ++raw[v];
+    raw_total += 2;
+  });
+
+  // Contiguous bucket boundaries: greedily extend while the raw arc count
+  // stays within budget. A single vertex heavier than the whole budget
+  // still gets its own bucket (the budget is a target, not a hard cap).
+  std::vector<VertexId> starts;
+  {
+    uint64_t acc = 0;
+    starts.push_back(0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (acc > 0 && acc + raw[v] > bucket_arc_budget) {
+        starts.push_back(v);
+        acc = 0;
+      }
+      acc += raw[v];
+    }
+    starts.push_back(n);
+  }
+
+  g.adj_.reserve(static_cast<size_t>(raw_total) * 2);  // ~2B/arc typical
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (size_t b = 0; b + 1 < starts.size(); ++b) {
+    const VertexId lo = starts[b];
+    const VertexId hi = starts[b + 1];
+    arcs.clear();
+    enumerate([&](VertexId u, VertexId v) {
+      if (u == v || u >= n || v >= n) return;
+      if (u >= lo && u < hi) arcs.emplace_back(u, v);
+      if (v >= lo && v < hi) arcs.emplace_back(v, u);
+    });
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+    // Encode the bucket's rows in vertex order; vertices with no arcs get
+    // empty rows (offset == next offset).
+    size_t i = 0;
+    for (VertexId v = lo; v < hi; ++v) {
+      g.offsets_[v] = g.adj_.size();
+      VertexId prev = 0;
+      bool first = true;
+      uint32_t deg = 0;
+      while (i < arcs.size() && arcs[i].first == v) {
+        VertexId to = arcs[i].second;
+        put_varint(g.adj_, first ? to : to - prev);
+        prev = to;
+        first = false;
+        ++deg;
+        ++i;
+      }
+      g.degrees_[v] = deg;
+      g.num_arcs_ += deg;
+    }
+  }
+  g.offsets_[n] = g.adj_.size();
+  g.adj_.shrink_to_fit();
+  return g;
+}
+
+EdgeEnumerator small_world_edges(const SmallWorldSpec& spec) {
+  if (spec.n < 5) throw std::invalid_argument("small_world_edges: n < 5");
+  if (spec.avg_degree < 4) {
+    throw std::invalid_argument("small_world_edges: avg_degree < 4");
+  }
+  const VertexId n = spec.n;
+  const int extra = (spec.avg_degree - 4) / 2;  // long links per vertex
+  const uint64_t seed = spec.seed;
+  return [n, extra, seed](const EdgeSink& sink) {
+    for (VertexId v = 0; v < n; ++v) {
+      // Ring lattice: k=4 (two successors each, wrapping).
+      sink(v, (v + 1) % n);
+      sink(v, (v + 2) % n);
+      // Long links from a per-vertex splitmix64 stream: target
+      // floor(n * u^2) biases endpoints quadratically toward low ids,
+      // producing the hub-degree tail.
+      uint64_t state = seed * 0x9E3779B97F4A7C15ULL + v * 0xBF58476D1CE4E5B9ULL;
+      for (int e = 0; e < extra; ++e) {
+        uint64_t r = rng::splitmix64(state);
+        double u = static_cast<double>(r >> 11) * 0x1.0p-53;
+        auto target = static_cast<VertexId>(static_cast<double>(n) * u * u);
+        if (target >= n) target = n - 1;
+        if (target == v) target = (target + 1) % n;
+        sink(v, target);
+      }
+    }
+  };
+}
+
+std::vector<uint32_t> csr_bfs_distances(const CsrGraph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return dist;
+  std::vector<VertexId> frontier = {source};
+  std::vector<VertexId> next;
+  dist[source] = 0;
+  uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      auto cur = g.neighbors(u);
+      VertexId v = 0;
+      while (cur.next(v)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = d;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+namespace {
+
+std::pair<VertexId, uint32_t> farthest(const std::vector<uint32_t>& dist) {
+  VertexId arg = 0;
+  uint32_t best = 0;
+  for (VertexId v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > best) {
+      best = dist[v];
+      arg = v;
+    }
+  }
+  return {arg, best};
+}
+
+}  // namespace
+
+uint32_t csr_estimate_diameter(const CsrGraph& g, int samples, uint64_t seed) {
+  if (g.num_vertices() == 0) return 0;
+  rng::Xoshiro256 rng(seed);
+  uint32_t best = 0;
+  for (int s = 0; s < samples; ++s) {
+    VertexId start = rng.next_below(g.num_vertices());
+    auto [far, d1] = farthest(csr_bfs_distances(g, start));
+    auto [far2, d2] = farthest(csr_bfs_distances(g, far));
+    (void)far2;
+    best = std::max({best, d1, d2});
+  }
+  return best;
+}
+
+// ------------------------------------------------------- unit-cap Dinic
+
+namespace {
+
+// Sparse residual overlay: net signed flow per canonical vertex pair
+// (lo, hi), sign positive for lo -> hi. Only pairs carrying flow occupy
+// an entry, so memory is O(flow * path length), not O(E).
+class FlowOverlay {
+ public:
+  int flow(VertexId u, VertexId v) const {
+    auto it = f_.find(key(u, v));
+    if (it == f_.end()) return 0;
+    return u < v ? it->second : -it->second;
+  }
+  // Residual capacity of the directed arc u -> v (base capacity one each
+  // direction): 1 - f(u,v), in {0, 1, 2}.
+  int residual(VertexId u, VertexId v) const { return 1 - flow(u, v); }
+  void push(VertexId u, VertexId v) {
+    auto [it, inserted] = f_.try_emplace(key(u, v), 0);
+    it->second += u < v ? 1 : -1;
+    if (it->second == 0) f_.erase(it);
+  }
+
+ private:
+  static uint64_t key(VertexId u, VertexId v) {
+    VertexId lo = std::min(u, v), hi = std::max(u, v);
+    return (lo << 32) | hi;
+  }
+  std::unordered_map<uint64_t, int> f_;
+};
+
+}  // namespace
+
+CsrMaxflowResult csr_unit_max_flow(const CsrGraph& g,
+                                   std::span<const VertexId> sources,
+                                   std::span<const VertexId> sinks,
+                                   int max_phases) {
+  const VertexId n = g.num_vertices();
+  if (n > (VertexId{1} << 32)) {  // pair keys pack into 64 bits below
+    throw std::invalid_argument("csr_unit_max_flow: > 2^32 vertices");
+  }
+  const VertexId s = n, t = n + 1;
+  std::vector<char> is_source(n, 0), is_sink(n, 0);
+  for (VertexId v : sources) is_source[v] = 1;
+  for (VertexId v : sinks) is_sink[v] = 1;
+  for (VertexId v : sources) {
+    if (is_sink[v]) {
+      throw std::invalid_argument("csr_unit_max_flow: terminal overlap");
+    }
+  }
+
+  FlowOverlay overlay;
+  CsrMaxflowResult result;
+  constexpr uint32_t kFar = ~0u;
+  std::vector<uint32_t> level(n + 2, kFar);
+  std::vector<VertexId> frontier, next;
+
+  // DFS cursor per real vertex: the not-yet-dead suffix of its neighbor
+  // row. `cur` is the arc under consideration; it only advances when that
+  // arc is proven useless for the rest of the phase.
+  struct DfsCursor {
+    CsrGraph::Cursor it;
+    VertexId cur = 0;
+    bool has_cur = false;
+  };
+
+  for (result.phases = 0; result.phases < max_phases; ++result.phases) {
+    // Level BFS over residual arcs from the virtual source.
+    std::fill(level.begin(), level.end(), kFar);
+    level[s] = 0;
+    frontier.clear();
+    for (VertexId v : sources) {
+      if (level[v] == kFar) {
+        level[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+    bool reached_t = false;
+    uint32_t d = 1;
+    while (!frontier.empty() && !reached_t) {
+      ++d;
+      next.clear();
+      for (VertexId u : frontier) {
+        if (is_sink[u]) {
+          level[t] = d;
+          reached_t = true;
+        }
+        auto cur = g.neighbors(u);
+        VertexId v = 0;
+        while (cur.next(v)) {
+          if (level[v] == kFar && overlay.residual(u, v) > 0) {
+            level[v] = d;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    if (!reached_t) {
+      result.converged = true;
+      break;
+    }
+
+    // Blocking flow: iterative DFS with persistent per-vertex cursors.
+    std::vector<DfsCursor> cursor;
+    cursor.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      cursor.push_back({g.neighbors(v), 0, false});
+      cursor.back().has_cur = cursor.back().it.next(cursor.back().cur);
+    }
+    size_t s_cursor = 0;  // index into `sources`
+    std::vector<VertexId> path;  // real vertices on the current s->... path
+    while (true) {
+      if (path.empty()) {
+        // Advance from s to the next live source hub.
+        while (s_cursor < sources.size() &&
+               level[sources[s_cursor]] != 1) {
+          ++s_cursor;
+        }
+        if (s_cursor == sources.size()) break;  // blocking flow complete
+        path.push_back(sources[s_cursor]);
+        continue;
+      }
+      VertexId u = path.back();
+      // The u -> t terminal arc (infinite capacity) is always preferred
+      // and never saturates within a phase.
+      if (is_sink[u] && level[t] == level[u] + 1) {
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          overlay.push(path[i], path[i + 1]);
+        }
+        ++result.augmenting_paths;
+        ++result.max_flow;
+        // Unit middle arcs saturate; restart from s. Cursors still point
+        // at the saturated arcs and skip them on the next descent.
+        path.clear();
+        continue;
+      }
+      DfsCursor& c = cursor[u];
+      bool advanced = false;
+      while (c.has_cur) {
+        VertexId v = c.cur;
+        if (level[v] == level[u] + 1 && overlay.residual(u, v) > 0) {
+          path.push_back(v);
+          advanced = true;
+          break;
+        }
+        c.has_cur = c.it.next(c.cur);
+      }
+      if (advanced) continue;
+      // Dead end: retire u for this phase and retreat.
+      level[u] = kFar;
+      path.pop_back();
+    }
+  }
+  return result;
+}
+
+Graph csr_to_graph(const CsrGraph& g) {
+  Graph out(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto cur = g.neighbors(u);
+    VertexId v = 0;
+    while (cur.next(v)) {
+      if (u < v) out.add_undirected(u, v, 1);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace mrflow::graph

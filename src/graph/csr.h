@@ -1,0 +1,164 @@
+// Compact CSR graph path for FB6'-class runs.
+//
+// The FBi' generator ladder tops out where the adjacency-vector Graph
+// representation does: every edge pair costs ~48 bytes (EdgePair + two
+// Arcs), so an FB6'-analog run (>= 1e8 directed edges) would need tens of
+// gigabytes. CsrGraph stores the same adjacency as varint *delta-encoded*
+// sorted neighbor lists inside one contiguous byte buffer -- roughly 1.5-3
+// bytes per directed arc on small-world graphs, because sorted neighbor
+// gaps are small and long-range links compress like any varint.
+//
+// The builder never materializes per-node edge vectors for the whole
+// graph: edges come from a re-runnable deterministic enumerator, and the
+// build makes one enumeration pass per vertex *bucket*, collecting only
+// the arcs whose source falls inside the bucket, sorting and deduplicating
+// them, then appending the encoded rows to the adjacency buffer. Peak
+// memory is bounded by the bucket arc budget, not the graph size.
+//
+// On top of the CSR sit the FB6' experiment pieces: a streaming
+// small-world generator (ring lattice plus quadratically hub-biased long
+// links), double-sweep diameter estimation, and a unit-capacity Dinic
+// whose *phase count* is the sequential analog of FFMR rounds -- each
+// phase is one breadth-first wave, exactly what one MapReduce round
+// advances, so phases / diameter is the Fig. 8 "rounds track D" ratio at a
+// scale the EdgePair representation cannot reach. csr_to_graph() converts
+// small instances back to Graph so the Dinic path is cross-validated
+// against the sequential oracles and FFMR itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/serde.h"
+#include "graph/graph.h"
+
+namespace mrflow::graph {
+
+class CsrGraph {
+ public:
+  VertexId num_vertices() const { return n_; }
+  // Directed arc count (2x the undirected edge count; the paper reports
+  // directed edges).
+  uint64_t num_arcs() const { return num_arcs_; }
+  uint64_t num_undirected_edges() const { return num_arcs_ / 2; }
+  size_t adjacency_bytes() const { return adj_.size(); }
+  uint32_t degree(VertexId v) const { return degrees_[v]; }
+  uint32_t max_degree() const;
+
+  // Streaming decoder over one vertex's sorted neighbor list. Views the
+  // adjacency buffer; valid for the graph's lifetime.
+  class Cursor {
+   public:
+    Cursor(const char* p, const char* end) : p_(p), end_(end) {}
+    // Decodes the next neighbor into `out`; false at end of row.
+    bool next(VertexId& out) {
+      if (p_ >= end_) return false;
+      uint64_t delta = 0;
+      int shift = 0;
+      while (true) {
+        uint8_t b = static_cast<uint8_t>(*p_++);
+        delta |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if ((b & 0x80) == 0) break;
+        shift += 7;
+      }
+      prev_ = first_ ? delta : prev_ + delta;
+      first_ = false;
+      out = prev_;
+      return true;
+    }
+
+   private:
+    const char* p_;
+    const char* end_;
+    VertexId prev_ = 0;
+    bool first_ = true;
+  };
+
+  Cursor neighbors(VertexId v) const {
+    return Cursor(adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]);
+  }
+
+ private:
+  friend CsrGraph build_csr(
+      VertexId n,
+      const std::function<void(
+          const std::function<void(VertexId, VertexId)>&)>& enumerate,
+      uint64_t bucket_arc_budget);
+
+  VertexId n_ = 0;
+  uint64_t num_arcs_ = 0;
+  std::vector<uint64_t> offsets_;   // n+1 byte offsets into adj_
+  std::vector<uint32_t> degrees_;   // post-dedup neighbor counts
+  serde::Bytes adj_;                // varint delta rows, back to back
+};
+
+// An edge enumerator emits every undirected edge (u, v), u != v, of the
+// graph to the sink it is handed. It must be deterministic and re-runnable:
+// the bucketed build calls it once per bucket and expects the identical
+// edge sequence each time. Duplicate edges are tolerated (deduplicated
+// during the build).
+using EdgeSink = std::function<void(VertexId, VertexId)>;
+using EdgeEnumerator = std::function<void(const EdgeSink&)>;
+
+// Builds the CSR with bounded memory: buckets of contiguous source
+// vertices are sized so no bucket collects more than `bucket_arc_budget`
+// raw arcs (16 bytes each) at once; one enumeration pass runs per bucket.
+CsrGraph build_csr(VertexId n, const EdgeEnumerator& enumerate,
+                   uint64_t bucket_arc_budget = uint64_t{32} << 20);
+
+// Streaming small-world generator, the FB6'-class analog of
+// facebook_like(): a ring lattice (v -> v+1, v+2) guarantees connectivity
+// and local clustering, and each vertex draws (avg_degree - 4) / 2 extra
+// long links whose target is floor(n * u^2) for uniform u -- the quadratic
+// bias concentrates endpoints on low vertex ids, giving the heavy-tailed
+// hub degrees and O(log n) diameter of a social crawl. Per-vertex RNG
+// streams (splitmix64 seeded from `seed` and the vertex id) make the edge
+// sequence deterministic and re-runnable, as build_csr requires.
+struct SmallWorldSpec {
+  VertexId n = 0;
+  int avg_degree = 16;  // >= 4; 4 of these come from the ring lattice
+  uint64_t seed = 1;
+};
+EdgeEnumerator small_world_edges(const SmallWorldSpec& spec);
+
+inline CsrGraph build_small_world_csr(
+    const SmallWorldSpec& spec,
+    uint64_t bucket_arc_budget = uint64_t{32} << 20) {
+  return build_csr(spec.n, small_world_edges(spec), bucket_arc_budget);
+}
+
+// BFS hop distances over the CSR adjacency (capacities are implicitly one
+// in both directions). kUnreachable for unreached vertices.
+std::vector<uint32_t> csr_bfs_distances(const CsrGraph& g, VertexId source);
+
+// Diameter lower bound: max over `samples` double sweeps from random
+// starts (same estimator contract as estimate_diameter() on Graph).
+uint32_t csr_estimate_diameter(const CsrGraph& g, int samples, uint64_t seed);
+
+// Unit-capacity max flow on the CSR graph between a virtual super source
+// (infinite-capacity arcs to `sources`) and super sink (from `sinks`),
+// mirroring attach_super_terminals(). Dinic with a *sparse residual
+// overlay*: net flow lives in a hash map keyed by the canonical vertex
+// pair, so memory scales with the flow actually routed, not with E.
+// `phases` counts level-graph rebuilds -- the BFS-wave analog of FFMR
+// rounds (each FFMR round advances every frontier by one hop, exactly one
+// level-graph layer).
+struct CsrMaxflowResult {
+  Capacity max_flow = 0;
+  int phases = 0;                  // level-graph rebuilds until t unreachable
+  uint64_t augmenting_paths = 0;   // == max_flow (every path carries 1 unit)
+  bool converged = false;          // false iff max_phases was hit
+};
+CsrMaxflowResult csr_unit_max_flow(const CsrGraph& g,
+                                   std::span<const VertexId> sources,
+                                   std::span<const VertexId> sinks,
+                                   int max_phases = 256);
+
+// Expands a (small) CSR graph into the EdgePair representation with unit
+// capacities, for cross-validation against the sequential oracles and
+// FFMR. Each undirected edge becomes one bidirectional unit pair.
+Graph csr_to_graph(const CsrGraph& g);
+
+}  // namespace mrflow::graph

@@ -159,6 +159,16 @@ Cluster::Cluster(ClusterConfig config,
   if (config_.map_slots_per_node < 1 || config_.reduce_slots_per_node < 1) {
     throw std::invalid_argument("cluster needs at least one slot per node");
   }
+  if (config_.num_racks < 1) {
+    throw std::invalid_argument("cluster needs at least one rack");
+  }
+  // More racks than nodes degenerates to one node per rack; when N doesn't
+  // divide evenly the trailing rack is short, and num_racks_ is recomputed
+  // so every rack id returned by rack_of() is nonempty.
+  int racks = std::min(config_.num_racks, config_.num_slave_nodes);
+  nodes_per_rack_ = (config_.num_slave_nodes + racks - 1) / racks;
+  num_racks_ =
+      (config_.num_slave_nodes + nodes_per_rack_ - 1) / nodes_per_rack_;
   if (config_.fault.corrupt_read_probability > 0) {
     // Hand the DFS its corrupt-on-read oracle; the filesystem verifies
     // frame checksums and fails over between replicas (see dfs.cpp). The

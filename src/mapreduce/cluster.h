@@ -31,6 +31,13 @@ struct CostModel {
   double task_overhead_s = 0.5;      // per-task scheduling + JVM reuse cost
   double disk_mbps = 100.0;          // per-node effective disk bandwidth
   double network_mbps = 117.0;       // per-node NIC bandwidth (1 GbE)
+  // Aggregate bandwidth of one rack's uplink to the core switch. Real
+  // Hadoop clusters oversubscribe this link (Hadoop's topology scripts and
+  // rack awareness exist precisely because the core is the scarce
+  // resource), so bytes that cross racks contend for it *in addition to*
+  // paying the per-node NIC cost. 0 (the default) keeps the historical
+  // flat network: inter-rack traffic costs the same as intra-rack.
+  double inter_rack_mbps = 0.0;
   double cpu_scale = 8.0;            // simulated-CPU slowdown vs this host
                                      // (Hadoop's per-record overhead is far
                                      // higher than tight C++ loops)
@@ -55,6 +62,12 @@ struct CostModel {
   }
   double codec_decompress_seconds(uint64_t raw_bytes) const {
     return static_cast<double>(raw_bytes) / (codec_decompress_mbps * 1e6);
+  }
+  // Seconds for `bytes` to cross one rack's core uplink/downlink. Falls
+  // back to the per-node NIC rate when no oversubscription is configured.
+  double inter_rack_net_seconds(uint64_t bytes) const {
+    double mbps = inter_rack_mbps > 0 ? inter_rack_mbps : network_mbps;
+    return static_cast<double>(bytes) / (mbps * 1e6);
   }
 
   // Planning rule for FfmrOptions::WireChoice::kAuto: compressing a stream
@@ -91,6 +104,18 @@ struct CostModel {
 // regardless of thread timing -- chaos tests assert results bit-identical
 // to the fault-free run. Each draw includes the job name, so two jobs in
 // one driver round (and two rounds of one chain) fail independently.
+//
+// Fault-replay hash contract (pinned): every draw is
+// splitmix64(fnv1a64(entity bytes)) -- FNV-1a, even though partition
+// hashing moved to xxHash64. A (seed, workload) pair must replay the fault
+// schedule it has always replayed; the draw hash is part of that contract
+// and changes to it invalidate every recorded chaos baseline. The byte
+// layouts of the individual draws below are equally pinned (see
+// cluster.cpp). fault_replay_test.cpp asserts golden draw values so a
+// refactor that silently changes either fails loudly. New *kinds* of draws
+// (e.g. the speculative-backup re-draw) may be added freely -- distinct
+// phase tags make them independent of every existing draw -- but existing
+// layouts must not change.
 //
 // Shapes (all off by default; see DESIGN.md "Testing & verification"):
 //   task_failure_probability  each task *attempt* fails independently
@@ -168,6 +193,23 @@ struct ClusterConfig {
   int dfs_replication = 2;
   uint64_t dfs_block_size = 4ull << 20;
   CostModel cost;
+  // Two-level network topology: nodes are grouped into `num_racks` racks of
+  // contiguous ids (node n lives in rack n / ceil(N / num_racks)). 1 rack
+  // (the default) is the historical flat network. With more racks the
+  // scheduler places reducers rack-aware, map outputs can be aggregated
+  // per rack before crossing the core (JobSpec::rack_aggregation), and the
+  // cost model charges inter-rack bytes to the oversubscribed core uplink
+  // (CostModel::inter_rack_mbps). Topology never changes results -- only
+  // placement, byte accounting and simulated seconds.
+  int num_racks = 1;
+  // Speculative execution (Hadoop's mapred.map.tasks.speculative.execution):
+  // when the fault matrix flags a task as a straggler, launch a backup
+  // attempt on another node after `speculative_delay_factor` x the task's
+  // normal runtime and take the first finisher. Purely a cost-model race --
+  // both attempts compute the same bytes, so results stay bit-identical;
+  // only simulated seconds and the speculative_* counters change.
+  bool speculative_execution = false;
+  double speculative_delay_factor = 1.0;
   // Real threads used to execute tasks; 0 = hardware concurrency. This
   // affects wall time only, never simulated time or results.
   int executor_threads = 0;
@@ -194,6 +236,10 @@ class Cluster {
   common::ThreadPool& pool() { return pool_; }
 
   int num_nodes() const { return config_.num_slave_nodes; }
+  // Rack topology: contiguous blocks of ceil(N / num_racks) node ids per
+  // rack. num_racks is clamped to the node count at construction.
+  int num_racks() const { return num_racks_; }
+  int rack_of(int node) const { return node / nodes_per_rack_; }
   int total_map_slots() const {
     return config_.num_slave_nodes * config_.map_slots_per_node;
   }
@@ -208,6 +254,8 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  int num_racks_ = 1;
+  int nodes_per_rack_ = 1;
   dfs::FileSystem fs_;
   common::ThreadPool pool_;
 };

@@ -67,7 +67,21 @@ void RoundReportWriter::write_round(int round, const JobStats& stats,
   line += ",\"schimmy_bytes_wire\":" + std::to_string(stats.schimmy_bytes_wire);
   line += ",\"spill_bytes_wire\":" + std::to_string(stats.spill_bytes_wire);
   line += ",\"output_bytes_wire\":" + std::to_string(stats.output_bytes_wire);
+  // Two-level topology split of the cross-node shuffle traffic (intra +
+  // inter == remote; everything intra on a flat 1-rack cluster).
+  line += ",\"shuffle_bytes_intra_rack\":" +
+          std::to_string(stats.shuffle_bytes_intra_rack);
+  line += ",\"shuffle_bytes_inter_rack\":" +
+          std::to_string(stats.shuffle_bytes_inter_rack);
+  line += ",\"shuffle_bytes_intra_rack_wire\":" +
+          std::to_string(stats.shuffle_bytes_intra_rack_wire);
+  line += ",\"shuffle_bytes_inter_rack_wire\":" +
+          std::to_string(stats.shuffle_bytes_inter_rack_wire);
   line += ",\"task_retries\":" + std::to_string(stats.task_retries);
+  line += ",\"speculative_launched\":" +
+          std::to_string(stats.speculative_launched);
+  line += ",\"speculative_won\":" + std::to_string(stats.speculative_won);
+  line += ",\"speculative_wasted\":" + std::to_string(stats.speculative_wasted);
   line += ",\"sim_seconds\":";
   append_json_double(line, stats.sim_seconds);
   line += ",\"wall_seconds\":";

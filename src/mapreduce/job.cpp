@@ -192,6 +192,8 @@ void JobStats::accumulate(const JobStats& other) {
   map_output_bytes += other.map_output_bytes;
   shuffle_bytes += other.shuffle_bytes;
   shuffle_bytes_remote += other.shuffle_bytes_remote;
+  shuffle_bytes_intra_rack += other.shuffle_bytes_intra_rack;
+  shuffle_bytes_inter_rack += other.shuffle_bytes_inter_rack;
   schimmy_bytes += other.schimmy_bytes;
   output_bytes += other.output_bytes;
   spill_bytes += other.spill_bytes;
@@ -199,6 +201,8 @@ void JobStats::accumulate(const JobStats& other) {
   map_output_bytes_wire += other.map_output_bytes_wire;
   shuffle_bytes_wire += other.shuffle_bytes_wire;
   shuffle_bytes_remote_wire += other.shuffle_bytes_remote_wire;
+  shuffle_bytes_intra_rack_wire += other.shuffle_bytes_intra_rack_wire;
+  shuffle_bytes_inter_rack_wire += other.shuffle_bytes_inter_rack_wire;
   schimmy_bytes_wire += other.schimmy_bytes_wire;
   output_bytes_wire += other.output_bytes_wire;
   spill_bytes_wire += other.spill_bytes_wire;
@@ -206,6 +210,9 @@ void JobStats::accumulate(const JobStats& other) {
   rpc_request_bytes += other.rpc_request_bytes;
   rpc_response_bytes += other.rpc_response_bytes;
   task_retries += other.task_retries;
+  speculative_launched += other.speculative_launched;
+  speculative_won += other.speculative_won;
+  speculative_wasted += other.speculative_wasted;
   metrics.merge(other.metrics);
   map_sim_s += other.map_sim_s;
   shuffle_sim_s += other.shuffle_sim_s;
@@ -258,6 +265,12 @@ struct ReduceRun {
   std::string file;
   uint64_t size = 0;       // raw (framed-record) bytes
   uint64_t wire_size = 0;  // stored bytes (== size when the wire is off)
+  // Merge tie id for this run's records (schimmy is 0; map task ti is
+  // ti + 1). Rack-aggregated runs carry records of several map tasks and
+  // set `tagged`: each record's value is prefixed with a varint origin map
+  // task id, which the merge decodes into the per-record tie instead.
+  size_t tie = 0;
+  bool tagged = false;
 
   bool in_memory() const { return buffer != nullptr || pinned != nullptr; }
   std::string_view bytes() const {
@@ -416,8 +429,13 @@ void run_reduce_reference(Cluster& cluster, const JobSpec& spec,
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
   ctx.set_fault_scope(spec.name, attempt);
+  // First replica on the writer, like HDFS. Besides locality, this makes
+  // the *placement* of every round's outputs -- and therefore the next
+  // round's map locality and the remote/intra/inter shuffle splits --
+  // deterministic: unpinned placement hashes the global block id, which is
+  // allocated in thread-completion order.
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
-                        spec.wire);
+                        spec.wire, dfs::CreateOptions{.pin_node = node});
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
     ++result.output_records;
@@ -505,6 +523,14 @@ struct MergeStream {
   bool check_sorted = false;  // schimmy is user-produced; verify order
   Bytes prev_key;
   bool have_prev = false;
+  // Merge tie id (see ReduceRun). Untagged streams use a fixed id; tagged
+  // (rack-aggregated) streams re-decode it per record from the value's
+  // varint origin prefix, which advance() strips from `value`.
+  size_t fixed_tie = 0;
+  bool tagged = false;
+  size_t record_tie = 0;
+
+  size_t tie() const { return tagged ? record_tie : fixed_tie; }
 
   // Wire cursors decode into a reused block buffer, so their views are as
   // short-lived as a reader's: treat both as streamed.
@@ -529,11 +555,19 @@ struct MergeStream {
       if (!wire_cursor.advance()) return false;
       key = wire_cursor.key;
       value = wire_cursor.value;
-      return true;
+      return untag();
     }
     if (!cursor.advance()) return false;
     key = cursor.key;
     value = cursor.value;
+    return untag();
+  }
+
+  bool untag() {
+    if (!tagged) return true;
+    serde::ByteReader r(value);
+    record_tie = static_cast<size_t>(r.get_varint()) + 1;  // ti -> ti + 1
+    value = value.substr(r.pos());
     return true;
   }
 };
@@ -541,8 +575,11 @@ struct MergeStream {
 // Merge reduce task: streaming k-way loser-tree merge over the map tasks'
 // sorted runs, with the schimmy stream as just another sorted input.
 // Stream 0 is schimmy (so master values win every key tie and come first);
-// streams 1..M are map tasks in task order, which reproduces the reference
-// stable-sort tie order exactly -- outputs are byte-identical.
+// streams 1..M follow in the caller's task order. Equal keys break on the
+// runs' tie ids -- schimmy 0, map task ti at ti + 1, and rack-aggregated
+// runs per record via their origin map id -- which reproduces the
+// reference stable-sort tie order exactly: outputs are byte-identical
+// whether or not runs arrive aggregated.
 void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
                       const std::vector<ReduceRun>& runs, int r, int node,
                       int attempt, SideFileCache* side_cache,
@@ -567,6 +604,8 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
     result.shuffle_in_bytes += runs[m].size;
     result.shuffle_in_wire += runs[m].wire_size;
     if (runs[m].size > 0) ++merge_width;
+    streams[m + 1].fixed_tie = runs[m].tie;
+    streams[m + 1].tagged = runs[m].tagged;
     if (runs[m].in_memory()) {
       if (wire) {
         streams[m + 1].wire_cursor = WireRunCursor(runs[m].bytes());
@@ -582,14 +621,19 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
   LoserTree tree;
   tree.reset(streams.size());
   for (size_t s = 0; s < streams.size(); ++s) {
-    if (streams[s].advance()) tree.set_key(s, streams[s].key);
+    if (streams[s].advance()) tree.set_key(s, streams[s].key, streams[s].tie());
   }
   tree.build();
 
   ReduceContext ctx(&cluster, &spec.params, spec.services, node, r, side_cache);
   ctx.set_fault_scope(spec.name, attempt);
+  // First replica on the writer, like HDFS. Besides locality, this makes
+  // the *placement* of every round's outputs -- and therefore the next
+  // round's map locality and the remote/intra/inter shuffle splits --
+  // deterministic: unpinned placement hashes the global block id, which is
+  // allocated in thread-completion order.
   dfs::RecordWriter out(&cluster.fs(), partition_file(spec.output_prefix, r),
-                        spec.wire);
+                        spec.wire, dfs::CreateOptions{.pin_node = node});
   ReduceTaskRunner::set_emit(ctx, [&](std::string_view k, std::string_view v) {
     out.write(k, v);
     ++result.output_records;
@@ -634,7 +678,7 @@ void run_reduce_merge(Cluster& cluster, const JobSpec& spec,
         vals.push_back(stream.value);
       }
       if (stream.advance()) {
-        tree.set_key(w, stream.key);
+        tree.set_key(w, stream.key, stream.tie());
       } else {
         tree.exhaust(w);
       }
@@ -741,9 +785,23 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     return spill_prefix + buf;
   };
 
-  // Reduce task r runs on node r % N (Hadoop assigns reduce tasks without
-  // locality since their input comes from everywhere).
-  auto reduce_node = [&](int r) { return r % cluster.num_nodes(); };
+  // Reduce placement. On a flat (1-rack) network reduce task r runs on
+  // node r % N (Hadoop assigns reduce tasks without locality since their
+  // input comes from everywhere). With rack topology the final placement
+  // is rack-aware, computed at the map->reduce boundary from the actual
+  // map-output sizes (see decide_reduce_placement in on_maps_done below);
+  // until then fetch tasks -- which may run before the last map commits --
+  // use the provisional node. The read-node argument of a fetch only
+  // attributes I/O, it never changes bytes, so the provisional/final split
+  // cannot affect results (and keeps fetch tasks free of data races on the
+  // placement vector).
+  const bool rack_aware = cluster.num_racks() > 1;
+  std::vector<int> reduce_placement(static_cast<size_t>(num_reducers));
+  for (int r = 0; r < num_reducers; ++r) {
+    reduce_placement[r] = r % cluster.num_nodes();
+  }
+  auto provisional_reduce_node = [&](int r) { return r % cluster.num_nodes(); };
+  auto reduce_node = [&](int r) { return reduce_placement[r]; };
 
   // ------------------------------------------------------------ task bodies
   // The same restartable bodies run under both schedules; only the order
@@ -949,12 +1007,184 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     try {
       fetched[r][ti] = cluster.fs().read_all_pinned(
           spill_file(ti, static_cast<int>(r)),
-          reduce_node(static_cast<int>(r)));
+          provisional_reduce_node(static_cast<int>(r)));
     } catch (const std::exception&) {
       // The spill vanished mid-fetch (its node crashed and on_maps_done
       // collected it). Undo the budget and let the reduce recover/stream
       // it instead; either path yields identical bytes.
       fetched_bytes[r].fetch_sub(size);
+    }
+  };
+
+  // Rack-aware reduce placement: once every map has committed (so the real
+  // per-partition output sizes are known), place each reduce task in the
+  // rack holding the most bytes destined for it, and on the heaviest node
+  // inside that rack. Weights use *raw* run sizes plus the schimmy
+  // partition's replica locations -- both identical whether or not a wire
+  // format is enabled, so placement (and with it the intra/inter splits of
+  // the raw counters) is too. A per-node capacity of ceil(R / N) keeps the
+  // schedule as balanced as the flat r % N assignment.
+  auto decide_reduce_placement = [&] {
+    const int N = cluster.num_nodes();
+    const int R = num_reducers;
+    std::vector<uint64_t> node_w(static_cast<size_t>(R) * N, 0);
+    for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+      const auto& sizes = map_results[ti].partition_sizes;
+      for (int r = 0; r < R; ++r) {
+        node_w[static_cast<size_t>(r) * N + map_tasks[ti].node] += sizes[r];
+      }
+    }
+    if (!spec.schimmy_prefix.empty()) {
+      // The master partition usually dwarfs the shuffled fragments and is
+      // never shuffled -- reducers chase a replica of it first.
+      for (int r = 0; r < R; ++r) {
+        std::string file = partition_file(spec.schimmy_prefix, r);
+        if (!cluster.fs().exists(file)) continue;
+        dfs::FileInfo info = cluster.fs().stat(file);
+        for (const auto& b : info.blocks) {
+          for (int n : b.replicas) {
+            node_w[static_cast<size_t>(r) * N + n] += b.size;
+          }
+        }
+      }
+    }
+    std::vector<int> cap(static_cast<size_t>(N), (R + N - 1) / N);
+    std::vector<uint64_t> rack_w(static_cast<size_t>(cluster.num_racks()));
+    for (int r = 0; r < R; ++r) {
+      const uint64_t* row = &node_w[static_cast<size_t>(r) * N];
+      std::fill(rack_w.begin(), rack_w.end(), 0);
+      uint64_t total = 0;
+      for (int n = 0; n < N; ++n) {
+        rack_w[cluster.rack_of(n)] += row[n];
+        total += row[n];
+      }
+      if (total == 0) {
+        // No signal for this reducer: keep the flat assignment if its node
+        // still has capacity, else the first node that does.
+        int prov = provisional_reduce_node(r);
+        if (cap[prov] <= 0) {
+          for (int n = 0; n < N; ++n) {
+            if (cap[n] > 0) {
+              prov = n;
+              break;
+            }
+          }
+        }
+        reduce_placement[r] = prov;
+        --cap[prov];
+        continue;
+      }
+      int best_rack = -1;
+      for (int k = 0; k < cluster.num_racks(); ++k) {
+        bool has_cap = false;
+        for (int n = 0; n < N; ++n) {
+          if (cluster.rack_of(n) == k && cap[n] > 0) has_cap = true;
+        }
+        if (!has_cap) continue;
+        if (best_rack < 0 || rack_w[k] > rack_w[best_rack]) best_rack = k;
+      }
+      int best = -1;
+      for (int n = 0; n < N; ++n) {
+        if (cluster.rack_of(n) != best_rack || cap[n] <= 0) continue;
+        if (best < 0 || row[n] > row[best] ||
+            (row[n] == row[best] && cap[n] > cap[best])) {
+          best = n;
+        }
+      }
+      reduce_placement[r] = best;
+      --cap[best];
+    }
+  };
+
+  // Per-rack map-output aggregation (JobSpec::rack_aggregation): for each
+  // reduce task, the >= 2 runs a *remote* rack holds for it are merged into
+  // one aggregated run before crossing the core switch, re-compacted with
+  // the job's wire format so frames, key compaction and LZ blocks amortize
+  // over the whole rack. Each aggregated record's value is prefixed with a
+  // varint origin map task id; the reduce merge uses it as the tie-break,
+  // keeping the output byte-identical to the unaggregated merge. Raw
+  // counters keep using the original (untagged) run sizes. Active only for
+  // the streaming merge shuffle with map outputs resident in memory, and
+  // only under a wire format: the whole point is re-compacting the rack's
+  // runs into shared frames/LZ blocks -- without a codec the origin tags
+  // would only grow the stream.
+  const bool aggregate = rack_aware && spec.rack_aggregation && !spill &&
+                         spec.shuffle == ShuffleMode::kMerge &&
+                         spec.wire.enabled();
+  struct AggRun {
+    Bytes data;           // origin-tagged framed records (wire image if on)
+    uint64_t raw = 0;     // sum of the members' raw run sizes
+    uint64_t member_wire = 0;  // sum of the members' stored run sizes
+    int rack = -1;        // source rack
+    int agg_node = -1;    // member node that merges and uplinks the run
+    std::vector<size_t> members;  // absorbed map task ids
+  };
+  std::vector<std::vector<AggRun>> agg_runs(static_cast<size_t>(num_reducers));
+  std::vector<char> absorbed;  // [r * M + ti]: run folded into an aggregate
+  if (aggregate) {
+    absorbed.assign(static_cast<size_t>(num_reducers) * map_tasks.size(), 0);
+  }
+  auto build_rack_aggregates = [&] {
+    const bool wire = spec.wire.enabled();
+    Bytes wire_scratch, tagged;
+    std::vector<std::vector<size_t>> by_rack(
+        static_cast<size_t>(cluster.num_racks()));
+    std::vector<MergeStream> members;
+    LoserTree tree;
+    for (int r = 0; r < num_reducers; ++r) {
+      const int dest_rack = cluster.rack_of(reduce_placement[r]);
+      for (auto& v : by_rack) v.clear();
+      for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
+        if (map_results[ti].partition_sizes[r] == 0) continue;
+        int k = cluster.rack_of(map_tasks[ti].node);
+        if (k != dest_rack) by_rack[k].push_back(ti);
+      }
+      for (int k = 0; k < cluster.num_racks(); ++k) {
+        // A single remote run gains nothing from aggregation (the tag
+        // bytes would only grow it); it crosses the core as-is.
+        if (by_rack[k].size() < 2) continue;
+        AggRun agg;
+        agg.rack = k;
+        members.clear();
+        members.resize(by_rack[k].size());
+        tree.reset(members.size());
+        for (size_t i = 0; i < members.size(); ++i) {
+          size_t ti = by_rack[k][i];
+          agg.raw += map_results[ti].partition_sizes[r];
+          agg.member_wire += map_results[ti].partition_wire_sizes[r];
+          int node = map_tasks[ti].node;
+          if (agg.agg_node < 0 || node < agg.agg_node) agg.agg_node = node;
+          const Bytes& run = map_results[ti].partitions[r];
+          if (wire) {
+            members[i].wire_cursor = WireRunCursor(run);
+          } else {
+            members[i].cursor = FramedCursor(run);
+          }
+          if (members[i].advance()) tree.set_key(i, members[i].key, ti);
+        }
+        tree.build();
+        while (!tree.empty()) {
+          size_t i = tree.winner();
+          MergeStream& s = members[i];
+          tagged.clear();
+          serde::ByteWriter w(&tagged);
+          w.put_varint(by_rack[k][i]);
+          tagged.append(s.value);
+          dfs::append_record(agg.data, s.key, tagged);
+          if (s.advance()) {
+            tree.set_key(i, s.key, by_rack[k][i]);
+          } else {
+            tree.exhaust(i);
+          }
+          tree.replay(i);
+        }
+        if (wire) compact_sorted_run(agg.data, spec.wire, wire_scratch);
+        for (size_t ti : by_rack[k]) {
+          absorbed[static_cast<size_t>(r) * map_tasks.size() + ti] = 1;
+        }
+        agg.members = by_rack[k];
+        agg_runs[r].push_back(std::move(agg));
+      }
     }
   };
 
@@ -970,6 +1200,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     std::vector<ReduceRun> runs(map_tasks.size());
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       ReduceRun& run = runs[ti];
+      run.tie = ti + 1;  // schimmy holds tie 0
+      if (aggregate && absorbed[r * map_tasks.size() + ti]) {
+        continue;  // travels inside this rack's aggregated run instead
+      }
       run.size = map_results[ti].partition_sizes[r];
       run.wire_size = map_results[ti].partition_wire_sizes[r];
       if (!spill) {
@@ -982,6 +1216,14 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
           if (!cluster.fs().exists(run.file)) recover_map_spills(ti);
         }
       }
+    }
+    for (const AggRun& agg : agg_runs[r]) {
+      ReduceRun run;
+      run.buffer = &agg.data;
+      run.size = agg.raw;  // members' untagged sizes: raw counters identical
+      run.wire_size = agg.data.size();
+      run.tagged = true;
+      runs.push_back(std::move(run));
     }
     if (spec.shuffle == ShuffleMode::kReferenceSort) {
       run_reduce_reference(cluster, spec, runs, static_cast<int>(r), node,
@@ -1005,11 +1247,16 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   };
 
   // Fires once at the map->reduce boundary in both schedules: the
-  // inter-phase service barrier, then the node-crash disk loss -- a
-  // crashed node's local disk goes with it, so every spill file it hosted
-  // disappears here; reduces that need one trigger recover_map_spills.
+  // inter-phase service barrier, the rack-aware placement + aggregation
+  // decisions (which need every map's real output sizes; reduces gate on
+  // this node, so they observe the final placement race-free), then the
+  // node-crash disk loss -- a crashed node's local disk goes with it, so
+  // every spill file it hosted disappears here; reduces that need one
+  // trigger recover_map_spills.
   auto on_maps_done = [&] {
     if (spec.services) spec.services->end_phase();
+    if (rack_aware) decide_reduce_placement();
+    if (aggregate) build_rack_aggregates();
     if (!spill) return;
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       if (!node_crashed[map_tasks[ti].node]) continue;
@@ -1064,13 +1311,19 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   if (spec.services) spec.services->end_phase();
 
   // ------------------------------------------------------ shuffle planning
-  // Raw totals are record properties (identical across wire modes); the
-  // per-node remote arrays feed net_seconds and therefore charge the wire
-  // bytes that actually cross the network.
+  // Raw totals are record properties (identical across wire modes, and --
+  // for the intra/inter splits -- classified by where the *records* went,
+  // aggregated or not); the per-node and per-rack wire arrays feed
+  // net_seconds / inter_rack_net_seconds and therefore charge the wire
+  // bytes that actually cross each link.
   uint64_t shuffle_total = 0, shuffle_remote = 0;
-  uint64_t shuffle_total_wire = 0, shuffle_remote_wire = 0;
+  uint64_t shuffle_total_wire = 0;
+  uint64_t shuffle_intra = 0, shuffle_inter = 0;
+  uint64_t shuffle_intra_wire = 0, shuffle_inter_wire = 0;
   std::vector<uint64_t> node_out_remote(cluster.num_nodes(), 0);
   std::vector<uint64_t> node_in_remote(cluster.num_nodes(), 0);
+  std::vector<uint64_t> rack_out(static_cast<size_t>(cluster.num_racks()), 0);
+  std::vector<uint64_t> rack_in(static_cast<size_t>(cluster.num_racks()), 0);
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
     for (int r = 0; r < num_reducers; ++r) {
       uint64_t n = map_results[ti].partition_sizes[r];
@@ -1078,14 +1331,55 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       if (n == 0) continue;
       shuffle_total += n;
       shuffle_total_wire += w;
-      if (map_tasks[ti].node != reduce_node(r)) {
-        shuffle_remote += n;
-        shuffle_remote_wire += w;
-        node_out_remote[map_tasks[ti].node] += w;
-        node_in_remote[reduce_node(r)] += w;
+      const int src = map_tasks[ti].node;
+      const int dst = reduce_node(r);
+      if (src == dst) continue;
+      shuffle_remote += n;
+      const int sk = cluster.rack_of(src), dk = cluster.rack_of(dst);
+      (sk != dk ? shuffle_inter : shuffle_intra) += n;
+      if (aggregate && absorbed[static_cast<size_t>(r) * map_tasks.size() + ti]) {
+        continue;  // wire bytes charged through the aggregated run below
+      }
+      (sk != dk ? shuffle_inter_wire : shuffle_intra_wire) += w;
+      node_out_remote[src] += w;
+      node_in_remote[dst] += w;
+      if (sk != dk) {
+        rack_out[sk] += w;
+        rack_in[dk] += w;
       }
     }
   }
+  // Aggregated runs: each member run hops to its rack's aggregator node
+  // (intra-rack traffic, unless the member is the aggregator), then the
+  // merged run crosses the core exactly once. The aggregator also pays the
+  // codec CPU to re-block the rack's runs (charged into the shuffle phase
+  // below; it sits on the path ahead of the uplink).
+  std::vector<double> node_agg_s(static_cast<size_t>(cluster.num_nodes()), 0);
+  for (int r = 0; r < num_reducers; ++r) {
+    for (const AggRun& agg : agg_runs[r]) {
+      const int dst = reduce_node(r);
+      const uint64_t aw = agg.data.size();
+      for (size_t ti : agg.members) {
+        const uint64_t w = map_results[ti].partition_wire_sizes[r];
+        const int src = map_tasks[ti].node;
+        if (src == agg.agg_node) continue;
+        shuffle_intra_wire += w;
+        node_out_remote[src] += w;
+        node_in_remote[agg.agg_node] += w;
+      }
+      shuffle_inter_wire += aw;
+      node_out_remote[agg.agg_node] += aw;
+      node_in_remote[dst] += aw;
+      rack_out[agg.rack] += aw;
+      rack_in[cluster.rack_of(dst)] += aw;
+      if (spec.wire.enabled()) {
+        node_agg_s[agg.agg_node] +=
+            cluster.config().cost.codec_decompress_seconds(agg.raw) +
+            cluster.config().cost.codec_compress_seconds(agg.raw);
+      }
+    }
+  }
+  const uint64_t shuffle_remote_wire = shuffle_intra_wire + shuffle_inter_wire;
 
   // ----------------------------------------------------------- statistics
   JobStats stats;
@@ -1095,6 +1389,32 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
 
   const CostModel& cost = cluster.config().cost;
   const bool wire_on = spec.wire.enabled();
+
+  // Speculative execution: the cost model races a backup attempt against a
+  // straggling original. The backup launches on another slot once the
+  // original has overrun by speculative_delay_factor x its normal runtime
+  // and re-draws its own straggler fate under a distinct phase tag (a new
+  // *kind* of draw -- every pre-existing draw replays unchanged, see the
+  // FaultConfig contract). The first finisher wins deterministically:
+  // min() of two pure functions of (seed, ids). Results are untouched --
+  // both attempts would compute identical bytes -- only simulated seconds
+  // and the speculative_* counters change.
+  auto speculate = [&](double base_s, double factor, const char* backup_phase,
+                       uint64_t task) {
+    double eff = base_s * factor;
+    if (factor <= 1.0 || !cluster.config().speculative_execution) return eff;
+    ++stats.speculative_launched;
+    double backup =
+        base_s * (cluster.config().speculative_delay_factor +
+                  fault.straggler_factor(spec.name, backup_phase, task));
+    if (backup < eff) {
+      eff = backup;
+      ++stats.speculative_won;
+    } else {
+      ++stats.speculative_wasted;
+    }
+    return eff;
+  };
 
   std::vector<std::vector<double>> map_times_by_node(cluster.num_nodes());
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
@@ -1121,9 +1441,11 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     if (t.framed) sim += cost.codec_decompress_seconds(res.input_raw_bytes);
     if (wire_on) sim += cost.codec_compress_seconds(out_raw);
     // Fault shapes that cost time without changing bytes: lost-RPC backoff
-    // and straggler slots (the whole task, backoff included, runs slow).
-    sim = (sim + res.rpc_penalty_s) *
-          fault.straggler_factor(spec.name, "map", ti);
+    // and straggler slots (the whole task, backoff included, runs slow);
+    // speculation races a backup against the straggler when enabled.
+    sim = speculate(sim + res.rpc_penalty_s,
+                    fault.straggler_factor(spec.name, "map", ti), "map-backup",
+                    ti);
     map_times_by_node[t.node].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {
@@ -1135,12 +1457,38 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
 
   stats.shuffle_bytes = shuffle_total;
   stats.shuffle_bytes_remote = shuffle_remote;
+  stats.shuffle_bytes_intra_rack = shuffle_intra;
+  stats.shuffle_bytes_inter_rack = shuffle_inter;
   stats.shuffle_bytes_wire = shuffle_total_wire;
   stats.shuffle_bytes_remote_wire = shuffle_remote_wire;
+  stats.shuffle_bytes_intra_rack_wire = shuffle_intra_wire;
+  stats.shuffle_bytes_inter_rack_wire = shuffle_inter_wire;
+  {
+    auto& metrics = common::MetricsRegistry::global();
+    metrics.record("shuffle.intra_rack_bytes", shuffle_intra);
+    metrics.record("shuffle.inter_rack_bytes", shuffle_inter);
+    metrics.record("shuffle.intra_rack_bytes_wire", shuffle_intra_wire);
+    metrics.record("shuffle.inter_rack_bytes_wire", shuffle_inter_wire);
+  }
+  // The shuffle is as slow as its most loaded link: any node NIC (all
+  // remote bytes) or any rack uplink/downlink (inter-rack bytes only,
+  // at the oversubscribed core rate). Rack aggregation work -- the codec
+  // pass that re-blocks a rack's runs -- happens on the aggregator before
+  // its uplink transfer, so the busiest aggregator adds to the phase.
   for (int n = 0; n < cluster.num_nodes(); ++n) {
     stats.shuffle_sim_s = std::max(
         {stats.shuffle_sim_s, cost.net_seconds(node_out_remote[n]),
          cost.net_seconds(node_in_remote[n])});
+  }
+  for (int k = 0; k < cluster.num_racks(); ++k) {
+    stats.shuffle_sim_s = std::max(
+        {stats.shuffle_sim_s, cost.inter_rack_net_seconds(rack_out[k]),
+         cost.inter_rack_net_seconds(rack_in[k])});
+  }
+  {
+    double agg_s = 0;
+    for (double s : node_agg_s) agg_s = std::max(agg_s, s);
+    stats.shuffle_sim_s += agg_s;
   }
 
   std::vector<std::vector<double>> reduce_times_by_node(cluster.num_nodes());
@@ -1163,9 +1511,10 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
                                            res.schimmy_in_bytes) +
              cost.codec_compress_seconds(res.output_bytes);
     }
-    sim = (sim + res.rpc_penalty_s) *
-          fault.straggler_factor(spec.name, "reduce",
-                                 static_cast<uint64_t>(r));
+    sim = speculate(sim + res.rpc_penalty_s,
+                    fault.straggler_factor(spec.name, "reduce",
+                                           static_cast<uint64_t>(r)),
+                    "reduce-backup", static_cast<uint64_t>(r));
     reduce_times_by_node[reduce_node(r)].push_back(sim);
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {

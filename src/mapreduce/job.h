@@ -254,6 +254,20 @@ struct JobSpec {
   // their spill files during the merge. Outputs and JobStats counters
   // other than spill_bytes are unaffected.
   bool spill_map_outputs = false;
+  // Per-rack map-output aggregation: before a reduce task's input crosses
+  // the core switch, the sorted runs produced for it by the map tasks of
+  // each *remote* rack are merged into one aggregated run (loser-tree
+  // merge, re-compacted with the job's wire format). Each aggregated
+  // record carries its origin map task's id as a varint value prefix, and
+  // the reduce merge uses that id as the tie-break, so the reduce output
+  // stays byte-identical to the unaggregated merge (and raw counters are
+  // still computed from the original runs). Active only when the cluster
+  // has >1 rack, the shuffle is kMerge, a wire format is enabled (without
+  // a codec the origin tags would only grow the stream), and map outputs
+  // are not spilled; inert otherwise. Cuts inter-rack wire bytes by
+  // amortizing frames,
+  // key compaction and LZ blocks over whole racks instead of single maps.
+  bool rack_aggregation = true;
   // Wire format for every engine-owned stream: map-output runs (in memory
   // and spilled), eagerly fetched shuffle buffers, and reduce output
   // partition files (hence the next round's schimmy stream). Off by
@@ -283,6 +297,11 @@ struct JobStats {
   uint64_t map_output_bytes = 0;
   uint64_t shuffle_bytes = 0;         // REDUCE_SHUFFLE_BYTES (all fetched)
   uint64_t shuffle_bytes_remote = 0;  // cross-node portion only
+  // Two-level split of the cross-node portion: bytes that stay inside the
+  // source rack vs. bytes that cross the (oversubscribed) core switch.
+  // intra + inter == remote; with one rack everything remote is intra.
+  uint64_t shuffle_bytes_intra_rack = 0;
+  uint64_t shuffle_bytes_inter_rack = 0;
   uint64_t schimmy_bytes = 0;         // master records merge-joined locally
   uint64_t output_bytes = 0;          // reduce output (pre-replication)
   uint64_t spill_bytes = 0;           // map-output runs spilled to local DFS
@@ -295,6 +314,8 @@ struct JobStats {
   uint64_t map_output_bytes_wire = 0;
   uint64_t shuffle_bytes_wire = 0;
   uint64_t shuffle_bytes_remote_wire = 0;
+  uint64_t shuffle_bytes_intra_rack_wire = 0;
+  uint64_t shuffle_bytes_inter_rack_wire = 0;
   uint64_t schimmy_bytes_wire = 0;
   uint64_t output_bytes_wire = 0;
   uint64_t spill_bytes_wire = 0;
@@ -305,6 +326,14 @@ struct JobStats {
 
   // Task attempts that failed and were re-executed (injected or real).
   int64_t task_retries = 0;
+
+  // Speculative execution (ClusterConfig::speculative_execution): backup
+  // attempts launched for cost-model stragglers, how many finished before
+  // the slowed original (winning the race), and how many were wasted work.
+  // launched == won + wasted; all zero with speculation off.
+  int64_t speculative_launched = 0;
+  int64_t speculative_won = 0;
+  int64_t speculative_wasted = 0;
 
   double map_sim_s = 0;
   double shuffle_sim_s = 0;

@@ -57,6 +57,7 @@ void LoserTree::reset(size_t k) {
   k_ = k;
   winner_ = 0;
   keys_.assign(k, {});
+  ties_.assign(k, 0);
   alive_.assign(k, 0);
   losers_.assign(k, kNone);
 }
@@ -71,7 +72,9 @@ bool LoserTree::wins(size_t a, size_t b) const {
   if (alive_[a] != alive_[b]) return alive_[a];
   if (!alive_[a]) return a < b;
   int c = keys_[a].compare(keys_[b]);
-  return c != 0 ? c < 0 : a < b;
+  if (c != 0) return c < 0;
+  if (ties_[a] != ties_[b]) return ties_[a] < ties_[b];
+  return a < b;
 }
 
 void LoserTree::replay(size_t i) {

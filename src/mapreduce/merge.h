@@ -114,8 +114,14 @@ class WireRunCursor {
 // exhaust() the leaf -> replay(leaf) } until empty().
 //
 // Comparison contract: smaller key wins; equal keys go to the smaller
-// stream index. Each winner replay costs ceil(log2 k) comparisons versus
-// the O(R log R) of sorting the gathered records.
+// *tie id*, then the smaller stream index. By default a leaf's tie id is
+// its own index, which reproduces the historical contract "equal keys go
+// to the smaller stream index". Rack-aggregated shuffle streams carry
+// records from several map tasks inside one stream; they set a per-record
+// tie id (the origin map task's global order) so the merged output stays
+// byte-identical to the unaggregated merge. Each winner replay costs
+// ceil(log2 k) comparisons versus the O(R log R) of sorting the gathered
+// records.
 class LoserTree {
  public:
   // Prepares a tree with k leaves, all initially exhausted.
@@ -123,8 +129,11 @@ class LoserTree {
 
   // Sets leaf `i`'s current key (call before build(), or after consuming
   // the winner's record; follow post-build changes with replay(i)).
-  void set_key(size_t i, std::string_view key) {
+  // The two-argument form keeps the historical tie order (tie == i).
+  void set_key(size_t i, std::string_view key) { set_key(i, key, i); }
+  void set_key(size_t i, std::string_view key, size_t tie) {
     keys_[i] = key;
+    ties_[i] = tie;
     alive_[i] = 1;
   }
 
@@ -154,6 +163,7 @@ class LoserTree {
   size_t k_ = 0;
   size_t winner_ = 0;
   std::vector<std::string_view> keys_;
+  std::vector<size_t> ties_;
   std::vector<unsigned char> alive_;
   std::vector<size_t> losers_;  // internal nodes 1..k-1; [0] unused
 };

@@ -1,0 +1,184 @@
+// Pins the fault-replay hash contract (mapreduce/cluster.h): every fault
+// draw is splitmix64(fnv1a64(entity bytes)) over a frozen per-shape byte
+// layout. A (seed, workload) pair must replay the exact fault schedule it
+// has always replayed -- recorded chaos baselines and the bit-identical
+// guarantees in chaos_test.cpp depend on it -- so both halves are golden
+// here:
+//
+//   1. Hash goldens: fnv1a64 + splitmix64 over hand-built entity byte
+//      strings must equal baked-in constants. Fails if anyone swaps the
+//      hash function (e.g. to xxHash64, which the partition path uses) or
+//      changes the finalizer.
+//   2. Draw goldens: FaultConfig's public draws, probed at probabilities
+//      bracketing each draw's known unit value, must flip exactly where
+//      the baked-in constants say. Fails if a byte layout gains, loses or
+//      reorders a field, even when the hash primitives are untouched.
+//
+// New *kinds* of draws are fine (distinct phase tags keep them independent
+// of these); changing any layout below is a contract break and must fail.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "mapreduce/cluster.h"
+
+namespace mrflow::mr {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+// Mirrors cluster.cpp's fault_hash + to_unit. Deliberately duplicated: if
+// the implementation drifts from this spelling, the draw goldens below
+// disagree with the hash goldens and the test fails.
+uint64_t fault_hash(const serde::ByteWriter& w) {
+  uint64_t state = hash::fnv1a64(w.bytes());
+  return rng::splitmix64(state);
+}
+double to_unit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+// Probes a boolean draw at probabilities just below and above `unit`: the
+// draw must be false at unit * (1 - eps) and true at unit * (1 + eps),
+// which pins the underlying hash value to ~1e-9 relative precision
+// through the public API alone.
+template <typename DrawAtP>
+void expect_draw_flips_at(double unit, DrawAtP draw_at_p) {
+  ASSERT_GT(unit, 0.0);
+  ASSERT_LT(unit, 1.0);
+  EXPECT_FALSE(draw_at_p(unit * (1 - 1e-9)));
+  EXPECT_TRUE(draw_at_p(unit * (1 + 1e-9)));
+}
+
+TEST(FaultReplay, TaskAttemptLayoutAndHash) {
+  // Layout (pre-fault-matrix, no shape tag -- frozen verbatim):
+  //   bytes(job) bytes(phase) varint(task) varint(attempt) varint(seed)
+  serde::ByteWriter w;
+  w.put_bytes("jobA#3");
+  w.put_bytes("map");
+  w.put_varint(7);
+  w.put_varint(1);
+  w.put_varint(kSeed);
+  const uint64_t h = fault_hash(w);
+  EXPECT_EQ(h, 0xa1a809ff7593af2bULL);  // GOLDEN_TASK
+
+  expect_draw_flips_at(to_unit(h), [](double p) {
+    FaultConfig f;
+    f.seed = kSeed;
+    f.task_failure_probability = p;
+    return f.task_attempt_fails("jobA#3", "map", 7, 1);
+  });
+}
+
+TEST(FaultReplay, NodeCrashLayoutAndHash) {
+  // Layout: bytes(job) bytes("node-crash") varint(node) varint(seed)
+  serde::ByteWriter w;
+  w.put_bytes("jobA#3");
+  w.put_bytes("node-crash");
+  w.put_varint(2);
+  w.put_varint(kSeed);
+  const uint64_t h = fault_hash(w);
+  EXPECT_EQ(h, 0x50b5dd1f49da25edULL);  // GOLDEN_NODE
+
+  expect_draw_flips_at(to_unit(h), [](double p) {
+    FaultConfig f;
+    f.seed = kSeed;
+    f.node_crash_probability = p;
+    return f.node_crashes("jobA#3", 2);
+  });
+}
+
+TEST(FaultReplay, StragglerLayoutAndHash) {
+  // Layout: bytes(job) bytes("straggler") bytes(phase) varint(task)
+  //         varint(seed)
+  serde::ByteWriter w;
+  w.put_bytes("jobA#3");
+  w.put_bytes("straggler");
+  w.put_bytes("reduce");
+  w.put_varint(5);
+  w.put_varint(kSeed);
+  const uint64_t h = fault_hash(w);
+  EXPECT_EQ(h, 0xe314f7b4abe2ab4bULL);  // GOLDEN_STRAGGLER
+
+  expect_draw_flips_at(to_unit(h), [](double p) {
+    FaultConfig f;
+    f.seed = kSeed;
+    f.straggler_probability = p;
+    f.straggler_slowdown = 6.0;
+    return f.straggler_factor("jobA#3", "reduce", 5) > 1.0;
+  });
+}
+
+TEST(FaultReplay, RpcTimeoutLayoutAndHash) {
+  // Layout: bytes(job) bytes("rpc-timeout") bytes(service) bytes(request)
+  //         varint(task_id) varint(node) varint(task_attempt)
+  //         varint(send_attempt) varint(seed)
+  serde::ByteWriter w;
+  w.put_bytes("jobA#3");
+  w.put_bytes("rpc-timeout");
+  w.put_bytes("aug_proc");
+  w.put_bytes("offer");
+  w.put_varint(4);
+  w.put_varint(1);
+  w.put_varint(0);
+  w.put_varint(2);
+  w.put_varint(kSeed);
+  const uint64_t h = fault_hash(w);
+  EXPECT_EQ(h, 0xf09f32e08c7fa980ULL);  // GOLDEN_RPC
+
+  expect_draw_flips_at(to_unit(h), [](double p) {
+    FaultConfig f;
+    f.seed = kSeed;
+    f.rpc_timeout_probability = p;
+    return f.rpc_times_out("jobA#3", "aug_proc", "offer", 4, 1, 0, 2);
+  });
+}
+
+TEST(FaultReplay, CorruptReadLayoutHashAndReplicaChoice) {
+  // Layout: bytes("corrupt-read") bytes(file) varint(block) varint(seed);
+  // the same hash then picks the single damaged replica via a second
+  // splitmix64 round mod num_replicas.
+  serde::ByteWriter w;
+  w.put_bytes("corrupt-read");
+  w.put_bytes("ffmr/part-00001");
+  w.put_varint(3);
+  w.put_varint(kSeed);
+  const uint64_t h = fault_hash(w);
+  EXPECT_EQ(h, 0xad28cdd10f144a09ULL);  // GOLDEN_CORRUPT
+
+  const int replicas = 3;
+  uint64_t state = h;
+  const uint64_t chosen = rng::splitmix64(state) % replicas;
+  FaultConfig f;
+  f.seed = kSeed;
+  f.corrupt_read_probability = to_unit(h) * (1 + 1e-9);
+  for (int ordinal = 0; ordinal < replicas; ++ordinal) {
+    EXPECT_EQ(f.replica_corrupt("ffmr/part-00001", 3, ordinal, replicas),
+              static_cast<uint64_t>(ordinal) == chosen);
+  }
+  // Below the unit value nothing is corrupted; never with < 2 replicas.
+  f.corrupt_read_probability = to_unit(h) * (1 - 1e-9);
+  for (int ordinal = 0; ordinal < replicas; ++ordinal) {
+    EXPECT_FALSE(f.replica_corrupt("ffmr/part-00001", 3, ordinal, replicas));
+  }
+  f.corrupt_read_probability = 1.0;
+  EXPECT_FALSE(f.replica_corrupt("ffmr/part-00001", 3, 0, 1));
+}
+
+// Seed participates in every layout: a different seed must produce a
+// different schedule for at least one entity in a small grid (catching a
+// refactor that drops the seed field from a layout).
+TEST(FaultReplay, SeedChangesSchedule) {
+  FaultConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.task_failure_probability = b.task_failure_probability = 0.5;
+  bool differs = false;
+  for (uint64_t task = 0; task < 64 && !differs; ++task) {
+    differs = a.task_attempt_fails("j", "map", task, 0) !=
+              b.task_attempt_fails("j", "map", task, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mrflow::mr

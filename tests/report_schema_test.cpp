@@ -288,14 +288,21 @@ TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
       {"map_output_records", Kind::kNumber},
       {"reduce_output_records", Kind::kNumber},
       {"shuffle_bytes", Kind::kNumber},
+      {"shuffle_bytes_intra_rack", Kind::kNumber},
+      {"shuffle_bytes_inter_rack", Kind::kNumber},
       {"schimmy_bytes", Kind::kNumber},
       {"spill_bytes", Kind::kNumber},
       {"output_bytes", Kind::kNumber},
       {"shuffle_bytes_wire", Kind::kNumber},
+      {"shuffle_bytes_intra_rack_wire", Kind::kNumber},
+      {"shuffle_bytes_inter_rack_wire", Kind::kNumber},
       {"schimmy_bytes_wire", Kind::kNumber},
       {"spill_bytes_wire", Kind::kNumber},
       {"output_bytes_wire", Kind::kNumber},
       {"task_retries", Kind::kNumber},
+      {"speculative_launched", Kind::kNumber},
+      {"speculative_won", Kind::kNumber},
+      {"speculative_wasted", Kind::kNumber},
       {"sim_seconds", Kind::kNumber},
       {"wall_seconds", Kind::kNumber},
       {"source_moves", Kind::kNumber},

@@ -1,0 +1,287 @@
+// Rack topology & speculative execution differential tests.
+//
+// The contract (mapreduce/cluster.h): topology and speculation change
+// *placement, byte accounting, and simulated seconds* -- never results.
+// Every test here runs the same workload under a flat 1-rack cluster and
+// under rack-aware / speculative configurations and asserts bit-identical
+// outcomes:
+//
+//   - FFMR: flow value, round count, per-pair assignment, and the raw
+//     (decoded) per-round byte/record counters are invariant across
+//     1 rack / N racks / aggregation on / aggregation off / speculation.
+//   - MR engine: reduce output partitions are byte-identical with per-rack
+//     map-output aggregation on vs. off, including duplicate keys spread
+//     across maps (the origin-tag tie-break must preserve run order).
+//   - Chaos slice: rack-aware + speculative clusters under straggler and
+//     node-crash faults still match the fault-free flat baseline and
+//     carry a validating min-cut certificate.
+//
+// Accounting invariants: intra_rack + inter_rack == remote on every round;
+// one rack => inter_rack == 0; speculative_launched == won + wasted and
+// all three are zero with speculation off.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dfs/record_io.h"
+#include "ffmr/solver.h"
+#include "flow/certify.h"
+#include "graph/generators.h"
+#include "mapreduce/driver.h"
+#include "mapreduce/typed.h"
+
+namespace mrflow::ffmr {
+namespace {
+
+struct Workload {
+  graph::Graph g;
+  graph::VertexId s = 0, t = 0;
+};
+
+Workload make_workload(uint64_t seed) {
+  Workload wl;
+  wl.g = graph::watts_strogatz(120, 6, 0.2, seed);
+  wl.s = 3;
+  wl.t = 71;
+  return wl;
+}
+
+struct TopoConfig {
+  int racks = 1;
+  bool aggregation = true;
+  bool speculation = false;
+  bool straggler = false;
+  bool node_crash = false;
+  bool spill = false;
+};
+
+mr::ClusterConfig cluster_config(const TopoConfig& tc) {
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 6;
+  config.map_slots_per_node = 2;
+  config.reduce_slots_per_node = 2;
+  config.dfs_block_size = 8 << 10;
+  config.num_racks = tc.racks;
+  if (tc.racks > 1) config.cost.inter_rack_mbps = config.cost.network_mbps / 4;
+  config.speculative_execution = tc.speculation;
+  config.max_task_attempts = 8;
+  if (tc.straggler) config.fault.straggler_probability = 0.3;
+  if (tc.node_crash) config.fault.node_crash_probability = 0.08;
+  config.fault.seed = 7;
+  return config;
+}
+
+FfmrResult run_ffmr(const Workload& wl, const TopoConfig& tc) {
+  mr::Cluster cluster(cluster_config(tc));
+  FfmrOptions o;
+  o.variant = Variant::FF5;
+  o.async_augmenter = false;  // deterministic acceptance order
+  o.wire = WireChoice::kOn;   // aggregation re-compacts, so it needs a codec
+  o.rack_aggregation = tc.aggregation;
+  o.spill_map_outputs = tc.spill;
+  o.num_reduce_tasks = 8;
+  FfmrResult r = solve_max_flow(cluster, wl.g, wl.s, wl.t, o);
+  EXPECT_TRUE(r.converged);
+  return r;
+}
+
+// The raw (decoded) counters that topology must never change, per round.
+void expect_rounds_identical(const FfmrResult& got, const FfmrResult& want) {
+  ASSERT_EQ(got.rounds_info.size(), want.rounds_info.size());
+  for (size_t i = 0; i < want.rounds_info.size(); ++i) {
+    SCOPED_TRACE("round " + std::to_string(i));
+    const mr::JobStats& a = got.rounds_info[i].stats;
+    const mr::JobStats& b = want.rounds_info[i].stats;
+    EXPECT_EQ(a.num_map_tasks, b.num_map_tasks);
+    EXPECT_EQ(a.map_output_records, b.map_output_records);
+    EXPECT_EQ(a.reduce_output_records, b.reduce_output_records);
+    EXPECT_EQ(a.map_output_bytes, b.map_output_bytes);
+    EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+    EXPECT_EQ(a.output_bytes, b.output_bytes);
+  }
+}
+
+void expect_rack_invariants(const FfmrResult& r, int racks) {
+  for (const RoundInfo& info : r.rounds_info) {
+    SCOPED_TRACE("round " + std::to_string(info.round));
+    const mr::JobStats& s = info.stats;
+    EXPECT_EQ(s.shuffle_bytes_intra_rack + s.shuffle_bytes_inter_rack,
+              s.shuffle_bytes_remote);
+    EXPECT_EQ(s.shuffle_bytes_intra_rack_wire + s.shuffle_bytes_inter_rack_wire,
+              s.shuffle_bytes_remote_wire);
+    if (racks == 1) {
+      EXPECT_EQ(s.shuffle_bytes_inter_rack, 0u);
+      EXPECT_EQ(s.shuffle_bytes_inter_rack_wire, 0u);
+    }
+  }
+}
+
+int64_t total(const FfmrResult& r, int64_t mr::JobStats::*field) {
+  int64_t sum = 0;
+  for (const RoundInfo& info : r.rounds_info) sum += info.stats.*field;
+  return sum;
+}
+
+uint64_t total_u(const FfmrResult& r, uint64_t mr::JobStats::*field) {
+  uint64_t sum = 0;
+  for (const RoundInfo& info : r.rounds_info) sum += info.stats.*field;
+  return sum;
+}
+
+TEST(RackTopology, RackOfPartitionsNodesContiguously) {
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 10;
+  config.num_racks = 3;  // ceil(10/3) = 4 nodes per rack
+  mr::Cluster cluster(config);
+  EXPECT_EQ(cluster.num_racks(), 3);
+  EXPECT_EQ(cluster.rack_of(0), 0);
+  EXPECT_EQ(cluster.rack_of(3), 0);
+  EXPECT_EQ(cluster.rack_of(4), 1);
+  EXPECT_EQ(cluster.rack_of(7), 1);
+  EXPECT_EQ(cluster.rack_of(8), 2);
+  EXPECT_EQ(cluster.rack_of(9), 2);
+  // Monotone and non-skipping across the node range.
+  for (int n = 1; n < 10; ++n) {
+    int d = cluster.rack_of(n) - cluster.rack_of(n - 1);
+    EXPECT_TRUE(d == 0 || d == 1);
+  }
+}
+
+TEST(RackTopology, MoreRacksThanNodesClamps) {
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 2;
+  config.num_racks = 8;
+  mr::Cluster cluster(config);
+  EXPECT_EQ(cluster.num_racks(), 2);
+  EXPECT_EQ(cluster.rack_of(0), 0);
+  EXPECT_EQ(cluster.rack_of(1), 1);
+}
+
+TEST(RackTopology, FfmrResultsInvariantAcrossTopology) {
+  Workload wl = make_workload(11);
+  FfmrResult flat = run_ffmr(wl, {.racks = 1});
+  expect_rack_invariants(flat, 1);
+
+  for (const TopoConfig& tc :
+       {TopoConfig{.racks = 2, .aggregation = true},
+        TopoConfig{.racks = 2, .aggregation = false},
+        TopoConfig{.racks = 3, .aggregation = true}}) {
+    SCOPED_TRACE("racks=" + std::to_string(tc.racks) +
+                 " agg=" + std::to_string(tc.aggregation));
+    FfmrResult r = run_ffmr(wl, tc);
+    EXPECT_EQ(r.max_flow, flat.max_flow);
+    EXPECT_EQ(r.rounds, flat.rounds);
+    EXPECT_EQ(r.assignment.pair_flow, flat.assignment.pair_flow);
+    expect_rounds_identical(r, flat);
+    expect_rack_invariants(r, tc.racks);
+  }
+}
+
+TEST(RackTopology, AggregationReducesInterRackWireBytes) {
+  Workload wl = make_workload(11);
+  FfmrResult noagg = run_ffmr(wl, {.racks = 2, .aggregation = false});
+  FfmrResult agg = run_ffmr(wl, {.racks = 2, .aggregation = true});
+  // The raw split (a property of placement, which aggregation must not
+  // disturb) is identical; only the wire bytes crossing the core shrink.
+  EXPECT_EQ(total_u(agg, &mr::JobStats::shuffle_bytes_inter_rack),
+            total_u(noagg, &mr::JobStats::shuffle_bytes_inter_rack));
+  EXPECT_LT(total_u(agg, &mr::JobStats::shuffle_bytes_inter_rack_wire),
+            total_u(noagg, &mr::JobStats::shuffle_bytes_inter_rack_wire));
+}
+
+TEST(RackTopology, SpeculationChangesOnlySimAndCounters) {
+  Workload wl = make_workload(13);
+  TopoConfig strag{.racks = 2, .straggler = true};
+  TopoConfig spec{.racks = 2, .speculation = true, .straggler = true};
+  FfmrResult off = run_ffmr(wl, strag);
+  FfmrResult on = run_ffmr(wl, spec);
+
+  EXPECT_EQ(on.max_flow, off.max_flow);
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.assignment.pair_flow, off.assignment.pair_flow);
+  expect_rounds_identical(on, off);
+
+  EXPECT_EQ(total(off, &mr::JobStats::speculative_launched), 0);
+  const int64_t launched = total(on, &mr::JobStats::speculative_launched);
+  const int64_t won = total(on, &mr::JobStats::speculative_won);
+  const int64_t wasted = total(on, &mr::JobStats::speculative_wasted);
+  EXPECT_GT(launched, 0);
+  EXPECT_EQ(launched, won + wasted);
+  // Backups can only cut a straggler's cost-model time, never add to it.
+  EXPECT_LE(on.totals.sim_seconds, off.totals.sim_seconds);
+}
+
+// Chaos slice: everything the topology layer adds, at once, under faults.
+// Rack-aware placement + per-rack aggregation + speculation + spilled map
+// outputs, with stragglers and node crashes injected, must still match
+// the fault-free flat baseline bit-for-bit and certify as a max flow.
+TEST(RackTopology, ChaosReplayRackAwareSpeculative) {
+  Workload wl = make_workload(17);
+  FfmrResult base = run_ffmr(wl, {.racks = 1});
+  TopoConfig chaos{.racks = 3,
+                   .aggregation = true,
+                   .speculation = true,
+                   .straggler = true,
+                   .node_crash = true,
+                   .spill = true};
+  FfmrResult r = run_ffmr(wl, chaos);
+
+  EXPECT_EQ(r.max_flow, base.max_flow);
+  EXPECT_EQ(r.rounds, base.rounds);
+  EXPECT_EQ(r.assignment.pair_flow, base.assignment.pair_flow);
+  expect_rack_invariants(r, 3);
+
+  flow::Certificate cert =
+      flow::certify_max_flow(wl.g, wl.s, wl.t, r.assignment);
+  EXPECT_TRUE(cert.valid()) << cert.summary();
+}
+
+// Engine-level byte identity: word count with heavy key duplication across
+// maps. Per-rack aggregation merges each remote rack's runs into one
+// origin-tagged run; the tag tie-break must reproduce the exact per-run
+// arrival order, so the reduce output partitions -- read back raw -- are
+// byte-identical with aggregation on and off.
+TEST(RackTopology, EngineOutputBytesIdenticalUnderAggregation) {
+  auto run = [](bool aggregation) {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 6;
+    config.num_racks = 2;
+    config.dfs_block_size = 1 << 10;  // many blocks => many maps
+    mr::Cluster cluster(config);
+
+    dfs::RecordWriter in(&cluster.fs(), "in");
+    for (int i = 0; i < 400; ++i) {
+      in.write(std::to_string(i), "k" + std::to_string(i % 7));
+    }
+    in.close();
+
+    mr::JobSpec spec;
+    spec.name = "agg-ident";
+    spec.inputs = {"in"};
+    spec.output_prefix = "out";
+    spec.num_reduce_tasks = 4;
+    spec.wire.codec = codec::CodecId::kLz;  // aggregation requires a codec
+    spec.rack_aggregation = aggregation;
+    spec.mapper = mr::lambda_mapper(
+        [](std::string_view, std::string_view value, mr::MapContext& ctx) {
+          ctx.emit(value, "1");
+        });
+    spec.reducer = mr::lambda_reducer([](std::string_view key,
+                                         const mr::Values& values,
+                                         mr::ReduceContext& ctx) {
+      ctx.emit(key, std::to_string(values.size()));
+    });
+    mr::JobStats stats = mr::run_job(cluster, spec);
+
+    std::vector<serde::Bytes> parts;
+    for (int r = 0; r < stats.num_reduce_tasks; ++r) {
+      parts.push_back(cluster.fs().read_all(mr::partition_file("out", r)));
+    }
+    return parts;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace mrflow::ffmr
