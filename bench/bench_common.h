@@ -6,9 +6,9 @@
 //   --nodes=<n>    simulated slave nodes (default 20, like the paper)
 //   --seed=<s>     RNG seed (default 1)
 //   --verbose      INFO logging of every MR round
-//   --trace_out=<f>    write a Chrome-tracing/Perfetto span JSON on exit
-//                      (also enables span recording for the whole run)
-//   --metrics_out=<f>  write cumulative engine metrics JSON on exit
+//   --trace_out / --metrics_out / --metrics_text / --profile_out /
+//   --flight_out   observability exports, shared with maxflow_cli; see
+//                  common/observability.h for the full contract
 //   --codec=<c>        wire format for shuffle/spill/DFS streams:
 //                      none (default), lz, or auto (cost-model decides)
 //   --racks=<r>            two-level topology: r racks (default 1 = flat)
@@ -29,6 +29,7 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/observability.h"
 #include "common/serde.h"
 #include "common/table.h"
 #include "common/trace.h"
@@ -46,8 +47,7 @@ struct BenchEnv {
   bool speculation = false;  // --speculation
   uint64_t seed = 1;
   mr::CostModel cost;
-  std::string trace_out;    // Chrome trace JSON path; empty = tracing off
-  std::string metrics_out;  // engine metrics JSON path; empty = off
+  common::obs::OutputPaths obs;  // --trace_out/--metrics_out/... exports
   ffmr::WireChoice wire = ffmr::WireChoice::kOff;  // --codec=none|lz|auto
 
   // Resolves --codec against this env's cost model into the concrete
@@ -117,10 +117,7 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   if (flags.get_bool("verbose", false)) {
     common::set_log_level(common::LogLevel::kInfo);
   }
-  env.trace_out = flags.get_string("trace_out", "");
-  env.metrics_out = flags.get_string("metrics_out", "");
-  // Spans must start recording before the workload, not at export time.
-  if (!env.trace_out.empty()) common::trace::set_enabled(true);
+  env.obs = common::obs::parse_flags(flags);  // arms tracing/profiling too
   std::string codec = flags.get_string("codec", "none");
   if (codec == "none") {
     env.wire = ffmr::WireChoice::kOff;
@@ -139,40 +136,15 @@ inline BenchEnv parse_env(const common::Flags& flags) {
   return env;
 }
 
-// Writes the observability outputs requested via --trace_out /
-// --metrics_out. Benches call this once, after the workload; a no-op when
-// neither flag was given.
+// Writes the observability outputs requested via the shared flags.
+// Benches call this once, after the workload; a no-op when none was given.
 inline void write_observability(const BenchEnv& env) {
-  if (!env.trace_out.empty()) {
-    if (common::trace::write_chrome_trace(env.trace_out)) {
-      std::printf("wrote %s (%zu spans, %zu dropped)\n", env.trace_out.c_str(),
-                  common::trace::event_count(),
-                  common::trace::dropped_count());
-    } else {
-      std::fprintf(stderr, "cannot write trace to %s\n",
-                   env.trace_out.c_str());
-    }
-  }
-  if (!env.metrics_out.empty()) {
-    auto& registry = common::MetricsRegistry::global();
-    registry.harvest();  // fold any shard contents no job end collected
-    std::string doc = registry.cumulative().to_json();
-    doc += '\n';
-    std::FILE* f = std::fopen(env.metrics_out.c_str(), "w");
-    if (f != nullptr) {
-      std::fwrite(doc.data(), 1, doc.size(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", env.metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   env.metrics_out.c_str());
-    }
-  }
+  common::obs::write_outputs(env.obs);
 }
 
 // One-stop bench runtime: parses the shared flags (construction) and
-// writes the --trace_out/--metrics_out exports when it leaves scope, so a
-// bench cannot return without flushing its observability outputs.
+// writes the observability exports when it leaves scope, so a bench
+// cannot return without flushing them.
 //
 //   int main(int argc, char** argv) {
 //     bench::BenchRuntime rt(argc, argv);   // rt.flags, rt.env

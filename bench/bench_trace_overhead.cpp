@@ -1,6 +1,6 @@
 // Enforces the tracing cost contract (common/trace.h) on a real workload.
 //
-// Two checks:
+// Three checks:
 //   1. A disabled TraceSpan is a relaxed atomic load and a branch -- a
 //      tight construct/destruct loop must stay under a few ns per span.
 //   2. Running the Fig. 7 workload (FF5 on a ladder graph) with tracing
@@ -8,6 +8,9 @@
 //      off (best of --reps interleaved runs each; min is the noise-robust
 //      estimator for paired wall comparisons -- scheduling hiccups only
 //      ever add time).
+//   3. The same budget with the critical-path profiler collecting on top
+//      of tracing ("profiled" mode): blame attribution and the task DAG
+//      must also fit inside the < 5% envelope.
 //
 // The strict 5% assertion is skipped under --smoke (CI containers share
 // cores; wall-clock medians there are noise) but both numbers are always
@@ -95,10 +98,14 @@ int main(int argc, char** argv) {
               entry.name.c_str(), w, env.scale, reps, reps == 1 ? "" : "s");
   run_once(&flow_off);  // warm-up, untimed
 
-  std::vector<double> wall_off, wall_on;
+  auto& collector = common::ProfileCollector::global();
+  const bool collector_was_enabled = collector.enabled();
+  graph::Capacity flow_profiled = -1;
+  std::vector<double> wall_off, wall_on, wall_profiled;
   size_t spans_recorded = 0;
   for (int r = 0; r < reps; ++r) {
     common::trace::set_enabled(false);
+    collector.set_enabled(false);
     wall_off.push_back(wall_seconds([&] { run_once(&flow_off); }));
 
     common::trace::set_enabled(true);
@@ -107,24 +114,42 @@ int main(int argc, char** argv) {
     common::trace::clear();
     wall_on.push_back(wall_seconds([&] { run_once(&flow_on); }));
     spans_recorded = common::trace::event_count();
+
+    // Profiled mode: tracing *and* the per-job profile collector, the
+    // full observability surface a --profile_out run pays for.
+    common::trace::clear();
+    collector.set_enabled(true);
+    collector.clear();
+    wall_profiled.push_back(wall_seconds([&] { run_once(&flow_profiled); }));
   }
-  common::trace::set_enabled(!env.trace_out.empty());
+  common::trace::set_enabled(!env.obs.trace_out.empty());
+  collector.clear();
+  collector.set_enabled(collector_was_enabled);
 
   double off_s = best(wall_off);
   double on_s = best(wall_on);
+  double profiled_s = best(wall_profiled);
   double overhead_pct = (on_s / off_s - 1.0) * 100.0;
-  bool flows_match = flow_on == flow_off;
+  double profiled_overhead_pct = (profiled_s / off_s - 1.0) * 100.0;
+  bool flows_match = flow_on == flow_off && flow_profiled == flow_off;
   bool wall_ok = overhead_pct < 5.0;
-  std::printf("tracing off: %s   tracing on: %s (%zu spans)\n",
+  bool profiled_ok = profiled_overhead_pct < 5.0;
+  std::printf("tracing off: %s   tracing on: %s (%zu spans)   profiled: %s\n",
               bench::fmt_time(off_s).c_str(), bench::fmt_time(on_s).c_str(),
-              spans_recorded);
+              spans_recorded, bench::fmt_time(profiled_s).c_str());
   std::printf("overhead: %+.2f%% (%s)\n", overhead_pct,
               smoke          ? "not enforced under --smoke"
               : wall_ok      ? "ok"
                              : "FAIL: expected < 5%");
+  std::printf("profiled overhead: %+.2f%% (%s)\n", profiled_overhead_pct,
+              smoke          ? "not enforced under --smoke"
+              : profiled_ok  ? "ok"
+                             : "FAIL: expected < 5%");
   if (!flows_match) {
-    std::printf("FAIL: max-flow differs with tracing on (%lld vs %lld)\n",
+    std::printf("FAIL: max-flow differs across tracing modes "
+                "(on=%lld profiled=%lld vs off=%lld)\n",
                 static_cast<long long>(flow_on),
+                static_cast<long long>(flow_profiled),
                 static_cast<long long>(flow_off));
   }
 
@@ -137,11 +162,13 @@ int main(int argc, char** argv) {
       .field("disabled_span_ns", off_ns)
       .field("wall_off_s", off_s)
       .field("wall_on_s", on_s)
+      .field("wall_profiled_s", profiled_s)
       .field("overhead_pct", overhead_pct)
+      .field("profiled_overhead_pct", profiled_overhead_pct)
       .field("spans_recorded", static_cast<uint64_t>(spans_recorded))
       .field("max_flow", static_cast<int64_t>(flow_off));
   json.write_file("BENCH_trace_overhead.json");
 
-  bool ok = off_ok && flows_match && (smoke || wall_ok);
+  bool ok = off_ok && flows_match && (smoke || (wall_ok && profiled_ok));
   return ok ? 0 : 1;
 }

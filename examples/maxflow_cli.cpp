@@ -10,9 +10,13 @@
 // Prints the max-flow value, the min cut (source-side size and the cut
 // edges), and engine statistics for the distributed algorithms.
 //
-// Observability (distributed algorithms):
+// Observability (distributed algorithms; see common/observability.h):
 //   --trace_out=<f>      Chrome-tracing/Perfetto span JSON of the whole run
 //   --metrics_out=<f>    engine histogram/gauge metrics JSON
+//   --metrics_text=<f>   the same metrics as Prometheus text exposition
+//   --profile_out=<f>    per-job ProfileReport JSON (critical path + blame)
+//   --flight_out=<f>     flight-recorder dump: auto-written on failure,
+//                        always written at exit
 //   --round_report=<f>   per-round JSONL report (ffmr only; tail-able)
 //
 // Verification and chaos (see DESIGN.md, "Testing & verification"):
@@ -33,8 +37,7 @@
 #include <stdexcept>
 
 #include "common/flags.h"
-#include "common/metrics.h"
-#include "common/trace.h"
+#include "common/observability.h"
 #include "ffmr/solver.h"
 #include "flow/certify.h"
 #include "flow/max_flow.h"
@@ -62,8 +65,9 @@ int main(int argc, char** argv) {
   std::string algo = flags.get_string("algo", "ff5");
   int nodes = static_cast<int>(flags.get_int("nodes", 4));
   bool show_cut = flags.get_bool("cut", false);
-  std::string trace_out = flags.get_string("trace_out", "");
-  std::string metrics_out = flags.get_string("metrics_out", "");
+  // Consumes the five observability flags and arms span recording, the
+  // profile collector, and the flight recorder's auto-dump path.
+  common::obs::OutputPaths obs = common::obs::parse_flags(flags);
   std::string round_report = flags.get_string("round_report", "");
   bool certify = flags.get_bool("certify", false);
   std::string fault_shape = flags.get_string("fault_shape", "");
@@ -73,8 +77,6 @@ int main(int argc, char** argv) {
   double inter_rack_mbps = flags.get_double("inter_rack_mbps", 0.0);
   bool speculation = flags.get_bool("speculation", false);
   flags.check_unused();
-  // Recording must be on before the solver runs, not at export time.
-  if (!trace_out.empty()) common::trace::set_enabled(true);
 
   std::printf("%llu vertices, %zu edge pairs; %s: %llu -> %llu\n",
               static_cast<unsigned long long>(g.num_vertices()),
@@ -145,30 +147,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!trace_out.empty()) {
-    if (common::trace::write_chrome_trace(trace_out)) {
-      std::printf("wrote %s (%zu spans, %zu dropped)\n", trace_out.c_str(),
-                  common::trace::event_count(), common::trace::dropped_count());
-    } else {
-      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
-    }
-  }
-  if (!metrics_out.empty()) {
-    auto& registry = common::MetricsRegistry::global();
-    registry.harvest();
-    std::string doc = registry.cumulative().to_json();
-    doc += '\n';
-    if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
-      std::fwrite(doc.data(), 1, doc.size(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
-    }
-  }
-
   std::printf("max-flow = %lld\n", static_cast<long long>(assignment.value));
   flow::Certificate cert = flow::certify_max_flow(g, source, sink, assignment);
+  // After certification so an invalid certificate's trigger() is already
+  // in the note ring when the exit dump is (re)written.
+  common::obs::write_outputs(obs);
   if (certify) {
     // The full evidence: every check's verdict, the witness cut, and any
     // violation diagnostics.

@@ -1,0 +1,211 @@
+#include "common/flight_recorder.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace mrflow::common::flight_recorder {
+
+namespace {
+
+constexpr size_t kCapacity = 4096;    // notes kept
+constexpr size_t kRecentSpans = 512;  // trace spans included in a dump
+
+struct Note {
+  uint64_t ns = 0;
+  uint32_t thread = 0;
+  const char* category = "";
+  std::string message;
+};
+
+struct RecorderState {
+  std::mutex mu;
+  std::vector<Note> ring;
+  size_t next = 0;
+  size_t overwritten = 0;
+  bool wrapped = false;
+  std::string auto_dump;
+  bool dumping = false;  // re-entrancy guard (dump I/O can log)
+};
+
+RecorderState& state() {
+  static RecorderState* s = new RecorderState();  // leaked: usable at exit
+  return *s;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_note_json(std::string& out, const Note& n) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "{\"ms\":%.3f,\"thread\":%u,",
+                static_cast<double>(n.ns) / 1e6, n.thread);
+  out += buf;
+  out += "\"category\":";
+  append_escaped(out, n.category);
+  out += ",\"message\":";
+  append_escaped(out, n.message);
+  out += '}';
+}
+
+}  // namespace
+
+void note(const char* category, std::string message) {
+  Note n;
+  n.ns = trace::now_ns();
+  n.thread = thread_index();
+  n.category = category;
+  n.message = std::move(message);
+
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.ring.size() < kCapacity) {
+    s.ring.push_back(std::move(n));
+    s.next = s.ring.size() % kCapacity;
+    return;
+  }
+  s.ring[s.next] = std::move(n);
+  s.next = (s.next + 1) % kCapacity;
+  s.wrapped = true;
+  ++s.overwritten;
+}
+
+size_t note_count() {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.ring.size();
+}
+
+size_t overwritten_count() {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.overwritten;
+}
+
+void clear() {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.ring.clear();
+  s.next = 0;
+  s.overwritten = 0;
+  s.wrapped = false;
+}
+
+void set_auto_dump_path(std::string path) {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.auto_dump = std::move(path);
+}
+
+std::string auto_dump_path() {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.auto_dump;
+}
+
+std::string dump_json(const std::string& reason) {
+  // Fold unharvested metric shards in first: a failing job never reaches
+  // its end-of-job harvest, and its numbers are exactly what a post-mortem
+  // needs. (This moves the delta into the cumulative total -- acceptable,
+  // the process is usually about to die.)
+  MetricsRegistry::global().harvest();
+
+  std::string out = "{\"flight_recorder_version\":1,\"reason\":";
+  append_escaped(out, reason);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"process_ms\":%.3f",
+                static_cast<double>(trace::now_ns()) / 1e6);
+  out += buf;
+
+  {
+    RecorderState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    out += ",\"notes_overwritten\":" + std::to_string(s.overwritten);
+    out += ",\"notes\":[";
+    size_t n = s.ring.size();
+    size_t begin = s.wrapped ? s.next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) out += ',';
+      append_note_json(out, s.ring[(begin + i) % n]);
+    }
+    out += ']';
+  }
+
+  out += ",\"trace\":{\"recorded\":" + std::to_string(trace::event_count());
+  out += ",\"dropped\":" + std::to_string(trace::dropped_count());
+  out += ",\"recent_spans\":[";
+  auto spans = trace::recent_spans(kRecentSpans);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    const auto& sp = spans[i];
+    out += "{\"name\":";
+    append_escaped(out, sp.name);
+    out += ",\"cat\":";
+    append_escaped(out, sp.cat);
+    std::snprintf(buf, sizeof(buf), ",\"ts_ms\":%.3f,\"dur_ms\":%.3f",
+                  static_cast<double>(sp.start_ns) / 1e6,
+                  static_cast<double>(sp.dur_ns) / 1e6);
+    out += buf;
+    out += ",\"thread\":" + std::to_string(sp.tid);
+    if (sp.arg >= 0) out += ",\"task\":" + std::to_string(sp.arg);
+    out += '}';
+  }
+  out += "]}";
+
+  out += ",\"metrics\":" + MetricsRegistry::global().cumulative().to_json();
+  out += '}';
+  return out;
+}
+
+bool dump(const std::string& path, const std::string& reason) {
+  std::string doc = dump_json(reason);
+  doc += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool trigger(const char* kind, const std::string& detail) {
+  note(kind, detail);
+  std::string path;
+  {
+    RecorderState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.auto_dump.empty() || s.dumping) return false;
+    s.dumping = true;
+    path = s.auto_dump;
+  }
+  bool ok = dump(path, std::string(kind) + ": " + detail);
+  if (ok) {
+    std::fprintf(stderr, "flight recorder: wrote %s (%s)\n", path.c_str(),
+                 kind);
+  } else {
+    std::fprintf(stderr, "flight recorder: cannot write %s\n", path.c_str());
+  }
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.dumping = false;
+  return ok;
+}
+
+}  // namespace mrflow::common::flight_recorder

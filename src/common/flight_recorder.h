@@ -1,0 +1,53 @@
+// Always-on flight recorder: a bounded ring of recent engine events plus
+// the means to dump them, the recent trace spans and the cumulative
+// metrics into one self-describing post-mortem file.
+//
+// Rationale: the chaos sweep (PR 5) proves faults never change answers,
+// but when a cell *does* go red -- a fatal log line, an invalid
+// certificate, a task that exhausted its retries -- the failing process is
+// usually gone before anyone attaches a tracer. The recorder keeps the
+// last few thousand notes (job starts/ends, rounds, retries, every
+// WARN/ERROR log line) in memory at all times; note() is a mutex push of
+// an already-formatted string, cheap enough to leave on everywhere (the
+// bench_trace_overhead budget covers it).
+//
+// Dumping is explicit or event-driven: trigger() records the event and,
+// when an auto-dump path is armed (set_auto_dump_path / --flight_out),
+// writes the post-mortem. Auto-dump is off by default so negative tests
+// that *expect* failures don't spray files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mrflow::common::flight_recorder {
+
+// Appends one note to the ring. `category` must be a string literal (or
+// otherwise outlive the process); the message is copied. Oldest notes are
+// overwritten once the ring is full (capacity 4096).
+void note(const char* category, std::string message);
+
+// Notes currently held / overwritten since the last clear().
+size_t note_count();
+size_t overwritten_count();
+
+// Drops all notes and disarms nothing (the auto-dump path is unchanged).
+void clear();
+
+// Arms (non-empty) or disarms (empty) automatic dumping on trigger().
+void set_auto_dump_path(std::string path);
+std::string auto_dump_path();
+
+// Records a failure event. Always noted; when an auto-dump path is armed
+// the full dump is (re)written there, so the file always holds the state
+// as of the *latest* failure. Returns true if a dump was written.
+bool trigger(const char* kind, const std::string& detail);
+
+// The post-mortem document: reason, notes (oldest first), recent trace
+// spans, and the cumulative metrics snapshot.
+std::string dump_json(const std::string& reason);
+
+// Writes dump_json(reason) to `path`; returns false on I/O failure.
+bool dump(const std::string& path, const std::string& reason);
+
+}  // namespace mrflow::common::flight_recorder

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/flight_recorder.h"
 #include "common/trace.h"
 
 namespace mrflow::common {
@@ -36,6 +37,13 @@ void set_log_sink(LogSink sink) {
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
+  // Feed the flight recorder before formatting: warnings are context for a
+  // later post-mortem; a fatal line *is* the post-mortem trigger.
+  if (level == LogLevel::kWarn) {
+    flight_recorder::note("log.warn", msg);
+  } else if (level == LogLevel::kError) {
+    flight_recorder::trigger("log.error", msg);
+  }
   using namespace std::chrono;
   auto now = duration_cast<milliseconds>(
                  steady_clock::now().time_since_epoch())

@@ -141,6 +141,56 @@ std::string MetricsSnapshot::to_json() const {
   return out;
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the engine's dotted names
+// ("map.task_us") become underscored ("mrflow_map_task_us").
+std::string prom_name(std::string_view name) {
+  std::string out = "mrflow_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus_text() const {
+  std::string out;
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets()[i] == 0) continue;
+      cum += h.buckets()[i];
+      // The bucket's exclusive upper bound 2^i is `le` minus one (buckets
+      // hold integers), rendered exactly.
+      uint64_t le = i == 0 ? 0 : (Histogram::bucket_lower_bound(i) << 1) - 1;
+      out += p + "_bucket{le=\"" + std::to_string(le) +
+             "\"} " + std::to_string(cum) + '\n';
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + '\n';
+    out += p + "_sum " + std::to_string(h.sum()) + '\n';
+    out += p + "_count " + std::to_string(h.count()) + '\n';
+    for (auto [q, tag] : {std::pair{0.50, "_p50"}, {0.95, "_p95"},
+                          {0.99, "_p99"}}) {
+      out += "# TYPE " + p + tag + " gauge\n";
+      out += p + tag + ' ';
+      append_double(out, h.quantile(q));
+      out += '\n';
+    }
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + ' ' + std::to_string(value) + '\n';
+  }
+  return out;
+}
+
 // ---------------------------------------------------------- MetricsRegistry
 
 namespace {
@@ -206,6 +256,11 @@ MetricsSnapshot MetricsRegistry::harvest() {
 MetricsSnapshot MetricsRegistry::cumulative() const {
   std::lock_guard<std::mutex> lk(mu_);
   return cumulative_;
+}
+
+std::string MetricsRegistry::export_text() {
+  harvest();
+  return cumulative().to_prometheus_text();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

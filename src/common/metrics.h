@@ -74,6 +74,14 @@ struct MetricsSnapshot {
   // JSON object: {"histograms":{name:{count,sum,min,max,mean,p50,p95,p99,
   // buckets:[[lower_bound,count],...nonzero only]}},"gauges":{name:value}}.
   std::string to_json() const;
+
+  // Prometheus-style text exposition: each histogram renders cumulative
+  // `_bucket{le="..."}` lines over the nonzero power-of-two buckets plus
+  // `_sum`/`_count`, and explicit `_p50`/`_p95`/`_p99` gauges from
+  // Histogram::quantile(); max-gauges render as plain gauges. Names are
+  // sanitized for the format (dots become underscores) and prefixed
+  // `mrflow_`.
+  std::string to_prometheus_text() const;
 };
 
 // Named histograms/gauges with per-thread shards. record()/gauge_max() go
@@ -101,6 +109,10 @@ class MetricsRegistry {
 
   // Everything ever harvested (not including unharvested shard contents).
   MetricsSnapshot cumulative() const;
+
+  // Harvests any outstanding shard contents, then renders the cumulative
+  // snapshot as Prometheus text (the --metrics_text exposition).
+  std::string export_text();
 
   // The process-wide registry the MapReduce engine records into. Jobs run
   // sequentially per process in this codebase, so harvesting at job end

@@ -1,0 +1,89 @@
+#include "common/observability.h"
+
+#include <cstdio>
+
+#include "common/flight_recorder.h"
+#include "common/metrics.h"
+#include "common/profile.h"
+#include "common/trace.h"
+
+namespace mrflow::common::obs {
+
+namespace {
+
+bool write_text_file(const std::string& path, std::string doc) {
+  if (doc.empty() || doc.back() != '\n') doc += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void report(bool ok, const std::string& path, const char* what) {
+  if (ok) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+  }
+}
+
+}  // namespace
+
+OutputPaths parse_flags(const Flags& flags) {
+  OutputPaths p;
+  p.trace_out = flags.get_string("trace_out", "");
+  p.metrics_out = flags.get_string("metrics_out", "");
+  p.metrics_text = flags.get_string("metrics_text", "");
+  p.profile_out = flags.get_string("profile_out", "");
+  p.flight_out = flags.get_string("flight_out", "");
+
+  // Arm before the workload: spans recorded while disabled are lost, the
+  // profile collector only retains jobs while enabled, and a post-mortem
+  // can only fire if the auto-dump path is set when the failure happens.
+  if (!p.trace_out.empty()) trace::set_enabled(true);
+  if (!p.profile_out.empty()) ProfileCollector::global().set_enabled(true);
+  if (!p.flight_out.empty()) {
+    flight_recorder::set_auto_dump_path(p.flight_out);
+  }
+  return p;
+}
+
+void write_outputs(const OutputPaths& paths) {
+  if (!paths.trace_out.empty()) {
+    if (trace::write_chrome_trace(paths.trace_out)) {
+      std::printf("wrote %s (%zu spans, %zu dropped)\n",
+                  paths.trace_out.c_str(), trace::event_count(),
+                  trace::dropped_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   paths.trace_out.c_str());
+    }
+  }
+  if (!paths.metrics_out.empty()) {
+    auto& registry = MetricsRegistry::global();
+    registry.harvest();  // fold any shard contents no job end collected
+    report(write_text_file(paths.metrics_out, registry.cumulative().to_json()),
+           paths.metrics_out, "metrics");
+  }
+  if (!paths.metrics_text.empty()) {
+    report(write_text_file(paths.metrics_text,
+                           MetricsRegistry::global().export_text()),
+           paths.metrics_text, "metrics text");
+  }
+  if (!paths.profile_out.empty()) {
+    auto& collector = ProfileCollector::global();
+    report(collector.write_report(paths.profile_out), paths.profile_out,
+           "profile report");
+    collector.log_top_table();
+  }
+  if (!paths.flight_out.empty()) {
+    // Unconditional exit dump: a green run leaves its artifact too. A
+    // failure earlier already wrote the file via trigger(); this rewrite
+    // only extends the note ring it captured.
+    report(flight_recorder::dump(paths.flight_out, "exit"), paths.flight_out,
+           "flight recorder dump");
+  }
+}
+
+}  // namespace mrflow::common::obs

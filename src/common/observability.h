@@ -1,0 +1,51 @@
+// One-stop wiring for the observability output flags shared by every
+// bench binary and maxflow_cli:
+//
+//   --trace_out=<f>     Chrome trace-event JSON of the whole run
+//   --metrics_out=<f>   cumulative engine metrics JSON
+//   --metrics_text=<f>  the same metrics as Prometheus text exposition
+//   --profile_out=<f>   per-job ProfileReport JSON (critical path + blame)
+//   --flight_out=<f>    flight-recorder post-mortem: armed as the
+//                       auto-dump path for failures, and written
+//                       unconditionally at exit so the artifact exists
+//                       even for green runs
+//
+// parse_flags() consumes the flags and *arms* the subsystems (span
+// recording, profile collection, auto-dump) -- this must happen before the
+// workload, not at export time. write_outputs() renders everything that
+// was requested; binaries call it exactly once on the way out
+// (BenchRuntime's destructor, maxflow_cli's epilogue), which is the
+// single-definition point the per-binary copies used to drift from.
+#pragma once
+
+#include <string>
+
+#include "common/flags.h"
+
+namespace mrflow::common::obs {
+
+struct OutputPaths {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string metrics_text;
+  std::string profile_out;
+  std::string flight_out;
+
+  bool any() const {
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !metrics_text.empty() || !profile_out.empty() ||
+           !flight_out.empty();
+  }
+};
+
+// Reads the five flags and enables the backing subsystems for every
+// non-empty path. Safe to call once per process (benches parse flags once).
+OutputPaths parse_flags(const Flags& flags);
+
+// Writes each configured output; prints one "wrote <path>" line per file
+// (errors go to stderr, but never abort -- observability must not fail the
+// run it observed). Also logs the profiler's top-k table when profiling
+// was armed.
+void write_outputs(const OutputPaths& paths);
+
+}  // namespace mrflow::common::obs

@@ -1,0 +1,355 @@
+#include "common/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace mrflow::common {
+
+namespace {
+
+constexpr const char* kCategoryNames[] = {
+    "scheduler_idle",   "map_compute",    "shuffle_intra_wire",
+    "shuffle_inter_wire", "codec",        "merge",
+    "reduce_compute",   "augmenter_rpc",  "straggler_wait",
+};
+static_assert(std::size(kCategoryNames) == BlameBreakdown::kCategories);
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ BlameBreakdown
+
+double BlameBreakdown::sum() const {
+  double total = 0;
+  for (double s : seconds) total += s;
+  return total;
+}
+
+void BlameBreakdown::add(const BlameBreakdown& other) {
+  for (size_t i = 0; i < kCategories; ++i) seconds[i] += other.seconds[i];
+}
+
+BlameCategory BlameBreakdown::top() const {
+  size_t best = 0;
+  for (size_t i = 1; i < kCategories; ++i) {
+    if (seconds[i] > seconds[best]) best = i;
+  }
+  return static_cast<BlameCategory>(best);
+}
+
+const char* BlameBreakdown::name(BlameCategory c) {
+  return kCategoryNames[static_cast<size_t>(c)];
+}
+
+std::string BlameBreakdown::to_json(bool zeroed) const {
+  std::string out = "{";
+  for (size_t i = 0; i < kCategories; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += kCategoryNames[i];
+    out += "_s\":";
+    append_double(out, zeroed ? 0.0 : seconds[i]);
+  }
+  out += '}';
+  return out;
+}
+
+// ------------------------------------------------------------------- TaskDag
+
+std::string TaskDag::Node::label() const {
+  if (index < 0) return kind;
+  return std::string(kind) + "#" + std::to_string(index);
+}
+
+TaskDag::NodeId TaskDag::add_node(const char* kind, int64_t index,
+                                  uint64_t start_ns, uint64_t end_ns) {
+  Node n;
+  n.kind = kind;
+  n.index = index;
+  n.start_ns = start_ns;
+  n.end_ns = end_ns >= start_ns ? end_ns : start_ns;
+  nodes_.push_back(n);
+  preds_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void TaskDag::add_edge(NodeId from, NodeId to) {
+  // The engine adds nodes in scheduling order, so every dependency edge
+  // points from a lower id to a higher one; the passes below rely on it.
+  if (from >= to || to >= nodes_.size()) return;
+  preds_[to].push_back(from);
+  ++edge_count_;
+}
+
+TaskDag::CriticalPath TaskDag::critical_path() const {
+  CriticalPath cp;
+  const size_t n = nodes_.size();
+  cp.slack_ns.assign(n, 0);
+  if (n == 0) return cp;
+
+  uint64_t min_start = ~uint64_t{0}, max_end = 0;
+  for (const Node& node : nodes_) {
+    min_start = std::min(min_start, node.start_ns);
+    max_end = std::max(max_end, node.end_ns);
+  }
+  cp.span_ns = max_end >= min_start ? max_end - min_start : 0;
+
+  // Forward pass: heaviest chain ending at each node (ids are topological).
+  std::vector<uint64_t> forward(n, 0);
+  std::vector<NodeId> best_pred(n, n);  // n = "is a chain head"
+  for (NodeId i = 0; i < n; ++i) {
+    uint64_t through = 0;
+    for (NodeId p : preds_[i]) {
+      if (forward[p] > through) {
+        through = forward[p];
+        best_pred[i] = p;
+      }
+    }
+    forward[i] = through + nodes_[i].dur_ns();
+  }
+  NodeId tail = 0;
+  for (NodeId i = 1; i < n; ++i) {
+    if (forward[i] > forward[tail]) tail = i;
+  }
+  cp.total_ns = forward[tail];
+  for (NodeId at = tail; at != n; at = best_pred[at]) cp.path.push_back(at);
+  std::reverse(cp.path.begin(), cp.path.end());
+
+  // Backward pass: heaviest chain starting at each node, via successors.
+  std::vector<uint64_t> backward(n, 0);
+  for (size_t idx = n; idx-- > 0;) {
+    backward[idx] += nodes_[idx].dur_ns();
+    for (NodeId p : preds_[idx]) {
+      backward[p] = std::max(backward[p], backward[idx]);
+    }
+  }
+  const uint64_t near_zero = cp.total_ns / 1000;  // 0.1% of the path
+  for (NodeId i = 0; i < n; ++i) {
+    uint64_t through = forward[i] + backward[i] - nodes_[i].dur_ns();
+    cp.slack_ns[i] = cp.total_ns >= through ? cp.total_ns - through : 0;
+    if (cp.slack_ns[i] <= near_zero) ++cp.zero_slack_nodes;
+  }
+  return cp;
+}
+
+// ---------------------------------------------------------- ProfileCollector
+
+namespace {
+struct CollectorState {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;
+  std::vector<JobProfile> jobs;
+};
+
+CollectorState& collector_state() {
+  static CollectorState* s = new CollectorState();  // leaked: usable at exit
+  return *s;
+}
+
+void append_job_json(std::string& out, const JobProfile& p,
+                     bool include_timing) {
+  auto t = [include_timing](double v) { return include_timing ? v : 0.0; };
+  out += "{\"job\":";
+  append_escaped(out, p.job_name);
+  out += ",\"maps\":" + std::to_string(p.maps);
+  out += ",\"reduces\":" + std::to_string(p.reduces);
+  out += ",\"dag_nodes\":" + std::to_string(p.dag_nodes);
+  out += ",\"shuffle_bytes\":" + std::to_string(p.shuffle_bytes);
+  out += ",\"shuffle_bytes_wire\":" + std::to_string(p.shuffle_bytes_wire);
+  out += ",\"dropped_spans\":" + std::to_string(p.dropped_spans);
+  out += ",\"sim_s\":";
+  append_double(out, t(p.sim_seconds));
+  out += ",\"wall_s\":";
+  append_double(out, t(p.wall_seconds));
+  out += ",\"blame\":" + p.blame.to_json(!include_timing);
+  out += ",\"blame_sum_s\":";
+  append_double(out, t(p.blame.sum()));
+  out += ",\"top_blame\":";
+  append_escaped(out, include_timing ? p.blame.top_name() : "");
+  out += ",\"critical_path_ms\":";
+  append_double(out, t(p.critical_path_ms));
+  out += ",\"dag_span_ms\":";
+  append_double(out, t(p.dag_span_ms));
+  out += ",\"critical_path_frac\":";
+  append_double(out, t(p.dag_span_ms > 0
+                           ? p.critical_path_ms / p.dag_span_ms
+                           : 0.0));
+  out += ",\"zero_slack_tasks\":" +
+         std::to_string(include_timing ? p.zero_slack_tasks : 0);
+  out += ",\"critical_tasks\":[";
+  if (include_timing) {
+    for (size_t i = 0; i < p.critical_tasks.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"task\":";
+      append_escaped(out, p.critical_tasks[i].label);
+      out += ",\"ms\":";
+      append_double(out, p.critical_tasks[i].ms);
+      out += '}';
+    }
+  }
+  out += "]}";
+}
+}  // namespace
+
+ProfileCollector& ProfileCollector::global() {
+  static ProfileCollector* g = new ProfileCollector();
+  return *g;
+}
+
+void ProfileCollector::set_enabled(bool on) {
+  collector_state().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool ProfileCollector::enabled() const {
+  return collector_state().enabled.load(std::memory_order_relaxed);
+}
+
+void ProfileCollector::add(JobProfile profile) {
+  CollectorState& s = collector_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.jobs.push_back(std::move(profile));
+}
+
+void ProfileCollector::clear() {
+  CollectorState& s = collector_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.jobs.clear();
+}
+
+size_t ProfileCollector::size() const {
+  CollectorState& s = collector_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.jobs.size();
+}
+
+std::string ProfileCollector::report_json(bool include_timing) const {
+  CollectorState& s = collector_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+
+  JobProfile totals;
+  double cp_ms = 0;
+  for (const JobProfile& p : s.jobs) {
+    totals.sim_seconds += p.sim_seconds;
+    totals.wall_seconds += p.wall_seconds;
+    totals.shuffle_bytes += p.shuffle_bytes;
+    totals.shuffle_bytes_wire += p.shuffle_bytes_wire;
+    totals.dropped_spans = std::max(totals.dropped_spans, p.dropped_spans);
+    totals.blame.add(p.blame);
+    cp_ms += p.critical_path_ms;
+  }
+
+  auto t = [include_timing](double v) { return include_timing ? v : 0.0; };
+  std::string out = "{\"profile_version\":1,\"jobs\":[";
+  for (size_t i = 0; i < s.jobs.size(); ++i) {
+    if (i > 0) out += ',';
+    append_job_json(out, s.jobs[i], include_timing);
+  }
+  out += "],\"totals\":{\"jobs\":" + std::to_string(s.jobs.size());
+  out += ",\"sim_s\":";
+  append_double(out, t(totals.sim_seconds));
+  out += ",\"wall_s\":";
+  append_double(out, t(totals.wall_seconds));
+  out += ",\"critical_path_ms\":";
+  append_double(out, t(cp_ms));
+  out += ",\"shuffle_bytes\":" + std::to_string(totals.shuffle_bytes);
+  out += ",\"shuffle_bytes_wire\":" +
+         std::to_string(totals.shuffle_bytes_wire);
+  out += ",\"blame\":" + totals.blame.to_json(!include_timing);
+  out += ",\"blame_sum_s\":";
+  append_double(out, t(totals.blame.sum()));
+  out += ",\"top_blame\":";
+  append_escaped(out,
+                 include_timing && !s.jobs.empty() ? totals.blame.top_name()
+                                                   : "");
+  out += "}}";
+  return out;
+}
+
+bool ProfileCollector::write_report(const std::string& path,
+                                    bool include_timing) const {
+  std::string doc = report_json(include_timing);
+  doc += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void ProfileCollector::log_top_table(size_t k) const {
+  CollectorState& s = collector_state();
+  std::vector<JobProfile> jobs;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    jobs = s.jobs;
+  }
+  if (jobs.empty()) return;
+
+  BlameBreakdown total;
+  double sim = 0;
+  for (const JobProfile& p : jobs) {
+    total.add(p.blame);
+    sim += p.sim_seconds;
+  }
+  const double denom = std::max(total.sum(), 1e-12);
+  std::string line = "profile: " + std::to_string(jobs.size()) +
+                     " jobs, blamed " + std::to_string(denom) + "s of " +
+                     std::to_string(sim) + "s sim; ";
+  // Categories, heaviest first.
+  std::vector<size_t> order(BlameBreakdown::kCategories);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return total.seconds[a] > total.seconds[b];
+  });
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (total.seconds[order[i]] <= 0) break;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%s %.1f%%", i > 0 ? " | " : "",
+                  kCategoryNames[order[i]],
+                  100.0 * total.seconds[order[i]] / denom);
+    line += buf;
+  }
+  LOG_INFO << line;
+
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobProfile& a, const JobProfile& b) {
+              return a.sim_seconds > b.sim_seconds;
+            });
+  for (size_t i = 0; i < std::min(k, jobs.size()); ++i) {
+    const JobProfile& p = jobs[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "profile: #%zu %s sim=%.3fs wall=%.3fs cp=%.2fms top=%s",
+                  i + 1, p.job_name.c_str(), p.sim_seconds, p.wall_seconds,
+                  p.critical_path_ms, p.blame.top_name());
+    LOG_INFO << buf;
+  }
+}
+
+}  // namespace mrflow::common

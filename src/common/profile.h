@@ -1,0 +1,183 @@
+// Critical-path profiler and per-round blame attribution.
+//
+// PR 3's spans and metrics tell you *what happened*; this layer answers
+// *why the round took that long*. Two complementary views:
+//
+//  - BlameBreakdown: the round's simulated makespan split into named,
+//    mutually exclusive categories (map compute, intra/inter-rack shuffle
+//    wire, codec, merge, reduce compute, augmenter RPC, straggler wait,
+//    scheduler idle). run_job() derives it from the cost model by stacked
+//    makespans -- each category is the *delta* the corresponding cost term
+//    adds to the phase's LPT makespan -- so the categories telescope and
+//    sum to JobStats::sim_seconds exactly (ProfileTest pins the invariant
+//    to < 1%; the construction makes it ~1e-12).
+//  - TaskDag: the wall-clock task graph (map -> fetch -> barrier ->
+//    reduce, with the scheduler's real dependency edges), from which the
+//    critical path -- the heaviest chain of task durations no amount of
+//    extra parallelism removes -- and per-task slack are computed.
+//
+// ProfileCollector gathers one JobProfile per job when enabled (off by
+// default; --profile_out arms it) and renders the per-job ProfileReport
+// JSON plus a human-readable top-k table on the log sink. The blame side
+// is a function of deterministic byte counters and measured CPU; the
+// structural part of the report (jobs, tasks, byte counts, category names)
+// is byte-stable across deterministic replays and report_json(false)
+// masks every time-derived value so differential tests can assert that.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrflow::common {
+
+// Mutually exclusive destinations for a round's simulated time.
+enum class BlameCategory : size_t {
+  kSchedulerIdle = 0,   // per-task/job overheads; time no cost term explains
+  kMapCompute,          // map disk I/O + measured map CPU
+  kShuffleIntraWire,    // exposed shuffle wire time inside source racks
+  kShuffleInterWire,    // exposed shuffle wire time crossing the core switch
+  kCodec,               // compress/decompress CPU (map, reduce, aggregation)
+  kMerge,               // reduce-side merge input I/O (shuffle + schimmy)
+  kReduceCompute,       // measured reduce CPU + output disk
+  kAugmenterRpc,        // lost-RPC backoff penalties (FaultConfig)
+  kStragglerWait,       // straggler slowdown minus speculative wins
+  kCount,
+};
+
+// Fixed-size seconds-per-category vector with exact accumulation.
+struct BlameBreakdown {
+  static constexpr size_t kCategories =
+      static_cast<size_t>(BlameCategory::kCount);
+
+  std::array<double, kCategories> seconds{};
+
+  double& operator[](BlameCategory c) {
+    return seconds[static_cast<size_t>(c)];
+  }
+  double operator[](BlameCategory c) const {
+    return seconds[static_cast<size_t>(c)];
+  }
+
+  double sum() const;
+  void add(const BlameBreakdown& other);
+
+  // Category with the most blamed seconds (ties break toward the earlier
+  // enum value, so the answer is deterministic).
+  BlameCategory top() const;
+  const char* top_name() const { return name(top()); }
+
+  // Stable identifier for a category, e.g. "shuffle_inter_wire".
+  // to_json() uses these with an "_s" suffix as the JSON keys.
+  static const char* name(BlameCategory c);
+
+  // JSON object {"scheduler_idle_s":...,...} in enum order. `zeroed`
+  // masks the values (schema without timings) for byte-stability tests.
+  std::string to_json(bool zeroed = false) const;
+};
+
+// The wall-clock task DAG of one job: nodes are scheduled units (map
+// tasks, eager fetches, the maps-done barrier, reduce tasks) with their
+// real [start, end) intervals; edges are the scheduler's dependencies.
+// critical_path() runs the classic PERT forward/backward passes over the
+// *durations*, so the returned chain is the sum of task times along the
+// heaviest dependency chain -- a lower bound no extra executor removes --
+// and slack is how much a task could stretch without moving it.
+class TaskDag {
+ public:
+  using NodeId = size_t;
+
+  // `kind` must be a string literal (stored by pointer); `index` is the
+  // task id within its kind (-1 for barriers).
+  NodeId add_node(const char* kind, int64_t index, uint64_t start_ns,
+                  uint64_t end_ns);
+  void add_edge(NodeId from, NodeId to);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edge_count_; }
+
+  struct Node {
+    const char* kind;
+    int64_t index;
+    uint64_t start_ns;
+    uint64_t end_ns;
+    uint64_t dur_ns() const { return end_ns - start_ns; }
+    std::string label() const;  // "map#3", "barrier", ...
+  };
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  struct CriticalPath {
+    uint64_t total_ns = 0;            // duration sum along the heaviest chain
+    uint64_t span_ns = 0;             // max end - min start over all nodes
+    std::vector<NodeId> path;         // the chain, in execution order
+    std::vector<uint64_t> slack_ns;   // per node, indexed by NodeId
+    size_t zero_slack_nodes = 0;      // nodes with (near-)zero slack
+  };
+  // Nodes must form a DAG (edges follow scheduling order, so they do).
+  CriticalPath critical_path() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> preds_;
+  size_t edge_count_ = 0;
+};
+
+// One entry on the critical path, pre-rendered for the report.
+struct CriticalTask {
+  std::string label;
+  double ms = 0;
+};
+
+// Everything the profiler keeps per job.
+struct JobProfile {
+  std::string job_name;
+  int maps = 0;
+  int reduces = 0;
+  size_t dag_nodes = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_bytes_wire = 0;
+  uint64_t dropped_spans = 0;
+
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  BlameBreakdown blame;
+
+  double critical_path_ms = 0;  // heaviest dependency chain (wall)
+  double dag_span_ms = 0;       // first task start -> last task end (wall)
+  size_t zero_slack_tasks = 0;
+  std::vector<CriticalTask> critical_tasks;  // heaviest path entries, top-k
+};
+
+// Process-wide accumulator behind --profile_out. Disabled by default:
+// run_job() always *computes* blame/critical path (they ride on work the
+// engine already does), but only enabled collectors retain per-job
+// profiles. Thread-safe; jobs run sequentially so contention is nil.
+class ProfileCollector {
+ public:
+  static ProfileCollector& global();
+
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  void add(JobProfile profile);
+  void clear();
+  size_t size() const;
+
+  // The ProfileReport document. include_timing=false zeroes every
+  // time-derived value (seconds, blame, critical path, top category) and
+  // drops the critical-task list, leaving exactly the fields a
+  // deterministic replay reproduces byte-for-byte.
+  std::string report_json(bool include_timing = true) const;
+  bool write_report(const std::string& path, bool include_timing = true) const;
+
+  // Logs a human-readable blame table (top `k` jobs by simulated seconds
+  // plus the aggregate breakdown) through the normal log sink at INFO.
+  void log_top_table(size_t k = 5) const;
+
+ private:
+  ProfileCollector() = default;
+};
+
+}  // namespace mrflow::common

@@ -1,10 +1,13 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include "common/log.h"
 
 namespace mrflow::common {
 
@@ -226,6 +229,10 @@ std::string chrome_trace_json() {
 }
 
 bool write_chrome_trace(const std::string& path) {
+  if (size_t lost = dropped_count(); lost > 0) {
+    LOG_WARN << "trace export: " << lost << " spans were overwritten by ring "
+             << "wrap-around (kept the most recent " << event_count() << ")";
+  }
   std::string doc = chrome_trace_json();
   doc += '\n';
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -233,6 +240,26 @@ bool write_chrome_trace(const std::string& path) {
   bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   ok = std::fclose(f) == 0 && ok;
   return ok;
+}
+
+std::vector<RecentSpan> recent_spans(size_t max) {
+  std::vector<RecentSpan> all;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (auto& log : s.logs) {
+      std::lock_guard<std::mutex> lg(log->mu);
+      for (const TraceEvent& e : log->ring) {
+        all.push_back({e.name, e.cat, e.start_ns, e.dur_ns, e.arg, log->tid});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RecentSpan& a, const RecentSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  if (all.size() > max) all.erase(all.begin(), all.end() - max);
+  return all;
 }
 
 }  // namespace trace

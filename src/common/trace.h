@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mrflow::common {
 
@@ -61,7 +62,24 @@ size_t dropped_count();
 std::string chrome_trace_json();
 
 // Writes chrome_trace_json() to `path`; returns false on I/O failure.
+// Warns (LOG_WARN) when ring buffers overwrote spans -- silent truncation
+// would read as "the warm-up never happened".
 bool write_chrome_trace(const std::string& path);
+
+// A copy of one recorded span, safe to hold after threads exit (the
+// name/cat literals outlive the trace by contract).
+struct RecentSpan {
+  const char* name;
+  const char* cat;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  int64_t arg;
+  uint32_t tid;
+};
+
+// The `max` most recently *started* spans across all thread rings, oldest
+// first. The flight recorder embeds these in post-mortem dumps.
+std::vector<RecentSpan> recent_spans(size_t max);
 
 }  // namespace trace
 

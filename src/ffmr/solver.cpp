@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "dfs/record_io.h"
 #include "ffmr/augmenter.h"
@@ -219,6 +220,11 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
              << stats.counters.value(counter::kSourceMove) << " sim="
              << stats.counters.value(counter::kSinkMove)
              << (restart ? " [restart]" : "");
+    common::flight_recorder::note(
+        "solver", base + " round " + std::to_string(round) + ": accepted=" +
+                      std::to_string(outcome.accepted_paths) + " total_flow=" +
+                      std::to_string(result.max_flow) +
+                      (restart ? " [restart]" : ""));
 
     // Termination (paper Fig. 2 line 10, optionally strict; DESIGN.md).
     const int64_t som = stats.counters.value(counter::kSourceMove);
@@ -254,6 +260,10 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
   result.assignment =
       extract_assignment(cluster, chain.outputs_of(chain.completed_rounds() - 1),
                          g.num_edge_pairs(), result.max_flow);
+  common::flight_recorder::note(
+      "solver", base + " done: flow=" + std::to_string(result.max_flow) +
+                    " rounds=" + std::to_string(result.rounds) +
+                    (result.converged ? "" : " [not converged]"));
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <deque>
 #include <sstream>
 
+#include "common/flight_recorder.h"
+
 namespace mrflow::flow {
 
 std::string Certificate::summary() const {
@@ -46,8 +48,10 @@ std::vector<bool> residual_source_side(const Graph& g, VertexId s,
   return reachable;
 }
 
-Certificate certify_max_flow(const Graph& g, VertexId s, VertexId t,
-                             const graph::FlowAssignment& a) {
+namespace {
+
+Certificate certify_impl(const Graph& g, VertexId s, VertexId t,
+                         const graph::FlowAssignment& a) {
   Certificate cert;
   cert.flow_value = a.value;
 
@@ -141,6 +145,19 @@ Certificate certify_max_flow(const Graph& g, VertexId s, VertexId t,
   if (!cert.cut_matches) {
     cert.fail("cut: capacity " + std::to_string(cert.cut_capacity) +
               " != flow value " + std::to_string(a.value));
+  }
+  return cert;
+}
+
+}  // namespace
+
+Certificate certify_max_flow(const Graph& g, VertexId s, VertexId t,
+                             const graph::FlowAssignment& a) {
+  Certificate cert = certify_impl(g, s, t, a);
+  if (!cert.valid()) {
+    // An invalid certificate means the engine produced a wrong answer --
+    // exactly the moment the recent-history ring is worth keeping.
+    common::flight_recorder::trigger("certificate", cert.summary());
   }
   return cert;
 }

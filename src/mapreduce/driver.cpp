@@ -86,6 +86,15 @@ void RoundReportWriter::write_round(int round, const JobStats& stats,
   append_json_double(line, stats.sim_seconds);
   line += ",\"wall_seconds\":";
   append_json_double(line, stats.wall_seconds);
+  // Profiler headline: the wall critical path, where the simulated time
+  // went, and whether the trace ring kept up (full blame lives in the
+  // --profile_out report).
+  line += ",\"critical_path_ms\":";
+  append_json_double(line, stats.critical_path_ms);
+  line += ",\"top_blame\":";
+  append_json_string(line, stats.blame.top_name());
+  line += ",\"trace_spans_dropped\":" +
+          std::to_string(stats.trace_spans_dropped);
   line += extra_json;
   // Every named counter, verbatim: the report shows the exact totals the
   // driver's control channel read (source/sink moves, ...).

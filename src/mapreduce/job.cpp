@@ -10,8 +10,10 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "common/trace.h"
 #include "dfs/record_io.h"
 #include "mapreduce/merge.h"
@@ -219,6 +221,9 @@ void JobStats::accumulate(const JobStats& other) {
   reduce_sim_s += other.reduce_sim_s;
   sim_seconds += other.sim_seconds;
   wall_seconds += other.wall_seconds;
+  blame.add(other.blame);
+  critical_path_ms += other.critical_path_ms;
+  trace_spans_dropped += other.trace_spans_dropped;
   counters.merge(other.counters);
 }
 
@@ -250,6 +255,10 @@ struct MapTaskResult {
   uint64_t spilled_wire_bytes = 0;  // stored
   double cpu_seconds = 0;
   double rpc_penalty_s = 0;  // simulated lost-RPC backoff (fault injection)
+  // Wall interval of the committing attempt (trace::now_ns clock), fed to
+  // the profiler's task DAG.
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
   common::CounterSet counters;
 };
 
@@ -289,6 +298,8 @@ struct ReduceTaskResult {
   uint64_t output_wire = 0;
   double cpu_seconds = 0;
   double rpc_penalty_s = 0;  // simulated lost-RPC backoff (fault injection)
+  uint64_t start_ns = 0;  // see MapTaskResult
+  uint64_t end_ns = 0;
   common::CounterSet counters;
 };
 
@@ -728,7 +739,14 @@ int run_with_retries(const ClusterConfig& config, const std::string& job,
       body(attempt);
       return attempt;
     } catch (...) {
-      if (attempt + 1 >= std::max(1, config.max_task_attempts)) throw;
+      if (attempt + 1 >= std::max(1, config.max_task_attempts)) {
+        // The abort that fails the whole job: leave a post-mortem.
+        common::flight_recorder::trigger(
+            "fault.abort", "job '" + job + "' " + phase + " task " +
+                               std::to_string(task) + " failed attempt " +
+                               std::to_string(attempt) + " with no retries left");
+        throw;
+      }
       ++attempt;
     }
   }
@@ -739,6 +757,8 @@ int run_with_retries(const ClusterConfig& config, const std::string& job,
 JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   common::TraceSpan job_span("job", "job");
   auto wall_start = std::chrono::steady_clock::now();
+  const size_t dropped_spans0 = common::trace::dropped_count();
+  common::flight_recorder::note("job", "start '" + spec.name + "'");
   if (!spec.mapper) throw std::invalid_argument("job has no mapper");
   if (!spec.reducer) throw std::invalid_argument("job has no reducer");
   if (spec.output_prefix.empty()) {
@@ -834,6 +854,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     const uint64_t t0 = common::trace::now_ns();
     const MapTaskSpec& task = map_tasks[ti];
     result = MapTaskResult{};  // restartable: reset any failed attempt
+    result.start_ns = t0;
     result.partitions.resize(static_cast<size_t>(num_reducers));
     if (spill) {
       // Spilled partitions are transient run buffers: draw them from the
@@ -943,7 +964,8 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       result.partitions.shrink_to_fit();
       metrics.record("map.spill_bytes", result.spilled_bytes);
     }
-    metrics.record("map.task_us", (common::trace::now_ns() - t0) / 1000);
+    result.end_ns = common::trace::now_ns();
+    metrics.record("map.task_us", (result.end_ns - t0) / 1000);
   };
 
   auto map_body = [&](size_t ti, int attempt) {
@@ -1197,6 +1219,7 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     }
     ReduceTaskResult& result = reduce_results[r];
     result = ReduceTaskResult{};  // restartable: reset any failed attempt
+    result.start_ns = t0;
     std::vector<ReduceRun> runs(map_tasks.size());
     for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
       ReduceRun& run = runs[ti];
@@ -1232,8 +1255,9 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
       run_reduce_merge(cluster, spec, runs, static_cast<int>(r), node, attempt,
                        &side_cache, result);
     }
-    common::MetricsRegistry::global().record(
-        "reduce.task_us", (common::trace::now_ns() - t0) / 1000);
+    result.end_ns = common::trace::now_ns();
+    common::MetricsRegistry::global().record("reduce.task_us",
+                                             (result.end_ns - t0) / 1000);
   };
 
   auto run_map_task = [&](size_t ti) {
@@ -1266,11 +1290,22 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     }
   };
 
+  // Wall intervals of the scheduling nodes user tasks don't time
+  // themselves: the maps-done barrier and (pipelined+spill) each eager
+  // fetch, recorded for the profiler's task DAG.
+  uint64_t barrier_start_ns = 0, barrier_end_ns = 0;
+  auto timed_maps_done = [&] {
+    barrier_start_ns = common::trace::now_ns();
+    on_maps_done();
+    barrier_end_ns = common::trace::now_ns();
+  };
+  std::vector<std::array<uint64_t, 2>> fetch_intervals;
+
   // ------------------------------------------------------------ scheduling
   if (!pipelined) {
     // Barrier schedule: all maps, then all reduces.
     cluster.pool().parallel_for(map_tasks.size(), run_map_task);
-    on_maps_done();
+    timed_maps_done();
     cluster.pool().parallel_for(static_cast<size_t>(num_reducers),
                                 run_reduce_task);
   } else {
@@ -1291,15 +1326,23 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     std::vector<std::vector<common::TaskGraph::TaskId>> fetch_ids(
         static_cast<size_t>(num_reducers));
     if (spill) {
+      fetch_intervals.assign(
+          static_cast<size_t>(num_reducers) * map_tasks.size(), {0, 0});
+      const size_t M = map_tasks.size();
       for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
         for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
-          fetch_ids[r].push_back(
-              graph.add([&fetch_body, r, ti] { fetch_body(r, ti); },
-                        {map_ids[ti]}, /*affinity=*/r));
+          fetch_ids[r].push_back(graph.add(
+              [&fetch_body, &fetch_intervals, M, r, ti] {
+                auto& iv = fetch_intervals[r * M + ti];
+                iv[0] = common::trace::now_ns();
+                fetch_body(r, ti);
+                iv[1] = common::trace::now_ns();
+              },
+              {map_ids[ti]}, /*affinity=*/r));
         }
       }
     }
-    common::TaskGraph::TaskId maps_done = graph.add(on_maps_done, map_ids);
+    common::TaskGraph::TaskId maps_done = graph.add(timed_maps_done, map_ids);
     for (size_t r = 0; r < static_cast<size_t>(num_reducers); ++r) {
       std::vector<common::TaskGraph::TaskId> deps = std::move(fetch_ids[r]);
       deps.push_back(maps_done);
@@ -1416,7 +1459,31 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     return eff;
   };
 
-  std::vector<std::vector<double>> map_times_by_node(cluster.num_nodes());
+  // Blame attribution by stacked makespans: every task contributes a
+  // cumulative cost ladder (overhead -> +merge I/O -> +compute -> +codec ->
+  // +rpc -> +straggler/speculation; the additions match the single-sum
+  // computation this replaces term for term, so the top level *is* the
+  // phase's established sim makespan). The phase makespan is evaluated at
+  // each level and every category is blamed for the level-to-level delta,
+  // which makes the categories telescope to sim_seconds exactly.
+  constexpr size_t kLevels = 6;
+  using TaskLevels = std::array<double, kLevels>;
+  auto phase_makespans = [](const std::vector<std::vector<TaskLevels>>& by_node,
+                            int slots) {
+    TaskLevels m{};
+    std::vector<double> level_times;
+    for (const auto& tasks : by_node) {
+      for (size_t k = 0; k < kLevels; ++k) {
+        level_times.clear();
+        level_times.reserve(tasks.size());
+        for (const TaskLevels& t : tasks) level_times.push_back(t[k]);
+        m[k] = std::max(m[k], Cluster::lpt_makespan(level_times, slots));
+      }
+    }
+    return m;
+  };
+
+  std::vector<std::vector<TaskLevels>> map_levels_by_node(cluster.num_nodes());
   for (size_t ti = 0; ti < map_tasks.size(); ++ti) {
     const auto& t = map_tasks[ti];
     const auto& res = map_results[ti];
@@ -1434,26 +1501,26 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     stats.counters.merge(res.counters);
     // Disk pays for stored bytes; the codec pays CPU per raw byte it
     // (de)compresses: framed inputs on read, and -- with the wire on --
-    // every output run on write.
-    double sim = cost.task_overhead_s + cost.disk_seconds(t.block_bytes) +
-                 res.cpu_seconds * cost.cpu_scale +
-                 cost.disk_seconds(out_wire);
-    if (t.framed) sim += cost.codec_decompress_seconds(res.input_raw_bytes);
-    if (wire_on) sim += cost.codec_compress_seconds(out_raw);
-    // Fault shapes that cost time without changing bytes: lost-RPC backoff
-    // and straggler slots (the whole task, backoff included, runs slow);
-    // speculation races a backup against the straggler when enabled.
-    sim = speculate(sim + res.rpc_penalty_s,
-                    fault.straggler_factor(spec.name, "map", ti), "map-backup",
-                    ti);
-    map_times_by_node[t.node].push_back(sim);
+    // every output run on write. Fault shapes that cost time without
+    // changing bytes come last: lost-RPC backoff, then straggler slots
+    // (the whole task, backoff included, runs slow; speculation races a
+    // backup against the straggler when enabled).
+    TaskLevels lv;
+    lv[0] = cost.task_overhead_s;
+    lv[1] = lv[0];  // maps have no merge-input stage
+    lv[2] = lv[1] + cost.disk_seconds(t.block_bytes) +
+            res.cpu_seconds * cost.cpu_scale + cost.disk_seconds(out_wire);
+    lv[3] = lv[2];
+    if (t.framed) lv[3] += cost.codec_decompress_seconds(res.input_raw_bytes);
+    if (wire_on) lv[3] += cost.codec_compress_seconds(out_raw);
+    lv[4] = lv[3] + res.rpc_penalty_s;
+    lv[5] = speculate(lv[4], fault.straggler_factor(spec.name, "map", ti),
+                      "map-backup", ti);
+    map_levels_by_node[t.node].push_back(lv);
   }
-  for (int n = 0; n < cluster.num_nodes(); ++n) {
-    stats.map_sim_s =
-        std::max(stats.map_sim_s,
-                 Cluster::lpt_makespan(std::move(map_times_by_node[n]),
-                                       cluster.config().map_slots_per_node));
-  }
+  const TaskLevels map_ms =
+      phase_makespans(map_levels_by_node, cluster.config().map_slots_per_node);
+  stats.map_sim_s = map_ms[kLevels - 1];
 
   stats.shuffle_bytes = shuffle_total;
   stats.shuffle_bytes_remote = shuffle_remote;
@@ -1475,23 +1542,26 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   // at the oversubscribed core rate). Rack aggregation work -- the codec
   // pass that re-blocks a rack's runs -- happens on the aggregator before
   // its uplink transfer, so the busiest aggregator adds to the phase.
+  // The link components are kept apart so the blame pass below can split
+  // the exposed shuffle time into NIC-bound vs core-bound wire transfer
+  // plus aggregator codec work; their combination is unchanged.
+  double nic_max_s = 0;
   for (int n = 0; n < cluster.num_nodes(); ++n) {
-    stats.shuffle_sim_s = std::max(
-        {stats.shuffle_sim_s, cost.net_seconds(node_out_remote[n]),
-         cost.net_seconds(node_in_remote[n])});
+    nic_max_s = std::max({nic_max_s, cost.net_seconds(node_out_remote[n]),
+                          cost.net_seconds(node_in_remote[n])});
   }
+  double rack_max_s = 0;
   for (int k = 0; k < cluster.num_racks(); ++k) {
-    stats.shuffle_sim_s = std::max(
-        {stats.shuffle_sim_s, cost.inter_rack_net_seconds(rack_out[k]),
-         cost.inter_rack_net_seconds(rack_in[k])});
+    rack_max_s =
+        std::max({rack_max_s, cost.inter_rack_net_seconds(rack_out[k]),
+                  cost.inter_rack_net_seconds(rack_in[k])});
   }
-  {
-    double agg_s = 0;
-    for (double s : node_agg_s) agg_s = std::max(agg_s, s);
-    stats.shuffle_sim_s += agg_s;
-  }
+  double agg_max_s = 0;
+  for (double s : node_agg_s) agg_max_s = std::max(agg_max_s, s);
+  stats.shuffle_sim_s = std::max(nic_max_s, rack_max_s) + agg_max_s;
 
-  std::vector<std::vector<double>> reduce_times_by_node(cluster.num_nodes());
+  std::vector<std::vector<TaskLevels>> reduce_levels_by_node(
+      cluster.num_nodes());
   for (int r = 0; r < num_reducers; ++r) {
     const auto& res = reduce_results[r];
     stats.reduce_input_groups += res.input_groups;
@@ -1501,28 +1571,31 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
     stats.schimmy_bytes_wire += res.schimmy_in_wire;
     stats.output_bytes_wire += res.output_wire;
     stats.counters.merge(res.counters);
-    double sim = cost.task_overhead_s + cost.disk_seconds(res.shuffle_in_wire) +
-                 cost.disk_seconds(res.schimmy_in_wire) +
-                 res.cpu_seconds * cost.cpu_scale +
-                 cost.disk_seconds(res.output_wire *
-                                   cluster.config().dfs_replication);
+    TaskLevels lv;
+    lv[0] = cost.task_overhead_s;
+    // Merge level: spinning the fetched runs (and the schimmy partition)
+    // back off local disk for the sorted merge.
+    lv[1] = lv[0] + cost.disk_seconds(res.shuffle_in_wire) +
+            cost.disk_seconds(res.schimmy_in_wire);
+    lv[2] = lv[1] + res.cpu_seconds * cost.cpu_scale +
+            cost.disk_seconds(res.output_wire *
+                              cluster.config().dfs_replication);
+    lv[3] = lv[2];
     if (wire_on) {
-      sim += cost.codec_decompress_seconds(res.shuffle_in_bytes +
-                                           res.schimmy_in_bytes) +
-             cost.codec_compress_seconds(res.output_bytes);
+      lv[3] += cost.codec_decompress_seconds(res.shuffle_in_bytes +
+                                             res.schimmy_in_bytes) +
+               cost.codec_compress_seconds(res.output_bytes);
     }
-    sim = speculate(sim + res.rpc_penalty_s,
-                    fault.straggler_factor(spec.name, "reduce",
-                                           static_cast<uint64_t>(r)),
-                    "reduce-backup", static_cast<uint64_t>(r));
-    reduce_times_by_node[reduce_node(r)].push_back(sim);
+    lv[4] = lv[3] + res.rpc_penalty_s;
+    lv[5] = speculate(lv[4],
+                      fault.straggler_factor(spec.name, "reduce",
+                                             static_cast<uint64_t>(r)),
+                      "reduce-backup", static_cast<uint64_t>(r));
+    reduce_levels_by_node[reduce_node(r)].push_back(lv);
   }
-  for (int n = 0; n < cluster.num_nodes(); ++n) {
-    stats.reduce_sim_s =
-        std::max(stats.reduce_sim_s,
-                 Cluster::lpt_makespan(std::move(reduce_times_by_node[n]),
-                                       cluster.config().reduce_slots_per_node));
-  }
+  const TaskLevels reduce_ms = phase_makespans(
+      reduce_levels_by_node, cluster.config().reduce_slots_per_node);
+  stats.reduce_sim_s = reduce_ms[kLevels - 1];
 
   // Pipelined execution overlaps the simulated shuffle with the map
   // makespan (Hadoop slow-start reducers); the barrier schedule pays the
@@ -1533,6 +1606,102 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
                                map_tasks.size(), pipelined) +
       stats.reduce_sim_s;
   stats.task_retries = task_retries.load();
+
+  // ----------------------------------------------------------------------
+  // Blame: assign every simulated second of the job to one category.
+  // Phase-internal categories come from the level-to-level makespan deltas
+  // above; the shuffle categories get only the *exposed* shuffle time --
+  // what map_shuffle_seconds adds beyond the map makespan -- split between
+  // wire transfer and aggregator codec work in proportion to their share
+  // of the un-overlapped shuffle. The categories telescope, so their sum
+  // reproduces sim_seconds to rounding (ProfileTest pins it under 1%).
+  {
+    using common::BlameCategory;
+    auto& blame = stats.blame;
+    blame[BlameCategory::kSchedulerIdle] =
+        cost.job_overhead_s + map_ms[0] + reduce_ms[0];
+    blame[BlameCategory::kMerge] =
+        (map_ms[1] - map_ms[0]) + (reduce_ms[1] - reduce_ms[0]);
+    blame[BlameCategory::kMapCompute] = map_ms[2] - map_ms[1];
+    blame[BlameCategory::kReduceCompute] = reduce_ms[2] - reduce_ms[1];
+    blame[BlameCategory::kCodec] =
+        (map_ms[3] - map_ms[2]) + (reduce_ms[3] - reduce_ms[2]);
+    blame[BlameCategory::kAugmenterRpc] =
+        (map_ms[4] - map_ms[3]) + (reduce_ms[4] - reduce_ms[3]);
+    blame[BlameCategory::kStragglerWait] =
+        (map_ms[5] - map_ms[4]) + (reduce_ms[5] - reduce_ms[4]);
+
+    const double exposed =
+        cost.map_shuffle_seconds(stats.map_sim_s, stats.shuffle_sim_s,
+                                 map_tasks.size(), pipelined) -
+        stats.map_sim_s;
+    if (exposed > 0 && stats.shuffle_sim_s > 0) {
+      const double scale = exposed / stats.shuffle_sim_s;
+      const double link_s = stats.shuffle_sim_s - agg_max_s;
+      double inter_raw = 0, intra_raw = 0;
+      if (rack_max_s >= nic_max_s) {
+        // Core-bound: the whole wire term is the rack uplink, which only
+        // carries inter-rack bytes.
+        inter_raw = link_s;
+      } else if (shuffle_remote_wire > 0) {
+        // NIC-bound: the bottleneck NIC carries both kinds of remote
+        // traffic; apportion by wire-byte share.
+        inter_raw = link_s * static_cast<double>(shuffle_inter_wire) /
+                    static_cast<double>(shuffle_remote_wire);
+        intra_raw = link_s - inter_raw;
+      }
+      blame[BlameCategory::kShuffleInterWire] = scale * inter_raw;
+      blame[BlameCategory::kShuffleIntraWire] = scale * intra_raw;
+      blame[BlameCategory::kCodec] += scale * agg_max_s;
+    }
+  }
+
+  // ----------------------------------------------------------------------
+  // Critical path over the real (wall-clock) task DAG. Nodes were timed as
+  // they ran; the edges mirror the TaskGraph dependencies exactly: every
+  // map feeds the maps-done barrier, pipelined fetches sit between their
+  // map and their reducer, and every reducer waits on the barrier.
+  common::TaskDag dag;
+  {
+    const size_t M = map_tasks.size();
+    std::vector<common::TaskDag::NodeId> map_nodes(M);
+    for (size_t ti = 0; ti < M; ++ti) {
+      map_nodes[ti] =
+          dag.add_node("map", static_cast<int64_t>(ti),
+                       map_results[ti].start_ns, map_results[ti].end_ns);
+    }
+    std::vector<common::TaskDag::NodeId> fetch_nodes(fetch_intervals.size());
+    for (size_t r = 0; r * M < fetch_intervals.size(); ++r) {
+      for (size_t ti = 0; ti < M; ++ti) {
+        const auto& iv = fetch_intervals[r * M + ti];
+        fetch_nodes[r * M + ti] =
+            dag.add_node("fetch", static_cast<int64_t>(r), iv[0], iv[1]);
+        dag.add_edge(map_nodes[ti], fetch_nodes[r * M + ti]);
+      }
+    }
+    const auto barrier =
+        dag.add_node("maps_done", -1, barrier_start_ns, barrier_end_ns);
+    for (auto id : map_nodes) dag.add_edge(id, barrier);
+    for (int r = 0; r < num_reducers; ++r) {
+      const auto rid = dag.add_node("reduce", r, reduce_results[r].start_ns,
+                                    reduce_results[r].end_ns);
+      dag.add_edge(barrier, rid);
+      if (!fetch_nodes.empty()) {
+        for (size_t ti = 0; ti < M; ++ti) {
+          dag.add_edge(fetch_nodes[static_cast<size_t>(r) * M + ti], rid);
+        }
+      }
+    }
+  }
+  const common::TaskDag::CriticalPath cpath = dag.critical_path();
+  stats.critical_path_ms = static_cast<double>(cpath.total_ns) / 1e6;
+
+  stats.trace_spans_dropped = common::trace::dropped_count() - dropped_spans0;
+  if (stats.trace_spans_dropped > 0) {
+    common::MetricsRegistry::global().gauge_max(
+        "trace.dropped_spans",
+        static_cast<int64_t>(common::trace::dropped_count()));
+  }
 
   if (spec.services) {
     stats.rpc_calls = spec.services->rpc_calls() - rpc_calls0;
@@ -1551,11 +1720,41 @@ JobStats run_job(Cluster& cluster, const JobSpec& spec) {
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
+
+  if (auto& collector = common::ProfileCollector::global();
+      collector.enabled()) {
+    common::JobProfile profile;
+    profile.job_name = spec.name;
+    profile.maps = static_cast<int>(stats.num_map_tasks);
+    profile.reduces = num_reducers;
+    profile.dag_nodes = dag.num_nodes();
+    profile.shuffle_bytes = stats.shuffle_bytes;
+    profile.shuffle_bytes_wire = stats.shuffle_bytes_wire;
+    profile.dropped_spans = stats.trace_spans_dropped;
+    profile.sim_seconds = stats.sim_seconds;
+    profile.wall_seconds = stats.wall_seconds;
+    profile.blame = stats.blame;
+    profile.critical_path_ms = stats.critical_path_ms;
+    profile.dag_span_ms = static_cast<double>(cpath.span_ns) / 1e6;
+    profile.zero_slack_tasks = cpath.zero_slack_nodes;
+    for (size_t i = 0; i < cpath.path.size() && i < 16; ++i) {
+      const auto& node = dag.node(cpath.path[i]);
+      profile.critical_tasks.push_back(
+          {node.label(), static_cast<double>(node.dur_ns()) / 1e6});
+    }
+    collector.add(std::move(profile));
+  }
+  common::flight_recorder::note(
+      "job", "done '" + spec.name +
+                 "': sim=" + std::to_string(stats.sim_seconds) +
+                 "s top=" + stats.blame.top_name());
+
   LOG_INFO << "job '" << spec.name << "': " << stats.num_map_tasks << " maps, "
            << num_reducers << " reduces, map_out=" << stats.map_output_records
            << " shuffle=" << stats.shuffle_bytes
            << "B sim=" << stats.sim_seconds << "s wall=" << stats.wall_seconds
-           << "s";
+           << "s crit=" << stats.critical_path_ms
+           << "ms top=" << stats.blame.top_name();
   return stats;
 }
 

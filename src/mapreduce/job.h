@@ -33,6 +33,7 @@
 #include "common/counters.h"
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "common/serde.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/service.h"
@@ -341,6 +342,19 @@ struct JobStats {
   // job_overhead + map(+overlapped shuffle, see CostModel) + reduce.
   double sim_seconds = 0;
   double wall_seconds = 0;  // real time on this host
+
+  // Where sim_seconds went, split into the profiler's named categories
+  // (common/profile.h). Derived by stacked makespans, so the categories
+  // telescope: blame.sum() == sim_seconds up to floating-point noise --
+  // the invariant ProfileTest pins at < 1%.
+  common::BlameBreakdown blame;
+  // Heaviest dependency chain of real task time through this job's task
+  // DAG (map -> fetch -> barrier -> reduce), in wall milliseconds. A lower
+  // bound no amount of extra parallelism removes.
+  double critical_path_ms = 0;
+  // Trace spans lost to per-thread ring wrap-around while this job ran
+  // (0 unless tracing is on and the run outgrew the rings).
+  uint64_t trace_spans_dropped = 0;
 
   common::CounterSet counters;
 

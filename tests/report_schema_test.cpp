@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/profile.h"
 #include "ffmr/solver.h"
 #include "graph/generators.h"
 
@@ -314,6 +315,9 @@ TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
       {"total_flow", Kind::kNumber},
       {"max_queue", Kind::kNumber},
       {"restart", Kind::kBool},
+      {"critical_path_ms", Kind::kNumber},
+      {"top_blame", Kind::kString},
+      {"trace_spans_dropped", Kind::kNumber},
       {"counters", Kind::kObject},
   };
   for (const auto& [key, kind] : kRequired) {
@@ -321,6 +325,88 @@ TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
     ASSERT_NE(it, schema.end()) << "missing field: " << key;
     EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
   }
+}
+
+// ----------------------------------------------------- profile report
+
+// A live ProfileReport from the same small deterministic solve the round
+// report uses. The committed example is regenerated with:
+//   maxflow_cli <edges> --algo=ff5 --profile_out=profile.example.json
+std::string live_profile_report() {
+  auto& collector = common::ProfileCollector::global();
+  collector.set_enabled(true);
+  collector.clear();
+  graph::Graph g = graph::watts_strogatz(80, 4, 0.25, 3);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.dfs_block_size = 32 << 10;
+  mr::Cluster cluster(config);
+  ffmr::FfmrOptions o;
+  o.variant = ffmr::Variant::FF5;
+  o.async_augmenter = false;
+  ffmr::solve_max_flow(cluster, g, 0, 40, o);
+  std::string doc = collector.report_json();
+  collector.set_enabled(false);
+  collector.clear();
+  return doc;
+}
+
+TEST(ProfileReportSchema, LiveReportMatchesCommittedExample) {
+  std::string live = live_profile_report();
+  std::string example = read_file(source_path("profile.example.json"));
+  ASSERT_FALSE(example.empty());
+
+  // Top level: profile_version / jobs / totals, same kinds both sides.
+  Schema live_top = object_schema(live);
+  Schema example_top = object_schema(example);
+  EXPECT_EQ(diff_schemas(live_top, example_top), "");
+  EXPECT_EQ(live_top["profile_version"], Kind::kNumber);
+  EXPECT_EQ(live_top["jobs"], Kind::kArray);
+  EXPECT_EQ(live_top["totals"], Kind::kObject);
+
+  // Every job row (live and committed) carries one schema. The top-level
+  // "jobs" array precedes totals' "jobs" count in the document, so the
+  // array scanner finds the right one.
+  auto live_rows = array_elements(live, "jobs");
+  auto example_rows = array_elements(example, "jobs");
+  ASSERT_FALSE(live_rows.empty());
+  ASSERT_FALSE(example_rows.empty());
+  Schema row0 = object_schema(live_rows[0]);
+  for (const auto& row : live_rows) {
+    EXPECT_EQ(diff_schemas(row0, object_schema(row)), "");
+  }
+  for (const auto& row : example_rows) {
+    EXPECT_EQ(diff_schemas(row0, object_schema(row)), "") << row;
+  }
+
+  // The spine of a job row, asserted explicitly.
+  EXPECT_EQ(row0["job"], Kind::kString);
+  EXPECT_EQ(row0["top_blame"], Kind::kString);
+  EXPECT_EQ(row0["blame"], Kind::kObject);
+  EXPECT_EQ(row0["critical_tasks"], Kind::kArray);
+  for (const char* key :
+       {"maps", "reduces", "dag_nodes", "shuffle_bytes", "shuffle_bytes_wire",
+        "dropped_spans", "sim_s", "wall_s", "blame_sum_s", "critical_path_ms",
+        "dag_span_ms", "critical_path_frac", "zero_slack_tasks"}) {
+    EXPECT_EQ(row0[key], Kind::kNumber) << key;
+  }
+
+  // Blame categories are the stable enum-order key set on both sides.
+  Schema live_blame = object_schema(
+      live_rows[0], live_rows[0].find("\"blame\":") + sizeof("\"blame\":") - 1);
+  for (const char* key :
+       {"scheduler_idle_s", "map_compute_s", "shuffle_intra_wire_s",
+        "shuffle_inter_wire_s", "codec_s", "merge_s", "reduce_compute_s",
+        "augmenter_rpc_s", "straggler_wait_s"}) {
+    EXPECT_EQ(live_blame[key], Kind::kNumber) << key;
+  }
+
+  // Critical-task entries are {task, ms}.
+  auto crit = array_elements(live_rows[0], "critical_tasks");
+  ASSERT_FALSE(crit.empty());
+  Schema crit0 = object_schema(crit[0]);
+  EXPECT_EQ(crit0["task"], Kind::kString);
+  EXPECT_EQ(crit0["ms"], Kind::kNumber);
 }
 
 // --------------------------------------------------------- bench JSON

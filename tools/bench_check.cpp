@@ -1,0 +1,468 @@
+// Bench regression sentinel: compares a freshly generated BENCH_*.json
+// against the committed baseline with per-field tolerances, replacing the
+// ad-hoc python wall gates CI used to carry.
+//
+//   bench_check --committed=BENCH_x.json --fresh=artifacts/BENCH_x.json
+//               [--wall_tol=0.10] [--abs_floor=0.01] [--ignore=k1,k2,...]
+//               [--schema_only]
+//
+// Field policy, decided by the *leaf key name* (the part after the last
+// dot), so it applies at any nesting depth:
+//   - strings and bools: exact.
+//   - cost-like numbers (name contains "wall", "sim", "overhead", "time",
+//     or ends in _s/_ms/_us/_ns): one-sided -- fresh may be faster than
+//     the committed number by any margin but slower by at most
+//     wall_tol * max(|committed|, abs_floor). Regressions fail, wins pass.
+//   - noisy-but-bounded numbers (name contains "pct", "ratio", "mean",
+//     "alloc", "p50"/"p95"/"p99"): two-sided, same tolerance -- these
+//     gate a derived quantity where drift in *either* direction means the
+//     relationship the bench asserts has changed.
+//   - every other number (byte counters, record counts, rounds, flows):
+//     exact. The engine is deterministic; a changed byte count is a
+//     changed engine.
+// Keys listed in --ignore (comma-separated leaf names) are skipped at any
+// depth. A key present in the committed file but missing from the fresh
+// one fails; keys only in the fresh file warn (new fields are fine -- the
+// baseline just hasn't been regenerated yet).
+//
+// --schema_only compares structure, not values: keys must be present with
+// the same JSON kind, but numbers/strings/bools are never value-compared
+// and array lengths may differ (each fresh element is checked against the
+// committed first element's shape). This is the right gate when the fresh
+// run uses a different scale than the committed baseline -- e.g. CI's
+// --smoke bench runs against the full-scale committed BENCH file.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ----------------------------------------------------------- tiny JSON
+// Just enough of RFC 8259 for the JsonWriter output benches produce (and
+// for hand-edited baselines): no \uXXXX decoding beyond pass-through.
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  bool integral = false;  // number had no '.', 'e' -- exact comparisons ok
+  std::string text;       // string value or raw number token
+  std::vector<std::pair<std::string, Value>> members;  // kObject, in order
+  std::vector<Value> items;                            // kArray
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : s_(src) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      case 'n': literal("null"); return Value{};
+      default: return number();
+    }
+  }
+
+  void literal(const char* word) {
+    size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) fail(std::string("expected ") + word);
+    pos_ += n;
+  }
+
+  Value boolean() {
+    Value v;
+    v.kind = Value::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        char e = peek();
+        ++pos_;
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Pass escaped code points through verbatim; comparisons stay
+            // well-defined as long as both sides encode the same way.
+            out += "\\u";
+            for (int i = 0; i < 4; ++i) {
+              out += peek();
+              ++pos_;
+            }
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value string_value() {
+    Value v;
+    v.kind = Value::kString;
+    v.text = raw_string();
+    return v;
+  }
+
+  Value number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    Value v;
+    v.kind = Value::kNumber;
+    v.text = s_.substr(start, pos_ - start);
+    if (v.text.empty()) fail("expected a value");
+    try {
+      v.number = std::stod(v.text);
+    } catch (const std::exception&) {
+      fail("bad number '" + v.text + "'");
+    }
+    v.integral = v.text.find_first_of(".eE") == std::string::npos;
+    return v;
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string doc = ss.str();
+  return Parser(doc).parse();
+}
+
+// ------------------------------------------------------------ comparison
+
+bool contains(const std::string& hay, const char* needle) {
+  return hay.find(needle) != std::string::npos;
+}
+bool ends_with(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+enum class Policy { kExact, kOneSided, kTwoSided };
+
+Policy policy_for(std::string key) {
+  for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (contains(key, "pct") || contains(key, "ratio") || contains(key, "mean") ||
+      contains(key, "alloc") || contains(key, "p50") || contains(key, "p95") ||
+      contains(key, "p99")) {
+    return Policy::kTwoSided;
+  }
+  if (contains(key, "wall") || contains(key, "sim") ||
+      contains(key, "overhead") || contains(key, "time") ||
+      ends_with(key, "_s") || ends_with(key, "_ms") || ends_with(key, "_us") ||
+      ends_with(key, "_ns")) {
+    return Policy::kOneSided;
+  }
+  return Policy::kExact;
+}
+
+struct Checker {
+  double tol = 0.10;
+  double abs_floor = 0.01;
+  bool schema_only = false;
+  std::set<std::string> ignore;
+  int failures = 0;
+  int warnings = 0;
+  int compared = 0;
+  int ignored = 0;
+
+  void fail(const std::string& path, const std::string& why) {
+    ++failures;
+    std::printf("FAIL  %s: %s\n", path.c_str(), why.c_str());
+  }
+  void warn(const std::string& path, const std::string& why) {
+    ++warnings;
+    std::printf("warn  %s: %s\n", path.c_str(), why.c_str());
+  }
+
+  static std::string leaf_key(const std::string& path) {
+    size_t dot = path.rfind('.');
+    std::string key = dot == std::string::npos ? path : path.substr(dot + 1);
+    size_t bracket = key.find('[');
+    if (bracket != std::string::npos) key.resize(bracket);
+    return key;
+  }
+
+  void check_number(const std::string& path, const Value& want,
+                    const Value& got) {
+    ++compared;
+    const double slack = tol * std::max(std::fabs(want.number), abs_floor);
+    char buf[160];
+    switch (policy_for(leaf_key(path))) {
+      case Policy::kOneSided:
+        if (got.number > want.number + slack) {
+          std::snprintf(buf, sizeof(buf),
+                        "regressed: %g -> %g (allowed <= %g)", want.number,
+                        got.number, want.number + slack);
+          fail(path, buf);
+        }
+        return;
+      case Policy::kTwoSided:
+        if (std::fabs(got.number - want.number) > slack) {
+          std::snprintf(buf, sizeof(buf), "drifted: %g -> %g (tolerance %g)",
+                        want.number, got.number, slack);
+          fail(path, buf);
+        }
+        return;
+      case Policy::kExact:
+        if (want.integral && got.integral) {
+          if (want.text != got.text) {
+            fail(path, "changed: " + want.text + " -> " + got.text);
+          }
+        } else if (std::fabs(got.number - want.number) >
+                   1e-9 * std::max(1.0, std::fabs(want.number))) {
+          fail(path, "changed: " + want.text + " -> " + got.text);
+        }
+        return;
+    }
+  }
+
+  void check(const std::string& path, const Value& want, const Value& got) {
+    if (ignore.count(leaf_key(path))) {
+      ++ignored;
+      return;
+    }
+    if (want.kind != got.kind &&
+        !(want.kind == Value::kNumber && got.kind == Value::kNumber)) {
+      fail(path, "type changed");
+      return;
+    }
+    if (schema_only && want.kind != Value::kObject &&
+        want.kind != Value::kArray) {
+      ++compared;  // kind already matched above; values are out of scope
+      return;
+    }
+    switch (want.kind) {
+      case Value::kNull:
+        ++compared;
+        return;
+      case Value::kBool:
+        ++compared;
+        if (want.boolean != got.boolean) {
+          fail(path, std::string("changed: ") + (want.boolean ? "true" : "false") +
+                         " -> " + (got.boolean ? "true" : "false"));
+        }
+        return;
+      case Value::kString:
+        ++compared;
+        if (want.text != got.text) {
+          fail(path, "changed: \"" + want.text + "\" -> \"" + got.text + "\"");
+        }
+        return;
+      case Value::kNumber:
+        check_number(path, want, got);
+        return;
+      case Value::kArray: {
+        if (schema_only) {
+          if (want.items.empty() || got.items.empty()) {
+            ++compared;
+            return;
+          }
+          for (size_t i = 0; i < got.items.size(); ++i) {
+            check(path + "[" + std::to_string(i) + "]", want.items[0],
+                  got.items[i]);
+          }
+          return;
+        }
+        if (want.items.size() != got.items.size()) {
+          fail(path, "length changed: " + std::to_string(want.items.size()) +
+                         " -> " + std::to_string(got.items.size()));
+          return;
+        }
+        for (size_t i = 0; i < want.items.size(); ++i) {
+          check(path + "[" + std::to_string(i) + "]", want.items[i],
+                got.items[i]);
+        }
+        return;
+      }
+      case Value::kObject: {
+        std::map<std::string, const Value*> fresh;
+        for (const auto& [k, v] : got.members) fresh[k] = &v;
+        for (const auto& [k, v] : want.members) {
+          std::string sub = path.empty() ? k : path + "." + k;
+          auto it = fresh.find(k);
+          if (it == fresh.end()) {
+            if (!ignore.count(k)) fail(sub, "missing from fresh output");
+            continue;
+          }
+          check(sub, v, *it->second);
+          fresh.erase(it);
+        }
+        for (const auto& [k, v] : fresh) {
+          warn(path.empty() ? k : path + "." + k,
+               "only in fresh output (baseline needs regenerating?)");
+        }
+        return;
+      }
+    }
+  }
+};
+
+std::string get_flag(int argc, char** argv, const char* name,
+                     const std::string& def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string committed = get_flag(argc, argv, "committed", "");
+  std::string fresh = get_flag(argc, argv, "fresh", "");
+  if (committed.empty() || fresh.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --committed=<baseline.json> "
+                 "--fresh=<new.json> [--wall_tol=0.10] [--abs_floor=0.01] "
+                 "[--ignore=key1,key2,...] [--schema_only]\n");
+    return 2;
+  }
+
+  Checker checker;
+  checker.tol = std::stod(get_flag(argc, argv, "wall_tol", "0.10"));
+  checker.abs_floor = std::stod(get_flag(argc, argv, "abs_floor", "0.01"));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--schema_only") == 0) checker.schema_only = true;
+  }
+  std::string ignore = get_flag(argc, argv, "ignore", "");
+  for (size_t start = 0; start < ignore.size();) {
+    size_t comma = ignore.find(',', start);
+    if (comma == std::string::npos) comma = ignore.size();
+    if (comma > start) checker.ignore.insert(ignore.substr(start, comma - start));
+    start = comma + 1;
+  }
+
+  try {
+    Value want = parse_file(committed);
+    Value got = parse_file(fresh);
+    checker.check("", want, got);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_check: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf(
+      "bench_check: %d field%s compared, %d ignored, %d warning%s, "
+      "%d failure%s (%s vs %s, tol=%g)\n",
+      checker.compared, checker.compared == 1 ? "" : "s", checker.ignored,
+      checker.warnings, checker.warnings == 1 ? "" : "s", checker.failures,
+      checker.failures == 1 ? "" : "s", fresh.c_str(), committed.c_str(),
+      checker.tol);
+  return checker.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Writes the deterministic Watts-Strogatz edge list behind the committed
+// example documents (round_report.example.jsonl, profile.example.json):
+//
+//   ./make_example_graph example_graph.txt
+//   ./maxflow_cli example_graph.txt --source=0 --sink=150 --algo=ff5
+//       --round_report=round_report.example.jsonl
+//       --profile_out=profile.example.json
+//
+// Fixed parameters, no flags: the point is that two regenerations of the
+// examples start from the identical graph.
+#include <cstdio>
+
+#include "graph/edgelist_io.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_example_graph <out.txt>\n");
+    return 2;
+  }
+  mrflow::graph::Graph g = mrflow::graph::watts_strogatz(300, 4, 0.2, 7);
+  mrflow::graph::write_edgelist_file(g, argv[1]);
+  std::printf("wrote %s: %zu vertices, %zu directed edges\n", argv[1],
+              static_cast<size_t>(g.num_vertices()), g.num_directed_edges());
+  return 0;
+}
