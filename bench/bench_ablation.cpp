@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
   int ladder_index = static_cast<int>(flags.get_int("graph", 2)) - 1;
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   auto ladder = graph::facebook_ladder(env.scale);
   const auto& entry = ladder.at(ladder_index);

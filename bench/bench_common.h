@@ -142,6 +142,22 @@ inline void write_observability(const BenchEnv& env) {
   common::obs::write_outputs(env.obs);
 }
 
+// Call in place of Flags::check_unused(): a typo'd flag prints the
+// parser's diagnostic plus a pointer to the shared flag list and exits 2,
+// instead of escaping main as an uncaught exception.
+inline void finish_flags(const common::Flags& flags) {
+  if (!common::obs::finish_flags(
+          flags,
+          "shared bench flags: --scale --nodes --seed --verbose --codec "
+          "--racks --inter_rack_mbps --speculation --disk_mbps --net_mbps "
+          "--cpu_scale --overhead --strict, observability outputs "
+          "(--trace_out --metrics_out --metrics_text --profile_out "
+          "--flight_out); each binary's own flags are in its header "
+          "comment\n")) {
+    std::exit(2);
+  }
+}
+
 // One-stop bench runtime: parses the shared flags (construction) and
 // writes the observability exports when it leaves scope, so a bench
 // cannot return without flushing them.

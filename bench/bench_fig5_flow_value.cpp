@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   bench::BenchEnv& env = rt.env;
   auto ws = flags.get_int_list("w", {1, 2, 4, 8, 16, 32, 64, 128});
   int ladder_index = static_cast<int>(flags.get_int("graph", 6)) - 1;
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   auto ladder = graph::facebook_ladder(env.scale);
   const auto& entry = ladder.at(ladder_index);

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   common::Flags& flags = rt.flags;
   bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   auto ladder = graph::facebook_ladder(env.scale);
   std::printf(

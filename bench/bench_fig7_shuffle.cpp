@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   int w = static_cast<int>(flags.get_int("w", 16));
   int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
   int reduce_tasks = static_cast<int>(flags.get_int("reduce_tasks", 0));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   auto ladder = graph::facebook_ladder(env.scale);
   const auto& entry = ladder.at(ladder_index);

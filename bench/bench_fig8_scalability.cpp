@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
       flags.get_int("fb6_n", 1'350'000));
   int fb6_degree = static_cast<int>(flags.get_int("fb6_degree", 152));
   int fb6_w = static_cast<int>(flags.get_int("fb6_w", 16));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   std::printf(
       "Fig. 8 reproduction: FF5 runtime vs graph size for %zu cluster\n"

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
 
-  flags.check_unused();
+  bench::finish_flags(flags);
   std::printf("Graph inventory (paper Sec. V table), scale=%.3f, w=%d\n\n",
               env.scale, w);
   common::TextTable table({"Graph", "Vertices", "Edges", "Size", "Max Size",

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   bench::BenchEnv& env = rt.env;
   int w = static_cast<int>(flags.get_int("w", 16));
   int max_graph = static_cast<int>(flags.get_int("graphs", 4));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   std::printf(
       "MapReduce FF5 vs Pregel port, w=%d, scale=%.3f\n"

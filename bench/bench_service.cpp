@@ -1,0 +1,182 @@
+// FlowService trace replay: the warm-start service versus cold re-solving.
+//
+// One deterministic mixed update+query trace (service/trace.h generator:
+// hot repeated (s, t) pairs, inserts/deletes/cap rewrites interleaved) is
+// replayed twice through the same FFMR backend:
+//
+//   cold     every query is a full cold FFMR solve (warm start, cache and
+//            batching all disabled) -- what a stateless driver would pay.
+//   service  the full FlowService: residual/cut cache, incremental repair
+//            + warm start, and shared-round batching.
+//
+// Both replays certify every answer and the bench asserts the two runs
+// return identical flow values query by query (the warm==cold
+// differential), then reports the aggregate wall speedup. The contract
+// this bench gates: the service answers the same stream >= 5x faster
+// than cold re-solving (asserted outside --smoke; CI re-asserts from
+// BENCH_service.json, where wall fields are host-noisy and the
+// deterministic answer/counter fields are exact).
+//
+//   --smoke              tiny trace, no speedup assertion (ctest mode)
+//   --ops=<n>            trace length (default 224)
+//   --vertices=<n>       Watts-Strogatz graph size (default 300)
+//   --query_fraction=<f> fraction of ops that are queries (default 0.9)
+//   --hot_pairs=<n>      size of the hot (s, t) working set (default 6)
+//   --hot_fraction=<f>   fraction of queries drawn from it (default 0.9)
+//   --trace_seed=<n>     trace generator seed (default 1)
+//   --variant=<1..5>     FFMR variant for both runs (default 5)
+#include <chrono>
+
+#include "bench_common.h"
+#include "service/flow_service.h"
+
+using namespace mrflow;
+
+namespace {
+
+double percentile_us(std::vector<double> walls, double p) {
+  if (walls.empty()) return 0;
+  std::sort(walls.begin(), walls.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(walls.size() - 1));
+  return walls[idx] * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
+  bool smoke = flags.get_bool("smoke", false);
+  size_t ops = static_cast<size_t>(flags.get_int("ops", smoke ? 48 : 224));
+  auto vertices = static_cast<graph::VertexId>(
+      flags.get_int("vertices", smoke ? 120 : 300));
+  int variant = static_cast<int>(flags.get_int("variant", 5));
+  service::TraceGenOptions topt;
+  topt.ops = ops;
+  topt.query_fraction = flags.get_double("query_fraction", 0.9);
+  topt.hot_pairs = static_cast<size_t>(flags.get_int("hot_pairs", 6));
+  topt.hot_fraction = flags.get_double("hot_fraction", 0.9);
+  topt.seed = static_cast<uint64_t>(flags.get_int("trace_seed", 1));
+  bench::finish_flags(flags);
+
+  graph::Graph g = graph::watts_strogatz(vertices, 6, 0.2, env.seed);
+  g.finalize();
+  service::Trace trace = service::generate_trace(g, topt);
+  size_t queries = 0;
+  for (const service::Op& op : trace) {
+    queries += op.kind == service::OpKind::kQuery;
+  }
+  std::printf("service replay: %zu vertices, %zu ops (%zu queries, %zu "
+              "updates), FF%d backend\n",
+              static_cast<size_t>(vertices), trace.size(), queries,
+              trace.size() - queries, variant);
+
+  auto run = [&](bool layers_on, service::ServiceCounters* counters_out) {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 4;
+    mr::Cluster cluster(config);
+    service::ServiceOptions sopt;
+    sopt.backend = service::Backend::kFfmr;
+    sopt.ffmr.variant = static_cast<ffmr::Variant>(variant);
+    sopt.warm_start = layers_on;
+    sopt.cache = layers_on;
+    sopt.batching = layers_on;
+    service::FlowService svc(&cluster, g, sopt);
+    auto t0 = std::chrono::steady_clock::now();
+    service::ReplayResult rr = svc.replay(trace);
+    rr.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    *counters_out = svc.counters();
+    return rr;
+  };
+
+  service::ServiceCounters cold_c, svc_c;
+  service::ReplayResult cold = run(false, &cold_c);
+  service::ReplayResult warm = run(true, &svc_c);
+
+  // The differential the whole design rests on: cached, repaired and
+  // batched answers must be flow-value-identical to cold solves (every
+  // answer in both runs also carried a valid max-flow certificate, or
+  // replay() would have thrown).
+  bool values_match = cold.query_results.size() == warm.query_results.size();
+  graph::Capacity flow_value_sum = 0;
+  for (size_t i = 0; values_match && i < cold.query_results.size(); ++i) {
+    values_match = cold.query_results[i].value == warm.query_results[i].value;
+    flow_value_sum += cold.query_results[i].value;
+  }
+  if (!values_match) {
+    std::fprintf(stderr, "FAIL: warm/cold flow values diverge\n");
+    return 1;
+  }
+
+  uint64_t by_source[4] = {0, 0, 0, 0};
+  std::vector<double> walls;
+  for (const service::QueryResult& r : warm.query_results) {
+    ++by_source[static_cast<int>(r.source)];
+    walls.push_back(r.wall_seconds);
+  }
+  double speedup = warm.wall_seconds > 0
+                       ? cold.wall_seconds / warm.wall_seconds
+                       : 0;
+
+  common::TextTable table({"Run", "Wall", "Cold", "Warm", "Cache", "Batch"});
+  table.add_row({"cold baseline", bench::fmt_time(cold.wall_seconds),
+             bench::fmt_int(static_cast<int64_t>(cold_c.cold_solves)), "0",
+             "0", "0"});
+  table.add_row({"FlowService", bench::fmt_time(warm.wall_seconds),
+             bench::fmt_int(static_cast<int64_t>(by_source[0])),
+             bench::fmt_int(static_cast<int64_t>(by_source[1])),
+             bench::fmt_int(static_cast<int64_t>(by_source[2])),
+             bench::fmt_int(static_cast<int64_t>(by_source[3]))});
+  std::printf("%s", table.render().c_str());
+  std::printf("\naggregate speedup: %.2fx (flow value sum %lld, every "
+              "answer certified)\n",
+              speedup, static_cast<long long>(flow_value_sum));
+  std::printf("service latency: p50=%.1f us p95=%.1f us p99=%.1f us\n",
+              percentile_us(walls, 0.50), percentile_us(walls, 0.95),
+              percentile_us(walls, 0.99));
+
+  bench::JsonWriter j;
+  j.field("bench", "service").field("smoke", smoke);
+  j.field("vertices", static_cast<uint64_t>(vertices));
+  j.field("ops", static_cast<uint64_t>(trace.size()));
+  j.field("queries", static_cast<uint64_t>(queries));
+  j.field("updates", static_cast<uint64_t>(trace.size() - queries));
+  j.field("trace_seed", topt.seed).field("variant", variant);
+  j.field("flow_value_sum", static_cast<int64_t>(flow_value_sum));
+  j.field("values_match", values_match);
+  j.obj("answers")
+      .field("cold", by_source[0])
+      .field("warm", by_source[1])
+      .field("cache", by_source[2])
+      .field("batch", by_source[3])
+      .close();
+  j.obj("counters")
+      .field("warm_hits", svc_c.warm_hits)
+      .field("cache_hits", svc_c.cache_hits)
+      .field("queries_batched", svc_c.queries_batched)
+      .field("repair_rounds", svc_c.repair_rounds)
+      .field("cache_invalidations", svc_c.cache_invalidations)
+      .field("cache_evictions", svc_c.cache_evictions)
+      .close();
+  j.obj("cold_baseline").field("wall_s", cold.wall_seconds).close();
+  j.obj("service")
+      .field("wall_s", warm.wall_seconds)
+      .field("p50_us", percentile_us(walls, 0.50))
+      .field("p95_us", percentile_us(walls, 0.95))
+      .field("p99_us", percentile_us(walls, 0.99))
+      .close();
+  j.field("speedup_ratio", speedup);
+  j.write_file("BENCH_service.json");
+
+  if (!smoke && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: aggregate speedup %.2fx < 5x contract "
+                 "(cold %.3fs vs service %.3fs)\n",
+                 speedup, cold.wall_seconds, warm.wall_seconds);
+    return 1;
+  }
+  return 0;
+}

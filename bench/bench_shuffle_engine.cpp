@@ -241,7 +241,7 @@ int main(int argc, char** argv) {
   int fetch_kb = static_cast<int>(flags.get_int("fetch_kb", 64));
   int reduce_tasks = static_cast<int>(flags.get_int("reduce_tasks", 8));
   int threads = static_cast<int>(flags.get_int("threads", 4));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   auto ladder = graph::facebook_ladder(env.scale);
   const auto& entry = ladder.at(ladder_index);

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   common::Flags& flags = rt.flags;
   bench::BenchEnv& env = rt.env;
   auto n = static_cast<graph::VertexId>(flags.get_int("vertices", 4096));
-  flags.check_unused();
+  bench::finish_flags(flags);
 
   std::printf(
       "Small-world dependence: FF5 rounds vs diameter, %llu-vertex graphs\n\n",

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   int reduce_tasks = static_cast<int>(flags.get_int("reduce_tasks", 0));
   double straggler_prob = flags.get_double("straggler_prob", 0.3);
   int block_kb = static_cast<int>(flags.get_int("block_kb", 4));
-  flags.check_unused();
+  bench::finish_flags(flags);
   // Topology defaults for the ablation: --racks=1 (the shared default)
   // would make every configuration the flat baseline, so this bench runs
   // 2 racks of 10 with a 5x-oversubscribed core unless told otherwise.

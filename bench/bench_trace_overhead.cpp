@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   int reps = static_cast<int>(flags.get_int("reps", smoke ? 1 : 5));
   int w = static_cast<int>(flags.get_int("w", 16));
   int ladder_index = static_cast<int>(flags.get_int("graph", 1)) - 1;
-  flags.check_unused();
+  bench::finish_flags(flags);
   if (smoke) env.scale = std::min(env.scale, 0.01);
 
   // ------------------------------------------------ 1. disabled-span cost

@@ -14,6 +14,7 @@
 #include <numeric>
 
 #include "common/flags.h"
+#include "common/observability.h"
 #include "common/rng.h"
 #include "ffmr/solver.h"
 #include "flow/validate.h"
@@ -28,7 +29,12 @@ int main(int argc, char** argv) {
   const int bridges = static_cast<int>(flags.get_int("bridges", 6));
   const int seeds = static_cast<int>(flags.get_int("seeds", 4));
   const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 7));
-  flags.check_unused();
+  if (!common::obs::finish_flags(
+          flags,
+          "usage: community_detection [--members=400 --bridges=6 "
+          "--seeds=4 --seed=7]\n")) {
+    return 2;
+  }
 
   // --- Plant two communities: vertices [0, members) and [members, 2*members)
   rng::Xoshiro256 rng(seed);

@@ -33,8 +33,23 @@
 //   --racks=<r>             group the slave nodes into r racks (default 1)
 //   --inter_rack_mbps=<m>   oversubscribed core bandwidth; 0 = flat network
 //   --speculation           speculative backup tasks for stragglers
+//
+// Serve mode (the warm-start FlowService; see src/service/flow_service.h):
+//   --serve=<trace|->    replay a query/update trace ('-' = stdin) through
+//                        a long-lived FlowService instead of one solve.
+//                        Trace lines: "query s t", "insert u v c [c2]",
+//                        "delete u v", "cap u v c [c2]" (src/service/trace.h)
+//   --batch_window=<n>   consecutive queries gathered per shared batch (8)
+//   --cache_capacity=<n> LRU cache entries (64)
+//   --no_warm / --no_cache / --no_batch / --no_certify   disable a layer
+//   --verbose            print every query answer, not just the summary
+//   --algo selects the serve backend: dinic (default) or ff1..ff5.
+#include <algorithm>
 #include <cstdio>
+#include <iostream>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/observability.h"
@@ -44,18 +59,129 @@
 #include "flow/validate.h"
 #include "graph/edgelist_io.h"
 #include "pregel/maxflow.h"
+#include "service/flow_service.h"
 
 using namespace mrflow;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: maxflow_cli <edges.txt> --source=S --sink=T "
+    "[--algo=ff5|pregel|dinic|edmonds_karp|push_relabel] "
+    "[--nodes=4] [--cut] [--certify] "
+    "[--fault_shape=task|node|corrupt|straggler|rpc|all "
+    "--fault_prob=0.05 --fault_seed=1] "
+    "[--serve=trace.txt|- --batch_window=8 --cache_capacity=64 "
+    "--no_warm --no_cache --no_batch --no_certify --verbose]\n";
+
+double percentile_us(std::vector<double> walls, double p) {
+  if (walls.empty()) return 0;
+  std::sort(walls.begin(), walls.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(walls.size() - 1));
+  return walls[idx] * 1e6;
+}
+
+int run_serve(graph::Graph g, const std::string& trace_path,
+              const std::string& algo, bool is_ffmr, int nodes,
+              const common::Flags& flags, const std::string& round_report,
+              const common::obs::OutputPaths& obs) {
+  service::ServiceOptions sopt;
+  sopt.warm_start = !flags.get_bool("no_warm", false);
+  sopt.cache = !flags.get_bool("no_cache", false);
+  sopt.batching = !flags.get_bool("no_batch", false);
+  sopt.certify_answers = !flags.get_bool("no_certify", false);
+  sopt.batch_window = static_cast<int>(flags.get_int("batch_window", 8));
+  sopt.cache_capacity =
+      static_cast<size_t>(flags.get_int("cache_capacity", 64));
+  sopt.round_report = round_report;
+  bool verbose = flags.get_bool("verbose", false);
+  if (!common::obs::finish_flags(flags, kUsage)) return 2;
+
+  if (is_ffmr) {
+    sopt.backend = service::Backend::kFfmr;
+    sopt.ffmr.variant = static_cast<ffmr::Variant>(algo[2] - '0');
+  } else if (algo != "dinic") {
+    std::fprintf(stderr, "--serve supports --algo=dinic or ff1..ff5\n");
+    return 2;
+  }
+
+  // Batching runs its shared waves over MR, so the cluster is needed even
+  // with the sequential Dinic backend.
+  std::optional<mr::Cluster> cluster;
+  if (is_ffmr || sopt.batching) {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = nodes;
+    cluster.emplace(config);
+  }
+
+  service::Trace trace;
+  try {
+    trace = trace_path == "-" ? service::parse_trace(std::cin)
+                              : service::load_trace_file(trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  service::FlowService svc(cluster.has_value() ? &*cluster : nullptr,
+                           std::move(g), sopt);
+  service::ReplayResult rr = svc.replay(trace);
+
+  std::vector<const service::Op*> query_ops;
+  for (const service::Op& op : trace) {
+    if (op.kind == service::OpKind::kQuery) query_ops.push_back(&op);
+  }
+  uint64_t by_source[4] = {0, 0, 0, 0};
+  std::vector<double> walls;
+  walls.reserve(rr.query_results.size());
+  for (size_t i = 0; i < rr.query_results.size(); ++i) {
+    const service::QueryResult& r = rr.query_results[i];
+    ++by_source[static_cast<int>(r.source)];
+    walls.push_back(r.wall_seconds);
+    if (verbose && i < query_ops.size()) {
+      std::printf("query %llu -> %llu = %lld (%s, %d rounds, %.1f us)\n",
+                  static_cast<unsigned long long>(query_ops[i]->u),
+                  static_cast<unsigned long long>(query_ops[i]->v),
+                  static_cast<long long>(r.value),
+                  service::answer_source_name(r.source), r.rounds,
+                  r.wall_seconds * 1e6);
+    }
+  }
+
+  const service::ServiceCounters& c = svc.counters();
+  std::printf("serve: %zu ops (%llu queries, %llu updates) in %.3f s, "
+              "backend=%s\n",
+              trace.size(), static_cast<unsigned long long>(rr.queries),
+              static_cast<unsigned long long>(rr.updates), rr.wall_seconds,
+              service::backend_name(sopt.backend));
+  std::printf("answers: cold=%llu warm=%llu cache=%llu batch=%llu\n",
+              static_cast<unsigned long long>(by_source[0]),
+              static_cast<unsigned long long>(by_source[1]),
+              static_cast<unsigned long long>(by_source[2]),
+              static_cast<unsigned long long>(by_source[3]));
+  std::printf("counters: warm_hits=%llu cache_hits=%llu repair_rounds=%llu "
+              "queries_batched=%llu invalidations=%llu evictions=%llu "
+              "epoch=%llu\n",
+              static_cast<unsigned long long>(c.warm_hits),
+              static_cast<unsigned long long>(c.cache_hits),
+              static_cast<unsigned long long>(c.repair_rounds),
+              static_cast<unsigned long long>(c.queries_batched),
+              static_cast<unsigned long long>(c.cache_invalidations),
+              static_cast<unsigned long long>(c.cache_evictions),
+              static_cast<unsigned long long>(svc.epoch()));
+  std::printf("query latency: p50=%.1f us p95=%.1f us p99=%.1f us\n",
+              percentile_us(walls, 0.50), percentile_us(walls, 0.95),
+              percentile_us(walls, 0.99));
+  common::obs::write_outputs(obs);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
   if (flags.positional().size() != 1) {
-    std::fprintf(stderr,
-                 "usage: maxflow_cli <edges.txt> --source=S --sink=T "
-                 "[--algo=ff5|pregel|dinic|edmonds_karp|push_relabel] "
-                 "[--nodes=4] [--cut] [--certify] "
-                 "[--fault_shape=task|node|corrupt|straggler|rpc|all "
-                 "--fault_prob=0.05 --fault_seed=1]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   graph::Graph g = graph::read_edgelist_file(flags.positional()[0]);
@@ -69,6 +195,13 @@ int main(int argc, char** argv) {
   // profile collector, and the flight recorder's auto-dump path.
   common::obs::OutputPaths obs = common::obs::parse_flags(flags);
   std::string round_report = flags.get_string("round_report", "");
+  std::string serve = flags.get_string("serve", "");
+  const bool is_ffmr = algo.size() == 3 && algo.compare(0, 2, "ff") == 0 &&
+                       algo[2] >= '1' && algo[2] <= '5';
+  if (!serve.empty()) {
+    return run_serve(std::move(g), serve, algo, is_ffmr, nodes, flags,
+                     round_report, obs);
+  }
   bool certify = flags.get_bool("certify", false);
   std::string fault_shape = flags.get_string("fault_shape", "");
   double fault_prob = flags.get_double("fault_prob", 0.05);
@@ -76,16 +209,13 @@ int main(int argc, char** argv) {
   int racks = static_cast<int>(flags.get_int("racks", 1));
   double inter_rack_mbps = flags.get_double("inter_rack_mbps", 0.0);
   bool speculation = flags.get_bool("speculation", false);
-  flags.check_unused();
+  if (!common::obs::finish_flags(flags, kUsage)) return 2;
 
   std::printf("%llu vertices, %zu edge pairs; %s: %llu -> %llu\n",
               static_cast<unsigned long long>(g.num_vertices()),
               g.num_edge_pairs(), algo.c_str(),
               static_cast<unsigned long long>(source),
               static_cast<unsigned long long>(sink));
-
-  const bool is_ffmr = algo.size() == 3 && algo.compare(0, 2, "ff") == 0 &&
-                       algo[2] >= '1' && algo[2] <= '5';
   if (!fault_shape.empty() && !is_ffmr) {
     std::fprintf(stderr, "--fault_shape only applies to --algo=ff1..ff5\n");
     return 2;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/observability.h"
 #include "ffmr/solver.h"
 #include "flow/max_flow.h"
 #include "flow/validate.h"
@@ -25,7 +26,12 @@ int main(int argc, char** argv) {
   const int w = static_cast<int>(flags.get_int("w", 8));
   const int variant = static_cast<int>(flags.get_int("variant", 5));
   const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 42));
-  flags.check_unused();
+  if (!common::obs::finish_flags(
+          flags,
+          "usage: quickstart [--vertices=20000 --degree=16 --w=8 "
+          "--variant=5 --seed=42]\n")) {
+    return 2;
+  }
 
   std::printf("Generating small-world graph: %llu vertices, avg degree %d\n",
               static_cast<unsigned long long>(vertices), degree);

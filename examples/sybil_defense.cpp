@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/observability.h"
 #include "common/rng.h"
 #include "ffmr/solver.h"
 #include "graph/generators.h"
@@ -38,7 +39,12 @@ int main(int argc, char** argv) {
   const auto sybil = static_cast<graph::VertexId>(flags.get_int("sybil", 200));
   const int attack_edges = static_cast<int>(flags.get_int("attack_edges", 4));
   const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 13));
-  flags.check_unused();
+  if (!common::obs::finish_flags(
+          flags,
+          "usage: sybil_defense [--honest=600 --sybil=200 "
+          "--attack_edges=4 --seed=13]\n")) {
+    return 2;
+  }
 
   // Honest social network + sybil region with few attack edges.
   rng::Xoshiro256 rng(seed);

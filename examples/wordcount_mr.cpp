@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/flags.h"
+#include "common/observability.h"
 #include "common/rng.h"
 #include "dfs/record_io.h"
 #include "mapreduce/typed.h"
@@ -18,7 +19,11 @@ int main(int argc, char** argv) {
   const int docs = static_cast<int>(flags.get_int("docs", 200));
   const int nodes = static_cast<int>(flags.get_int("nodes", 4));
   const bool use_combiner = flags.get_bool("combiner", false);
-  flags.check_unused();
+  if (!common::obs::finish_flags(
+          flags,
+          "usage: wordcount_mr [--docs=200 --nodes=4 --combiner]\n")) {
+    return 2;
+  }
 
   mr::ClusterConfig config;
   config.num_slave_nodes = nodes;

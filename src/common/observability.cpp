@@ -1,6 +1,7 @@
 #include "common/observability.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
@@ -83,6 +84,19 @@ void write_outputs(const OutputPaths& paths) {
     // only extends the note ring it captured.
     report(flight_recorder::dump(paths.flight_out, "exit"), paths.flight_out,
            "flight recorder dump");
+  }
+}
+
+bool finish_flags(const Flags& flags, const char* usage) {
+  try {
+    flags.check_unused();
+    return true;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    if (usage != nullptr && usage[0] != '\0') {
+      std::fprintf(stderr, "%s", usage);
+    }
+    return false;
   }
 }
 

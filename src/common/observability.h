@@ -48,4 +48,11 @@ OutputPaths parse_flags(const Flags& flags);
 // was armed.
 void write_outputs(const OutputPaths& paths);
 
+// Wraps Flags::check_unused() for mains: an unknown or misspelled flag
+// prints the parser's diagnostic plus `usage` to stderr and returns false
+// (callers exit 2) instead of escaping as an uncaught exception. Every
+// bench/example/tool main funnels through this so a typo'd flag gives the
+// usage text, not a terminate() backtrace.
+bool finish_flags(const Flags& flags, const char* usage);
+
 }  // namespace mrflow::common::obs

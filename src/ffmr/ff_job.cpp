@@ -519,7 +519,8 @@ const char* variant_name(Variant v) {
 
 void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
                         const std::string& path,
-                        const codec::WireFormat& fmt) {
+                        const codec::WireFormat& fmt,
+                        const graph::FlowAssignment* initial_flow) {
   dfs::RecordWriter out(&cluster.fs(), path, fmt);
   ByteWriter w;
   for (uint64_t i = 0; i < g.num_edge_pairs(); ++i) {
@@ -528,7 +529,9 @@ void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
     state.eid = i;
     state.neighbor = e.b;
     state.is_pair_a = true;
-    state.flow = 0;
+    state.flow = initial_flow != nullptr && i < initial_flow->pair_flow.size()
+                     ? initial_flow->pair_flow[i]
+                     : 0;
     state.cap_ab = e.cap_ab;
     state.cap_ba = e.cap_ba;
     w.clear();

@@ -60,10 +60,13 @@ inline constexpr const char* kAugmenterService = "aug_proc";
 // Writes the raw graph as edge records under `path`: one record per edge
 // pair, keyed by the pair's 'a' endpoint, value = EdgeState from a's
 // perspective. eid == pair index in `g`. An enabled `fmt` stores the file
-// wire-framed (the round-0 mappers decode it transparently).
+// wire-framed (the round-0 mappers decode it transparently). A non-null
+// `initial_flow` seeds each pair's signed flow from it (warm start: the
+// flow must be feasible on `g`; missing tail entries read as zero).
 void write_edge_records(mr::Cluster& cluster, const graph::Graph& g,
                         const std::string& path,
-                        const codec::WireFormat& fmt = {});
+                        const codec::WireFormat& fmt = {},
+                        const graph::FlowAssignment* initial_flow = nullptr);
 
 // Round #0 mapper/reducer.
 mr::MapperFactory make_load_mapper();

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/codec.h"
+#include "graph/graph.h"
 
 namespace mrflow::ffmr {
 
@@ -85,6 +86,14 @@ struct FfmrOptions {
   // round. On by default; inert on flat 1-rack clusters. The topology
   // benches turn it off for the rack ablation.
   bool rack_aggregation = true;
+
+  // Warm start: a feasible flow on the query's graph (e.g. repaired by
+  // flow/repair after an update). The round-0 edge records are seeded with
+  // its per-pair flows and the reported max_flow starts at its value, so
+  // the rounds only search for the missing flow -- an already-maximum warm
+  // flow converges in one exploration phase. Not owned; must outlive the
+  // solve. nullptr = cold start from zero flow.
+  const graph::FlowAssignment* initial_flow = nullptr;
 
   std::string base = "ffmr";  // DFS path prefix
 

@@ -101,7 +101,10 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
   const codec::WireFormat wire =
       resolve_wire_format(options, cluster.config().cost);
   const std::string edges_file = base + "/edges";
-  write_edge_records(cluster, g, edges_file, wire);
+  write_edge_records(cluster, g, edges_file, wire, options.initial_flow);
+  if (options.initial_flow != nullptr) {
+    result.max_flow = options.initial_flow->value;
+  }
 
   // Broadcast writer for the per-round AugmentedEdges side file: framed
   // (compressed) when the wire is on; mappers read it decoded either way

@@ -14,15 +14,31 @@ class Dinic {
       : net_(g), s_(s), t_(t), level_(net_.num_vertices()),
         iter_(net_.num_vertices()) {}
 
-  graph::FlowAssignment run() {
-    Capacity total = 0;
+  graph::FlowAssignment run(int* phases_out = nullptr) {
+    Capacity total = warm_value_;
+    int phases = 0;
     while (build_levels()) {
+      ++phases;
       for (VertexId v = 0; v < net_.num_vertices(); ++v) iter_[v] = 0;
       while (Capacity pushed = blocking_dfs(s_, graph::kInfiniteCap)) {
         total += pushed;
       }
     }
+    if (phases_out != nullptr) *phases_out = phases;
     return net_.extract_assignment(total);
+  }
+
+  // Pre-pushes a feasible flow so run() only searches for the remainder.
+  void seed(const graph::FlowAssignment& warm) {
+    for (size_t i = 0; i < warm.pair_flow.size(); ++i) {
+      Capacity f = warm.pair_flow[i];
+      if (f > 0) {
+        net_.push(static_cast<uint32_t>(2 * i), f);
+      } else if (f < 0) {
+        net_.push(static_cast<uint32_t>(2 * i + 1), -f);
+      }
+    }
+    warm_value_ = warm.value;
   }
 
  private:
@@ -66,6 +82,7 @@ class Dinic {
 
   ResidualNetwork net_;
   VertexId s_, t_;
+  Capacity warm_value_ = 0;
   std::vector<int32_t> level_;
   std::vector<size_t> iter_;
 };
@@ -78,6 +95,22 @@ graph::FlowAssignment max_flow_dinic(const Graph& g, VertexId s, VertexId t) {
   }
   if (s == t) throw std::invalid_argument("source equals sink");
   return Dinic(g, s, t).run();
+}
+
+graph::FlowAssignment max_flow_dinic_warm(const Graph& g, VertexId s,
+                                          VertexId t,
+                                          const graph::FlowAssignment& warm,
+                                          int* phases_out) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+  if (warm.pair_flow.size() > g.num_edge_pairs()) {
+    throw std::invalid_argument("warm flow has more pairs than the graph");
+  }
+  Dinic dinic(g, s, t);
+  dinic.seed(warm);
+  return dinic.run(phases_out);
 }
 
 }  // namespace mrflow::flow

@@ -21,6 +21,18 @@ graph::FlowAssignment max_flow_edmonds_karp(const Graph& g, VertexId s,
 // networks -- the strongest sequential baseline here.
 graph::FlowAssignment max_flow_dinic(const Graph& g, VertexId s, VertexId t);
 
+// Dinic seeded with a feasible warm-start flow (e.g. the output of
+// flow/repair after a graph update): the warm flow is pre-pushed into the
+// residual network, so only the *missing* flow is searched for. The warm
+// flow must be feasible on `g` (capacity + conservation); an already-maximum
+// warm flow costs exactly one BFS phase to confirm. `phases_out`, when
+// non-null, receives the number of level-graph phases run -- the service's
+// "how warm was that start" signal.
+graph::FlowAssignment max_flow_dinic_warm(const Graph& g, VertexId s,
+                                          VertexId t,
+                                          const graph::FlowAssignment& warm,
+                                          int* phases_out = nullptr);
+
 // FIFO Push-Relabel with the gap heuristic and periodic global relabeling.
 graph::FlowAssignment max_flow_push_relabel(const Graph& g, VertexId s,
                                             VertexId t);

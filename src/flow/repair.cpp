@@ -1,0 +1,231 @@
+#include "flow/repair.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mrflow::flow {
+
+namespace {
+
+// One step of a drain walk: the pair carrying the walked flow and the
+// sign with which "reduce this step by delta" applies to the pair flow.
+struct WalkStep {
+  VertexId vertex = 0;  // vertex the walk stands on
+  uint64_t pair = 0;    // pair traversed to get here (undefined for step 0)
+  int8_t sign = 0;      // +1: reduce = f -= delta; -1: reduce = f += delta
+};
+
+class Drainer {
+ public:
+  Drainer(const Graph& g, VertexId s, VertexId t,
+          std::vector<Capacity>& f, std::vector<Capacity>& b)
+      : g_(g), s_(s), t_(t), f_(f), b_(b), on_walk_(g.num_vertices(), 0) {}
+
+  uint64_t arcs_visited() const { return arcs_visited_; }
+
+  // Drains b_[v] > 0 (surplus inflow) by walking upstream along
+  // flow-carrying in-arcs, or b_[v] < 0 (surplus outflow) by walking
+  // downstream along flow-carrying out-arcs. Each completed walk reduces
+  // the walked flows by the walk's bottleneck; terminals absorb whatever
+  // reaches them (that is the drained value). Cycles met along the way are
+  // cancelled outright, which strictly reduces total flow mass, so the
+  // loop terminates.
+  void drain(VertexId v, bool excess) {
+    Capacity& need = b_[v];
+    while (excess ? need > 0 : need < 0) {
+      if (!walk_once(v, excess)) {
+        // No flow-carrying arc despite an imbalance: the prior assignment
+        // was not a flow at all. Surface it -- silently returning would
+        // hand the caller an infeasible "repaired" flow.
+        throw std::invalid_argument(
+            "repair_flow: prior assignment violates conservation beyond "
+            "what its flows can explain");
+      }
+    }
+  }
+
+ private:
+  // Flow carried by `arc` in the walk direction: into `arc.to`'s
+  // *predecessor* for excess walks (flow neighbor -> cur), out of the
+  // current vertex for deficit walks (flow cur -> neighbor). Returns the
+  // magnitude and fills the reduction sign.
+  Capacity walked_flow(const graph::Arc& arc, bool excess, int8_t& sign) const {
+    Capacity f = f_[arc.pair_index];
+    // arc.forward: the walk's current vertex is the pair's 'a' endpoint.
+    if (excess) {
+      // Want flow neighbor -> cur.
+      if (arc.forward) {  // cur == a: b->a flow is f < 0
+        sign = -1;
+        return f < 0 ? -f : 0;
+      }
+      sign = +1;  // cur == b: a->b flow is f > 0
+      return f > 0 ? f : 0;
+    }
+    // Deficit: want flow cur -> neighbor.
+    if (arc.forward) {  // cur == a: a->b flow is f > 0
+      sign = +1;
+      return f > 0 ? f : 0;
+    }
+    sign = -1;  // cur == b: b->a flow is f < 0
+    return f < 0 ? -f : 0;
+  }
+
+  // Runs one walk from v; returns false if no flow-carrying arc exists at
+  // the walk head (broken prior). On success some amount was drained or a
+  // cycle cancelled.
+  bool walk_once(VertexId v, bool excess) {
+    walk_.clear();
+    walk_.push_back(WalkStep{v, 0, 0});
+    on_walk_[v] = 1;
+    Capacity bottleneck = graph::kInfiniteCap;
+    bool progressed = false;
+
+    while (true) {
+      VertexId cur = walk_.back().vertex;
+      const graph::Arc* next = nullptr;
+      int8_t sign = 0;
+      Capacity carried = 0;
+      for (const graph::Arc& arc : g_.neighbors(cur)) {
+        ++arcs_visited_;
+        carried = walked_flow(arc, excess, sign);
+        if (carried > 0) {
+          next = &arc;
+          break;
+        }
+      }
+      if (next == nullptr) break;  // dead end at the walk head
+
+      VertexId w = next->to;
+      if (on_walk_[w]) {
+        cancel_cycle(w, next->pair_index, sign, carried);
+        progressed = true;
+        break;
+      }
+
+      walk_.push_back(WalkStep{w, next->pair_index, sign});
+      bottleneck = std::min(bottleneck, carried);
+
+      const bool terminal = (w == s_ || w == t_);
+      const bool cancels =
+          excess ? b_[w] < 0 : b_[w] > 0;  // opposite imbalance absorbs
+      if (terminal || cancels) {
+        Capacity imbalance = excess ? b_[v] : -b_[v];
+        Capacity amount = std::min(bottleneck, imbalance);
+        if (cancels && !terminal) {
+          amount = std::min(amount, excess ? -b_[w] : b_[w]);
+        }
+        apply(amount);
+        b_[v] += excess ? -amount : amount;
+        if (cancels && !terminal) b_[w] += excess ? amount : -amount;
+        progressed = true;
+        break;
+      }
+      on_walk_[w] = 1;
+    }
+
+    for (const WalkStep& step : walk_) on_walk_[step.vertex] = 0;
+    return progressed;
+  }
+
+  // Reduces every walked flow by `amount`.
+  void apply(Capacity amount) {
+    for (size_t i = 1; i < walk_.size(); ++i) {
+      f_[walk_[i].pair] -= static_cast<Capacity>(walk_[i].sign) * amount;
+    }
+  }
+
+  // The walk ran into vertex `w` already on the walk via (pair, sign,
+  // carried): a flow cycle w -> ... -> cur -> w. Cancel it by its
+  // bottleneck; imbalances are untouched (a cycle is conservation-neutral).
+  void cancel_cycle(VertexId w, uint64_t closing_pair, int8_t closing_sign,
+                    Capacity closing_carried) {
+    size_t start = walk_.size();
+    for (size_t i = 0; i < walk_.size(); ++i) {
+      if (walk_[i].vertex == w) {
+        start = i;
+        break;
+      }
+    }
+    Capacity bottleneck = closing_carried;
+    for (size_t i = start + 1; i < walk_.size(); ++i) {
+      Capacity f = f_[walk_[i].pair];
+      Capacity carried = walk_[i].sign > 0 ? f : -f;
+      bottleneck = std::min(bottleneck, carried);
+    }
+    for (size_t i = start + 1; i < walk_.size(); ++i) {
+      f_[walk_[i].pair] -= static_cast<Capacity>(walk_[i].sign) * bottleneck;
+    }
+    f_[closing_pair] -= static_cast<Capacity>(closing_sign) * bottleneck;
+  }
+
+  const Graph& g_;
+  VertexId s_, t_;
+  std::vector<Capacity>& f_;
+  std::vector<Capacity>& b_;
+  std::vector<uint8_t> on_walk_;
+  std::vector<WalkStep> walk_;
+  uint64_t arcs_visited_ = 0;
+};
+
+}  // namespace
+
+RepairResult repair_flow(const Graph& g, VertexId s, VertexId t,
+                         const graph::FlowAssignment& prior) {
+  if (s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+  if (!g.finalized()) throw std::invalid_argument("graph not finalized");
+  if (prior.pair_flow.size() > g.num_edge_pairs()) {
+    throw std::invalid_argument("prior flow has more pairs than the graph");
+  }
+
+  RepairResult out;
+  std::vector<Capacity>& f = out.flow.pair_flow;
+  f = prior.pair_flow;
+  f.resize(g.num_edge_pairs(), 0);
+
+  // Clamp every pair into the current capacity window.
+  for (size_t i = 0; i < f.size(); ++i) {
+    const graph::EdgePair& e = g.edge(i);
+    if (f[i] > e.cap_ab) {
+      f[i] = e.cap_ab;
+      ++out.pairs_clamped;
+    } else if (f[i] < -e.cap_ba) {
+      f[i] = -e.cap_ba;
+      ++out.pairs_clamped;
+    }
+  }
+
+  // Per-vertex imbalance (inflow - outflow) under the clamped flow.
+  std::vector<Capacity> b(g.num_vertices(), 0);
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (f[i] == 0) continue;
+    const graph::EdgePair& e = g.edge(i);
+    b[e.a] -= f[i];
+    b[e.b] += f[i];
+  }
+
+  Drainer drainer(g, s, t, f, b);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    if (b[v] > 0) drainer.drain(v, /*excess=*/true);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    if (b[v] < 0) drainer.drain(v, /*excess=*/false);
+  }
+  out.arcs_visited = drainer.arcs_visited();
+
+  // The repaired value is whatever still leaves s.
+  Capacity value = 0;
+  for (const graph::Arc& arc : g.neighbors(s)) {
+    Capacity pf = f[arc.pair_index];
+    value += arc.forward ? pf : -pf;
+  }
+  out.flow.value = value;
+  out.drained = prior.value - value;
+  return out;
+}
+
+}  // namespace mrflow::flow

@@ -1,0 +1,57 @@
+// Incremental residual repair: make a stale flow feasible again.
+//
+// A long-lived FlowService keeps the last solve's flow around so the next
+// query can warm-start instead of re-solving from zero. Graph updates can
+// break that stored flow in exactly one way: a capacity decrease (or edge
+// deletion) can leave more flow on a pair than the new capacity window
+// allows. repair_flow() restores feasibility *locally*: it clamps each
+// violating pair into the new window and then drains the resulting
+// conservation imbalances back to the terminals by walking flow-carrying
+// arcs in reverse from the touched endpoints (excess walks upstream toward
+// s, deficit walks downstream toward t, cycles are cancelled outright).
+// Only flow that actually routed through the touched edges is given up;
+// everything else survives and warm-starts the next solve
+// (max_flow_dinic_warm or FfmrOptions::initial_flow).
+//
+// The result is always a feasible flow on the current graph -- capacity
+// and conservation hold by construction, and the value is recomputed from
+// the source's net outflow -- so certify_max_flow() on the warm-started
+// solve's output is the end-to-end safety net.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+using graph::Capacity;
+using graph::Graph;
+using graph::VertexId;
+
+struct RepairResult {
+  // Feasible on the current graph; value = net outflow of s (recomputed).
+  graph::FlowAssignment flow;
+
+  // Flow value lost relative to the prior assignment (>= 0). Zero means
+  // every capacity change left the stored flow feasible.
+  Capacity drained = 0;
+
+  // Pairs whose stored flow exceeded the new capacity window.
+  uint64_t pairs_clamped = 0;
+
+  // Arc-walk steps spent draining imbalances (the incremental-repair work;
+  // 0 when nothing was clamped).
+  uint64_t arcs_visited = 0;
+};
+
+// Repairs `prior` -- a flow that was feasible on an older version of `g`
+// (capacities may have shrunk or grown, pairs may have been appended) --
+// into a feasible flow on the current `g`. `prior.pair_flow` may be
+// shorter than g.num_edge_pairs(); appended pairs start at zero flow.
+// The graph must be finalized. Throws std::invalid_argument on bad
+// terminals.
+RepairResult repair_flow(const Graph& g, VertexId s, VertexId t,
+                         const graph::FlowAssignment& prior);
+
+}  // namespace mrflow::flow

@@ -33,6 +33,18 @@ uint64_t Graph::add_edge(VertexId a, VertexId b, Capacity cap_ab,
   return edges_.size() - 1;
 }
 
+void Graph::set_capacity(uint64_t pair_index, Capacity cap_ab,
+                         Capacity cap_ba) {
+  if (pair_index >= edges_.size()) {
+    throw std::out_of_range("edge pair out of range");
+  }
+  if (cap_ab < 0 || cap_ba < 0) {
+    throw std::invalid_argument("negative capacity");
+  }
+  edges_[pair_index].cap_ab = cap_ab;
+  edges_[pair_index].cap_ba = cap_ba;
+}
+
 void Graph::finalize() {
   if (finalized_) return;
   offsets_.assign(n_ + 1, 0);

@@ -69,6 +69,13 @@ class Graph {
   const std::vector<EdgePair>& edges() const { return edges_; }
   const EdgePair& edge(uint64_t pair_index) const { return edges_[pair_index]; }
 
+  // Rewrites a pair's capacities in place. The CSR stores only adjacency
+  // (endpoints + pair index), so this does NOT invalidate finalize() --
+  // it is the FlowService's O(1) capacity-update / tombstone-delete path
+  // (delete = both capacities zero; pair indices stay stable for cached
+  // flows and cut bitmaps).
+  void set_capacity(uint64_t pair_index, Capacity cap_ab, Capacity cap_ba);
+
   // Builds the CSR adjacency; idempotent. Must be called before degree()
   // or neighbors().
   void finalize();

@@ -1,0 +1,590 @@
+#include "service/batch.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "ffmr/ff_job.h"
+
+namespace mrflow::service {
+
+using ffmr::AugmentedEdges;
+using ffmr::EdgeState;
+using ffmr::ExcessPath;
+using ffmr::PathEdge;
+using serde::ByteReader;
+using serde::ByteWriter;
+
+namespace {
+
+// --------------------------------------------------------------- records
+
+// One query's arrival/visited entry at a vertex: the path from that
+// query's source, tagged (qid, phase, wave). Visits tagged with a stale
+// phase are pruned on the next touch.
+struct BatchVisit {
+  uint64_t qid = 0;
+  uint32_t phase = 0;
+  uint32_t wave = 0;
+  ExcessPath path;
+
+  void encode(ByteWriter& w) const {
+    w.put_varint(qid);
+    w.put_varint(phase);
+    w.put_varint(wave);
+    path.encode(w);
+  }
+  static BatchVisit decode(ByteReader& r) {
+    BatchVisit v;
+    v.qid = r.get_varint();
+    v.phase = static_cast<uint32_t>(r.get_varint());
+    v.wave = static_cast<uint32_t>(r.get_varint());
+    v.path = ExcessPath::decode(r);
+    return v;
+  }
+};
+
+// The record value: a master (adjacency + visited table) or a fragment
+// (arrivals only), mirroring ffmr::VertexValue's split.
+struct BatchValue {
+  bool is_master = false;
+  std::vector<EdgeState> edges;    // master only
+  std::vector<BatchVisit> visits;  // master: visited table; fragment: arrivals
+
+  void encode(ByteWriter& w) const {
+    w.put_u8(is_master ? 1 : 0);
+    w.put_varint(edges.size());
+    for (const EdgeState& e : edges) e.encode(w);
+    w.put_varint(visits.size());
+    for (const BatchVisit& v : visits) v.encode(w);
+  }
+  static BatchValue decode(ByteReader& r) {
+    BatchValue v;
+    v.is_master = r.get_u8() != 0;
+    uint64_t n = r.get_varint();
+    v.edges.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.edges.push_back(EdgeState::decode(r));
+    n = r.get_varint();
+    v.visits.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.visits.push_back(BatchVisit::decode(r));
+    return v;
+  }
+  serde::Bytes encoded() const {
+    ByteWriter w;
+    encode(w);
+    return w.take();
+  }
+};
+
+// ------------------------------------------------------- per-wave state
+
+// One live query in the wave side file. `overlay` holds the query's
+// current absolute per-pair flows (sparse; absent = 0).
+struct QueryRound {
+  uint64_t qid = 0;
+  VertexId source = 0;
+  VertexId sink = 0;
+  uint32_t phase = 1;
+  uint32_t phase_start_wave = 1;
+  AugmentedEdges overlay;
+
+  void encode(ByteWriter& w) const {
+    w.put_varint(qid);
+    w.put_varint(source);
+    w.put_varint(sink);
+    w.put_varint(phase);
+    w.put_varint(phase_start_wave);
+    w.put_bytes(overlay.encode());
+  }
+  static QueryRound decode(ByteReader& r) {
+    QueryRound q;
+    q.qid = r.get_varint();
+    q.source = r.get_varint();
+    q.sink = r.get_varint();
+    q.phase = static_cast<uint32_t>(r.get_varint());
+    q.phase_start_wave = static_cast<uint32_t>(r.get_varint());
+    q.overlay = AugmentedEdges::decode(r.get_bytes());
+    return q;
+  }
+};
+
+serde::Bytes encode_wave_state(const std::vector<QueryRound>& live) {
+  ByteWriter w;
+  w.put_varint(live.size());
+  for (const QueryRound& q : live) q.encode(w);
+  return w.take();
+}
+
+std::vector<QueryRound> decode_wave_state(std::string_view data) {
+  ByteReader r(data);
+  uint64_t n = r.get_varint();
+  std::vector<QueryRound> live;
+  live.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) live.push_back(QueryRound::decode(r));
+  return live;
+}
+
+Capacity overlay_flow(const AugmentedEdges& overlay, ffmr::EdgeId eid) {
+  const Capacity* f = overlay.find(eid);
+  return f != nullptr ? *f : 0;
+}
+
+std::string move_counter(uint64_t qid) {
+  return std::string(kBatchMovePrefix) + std::to_string(qid);
+}
+
+// ------------------------------------------------------------- round #0
+
+// Identical structure to FFMR's load round, producing BatchValue masters
+// (adjacency only -- frontier state arrives via the wave side files).
+class BatchLoadMapper final : public mr::Mapper {
+ public:
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    ByteReader vr(value);
+    EdgeState from_a = EdgeState::decode(vr);
+    VertexId a = ffmr::decode_vertex_key(key);
+    ctx.emit(key, value);
+    EdgeState from_b = from_a;
+    from_b.neighbor = a;
+    from_b.is_pair_a = false;
+    ByteWriter w;
+    from_b.encode(w);
+    ctx.emit(ffmr::encode_vertex_key(from_a.neighbor), w.bytes());
+  }
+};
+
+class BatchLoadReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    BatchValue master;
+    master.is_master = true;
+    master.edges.reserve(values.size());
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      master.edges.push_back(EdgeState::decode(r));
+    }
+    std::sort(master.edges.begin(), master.edges.end(),
+              [](const EdgeState& x, const EdgeState& y) {
+                return x.eid < y.eid;
+              });
+    ctx.emit(key, master.encoded());
+  }
+};
+
+// ---------------------------------------------------------------- waves
+
+// Shared by mapper and reducer: the wave number and the decoded live set.
+struct WaveParams {
+  uint32_t wave = 0;
+  std::vector<QueryRound> live;
+
+  static WaveParams from(mr::TaskContext& ctx) {
+    WaveParams p;
+    p.wave = static_cast<uint32_t>(ctx.param_int(bparam::kWave, 0));
+    p.live = decode_wave_state(ctx.read_side_file(ctx.param(bparam::kStateFile)));
+    return p;
+  }
+
+  const QueryRound* find(uint64_t qid) const {
+    for (const QueryRound& q : live) {
+      if (q.qid == qid) return &q;
+    }
+    return nullptr;
+  }
+};
+
+// Extends `base` over every positive-residual arc of `master` (under the
+// query's overlay flows) and hands each extension to `sink`.
+template <typename Fn>
+void extend_frontier(const BatchValue& master, const QueryRound& q,
+                     const ExcessPath& base, Fn&& sink) {
+  for (const EdgeState& e : master.edges) {
+    Capacity f = overlay_flow(q.overlay, e.eid);
+    Capacity residual = e.is_pair_a ? e.cap_ab - f : e.cap_ba + f;
+    if (residual <= 0) continue;
+    if (base.touches(e.neighbor)) continue;  // never walk back along itself
+    PathEdge step;
+    step.eid = e.eid;
+    step.dir = e.dir_out();
+    step.flow = f;
+    step.cap_fwd = e.is_pair_a ? e.cap_ab : e.cap_ba;
+    step.to = e.neighbor;
+    sink(e.neighbor, step);  // caller fills step.from
+  }
+}
+
+class BatchWaveMapper final : public mr::Mapper {
+ public:
+  void setup(mr::MapContext& ctx) override { params_ = WaveParams::from(ctx); }
+
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    ByteReader vr(value);
+    BatchValue master = BatchValue::decode(vr);
+    if (!master.is_master) return;  // defensive; wave inputs are masters
+    VertexId u = ffmr::decode_vertex_key(key);
+
+    // Group this vertex's arrivals per neighbor so each neighbor gets one
+    // fragment record regardless of how many queries extend to it.
+    std::unordered_map<VertexId, BatchValue> out;
+    static const ExcessPath kEmpty{};
+
+    for (const QueryRound& q : params_.live) {
+      const ExcessPath* base = nullptr;
+      if (u == q.source) {
+        // The source extends exactly once per phase, at the phase's first
+        // wave; its stored (empty) visit is only an arrival blocker.
+        if (q.phase_start_wave == params_.wave) base = &kEmpty;
+      } else {
+        for (const BatchVisit& v : master.visits) {
+          if (v.qid == q.qid && v.phase == q.phase &&
+              v.wave + 1 == params_.wave) {
+            base = &v.path;
+            break;
+          }
+        }
+      }
+      if (base == nullptr) continue;
+
+      extend_frontier(master, q, *base,
+                      [&](VertexId neighbor, PathEdge step) {
+                        step.from = u;
+                        BatchVisit arrival;
+                        arrival.qid = q.qid;
+                        arrival.phase = q.phase;
+                        arrival.wave = params_.wave;
+                        arrival.path = *base;
+                        arrival.path.edges.push_back(step);
+                        out[neighbor].visits.push_back(std::move(arrival));
+                      });
+    }
+    for (auto& [neighbor, frag] : out) {
+      ctx.emit(ffmr::encode_vertex_key(neighbor), frag.encoded());
+    }
+    // Masters are never emitted: every wave schimmy-joins them (the
+    // whole-batch byte saving this solver exists for).
+  }
+
+ private:
+  WaveParams params_;
+};
+
+class BatchWaveReducer final : public mr::Reducer {
+ public:
+  void setup(mr::ReduceContext& ctx) override {
+    params_ = WaveParams::from(ctx);
+  }
+
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    VertexId u = ffmr::decode_vertex_key(key);
+
+    BatchValue master;
+    bool have_master = false;
+    // (qid, encoded path, path), gathered then content-sorted so the first
+    // arrival per query is deterministic across schedules.
+    std::vector<std::tuple<uint64_t, serde::Bytes, ExcessPath>> arrivals;
+
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      BatchValue v = BatchValue::decode(r);
+      if (v.is_master) {
+        master = std::move(v);
+        have_master = true;
+      } else {
+        for (BatchVisit& a : v.visits) {
+          arrivals.emplace_back(a.qid, serde::encode_one(a.path),
+                                std::move(a.path));
+        }
+      }
+    }
+    if (!have_master) return;  // fragment for an unknown vertex; drop
+
+    // Prune visits of retired queries and finished phases.
+    std::erase_if(master.visits, [&](const BatchVisit& v) {
+      const QueryRound* q = params_.find(v.qid);
+      return q == nullptr || v.phase != q->phase;
+    });
+
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const auto& x, const auto& y) {
+                return std::get<0>(x) != std::get<0>(y)
+                           ? std::get<0>(x) < std::get<0>(y)
+                           : std::get<1>(x) < std::get<1>(y);
+              });
+
+    for (auto& [qid, enc, path] : arrivals) {
+      const QueryRound* q = params_.find(qid);
+      if (q == nullptr || path.edges.empty()) continue;
+      if (u == q->sink) {
+        // Every sink arrival is an augmenting candidate; the accumulator
+        // arbitrates conflicts and duplicates deterministically.
+        ctx.call_service(kBatchAugmenterService,
+                         BatchAugmenterService::encode_candidate(qid, path));
+        continue;
+      }
+      if (u == q->source) continue;  // blocked: phase started here
+      bool visited = false;
+      for (const BatchVisit& v : master.visits) {
+        if (v.qid == qid && v.phase == q->phase) {
+          visited = true;
+          break;
+        }
+      }
+      if (visited) continue;  // first (content-least) arrival already won
+      BatchVisit v;
+      v.qid = qid;
+      v.phase = q->phase;
+      v.wave = params_.wave;
+      v.path = std::move(path);
+      master.visits.push_back(std::move(v));
+      ctx.counters().increment(move_counter(qid));
+    }
+
+    // Seed: the wave that starts a phase marks the source visited (empty
+    // path) so later arrivals can't re-enter it.
+    for (const QueryRound& q : params_.live) {
+      if (u != q.source || q.phase_start_wave != params_.wave) continue;
+      BatchVisit v;
+      v.qid = q.qid;
+      v.phase = q.phase;
+      v.wave = params_.wave;
+      master.visits.push_back(std::move(v));
+    }
+
+    ctx.emit(key, master.encoded());
+  }
+
+ private:
+  WaveParams params_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ augmenter
+
+serde::Bytes BatchAugmenterService::encode_candidate(uint64_t qid,
+                                                     const ExcessPath& path) {
+  ByteWriter w;
+  w.put_varint(qid);
+  path.encode(w);
+  return w.take();
+}
+
+serde::Bytes BatchAugmenterService::handle(std::string_view request) {
+  ByteReader r(request);
+  uint64_t qid = r.get_varint();
+  (void)ExcessPath::decode(r);  // validate eagerly; corrupt = task error
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace_back(serde::Bytes(request), qid);
+  return {};
+}
+
+void BatchAugmenterService::on_phase_end() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Content order, not arrival order: the outcome must not depend on
+  // reducer scheduling. Sorting the raw requests sorts by (qid, path).
+  std::sort(pending_.begin(), pending_.end());
+  for (const auto& [raw, qid] : pending_) {
+    ByteReader r(raw);
+    r.get_varint();  // qid
+    ExcessPath path = ExcessPath::decode(r);
+    QueryOutcome& out = outcomes_[qid];
+    ++out.candidates;
+    Capacity amount =
+        accumulators_[qid].accept(path, ffmr::AcceptMode::kMaxBottleneck);
+    if (amount > 0) {
+      ++out.accepted_paths;
+      out.accepted_amount += amount;
+    }
+  }
+  pending_.clear();
+}
+
+std::map<uint64_t, BatchAugmenterService::QueryOutcome>
+BatchAugmenterService::finish_wave() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [qid, acc] : accumulators_) {
+    outcomes_[qid].deltas = acc.to_augmented_edges();
+  }
+  accumulators_.clear();
+  return std::move(outcomes_);
+}
+
+// --------------------------------------------------------------- driver
+
+BatchResult solve_batch(mr::Cluster& cluster, const graph::Graph& g,
+                        std::span<const BatchQuery> queries,
+                        const BatchOptions& opt) {
+  if (!g.finalized()) throw std::invalid_argument("graph not finalized");
+
+  BatchResult result;
+  result.queries.resize(queries.size());
+  std::unordered_map<uint64_t, size_t> index;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const BatchQuery& q = queries[i];
+    if (q.source >= g.num_vertices() || q.sink >= g.num_vertices()) {
+      throw std::invalid_argument("terminal vertex out of range");
+    }
+    if (q.source == q.sink) throw std::invalid_argument("source equals sink");
+    if (!index.emplace(q.qid, i).second) {
+      throw std::invalid_argument("duplicate qid in batch");
+    }
+    result.queries[i].qid = q.qid;
+  }
+  if (queries.empty()) return result;
+
+  // Per-live-query driver state.
+  struct LiveQuery {
+    QueryRound round;
+    std::map<ffmr::EdgeId, Capacity> overlay;  // absolute flows, sparse
+    Capacity value = 0;
+    int phases = 1;
+  };
+  std::vector<LiveQuery> live;
+  for (const BatchQuery& q : queries) {
+    if (g.degree(q.source) == 0 || g.degree(q.sink) == 0) {
+      // Isolated terminal: max flow 0, nothing to run (a feasible warm
+      // flow through an isolated terminal is necessarily worth 0 too).
+      BatchQueryResult& r = result.queries[index[q.qid]];
+      r.assignment.pair_flow.assign(g.num_edge_pairs(), 0);
+      continue;
+    }
+    LiveQuery lq;
+    lq.round.qid = q.qid;
+    lq.round.source = q.source;
+    lq.round.sink = q.sink;
+    if (q.warm != nullptr) {
+      lq.value = q.warm->value;
+      for (size_t i = 0; i < q.warm->pair_flow.size(); ++i) {
+        if (q.warm->pair_flow[i] != 0) lq.overlay[i] = q.warm->pair_flow[i];
+      }
+    }
+    live.push_back(std::move(lq));
+  }
+
+  auto finalize = [&](const LiveQuery& lq, bool converged) {
+    BatchQueryResult& r = result.queries[index.at(lq.round.qid)];
+    r.assignment.value = lq.value;
+    r.assignment.pair_flow.assign(g.num_edge_pairs(), 0);
+    for (const auto& [eid, f] : lq.overlay) r.assignment.pair_flow[eid] = f;
+    r.phases = lq.phases;
+    r.converged = converged;
+  };
+
+  if (live.empty()) return result;
+
+  const std::string& base = opt.base;
+  ffmr::write_edge_records(cluster, g, base + "/edges", opt.wire);
+
+  auto augmenter = std::make_shared<BatchAugmenterService>();
+  mr::ServiceRegistry services;
+  services.add(kBatchAugmenterService, augmenter);
+
+  const int reducers = opt.num_reduce_tasks > 0 ? opt.num_reduce_tasks
+                                                : cluster.total_reduce_slots();
+  mr::JobChain chain(cluster, base);
+
+  // ------------------------------------------------------------ round #0
+  {
+    mr::JobSpec spec;
+    spec.name = base + "#0-build";
+    spec.inputs = {base + "/edges"};
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = [] { return std::make_unique<BatchLoadMapper>(); };
+    spec.reducer = [] { return std::make_unique<BatchLoadReducer>(); };
+    spec.wire = opt.wire;
+    spec.services = &services;
+    chain.run_round(std::move(spec));
+  }
+
+  // ---------------------------------------------------------------- waves
+  std::string prev_state_file;
+  while (!live.empty() && chain.next_round() <= opt.max_waves) {
+    const uint32_t wave = static_cast<uint32_t>(chain.next_round());
+
+    // Sync the per-query phase snapshot and publish the wave side file.
+    std::vector<QueryRound> rounds;
+    rounds.reserve(live.size());
+    for (LiveQuery& lq : live) {
+      lq.round.overlay.deltas.assign(lq.overlay.begin(), lq.overlay.end());
+      rounds.push_back(lq.round);
+    }
+    const std::string state_file =
+        base + "/qstate-" + std::to_string(wave);
+    cluster.fs().write_all(state_file, encode_wave_state(rounds));
+
+    mr::JobSpec spec;
+    spec.name = base + "#" + std::to_string(wave);
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = [] { return std::make_unique<BatchWaveMapper>(); };
+    spec.reducer = [] { return std::make_unique<BatchWaveReducer>(); };
+    spec.schimmy_prefix = chain.prefix_for(static_cast<int>(wave) - 1);
+    spec.params[bparam::kWave] = std::to_string(wave);
+    spec.params[bparam::kStateFile] = state_file;
+    spec.wire = opt.wire;
+    spec.services = &services;
+    const mr::JobStats& stats = chain.run_round(std::move(spec));
+    result.waves = static_cast<int>(wave);
+
+    auto outcomes = augmenter->finish_wave();
+    int64_t wave_candidates = 0, wave_accepted = 0;
+    Capacity wave_amount = 0;
+
+    std::vector<LiveQuery> next;
+    next.reserve(live.size());
+    for (LiveQuery& lq : live) {
+      auto it = outcomes.find(lq.round.qid);
+      if (it != outcomes.end()) {
+        wave_candidates += it->second.candidates;
+        wave_accepted += it->second.accepted_paths;
+        wave_amount += it->second.accepted_amount;
+      }
+      if (it != outcomes.end() && it->second.accepted_amount > 0) {
+        // Augmented: fold the accepted flow in and restart the BFS phase.
+        lq.value += it->second.accepted_amount;
+        for (const auto& [eid, delta] : it->second.deltas.deltas) {
+          Capacity f = (lq.overlay[eid] += delta);
+          if (f == 0) lq.overlay.erase(eid);
+        }
+        ++lq.round.phase;
+        lq.round.phase_start_wave = wave + 1;
+        ++lq.phases;
+        next.push_back(std::move(lq));
+      } else if (stats.counters.value(move_counter(lq.round.qid)) == 0) {
+        // Frontier exhausted without reaching the sink: maximum.
+        finalize(lq, /*converged=*/true);
+      } else {
+        next.push_back(std::move(lq));  // BFS still expanding
+      }
+    }
+    live = std::move(next);
+
+    if (opt.report != nullptr) {
+      std::string extra = ",\"wave\":" + std::to_string(wave);
+      extra += ",\"live_queries\":" + std::to_string(live.size());
+      extra += ",\"paths_offered\":" + std::to_string(wave_candidates);
+      extra += ",\"paths_accepted\":" + std::to_string(wave_accepted);
+      extra += ",\"delta_flow\":" + std::to_string(wave_amount);
+      opt.report->write_round(static_cast<int>(wave), stats, extra);
+    }
+
+    if (!prev_state_file.empty()) cluster.fs().remove(prev_state_file);
+    prev_state_file = state_file;
+  }
+
+  // Wave budget exhausted: report current (feasible) flows, not converged.
+  for (const LiveQuery& lq : live) finalize(lq, /*converged=*/false);
+
+  if (!prev_state_file.empty()) cluster.fs().remove(prev_state_file);
+  cluster.fs().remove(base + "/edges");
+  result.totals = chain.totals();
+  return result;
+}
+
+}  // namespace mrflow::service

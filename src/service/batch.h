@@ -1,0 +1,125 @@
+// Shared-round query batching: one MR wave serves every live query.
+//
+// The FlowService often holds several pending (s, t) queries against the
+// same graph (common sink, or just a replay window). Running FFMR once per
+// query re-pays the dominant costs -- the full master scan, the shuffle,
+// and the schimmy stream -- per query. This solver runs a batched
+// Edmonds-Karp instead: every BFS/augmentation round is ONE MapReduce job
+// shared by all live queries. Frontier messages carry a (qid, phase) tag
+// plus the full path from that query's source (ffmr::ExcessPath), masters
+// are schimmy-joined once per wave regardless of how many queries ride it,
+// and per-query flow state travels as a sparse overlay in a per-wave side
+// file -- so map scans, shuffle, and schimmy bytes are amortized across
+// the batch, which is the entire point.
+//
+// Per query the algorithm is textbook BFS-phase augmentation: a phase
+// explores breadth-first from the source over positive-residual arcs
+// (first arrival per vertex wins, deterministically); paths reaching the
+// sink are offered to a per-query accumulator (deterministic, content-
+// sorted, max-bottleneck -- duplicate deliveries from task retries
+// saturate and self-reject); any acceptance ends the phase, the accepted
+// flow folds into the query's overlay, and the next wave restarts its BFS.
+// A query whose frontier dies without reaching the sink is maximum
+// (Ford-Fulkerson), and retires from the batch. Warm-start flows (from
+// flow/repair) seed the overlay, so a warm query typically retires after
+// one no-progress phase.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ffmr/accumulator.h"
+#include "ffmr/types.h"
+#include "mapreduce/driver.h"
+#include "mapreduce/service.h"
+
+namespace mrflow::service {
+
+using graph::Capacity;
+using graph::VertexId;
+
+namespace bparam {
+inline constexpr const char* kWave = "batch.wave";
+inline constexpr const char* kStateFile = "batch.state";
+}  // namespace bparam
+
+// Per-wave, per-query frontier-move counter ("did query q visit anything
+// new this wave"): kMovePrefix + qid.
+inline constexpr const char* kBatchMovePrefix = "bmove.";
+inline constexpr const char* kBatchAugmenterService = "batch_aug";
+
+struct BatchQuery {
+  uint64_t qid = 0;  // caller-chosen, unique within the batch
+  VertexId source = 0;
+  VertexId sink = 0;
+  // Optional feasible warm-start flow on the batch's graph (not owned;
+  // must outlive solve_batch). nullptr = cold.
+  const graph::FlowAssignment* warm = nullptr;
+};
+
+struct BatchQueryResult {
+  uint64_t qid = 0;
+  graph::FlowAssignment assignment;
+  int phases = 0;  // BFS phases run (accepted augmentations + the final
+                   // no-progress phase)
+  bool converged = true;  // false: retired by max_waves, value is a lower
+                          // bound
+};
+
+struct BatchOptions {
+  int num_reduce_tasks = 0;  // 0 = cluster's total reduce slots
+  int max_waves = 400;
+  std::string base = "batch";  // DFS path prefix
+  codec::WireFormat wire;
+  // Not owned; when set, one JSONL line per wave (round = wave index,
+  // extra fields: live queries, candidates, accepted paths/amount).
+  mr::RoundReportWriter* report = nullptr;
+};
+
+struct BatchResult {
+  std::vector<BatchQueryResult> queries;  // same order as the input span
+  int waves = 0;
+  mr::JobStats totals;
+};
+
+// The batched acceptor: reducers ship (qid, path) candidates; at phase end
+// they are processed content-sorted through per-query accumulators
+// (max-bottleneck), so the outcome is independent of reducer scheduling.
+class BatchAugmenterService final : public mr::Service {
+ public:
+  struct QueryOutcome {
+    int64_t candidates = 0;
+    int64_t accepted_paths = 0;
+    Capacity accepted_amount = 0;
+    ffmr::AugmentedEdges deltas;
+  };
+
+  serde::Bytes handle(std::string_view request) override;
+  void on_phase_end() override;
+
+  // Snapshots and resets the per-wave outcomes (driver, between waves).
+  std::map<uint64_t, QueryOutcome> finish_wave();
+
+  static serde::Bytes encode_candidate(uint64_t qid,
+                                       const ffmr::ExcessPath& path);
+
+ private:
+  std::mutex mu_;
+  // Buffered until on_phase_end: (qid, wire encoding, path).
+  std::vector<std::pair<serde::Bytes, uint64_t>> pending_;
+  std::map<uint64_t, ffmr::Accumulator> accumulators_;
+  std::map<uint64_t, QueryOutcome> outcomes_;
+};
+
+// Solves every query to max flow over `cluster`, sharing each wave's job
+// across the whole batch. `g` must be finalized; qids must be unique;
+// warm flows, when given, must be feasible on `g`.
+BatchResult solve_batch(mr::Cluster& cluster, const graph::Graph& g,
+                        std::span<const BatchQuery> queries,
+                        const BatchOptions& opt);
+
+}  // namespace mrflow::service

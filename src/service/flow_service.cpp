@@ -1,0 +1,506 @@
+#include "service/flow_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "common/flight_recorder.h"
+#include "common/metrics.h"
+#include "ffmr/solver.h"
+#include "flow/certify.h"
+#include "flow/max_flow.h"
+#include "flow/repair.h"
+#include "mapreduce/cluster.h"
+#include "service/batch.h"
+
+namespace mrflow::service {
+
+namespace {
+
+constexpr uint64_t kNoPair = std::numeric_limits<uint64_t>::max();
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::pair<VertexId, VertexId> endpoint_key(VertexId u, VertexId v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDinic: return "dinic";
+    case Backend::kFfmr: return "ffmr";
+  }
+  return "?";
+}
+
+const char* answer_source_name(AnswerSource s) {
+  switch (s) {
+    case AnswerSource::kCold: return "cold";
+    case AnswerSource::kWarm: return "warm";
+    case AnswerSource::kCache: return "cache";
+    case AnswerSource::kBatch: return "batch";
+  }
+  return "?";
+}
+
+FlowService::FlowService(mr::Cluster* cluster, graph::Graph graph,
+                         ServiceOptions opt)
+    : cluster_(cluster), graph_(std::move(graph)), opt_(std::move(opt)) {
+  if (opt_.backend == Backend::kFfmr && cluster_ == nullptr) {
+    throw std::invalid_argument("FFMR backend requires a cluster");
+  }
+  if (cluster_ == nullptr) opt_.batching = false;  // batching runs over MR
+  graph_.finalize();
+  for (uint64_t i = 0; i < graph_.num_edge_pairs(); ++i) {
+    const graph::EdgePair& e = graph_.edge(i);
+    pair_index_[endpoint_key(e.a, e.b)] = i;
+  }
+  if (!opt_.round_report.empty()) {
+    report_ = std::make_unique<mr::RoundReportWriter>(opt_.round_report);
+  }
+}
+
+FlowService::~FlowService() = default;
+
+void FlowService::validate_terminals(VertexId s, VertexId t) const {
+  if (s >= graph_.num_vertices() || t >= graph_.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("source equals sink");
+}
+
+uint64_t FlowService::find_pair(VertexId u, VertexId v) const {
+  auto it = pair_index_.find(endpoint_key(u, v));
+  return it == pair_index_.end() ? kNoPair : it->second;
+}
+
+// ---------------------------------------------------------------- updates
+
+void FlowService::on_pair_changed(uint64_t pair, VertexId a, VertexId b,
+                                  Capacity old_ab, Capacity old_ba,
+                                  Capacity new_ab, Capacity new_ba) {
+  for (auto& [key, entry] : cache_) {
+    if (entry.stale) continue;
+    // Vertices newer than the entry's bitmap were unreachable then: sink
+    // side.
+    auto side = [&](VertexId v) {
+      return v < entry.source_side.size() && entry.source_side[v];
+    };
+    Capacity f =
+        pair < entry.flow.pair_flow.size() ? entry.flow.pair_flow[pair] : 0;
+    const bool feasible = f <= new_ab && -f <= new_ba;
+    // The pair's contribution to the cached S->T cut capacity.
+    auto contribution = [&](Capacity cap_ab, Capacity cap_ba) -> Capacity {
+      if (side(a) && !side(b)) return cap_ab;
+      if (side(b) && !side(a)) return cap_ba;
+      return 0;
+    };
+    if (feasible && contribution(old_ab, old_ba) == contribution(new_ab,
+                                                                 new_ba)) {
+      // Flow still legal and the certificate's cut capacity unchanged:
+      // value == cut still holds, the answer stays provably maximum.
+      entry.epoch = epoch_ + 1;  // revalidated at the post-update epoch
+    } else {
+      entry.stale = true;
+      ++counters_.cache_invalidations;
+    }
+  }
+}
+
+uint64_t FlowService::insert_edge(VertexId u, VertexId v, Capacity cap_uv,
+                                  Capacity cap_vu) {
+  uint64_t pair = graph_.add_edge(u, v, cap_uv, cap_vu);
+  graph_.finalize();
+  pair_index_[endpoint_key(u, v)] = pair;
+  const uint64_t stale_before = counters_.cache_invalidations;
+  on_pair_changed(pair, u, v, 0, 0, cap_uv, cap_vu);
+  ++epoch_;
+  ++counters_.updates;
+  ++counters_.inserts;
+  report_update("insert", u, v, counters_.cache_invalidations > stale_before);
+  return pair;
+}
+
+bool FlowService::delete_edge(VertexId u, VertexId v) {
+  uint64_t pair = find_pair(u, v);
+  if (pair == kNoPair) return false;
+  const graph::EdgePair e = graph_.edge(pair);
+  if (e.cap_ab == 0 && e.cap_ba == 0) return false;  // already tombstoned
+  graph_.set_capacity(pair, 0, 0);
+  const uint64_t stale_before = counters_.cache_invalidations;
+  on_pair_changed(pair, e.a, e.b, e.cap_ab, e.cap_ba, 0, 0);
+  ++epoch_;
+  ++counters_.updates;
+  ++counters_.deletes;
+  report_update("delete", u, v, counters_.cache_invalidations > stale_before);
+  return true;
+}
+
+void FlowService::set_capacity(VertexId u, VertexId v, Capacity cap_uv,
+                               Capacity cap_vu) {
+  uint64_t pair = find_pair(u, v);
+  if (pair == kNoPair) {
+    insert_edge(u, v, cap_uv, cap_vu);
+    return;
+  }
+  const graph::EdgePair e = graph_.edge(pair);
+  // Orient the caller's (u->v, v->u) onto the stored pair.
+  Capacity new_ab = e.a == u ? cap_uv : cap_vu;
+  Capacity new_ba = e.a == u ? cap_vu : cap_uv;
+  if (new_ab == e.cap_ab && new_ba == e.cap_ba) return;  // no-op
+  graph_.set_capacity(pair, new_ab, new_ba);
+  const uint64_t stale_before = counters_.cache_invalidations;
+  on_pair_changed(pair, e.a, e.b, e.cap_ab, e.cap_ba, new_ab, new_ba);
+  ++epoch_;
+  ++counters_.updates;
+  ++counters_.cap_changes;
+  report_update("cap", u, v, counters_.cache_invalidations > stale_before);
+}
+
+// ------------------------------------------------------------------ cache
+
+FlowService::CacheEntry* FlowService::cache_lookup(VertexId s, VertexId t) {
+  if (!opt_.cache) return nullptr;
+  auto it = cache_.find(CacheKey{s, t});
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void FlowService::cache_store(VertexId s, VertexId t,
+                              const QueryResult& result) {
+  if (!opt_.cache || opt_.cache_capacity == 0) return;
+  CacheEntry& entry = cache_[CacheKey{s, t}];
+  entry.flow = result.assignment;
+  entry.source_side = result.source_side;
+  entry.epoch = epoch_;
+  entry.stale = false;
+  entry.last_used = ++lru_tick_;
+  entry.rounds = result.rounds;
+  while (cache_.size() > opt_.cache_capacity) {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    cache_.erase(victim);
+    ++counters_.cache_evictions;
+  }
+}
+
+// ---------------------------------------------------------------- queries
+
+std::optional<graph::FlowAssignment> FlowService::warm_base(
+    VertexId s, VertexId t, const CacheEntry* entry) {
+  if (!opt_.warm_start || entry == nullptr) return std::nullopt;
+  ++counters_.repair_rounds;
+  flow::RepairResult rr = flow::repair_flow(graph_, s, t, entry->flow);
+  auto& metrics = common::MetricsRegistry::global();
+  metrics.record("service.repair.arcs", rr.arcs_visited);
+  metrics.record("service.repair.drained",
+                 static_cast<uint64_t>(std::max<Capacity>(rr.drained, 0)));
+  return std::move(rr.flow);
+}
+
+QueryResult FlowService::resolve_single(VertexId s, VertexId t) {
+  QueryResult r;
+  const CacheEntry* entry = cache_lookup(s, t);  // stale or absent here
+  std::optional<graph::FlowAssignment> warm = warm_base(s, t, entry);
+
+  if (opt_.backend == Backend::kDinic) {
+    int phases = 0;
+    graph::FlowAssignment base;  // cold: empty warm flow
+    r.assignment = flow::max_flow_dinic_warm(
+        graph_, s, t, warm.has_value() ? *warm : base, &phases);
+    r.rounds = phases;
+  } else {
+    ffmr::FfmrOptions o = opt_.ffmr;
+    o.base = "svc/q" + std::to_string(solve_seq_++);
+    o.round_report.clear();  // the service writes its own per-query lines
+    o.initial_flow = warm.has_value() ? &*warm : nullptr;
+    ffmr::FfmrResult fr = ffmr::solve_max_flow(*cluster_, graph_, s, t, o);
+    r.assignment = std::move(fr.assignment);
+    r.rounds = fr.rounds;
+  }
+  r.value = r.assignment.value;
+  if (warm.has_value()) {
+    r.source = AnswerSource::kWarm;
+    ++counters_.warm_hits;
+  } else {
+    r.source = AnswerSource::kCold;
+    ++counters_.cold_solves;
+  }
+  return r;
+}
+
+void FlowService::finish_answer(VertexId s, VertexId t, QueryResult& result,
+                                const mr::JobStats* stats) {
+  result.assignment.pair_flow.resize(graph_.num_edge_pairs(), 0);
+  if (opt_.certify_answers) {
+    flow::Certificate cert = flow::certify_max_flow(graph_, s, t,
+                                                    result.assignment);
+    if (!cert.valid()) {
+      std::string what = std::string("FlowService certificate failure (") +
+                         answer_source_name(result.source) + " answer, s=" +
+                         std::to_string(s) + " t=" + std::to_string(t) +
+                         "): " + cert.summary();
+      common::flight_recorder::note("service", what);
+      throw std::runtime_error(what);
+    }
+    result.certified = true;
+    result.source_side = std::move(cert.source_side);
+  } else if (result.source_side.empty()) {
+    result.source_side = flow::residual_source_side(graph_, s,
+                                                    result.assignment);
+  }
+  if (result.source != AnswerSource::kCache) cache_store(s, t, result);
+
+  auto& metrics = common::MetricsRegistry::global();
+  const uint64_t us =
+      static_cast<uint64_t>(result.wall_seconds * 1e6);
+  metrics.record("service.query.us", us);
+  metrics.record(std::string("service.query.") +
+                     answer_source_name(result.source) + "_us",
+                 us);
+  publish_gauges();
+
+  if (report_) {
+    std::string extra = ",\"op\":\"query\"";
+    extra += ",\"s\":" + std::to_string(s);
+    extra += ",\"t\":" + std::to_string(t);
+    extra += std::string(",\"answer\":\"") +
+             answer_source_name(result.source) + "\"";
+    extra += ",\"value\":" + std::to_string(result.value);
+    extra += ",\"solver_rounds\":" + std::to_string(result.rounds);
+    extra += ",\"query_wall_seconds\":" + std::to_string(result.wall_seconds);
+    extra += std::string(",\"certified\":") +
+             (result.certified ? "true" : "false");
+    extra += ",\"epoch\":" + std::to_string(epoch_);
+    extra += ",\"warm_hits\":" + std::to_string(counters_.warm_hits);
+    extra += ",\"cache_hits\":" + std::to_string(counters_.cache_hits);
+    extra += ",\"queries_batched\":" +
+             std::to_string(counters_.queries_batched);
+    extra += ",\"repair_rounds\":" + std::to_string(counters_.repair_rounds);
+    extra += ",\"cold_solves\":" + std::to_string(counters_.cold_solves);
+    mr::JobStats empty;
+    report_->write_round(
+        static_cast<int>(counters_.queries + counters_.updates),
+        stats != nullptr ? *stats : empty, extra);
+  }
+}
+
+void FlowService::report_update(const char* op, VertexId u, VertexId v,
+                                bool invalidated) {
+  publish_gauges();
+  if (!report_) return;
+  std::string extra = std::string(",\"op\":\"") + op + "\"";
+  extra += ",\"u\":" + std::to_string(u);
+  extra += ",\"v\":" + std::to_string(v);
+  extra += ",\"epoch\":" + std::to_string(epoch_);
+  extra += std::string(",\"invalidated\":") + (invalidated ? "true" : "false");
+  extra += ",\"cache_invalidations\":" +
+           std::to_string(counters_.cache_invalidations);
+  mr::JobStats empty;
+  report_->write_round(static_cast<int>(counters_.queries + counters_.updates),
+                       empty, extra);
+}
+
+void FlowService::publish_gauges() {
+  auto& metrics = common::MetricsRegistry::global();
+  metrics.gauge_max("service.queries",
+                    static_cast<int64_t>(counters_.queries));
+  metrics.gauge_max("service.warm_hits",
+                    static_cast<int64_t>(counters_.warm_hits));
+  metrics.gauge_max("service.cache_hits",
+                    static_cast<int64_t>(counters_.cache_hits));
+  metrics.gauge_max("service.queries_batched",
+                    static_cast<int64_t>(counters_.queries_batched));
+  metrics.gauge_max("service.repair_rounds",
+                    static_cast<int64_t>(counters_.repair_rounds));
+  metrics.gauge_max("service.cold_solves",
+                    static_cast<int64_t>(counters_.cold_solves));
+  metrics.gauge_max("service.updates",
+                    static_cast<int64_t>(counters_.updates));
+  metrics.gauge_max("service.cache_invalidations",
+                    static_cast<int64_t>(counters_.cache_invalidations));
+  metrics.gauge_max("service.cache_size", static_cast<int64_t>(cache_.size()));
+}
+
+QueryResult FlowService::query(VertexId s, VertexId t) {
+  validate_terminals(s, t);
+  const auto t0 = Clock::now();
+  ++counters_.queries;
+  QueryResult r;
+  CacheEntry* entry = cache_lookup(s, t);
+  if (entry != nullptr && !entry->stale) {
+    ++counters_.cache_hits;
+    r.source = AnswerSource::kCache;
+    r.value = entry->flow.value;
+    r.rounds = 0;
+    r.assignment = entry->flow;
+    r.source_side = entry->source_side;
+    entry->last_used = ++lru_tick_;
+    entry->epoch = epoch_;
+    r.wall_seconds = elapsed_s(t0);
+    finish_answer(s, t, r, nullptr);
+    return r;
+  }
+  r = resolve_single(s, t);
+  r.wall_seconds = elapsed_s(t0);
+  finish_answer(s, t, r, nullptr);
+  return r;
+}
+
+std::vector<QueryResult> FlowService::query_batch(
+    std::span<const std::pair<VertexId, VertexId>> pairs) {
+  std::vector<QueryResult> out(pairs.size());
+  std::vector<size_t> unresolved;
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto [s, t] = pairs[i];
+    validate_terminals(s, t);
+    ++counters_.queries;
+    CacheEntry* entry = cache_lookup(s, t);
+    if (entry != nullptr && !entry->stale) {
+      const auto t0 = Clock::now();
+      ++counters_.cache_hits;
+      QueryResult& r = out[i];
+      r.source = AnswerSource::kCache;
+      r.value = entry->flow.value;
+      r.assignment = entry->flow;
+      r.source_side = entry->source_side;
+      entry->last_used = ++lru_tick_;
+      entry->epoch = epoch_;
+      r.wall_seconds = elapsed_s(t0);
+      finish_answer(s, t, r, nullptr);
+    } else {
+      unresolved.push_back(i);
+    }
+  }
+  if (unresolved.empty()) return out;
+
+  // Group for shared rounds: by common sink first (the paper's natural
+  // sharing axis), then remaining singletons by common source. Whatever
+  // is left runs through the single-query path.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> singles;
+  if (opt_.batching && unresolved.size() >= 2) {
+    std::map<VertexId, std::vector<size_t>> by_sink;
+    for (size_t i : unresolved) by_sink[pairs[i].second].push_back(i);
+    std::vector<size_t> leftover;
+    for (auto& [sink, members] : by_sink) {
+      if (members.size() >= 2) {
+        groups.push_back(std::move(members));
+      } else {
+        leftover.push_back(members[0]);
+      }
+    }
+    std::map<VertexId, std::vector<size_t>> by_source;
+    for (size_t i : leftover) by_source[pairs[i].first].push_back(i);
+    for (auto& [source, members] : by_source) {
+      if (members.size() >= 2) {
+        groups.push_back(std::move(members));
+      } else {
+        singles.push_back(members[0]);
+      }
+    }
+  } else {
+    singles = std::move(unresolved);
+  }
+
+  for (const std::vector<size_t>& group : groups) {
+    const auto t0 = Clock::now();
+    // Warm bases must outlive solve_batch; BatchQuery::warm points here.
+    std::vector<std::optional<graph::FlowAssignment>> warms(group.size());
+    std::vector<BatchQuery> queries(group.size());
+    for (size_t k = 0; k < group.size(); ++k) {
+      auto [s, t] = pairs[group[k]];
+      warms[k] = warm_base(s, t, cache_lookup(s, t));
+      queries[k].qid = group[k];
+      queries[k].source = s;
+      queries[k].sink = t;
+      queries[k].warm = warms[k].has_value() ? &*warms[k] : nullptr;
+    }
+    BatchOptions bo;
+    bo.base = "svc/b" + std::to_string(solve_seq_++);
+    bo.num_reduce_tasks = opt_.ffmr.num_reduce_tasks;
+    bo.wire = ffmr::resolve_wire_format(opt_.ffmr, cluster_->config().cost);
+    BatchResult br = solve_batch(*cluster_, graph_, queries, bo);
+    const double wall = elapsed_s(t0);
+    for (size_t k = 0; k < group.size(); ++k) {
+      const size_t i = group[k];
+      QueryResult& r = out[i];
+      r.source = AnswerSource::kBatch;
+      r.assignment = std::move(br.queries[k].assignment);
+      r.value = r.assignment.value;
+      r.rounds = br.queries[k].phases;
+      r.wall_seconds = wall;  // the group's shared rounds finish together
+      ++counters_.queries_batched;
+      finish_answer(pairs[i].first, pairs[i].second, r, &br.totals);
+    }
+  }
+
+  for (size_t i : singles) {
+    const auto t0 = Clock::now();
+    auto [s, t] = pairs[i];
+    out[i] = resolve_single(s, t);
+    out[i].wall_seconds = elapsed_s(t0);
+    finish_answer(s, t, out[i], nullptr);
+  }
+  return out;
+}
+
+std::optional<QueryResult> FlowService::apply(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kQuery:
+      return query(op.u, op.v);
+    case OpKind::kInsert:
+      insert_edge(op.u, op.v, op.cap_uv, op.cap_vu);
+      return std::nullopt;
+    case OpKind::kDelete:
+      delete_edge(op.u, op.v);
+      return std::nullopt;
+    case OpKind::kCap:
+      set_capacity(op.u, op.v, op.cap_uv, op.cap_vu);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+ReplayResult FlowService::replay(const Trace& trace) {
+  ReplayResult rr;
+  const auto t0 = Clock::now();
+  std::vector<std::pair<VertexId, VertexId>> window;
+  auto flush = [&] {
+    if (window.empty()) return;
+    if (window.size() == 1) {
+      rr.query_results.push_back(query(window[0].first, window[0].second));
+    } else {
+      auto results = query_batch(window);
+      for (auto& r : results) rr.query_results.push_back(std::move(r));
+    }
+    rr.queries += window.size();
+    window.clear();
+  };
+  const size_t max_window =
+      opt_.batching ? static_cast<size_t>(std::max(1, opt_.batch_window)) : 1;
+  for (const Op& op : trace) {
+    if (op.kind == OpKind::kQuery) {
+      window.emplace_back(op.u, op.v);
+      if (window.size() >= max_window) flush();
+    } else {
+      flush();
+      apply(op);
+      ++rr.updates;
+    }
+  }
+  flush();
+  rr.wall_seconds = elapsed_s(t0);
+  return rr;
+}
+
+}  // namespace mrflow::service

@@ -1,0 +1,213 @@
+// FlowService: the long-lived max-flow/min-cut engine (ROADMAP item 1).
+//
+// A service instance loads one graph and then serves a *stream*: max-flow
+// queries interleaved with edge inserts, deletes, and capacity changes.
+// Three layers keep the stream cheap relative to cold-solving every query:
+//
+//  1. Residual/cut cache. Every answered (s, t) keeps {flow, value, cut
+//     bitmap, epoch}. An update touching pair (a, b) leaves a cached
+//     answer PROVABLY still maximum when (i) the stored flow on that pair
+//     still fits the new capacity window and (ii) the pair's contribution
+//     to the cached S->T cut capacity is unchanged -- then value == cut
+//     capacity still holds and the old certificate stands. Only updates
+//     that break one of the two mark the entry stale (epoch-based
+//     invalidation keyed on which side of the cut the update lands).
+//
+//  2. Incremental residual repair + warm start. A stale entry is not
+//     discarded: flow/repair clamps it into the new capacity windows and
+//     drains only the imbalanced part back to the terminals, and the
+//     repaired flow warm-starts the backend (max_flow_dinic_warm or
+//     FfmrOptions::initial_flow). An update that did not break the min
+//     cut re-converges in one exploration phase.
+//
+//  3. Shared-round batching. Pending queries grouped by common sink (then
+//     common source) run through service/batch: every BFS/augmentation
+//     round is ONE MapReduce job for the whole group, so map scans,
+//     shuffle, and schimmy streams are paid once per round, not once per
+//     query. replay() batches consecutive trace queries automatically.
+//
+// Every answer -- cold, warm, cached, or batched -- is re-certified with
+// flow/certify when certify_answers is on (the default); a certificate
+// failure throws, because a wrong cached answer must never leave quietly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ffmr/options.h"
+#include "graph/graph.h"
+#include "mapreduce/driver.h"
+#include "service/trace.h"
+
+namespace mrflow::mr {
+class Cluster;
+}
+
+namespace mrflow::service {
+
+enum class Backend { kDinic, kFfmr };
+
+// How an answer was produced (the per-query latency histograms and the
+// bench speedup table split on this).
+enum class AnswerSource { kCold, kWarm, kCache, kBatch };
+
+const char* backend_name(Backend b);
+const char* answer_source_name(AnswerSource s);
+
+struct ServiceOptions {
+  // kDinic: sequential warm-startable oracle (no cluster needed).
+  // kFfmr: the paper's MR solver (requires a cluster).
+  Backend backend = Backend::kDinic;
+  // FFMR settings for backend == kFfmr; `base` and `initial_flow` are
+  // managed per query by the service.
+  ffmr::FfmrOptions ffmr;
+
+  bool warm_start = true;  // repair + warm-start instead of cold re-solve
+  bool cache = true;       // (s, t) -> answer memoization
+  bool batching = true;    // shared-round query batching (needs a cluster)
+  size_t cache_capacity = 64;  // LRU-evicted beyond this many (s, t) keys
+
+  // replay(): max consecutive queries gathered into one shared batch.
+  int batch_window = 8;
+
+  // Re-certify every answer (flow/certify); a failed certificate throws.
+  bool certify_answers = true;
+
+  // Host-filesystem JSONL: one line per operation (query/insert/delete/
+  // cap) with the answer source, value, wall seconds, epoch, and the
+  // service counters. Empty = no report.
+  std::string round_report;
+};
+
+struct QueryResult {
+  graph::Capacity value = 0;
+  AnswerSource source = AnswerSource::kCold;
+  // Backend work: FFMR rounds, Dinic phases, or batch BFS phases.
+  int rounds = 0;
+  double wall_seconds = 0;
+  bool certified = false;  // certificate ran and was valid
+  graph::FlowAssignment assignment;
+  std::vector<bool> source_side;  // min-cut witness (S side)
+};
+
+struct ServiceCounters {
+  uint64_t queries = 0;
+  uint64_t cold_solves = 0;
+  uint64_t warm_hits = 0;        // answered via repair + warm start
+  uint64_t cache_hits = 0;       // answered straight from a live entry
+  uint64_t queries_batched = 0;  // answered through a shared-round batch
+  uint64_t repair_rounds = 0;    // flow/repair invocations
+  uint64_t updates = 0;          // inserts + deletes + cap changes
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t cap_changes = 0;
+  uint64_t cache_invalidations = 0;  // entries marked stale by updates
+  uint64_t cache_evictions = 0;      // LRU pressure
+};
+
+struct ReplayResult {
+  std::vector<QueryResult> query_results;  // per query op, trace order
+  uint64_t queries = 0;
+  uint64_t updates = 0;
+  double wall_seconds = 0;
+};
+
+class FlowService {
+ public:
+  // `cluster` may be nullptr for the kDinic backend (batching is then
+  // disabled); kFfmr requires one. The graph is copied and finalized.
+  FlowService(mr::Cluster* cluster, graph::Graph graph, ServiceOptions opt);
+  ~FlowService();
+
+  FlowService(const FlowService&) = delete;
+  FlowService& operator=(const FlowService&) = delete;
+
+  // ------------------------------------------------------------ updates
+  // Adds a new edge pair (u, v). Returns the pair index.
+  uint64_t insert_edge(VertexId u, VertexId v, Capacity cap_uv,
+                       Capacity cap_vu);
+  // Tombstones the pair between u and v (both capacities -> 0; the pair
+  // index stays allocated so cached flows keep their indexing). Returns
+  // false when no such pair exists.
+  bool delete_edge(VertexId u, VertexId v);
+  // Rewrites the capacities of the pair between u and v, in (u->v, v->u)
+  // orientation. Inserts the edge when no such pair exists.
+  void set_capacity(VertexId u, VertexId v, Capacity cap_uv, Capacity cap_vu);
+
+  // ------------------------------------------------------------ queries
+  QueryResult query(VertexId s, VertexId t);
+  // Answers a set of queries, sharing BFS rounds across groups with a
+  // common sink (then common source) when batching is enabled.
+  std::vector<QueryResult> query_batch(
+      std::span<const std::pair<VertexId, VertexId>> pairs);
+
+  // Replays a trace: updates applied in order, consecutive queries
+  // gathered into shared batches of up to ServiceOptions::batch_window.
+  ReplayResult replay(const Trace& trace);
+  // Applies one op; query results for kQuery, nullopt otherwise.
+  std::optional<QueryResult> apply(const Op& op);
+
+  // ------------------------------------------------------------- state
+  const graph::Graph& graph() const { return graph_; }
+  const ServiceCounters& counters() const { return counters_; }
+  // Bumped by every update; cached answers remember the epoch they were
+  // computed (or last revalidated) at.
+  uint64_t epoch() const { return epoch_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    graph::FlowAssignment flow;      // sized for the graph when stored
+    std::vector<bool> source_side;   // cut bitmap at answer time
+    uint64_t epoch = 0;              // last epoch the answer was valid at
+    bool stale = false;              // invalidated; flow kept as warm base
+    uint64_t last_used = 0;          // LRU tick
+    int rounds = 0;
+  };
+  using CacheKey = std::pair<VertexId, VertexId>;  // (s, t)
+
+  void validate_terminals(VertexId s, VertexId t) const;
+  // Applies the survival rule to every cache entry for a pair whose
+  // capacities changed old -> new.
+  void on_pair_changed(uint64_t pair, VertexId a, VertexId b,
+                       Capacity old_ab, Capacity old_ba, Capacity new_ab,
+                       Capacity new_ba);
+  // Pair between u and v in either orientation; npos when absent.
+  uint64_t find_pair(VertexId u, VertexId v) const;
+
+  CacheEntry* cache_lookup(VertexId s, VertexId t);
+  void cache_store(VertexId s, VertexId t, const QueryResult& result);
+
+  // Repairs a stale entry's flow into a feasible warm base (nullopt when
+  // warm start is off or there is nothing to repair from).
+  std::optional<graph::FlowAssignment> warm_base(VertexId s, VertexId t,
+                                                 const CacheEntry* entry);
+  // One uncached query through the backend (cold or warm).
+  QueryResult resolve_single(VertexId s, VertexId t);
+  // Certify + cut bitmap + cache store + metrics/report bookkeeping,
+  // shared by every answer path.
+  void finish_answer(VertexId s, VertexId t, QueryResult& result,
+                     const mr::JobStats* stats);
+  void report_update(const char* op, VertexId u, VertexId v, bool invalidated);
+  void publish_gauges();
+
+  mr::Cluster* cluster_;
+  graph::Graph graph_;
+  ServiceOptions opt_;
+  ServiceCounters counters_;
+  uint64_t epoch_ = 0;
+  uint64_t lru_tick_ = 0;
+  uint64_t solve_seq_ = 0;  // unique DFS base per backend solve
+  std::map<CacheKey, CacheEntry> cache_;
+  // (min(u,v), max(u,v)) -> latest pair index, for cap/delete lookups.
+  std::map<CacheKey, uint64_t> pair_index_;
+  std::unique_ptr<mr::RoundReportWriter> report_;
+};
+
+}  // namespace mrflow::service

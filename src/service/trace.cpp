@@ -1,0 +1,188 @@
+#include "service/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace mrflow::service {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kQuery: return "query";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kDelete: return "delete";
+    case OpKind::kCap: return "cap";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(size_t line_no, const std::string& why) {
+  throw std::invalid_argument("trace line " + std::to_string(line_no) + ": " +
+                              why);
+}
+
+}  // namespace
+
+Trace parse_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb) || verb[0] == '#') continue;
+
+    Op op;
+    auto read_vertex = [&](VertexId& out) {
+      int64_t v;
+      if (!(ls >> v) || v < 0) fail(line_no, "expected a vertex id");
+      out = static_cast<VertexId>(v);
+    };
+    auto read_cap = [&](Capacity& out) {
+      if (!(ls >> out) || out < 0) fail(line_no, "expected a capacity");
+    };
+
+    if (verb == "query") {
+      op.kind = OpKind::kQuery;
+      read_vertex(op.u);
+      read_vertex(op.v);
+    } else if (verb == "insert" || verb == "cap") {
+      op.kind = verb == "insert" ? OpKind::kInsert : OpKind::kCap;
+      read_vertex(op.u);
+      read_vertex(op.v);
+      read_cap(op.cap_uv);
+      if (!(ls >> op.cap_vu)) {
+        op.cap_vu = op.cap_uv;  // undirected default
+      } else if (op.cap_vu < 0) {
+        fail(line_no, "expected a capacity");
+      }
+    } else if (verb == "delete") {
+      op.kind = OpKind::kDelete;
+      read_vertex(op.u);
+      read_vertex(op.v);
+    } else {
+      fail(line_no, "unknown op '" + verb + "'");
+    }
+
+    std::string extra;
+    if (ls >> extra && extra[0] != '#') {
+      fail(line_no, "trailing token '" + extra + "'");
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+Trace parse_trace_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open trace file: " + path);
+  return parse_trace(in);
+}
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  for (const Op& op : trace) {
+    out << op_kind_name(op.kind) << ' ' << op.u << ' ' << op.v;
+    if (op.kind == OpKind::kInsert || op.kind == OpKind::kCap) {
+      out << ' ' << op.cap_uv;
+      if (op.cap_vu != op.cap_uv) out << ' ' << op.cap_vu;
+    }
+    out << '\n';
+  }
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot open trace file: " + path);
+  write_trace(trace, out);
+}
+
+Trace generate_trace(const graph::Graph& g, const TraceGenOptions& opt) {
+  if (g.num_vertices() < 2) {
+    throw std::invalid_argument("trace generation needs >= 2 vertices");
+  }
+  if (g.num_edge_pairs() == 0) {
+    throw std::invalid_argument("trace generation needs >= 1 edge pair");
+  }
+  rng::Xoshiro256 rng(opt.seed);
+  const VertexId n = g.num_vertices();
+
+  auto random_pair = [&] {
+    VertexId s = rng.next_below(n);
+    VertexId t = rng.next_below(n - 1);
+    if (t >= s) ++t;  // uniform over t != s
+    return std::pair<VertexId, VertexId>{s, t};
+  };
+
+  // The hot set of repeated (s, t) pairs.
+  std::vector<std::pair<VertexId, VertexId>> hot;
+  const int hot_pairs = std::max(1, opt.hot_pairs);
+  for (int i = 0; i < hot_pairs; ++i) hot.push_back(random_pair());
+
+  Trace trace;
+  trace.reserve(opt.ops);
+  // Deletions only tombstone edges the trace itself inserted, so replaying
+  // the trace never destroys the base graph's connectivity and the number
+  // of live pairs cannot shrink below the seed graph's.
+  std::vector<std::pair<VertexId, VertexId>> inserted;
+  for (uint64_t i = 0; i < opt.ops; ++i) {
+    Op op;
+    if (rng.next_bool(opt.query_fraction)) {
+      op.kind = OpKind::kQuery;
+      auto [s, t] =
+          rng.next_bool(opt.hot_fraction) ? hot[rng.next_below(hot.size())]
+                                          : random_pair();
+      op.u = s;
+      op.v = t;
+    } else {
+      double kind = rng.next_double();
+      if (kind < 0.2 || (kind < 0.4 && inserted.empty())) {
+        op.kind = OpKind::kInsert;
+        auto [u, v] = random_pair();
+        op.u = u;
+        op.v = v;
+        op.cap_uv = rng.next_range(1, opt.max_cap);
+        op.cap_vu = op.cap_uv;
+        inserted.emplace_back(u, v);
+      } else if (kind < 0.4) {
+        op.kind = OpKind::kDelete;
+        size_t pick = rng.next_below(inserted.size());
+        op.u = inserted[pick].first;
+        op.v = inserted[pick].second;
+        inserted.erase(inserted.begin() + pick);
+      } else {
+        op.kind = OpKind::kCap;
+        uint64_t eid = rng.next_below(g.num_edge_pairs());
+        // Half the rewrites target an edge incident to a hot terminal:
+        // those edges sit on (or feed) the cached min cuts, so the trace
+        // actually exercises invalidation, repair and warm restarts -- a
+        // uniformly random edge of a small-world graph almost never
+        // crosses a hot cut.
+        if (rng.next_bool(0.5)) {
+          auto [hs, ht] = hot[rng.next_below(hot.size())];
+          VertexId v = rng.next_bool(0.5) ? hs : ht;
+          auto arcs = g.neighbors(v);
+          if (!arcs.empty()) eid = arcs[rng.next_below(arcs.size())].pair_index;
+        }
+        const graph::EdgePair& e = g.edge(eid);
+        op.u = e.a;
+        op.v = e.b;
+        op.cap_uv = rng.next_range(0, opt.max_cap);
+        op.cap_vu = rng.next_range(0, opt.max_cap);
+      }
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace mrflow::service

@@ -1,0 +1,80 @@
+// Update+query traces for the long-lived FlowService.
+//
+// A trace is the service's workload unit: an ordered list of operations
+// replayed against one loaded graph. The text form is line-oriented so
+// traces can be piped into `maxflow_cli --serve`, committed as examples,
+// and diffed in review:
+//
+//   # comment (blank lines ignored)
+//   query <s> <t>
+//   insert <u> <v> <cap_uv> [<cap_vu>]
+//   delete <u> <v>
+//   cap <u> <v> <cap_uv> [<cap_vu>]
+//
+// `insert` with an omitted <cap_vu> mirrors <cap_uv> (the undirected
+// small-world default); same for `cap`. `delete` zeroes both directions
+// (the service tombstones the pair; indices stay stable).
+//
+// generate_trace() is the deterministic workload shaper shared by the
+// bench, the tests, and `make_example_graph --trace_out`: update-light
+// streams with a configurable hot set of repeated (s, t) pairs, which is
+// exactly the regime the warm/cache/batch layers are built for.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrflow::service {
+
+using graph::Capacity;
+using graph::VertexId;
+
+enum class OpKind { kQuery, kInsert, kDelete, kCap };
+
+const char* op_kind_name(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kQuery;
+  VertexId u = 0;  // query: source
+  VertexId v = 0;  // query: sink
+  Capacity cap_uv = 0;
+  Capacity cap_vu = 0;
+};
+
+using Trace = std::vector<Op>;
+
+// Parses the text format above. Throws std::invalid_argument with the
+// offending line number on malformed input.
+Trace parse_trace(std::istream& in);
+Trace parse_trace_text(const std::string& text);
+Trace load_trace_file(const std::string& path);
+
+// Writes ops in the text format (one per line, round-trips with parse).
+void write_trace(const Trace& trace, std::ostream& out);
+void save_trace_file(const Trace& trace, const std::string& path);
+
+struct TraceGenOptions {
+  uint64_t ops = 128;
+  // Fraction of ops that are queries; the rest split among cap changes
+  // (~60%), inserts (~20%), deletes (~20%).
+  double query_fraction = 0.9;
+  uint64_t seed = 1;
+  // Distinct (s, t) pairs forming the hot set; queries draw from it with
+  // probability `hot_fraction`, else a fresh uniform pair. Small hot sets
+  // are what make the residual/cut cache earn its keep.
+  int hot_pairs = 8;
+  double hot_fraction = 0.8;
+  // Capacity range for inserted edges and cap rewrites.
+  Capacity max_cap = 4;
+};
+
+// Deterministic (seeded) trace over `g`'s vertex space. Updates reference
+// existing pair indices for cap/delete and fresh vertex pairs for insert;
+// queries never have s == t. `g` must have >= 2 vertices and >= 1 pair.
+Trace generate_trace(const graph::Graph& g, const TraceGenOptions& opt);
+
+}  // namespace mrflow::service

@@ -25,6 +25,7 @@
 #include "common/profile.h"
 #include "ffmr/solver.h"
 #include "graph/generators.h"
+#include "service/flow_service.h"
 
 #ifndef MRFLOW_SOURCE_DIR
 #error "tests/CMakeLists.txt must define MRFLOW_SOURCE_DIR"
@@ -407,6 +408,110 @@ TEST(ProfileReportSchema, LiveReportMatchesCommittedExample) {
   Schema crit0 = object_schema(crit[0]);
   EXPECT_EQ(crit0["task"], Kind::kString);
   EXPECT_EQ(crit0["ms"], Kind::kNumber);
+}
+
+// --------------------------------------------- service round report
+
+// A live FlowService round report covering both line shapes the service
+// emits: query lines (op="query" with the answer provenance) and update
+// lines (op="insert"/"delete"/"cap" with the invalidation outcome).
+std::vector<std::string> live_service_report() {
+  graph::Graph g = graph::watts_strogatz(60, 4, 0.25, 5);
+  g.finalize();
+  std::string path = ::testing::TempDir() + "/schema_service_report." +
+                     std::to_string(::getpid()) + ".jsonl";
+  {
+    service::ServiceOptions opt;
+    opt.backend = service::Backend::kDinic;
+    opt.round_report = path;
+    service::FlowService svc(nullptr, g, opt);
+    svc.query(0, 30);
+    svc.query(0, 30);  // cache hit: provenance still reported
+    svc.insert_edge(1, 30, 3, 3);
+    svc.set_capacity(1, 30, 2, 2);
+    svc.delete_edge(1, 30);
+    svc.query(0, 30);
+  }
+  auto lines = read_lines(path);
+  std::remove(path.c_str());
+  return lines;
+}
+
+TEST(ServiceReportSchema, QueryAndUpdateLinesCarryTheirFields) {
+  auto lines = live_service_report();
+  ASSERT_EQ(lines.size(), 6u);
+
+  const std::pair<const char*, Kind> kQueryRequired[] = {
+      {"round", Kind::kNumber},
+      {"op", Kind::kString},
+      {"s", Kind::kNumber},
+      {"t", Kind::kNumber},
+      {"answer", Kind::kString},
+      {"value", Kind::kNumber},
+      {"solver_rounds", Kind::kNumber},
+      {"query_wall_seconds", Kind::kNumber},
+      {"certified", Kind::kBool},
+      {"epoch", Kind::kNumber},
+      {"warm_hits", Kind::kNumber},
+      {"cache_hits", Kind::kNumber},
+      {"queries_batched", Kind::kNumber},
+      {"repair_rounds", Kind::kNumber},
+      {"cold_solves", Kind::kNumber},
+  };
+  const std::pair<const char*, Kind> kUpdateRequired[] = {
+      {"round", Kind::kNumber},
+      {"op", Kind::kString},
+      {"u", Kind::kNumber},
+      {"v", Kind::kNumber},
+      {"epoch", Kind::kNumber},
+      {"invalidated", Kind::kBool},
+      {"cache_invalidations", Kind::kNumber},
+  };
+
+  // Lines 0, 1, 5 are queries; 2, 3, 4 are the insert/cap/delete.
+  std::vector<Schema> schemas;
+  for (const auto& line : lines) schemas.push_back(object_schema(line));
+  for (size_t i : {size_t{0}, size_t{1}, size_t{5}}) {
+    for (const auto& [key, kind] : kQueryRequired) {
+      auto it = schemas[i].find(key);
+      ASSERT_NE(it, schemas[i].end())
+          << "query line " << i << " missing field: " << key;
+      EXPECT_EQ(it->second, kind) << key;
+    }
+  }
+  for (size_t i : {size_t{2}, size_t{3}, size_t{4}}) {
+    for (const auto& [key, kind] : kUpdateRequired) {
+      auto it = schemas[i].find(key);
+      ASSERT_NE(it, schemas[i].end())
+          << "update line " << i << " missing field: " << key;
+      EXPECT_EQ(it->second, kind) << key;
+    }
+  }
+  // Within a shape, every line carries the identical field list.
+  EXPECT_EQ(diff_schemas(schemas[0], schemas[1]), "");
+  EXPECT_EQ(diff_schemas(schemas[0], schemas[5]), "");
+  EXPECT_EQ(diff_schemas(schemas[2], schemas[3]), "");
+  EXPECT_EQ(diff_schemas(schemas[2], schemas[4]), "");
+}
+
+TEST(BenchJsonSchema, CommittedServiceDocWellFormed) {
+  std::string doc = read_file(source_path("BENCH_service.json"));
+  ASSERT_FALSE(doc.empty());
+  Schema top = object_schema(doc);
+  const std::pair<const char*, Kind> kRequired[] = {
+      {"bench", Kind::kString},          {"vertices", Kind::kNumber},
+      {"ops", Kind::kNumber},            {"queries", Kind::kNumber},
+      {"updates", Kind::kNumber},        {"variant", Kind::kNumber},
+      {"flow_value_sum", Kind::kNumber}, {"values_match", Kind::kBool},
+      {"answers", Kind::kObject},        {"counters", Kind::kObject},
+      {"cold_baseline", Kind::kObject},  {"service", Kind::kObject},
+      {"speedup_ratio", Kind::kNumber},
+  };
+  for (const auto& [key, kind] : kRequired) {
+    auto it = top.find(key);
+    ASSERT_NE(it, top.end()) << "missing field: " << key;
+    EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
+  }
 }
 
 // --------------------------------------------------------- bench JSON

@@ -1,0 +1,572 @@
+// FlowService, incremental repair, and shared-round batching tests.
+//
+// The contract under test is uniform: no matter which layer produced an
+// answer (cold solve, repaired warm start, residual/cut cache, shared
+// batch), the flow value must equal a cold oracle's on the current graph
+// and the assignment must carry a valid max-flow certificate. The sweeps
+// therefore run every trace twice -- once through the full service, once
+// through a bare cold-resolving oracle service -- and compare query by
+// query, including under fault injection (the chaos slice).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "ffmr/solver.h"
+#include "flow/certify.h"
+#include "flow/max_flow.h"
+#include "flow/repair.h"
+#include "flow/validate.h"
+#include "graph/generators.h"
+#include "mapreduce/cluster.h"
+#include "service/batch.h"
+#include "service/flow_service.h"
+#include "service/trace.h"
+
+namespace mrflow {
+namespace {
+
+using graph::Capacity;
+using graph::VertexId;
+
+// 0 -2-> 1 -1-> 2 -2-> 3: max flow 1, unique cut edge (1, 2).
+graph::Graph path_graph() {
+  graph::Graph g;
+  g.add_edge(0, 1, 2, 0);
+  g.add_edge(1, 2, 1, 0);
+  g.add_edge(2, 3, 2, 0);
+  g.finalize();
+  return g;
+}
+
+graph::Graph random_graph(VertexId n, uint64_t seed) {
+  graph::Graph g = graph::watts_strogatz(n, 4, 0.3, seed);
+  g.finalize();
+  return g;
+}
+
+void expect_feasible(const graph::Graph& g, VertexId s, VertexId t,
+                     const graph::FlowAssignment& a, const char* what) {
+  auto report = flow::validate_flow(g, s, t, a);
+  EXPECT_TRUE(report.ok) << what << ": " << report.summary();
+}
+
+// ------------------------------------------------------------- repair
+
+TEST(Repair, IdentityOnValidMaxFlow) {
+  graph::Graph g = random_graph(60, 11);
+  auto prior = flow::max_flow_dinic(g, 0, 30);
+  auto rr = flow::repair_flow(g, 0, 30, prior);
+  EXPECT_EQ(rr.flow.value, prior.value);
+  EXPECT_EQ(rr.drained, 0);
+  EXPECT_EQ(rr.pairs_clamped, 0u);
+  expect_feasible(g, 0, 30, rr.flow, "identity repair");
+}
+
+TEST(Repair, ClampAfterCapacityCut) {
+  graph::Graph g = path_graph();
+  auto prior = flow::max_flow_dinic(g, 0, 3);
+  ASSERT_EQ(prior.value, 1);
+  // Choke the first hop to zero: the unit of flow through it must drain.
+  g.set_capacity(0, 0, 0);
+  auto rr = flow::repair_flow(g, 0, 3, prior);
+  EXPECT_EQ(rr.flow.value, 0);
+  EXPECT_EQ(rr.drained, 1);
+  EXPECT_EQ(rr.pairs_clamped, 1u);
+  expect_feasible(g, 0, 3, rr.flow, "clamped repair");
+  // And the repaired flow warm-starts to the true (zero) maximum.
+  auto warm = flow::max_flow_dinic_warm(g, 0, 3, rr.flow);
+  EXPECT_EQ(warm.value, flow::max_flow_dinic(g, 0, 3).value);
+}
+
+TEST(Repair, DrainAfterDelete) {
+  graph::Graph g = random_graph(40, 5);
+  auto prior = flow::max_flow_dinic(g, 0, 20);
+  ASSERT_GT(prior.value, 0);
+  // Tombstone every pair that carries flow out of the source.
+  for (const auto& arc : g.neighbors(0)) {
+    g.set_capacity(arc.pair_index, 0, 0);
+  }
+  auto rr = flow::repair_flow(g, 0, 20, prior);
+  EXPECT_EQ(rr.flow.value, 0);
+  expect_feasible(g, 0, 20, rr.flow, "post-delete repair");
+}
+
+TEST(Repair, RandomizedFeasibilityAndWarmEquality) {
+  rng::Xoshiro256 rng(99);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    graph::Graph g = random_graph(50, seed);
+    VertexId s = 0, t = 25;
+    auto prior = flow::max_flow_dinic(g, s, t);
+    // 1-3 random capacity rewrites, including zeroing.
+    int rewrites = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < rewrites; ++i) {
+      uint64_t pair = rng.next_below(g.num_edge_pairs());
+      g.set_capacity(pair, static_cast<Capacity>(rng.next_below(3)),
+                     static_cast<Capacity>(rng.next_below(3)));
+    }
+    auto rr = flow::repair_flow(g, s, t, prior);
+    expect_feasible(g, s, t, rr.flow, "randomized repair");
+    EXPECT_LE(rr.flow.value, prior.value);
+    auto warm = flow::max_flow_dinic_warm(g, s, t, rr.flow);
+    auto cold = flow::max_flow_dinic(g, s, t);
+    EXPECT_EQ(warm.value, cold.value) << "seed " << seed;
+    auto cert = flow::certify_max_flow(g, s, t, warm);
+    EXPECT_TRUE(cert.valid()) << cert.summary();
+  }
+}
+
+TEST(Repair, DrainsSpuriousImbalanceBackToTerminals) {
+  graph::Graph g = path_graph();
+  graph::FlowAssignment prior;
+  prior.pair_flow = {1, 0, 0};  // enters vertex 1 and never leaves
+  prior.value = 1;
+  auto rr = flow::repair_flow(g, 0, 3, prior);
+  expect_feasible(g, 0, 3, rr.flow, "spurious imbalance");
+  EXPECT_EQ(rr.flow.value, 0);
+  EXPECT_EQ(rr.drained, 1);
+}
+
+TEST(Repair, RejectsBadArguments) {
+  graph::Graph g = path_graph();
+  graph::FlowAssignment prior;
+  EXPECT_THROW(flow::repair_flow(g, 0, 0, prior), std::invalid_argument);
+  EXPECT_THROW(flow::repair_flow(g, 0, 99, prior), std::invalid_argument);
+  prior.pair_flow.assign(99, 0);
+  EXPECT_THROW(flow::repair_flow(g, 0, 3, prior), std::invalid_argument);
+}
+
+// -------------------------------------------------------- warm starts
+
+TEST(WarmStart, DinicWarmEqualsColdRandomized) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    graph::Graph g = random_graph(60, seed);
+    auto prior = flow::max_flow_dinic(g, 0, 30);
+    g.set_capacity(seed % g.num_edge_pairs(), 0, 0);
+    auto repaired = flow::repair_flow(g, 0, 30, prior);
+    int phases = 0;  // 0 when the repaired flow is already maximum
+    auto warm = flow::max_flow_dinic_warm(g, 0, 30, repaired.flow, &phases);
+    EXPECT_EQ(warm.value, flow::max_flow_dinic(g, 0, 30).value);
+  }
+}
+
+TEST(WarmStart, FfmrInitialFlowEqualsCold) {
+  graph::Graph g = random_graph(50, 21);
+  auto prior = flow::max_flow_dinic(g, 0, 25);
+  g.set_capacity(3, 0, 0);
+  g.set_capacity(17, 2, 2);
+  auto repaired = flow::repair_flow(g, 0, 25, prior);
+  Capacity cold_value = flow::max_flow_dinic(g, 0, 25).value;
+
+  for (int variant : {1, 3, 5}) {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 3;
+    mr::Cluster cluster(config);
+    ffmr::FfmrOptions o;
+    o.variant = static_cast<ffmr::Variant>(variant);
+    o.initial_flow = &repaired.flow;
+    auto r = ffmr::solve_max_flow(cluster, g, 0, 25, o);
+    EXPECT_EQ(r.max_flow, cold_value) << "FF" << variant;
+    auto cert = flow::certify_max_flow(g, 0, 25, r.assignment);
+    EXPECT_TRUE(cert.valid()) << "FF" << variant << ": " << cert.summary();
+  }
+}
+
+// ------------------------------------------------------------ batching
+
+TEST(Batch, MatchesDinicCommonSink) {
+  graph::Graph g = random_graph(60, 31);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  mr::Cluster cluster(config);
+  std::vector<service::BatchQuery> queries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    queries.push_back({i, static_cast<VertexId>(3 * i + 1), 50, nullptr});
+  }
+  service::BatchOptions opt;
+  opt.base = "t/batch1";
+  auto result = solve_batch(cluster, g, queries, opt);
+  ASSERT_EQ(result.queries.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& br = result.queries[i];
+    EXPECT_TRUE(br.converged);
+    auto oracle = flow::max_flow_dinic(g, queries[i].source, queries[i].sink);
+    EXPECT_EQ(br.assignment.value, oracle.value) << "query " << i;
+    auto cert = flow::certify_max_flow(g, queries[i].source, queries[i].sink,
+                                       br.assignment);
+    EXPECT_TRUE(cert.valid()) << "query " << i << ": " << cert.summary();
+  }
+}
+
+TEST(Batch, WarmSeededConvergesAndMatches) {
+  graph::Graph g = random_graph(50, 41);
+  auto prior = flow::max_flow_dinic(g, 2, 30);
+  g.set_capacity(5, 0, 0);
+  auto repaired = flow::repair_flow(g, 2, 30, prior);
+
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  mr::Cluster cluster(config);
+  std::vector<service::BatchQuery> queries = {
+      {0, 2, 30, &repaired.flow},  // warm
+      {1, 7, 30, nullptr},         // cold, same sink
+  };
+  service::BatchOptions opt;
+  opt.base = "t/batch2";
+  auto result = solve_batch(cluster, g, queries, opt);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(result.queries[i].converged);
+    auto oracle = flow::max_flow_dinic(g, queries[i].source, queries[i].sink);
+    EXPECT_EQ(result.queries[i].assignment.value, oracle.value);
+  }
+}
+
+TEST(Batch, RejectsDuplicateQids) {
+  graph::Graph g = path_graph();
+  mr::Cluster cluster(mr::ClusterConfig{});
+  std::vector<service::BatchQuery> queries = {{7, 0, 3, nullptr},
+                                              {7, 1, 3, nullptr}};
+  service::BatchOptions opt;
+  EXPECT_THROW(solve_batch(cluster, g, queries, opt), std::invalid_argument);
+}
+
+// ------------------------------------------------- service unit tests
+
+service::ServiceOptions dinic_options() {
+  service::ServiceOptions opt;
+  opt.backend = service::Backend::kDinic;
+  return opt;
+}
+
+TEST(Service, CacheHitAfterRepeatQuery) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  auto first = svc.query(0, 3);
+  EXPECT_EQ(first.value, 1);
+  EXPECT_EQ(first.source, service::AnswerSource::kCold);
+  EXPECT_TRUE(first.certified);
+  auto second = svc.query(0, 3);
+  EXPECT_EQ(second.value, 1);
+  EXPECT_EQ(second.source, service::AnswerSource::kCache);
+  EXPECT_EQ(svc.counters().cache_hits, 1u);
+}
+
+TEST(Service, SurvivalRuleKeepsEntryWhenCutUntouched) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  svc.query(0, 3);
+  // (0, 1) has both endpoints on the cached source side and keeps room
+  // for the stored unit of flow: the certificate still stands.
+  svc.set_capacity(0, 1, 3, 0);
+  EXPECT_EQ(svc.counters().cache_invalidations, 0u);
+  auto r = svc.query(0, 3);
+  EXPECT_EQ(r.source, service::AnswerSource::kCache);
+  EXPECT_EQ(r.value, 1);
+}
+
+TEST(Service, UpdateInsideCutInvalidatesAndWarmRestarts) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  svc.query(0, 3);
+  // (1, 2) is the cut edge; raising it changes the cut capacity.
+  svc.set_capacity(1, 2, 2, 0);
+  EXPECT_EQ(svc.counters().cache_invalidations, 1u);
+  auto r = svc.query(0, 3);
+  EXPECT_EQ(r.source, service::AnswerSource::kWarm);
+  EXPECT_EQ(r.value, 2);
+  EXPECT_EQ(svc.counters().warm_hits, 1u);
+  EXPECT_EQ(svc.counters().repair_rounds, 1u);
+}
+
+TEST(Service, DeleteInvalidatesWhenCutEdgeDies) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  ASSERT_EQ(svc.query(0, 3).value, 1);
+  EXPECT_TRUE(svc.delete_edge(1, 2));
+  auto r = svc.query(0, 3);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_NE(r.source, service::AnswerSource::kCache);
+  EXPECT_FALSE(svc.delete_edge(1, 2));  // already tombstoned
+  EXPECT_FALSE(svc.delete_edge(0, 2));  // never existed
+}
+
+TEST(Service, InsertOpensNewPath) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  ASSERT_EQ(svc.query(0, 3).value, 1);
+  svc.insert_edge(0, 3, 5, 0);
+  auto r = svc.query(0, 3);
+  EXPECT_EQ(r.value, 6);
+  EXPECT_EQ(svc.counters().inserts, 1u);
+}
+
+TEST(Service, SetCapacityOnAbsentPairInserts) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  svc.set_capacity(1, 3, 4, 0);
+  EXPECT_EQ(svc.counters().inserts, 1u);
+  // The shortcut (1, 3) moves the bottleneck to (0, 1)'s capacity of 2.
+  EXPECT_EQ(svc.query(0, 3).value, 2);
+}
+
+TEST(Service, LruEvictionBeyondCapacity) {
+  auto opt = dinic_options();
+  opt.cache_capacity = 2;
+  service::FlowService svc(nullptr, random_graph(30, 3), opt);
+  svc.query(0, 10);
+  svc.query(1, 11);
+  svc.query(2, 12);  // evicts (0, 10)
+  EXPECT_EQ(svc.cache_size(), 2u);
+  EXPECT_EQ(svc.counters().cache_evictions, 1u);
+  EXPECT_EQ(svc.query(2, 12).source, service::AnswerSource::kCache);
+  EXPECT_EQ(svc.query(0, 10).source, service::AnswerSource::kCold);
+}
+
+TEST(Service, RejectsBadTerminalsAndConfig) {
+  service::FlowService svc(nullptr, path_graph(), dinic_options());
+  EXPECT_THROW(svc.query(0, 0), std::invalid_argument);
+  EXPECT_THROW(svc.query(0, 99), std::invalid_argument);
+  auto opt = dinic_options();
+  opt.backend = service::Backend::kFfmr;
+  EXPECT_THROW(service::FlowService(nullptr, path_graph(), opt),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- randomized sweeps
+
+// Replays `trace` op by op through the service under test and through a
+// bare cold oracle (dinic, every layer off), comparing every query.
+// Every answer in both services is also internally re-certified.
+void differential_replay(service::FlowService& svc,
+                         service::FlowService& oracle,
+                         const service::Trace& trace, const char* label) {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    auto got = svc.apply(trace[i]);
+    auto want = oracle.apply(trace[i]);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got.has_value()) {
+      EXPECT_EQ(got->value, want->value)
+          << label << ": op " << i << " (query " << trace[i].u << " -> "
+          << trace[i].v << ") answered via "
+          << service::answer_source_name(got->source);
+    }
+  }
+}
+
+service::ServiceOptions oracle_options() {
+  service::ServiceOptions opt;
+  opt.backend = service::Backend::kDinic;
+  opt.warm_start = false;
+  opt.cache = false;
+  opt.batching = false;
+  return opt;
+}
+
+TEST(ServiceSweep, DinicLayerMatrixVsOracle) {
+  // Every on/off combination of the three layers must answer identically.
+  for (int mask = 0; mask < 8; ++mask) {
+    graph::Graph g = random_graph(60, 17);
+    service::TraceGenOptions topt;
+    topt.ops = 48;
+    topt.query_fraction = 0.7;
+    topt.seed = 100 + static_cast<uint64_t>(mask);
+    service::Trace trace = service::generate_trace(g, topt);
+
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 2;
+    mr::Cluster cluster(config);
+    service::ServiceOptions opt = dinic_options();
+    opt.warm_start = (mask & 1) != 0;
+    opt.cache = (mask & 2) != 0;
+    opt.batching = (mask & 4) != 0;
+    service::FlowService svc(&cluster, g, opt);
+    service::FlowService oracle(nullptr, g, oracle_options());
+    // apply() answers queries one at a time, so batching only engages via
+    // query_batch below; the mask still exercises its setup/teardown.
+    differential_replay(svc, oracle, trace, "dinic matrix");
+  }
+}
+
+TEST(ServiceSweep, BatchedRepliesMatchOracle) {
+  graph::Graph g = random_graph(70, 23);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  mr::Cluster cluster(config);
+  service::FlowService svc(&cluster, g, dinic_options());
+  service::FlowService oracle(nullptr, g, oracle_options());
+
+  // Common-sink group, common-source pair, and a singleton in one window.
+  std::vector<std::pair<VertexId, VertexId>> pairs = {
+      {1, 40}, {5, 40}, {9, 40}, {12, 20}, {12, 30}, {3, 60}};
+  auto results = svc.query_batch(pairs);
+  ASSERT_EQ(results.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(results[i].value,
+              oracle.query(pairs[i].first, pairs[i].second).value)
+        << "pair " << i;
+    EXPECT_TRUE(results[i].certified);
+  }
+  EXPECT_GT(svc.counters().queries_batched, 0u);
+}
+
+TEST(ServiceSweep, FfmrVariantsVsOracle) {
+  for (int variant : {1, 2, 3, 4, 5}) {
+    graph::Graph g = random_graph(40, 7);
+    service::TraceGenOptions topt;
+    topt.ops = 20;
+    topt.query_fraction = 0.6;
+    topt.seed = 200 + static_cast<uint64_t>(variant);
+    service::Trace trace = service::generate_trace(g, topt);
+
+    mr::ClusterConfig config;
+    config.num_slave_nodes = 2;
+    mr::Cluster cluster(config);
+    service::ServiceOptions opt;
+    opt.backend = service::Backend::kFfmr;
+    opt.ffmr.variant = static_cast<ffmr::Variant>(variant);
+    service::FlowService svc(&cluster, g, opt);
+    service::FlowService oracle(nullptr, g, oracle_options());
+    std::string label = "FF" + std::to_string(variant);
+    differential_replay(svc, oracle, trace, label.c_str());
+  }
+}
+
+TEST(ServiceSweep, ChaosFaultInjection) {
+  // The chaos slice: task crashes + retries under the FFMR backend with
+  // warm starts and caching live. Faulted retries must not change any
+  // answer (the batch acceptor and augmenter saturate duplicates away).
+  graph::Graph g = random_graph(36, 13);
+  service::TraceGenOptions topt;
+  topt.ops = 16;
+  topt.query_fraction = 0.7;
+  topt.seed = 77;
+  service::Trace trace = service::generate_trace(g, topt);
+
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 2;
+  config.fault = mr::FaultConfig::shape("task", 0.05, 7);
+  config.max_task_attempts = 8;
+  mr::Cluster cluster(config);
+  service::ServiceOptions opt;
+  opt.backend = service::Backend::kFfmr;
+  service::FlowService svc(&cluster, g, opt);
+  service::FlowService oracle(nullptr, g, oracle_options());
+  differential_replay(svc, oracle, trace, "chaos");
+}
+
+TEST(ServiceSweep, ReplayWindowsMatchOracle) {
+  graph::Graph g = random_graph(50, 29);
+  service::TraceGenOptions topt;
+  topt.ops = 40;
+  topt.query_fraction = 0.8;
+  topt.seed = 31;
+  service::Trace trace = service::generate_trace(g, topt);
+
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 2;
+  mr::Cluster cluster(config);
+  service::ServiceOptions opt = dinic_options();
+  opt.batch_window = 4;
+  service::FlowService svc(&cluster, g, opt);
+  auto rr = svc.replay(trace);
+
+  service::FlowService oracle(nullptr, g, oracle_options());
+  size_t qi = 0;
+  for (const service::Op& op : trace) {
+    auto want = oracle.apply(op);
+    if (want.has_value()) {
+      ASSERT_LT(qi, rr.query_results.size());
+      EXPECT_EQ(rr.query_results[qi].value, want->value) << "query " << qi;
+      ++qi;
+    }
+  }
+  EXPECT_EQ(qi, rr.query_results.size());
+  EXPECT_EQ(rr.queries, qi);
+}
+
+// -------------------------------------------------------------- trace
+
+TEST(Trace, GeneratorIsDeterministic) {
+  graph::Graph g = random_graph(40, 3);
+  service::TraceGenOptions topt;
+  topt.ops = 64;
+  topt.seed = 9;
+  service::Trace a = service::generate_trace(g, topt);
+  service::Trace b = service::generate_trace(g, topt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].cap_uv, b[i].cap_uv);
+    EXPECT_EQ(a[i].cap_vu, b[i].cap_vu);
+  }
+  topt.seed = 10;
+  service::Trace c = service::generate_trace(g, topt);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && i < c.size(); ++i) {
+    differs = differs || a[i].u != c[i].u || a[i].v != c[i].v;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trace, WriteParseRoundTrip) {
+  graph::Graph g = random_graph(30, 5);
+  service::TraceGenOptions topt;
+  topt.ops = 48;
+  topt.query_fraction = 0.5;
+  service::Trace a = service::generate_trace(g, topt);
+  std::ostringstream out;
+  service::write_trace(a, out);
+  service::Trace b = service::parse_trace_text(out.str());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].cap_uv, b[i].cap_uv);
+    EXPECT_EQ(a[i].cap_vu, b[i].cap_vu);
+  }
+}
+
+TEST(Trace, ParseAcceptsCommentsAndMirroredCaps) {
+  auto trace = service::parse_trace_text(
+      "# a comment\n"
+      "query 0 3\n"
+      "insert 1 2 5\n"
+      "cap 2 3 4 1\n"
+      "delete 1 2\n");
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[1].cap_vu, 5);  // mirrored
+  EXPECT_EQ(trace[2].cap_vu, 1);  // explicit
+}
+
+TEST(Trace, ParseRejectsMalformedLines) {
+  EXPECT_THROW(service::parse_trace_text("frobnicate 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_trace_text("query 1\n"), std::invalid_argument);
+  EXPECT_THROW(service::parse_trace_text("query 1 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_trace_text("insert 1 2 -4\n"),
+               std::invalid_argument);
+}
+
+TEST(Trace, DeletesOnlyTouchInsertedEdges) {
+  graph::Graph g = random_graph(40, 3);
+  service::TraceGenOptions topt;
+  topt.ops = 200;
+  topt.query_fraction = 0.2;  // update-heavy to draw many deletes
+  service::Trace trace = service::generate_trace(g, topt);
+  std::set<std::pair<VertexId, VertexId>> inserted;
+  for (const service::Op& op : trace) {
+    auto key = std::minmax(op.u, op.v);
+    if (op.kind == service::OpKind::kInsert) {
+      inserted.insert({key.first, key.second});
+    } else if (op.kind == service::OpKind::kDelete) {
+      EXPECT_TRUE(inserted.count({key.first, key.second}))
+          << "delete of a base-graph edge " << op.u << " " << op.v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrflow

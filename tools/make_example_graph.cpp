@@ -1,26 +1,71 @@
 // Writes the deterministic Watts-Strogatz edge list behind the committed
-// example documents (round_report.example.jsonl, profile.example.json):
+// example documents (round_report.example.jsonl, profile.example.json),
+// and optionally a deterministic query/update trace for the FlowService
+// serve mode (examples/example_trace.txt):
 //
 //   ./make_example_graph example_graph.txt
+//   ./make_example_graph example_graph.txt --trace_out=example_trace.txt
+//       [--trace_ops=128 --trace_seed=1 --query_fraction=0.9
+//        --hot_pairs=8 --hot_fraction=0.8 --max_cap=4]
 //   ./maxflow_cli example_graph.txt --source=0 --sink=150 --algo=ff5
 //       --round_report=round_report.example.jsonl
 //       --profile_out=profile.example.json
+//   ./maxflow_cli example_graph.txt --serve=example_trace.txt
 //
-// Fixed parameters, no flags: the point is that two regenerations of the
-// examples start from the identical graph.
+// The graph parameters are fixed: the point is that two regenerations of
+// the examples start from the identical graph, and -- with the same
+// --trace_seed -- the identical trace.
 #include <cstdio>
 
+#include "common/flags.h"
+#include "common/observability.h"
 #include "graph/edgelist_io.h"
 #include "graph/generators.h"
+#include "service/trace.h"
+
+using namespace mrflow;
+
+namespace {
+constexpr const char* kUsage =
+    "usage: make_example_graph <out.txt> [--trace_out=<trace.txt> "
+    "--trace_ops=128 --trace_seed=1 --query_fraction=0.9 --hot_pairs=8 "
+    "--hot_fraction=0.8 --max_cap=4]\n";
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: make_example_graph <out.txt>\n");
+  common::Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  mrflow::graph::Graph g = mrflow::graph::watts_strogatz(300, 4, 0.2, 7);
-  mrflow::graph::write_edgelist_file(g, argv[1]);
-  std::printf("wrote %s: %zu vertices, %zu directed edges\n", argv[1],
+  service::TraceGenOptions topt;
+  std::string trace_out = flags.get_string("trace_out", "");
+  topt.ops = static_cast<size_t>(flags.get_int("trace_ops", 128));
+  topt.seed = static_cast<uint64_t>(flags.get_int("trace_seed", 1));
+  topt.query_fraction = flags.get_double("query_fraction", 0.9);
+  topt.hot_pairs = static_cast<size_t>(flags.get_int("hot_pairs", 8));
+  topt.hot_fraction = flags.get_double("hot_fraction", 0.8);
+  topt.max_cap = static_cast<graph::Capacity>(flags.get_int("max_cap", 4));
+  if (!common::obs::finish_flags(flags, kUsage)) return 2;
+
+  graph::Graph g = graph::watts_strogatz(300, 4, 0.2, 7);
+  const std::string& out = flags.positional()[0];
+  graph::write_edgelist_file(g, out);
+  std::printf("wrote %s: %zu vertices, %zu directed edges\n", out.c_str(),
               static_cast<size_t>(g.num_vertices()), g.num_directed_edges());
+
+  if (!trace_out.empty()) {
+    g.finalize();
+    service::Trace trace = service::generate_trace(g, topt);
+    service::save_trace_file(trace, trace_out);
+    size_t queries = 0;
+    for (const service::Op& op : trace) {
+      queries += op.kind == service::OpKind::kQuery;
+    }
+    std::printf("wrote %s: %zu ops (%zu queries, %zu updates), seed=%llu\n",
+                trace_out.c_str(), trace.size(), queries,
+                trace.size() - queries,
+                static_cast<unsigned long long>(topt.seed));
+  }
   return 0;
 }
