@@ -1,0 +1,294 @@
+// Backend crossover: FFMR (FF5, the paper's best variant) vs FF-PR
+// (synchronous push-relabel) on the two workload regimes the portfolio
+// selector separates, plus the selector's own decisions.
+//
+// Workloads:
+//   smallworld   Watts-Strogatz + super terminals -- the paper's regime:
+//                tiny diameter, few FF rounds. FFMR's home turf.
+//   lattice      rows x cols grid, terminals on the short sides:
+//                diameter ~ cols, wide parallel flow. FF5 still needs
+//                only ~cols/2 bidirectional rounds, but every round
+//                shuffles O(rows * cols) bytes of stored path prefixes,
+//                while FF-PR's waves ship O(rows) constant-size push
+//                messages -- the byte asymmetry that decides the regime.
+//   cliquepath   twisted path of cliques: moderate diameter with heavy
+//                interior path contention. The control row: the selector
+//                must keep it on FFMR, and FFMR must win it.
+//
+// The crossover is measured in the warm-engine regime (resident cluster,
+// ~1 s per-round overhead, C++ record pipeline -- see the cost overrides
+// below). Under the paper's Hadoop-2011 calibration (25 s JVM spin-up per
+// round) FF5 wins *every* workload here, exactly as the paper argues;
+// pass --overhead=25 to reproduce that.
+//
+// Both backends run over the identical simulated cluster and must agree
+// with the sequential Dinic oracle and carry a valid max-flow
+// certificate.
+//
+// FF-PR tuning per workload: the lattice run uses one exact initial
+// global relabel and no periodic cadence (finite terminal arcs mean no
+// stranded excess, so no drain-back phase ever needs fresh heights); the
+// conflict-heavy workloads keep the default cadence.
+//
+// Acceptance (exit 1 on violation):
+//   - all backends agree on the flow value; every certificate valid
+//   - portfolio: smallworld & cliquepath -> ffmr, lattice -> ffpr
+//   - ffpr sim makespan <= ffmr sim makespan on the workload the
+//     selector routes to ffpr, and vice versa on the ffmr workloads
+//
+// Flags (beyond bench_common's): --rows --cols --lat_cap, --cliques
+// --clique_size --bridges --cp_cap --twist, --sw_n --sw_w,
+// --ffpr_relabel.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ffpr/solver.h"
+#include "flow/certify.h"
+#include "flow/max_flow.h"
+#include "flow/portfolio.h"
+
+using namespace mrflow;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Run {
+  graph::Capacity flow = 0;
+  int rounds = 0;  // MR jobs after round #0 (FF rounds / FF-PR waves)
+  bool cert_valid = false;
+  uint64_t shuffle_bytes = 0;
+  double sim_s = 0;
+  double wall_s = 0;
+};
+
+struct Workload {
+  std::string name;
+  graph::FlowProblem problem;
+  flow::PortfolioBackend expect;  // pinned selector decision
+  int ffpr_cadence = 8;           // global relabel cadence for the ffpr run
+  flow::PortfolioDecision decision;
+  graph::Capacity oracle = 0;
+  Run ffmr_run, ffpr_run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRuntime rt(argc, argv);
+  common::Flags& flags = rt.flags;
+  bench::BenchEnv& env = rt.env;
+  const int sw_n = static_cast<int>(flags.get_int("sw_n", 600));
+  const int sw_w = static_cast<int>(flags.get_int("sw_w", 8));
+  const int rows = static_cast<int>(flags.get_int("rows", 140));
+  const int cols = static_cast<int>(flags.get_int("cols", 100));
+  const int lat_cap = static_cast<int>(flags.get_int("lat_cap", 2));
+  const int cliques = static_cast<int>(flags.get_int("cliques", 12));
+  const int clique_size = static_cast<int>(flags.get_int("clique_size", 6));
+  const int bridges = static_cast<int>(flags.get_int("bridges", 2));
+  const int cp_cap = static_cast<int>(flags.get_int("cp_cap", 3));
+  const int twist = static_cast<int>(flags.get_int("twist", 1));
+  const int ffpr_relabel =
+      static_cast<int>(flags.get_int("ffpr_relabel", 8));
+  // The crossover targets the warm-engine regime: FlowService (and any
+  // post-Hadoop engine) keeps the cluster resident, so a round costs its
+  // shuffle and CPU, not a 25 s JVM spin-up -- and the record pipeline is
+  // this repo's C++ engine, not a JVM, so the CPU term uses the base
+  // CostModel's slowdown instead of bench_common's JVM-at-scaled-volume
+  // calibration. (That also keeps the committed row deterministic: at the
+  // JVM calibration the sim is dominated by measured host CPU and jitters
+  // ~20% between runs; here bytes and per-round overhead dominate.)
+  // parse_env already consumed both flags with the Hadoop-era defaults;
+  // re-read them with the warm-engine defaults so explicit flags still
+  // win.
+  env.cost.job_overhead_s = flags.get_double("overhead", 1.0);
+  env.cost.cpu_scale = flags.get_double("cpu_scale", 10.0);
+  bench::finish_flags(flags);
+
+  std::vector<Workload> workloads;
+  {
+    Workload w;
+    w.name = "smallworld";
+    w.problem = bench::attach_terminals(
+        graph::watts_strogatz(sw_n, 6, 0.1, env.seed), sw_w, 6, env.seed);
+    w.expect = flow::PortfolioBackend::kBidirectionalFf;
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "lattice";
+    // Finite terminal arcs: the preflow backend injects only what the
+    // interior can carry, so no excess strands and no drain-back phase
+    // runs. The flow value is the same interior cut either way.
+    w.problem = graph::lattice_flow_problem(rows, cols,
+                                            graph::Capacity{lat_cap},
+                                            graph::Capacity{lat_cap});
+    w.expect = flow::PortfolioBackend::kPushRelabel;
+    // With nothing stranded the exact initial heights are enough;
+    // periodic re-relabeling would pay a ~diameter-long BFS each time.
+    w.ffpr_cadence = 0;
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "cliquepath";
+    w.problem = graph::clique_path_flow_problem(
+        cliques, clique_size, bridges, graph::Capacity{cp_cap}, twist);
+    w.expect = flow::PortfolioBackend::kBidirectionalFf;
+    workloads.push_back(std::move(w));
+  }
+
+  auto run_ffmr = [&](const graph::FlowProblem& p) {
+    mr::Cluster cluster = env.make_cluster();
+    ffmr::FfmrOptions options;  // library defaults: what the CLI/service run
+    options.variant = ffmr::Variant::FF5;
+    options.wire = env.wire;
+    options.async_augmenter = false;  // committed artifact: deterministic
+    Run run;
+    double t0 = now_s();
+    auto r = ffmr::solve_max_flow(cluster, p, options);
+    run.wall_s = now_s() - t0;
+    run.flow = r.max_flow;
+    run.rounds = r.rounds;
+    run.sim_s = r.totals.sim_seconds;
+    run.shuffle_bytes = r.totals.shuffle_bytes;
+    run.cert_valid =
+        flow::certify_max_flow(p.graph, p.source, p.sink, r.assignment)
+            .valid();
+    return run;
+  };
+  auto run_ffpr = [&](const graph::FlowProblem& p, int cadence,
+                      const std::string& name) {
+    mr::Cluster cluster = env.make_cluster();
+    ffpr::FfprOptions options;
+    options.wire = env.wire;
+    options.initial_global_relabel = true;
+    options.global_relabel_every = cadence;
+    if (const char* dbg = std::getenv("BACKENDS_DEBUG_REPORT")) {
+      options.round_report = std::string(dbg) + "." + name + ".jsonl";
+    }
+    Run run;
+    double t0 = now_s();
+    auto r = ffpr::solve_max_flow(cluster, p, options);
+    run.wall_s = now_s() - t0;
+    run.flow = r.max_flow;
+    run.rounds = r.waves + r.relabel_rounds;
+    run.sim_s = r.totals.sim_seconds;
+    run.shuffle_bytes = r.totals.shuffle_bytes;
+    run.cert_valid =
+        flow::certify_max_flow(p.graph, p.source, p.sink, r.assignment)
+            .valid();
+    return run;
+  };
+
+  std::printf("Backend crossover: FF5 vs FF-PR, %d nodes\n\n", env.nodes);
+  bool ok = true;
+  common::TextTable table({"Workload", "V", "Diam", "Pick", "Flow",
+                           "FF5 rounds", "FFPR waves", "FF5 sim", "FFPR sim",
+                           "FFPR/FF5"});
+  for (auto& w : workloads) {
+    w.decision = flow::choose_backend(w.problem.graph, w.problem.source,
+                                      w.problem.sink);
+    w.oracle = flow::max_flow_dinic(w.problem.graph, w.problem.source,
+                                    w.problem.sink)
+                   .value;
+    w.ffmr_run = run_ffmr(w.problem);
+    w.ffpr_run = run_ffpr(w.problem, w.ffpr_cadence, w.name);
+
+    if (w.decision.backend != w.expect) {
+      std::fprintf(stderr, "FAIL: portfolio picked %s on %s (want %s): %s\n",
+                   flow::portfolio_backend_name(w.decision.backend),
+                   w.name.c_str(), flow::portfolio_backend_name(w.expect),
+                   w.decision.to_json().c_str());
+      ok = false;
+    }
+    if (w.ffmr_run.flow != w.oracle || w.ffpr_run.flow != w.oracle) {
+      std::fprintf(stderr,
+                   "FAIL: %s flow mismatch: oracle=%lld ff5=%lld ffpr=%lld\n",
+                   w.name.c_str(), static_cast<long long>(w.oracle),
+                   static_cast<long long>(w.ffmr_run.flow),
+                   static_cast<long long>(w.ffpr_run.flow));
+      ok = false;
+    }
+    if (!w.ffmr_run.cert_valid || !w.ffpr_run.cert_valid) {
+      std::fprintf(stderr, "FAIL: %s certificate invalid (ff5=%d ffpr=%d)\n",
+                   w.name.c_str(), w.ffmr_run.cert_valid,
+                   w.ffpr_run.cert_valid);
+      ok = false;
+    }
+    if (w.expect == flow::PortfolioBackend::kPushRelabel &&
+        !(w.ffpr_run.sim_s <= w.ffmr_run.sim_s)) {
+      std::fprintf(stderr,
+                   "FAIL: %s: ffpr sim %.1fs > ffmr sim %.1fs on a "
+                   "workload the portfolio routes to ffpr\n",
+                   w.name.c_str(), w.ffpr_run.sim_s, w.ffmr_run.sim_s);
+      ok = false;
+    }
+    if (w.expect == flow::PortfolioBackend::kBidirectionalFf &&
+        !(w.ffmr_run.sim_s <= w.ffpr_run.sim_s)) {
+      std::fprintf(stderr,
+                   "FAIL: %s: ffmr sim %.1fs > ffpr sim %.1fs on a "
+                   "workload the portfolio routes to ffmr\n",
+                   w.name.c_str(), w.ffmr_run.sim_s, w.ffpr_run.sim_s);
+      ok = false;
+    }
+
+    char ratio[16];
+    std::snprintf(ratio, sizeof(ratio), "%.3f",
+                  w.ffmr_run.sim_s > 0 ? w.ffpr_run.sim_s / w.ffmr_run.sim_s
+                                       : 0.0);
+    table.add_row({w.name,
+                   bench::fmt_int(static_cast<int64_t>(
+                       w.problem.graph.num_vertices())),
+                   bench::fmt_int(w.decision.stats.diameter_estimate),
+                   flow::portfolio_backend_name(w.decision.backend),
+                   bench::fmt_int(w.oracle),
+                   bench::fmt_int(w.ffmr_run.rounds),
+                   bench::fmt_int(w.ffpr_run.rounds),
+                   bench::fmt_time(w.ffmr_run.sim_s),
+                   bench::fmt_time(w.ffpr_run.sim_s), ratio});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::JsonWriter json;
+  json.field("bench", "backends")
+      .field("nodes", static_cast<int64_t>(env.nodes))
+      .field("seed", static_cast<int64_t>(env.seed))
+      .field("all_checks_passed", ok);
+  json.arr("workloads");
+  for (const auto& w : workloads) {
+    json.obj_item()
+        .field("name", w.name)
+        .field("vertices",
+               static_cast<int64_t>(w.problem.graph.num_vertices()))
+        .field("diameter_estimate",
+               static_cast<int64_t>(w.decision.stats.diameter_estimate))
+        .field("portfolio_backend",
+               flow::portfolio_backend_name(w.decision.backend))
+        .field("portfolio_reason", w.decision.reason)
+        .field("max_flow", static_cast<int64_t>(w.oracle))
+        .field("ffmr_rounds", static_cast<int64_t>(w.ffmr_run.rounds))
+        .field("ffpr_waves", static_cast<int64_t>(w.ffpr_run.rounds))
+        .field("ffmr_shuffle_bytes", w.ffmr_run.shuffle_bytes)
+        .field("ffpr_shuffle_bytes", w.ffpr_run.shuffle_bytes)
+        .field("certificates_valid",
+               w.ffmr_run.cert_valid && w.ffpr_run.cert_valid)
+        .field("ffmr_sim_seconds", w.ffmr_run.sim_s)
+        .field("ffpr_sim_seconds", w.ffpr_run.sim_s)
+        .field("sim_ratio", w.ffmr_run.sim_s > 0
+                                ? w.ffpr_run.sim_s / w.ffmr_run.sim_s
+                                : 0.0)
+        .field("ffmr_wall_s", w.ffmr_run.wall_s)
+        .field("ffpr_wall_s", w.ffpr_run.wall_s)
+        .close();
+  }
+  json.close();
+  json.write_file("BENCH_backends.json");
+  return ok ? 0 : 1;
+}

@@ -4,8 +4,10 @@
 //   ./maxflow_cli <edges.txt> --source=0 --sink=42 [--algo=ff5]
 //
 // Edge-list format (see graph/edgelist_io.h): "u v [cap_uv [cap_vu]]" per
-// line, '#' comments. Algorithms: ff1..ff5 (MapReduce), pregel,
-// dinic, edmonds_karp, push_relabel.
+// line, '#' comments. Algorithms: ff1..ff5 (MapReduce), ffpr (distributed
+// push-relabel), auto (portfolio selection between dinic/ff5/ffpr; prints
+// the decision JSON), pregel, dinic, edmonds_karp, push_relabel.
+// --backend=<x> is an alias for --algo=<x> (the solver-portfolio surface).
 //
 // Prints the max-flow value, the min cut (source-side size and the cut
 // edges), and engine statistics for the distributed algorithms.
@@ -17,7 +19,7 @@
 //   --profile_out=<f>    per-job ProfileReport JSON (critical path + blame)
 //   --flight_out=<f>     flight-recorder dump: auto-written on failure,
 //                        always written at exit
-//   --round_report=<f>   per-round JSONL report (ffmr only; tail-able)
+//   --round_report=<f>   per-round JSONL report (ffmr/ffpr; tail-able)
 //
 // Verification and chaos (see DESIGN.md, "Testing & verification"):
 //   --certify            print the full max-flow/min-cut certificate and
@@ -43,7 +45,8 @@
 //   --cache_capacity=<n> LRU cache entries (64)
 //   --no_warm / --no_cache / --no_batch / --no_certify   disable a layer
 //   --verbose            print every query answer, not just the summary
-//   --algo selects the serve backend: dinic (default) or ff1..ff5.
+//   --algo selects the serve backend: dinic (default), ff1..ff5, ffpr,
+//   or auto (per-query portfolio selection).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -54,8 +57,10 @@
 #include "common/flags.h"
 #include "common/observability.h"
 #include "ffmr/solver.h"
+#include "ffpr/solver.h"
 #include "flow/certify.h"
 #include "flow/max_flow.h"
+#include "flow/portfolio.h"
 #include "flow/validate.h"
 #include "graph/edgelist_io.h"
 #include "pregel/maxflow.h"
@@ -67,7 +72,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: maxflow_cli <edges.txt> --source=S --sink=T "
-    "[--algo=ff5|pregel|dinic|edmonds_karp|push_relabel] "
+    "[--algo=ff5|ffpr|auto|pregel|dinic|edmonds_karp|push_relabel] "
+    "[--backend=<same as --algo>] "
     "[--nodes=4] [--cut] [--certify] "
     "[--fault_shape=task|node|corrupt|straggler|rpc|all "
     "--fault_prob=0.05 --fault_seed=1] "
@@ -100,15 +106,21 @@ int run_serve(graph::Graph g, const std::string& trace_path,
   if (is_ffmr) {
     sopt.backend = service::Backend::kFfmr;
     sopt.ffmr.variant = static_cast<ffmr::Variant>(algo[2] - '0');
+  } else if (algo == "ffpr") {
+    sopt.backend = service::Backend::kFfpr;
+  } else if (algo == "auto") {
+    sopt.backend = service::Backend::kAuto;
   } else if (algo != "dinic") {
-    std::fprintf(stderr, "--serve supports --algo=dinic or ff1..ff5\n");
+    std::fprintf(stderr,
+                 "--serve supports --algo=dinic, ff1..ff5, ffpr or auto\n");
     return 2;
   }
+  const bool needs_cluster = sopt.backend != service::Backend::kDinic;
 
   // Batching runs its shared waves over MR, so the cluster is needed even
   // with the sequential Dinic backend.
   std::optional<mr::Cluster> cluster;
-  if (is_ffmr || sopt.batching) {
+  if (needs_cluster || sopt.batching) {
     mr::ClusterConfig config;
     config.num_slave_nodes = nodes;
     cluster.emplace(config);
@@ -189,6 +201,9 @@ int main(int argc, char** argv) {
   auto sink = static_cast<graph::VertexId>(
       flags.get_int("sink", static_cast<int64_t>(g.num_vertices()) - 1));
   std::string algo = flags.get_string("algo", "ff5");
+  // --backend is the portfolio-era alias; it wins when both are given.
+  const std::string backend_flag = flags.get_string("backend", "");
+  if (!backend_flag.empty()) algo = backend_flag;
   int nodes = static_cast<int>(flags.get_int("nodes", 4));
   bool show_cut = flags.get_bool("cut", false);
   // Consumes the five observability flags and arms span recording, the
@@ -216,10 +231,47 @@ int main(int argc, char** argv) {
               g.num_edge_pairs(), algo.c_str(),
               static_cast<unsigned long long>(source),
               static_cast<unsigned long long>(sink));
-  if (!fault_shape.empty() && !is_ffmr) {
-    std::fprintf(stderr, "--fault_shape only applies to --algo=ff1..ff5\n");
+
+  // Portfolio selection: measure, print the decision, and dispatch to the
+  // chosen backend (the ffmr/ffpr round reports carry the same backend
+  // name in every line).
+  std::string portfolio_json;
+  if (algo == "auto") {
+    flow::PortfolioDecision d = flow::choose_backend(g, source, sink);
+    portfolio_json = d.to_json();
+    std::printf("portfolio: %s\n", portfolio_json.c_str());
+    switch (d.backend) {
+      case flow::PortfolioBackend::kSequentialDinic: algo = "dinic"; break;
+      case flow::PortfolioBackend::kBidirectionalFf: algo = "ff5"; break;
+      case flow::PortfolioBackend::kPushRelabel: algo = "ffpr"; break;
+    }
+  }
+  const bool run_ffmr = algo.size() == 3 && algo.compare(0, 2, "ff") == 0 &&
+                        algo[2] >= '1' && algo[2] <= '5';
+  const bool run_ffpr = algo == "ffpr";
+  if (!fault_shape.empty() && !run_ffmr && !run_ffpr) {
+    std::fprintf(stderr,
+                 "--fault_shape only applies to --algo=ff1..ff5 or ffpr\n");
     return 2;
   }
+
+  // Shared simulated-cluster configuration for the distributed backends.
+  // Throws std::invalid_argument on an unknown fault shape.
+  auto make_cluster_config = [&]() {
+    mr::ClusterConfig config;
+    config.num_slave_nodes = nodes;
+    config.num_racks = racks;
+    config.cost.inter_rack_mbps = inter_rack_mbps;
+    config.speculative_execution = speculation;
+    if (!fault_shape.empty()) {
+      config.fault = mr::FaultConfig::shape(fault_shape, fault_prob,
+                                            fault_seed);
+      config.max_task_attempts = 8;  // survive the injected crash rate
+      std::printf("faults: shape=%s p=%g seed=%llu\n", fault_shape.c_str(),
+                  fault_prob, static_cast<unsigned long long>(fault_seed));
+    }
+    return config;
+  };
 
   graph::FlowAssignment assignment;
   if (algo == "dinic") {
@@ -234,34 +286,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.stats.total_messages),
                 serde::human_bytes(r.stats.total_message_bytes).c_str());
     assignment = std::move(r.assignment);
-  } else if (is_ffmr) {
+  } else if (run_ffmr) {
     mr::ClusterConfig config;
-    config.num_slave_nodes = nodes;
-    config.num_racks = racks;
-    config.cost.inter_rack_mbps = inter_rack_mbps;
-    config.speculative_execution = speculation;
+    try {
+      config = make_cluster_config();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
     ffmr::FfmrOptions options;
     options.variant = static_cast<ffmr::Variant>(algo[2] - '0');
     options.round_report = round_report;
-    if (!fault_shape.empty()) {
-      try {
-        config.fault = mr::FaultConfig::shape(fault_shape, fault_prob,
-                                              fault_seed);
-      } catch (const std::invalid_argument& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 2;
-      }
-      config.max_task_attempts = 8;  // survive the injected crash rate
-      if (config.fault.corrupt_read_probability > 0) {
-        // Corruption is only detectable on checksummed frames; spilled map
-        // outputs give node crashes real files to destroy.
-        options.wire = ffmr::WireChoice::kOn;
-      }
-      if (config.fault.node_crash_probability > 0) {
-        options.spill_map_outputs = true;
-      }
-      std::printf("faults: shape=%s p=%g seed=%llu\n", fault_shape.c_str(),
-                  fault_prob, static_cast<unsigned long long>(fault_seed));
+    if (config.fault.corrupt_read_probability > 0) {
+      // Corruption is only detectable on checksummed frames; spilled map
+      // outputs give node crashes real files to destroy.
+      options.wire = ffmr::WireChoice::kOn;
+    }
+    if (config.fault.node_crash_probability > 0) {
+      options.spill_map_outputs = true;
     }
     mr::Cluster cluster(config);
     auto r = ffmr::solve_max_flow(cluster, g, source, sink, options);
@@ -272,9 +314,46 @@ int main(int argc, char** argv) {
                 serde::human_bytes(r.totals.shuffle_bytes).c_str(),
                 serde::human_duration(r.totals.sim_seconds).c_str());
     assignment = std::move(r.assignment);
+  } else if (run_ffpr) {
+    mr::ClusterConfig config;
+    try {
+      config = make_cluster_config();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    ffpr::FfprOptions options;
+    options.round_report = round_report;
+    if (config.fault.corrupt_read_probability > 0) {
+      options.wire = ffmr::WireChoice::kOn;
+    }
+    if (config.fault.node_crash_probability > 0) {
+      options.spill_map_outputs = true;
+    }
+    mr::Cluster cluster(config);
+    auto r = ffpr::solve_max_flow(cluster, g, source, sink, options);
+    std::printf("ffpr: %d push waves, %d relabel waves, %lld pushes, "
+                "%lld lifts, %lld task retries, shuffle %s, sim time %s\n",
+                r.waves, r.relabel_rounds,
+                static_cast<long long>(r.total_pushes),
+                static_cast<long long>(r.total_lifts),
+                static_cast<long long>(r.totals.task_retries),
+                serde::human_bytes(r.totals.shuffle_bytes).c_str(),
+                serde::human_duration(r.totals.sim_seconds).c_str());
+    assignment = std::move(r.assignment);
   } else {
     std::fprintf(stderr, "unknown --algo=%s\n", algo.c_str());
     return 2;
+  }
+
+  // The portfolio decision rides in the round report as a trailer line
+  // (the solver's RoundReportWriter truncates on open, so this must come
+  // after the run).
+  if (!portfolio_json.empty() && !round_report.empty()) {
+    if (FILE* f = std::fopen(round_report.c_str(), "a")) {
+      std::fprintf(f, "{\"portfolio\":%s}\n", portfolio_json.c_str());
+      std::fclose(f);
+    }
   }
 
   std::printf("max-flow = %lld\n", static_cast<long long>(assignment.value));

@@ -19,8 +19,11 @@ std::string aug_file_name(const std::string& base, int round) {
 
 // Renders the FFMR-specific round-report fields (see RoundReportWriter):
 // a comma-led fragment spliced into the generic per-round JSON line.
-std::string round_report_extra(const RoundInfo& info, Capacity total_flow) {
-  std::string out = ",\"source_moves\":" + std::to_string(info.source_moves);
+std::string round_report_extra(const RoundInfo& info, Capacity total_flow,
+                               Variant variant) {
+  std::string out =
+      std::string(",\"backend\":\"") + variant_name(variant) + "\"";
+  out += ",\"source_moves\":" + std::to_string(info.source_moves);
   out += ",\"sink_moves\":" + std::to_string(info.sink_moves);
   out += ",\"paths_extended\":" + std::to_string(info.paths_extended);
   out += ",\"paths_offered\":" + std::to_string(info.candidates);
@@ -159,7 +162,10 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     info.sink_moves = stats.counters.value(counter::kSinkMove);
     info.stats = stats;
     result.max_graph_bytes = stats.output_bytes;
-    if (report) report->write_round(0, stats, round_report_extra(info, 0));
+    if (report) {
+      report->write_round(0, stats,
+                          round_report_extra(info, 0, options.variant));
+    }
     result.rounds_info.push_back(std::move(info));
   }
   // Empty broadcast for round 1.
@@ -213,7 +219,8 @@ FfmrResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
     info.stats = stats;
     if (report) {
       report->write_round(round, stats,
-                          round_report_extra(info, result.max_flow));
+                          round_report_extra(info, result.max_flow,
+                                             options.variant));
     }
     result.rounds_info.push_back(std::move(info));
 

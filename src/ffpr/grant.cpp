@@ -1,0 +1,76 @@
+#include "ffpr/grant.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mrflow::ffpr {
+
+serde::Bytes encode_grant_bulk(
+    int64_t wave, VertexId vertex, int64_t granted, int64_t refused,
+    Excess granted_amount,
+    const std::vector<std::pair<EdgeId, Capacity>>& deltas) {
+  ByteWriter w;
+  w.put_varint(static_cast<uint64_t>(wave));
+  w.put_varint(vertex);
+  w.put_varint(static_cast<uint64_t>(granted));
+  w.put_varint(static_cast<uint64_t>(refused));
+  w.put_signed(clamp_excess(granted_amount));
+  w.put_varint(deltas.size());
+  for (const auto& [eid, delta] : deltas) {
+    w.put_varint(eid);
+    w.put_signed(delta);
+  }
+  return w.take();
+}
+
+serde::Bytes GrantService::handle(std::string_view request) {
+  ByteReader r(request);
+  const int64_t wave = static_cast<int64_t>(r.get_varint());
+  const VertexId vertex = r.get_varint();
+  const int64_t granted = static_cast<int64_t>(r.get_varint());
+  const int64_t refused = static_cast<int64_t>(r.get_varint());
+  const Capacity amount = r.get_signed();
+  const uint64_t n = r.get_varint();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seen_.insert({wave, vertex}).second) return {};  // retried attempt
+  granted_ += granted;
+  refused_ += refused;
+  granted_amount_ += amount;
+  if (vertex == sink_) sink_amount_ += amount;
+  pending_.reserve(pending_.size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EdgeId eid = r.get_varint();
+    Capacity delta = r.get_signed();
+    pending_.emplace_back(eid, delta);
+  }
+  return {};
+}
+
+GrantService::WaveOutcome GrantService::finish_wave() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WaveOutcome out;
+  out.granted = granted_;
+  out.refused = refused_;
+  out.granted_amount = clamp_excess(granted_amount_);
+  out.sink_amount = clamp_excess(sink_amount_);
+  // Sum per eid: commutative, so the outcome is independent of the order
+  // reduce tasks happened to call in.
+  std::sort(pending_.begin(), pending_.end());
+  for (const auto& [eid, delta] : pending_) {
+    if (!out.deltas.deltas.empty() && out.deltas.deltas.back().first == eid) {
+      out.deltas.deltas.back().second += delta;
+    } else {
+      out.deltas.deltas.emplace_back(eid, delta);
+    }
+  }
+  std::erase_if(out.deltas.deltas,
+                [](const auto& kv) { return kv.second == 0; });
+  seen_.clear();
+  pending_.clear();
+  granted_ = refused_ = 0;
+  granted_amount_ = sink_amount_ = 0;
+  return out;
+}
+
+}  // namespace mrflow::ffpr

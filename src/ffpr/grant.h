@@ -1,0 +1,63 @@
+// grant_proc: the per-wave flow-grant collector (FF-PR's aug_proc analog).
+//
+// Reducers decide grants locally (each vertex accepts pushes against its
+// own height and residual) and ship one bulk message per (wave, vertex) to
+// this service; the driver folds the merged deltas into the next wave's
+// AugmentedEdges broadcast, which both endpoints of every pair apply
+// identically. Task fault tolerance is at-least-once, so a retried reduce
+// attempt resends a bit-identical bulk; only the first copy per
+// (wave, vertex) is merged. Per-eid merging is a sum, so the outcome is
+// independent of arrival order -- determinism needs no queue or sort here.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ffmr/types.h"
+#include "ffpr/types.h"
+#include "mapreduce/service.h"
+
+namespace mrflow::ffpr {
+
+serde::Bytes encode_grant_bulk(int64_t wave, VertexId vertex,
+                               int64_t granted, int64_t refused,
+                               Excess granted_amount,
+                               const std::vector<std::pair<EdgeId, Capacity>>&
+                                   deltas);
+
+class GrantService final : public mr::Service {
+ public:
+  struct WaveOutcome {
+    int64_t granted = 0;          // push requests granted
+    int64_t refused = 0;          // arrived but failed the height/residual
+    Capacity granted_amount = 0;  // total flow moved (clamped, report only)
+    Capacity sink_amount = 0;     // flow granted *into* the sink this wave
+    ffmr::AugmentedEdges deltas;  // the next wave's broadcast
+  };
+
+  explicit GrantService(VertexId sink) : sink_(sink) {}
+
+  GrantService(const GrantService&) = delete;
+  GrantService& operator=(const GrantService&) = delete;
+
+  // mr::Service:
+  serde::Bytes handle(std::string_view request) override;
+
+  // Snapshots and resets the per-wave state; called by the driver between
+  // waves (after the job barrier, so no further bulks can arrive).
+  WaveOutcome finish_wave();
+
+ private:
+  const VertexId sink_;
+  std::mutex mu_;
+  std::set<std::pair<int64_t, VertexId>> seen_;
+  std::vector<std::pair<EdgeId, Capacity>> pending_;
+  int64_t granted_ = 0;
+  int64_t refused_ = 0;
+  Excess granted_amount_ = 0;
+  Excess sink_amount_ = 0;
+};
+
+}  // namespace mrflow::ffpr

@@ -1,0 +1,59 @@
+// FF-PR configuration: synchronous parallel push-relabel over MapReduce.
+//
+// FF-PR is the second solver backend beside FF1..FF5 (ROADMAP item 2,
+// grounded in Baumstark/Blelloch/Shun's synchronous-parallel formulation,
+// PAPERS.md). It shares the FFMR engine plumbing -- wire format, spills,
+// rack aggregation, schimmy, round reports, warm starts -- so the two
+// backends are interchangeable behind the portfolio selector and the same
+// chaos/certificate harness covers both.
+#pragma once
+
+#include <string>
+
+#include "common/codec.h"
+#include "ffmr/options.h"
+#include "graph/graph.h"
+
+namespace mrflow::ffpr {
+
+struct FfprOptions {
+  int num_reduce_tasks = 0;  // 0 = cluster's total reduce slots
+
+  // Ceiling on MR jobs after round #0 (push waves + relabel waves). Each
+  // wave moves excess one hop, so high-diameter graphs need roughly
+  // O(diameter) waves plus the drain-back of surplus excess toward s.
+  int max_waves = 2000;
+
+  // Global relabeling cadence: a residual-BFS phase (the MR-BFS pattern
+  // run over the masters' residual arcs) every this many push waves.
+  // 0 disables periodic relabeling; `initial_global_relabel` controls the
+  // phase right after round #0 that seeds exact initial heights.
+  int global_relabel_every = 8;
+  bool initial_global_relabel = true;
+
+  // Schimmy merge-join (FF3 pattern): master records never shuffle; the
+  // reducer replays MAP's deterministic state transition on the stored
+  // bytes. Off shuffles full masters every wave (differential oracle).
+  bool use_schimmy = true;
+
+  // Engine plumbing, same semantics as FfmrOptions.
+  bool spill_map_outputs = false;
+  bool rack_aggregation = true;
+  ffmr::WireChoice wire = ffmr::WireChoice::kOff;
+  codec::CodecId wire_codec = codec::CodecId::kLz;
+  bool wire_compact_keys = true;
+  uint32_t wire_block_bytes = 0;
+
+  // Warm start: a feasible flow seeded into the round-0 edge records (the
+  // source saturation bulk then only grants the *remaining* residual of
+  // each source arc). Not owned; must outlive the solve.
+  const graph::FlowAssignment* initial_flow = nullptr;
+
+  std::string base = "ffpr";  // DFS path prefix
+
+  // Host-filesystem JSONL report, one line per wave (build, push and
+  // relabel waves alike; see solver.cpp round_report_extra).
+  std::string round_report;
+};
+
+}  // namespace mrflow::ffpr

@@ -1,0 +1,440 @@
+#include "ffpr/pr_job.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "ffmr/ff_job.h"
+#include "ffpr/grant.h"
+
+namespace mrflow::ffpr {
+
+namespace {
+
+using ffmr::decode_vertex_key;
+using ffmr::encode_vertex_key;
+
+// Parsed per-wave parameters, decoded once per task in setup().
+struct PrParams {
+  int wave = 0;
+  Phase phase = Phase::kPush;
+  VertexId source = 0;
+  VertexId sink = 0;
+  uint64_t n = 0;  // vertex count; height cap is 2n
+  bool schimmy = true;
+  std::string aug_file;
+
+  static PrParams from(const mr::TaskContext& ctx) {
+    PrParams p;
+    p.wave = static_cast<int>(ctx.param_int(param::kWave, 0));
+    p.phase = static_cast<Phase>(ctx.param_int(param::kPhase, 0));
+    p.source = static_cast<VertexId>(ctx.param_int(param::kSource, 0));
+    p.sink = static_cast<VertexId>(ctx.param_int(param::kSink, 0));
+    p.n = static_cast<uint64_t>(ctx.param_int(param::kNumVertices, 0));
+    p.schimmy = ctx.param_int(param::kSchimmy, 1) != 0;
+    p.aug_file = ctx.param_or(param::kAugFile, "");
+    return p;
+  }
+
+  uint64_t height_cap() const { return 2 * n; }
+  bool terminal(VertexId u) const { return u == source || u == sink; }
+};
+
+using EmitFragmentFn =
+    std::function<void(VertexId neighbor, const PrValue& fragment)>;
+
+// What MAP did to the master (counter material; REDUCE's replay drops it).
+struct AdvanceResult {
+  int64_t requests = 0;
+  bool active = false;
+  bool lifted = false;
+  bool committed = false;
+};
+
+// The deterministic per-wave master transition. MAP runs it with a real
+// emitter; under schimmy REDUCE replays it on the stored bytes with
+// emit == nullptr and reaches the identical state -- flows (from the
+// broadcast), height (lift/commit) and relabel scratch all advance here
+// and nowhere else on the map side.
+AdvanceResult advance_master(PrValue& m, VertexId u, const PrParams& p,
+                             const ffmr::AugmentedEdges& aug,
+                             const EmitFragmentFn* emit) {
+  AdvanceResult out;
+  // Apply the previous wave's grant broadcast (both endpoints of every
+  // pair apply the same signed delta).
+  if (!aug.empty()) {
+    for (PrEdge& e : m.edges) e.flow += aug.delta_for(e.eid);
+  }
+
+  PrValue fragment;
+  auto send_note = [&](const PrEdge& e, uint64_t value) {
+    fragment.clear();
+    fragment.notes.push_back(HeightNote{e.eid, value});
+    (*emit)(e.neighbor, fragment);
+  };
+
+  switch (p.phase) {
+    case Phase::kPush: {
+      if (p.terminal(u)) return out;  // terminals never push or lift
+      const Excess excess = m.excess();
+      if (excess <= 0 || m.height >= p.height_cap()) return out;
+      out.active = true;
+
+      // Plan push requests along admissible arcs (height == nh + 1), in
+      // eid order, until the excess is spoken for. The neighbor-height
+      // cache is never ahead of the true height, so a stale entry only
+      // wastes a request (refused at the grant side), never moves flow
+      // uphill.
+      Excess rem = excess;
+      for (PrEdge& e : m.edges) {
+        if (rem <= 0) break;
+        const Capacity res = e.residual_out();
+        if (res <= 0) continue;
+        if (m.height != e.nh + 1) continue;
+        const Capacity amt =
+            static_cast<Capacity>(std::min<Excess>(rem, res));
+        if (emit != nullptr) {
+          fragment.clear();
+          fragment.requests.push_back(PushRequest{e.eid, amt, m.height});
+          (*emit)(e.neighbor, fragment);
+        }
+        ++out.requests;
+        rem -= amt;
+      }
+
+      // Lift when excess remains unplanned. With an admissible arc in the
+      // residual set the minimum is height - 1 and the lift is a no-op,
+      // so this only fires when no admissible arc existed; the new height
+      // 1 + min(nh) keeps the invariant h(u) <= h(v) + 1 because every
+      // cached nh is <= the true neighbor height.
+      if (rem > 0) {
+        uint64_t min_nh = kNoDist;
+        for (const PrEdge& e : m.edges) {
+          if (e.residual_out() <= 0) continue;
+          min_nh = std::min(min_nh, e.nh);
+        }
+        if (min_nh != kNoDist) {
+          const uint64_t lifted_h = std::min(min_nh + 1, p.height_cap());
+          if (lifted_h > m.height) {
+            m.height = lifted_h;
+            out.lifted = true;
+            if (emit != nullptr) {
+              for (const PrEdge& e : m.edges) send_note(e, m.height);
+            }
+          }
+        }
+      }
+      return out;
+    }
+
+    case Phase::kRelabelReset: {
+      m.scratch = u == p.sink ? 0 : (u == p.source ? p.n : kNoDist);
+      m.fresh = p.terminal(u);
+      if (m.fresh && emit != nullptr) {
+        // Announce to every vertex that can push into u (reverse residual
+        // BFS arc): their distance is at most scratch + 1.
+        for (const PrEdge& e : m.edges) {
+          if (e.residual_in() > 0) send_note(e, m.scratch);
+        }
+      }
+      return out;
+    }
+
+    case Phase::kRelabelAdvance: {
+      if (m.fresh && emit != nullptr) {
+        for (const PrEdge& e : m.edges) {
+          if (e.residual_in() > 0) send_note(e, m.scratch);
+        }
+      }
+      m.fresh = false;
+      return out;
+    }
+
+    case Phase::kRelabelCommit: {
+      // Exact residual distances (sink at 0, source side at n+) form a
+      // valid height function, and an elementwise max of two valid height
+      // functions is valid, so committing max(height, scratch) preserves
+      // the invariant and keeps heights monotone.
+      if (m.scratch != kNoDist && m.scratch > m.height && !p.terminal(u)) {
+        m.height = m.scratch;
+        out.committed = true;
+      }
+      m.scratch = kNoDist;
+      m.fresh = false;
+      if (emit != nullptr) {
+        // Re-announce every height so the neighbor caches are exact.
+        for (const PrEdge& e : m.edges) send_note(e, m.height);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- round #0
+
+// Input: ffmr's round-0 map output (both endpoints notified with an
+// ffmr::EdgeState from their perspective).
+class PrLoadReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    const VertexId u = decode_vertex_key(key);
+    const VertexId source =
+        static_cast<VertexId>(ctx.param_int(param::kSource, 0));
+    const uint64_t n =
+        static_cast<uint64_t>(ctx.param_int(param::kNumVertices, 0));
+
+    PrValue master;
+    master.is_master = true;
+    master.edges.reserve(values.size());
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      ffmr::EdgeState s = ffmr::EdgeState::decode(r);
+      PrEdge e;
+      e.eid = s.eid;
+      e.neighbor = s.neighbor;
+      e.is_pair_a = s.is_pair_a;
+      e.flow = s.flow;
+      e.cap_ab = s.cap_ab;
+      e.cap_ba = s.cap_ba;
+      // Heights start at 0 except h(s) = n; seed the caches to match so
+      // the drain-back toward s is plannable before s ever announces.
+      e.nh = s.neighbor == source ? n : 0;
+      master.edges.push_back(e);
+    }
+    std::sort(master.edges.begin(), master.edges.end(),
+              [](const PrEdge& x, const PrEdge& y) { return x.eid < y.eid; });
+    if (u == source) {
+      master.height = n;
+      // Preflow initialization: saturate every residual source arc. The
+      // deltas travel through grant_proc and the wave-0 broadcast so both
+      // endpoints apply the identical update.
+      std::vector<std::pair<EdgeId, Capacity>> deltas;
+      Excess amount = 0;
+      for (const PrEdge& e : master.edges) {
+        const Capacity res = e.residual_out();
+        if (res <= 0) continue;
+        deltas.emplace_back(e.eid, static_cast<Capacity>(e.dir_out()) * res);
+        amount += res;
+      }
+      if (!deltas.empty()) {
+        ctx.call_service(kGrantService,
+                         encode_grant_bulk(/*wave=*/0, u,
+                                           static_cast<int64_t>(deltas.size()),
+                                           /*refused=*/0, amount, deltas));
+      }
+    }
+    ctx.emit(key, master.encoded());
+  }
+};
+
+// ------------------------------------------------------------ wave job
+
+class WaveMapper final : public mr::Mapper {
+ public:
+  void setup(mr::MapContext& ctx) override {
+    params_ = PrParams::from(ctx);
+    if (!params_.aug_file.empty() && ctx.side_file_exists(params_.aug_file)) {
+      aug_ = ffmr::AugmentedEdges::decode(ctx.read_side_file(params_.aug_file));
+    }
+  }
+
+  void map(std::string_view key, std::string_view value,
+           mr::MapContext& ctx) override {
+    ByteReader vr(value);
+    PrValue::decode_into(vr, master_);
+    const VertexId u = decode_vertex_key(key);
+
+    EmitFragmentFn emit = [&ctx](VertexId neighbor, const PrValue& fragment) {
+      ctx.emit(encode_vertex_key(neighbor), fragment.encoded());
+    };
+    const AdvanceResult r = advance_master(master_, u, params_, aug_, &emit);
+
+    if (r.requests > 0) {
+      ctx.counters().increment(counter::kRequests, r.requests);
+    }
+    if (r.active) ctx.counters().increment(counter::kActiveVertices);
+    if (r.lifted) ctx.counters().increment(counter::kLifts);
+    if (r.committed) ctx.counters().increment(counter::kHeightCommits);
+
+    if (!params_.schimmy) ctx.emit(key, master_.encoded());
+  }
+
+ private:
+  PrParams params_;
+  ffmr::AugmentedEdges aug_;
+  PrValue master_;
+};
+
+class WaveReducer final : public mr::Reducer {
+ public:
+  void setup(mr::ReduceContext& ctx) override {
+    params_ = PrParams::from(ctx);
+    if (params_.schimmy && !params_.aug_file.empty() &&
+        ctx.side_file_exists(params_.aug_file)) {
+      aug_ = ffmr::AugmentedEdges::decode(ctx.read_side_file(params_.aug_file));
+    }
+  }
+
+  void reduce(std::string_view key, const mr::Values& values,
+              mr::ReduceContext& ctx) override {
+    const VertexId u = decode_vertex_key(key);
+
+    PrValue master;
+    bool have_master = false;
+    std::vector<PushRequest> requests;
+    std::vector<HeightNote> notes;
+    for (std::string_view raw : values) {
+      ByteReader r(raw);
+      PrValue v = PrValue::decode(r);
+      if (v.is_master) {
+        master = std::move(v);
+        have_master = true;
+      } else {
+        requests.insert(requests.end(), v.requests.begin(), v.requests.end());
+        notes.insert(notes.end(), v.notes.begin(), v.notes.end());
+      }
+    }
+    if (!have_master) {
+      ctx.counters().increment(counter::kFragmentsDropped);
+      return;
+    }
+
+    if (params_.schimmy) {
+      // The stored master is one wave stale: replay MAP's deterministic
+      // transition without emitting.
+      advance_master(master, u, params_, aug_, nullptr);
+    }
+
+    switch (params_.phase) {
+      case Phase::kPush:
+        reduce_push(master, u, requests, notes, ctx);
+        break;
+      case Phase::kRelabelReset:
+      case Phase::kRelabelAdvance:
+        reduce_relabel(master, u, notes, ctx);
+        break;
+      case Phase::kRelabelCommit:
+        merge_height_notes(master, notes);
+        break;
+    }
+
+    ctx.emit(key, master.encoded());
+  }
+
+ private:
+  // Height announcements fold in with max(): heights only ever increase,
+  // so the merge is order-free and the cache never runs ahead of truth.
+  static void merge_height_notes(PrValue& master,
+                                 const std::vector<HeightNote>& notes) {
+    for (const HeightNote& n : notes) {
+      if (PrEdge* e = master.edge_by_eid(n.eid)) e->nh = std::max(e->nh, n.value);
+    }
+  }
+
+  void reduce_push(PrValue& master, VertexId u,
+                   std::vector<PushRequest>& requests,
+                   const std::vector<HeightNote>& notes,
+                   mr::ReduceContext& ctx) {
+    merge_height_notes(master, notes);
+    if (requests.empty()) return;
+
+    // Deterministic grant order: sort by content. Each eid carries at most
+    // one request per wave (one sender per pair direction), so eid alone
+    // is a total order; the full tuple guards the degenerate cases.
+    std::sort(requests.begin(), requests.end(),
+              [](const PushRequest& a, const PushRequest& b) {
+                return std::tie(a.eid, a.sender_height, a.amount) <
+                       std::tie(b.eid, b.sender_height, b.amount);
+              });
+
+    std::vector<std::pair<EdgeId, Capacity>> deltas;
+    int64_t granted = 0;
+    int64_t refused = 0;
+    Excess amount = 0;
+    for (const PushRequest& q : requests) {
+      PrEdge* e = master.edge_by_eid(q.eid);
+      if (e == nullptr) {
+        ctx.counters().increment(counter::kFragmentsDropped);
+        continue;
+      }
+      // The sender's height rides along, so the cache learns it for free.
+      e->nh = std::max(e->nh, q.sender_height);
+      // Grant only exactly-downhill pushes against the *current* height
+      // (this wave's lift, if any, was replayed above): flow never moves
+      // uphill even when the request was planned on a stale cache.
+      if (q.sender_height != master.height + 1) {
+        ++refused;
+        continue;
+      }
+      const Capacity amt = std::min(q.amount, e->residual_in());
+      if (amt <= 0) {
+        ++refused;
+        continue;
+      }
+      deltas.emplace_back(q.eid,
+                          static_cast<Capacity>(-e->dir_out()) * amt);
+      ++granted;
+      amount += amt;
+    }
+    ctx.call_service(kGrantService,
+                     encode_grant_bulk(params_.wave, u, granted, refused,
+                                       amount, deltas));
+  }
+
+  void reduce_relabel(PrValue& master, VertexId u,
+                      const std::vector<HeightNote>& notes,
+                      mr::ReduceContext& ctx) {
+    if (params_.terminal(u)) return;  // seeds are pinned
+    uint64_t best = master.scratch;
+    for (const HeightNote& n : notes) {
+      if (n.value + 1 < best) best = n.value + 1;
+    }
+    if (best < master.scratch) {
+      master.scratch = best;
+      master.fresh = true;
+      ctx.counters().increment(counter::kRelabelUpdated);
+    }
+  }
+
+  PrParams params_;
+  ffmr::AugmentedEdges aug_;
+};
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPush: return "push";
+    case Phase::kRelabelReset: return "relabel_reset";
+    case Phase::kRelabelAdvance: return "relabel";
+    case Phase::kRelabelCommit: return "relabel_commit";
+  }
+  return "?";
+}
+
+mr::ReducerFactory make_pr_load_reducer() {
+  return [] { return std::make_unique<PrLoadReducer>(); };
+}
+mr::MapperFactory make_wave_mapper() {
+  return [] { return std::make_unique<WaveMapper>(); };
+}
+mr::ReducerFactory make_wave_reducer() {
+  return [] { return std::make_unique<WaveReducer>(); };
+}
+
+std::map<std::string, std::string> make_wave_params(
+    const FfprOptions& options, int wave, Phase phase, VertexId source,
+    VertexId sink, uint64_t num_vertices, const std::string& aug_file) {
+  std::map<std::string, std::string> p;
+  p[param::kWave] = std::to_string(wave);
+  p[param::kPhase] = std::to_string(static_cast<int>(phase));
+  p[param::kSource] = std::to_string(source);
+  p[param::kSink] = std::to_string(sink);
+  p[param::kNumVertices] = std::to_string(num_vertices);
+  p[param::kSchimmy] = options.use_schimmy ? "1" : "0";
+  p[param::kAugFile] = aug_file;
+  return p;
+}
+
+}  // namespace mrflow::ffpr

@@ -1,0 +1,84 @@
+// The FF-PR MapReduce jobs: round #0 (graph build + source saturation) and
+// the synchronous wave job (push/lift or global-relabel BFS, selected by
+// the phase parameter).
+//
+// Push wave (one MR job):
+//   MAP    apply the previous wave's grant broadcast to the edge flows,
+//          derive the excess, and -- if active -- plan push requests along
+//          admissible residual arcs (height == cached neighbor height + 1)
+//          and lift when excess remains unplanned, announcing the new
+//          height to every neighbor. Deterministic; under schimmy the
+//          master is not emitted and REDUCE replays the same transition.
+//   REDUCE merge-join the master (schimmy) with the fragments; fold height
+//          notes into the neighbor-height cache; grant push requests in
+//          eid order against the vertex's own height and residual; ship
+//          one bulk of grants per vertex to grant_proc. Flows are *not*
+//          mutated here -- the driver broadcasts the merged grants and
+//          both endpoints apply them at the next wave, keeping the two
+//          copies of every pair identical.
+//
+// Global relabel (the MR-BFS pattern over the residual graph, seeded at
+// the sink with distance 0 and the source with n): advance waves settle
+// BFS distances into the scratch field until a wave updates nothing; the
+// commit wave folds max(height, scratch) into the height (exact residual
+// distances are valid heights and heights only ever increase) and
+// re-announces every height so the neighbor caches are exact.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ffpr/options.h"
+#include "ffpr/types.h"
+#include "mapreduce/job.h"
+
+namespace mrflow::ffpr {
+
+namespace param {
+inline constexpr const char* kWave = "pr.wave";
+inline constexpr const char* kPhase = "pr.phase";
+inline constexpr const char* kSource = "pr.source";
+inline constexpr const char* kSink = "pr.sink";
+inline constexpr const char* kNumVertices = "pr.n";
+inline constexpr const char* kSchimmy = "pr.schimmy";
+inline constexpr const char* kAugFile = "pr.aug_file";
+}  // namespace param
+
+// Wave phases (param::kPhase).
+enum class Phase {
+  kPush = 0,           // push/lift wave
+  kRelabelReset = 1,   // BFS reset + seed announcements from s and t
+  kRelabelAdvance = 2, // BFS frontier advance
+  kRelabelCommit = 3,  // fold distances into heights, re-announce heights
+};
+
+const char* phase_name(Phase p);
+
+namespace counter {
+inline constexpr const char* kRequests = "push requests";
+inline constexpr const char* kLifts = "lifts";
+inline constexpr const char* kActiveVertices = "active vertices";
+inline constexpr const char* kRelabelUpdated = "relabel updated";
+inline constexpr const char* kHeightCommits = "height commits";
+inline constexpr const char* kFragmentsDropped = "fragments dropped";
+}  // namespace counter
+
+// Name of the grant service in the job's ServiceRegistry.
+inline constexpr const char* kGrantService = "grant_proc";
+
+// Round #0 consumes the same edge-record file FFMR's loader writes
+// (ffmr::write_edge_records) and reuses ffmr's round-0 mapper; this
+// reducer assembles PrValue masters, pins height(s) = n, and ships the
+// source-saturation bulk (the classic preflow initialization) through
+// grant_proc so it reaches both endpoints via the first broadcast.
+mr::ReducerFactory make_pr_load_reducer();
+
+// Wave mapper/reducer (phase selected by params).
+mr::MapperFactory make_wave_mapper();
+mr::ReducerFactory make_wave_reducer();
+
+std::map<std::string, std::string> make_wave_params(
+    const FfprOptions& options, int wave, Phase phase, VertexId source,
+    VertexId sink, uint64_t num_vertices, const std::string& aug_file);
+
+}  // namespace mrflow::ffpr

@@ -1,0 +1,343 @@
+#include "ffpr/solver.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/flight_recorder.h"
+#include "common/log.h"
+#include "dfs/record_io.h"
+#include "ffmr/ff_job.h"
+#include "ffpr/grant.h"
+
+namespace mrflow::ffpr {
+
+namespace {
+
+std::string aug_file_name(const std::string& base, int seq) {
+  return base + "/aug-" + std::to_string(seq);
+}
+
+// Uniform comma-led report fragment: every line (build, push, relabel)
+// carries the same fields so the schema is a single shape per backend.
+std::string round_report_extra(const char* phase, const WaveInfo& info,
+                               Capacity total_flow, int64_t relabel_rounds) {
+  std::string out = ",\"backend\":\"ffpr\"";
+  out += ",\"phase\":\"" + std::string(phase) + "\"";
+  out += ",\"requests\":" + std::to_string(info.requests);
+  out += ",\"pushes\":" + std::to_string(info.pushes);
+  out += ",\"refused\":" + std::to_string(info.refused);
+  out += ",\"lifts\":" + std::to_string(info.lifts);
+  out += ",\"active\":" + std::to_string(info.active);
+  out += ",\"height_updates\":" + std::to_string(info.height_updates);
+  out += ",\"excess_drained\":" + std::to_string(info.excess_drained);
+  out += ",\"delta_flow\":" + std::to_string(info.delta_flow);
+  out += ",\"total_flow\":" + std::to_string(total_flow);
+  out += ",\"relabel_rounds\":" + std::to_string(relabel_rounds);
+  return out;
+}
+
+// Reads the final wave's partition files and reconstructs the per-pair
+// flow from the masters' 'a'-side copies.
+graph::FlowAssignment extract_assignment(mr::Cluster& cluster,
+                                         const std::vector<std::string>& files,
+                                         size_t num_pairs) {
+  graph::FlowAssignment out;
+  out.pair_flow.assign(num_pairs, 0);
+  for (const auto& file : files) {
+    dfs::RecordReader reader(&cluster.fs(), file);
+    while (auto rec = reader.next()) {
+      ByteReader r(rec->value);
+      PrValue v = PrValue::decode(r);
+      if (!v.is_master) continue;
+      for (const PrEdge& e : v.edges) {
+        if (e.is_pair_a && e.eid < num_pairs) out.pair_flow[e.eid] = e.flow;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+codec::WireFormat resolve_wire_format(const FfprOptions& options,
+                                      const mr::CostModel& cost) {
+  codec::WireFormat fmt;
+  bool on = options.wire == ffmr::WireChoice::kOn ||
+            (options.wire == ffmr::WireChoice::kAuto && cost.codec_pays());
+  if (!on) return fmt;
+  fmt.codec = options.wire_codec;
+  fmt.compact_keys = options.wire_compact_keys;
+  if (options.wire_block_bytes > 0) fmt.block_bytes = options.wire_block_bytes;
+  return fmt;
+}
+
+FfprResult solve_max_flow(mr::Cluster& cluster,
+                          const graph::FlowProblem& problem,
+                          const FfprOptions& options) {
+  return solve_max_flow(cluster, problem.graph, problem.source, problem.sink,
+                        options);
+}
+
+FfprResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
+                          VertexId source, VertexId sink,
+                          const FfprOptions& options) {
+  if (source >= g.num_vertices() || sink >= g.num_vertices()) {
+    throw std::invalid_argument("terminal vertex out of range");
+  }
+  if (source == sink) throw std::invalid_argument("source equals sink");
+  if (!g.finalized()) throw std::invalid_argument("graph not finalized");
+
+  FfprResult result;
+  if (g.degree(source) == 0 || g.degree(sink) == 0) {
+    result.converged = true;
+    result.assignment.pair_flow.assign(g.num_edge_pairs(), 0);
+    return result;
+  }
+
+  const std::string& base = options.base;
+  const uint64_t n = g.num_vertices();
+  const codec::WireFormat wire =
+      resolve_wire_format(options, cluster.config().cost);
+  const std::string edges_file = base + "/edges";
+  ffmr::write_edge_records(cluster, g, edges_file, wire,
+                           options.initial_flow);
+
+  auto write_aug = [&](int seq, const serde::Bytes& encoded) {
+    const std::string name = aug_file_name(base, seq);
+    if (wire.enabled()) {
+      cluster.fs().write_all_framed(name, encoded, wire);
+    } else {
+      cluster.fs().write_all(name, encoded);
+    }
+    return name;
+  };
+
+  auto grants = std::make_shared<GrantService>(sink);
+  mr::ServiceRegistry services;
+  services.add(kGrantService, grants);
+
+  const int reducers = options.num_reduce_tasks > 0
+                           ? options.num_reduce_tasks
+                           : cluster.total_reduce_slots();
+
+  mr::JobChain chain(cluster, base);
+  std::unique_ptr<mr::RoundReportWriter> report;
+  if (!options.round_report.empty()) {
+    report = std::make_unique<mr::RoundReportWriter>(options.round_report);
+  }
+
+  // Running flow as the reports see it: the warm-start value plus every
+  // grant into the sink. The returned max_flow is recomputed exactly from
+  // the final assignment (which also covers a direct source->sink pair,
+  // saturated at round #0 without ever being "granted" by the sink).
+  Capacity report_flow =
+      options.initial_flow != nullptr ? options.initial_flow->value : 0;
+  int64_t relabel_total = 0;
+
+  auto record = [&](const char* phase, WaveInfo info) {
+    if (report) {
+      report->write_round(info.round, info.stats,
+                          round_report_extra(phase, info, report_flow,
+                                             relabel_total));
+    }
+    result.rounds_info.push_back(std::move(info));
+  };
+
+  // Runs one wave job; `wave` doubles as the grant-bulk dedup namespace,
+  // so the chain round index (unique per job) is used throughout.
+  auto run_wave_job = [&](Phase phase,
+                          const std::string& aug_name) -> const mr::JobStats& {
+    const int round = chain.next_round();
+    mr::JobSpec spec;
+    spec.name = base + "#" + std::to_string(round) + "-" + phase_name(phase);
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = make_wave_mapper();
+    spec.reducer = make_wave_reducer();
+    spec.params = make_wave_params(options, round, phase, source, sink, n,
+                                   aug_name);
+    if (options.use_schimmy) spec.schimmy_prefix = chain.prefix_for(round - 1);
+    spec.wire = wire;
+    spec.spill_map_outputs = options.spill_map_outputs;
+    spec.rack_aggregation = options.rack_aggregation;
+    spec.services = &services;
+    return chain.run_round(std::move(spec));
+  };
+
+  auto wave_info = [&](Phase phase, const mr::JobStats& stats) {
+    WaveInfo info;
+    info.round = chain.completed_rounds() - 1;
+    info.phase = phase;
+    info.requests = stats.counters.value(counter::kRequests);
+    info.lifts = stats.counters.value(counter::kLifts);
+    info.active = stats.counters.value(counter::kActiveVertices);
+    info.height_updates = stats.counters.value(counter::kRelabelUpdated) +
+                          stats.counters.value(counter::kHeightCommits);
+    info.stats = stats;
+    return info;
+  };
+
+  // ---------------------------------------------------------- round #0
+  std::string pending_aug;
+  {
+    mr::JobSpec spec;
+    spec.name = base + "#0-build";
+    spec.inputs = {edges_file};
+    spec.num_reduce_tasks = reducers;
+    spec.mapper = ffmr::make_load_mapper();
+    spec.reducer = make_pr_load_reducer();
+    spec.params[param::kSource] = std::to_string(source);
+    spec.params[param::kSink] = std::to_string(sink);
+    spec.params[param::kNumVertices] = std::to_string(n);
+    spec.params[ffmr::param::kBidirectional] = "0";
+    spec.wire = wire;
+    spec.spill_map_outputs = options.spill_map_outputs;
+    spec.rack_aggregation = options.rack_aggregation;
+    spec.services = &services;
+    const mr::JobStats& stats = chain.run_round(std::move(spec));
+
+    // The preflow initialization: source-saturation deltas become the
+    // first broadcast.
+    GrantService::WaveOutcome outcome = grants->finish_wave();
+    pending_aug = write_aug(0, outcome.deltas.encode());
+    report_flow += outcome.sink_amount;
+
+    WaveInfo info = wave_info(Phase::kPush, stats);
+    info.pushes = outcome.granted;
+    info.excess_drained = outcome.granted_amount;
+    info.delta_flow = outcome.sink_amount;
+    record("build", std::move(info));
+  }
+
+  // Finishes the job that consumed `name` -> the broadcast file can go.
+  auto consumed_aug = [&](const std::string& name) {
+    if (!name.empty()) cluster.fs().remove(name);
+  };
+
+  // One complete global-relabel phase: reset, advance until the BFS makes
+  // no update, commit. The phase always runs to completion -- committing a
+  // partially settled BFS would break the height invariant -- and the
+  // frontier advances at least one hop per wave, so 2n+4 waves bound it;
+  // if the safety bound ever fires the commit is skipped (heights simply
+  // stay as they were, which is always sound).
+  auto run_relabel_phase = [&]() {
+    {
+      const mr::JobStats& stats = run_wave_job(Phase::kRelabelReset,
+                                               pending_aug);
+      consumed_aug(pending_aug);
+      pending_aug.clear();
+      ++relabel_total;
+      record(phase_name(Phase::kRelabelReset),
+             wave_info(Phase::kRelabelReset, stats));
+    }
+    int64_t updated =
+        result.rounds_info.back().stats.counters.value(counter::kRelabelUpdated);
+    uint64_t advances = 0;
+    while (updated > 0 && advances < 2 * n + 4) {
+      const mr::JobStats& stats = run_wave_job(Phase::kRelabelAdvance, "");
+      updated = stats.counters.value(counter::kRelabelUpdated);
+      ++advances;
+      ++relabel_total;
+      record(phase_name(Phase::kRelabelAdvance),
+             wave_info(Phase::kRelabelAdvance, stats));
+    }
+    if (updated == 0) {
+      const mr::JobStats& stats = run_wave_job(Phase::kRelabelCommit, "");
+      ++relabel_total;
+      record(phase_name(Phase::kRelabelCommit),
+             wave_info(Phase::kRelabelCommit, stats));
+    }
+  };
+
+  // --------------------------------------------------------- push waves
+  bool need_relabel = options.initial_global_relabel;
+  int pushes_since_relabel = 0;
+  GrantService::WaveOutcome last_outcome;  // pending broadcast on cutoff
+
+  while (result.waves < options.max_waves) {
+    if (need_relabel) {
+      run_relabel_phase();
+      need_relabel = false;
+      pushes_since_relabel = 0;
+    }
+
+    const mr::JobStats& stats = run_wave_job(Phase::kPush, pending_aug);
+    consumed_aug(pending_aug);
+    GrantService::WaveOutcome outcome = grants->finish_wave();
+    pending_aug = write_aug(chain.completed_rounds() - 1,
+                            outcome.deltas.encode());
+    report_flow += outcome.sink_amount;
+    ++result.waves;
+    ++pushes_since_relabel;
+    result.total_pushes += outcome.granted;
+    result.total_lifts += stats.counters.value(counter::kLifts);
+
+    WaveInfo info = wave_info(Phase::kPush, stats);
+    info.pushes = outcome.granted;
+    info.refused = outcome.refused;
+    info.excess_drained = outcome.granted_amount;
+    info.delta_flow = outcome.sink_amount;
+    const int64_t requests = info.requests;
+    const int64_t lifts = info.lifts;
+    record(phase_name(Phase::kPush), std::move(info));
+
+    LOG_INFO << base << " wave " << result.waves << ": requests=" << requests
+             << " granted=" << outcome.granted << " lifts=" << lifts
+             << " (+" << outcome.sink_amount << " flow, total "
+             << report_flow << ")";
+    common::flight_recorder::note(
+        "ffpr", base + " wave " + std::to_string(result.waves) +
+                    ": granted=" + std::to_string(outcome.granted) +
+                    " total_flow=" + std::to_string(report_flow));
+
+    // Quiescence: nothing requested, nothing lifted (and therefore
+    // nothing granted). The neighbor-height caches were exact at the
+    // start of the wave -- the previous wave's lifts and commits were
+    // all announced -- so no active vertex can exist: converged.
+    if (requests == 0 && lifts == 0 && outcome.granted == 0) {
+      result.converged = true;
+      break;
+    }
+    last_outcome = std::move(outcome);
+
+    if (options.global_relabel_every > 0 &&
+        pushes_since_relabel >= options.global_relabel_every) {
+      need_relabel = true;
+    }
+  }
+
+  result.relabel_rounds = static_cast<int>(relabel_total);
+  result.totals = chain.totals();
+  result.assignment = extract_assignment(
+      cluster, chain.outputs_of(chain.completed_rounds() - 1),
+      g.num_edge_pairs());
+  if (!result.converged) {
+    // The final wave's grants were broadcast but never applied to the
+    // stored masters; fold them into the extracted flows.
+    for (const auto& [eid, delta] : last_outcome.deltas.deltas) {
+      if (eid < result.assignment.pair_flow.size()) {
+        result.assignment.pair_flow[eid] += delta;
+      }
+    }
+  }
+  // Exact flow value = net inflow at the sink; sink grants alone would
+  // miss a direct source->sink pair saturated at round #0.
+  Capacity value = 0;
+  for (size_t i = 0; i < g.num_edge_pairs(); ++i) {
+    const graph::EdgePair& p = g.edge(i);
+    if (p.b == sink) value += result.assignment.pair_flow[i];
+    else if (p.a == sink) value -= result.assignment.pair_flow[i];
+  }
+  result.assignment.value = value;
+  result.max_flow = value;
+
+  common::flight_recorder::note(
+      "ffpr", base + " done: flow=" + std::to_string(result.max_flow) +
+                  " waves=" + std::to_string(result.waves) + " relabels=" +
+                  std::to_string(result.relabel_rounds) +
+                  (result.converged ? "" : " [not converged]"));
+  return result;
+}
+
+}  // namespace mrflow::ffpr

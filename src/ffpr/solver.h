@@ -1,0 +1,64 @@
+// Public API: distributed push-relabel max-flow (FF-PR) on a simulated
+// MapReduce cluster.
+//
+// The driver runs round #0 (graph build + source saturation), an optional
+// initial global-relabel phase, then synchronous push waves with periodic
+// relabel phases until a wave makes no requests, no lifts and no grants --
+// at which point no active vertex remains, all excess sits at the
+// terminals, and the height invariant certifies maximality (DESIGN.md).
+//
+//   mr::Cluster cluster(mr::ClusterConfig{.num_slave_nodes = 8});
+//   ffpr::FfprResult r = ffpr::solve_max_flow(cluster, problem, {});
+//   // r.max_flow, r.waves, r.relabel_rounds, r.rounds_info[i].stats ...
+#pragma once
+
+#include <vector>
+
+#include "ffpr/options.h"
+#include "ffpr/pr_job.h"
+#include "graph/graph.h"
+#include "mapreduce/driver.h"
+
+namespace mrflow::ffpr {
+
+// Per-wave report line material (build, push and relabel waves alike).
+struct WaveInfo {
+  int round = 0;  // job index in the chain; 0 = graph build
+  Phase phase = Phase::kPush;
+  int64_t requests = 0;   // push requests MAP planned
+  int64_t pushes = 0;     // requests granted
+  int64_t refused = 0;    // requests refused (stale height or no residual)
+  int64_t lifts = 0;
+  int64_t active = 0;     // active vertices at wave start
+  int64_t height_updates = 0;  // relabel scratch updates / height commits
+  Capacity excess_drained = 0; // total flow moved this wave (clamped)
+  Capacity delta_flow = 0;     // flow granted into the sink this wave
+  mr::JobStats stats;
+};
+
+struct FfprResult {
+  Capacity max_flow = 0;
+  bool converged = false;   // quiescence reached within max_waves
+  int waves = 0;            // push waves (excluding round #0)
+  int relabel_rounds = 0;   // relabel jobs (reset + advance + commit)
+  int64_t total_pushes = 0;
+  int64_t total_lifts = 0;
+  std::vector<WaveInfo> rounds_info;  // index 0 is round #0
+  mr::JobStats totals;
+  graph::FlowAssignment assignment;
+};
+
+// Resolves the options' wire policy against the cluster cost model
+// (identical semantics to ffmr::resolve_wire_format).
+codec::WireFormat resolve_wire_format(const FfprOptions& options,
+                                      const mr::CostModel& cost);
+
+FfprResult solve_max_flow(mr::Cluster& cluster,
+                          const graph::FlowProblem& problem,
+                          const FfprOptions& options = {});
+
+FfprResult solve_max_flow(mr::Cluster& cluster, const graph::Graph& g,
+                          VertexId source, VertexId sink,
+                          const FfprOptions& options = {});
+
+}  // namespace mrflow::ffpr

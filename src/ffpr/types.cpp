@@ -1,0 +1,140 @@
+#include "ffpr/types.h"
+
+#include <algorithm>
+
+namespace mrflow::ffpr {
+
+// --------------------------------------------------------------- PrEdge
+
+void PrEdge::encode(ByteWriter& w) const {
+  w.put_varint(eid);
+  w.put_varint(neighbor);
+  w.put_u8(is_pair_a ? 1 : 0);
+  w.put_signed(flow);
+  w.put_varint(static_cast<uint64_t>(cap_ab));
+  w.put_varint(static_cast<uint64_t>(cap_ba));
+  w.put_varint(nh);
+}
+
+PrEdge PrEdge::decode(ByteReader& r) {
+  PrEdge e;
+  uint64_t head[2];
+  r.get_varints(head);
+  e.eid = head[0];
+  e.neighbor = head[1];
+  e.is_pair_a = r.get_u8() != 0;
+  uint64_t v[4];
+  r.get_varints(v);
+  e.flow = static_cast<int64_t>((v[0] >> 1) ^ (~(v[0] & 1) + 1));
+  e.cap_ab = static_cast<Capacity>(v[1]);
+  e.cap_ba = static_cast<Capacity>(v[2]);
+  e.nh = v[3];
+  return e;
+}
+
+// ---------------------------------------------------------- PushRequest
+
+void PushRequest::encode(ByteWriter& w) const {
+  w.put_varint(eid);
+  w.put_varint(static_cast<uint64_t>(amount));
+  w.put_varint(sender_height);
+}
+
+PushRequest PushRequest::decode(ByteReader& r) {
+  PushRequest q;
+  uint64_t v[3];
+  r.get_varints(v);
+  q.eid = v[0];
+  q.amount = static_cast<Capacity>(v[1]);
+  q.sender_height = v[2];
+  return q;
+}
+
+// ----------------------------------------------------------- HeightNote
+
+void HeightNote::encode(ByteWriter& w) const {
+  w.put_varint(eid);
+  w.put_varint(value);
+}
+
+HeightNote HeightNote::decode(ByteReader& r) {
+  HeightNote n;
+  uint64_t v[2];
+  r.get_varints(v);
+  n.eid = v[0];
+  n.value = v[1];
+  return n;
+}
+
+// -------------------------------------------------------------- PrValue
+
+PrEdge* PrValue::edge_by_eid(EdgeId eid) {
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), eid,
+      [](const PrEdge& e, EdgeId id) { return e.eid < id; });
+  if (it == edges.end() || it->eid != eid) return nullptr;
+  return &*it;
+}
+
+void PrValue::clear() {
+  is_master = false;
+  height = 0;
+  scratch = kNoDist;
+  fresh = false;
+  edges.clear();
+  requests.clear();
+  notes.clear();
+}
+
+void PrValue::encode(ByteWriter& w) const {
+  w.put_u8(is_master ? 1 : 0);
+  if (is_master) {
+    w.put_varint(height);
+    w.put_varint(scratch);
+    w.put_u8(fresh ? 1 : 0);
+    w.put_varint(edges.size());
+    for (const PrEdge& e : edges) e.encode(w);
+    return;
+  }
+  w.put_varint(requests.size());
+  for (const PushRequest& q : requests) q.encode(w);
+  w.put_varint(notes.size());
+  for (const HeightNote& n : notes) n.encode(w);
+}
+
+PrValue PrValue::decode(ByteReader& r) {
+  PrValue v;
+  decode_into(r, v);
+  return v;
+}
+
+void PrValue::decode_into(ByteReader& r, PrValue& out) {
+  out.clear();
+  out.is_master = r.get_u8() != 0;
+  if (out.is_master) {
+    out.height = r.get_varint();
+    out.scratch = r.get_varint();
+    out.fresh = r.get_u8() != 0;
+    uint64_t n = r.get_varint();
+    out.edges.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) out.edges.push_back(PrEdge::decode(r));
+    return;
+  }
+  uint64_t nq = r.get_varint();
+  out.requests.reserve(nq);
+  for (uint64_t i = 0; i < nq; ++i) {
+    out.requests.push_back(PushRequest::decode(r));
+  }
+  uint64_t nn = r.get_varint();
+  out.notes.reserve(nn);
+  for (uint64_t i = 0; i < nn; ++i) out.notes.push_back(HeightNote::decode(r));
+}
+
+Capacity clamp_excess(Excess e) {
+  const Excess cap = graph::kInfiniteCap;
+  if (e > cap) return graph::kInfiniteCap;
+  if (e < -cap) return -graph::kInfiniteCap;
+  return static_cast<Capacity>(e);
+}
+
+}  // namespace mrflow::ffpr

@@ -1,0 +1,137 @@
+// FF-PR data model: vertex-local push-relabel state.
+//
+// Records are keyed by vertex id (the FFMR key codec). The master value
+// holds the vertex height, its adjacency (one PrEdge per incident pair,
+// sorted by eid) and the relabel-phase scratch distance. Excess is *not*
+// stored: it is derived from the edge flows (net inflow), so the only
+// mutable flow state is the pair-oriented signed flow -- updated at both
+// endpoints from the same per-wave grant broadcast (ffmr::AugmentedEdges),
+// which makes the two copies of every pair identical by construction.
+//
+// Fragments shuffled between vertices carry push requests (u asks v to
+// accept `amount` over edge eid; v grants against its own height and
+// residual) and height notes (u announces its height after a lift or a
+// global-relabel commit; during relabel waves the same note type carries
+// BFS distances).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "ffmr/types.h"
+#include "graph/graph.h"
+
+namespace mrflow::ffpr {
+
+using graph::Capacity;
+using graph::VertexId;
+using serde::ByteReader;
+using serde::ByteWriter;
+
+using EdgeId = ffmr::EdgeId;
+using Excess = __int128;
+
+// Sentinel for "no BFS distance yet" in the relabel scratch field.
+inline constexpr uint64_t kNoDist = ~0ull;
+
+// Adjacency entry of a master vertex. Same pair-oriented flow model as
+// ffmr::EdgeState plus the neighbor-height cache `nh` (the neighbor's
+// height as of its last announcement; never ahead of the true height,
+// at most one wave behind).
+struct PrEdge {
+  EdgeId eid = 0;
+  VertexId neighbor = 0;
+  bool is_pair_a = true;
+  Capacity flow = 0;  // pair-oriented (positive = a->b)
+  Capacity cap_ab = 0;
+  Capacity cap_ba = 0;
+  uint64_t nh = 0;  // neighbor height cache
+
+  // Residual capacity for flow leaving this vertex toward `neighbor`.
+  Capacity residual_out() const {
+    return is_pair_a ? cap_ab - flow : cap_ba + flow;
+  }
+  // Residual capacity for flow arriving from `neighbor`.
+  Capacity residual_in() const {
+    return is_pair_a ? cap_ba + flow : cap_ab - flow;
+  }
+  // Pair-oriented direction of flow leaving this vertex.
+  int8_t dir_out() const { return is_pair_a ? 1 : -1; }
+  // Signed net inflow this edge contributes to the vertex's excess.
+  Capacity inflow() const { return is_pair_a ? -flow : flow; }
+
+  void encode(ByteWriter& w) const;
+  static PrEdge decode(ByteReader& r);
+  bool operator==(const PrEdge&) const = default;
+};
+
+// u -> v: "accept `amount` over edge `eid`; my height is sender_height".
+// v grants iff sender_height == height(v) + 1 and residual remains; a
+// refused request costs nothing (u's state is unchanged until a grant
+// lands in the broadcast).
+struct PushRequest {
+  EdgeId eid = 0;
+  Capacity amount = 0;
+  uint64_t sender_height = 0;
+
+  void encode(ByteWriter& w) const;
+  static PushRequest decode(ByteReader& r);
+  bool operator==(const PushRequest&) const = default;
+};
+
+// Height (push waves) or BFS distance (relabel waves) announcement for the
+// receiving endpoint of edge `eid`.
+struct HeightNote {
+  EdgeId eid = 0;
+  uint64_t value = 0;
+
+  void encode(ByteWriter& w) const;
+  static HeightNote decode(ByteReader& r);
+  bool operator==(const HeightNote&) const = default;
+};
+
+// The record value: master vertex or fragment.
+struct PrValue {
+  bool is_master = false;
+  // Master fields.
+  uint64_t height = 0;
+  uint64_t scratch = kNoDist;  // relabel-phase BFS distance
+  bool fresh = false;          // scratch settled last wave (BFS frontier)
+  std::vector<PrEdge> edges;   // sorted by eid
+  // Fragment fields.
+  std::vector<PushRequest> requests;
+  std::vector<HeightNote> notes;
+
+  // Net excess from the edge flows. Meaningless at the source (which owes
+  // its saturation pushes); the sink's excess is the achieved flow value.
+  Excess excess() const {
+    Excess e = 0;
+    for (const PrEdge& edge : edges) e += edge.inflow();
+    return e;
+  }
+
+  // Pointer to the adjacency entry with this eid (binary search), or
+  // nullptr. Parallel pairs between the same endpoints keep distinct eids,
+  // so the lookup is exact.
+  PrEdge* edge_by_eid(EdgeId eid);
+
+  void clear();
+  void encode(ByteWriter& w) const;
+  static PrValue decode(ByteReader& r);
+  // Decode into an existing object, reusing vector storage.
+  static void decode_into(ByteReader& r, PrValue& out);
+
+  serde::Bytes encoded() const {
+    ByteWriter w;
+    encode(w);
+    return w.take();
+  }
+};
+
+// Clamps a 128-bit aggregate into a reportable Capacity. Saturation pushes
+// over several kInfiniteCap terminal arcs can exceed int64 in aggregate
+// counters even though every per-edge amount fits.
+Capacity clamp_excess(Excess e);
+
+}  // namespace mrflow::ffpr

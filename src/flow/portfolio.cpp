@@ -1,0 +1,146 @@
+#include "flow/portfolio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "graph/bfs.h"
+
+namespace mrflow::flow {
+
+namespace {
+
+// Capacities at or above this are "infinite" terminal plumbing (super
+// sources etc.) and excluded from the flow hint.
+constexpr graph::Capacity kHugeCap = graph::kInfiniteCap / 2;
+
+}  // namespace
+
+const char* portfolio_backend_name(PortfolioBackend b) {
+  switch (b) {
+    case PortfolioBackend::kSequentialDinic: return "dinic";
+    case PortfolioBackend::kBidirectionalFf: return "ffmr";
+    case PortfolioBackend::kPushRelabel: return "ffpr";
+  }
+  return "?";
+}
+
+GraphStats compute_graph_stats(const graph::Graph& g, graph::VertexId source,
+                               graph::VertexId sink, int samples,
+                               uint64_t seed) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.directed_edges = g.num_directed_edges();
+  if (s.vertices == 0) return s;
+  s.avg_degree = static_cast<double>(2 * g.num_edge_pairs()) /
+                 static_cast<double>(s.vertices);
+  size_t max_degree = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  s.degree_skew =
+      s.avg_degree > 0 ? static_cast<double>(max_degree) / s.avg_degree : 0.0;
+  s.diameter_estimate = graph::estimate_diameter(g, samples, seed);
+
+  for (const graph::EdgePair& e : g.edges()) {
+    for (graph::Capacity cap : {e.cap_ab, e.cap_ba}) {
+      if (cap > 0 && cap < kHugeCap) {
+        s.max_finite_cap = std::max(s.max_finite_cap, cap);
+      }
+    }
+  }
+  // An "infinite" terminal arc (super-source plumbing) is bottlenecked by
+  // its attachment vertex's interior capacity; proxy that with the max
+  // finite capacity times the average degree rather than the sentinel.
+  const graph::Capacity infinite_proxy = std::max<graph::Capacity>(
+      1, s.max_finite_cap *
+             static_cast<graph::Capacity>(std::ceil(s.avg_degree)));
+  graph::Capacity out_s = 0;
+  graph::Capacity in_t = 0;
+  for (const graph::EdgePair& e : g.edges()) {
+    const graph::Capacity caps[2] = {e.cap_ab, e.cap_ba};
+    for (int d = 0; d < 2; ++d) {
+      if (caps[d] <= 0) continue;
+      const graph::VertexId from = d == 0 ? e.a : e.b;
+      const graph::VertexId to = d == 0 ? e.b : e.a;
+      const graph::Capacity clamped =
+          caps[d] < kHugeCap ? caps[d] : infinite_proxy;
+      if (from == source) out_s += clamped;
+      if (to == sink) in_t += clamped;
+    }
+  }
+  s.flow_hint = std::min(out_s, in_t);
+  return s;
+}
+
+namespace {
+
+struct Decision {
+  PortfolioBackend backend;
+  const char* reason;
+};
+
+Decision decide(const GraphStats& stats, const PortfolioThresholds& t) {
+  if (stats.vertices <= t.sequential_cutoff_vertices) {
+    return {PortfolioBackend::kSequentialDinic,
+            "tiny instance: sequential solve beats cluster startup"};
+  }
+  uint32_t cap = t.diameter_cap;
+  if (cap == 0) {
+    const double lg =
+        std::log2(std::max<double>(2.0, static_cast<double>(stats.vertices)));
+    cap = 2 * static_cast<uint32_t>(std::ceil(lg)) + 4;
+  }
+  if (stats.diameter_estimate > cap) {
+    return {PortfolioBackend::kPushRelabel,
+            "high diameter: wave-synchronous push-relabel"};
+  }
+  // Small-world shape, but a flow bound far above what path-based FF can
+  // drain in O(diameter)-round phases: bulk excess movement wins anyway.
+  const double diam = std::max<uint32_t>(1, stats.diameter_estimate);
+  if (static_cast<double>(stats.flow_hint) >
+      t.flow_per_diameter_cap * diam * std::max(1.0, stats.avg_degree)) {
+    return {PortfolioBackend::kPushRelabel,
+            "high flow bound: bulk excess movement beats path probing"};
+  }
+  return {PortfolioBackend::kBidirectionalFf,
+          "small-world: bidirectional FF rounds stay few"};
+}
+
+}  // namespace
+
+PortfolioBackend choose_from_stats(const GraphStats& stats,
+                                   const PortfolioThresholds& t) {
+  return decide(stats, t).backend;
+}
+
+std::string PortfolioDecision::to_json() const {
+  std::string out = "{\"backend\":\"";
+  out += portfolio_backend_name(backend);
+  out += "\",\"reason\":\"" + reason + "\"";
+  out += ",\"vertices\":" + std::to_string(stats.vertices);
+  out += ",\"directed_edges\":" + std::to_string(stats.directed_edges);
+  out += ",\"diameter_estimate\":" + std::to_string(stats.diameter_estimate);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", stats.avg_degree);
+  out += ",\"avg_degree\":" + std::string(buf);
+  std::snprintf(buf, sizeof(buf), "%.2f", stats.degree_skew);
+  out += ",\"degree_skew\":" + std::string(buf);
+  out += ",\"max_finite_cap\":" + std::to_string(stats.max_finite_cap);
+  out += ",\"flow_hint\":" + std::to_string(stats.flow_hint);
+  out += "}";
+  return out;
+}
+
+PortfolioDecision choose_backend(const graph::Graph& g,
+                                 graph::VertexId source, graph::VertexId sink,
+                                 const PortfolioThresholds& t) {
+  PortfolioDecision d;
+  d.stats = compute_graph_stats(g, source, sink);
+  const Decision picked = decide(d.stats, t);
+  d.backend = picked.backend;
+  d.reason = picked.reason;
+  return d;
+}
+
+}  // namespace mrflow::flow

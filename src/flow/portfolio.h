@@ -1,0 +1,84 @@
+// Backend portfolio selection for max-flow solves.
+//
+// The paper's FFMR shines on small-world graphs (few MR rounds because the
+// diameter is tiny and stays tiny under augmentation); wave-synchronous
+// push-relabel (FF-PR) wins on high-diameter / high-flow instances where
+// path-by-path augmentation needs Omega(paths) probes of a long corridor;
+// and tiny graphs are fastest solved sequentially, skipping the simulated
+// cluster entirely. choose_backend() picks between the three from cheap
+// statistics: a double-sweep diameter estimate (a handful of BFS passes),
+// the degree skew, and a capacity-scale hint bounding the flow value.
+//
+// The decision function is split from the measurement so unit tests pin
+// decisions on synthetic statistics (choose_from_stats) while integration
+// tests exercise the measured path (choose_backend).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mrflow::flow {
+
+enum class PortfolioBackend {
+  kSequentialDinic,  // below the cluster-worthwhile size floor
+  kBidirectionalFf,  // FFMR FF5: small-world regime
+  kPushRelabel,      // FF-PR: high-diameter or high-flow regime
+};
+
+const char* portfolio_backend_name(PortfolioBackend b);
+
+// Cheap instance statistics feeding the decision.
+struct GraphStats {
+  uint64_t vertices = 0;
+  uint64_t directed_edges = 0;
+  uint32_t diameter_estimate = 0;  // double-sweep lower bound
+  double avg_degree = 0.0;
+  double degree_skew = 0.0;      // max degree / avg degree
+  graph::Capacity max_finite_cap = 0;
+  // min(finite out-capacity(s), finite in-capacity(t)): an upper bound on
+  // the flow through finite terminal arcs, i.e. on the number of
+  // augmenting paths a path-based solver must find when capacities are
+  // small integers.
+  graph::Capacity flow_hint = 0;
+};
+
+struct PortfolioThresholds {
+  // At or below this many vertices the simulated cluster costs more than
+  // the solve; run sequential Dinic in-process.
+  uint64_t sequential_cutoff_vertices = 64;
+  // Diameter above which the instance is not small-world and FF-PR's
+  // O(diameter) waves beat FFMR's O(paths * diameter) rounds. 0 = auto:
+  // 2 * ceil(log2 n) + 4, the small-world envelope.
+  uint32_t diameter_cap = 0;
+  // FFMR accepts at most O(reducers) disjoint paths per round; when the
+  // flow bound is this many times the diameter the path-based backend
+  // grinds, and push-relabel's bulk moves win.
+  double flow_per_diameter_cap = 64.0;
+};
+
+// Measures the statistics (diameter via `samples` double sweeps).
+GraphStats compute_graph_stats(const graph::Graph& g, graph::VertexId source,
+                               graph::VertexId sink, int samples = 4,
+                               uint64_t seed = 1);
+
+// Pure decision on given statistics (deterministic; unit-test pinnable).
+PortfolioBackend choose_from_stats(const GraphStats& stats,
+                                   const PortfolioThresholds& t = {});
+
+struct PortfolioDecision {
+  PortfolioBackend backend = PortfolioBackend::kBidirectionalFf;
+  GraphStats stats;
+  std::string reason;  // human-readable rule that fired
+
+  // One JSON object (no trailing newline) for CLI output / round reports.
+  std::string to_json() const;
+};
+
+// Measures and decides in one step.
+PortfolioDecision choose_backend(const graph::Graph& g, graph::VertexId source,
+                                 graph::VertexId sink,
+                                 const PortfolioThresholds& t = {});
+
+}  // namespace mrflow::flow

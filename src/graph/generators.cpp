@@ -174,6 +174,86 @@ Graph grid(VertexId rows, VertexId cols, Capacity cap) {
   return g;
 }
 
+Graph path_of_cliques(VertexId cliques, VertexId clique_size, int bridges,
+                      Capacity cap, int twist) {
+  if (cliques < 1) throw std::invalid_argument("path_of_cliques: no cliques");
+  if (clique_size < 2) {
+    throw std::invalid_argument("path_of_cliques: clique_size < 2");
+  }
+  if (bridges < 1 || static_cast<VertexId>(bridges) > clique_size) {
+    throw std::invalid_argument("path_of_cliques: bridges not in [1, size]");
+  }
+  const VertexId n = cliques * clique_size;
+  check_packable(n);
+  Graph g(n);
+  auto id = [clique_size](VertexId c, VertexId i) {
+    return c * clique_size + i;
+  };
+  for (VertexId c = 0; c < cliques; ++c) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        g.add_undirected(id(c, i), id(c, j), cap);
+      }
+    }
+    if (c + 1 < cliques) {
+      // Bridges into the next clique; the interior min cut between
+      // consecutive cliques is bridges * cap. A nonzero twist rotates the
+      // landing vertices so flow must cross each interior (see header).
+      for (int b = 0; b < bridges; ++b) {
+        const VertexId to =
+            (static_cast<VertexId>(b) + static_cast<VertexId>(twist)) %
+            clique_size;
+        g.add_undirected(id(c, static_cast<VertexId>(b)), id(c + 1, to), cap);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+// Attaches side terminals: s feeds `left`, `right` drains into t, with
+// `terminal_cap` per arc (0 = infinite). s and t become the two highest
+// vertex ids.
+FlowProblem attach_side_terminals(Graph g, const std::vector<VertexId>& left,
+                                  const std::vector<VertexId>& right,
+                                  Capacity terminal_cap) {
+  const Capacity cap = terminal_cap > 0 ? terminal_cap : kInfiniteCap;
+  const VertexId s = g.num_vertices();
+  const VertexId t = s + 1;
+  g.ensure_vertex(t);
+  for (VertexId v : left) g.add_edge(s, v, cap, 0);
+  for (VertexId v : right) g.add_edge(v, t, cap, 0);
+  g.finalize();
+  return FlowProblem{std::move(g), s, t};
+}
+
+}  // namespace
+
+FlowProblem lattice_flow_problem(VertexId rows, VertexId cols, Capacity cap,
+                                 Capacity terminal_cap) {
+  Graph g = grid(rows, cols, cap);
+  std::vector<VertexId> left, right;
+  for (VertexId r = 0; r < rows; ++r) {
+    left.push_back(r * cols);
+    right.push_back(r * cols + cols - 1);
+  }
+  return attach_side_terminals(std::move(g), left, right, terminal_cap);
+}
+
+FlowProblem clique_path_flow_problem(VertexId cliques, VertexId clique_size,
+                                     int bridges, Capacity cap, int twist,
+                                     Capacity terminal_cap) {
+  Graph g = path_of_cliques(cliques, clique_size, bridges, cap, twist);
+  std::vector<VertexId> left, right;
+  for (VertexId i = 0; i < clique_size; ++i) {
+    left.push_back(i);
+    right.push_back((cliques - 1) * clique_size + i);
+  }
+  return attach_side_terminals(std::move(g), left, right, terminal_cap);
+}
+
 Graph facebook_like(VertexId n, int avg_degree, uint64_t seed, Capacity cap) {
   if (avg_degree < 2) throw std::invalid_argument("facebook_like: degree < 2");
   int m = std::max(1, avg_degree / 2);

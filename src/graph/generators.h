@@ -45,6 +45,35 @@ Graph erdos_renyi(VertexId n, uint64_t m, uint64_t seed, Capacity cap = 1);
 // control showing what FFMR costs without the small-world property.
 Graph grid(VertexId rows, VertexId cols, Capacity cap = 1);
 
+// Path of cliques: `cliques` complete graphs of `clique_size` vertices,
+// consecutive cliques joined by `bridges` parallel-disjoint edges. The
+// anti-small-world control: diameter grows linearly in `cliques` while the
+// interior min cut (`bridges`) stays small, the regime where wave-
+// synchronous push-relabel beats path-finding FF.
+//
+// `twist` rotates each junction's bridges: bridge i of clique c lands on
+// vertex (i + twist) mod clique_size of clique c+1. With twist = 0 the
+// bridge columns are vertex-disjoint straight lines; any other twist
+// forces every unit of flow to cross clique interiors between junctions,
+// so distinct s-t paths contend for the same unit-capacity interior edges
+// along the whole chain -- the restart-heavy regime for stored-path FF.
+Graph path_of_cliques(VertexId cliques, VertexId clique_size, int bridges,
+                      Capacity cap = 1, int twist = 0);
+
+// High-diameter FlowProblem helpers: side terminals so the flow must cross
+// the whole structure. `lattice_flow_problem` adds s -> every column-0
+// vertex and every last-column vertex -> t; `clique_path_flow_problem`
+// does the same for the first/last clique. s and t are the two highest
+// vertex ids. `terminal_cap` caps the terminal arcs; 0 (the default)
+// means infinite. A finite terminal cap bounds how much excess a preflow
+// backend injects, which spares it the drain-back phase -- the flow value
+// itself is interior-cut-limited either way once terminal_cap >= cap.
+FlowProblem lattice_flow_problem(VertexId rows, VertexId cols,
+                                 Capacity cap = 1, Capacity terminal_cap = 0);
+FlowProblem clique_path_flow_problem(VertexId cliques, VertexId clique_size,
+                                     int bridges, Capacity cap = 1,
+                                     int twist = 0, Capacity terminal_cap = 0);
+
 // The Facebook-subgraph analog used for the FBi' experiment graphs:
 // Barabasi-Albert core with an extra Watts-Strogatz-style local clustering
 // pass, giving low diameter, power-law tail and local clustering.

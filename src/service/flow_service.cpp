@@ -8,8 +8,10 @@
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "ffmr/solver.h"
+#include "ffpr/solver.h"
 #include "flow/certify.h"
 #include "flow/max_flow.h"
+#include "flow/portfolio.h"
 #include "flow/repair.h"
 #include "mapreduce/cluster.h"
 #include "service/batch.h"
@@ -36,6 +38,8 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::kDinic: return "dinic";
     case Backend::kFfmr: return "ffmr";
+    case Backend::kFfpr: return "ffpr";
+    case Backend::kAuto: return "auto";
   }
   return "?";
 }
@@ -53,8 +57,9 @@ const char* answer_source_name(AnswerSource s) {
 FlowService::FlowService(mr::Cluster* cluster, graph::Graph graph,
                          ServiceOptions opt)
     : cluster_(cluster), graph_(std::move(graph)), opt_(std::move(opt)) {
-  if (opt_.backend == Backend::kFfmr && cluster_ == nullptr) {
-    throw std::invalid_argument("FFMR backend requires a cluster");
+  if ((opt_.backend == Backend::kFfmr || opt_.backend == Backend::kFfpr) &&
+      cluster_ == nullptr) {
+    throw std::invalid_argument("distributed backend requires a cluster");
   }
   if (cluster_ == nullptr) opt_.batching = false;  // batching runs over MR
   graph_.finalize();
@@ -182,6 +187,7 @@ void FlowService::cache_store(VertexId s, VertexId t,
   entry.stale = false;
   entry.last_used = ++lru_tick_;
   entry.rounds = result.rounds;
+  entry.backend = result.backend;
   while (cache_.size() > opt_.cache_capacity) {
     auto victim = cache_.begin();
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
@@ -211,12 +217,40 @@ QueryResult FlowService::resolve_single(VertexId s, VertexId t) {
   const CacheEntry* entry = cache_lookup(s, t);  // stale or absent here
   std::optional<graph::FlowAssignment> warm = warm_base(s, t, entry);
 
-  if (opt_.backend == Backend::kDinic) {
+  Backend backend = opt_.backend;
+  if (backend == Backend::kAuto) {
+    if (cluster_ == nullptr) {
+      backend = Backend::kDinic;
+    } else {
+      switch (flow::choose_backend(graph_, s, t).backend) {
+        case flow::PortfolioBackend::kSequentialDinic:
+          backend = Backend::kDinic;
+          break;
+        case flow::PortfolioBackend::kBidirectionalFf:
+          backend = Backend::kFfmr;
+          break;
+        case flow::PortfolioBackend::kPushRelabel:
+          backend = Backend::kFfpr;
+          break;
+      }
+    }
+  }
+  r.backend = backend_name(backend);
+
+  if (backend == Backend::kDinic) {
     int phases = 0;
     graph::FlowAssignment base;  // cold: empty warm flow
     r.assignment = flow::max_flow_dinic_warm(
         graph_, s, t, warm.has_value() ? *warm : base, &phases);
     r.rounds = phases;
+  } else if (backend == Backend::kFfpr) {
+    ffpr::FfprOptions o = opt_.ffpr;
+    o.base = "svc/q" + std::to_string(solve_seq_++);
+    o.round_report.clear();  // the service writes its own per-query lines
+    o.initial_flow = warm.has_value() ? &*warm : nullptr;
+    ffpr::FfprResult fr = ffpr::solve_max_flow(*cluster_, graph_, s, t, o);
+    r.assignment = std::move(fr.assignment);
+    r.rounds = fr.waves;
   } else {
     ffmr::FfmrOptions o = opt_.ffmr;
     o.base = "svc/q" + std::to_string(solve_seq_++);
@@ -275,6 +309,8 @@ void FlowService::finish_answer(VertexId s, VertexId t, QueryResult& result,
     extra += std::string(",\"answer\":\"") +
              answer_source_name(result.source) + "\"";
     extra += ",\"value\":" + std::to_string(result.value);
+    extra += std::string(",\"backend\":\"") +
+             (result.backend.empty() ? "dinic" : result.backend) + "\"";
     extra += ",\"solver_rounds\":" + std::to_string(result.rounds);
     extra += ",\"query_wall_seconds\":" + std::to_string(result.wall_seconds);
     extra += std::string(",\"certified\":") +
@@ -339,6 +375,7 @@ QueryResult FlowService::query(VertexId s, VertexId t) {
   if (entry != nullptr && !entry->stale) {
     ++counters_.cache_hits;
     r.source = AnswerSource::kCache;
+    r.backend = entry->backend;
     r.value = entry->flow.value;
     r.rounds = 0;
     r.assignment = entry->flow;
@@ -370,6 +407,7 @@ std::vector<QueryResult> FlowService::query_batch(
       ++counters_.cache_hits;
       QueryResult& r = out[i];
       r.source = AnswerSource::kCache;
+      r.backend = entry->backend;
       r.value = entry->flow.value;
       r.assignment = entry->flow;
       r.source_side = entry->source_side;
@@ -435,6 +473,7 @@ std::vector<QueryResult> FlowService::query_batch(
       const size_t i = group[k];
       QueryResult& r = out[i];
       r.source = AnswerSource::kBatch;
+      r.backend = "batch";
       r.assignment = std::move(br.queries[k].assignment);
       r.value = r.assignment.value;
       r.rounds = br.queries[k].phases;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "ffmr/options.h"
+#include "ffpr/options.h"
 #include "graph/graph.h"
 #include "mapreduce/driver.h"
 #include "service/trace.h"
@@ -51,7 +52,7 @@ class Cluster;
 
 namespace mrflow::service {
 
-enum class Backend { kDinic, kFfmr };
+enum class Backend { kDinic, kFfmr, kFfpr, kAuto };
 
 // How an answer was produced (the per-query latency histograms and the
 // bench speedup table split on this).
@@ -63,10 +64,15 @@ const char* answer_source_name(AnswerSource s);
 struct ServiceOptions {
   // kDinic: sequential warm-startable oracle (no cluster needed).
   // kFfmr: the paper's MR solver (requires a cluster).
+  // kFfpr: the distributed push-relabel backend (requires a cluster).
+  // kAuto: per-query portfolio selection (flow/portfolio) between the
+  //        three; falls back to kDinic when no cluster is attached.
   Backend backend = Backend::kDinic;
-  // FFMR settings for backend == kFfmr; `base` and `initial_flow` are
-  // managed per query by the service.
+  // FFMR settings for backend == kFfmr (and kAuto's FFMR pick); `base`
+  // and `initial_flow` are managed per query by the service.
   ffmr::FfmrOptions ffmr;
+  // FF-PR settings for backend == kFfpr (and kAuto's FF-PR pick).
+  ffpr::FfprOptions ffpr;
 
   bool warm_start = true;  // repair + warm-start instead of cold re-solve
   bool cache = true;       // (s, t) -> answer memoization
@@ -88,7 +94,13 @@ struct ServiceOptions {
 struct QueryResult {
   graph::Capacity value = 0;
   AnswerSource source = AnswerSource::kCold;
-  // Backend work: FFMR rounds, Dinic phases, or batch BFS phases.
+  // The backend that actually ran ("dinic", "ffmr", "ffpr"; with
+  // Backend::kAuto this is the portfolio's pick, also written to the
+  // round report's "backend" field). Cache/batch answers keep the name
+  // of whatever solver produced the cached flow.
+  std::string backend;
+  // Backend work: FFMR rounds, FF-PR waves, Dinic phases, or batch BFS
+  // phases.
   int rounds = 0;
   double wall_seconds = 0;
   bool certified = false;  // certificate ran and was valid
@@ -169,6 +181,7 @@ class FlowService {
     bool stale = false;              // invalidated; flow kept as warm base
     uint64_t last_used = 0;          // LRU tick
     int rounds = 0;
+    std::string backend;             // solver that produced the flow
   };
   using CacheKey = std::pair<VertexId, VertexId>;  // (s, t)
 

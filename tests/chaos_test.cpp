@@ -29,6 +29,7 @@
 
 #include "common/rng.h"
 #include "ffmr/solver.h"
+#include "ffpr/solver.h"
 #include "flow/certify.h"
 #include "graph/generators.h"
 
@@ -193,6 +194,107 @@ TEST_P(ChaosAllShapes, EverythingAtOnceStillCertified) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosAllShapes,
                          ::testing::Values(101ull, 202ull, 303ull));
+
+// ------------------------------------------------------- FF-PR slice
+//
+// The push-relabel backend runs the same engine (shuffle, spills, wire,
+// schimmy) through a different program: wave-synchronous push/lift jobs
+// plus MR-BFS relabel phases. Every fault shape must stay invisible to it
+// too -- bit-identical waves/flows vs the fault-free run, plus a valid
+// certificate. Two graph shapes: the small-world graph the FFMR cells
+// use, and a small lattice (FF-PR's home regime, where the relabel phases
+// actually fire). Cells carry the FFPR suffix so CI's reduced sanitizer
+// slice can select them by regex alongside the FF5 cells.
+
+struct FfprChaosCase {
+  const char* graph;  // "smallworld" | "lattice"
+  uint64_t fault_seed;
+  const char* shape;  // FaultConfig::shape() name
+};
+
+std::string ffpr_chaos_name(
+    const ::testing::TestParamInfo<FfprChaosCase>& info) {
+  const FfprChaosCase& c = info.param;
+  return std::string(c.graph) + "_FSeed" + std::to_string(c.fault_seed) +
+         "_" + c.shape + "_FFPR";
+}
+
+ffpr::FfprOptions ffpr_options_for(const FfprChaosCase& c) {
+  ffpr::FfprOptions o;
+  if (std::string_view(c.shape) == "node") o.spill_map_outputs = true;
+  if (std::string_view(c.shape) == "corrupt") o.wire = WireChoice::kOn;
+  return o;
+}
+
+GraphCase make_ffpr_graph(const FfprChaosCase& c) {
+  GraphCase gc;
+  if (std::string_view(c.graph) == "lattice") {
+    auto p = graph::lattice_flow_problem(3, 10, 1, /*terminal_cap=*/1);
+    gc.g = std::move(p.graph);
+    gc.s = p.source;
+    gc.t = p.sink;
+  } else {
+    gc = make_graph(101);
+  }
+  return gc;
+}
+
+class FfprChaosSweep : public ::testing::TestWithParam<FfprChaosCase> {};
+
+TEST_P(FfprChaosSweep, CertifiedAndBitIdenticalToFaultFree) {
+  const FfprChaosCase& c = GetParam();
+  GraphCase gc = make_ffpr_graph(c);
+  ChaosCase rates{0, c.fault_seed, c.shape, Variant::FF5};  // rate table key
+
+  mr::Cluster base_cluster(cluster_config_for(rates, /*with_faults=*/false));
+  ffpr::FfprResult base = ffpr::solve_max_flow(base_cluster, gc.g, gc.s,
+                                               gc.t, ffpr_options_for(c));
+  ASSERT_TRUE(base.converged);
+
+  mr::Cluster cluster(cluster_config_for(rates, /*with_faults=*/true));
+  ffpr::FfprResult result = ffpr::solve_max_flow(cluster, gc.g, gc.s, gc.t,
+                                                 ffpr_options_for(c));
+  ASSERT_TRUE(result.converged);
+
+  // Bit-identical outcome: value, wave/relabel schedule, work counters and
+  // every edge's flow.
+  EXPECT_EQ(result.max_flow, base.max_flow);
+  EXPECT_EQ(result.waves, base.waves);
+  EXPECT_EQ(result.relabel_rounds, base.relabel_rounds);
+  EXPECT_EQ(result.total_pushes, base.total_pushes);
+  EXPECT_EQ(result.total_lifts, base.total_lifts);
+  EXPECT_EQ(result.assignment.pair_flow, base.assignment.pair_flow);
+
+  flow::Certificate cert =
+      flow::certify_max_flow(gc.g, gc.s, gc.t, result.assignment);
+  EXPECT_TRUE(cert.valid()) << cert.summary();
+  EXPECT_EQ(cert.flow_value, cert.cut_capacity);
+  EXPECT_EQ(cert.flow_value, result.max_flow);
+
+  std::string_view shape = c.shape;
+  if (shape == "straggler") {
+    EXPECT_GE(result.totals.sim_seconds, base.totals.sim_seconds);
+  } else if (shape == "task" || shape == "node") {
+    EXPECT_GE(result.totals.task_retries, base.totals.task_retries);
+  }
+}
+
+std::vector<FfprChaosCase> make_ffpr_chaos_sweep() {
+  std::vector<FfprChaosCase> cases;
+  for (const char* g : {"smallworld", "lattice"}) {
+    for (uint64_t fault_seed : {7ull, 8ull}) {
+      for (const char* shape :
+           {"task", "node", "corrupt", "straggler", "rpc"}) {
+        cases.push_back({g, fault_seed, shape});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, FfprChaosSweep,
+                         ::testing::ValuesIn(make_ffpr_chaos_sweep()),
+                         ffpr_chaos_name);
 
 // Same fault seed => same failure schedule => identical results and retry
 // counts across two runs. This is what makes a red chaos cell debuggable:

@@ -1,0 +1,307 @@
+// FF-PR differential suite: the distributed push-relabel backend against
+// the sequential oracles (Dinic, sequential push-relabel) and FFMR's FF5
+// across small-world and high-diameter graph families, every answer
+// certificate-checked; plus replay determinism (same seed twice must be
+// bit-identical in flow, waves and counters), schimmy on/off equivalence,
+// warm starts, and the round-report surface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ffmr/solver.h"
+#include "ffpr/solver.h"
+#include "flow/certify.h"
+#include "flow/max_flow.h"
+#include "graph/generators.h"
+
+namespace mrflow::ffpr {
+namespace {
+
+mr::Cluster make_cluster(int nodes = 3) {
+  mr::ClusterConfig c;
+  c.num_slave_nodes = nodes;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.dfs_block_size = 32 << 10;
+  return mr::Cluster(c);
+}
+
+FfprResult run_ffpr(const graph::Graph& g, graph::VertexId s,
+                    graph::VertexId t, FfprOptions o = {}) {
+  mr::Cluster cluster = make_cluster();
+  return solve_max_flow(cluster, g, s, t, o);
+}
+
+// Full acceptance for one answer: converged, exact against Dinic and the
+// sequential push-relabel, and the assignment carries a valid max-flow /
+// min-cut certificate.
+void expect_exact(const graph::Graph& g, graph::VertexId s, graph::VertexId t,
+                  const FfprResult& result, const char* label) {
+  ASSERT_TRUE(result.converged) << label;
+  const auto dinic = flow::max_flow_dinic(g, s, t);
+  const auto pr = flow::max_flow_push_relabel(g, s, t);
+  EXPECT_EQ(dinic.value, pr.value) << label;
+  EXPECT_EQ(result.max_flow, dinic.value) << label;
+  const auto cert = flow::certify_max_flow(g, s, t, result.assignment);
+  EXPECT_TRUE(cert.valid()) << label << ": " << cert.summary();
+}
+
+// ---------------------------------------------------------- exactness sweep
+
+struct SweepCase {
+  int kind;  // 0 WS, 1 ER, 2 BA, 3 lattice, 4 clique path, 5 grid corners
+  uint64_t seed;
+  bool schimmy;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  static const char* kKinds[] = {"WS",      "ER",         "BA",
+                                 "Lattice", "CliquePath", "GridCorner"};
+  return std::string(kKinds[info.param.kind]) + "_seed" +
+         std::to_string(info.param.seed) +
+         (info.param.schimmy ? "_schimmy" : "_noschimmy");
+}
+
+struct Instance {
+  graph::Graph g;
+  graph::VertexId s = 0;
+  graph::VertexId t = 0;
+};
+
+Instance make_instance(int kind, uint64_t seed) {
+  switch (kind) {
+    case 0: {
+      auto p = graph::attach_super_terminals(
+          graph::watts_strogatz(80, 4, 0.25, seed), 3, 2, seed + 1);
+      return {std::move(p.graph), p.source, p.sink};
+    }
+    case 1: {
+      auto p = graph::attach_super_terminals(
+          graph::erdos_renyi(60, 160, seed), 3, 2, seed + 1);
+      return {std::move(p.graph), p.source, p.sink};
+    }
+    case 2: {
+      auto p = graph::attach_super_terminals(
+          graph::barabasi_albert(80, 2, seed), 3, 2, seed + 1);
+      return {std::move(p.graph), p.source, p.sink};
+    }
+    case 3: {
+      auto p = graph::lattice_flow_problem(4, 10 + (seed % 5),
+                                           1 + static_cast<int>(seed % 3));
+      return {std::move(p.graph), p.source, p.sink};
+    }
+    case 4: {
+      auto p = graph::clique_path_flow_problem(
+          4 + (seed % 4), 5, 2, 1 + static_cast<int>(seed % 2));
+      return {std::move(p.graph), p.source, p.sink};
+    }
+    default: {
+      // Corner-to-corner grid: unit min cut, the worst wave count.
+      graph::Graph g = graph::grid(5, 5 + (seed % 4));
+      return {std::move(g), 0, g.num_vertices() - 1};
+    }
+  }
+}
+
+class FfprSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FfprSweep, MatchesOracles) {
+  const SweepCase& c = GetParam();
+  Instance in = make_instance(c.kind, c.seed);
+  FfprOptions o;
+  o.use_schimmy = c.schimmy;
+  expect_exact(in.g, in.s, in.t, run_ffpr(in.g, in.s, in.t, o),
+               sweep_name({c, 0}).c_str());
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (int kind = 0; kind < 6; ++kind) {
+    for (uint64_t seed : {7ull, 21ull, 42ull, 99ull}) {
+      cases.push_back({kind, seed, true});
+    }
+  }
+  // The no-schimmy oracle path on a subset (full masters shuffle).
+  for (int kind : {0, 3, 4}) cases.push_back({kind, 7, false});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Differential, FfprSweep,
+                         ::testing::ValuesIn(sweep_cases()), sweep_name);
+
+// Cross-backend: FF-PR and FFMR FF5 must agree on the value.
+TEST(FfprCrossBackend, AgreesWithFf5) {
+  for (uint64_t seed : {3ull, 11ull}) {
+    auto p = graph::attach_super_terminals(
+        graph::watts_strogatz(70, 4, 0.2, seed), 3, 2, seed + 1);
+    FfprResult mine = run_ffpr(p.graph, p.source, p.sink);
+    mr::Cluster cluster = make_cluster();
+    ffmr::FfmrOptions fo;
+    fo.async_augmenter = false;
+    ffmr::FfmrResult theirs =
+        ffmr::solve_max_flow(cluster, p.graph, p.source, p.sink, fo);
+    ASSERT_TRUE(mine.converged);
+    ASSERT_TRUE(theirs.converged);
+    EXPECT_EQ(mine.max_flow, theirs.max_flow) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- options matrix
+
+TEST(FfprOptionsMatrix, RelabelCadenceAndWire) {
+  auto p = graph::clique_path_flow_problem(5, 5, 2, 2);
+  for (int every : {0, 1, 8}) {
+    for (bool initial : {false, true}) {
+      FfprOptions o;
+      o.global_relabel_every = every;
+      o.initial_global_relabel = initial;
+      std::string label = "every=" + std::to_string(every) +
+                          " initial=" + std::to_string(initial);
+      expect_exact(p.graph, p.source, p.sink,
+                   run_ffpr(p.graph, p.source, p.sink, o), label.c_str());
+    }
+  }
+  FfprOptions o;
+  o.wire = ffmr::WireChoice::kOn;
+  expect_exact(p.graph, p.source, p.sink, run_ffpr(p.graph, p.source, p.sink, o),
+               "wire on");
+}
+
+TEST(FfprEdgeCases, TrivialAndDirect) {
+  // Isolated terminal.
+  graph::Graph g(4);
+  g.add_undirected(1, 2, 5);
+  g.finalize();
+  FfprResult r = run_ffpr(g, 0, 3);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.max_flow, 0);
+
+  // Direct source->sink edge (saturated at round #0, never "granted" by
+  // the sink): the final accounting must still count it.
+  graph::Graph d(2);
+  d.add_edge(0, 1, 7, 0);
+  d.finalize();
+  expect_exact(d, 0, 1, run_ffpr(d, 0, 1), "direct");
+
+  // Direct edge plus a longer parallel route.
+  graph::Graph m(4);
+  m.add_edge(0, 3, 2, 0);
+  m.add_edge(0, 1, 3, 0);
+  m.add_edge(1, 2, 3, 0);
+  m.add_edge(2, 3, 3, 0);
+  m.finalize();
+  expect_exact(m, 0, 3, run_ffpr(m, 0, 3), "direct+path");
+}
+
+// ------------------------------------------------------ replay determinism
+
+// Same instance, two independent clusters: flow, wave count, relabel
+// count, per-wave counters and the full per-pair assignment must be
+// bit-identical. Scheduling order, thread interleaving and service
+// arrival order must not be observable.
+TEST(FfprDeterminism, ReplayBitIdentical) {
+  for (int kind : {0, 4}) {
+    Instance in = make_instance(kind, 42);
+    FfprResult a = run_ffpr(in.g, in.s, in.t);
+    FfprResult b = run_ffpr(in.g, in.s, in.t);
+    EXPECT_EQ(a.max_flow, b.max_flow);
+    EXPECT_EQ(a.waves, b.waves);
+    EXPECT_EQ(a.relabel_rounds, b.relabel_rounds);
+    EXPECT_EQ(a.total_pushes, b.total_pushes);
+    EXPECT_EQ(a.total_lifts, b.total_lifts);
+    EXPECT_EQ(a.assignment.pair_flow, b.assignment.pair_flow);
+    ASSERT_EQ(a.rounds_info.size(), b.rounds_info.size());
+    for (size_t i = 0; i < a.rounds_info.size(); ++i) {
+      EXPECT_EQ(a.rounds_info[i].requests, b.rounds_info[i].requests)
+          << "wave " << i;
+      EXPECT_EQ(a.rounds_info[i].pushes, b.rounds_info[i].pushes)
+          << "wave " << i;
+      EXPECT_EQ(a.rounds_info[i].lifts, b.rounds_info[i].lifts) << "wave " << i;
+      EXPECT_EQ(a.rounds_info[i].delta_flow, b.rounds_info[i].delta_flow)
+          << "wave " << i;
+    }
+  }
+}
+
+// Schimmy on and off run different data paths (stored-partition replay vs
+// full master shuffle) but must be value-equivalent.
+TEST(FfprDeterminism, SchimmyOnOffAgree) {
+  Instance in = make_instance(3, 7);
+  FfprOptions on;
+  FfprOptions off;
+  off.use_schimmy = false;
+  FfprResult a = run_ffpr(in.g, in.s, in.t, on);
+  FfprResult b = run_ffpr(in.g, in.s, in.t, off);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.max_flow, b.max_flow);
+  EXPECT_EQ(a.assignment.pair_flow, b.assignment.pair_flow);
+}
+
+// ------------------------------------------------------------- warm start
+
+TEST(FfprWarmStart, ResumesFromFeasibleFlow) {
+  auto p = graph::clique_path_flow_problem(4, 5, 2, 2);
+  // A feasible (maximum, even) flow from a sequential solver seeds the
+  // round-0 edge records; FF-PR must accept it and still converge to the
+  // exact value with a valid certificate.
+  const auto warm = flow::max_flow_dinic(p.graph, p.source, p.sink);
+  FfprOptions o;
+  o.initial_flow = &warm;
+  FfprResult r = run_ffpr(p.graph, p.source, p.sink, o);
+  expect_exact(p.graph, p.source, p.sink, r, "warm max");
+  EXPECT_EQ(r.max_flow, warm.value);
+}
+
+// ------------------------------------------------------------ round report
+
+TEST(FfprReport, UniformSchemaPerWave) {
+  auto p = graph::clique_path_flow_problem(3, 4, 1, 1);
+  const std::string path = ::testing::TempDir() + "/ffpr_report.jsonl";
+  FfprOptions o;
+  o.round_report = path;
+  mr::Cluster cluster = make_cluster();
+  FfprResult r = solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+  ASSERT_TRUE(r.converged);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  bool saw_push = false, saw_relabel = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    for (const char* field :
+         {"\"backend\":\"ffpr\"", "\"phase\":", "\"requests\":", "\"pushes\":",
+          "\"lifts\":", "\"excess_drained\":", "\"delta_flow\":",
+          "\"total_flow\":", "\"relabel_rounds\":"}) {
+      EXPECT_NE(line.find(field), std::string::npos)
+          << "line " << lines << " missing " << field << ": " << line;
+    }
+    if (line.find("\"phase\":\"push\"") != std::string::npos) saw_push = true;
+    if (line.find("\"phase\":\"relabel") != std::string::npos) {
+      saw_relabel = true;
+    }
+  }
+  EXPECT_EQ(lines, r.rounds_info.size());
+  EXPECT_TRUE(saw_push);
+  EXPECT_TRUE(saw_relabel);
+  std::remove(path.c_str());
+}
+
+// High-diameter wave-count sanity: on a path of cliques the wave count is
+// O(diameter), not O(paths * diameter) -- the whole point of the backend.
+TEST(FfprBehavior, WaveCountTracksDiameter) {
+  auto p = graph::clique_path_flow_problem(6, 5, 2, 1);
+  FfprResult r = run_ffpr(p.graph, p.source, p.sink);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.waves, 200) << "wave count blew past the diameter regime";
+  EXPECT_GT(r.total_pushes, 0);
+}
+
+}  // namespace
+}  // namespace mrflow::ffpr

@@ -1,0 +1,187 @@
+// Portfolio selector tests: decisions pinned on synthetic statistics
+// (the pure choose_from_stats path), measured statistics on generated
+// graphs, and the decision JSON surface the CLI and round reports embed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "flow/max_flow.h"
+#include "flow/portfolio.h"
+#include "graph/generators.h"
+#include "mapreduce/cluster.h"
+#include "service/flow_service.h"
+
+namespace mrflow::flow {
+namespace {
+
+GraphStats synthetic(uint64_t vertices, uint32_t diameter, double avg_degree,
+                     graph::Capacity flow_hint) {
+  GraphStats s;
+  s.vertices = vertices;
+  s.directed_edges = static_cast<uint64_t>(vertices * avg_degree);
+  s.diameter_estimate = diameter;
+  s.avg_degree = avg_degree;
+  s.degree_skew = 4.0;
+  s.max_finite_cap = 1;
+  s.flow_hint = flow_hint;
+  return s;
+}
+
+// ----------------------------------------------------- pinned decisions
+
+TEST(PortfolioRules, TinyGoesSequential) {
+  EXPECT_EQ(choose_from_stats(synthetic(32, 3, 4.0, 8)),
+            PortfolioBackend::kSequentialDinic);
+  EXPECT_EQ(choose_from_stats(synthetic(64, 3, 4.0, 8)),
+            PortfolioBackend::kSequentialDinic);
+  EXPECT_NE(choose_from_stats(synthetic(65, 3, 4.0, 8)),
+            PortfolioBackend::kSequentialDinic);
+}
+
+TEST(PortfolioRules, SmallWorldGoesBidirectionalFf) {
+  // n = 10'000 -> auto diameter cap 2*14+4 = 32; a small-world diameter
+  // estimate of ~8 with a modest flow bound stays with FFMR.
+  EXPECT_EQ(choose_from_stats(synthetic(10'000, 8, 6.0, 40)),
+            PortfolioBackend::kBidirectionalFf);
+}
+
+TEST(PortfolioRules, HighDiameterGoesPushRelabel) {
+  // Same size, lattice-like diameter estimate: way past the small-world
+  // envelope -> FF-PR.
+  EXPECT_EQ(choose_from_stats(synthetic(10'000, 200, 4.0, 4)),
+            PortfolioBackend::kPushRelabel);
+}
+
+TEST(PortfolioRules, HighFlowBoundGoesPushRelabel) {
+  // Small-world diameter but a flow bound far above what path-based FF
+  // drains per round-phase: 64 (cap) * 8 (diam) * 6 (deg) = 3072 < hint.
+  EXPECT_EQ(choose_from_stats(synthetic(10'000, 8, 6.0, 1'000'000)),
+            PortfolioBackend::kPushRelabel);
+}
+
+TEST(PortfolioRules, ThresholdOverridesRespected) {
+  PortfolioThresholds t;
+  t.sequential_cutoff_vertices = 0;
+  t.diameter_cap = 1'000'000;
+  t.flow_per_diameter_cap = 1e18;
+  // Everything forced into the FFMR bucket.
+  EXPECT_EQ(choose_from_stats(synthetic(32, 500, 4.0, 1'000'000), t),
+            PortfolioBackend::kBidirectionalFf);
+  t.diameter_cap = 1;
+  EXPECT_EQ(choose_from_stats(synthetic(32, 500, 4.0, 8), t),
+            PortfolioBackend::kPushRelabel);
+}
+
+// --------------------------------------------------- measured statistics
+
+TEST(PortfolioStats, MeasuresSmallWorldShape) {
+  auto p = graph::attach_super_terminals(
+      graph::watts_strogatz(400, 4, 0.2, 7), 3, 2, 8);
+  GraphStats s = compute_graph_stats(p.graph, p.source, p.sink);
+  EXPECT_EQ(s.vertices, p.graph.num_vertices());
+  EXPECT_GT(s.avg_degree, 2.0);
+  // Small world: estimate well under the vertex count.
+  EXPECT_LT(s.diameter_estimate, 40u);
+  EXPECT_GT(s.diameter_estimate, 2u);
+  // Super-terminal arcs are infinite and must not leak into
+  // max_finite_cap.
+  EXPECT_EQ(s.max_finite_cap, 1);
+  EXPECT_EQ(choose_from_stats(s), PortfolioBackend::kBidirectionalFf);
+}
+
+TEST(PortfolioStats, MeasuresLatticeShape) {
+  auto p = graph::lattice_flow_problem(4, 120, 1);
+  GraphStats s = compute_graph_stats(p.graph, p.source, p.sink);
+  EXPECT_GE(s.diameter_estimate, 100u);
+  EXPECT_EQ(choose_from_stats(s), PortfolioBackend::kPushRelabel);
+}
+
+TEST(PortfolioStats, TinyMeasuredInstance) {
+  graph::Graph g = graph::grid(4, 4);
+  GraphStats s = compute_graph_stats(g, 0, 15);
+  EXPECT_EQ(choose_from_stats(s), PortfolioBackend::kSequentialDinic);
+}
+
+// ------------------------------------------------------------- decision
+
+TEST(PortfolioDecisionTest, JsonCarriesBackendAndStats) {
+  auto p = graph::lattice_flow_problem(4, 120, 1);
+  PortfolioDecision d = choose_backend(p.graph, p.source, p.sink);
+  EXPECT_EQ(d.backend, PortfolioBackend::kPushRelabel);
+  const std::string json = d.to_json();
+  EXPECT_NE(json.find("\"backend\":\"ffpr\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"diameter_estimate\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"flow_hint\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\":"), std::string::npos) << json;
+  EXPECT_FALSE(d.reason.empty());
+}
+
+// ----------------------------------------------------------- end to end
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The serve-mode auto surface: Backend::kAuto resolves per query, the
+// chosen backend is recorded on the answer and in the service report.
+TEST(PortfolioEndToEnd, AutoRoutesHighDiameterToFfprAndRecordsIt) {
+  auto p = graph::lattice_flow_problem(3, 30, 1);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 2;
+  mr::Cluster cluster(config);
+
+  const std::string report = ::testing::TempDir() + "/portfolio_auto_hd." +
+                             std::to_string(::getpid()) + ".jsonl";
+  service::ServiceOptions opt;
+  opt.backend = service::Backend::kAuto;
+  opt.round_report = report;
+  service::FlowService svc(&cluster, p.graph, opt);
+  auto r = svc.query(p.source, p.sink);
+  EXPECT_EQ(r.backend, "ffpr");
+  EXPECT_TRUE(r.certified);
+  EXPECT_EQ(r.value, max_flow_dinic(p.graph, p.source, p.sink).value);
+  const std::string text = slurp(report);
+  EXPECT_NE(text.find("\"backend\":\"ffpr\""), std::string::npos) << text;
+  std::remove(report.c_str());
+}
+
+TEST(PortfolioEndToEnd, AutoRoutesSmallWorldToFfmrAndRecordsIt) {
+  graph::Graph g = graph::watts_strogatz(120, 4, 0.2, 11);
+  g.finalize();
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 2;
+  mr::Cluster cluster(config);
+
+  const std::string report = ::testing::TempDir() + "/portfolio_auto_sw." +
+                             std::to_string(::getpid()) + ".jsonl";
+  service::ServiceOptions opt;
+  opt.backend = service::Backend::kAuto;
+  opt.round_report = report;
+  service::FlowService svc(&cluster, g, opt);
+  auto r = svc.query(0, 60);
+  EXPECT_EQ(r.backend, "ffmr");
+  EXPECT_TRUE(r.certified);
+  EXPECT_EQ(r.value, max_flow_dinic(g, 0, 60).value);
+  const std::string text = slurp(report);
+  EXPECT_NE(text.find("\"backend\":\"ffmr\""), std::string::npos) << text;
+  std::remove(report.c_str());
+}
+
+TEST(PortfolioDecisionTest, NamesRoundTrip) {
+  EXPECT_STREQ(portfolio_backend_name(PortfolioBackend::kSequentialDinic),
+               "dinic");
+  EXPECT_STREQ(portfolio_backend_name(PortfolioBackend::kBidirectionalFf),
+               "ffmr");
+  EXPECT_STREQ(portfolio_backend_name(PortfolioBackend::kPushRelabel), "ffpr");
+}
+
+}  // namespace
+}  // namespace mrflow::flow

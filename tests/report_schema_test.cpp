@@ -24,6 +24,7 @@
 #include "bench/bench_common.h"
 #include "common/profile.h"
 #include "ffmr/solver.h"
+#include "ffpr/solver.h"
 #include "graph/generators.h"
 #include "service/flow_service.h"
 
@@ -285,6 +286,7 @@ TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
   const std::pair<const char*, Kind> kRequired[] = {
       {"round", Kind::kNumber},
       {"job", Kind::kString},
+      {"backend", Kind::kString},
       {"map_tasks", Kind::kNumber},
       {"reduce_tasks", Kind::kNumber},
       {"map_output_records", Kind::kNumber},
@@ -326,6 +328,73 @@ TEST(RoundReportSchema, RequiredFieldsPresentWithKinds) {
     ASSERT_NE(it, schema.end()) << "missing field: " << key;
     EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
   }
+}
+
+// The FF-PR solver shares the RoundReportWriter spine but appends its own
+// wave fields (backend/phase plus the push-relabel counters) in place of
+// the FFMR path fields. Pin that enrichment here: the two backends'
+// reports are distinguishable by "backend" and each carries its full
+// field list on every line.
+std::vector<std::string> live_ffpr_round_report() {
+  auto p = graph::lattice_flow_problem(3, 12, 1);
+  mr::ClusterConfig config;
+  config.num_slave_nodes = 3;
+  config.dfs_block_size = 32 << 10;
+  mr::Cluster cluster(config);
+  ffpr::FfprOptions o;
+  std::string path = ::testing::TempDir() + "/schema_ffpr_round_report." +
+                     std::to_string(::getpid()) + ".jsonl";
+  o.round_report = path;
+  ffpr::solve_max_flow(cluster, p.graph, p.source, p.sink, o);
+  auto lines = read_lines(path);
+  std::remove(path.c_str());
+  return lines;
+}
+
+TEST(RoundReportSchema, FfprLinesCarryWaveFields) {
+  auto live = live_ffpr_round_report();
+  // Round #0 + initial relabel phase + push waves: plenty of lines, and
+  // both phase kinds present.
+  ASSERT_GE(live.size(), 4u);
+  Schema golden = object_schema(live[0]);
+  ASSERT_FALSE(golden.empty());
+  for (const auto& line : live) {
+    EXPECT_EQ(diff_schemas(golden, object_schema(line)), "") << line;
+  }
+  const std::pair<const char*, Kind> kRequired[] = {
+      {"round", Kind::kNumber},
+      {"job", Kind::kString},
+      {"backend", Kind::kString},
+      {"phase", Kind::kString},
+      {"requests", Kind::kNumber},
+      {"pushes", Kind::kNumber},
+      {"refused", Kind::kNumber},
+      {"lifts", Kind::kNumber},
+      {"active", Kind::kNumber},
+      {"height_updates", Kind::kNumber},
+      {"excess_drained", Kind::kNumber},
+      {"delta_flow", Kind::kNumber},
+      {"total_flow", Kind::kNumber},
+      {"relabel_rounds", Kind::kNumber},
+      {"shuffle_bytes", Kind::kNumber},
+      {"sim_seconds", Kind::kNumber},
+  };
+  for (const auto& [key, kind] : kRequired) {
+    auto it = golden.find(key);
+    ASSERT_NE(it, golden.end()) << "missing field: " << key;
+    EXPECT_EQ(it->second, kind) << key << " is " << kind_name(it->second);
+  }
+  // The backend tag is the discriminator the portfolio docs promise.
+  EXPECT_NE(live[0].find("\"backend\":\"ffpr\""), std::string::npos);
+  bool saw_push = false, saw_relabel = false;
+  for (const auto& line : live) {
+    if (line.find("\"phase\":\"push\"") != std::string::npos) saw_push = true;
+    if (line.find("\"phase\":\"relabel") != std::string::npos) {
+      saw_relabel = true;
+    }
+  }
+  EXPECT_TRUE(saw_push);
+  EXPECT_TRUE(saw_relabel);
 }
 
 // ----------------------------------------------------- profile report
@@ -447,6 +516,7 @@ TEST(ServiceReportSchema, QueryAndUpdateLinesCarryTheirFields) {
       {"s", Kind::kNumber},
       {"t", Kind::kNumber},
       {"answer", Kind::kString},
+      {"backend", Kind::kString},
       {"value", Kind::kNumber},
       {"solver_rounds", Kind::kNumber},
       {"query_wall_seconds", Kind::kNumber},

@@ -27,7 +27,8 @@ using namespace mrflow;
 
 namespace {
 constexpr const char* kUsage =
-    "usage: make_example_graph <out.txt> [--trace_out=<trace.txt> "
+    "usage: make_example_graph <out.txt> "
+    "[--shape=smallworld|lattice|cliquepath] [--trace_out=<trace.txt> "
     "--trace_ops=128 --trace_seed=1 --query_fraction=0.9 --hot_pairs=8 "
     "--hot_fraction=0.8 --max_cap=4]\n";
 }  // namespace
@@ -46,9 +47,25 @@ int main(int argc, char** argv) {
   topt.hot_pairs = static_cast<size_t>(flags.get_int("hot_pairs", 8));
   topt.hot_fraction = flags.get_double("hot_fraction", 0.8);
   topt.max_cap = static_cast<graph::Capacity>(flags.get_int("max_cap", 4));
+  const std::string shape = flags.get_string("shape", "smallworld");
   if (!common::obs::finish_flags(flags, kUsage)) return 2;
 
-  graph::Graph g = graph::watts_strogatz(300, 4, 0.2, 7);
+  // All shapes are parameter-fixed and deterministic. `smallworld` is the
+  // historical default behind the committed examples and must stay
+  // byte-identical; `lattice` and `cliquepath` are the high-diameter
+  // inputs the portfolio selector routes to FF-PR (the terminals are the
+  // two highest vertex ids of the written graph).
+  graph::Graph g;
+  if (shape == "smallworld") {
+    g = graph::watts_strogatz(300, 4, 0.2, 7);
+  } else if (shape == "lattice") {
+    g = std::move(graph::lattice_flow_problem(6, 60, 2).graph);
+  } else if (shape == "cliquepath") {
+    g = std::move(graph::clique_path_flow_problem(12, 6, 2, 2).graph);
+  } else {
+    std::fprintf(stderr, "unknown --shape=%s\n%s", shape.c_str(), kUsage);
+    return 2;
+  }
   const std::string& out = flags.positional()[0];
   graph::write_edgelist_file(g, out);
   std::printf("wrote %s: %zu vertices, %zu directed edges\n", out.c_str(),
